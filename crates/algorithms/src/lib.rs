@@ -1,0 +1,44 @@
+//! The `iAlgorithm` base and the paper's case-study algorithms.
+//!
+//! iOverlay ships *"basic and commonly used elements of an algorithm ...
+//! in a generic base class referred to as `iAlgorithm`"* (§2.2): a
+//! default handler for every observer/engine message type, the
+//! `KnownHosts` bookkeeping, and a probabilistic `disseminate` (gossip)
+//! utility. Application algorithms inherit from it and override what
+//! they need. Rust has composition instead of inheritance, so here the
+//! base is an embeddable struct, [`IAlgorithmBase`], and algorithms call
+//! [`IAlgorithmBase::handle_default`] from the `default:` arm of their
+//! message match — the same shape as Table 2 of the paper.
+//!
+//! The case studies of §3 are implemented on top:
+//!
+//! * [`StaticForwarder`] and the source/sink applications — the plain
+//!   copy-forwarding data plane used by the engine evaluation
+//!   (Fig. 5–7);
+//! * [`coding`] — overlay network coding in GF(2⁸) (Fig. 8);
+//! * [`tree`] — data-dissemination tree construction: the node-stress
+//!   aware algorithm plus the all-unicast and randomized baselines
+//!   (Table 3, Fig. 9–13);
+//! * [`federation`] — service federation in service overlay networks:
+//!   the `sFlow` algorithm plus the `fixed` and `random` baselines
+//!   (Fig. 14–19).
+//!
+//! Every algorithm here is runtime-agnostic: the same code runs on the
+//! real TCP engine and in the deterministic simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod base;
+pub mod coding;
+pub mod dht;
+pub mod federation;
+mod forward;
+pub mod pubsub;
+mod source;
+pub mod streaming;
+pub mod tree;
+
+pub use base::IAlgorithmBase;
+pub use forward::StaticForwarder;
+pub use source::{SinkApp, SourceApp, SourceMode};

@@ -1,0 +1,77 @@
+//! Property-based tests for content-based matching.
+
+use ioverlay_algorithms::pubsub::{Constraint, Event, Predicate};
+use proptest::prelude::*;
+
+fn arb_constraint() -> impl Strategy<Value = Constraint> {
+    prop_oneof![
+        any::<i64>().prop_map(Constraint::Eq),
+        any::<i64>().prop_map(Constraint::Lt),
+        any::<i64>().prop_map(Constraint::Gt),
+        (any::<i64>(), any::<i64>()).prop_map(|(a, b)| Constraint::Between(a.min(b), a.max(b))),
+        Just(Constraint::Exists),
+    ]
+}
+
+/// Reference semantics of a single constraint.
+fn model_matches(c: &Constraint, value: i64) -> bool {
+    match *c {
+        Constraint::Eq(v) => value == v,
+        Constraint::Lt(v) => value < v,
+        Constraint::Gt(v) => value > v,
+        Constraint::Between(lo, hi) => value >= lo && value <= hi,
+        Constraint::Exists => true,
+    }
+}
+
+proptest! {
+    /// Constraint::matches agrees with the naive model everywhere.
+    #[test]
+    fn constraint_matches_model(c in arb_constraint(), value in any::<i64>()) {
+        prop_assert_eq!(c.matches(value), model_matches(&c, value));
+    }
+
+    /// A predicate is exactly the conjunction of its constraints, and a
+    /// missing attribute always fails.
+    #[test]
+    fn predicate_is_conjunction(
+        constraints in proptest::collection::vec((0u8..6, arb_constraint()), 0..6),
+        values in proptest::collection::vec((0u8..6, any::<i64>()), 0..6),
+    ) {
+        let mut pred = Predicate::new();
+        for (attr, c) in &constraints {
+            pred = pred.with(&format!("a{attr}"), *c);
+        }
+        let mut event = Event::new();
+        for (attr, v) in &values {
+            event = event.with(&format!("a{attr}"), *v);
+        }
+        // Model: last write wins for both maps, like the builders.
+        let mut model_pred = std::collections::BTreeMap::new();
+        for (attr, c) in &constraints {
+            model_pred.insert(*attr, *c);
+        }
+        let mut model_event = std::collections::BTreeMap::new();
+        for (attr, v) in &values {
+            model_event.insert(*attr, *v);
+        }
+        let expected = model_pred.iter().all(|(attr, c)| {
+            model_event.get(attr).is_some_and(|v| model_matches(c, *v))
+        });
+        prop_assert_eq!(pred.matches(&event), expected);
+    }
+
+    /// Events roundtrip through their wire encoding.
+    #[test]
+    fn event_encoding_roundtrip(
+        values in proptest::collection::vec((0u8..10, any::<i64>()), 0..8),
+        body in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut event = Event::new().with_body(body);
+        for (attr, v) in &values {
+            event = event.with(&format!("k{attr}"), *v);
+        }
+        let back = Event::decode(&event.encode()).expect("decodes");
+        prop_assert_eq!(back, event);
+    }
+}

@@ -1,0 +1,186 @@
+//! Typed payloads for control and engine-event messages.
+//!
+//! The paper's control plane is small and infrequent (Fig. 15–18 measure
+//! it in hundreds of bytes per node per minute), so these payloads use
+//! JSON: self-describing, easy to log from the observer, and the exact
+//! bytes-on-the-wire accounting still works because each payload knows
+//! its encoded size. Data messages never pass through this module — they
+//! stay on the binary zero-copy path.
+
+use bytes::Bytes;
+use ioverlay_message::{DecodeError, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Which side of a link an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LinkDirection {
+    /// The peer is upstream (it sends to us).
+    Upstream,
+    /// The peer is downstream (we send to it).
+    Downstream,
+}
+
+/// Payload of `UpThroughput` / `DownThroughput` measurement reports and
+/// of `NeighborFailed` events.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputPayload {
+    /// The measured peer.
+    pub peer: NodeId,
+    /// Direction of the measured link relative to the reporting node.
+    pub direction: LinkDirection,
+    /// Measured throughput in (1024-byte) KBps.
+    pub kbps: f64,
+    /// Messages lost on this link since the last report (failures only).
+    pub lost_msgs: u64,
+}
+
+/// Payload of the observer's `BootReply`: the random subset of alive
+/// nodes handed to a bootstrapping node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BootReplyPayload {
+    /// Initial `KnownHosts` for the new node.
+    pub hosts: Vec<NodeId>,
+}
+
+/// What a `SetBandwidth` command retunes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BandwidthScope {
+    /// Per-node total (incoming + outgoing) bandwidth.
+    NodeTotal,
+    /// Per-node outgoing (uplink) bandwidth.
+    NodeUp,
+    /// Per-node incoming (downlink) bandwidth.
+    NodeDown,
+    /// Bandwidth of the virtual link to one peer.
+    Link(NodeId),
+}
+
+/// Payload of the observer's `SetBandwidth` command — the runtime knob
+/// behind *"artificially emulated bottlenecks may be produced or relieved
+/// on the fly"*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetBandwidthPayload {
+    /// Which limiter to retune.
+    pub scope: BandwidthScope,
+    /// New rate in (1024-byte) KBps; `None` removes the limit.
+    pub kbps: Option<u64>,
+}
+
+/// A node's periodic status report to the observer: *"lengths of all
+/// engine buffers, measurements of QoS metrics, and the list of upstream
+/// and downstream nodes"*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct StatusReport {
+    /// Reporting node.
+    pub node: Option<NodeId>,
+    /// Per-upstream receive-buffer lengths.
+    pub recv_buffers: Vec<(NodeId, usize)>,
+    /// Per-downstream send-buffer lengths.
+    pub send_buffers: Vec<(NodeId, usize)>,
+    /// Upstream neighbors.
+    pub upstreams: Vec<NodeId>,
+    /// Downstream neighbors.
+    pub downstreams: Vec<NodeId>,
+    /// Per-link measured throughput in KBps, keyed by peer.
+    pub link_kbps: Vec<(NodeId, f64)>,
+    /// Total messages switched since start.
+    pub switched_msgs: u64,
+    /// Algorithm-specific extension, from [`crate::Algorithm::status`].
+    pub algorithm: serde_json::Value,
+}
+
+macro_rules! json_payload {
+    ($ty:ty) => {
+        impl $ty {
+            /// Encodes this payload into message bytes.
+            pub fn encode(&self) -> Bytes {
+                Bytes::from(serde_json::to_vec(self).expect("payload serializes"))
+            }
+
+            /// Decodes this payload from message bytes.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`DecodeError::InvalidPayload`] if the bytes are
+            /// not a valid encoding of this payload.
+            pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+                serde_json::from_slice(bytes)
+                    .map_err(|_| DecodeError::InvalidPayload(stringify!($ty)))
+            }
+        }
+    };
+}
+
+json_payload!(ThroughputPayload);
+json_payload!(BootReplyPayload);
+json_payload!(SetBandwidthPayload);
+json_payload!(StatusReport);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_roundtrip() {
+        let p = ThroughputPayload {
+            peer: NodeId::loopback(8000),
+            direction: LinkDirection::Upstream,
+            kbps: 199.25,
+            lost_msgs: 3,
+        };
+        assert_eq!(ThroughputPayload::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn boot_reply_roundtrip() {
+        let p = BootReplyPayload {
+            hosts: (1..5).map(NodeId::loopback).collect(),
+        };
+        assert_eq!(BootReplyPayload::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn set_bandwidth_roundtrip() {
+        for scope in [
+            BandwidthScope::NodeTotal,
+            BandwidthScope::NodeUp,
+            BandwidthScope::NodeDown,
+            BandwidthScope::Link(NodeId::loopback(7)),
+        ] {
+            let p = SetBandwidthPayload {
+                scope,
+                kbps: Some(30),
+            };
+            assert_eq!(SetBandwidthPayload::decode(&p.encode()).unwrap(), p);
+        }
+        let unlimited = SetBandwidthPayload {
+            scope: BandwidthScope::NodeTotal,
+            kbps: None,
+        };
+        assert_eq!(
+            SetBandwidthPayload::decode(&unlimited.encode()).unwrap(),
+            unlimited
+        );
+    }
+
+    #[test]
+    fn status_report_roundtrip() {
+        let p = StatusReport {
+            node: Some(NodeId::loopback(1)),
+            recv_buffers: vec![(NodeId::loopback(2), 5)],
+            send_buffers: vec![(NodeId::loopback(3), 0)],
+            upstreams: vec![NodeId::loopback(2)],
+            downstreams: vec![NodeId::loopback(3)],
+            link_kbps: vec![(NodeId::loopback(3), 400.0)],
+            switched_msgs: 1234,
+            algorithm: serde_json::json!({"stress": 2.0}),
+        };
+        assert_eq!(StatusReport::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(StatusReport::decode(b"not json").is_err());
+        assert!(BootReplyPayload::decode(b"{\"wrong\":1}").is_err());
+    }
+}

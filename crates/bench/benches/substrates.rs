@@ -1,0 +1,186 @@
+//! Criterion microbenchmarks for the middleware substrates, plus
+//! end-to-end switch benchmarks on both runtimes.
+//!
+//! The paper-figure regeneration lives in the `repro` binary (run
+//! `cargo run --release -p ioverlay-bench --bin repro -- all`); these
+//! benches track the performance of the pieces the engine's raw
+//! switching speed (Fig. 5) is built from.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use ioverlay::algorithms::{SinkApp, SourceApp, SourceMode, StaticForwarder};
+use ioverlay::api::NodeId;
+use ioverlay::gf256::{CodedPacket, Decoder as GfDecoder, Encoder as GfEncoder, Gf256};
+use ioverlay::message::{Decoder, Msg};
+use ioverlay::queue::{CircularQueue, WeightedRoundRobin};
+use ioverlay::ratelimit::{Rate, TokenBucket};
+use ioverlay::simnet::{NodeBandwidth, SimBuilder};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message-codec");
+    let msg = Msg::data(NodeId::loopback(1), 1, 0, vec![7u8; 5 * 1024]);
+    let wire = msg.encode();
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("encode-5k", |b| b.iter(|| std::hint::black_box(msg.encode())));
+    group.bench_function("decode-5k", |b| {
+        b.iter(|| Msg::decode(std::hint::black_box(&wire)).unwrap())
+    });
+    group.bench_function("stream-decode-5k", |b| {
+        b.iter_batched(
+            Decoder::new,
+            |mut dec| {
+                dec.feed(&wire);
+                dec.next_msg().unwrap().unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circular-queue");
+    group.bench_function("push-pop", |b| {
+        let q = CircularQueue::with_capacity(64);
+        b.iter(|| {
+            q.try_push(1u64).unwrap();
+            q.try_pop().unwrap()
+        })
+    });
+    group.bench_function("wrr-next-8", |b| {
+        let mut wrr = WeightedRoundRobin::new();
+        for i in 0..8u32 {
+            wrr.set_weight(i, 1 + i % 3);
+        }
+        b.iter(|| *wrr.next().unwrap())
+    });
+    group.finish();
+}
+
+fn bench_gf256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256");
+    group.bench_function("mul", |b| {
+        let x = Gf256::new(0x57);
+        let y = Gf256::new(0x13);
+        b.iter(|| std::hint::black_box(x) * std::hint::black_box(y))
+    });
+    let a = CodedPacket::source(0, 2, vec![1u8; 5 * 1024]);
+    let bpkt = CodedPacket::source(1, 2, vec![2u8; 5 * 1024]);
+    group.throughput(Throughput::Bytes(5 * 1024));
+    group.bench_function("combine-a-plus-b-5k", |b| {
+        b.iter(|| {
+            CodedPacket::combine(&[
+                (Gf256::ONE, std::hint::black_box(&a)),
+                (Gf256::ONE, std::hint::black_box(&bpkt)),
+            ])
+            .unwrap()
+        })
+    });
+    group.bench_function("decode-generation-8x1k", |b| {
+        let enc = GfEncoder::new((0..8).map(|i| vec![i as u8; 1024]).collect()).unwrap();
+        let mut rng = rand::rngs::mock::StepRng::new(1, 0x9E3779B97F4A7C15);
+        let packets: Vec<CodedPacket> = (0..8).map(|_| enc.random_packet(&mut rng)).collect();
+        b.iter(|| {
+            let mut dec = GfDecoder::new(8);
+            for p in &packets {
+                dec.push(p.clone());
+            }
+            dec.rank()
+        })
+    });
+    group.finish();
+}
+
+fn bench_token_bucket(c: &mut Criterion) {
+    c.bench_function("token-bucket-reserve", |b| {
+        let mut bucket = TokenBucket::new(Rate::mbps(100), 0);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1_000;
+            bucket.reserve(5 * 1024, now)
+        })
+    });
+}
+
+fn bench_simnet_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet");
+    group.sample_size(10);
+    group.bench_function("chain-8-nodes-10-virtual-seconds", |b| {
+        b.iter(|| {
+            let ids: Vec<NodeId> = (1..=8).map(NodeId::loopback).collect();
+            let mut sim = SimBuilder::new(1).buffer_msgs(10).latency_ms(2).build();
+            sim.add_node(ids[7], NodeBandwidth::unlimited(), Box::new(SinkApp::new()));
+            for i in (1..7).rev() {
+                sim.add_node(
+                    ids[i],
+                    NodeBandwidth::unlimited(),
+                    Box::new(StaticForwarder::new().route(1, vec![ids[i + 1]])),
+                );
+            }
+            sim.add_node(
+                ids[0],
+                NodeBandwidth::total_only(ioverlay::ratelimit::Rate::mbps(1)),
+                Box::new(
+                    SourceApp::new(1, vec![ids[1]], 5 * 1024, SourceMode::BackToBack).deployed(),
+                ),
+            );
+            sim.run_for(10_000_000_000);
+            sim.metrics().received_msgs(ids[7], 1)
+        })
+    });
+    group.finish();
+}
+
+fn bench_engine_pair(c: &mut Criterion) {
+    use ioverlay::engine::{EngineConfig, EngineNode};
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    // The Fig. 5 primitive: how fast can one hop move 5 KB messages over
+    // loopback TCP through the full engine stack?
+    group.throughput(Throughput::Bytes(200 * 5 * 1024));
+    group.bench_function("two-node-200-messages", |b| {
+        b.iter_batched(
+            || {
+                let sink = EngineNode::spawn(EngineConfig::default(), Box::new(SinkApp::new()))
+                    .expect("sink");
+                let source = EngineNode::spawn(
+                    EngineConfig::default(),
+                    Box::new(
+                        SourceApp::new(1, vec![sink.id()], 5 * 1024, SourceMode::BackToBack)
+                            .deployed(),
+                    ),
+                )
+                .expect("source");
+                (sink, source)
+            },
+            |(sink, source)| {
+                loop {
+                    let done = sink
+                        .status()
+                        .and_then(|s| s.algorithm.get("msgs").and_then(|m| m.as_u64()))
+                        .unwrap_or(0)
+                        >= 200;
+                    if done {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                source.shutdown();
+                sink.shutdown();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_queue,
+    bench_gf256,
+    bench_token_bucket,
+    bench_simnet_chain,
+    bench_engine_pair
+);
+criterion_main!(benches);

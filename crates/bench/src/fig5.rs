@@ -1,0 +1,136 @@
+//! Fig. 5 — raw message switching performance of the engine.
+//!
+//! The paper deploys chains of 2–32 *virtualized* nodes on one physical
+//! server, pushes back-to-back traffic down the chain, and reports
+//! end-to-end throughput plus "total bandwidth" (end-to-end × number of
+//! links, i.e. the volume actually switched). We do exactly that with
+//! real [`EngineNode`]s over loopback TCP.
+
+use std::thread;
+use std::time::Duration;
+
+use ioverlay::algorithms::{SinkApp, SourceApp, SourceMode, StaticForwarder};
+use ioverlay::engine::{EngineConfig, EngineNode};
+
+use crate::util::{banner, row};
+
+/// Result for one chain length.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainPoint {
+    /// Number of nodes in the chain.
+    pub nodes: usize,
+    /// End-to-end throughput in MB/s.
+    pub end_to_end_mbps: f64,
+    /// End-to-end × links, the paper's "total bandwidth".
+    pub total_mbps: f64,
+}
+
+/// Runs one chain of `nodes` nodes for `measure_secs` and returns the
+/// measured throughput.
+pub fn run_chain(nodes: usize, msg_bytes: usize, measure_secs: u64) -> ChainPoint {
+    assert!(nodes >= 2);
+    const APP: u32 = 1;
+    // Build back to front so every downstream exists before its upstream.
+    let sink = EngineNode::spawn(
+        EngineConfig::default().with_buffer_msgs(64),
+        Box::new(SinkApp::new()),
+    )
+    .expect("spawn sink");
+    let mut next = sink.id();
+    let mut relays = Vec::new();
+    for _ in 0..nodes.saturating_sub(2) {
+        let relay = EngineNode::spawn(
+            EngineConfig::default().with_buffer_msgs(64),
+            Box::new(StaticForwarder::new().route(APP, vec![next])),
+        )
+        .expect("spawn relay");
+        next = relay.id();
+        relays.push(relay);
+    }
+    let source = EngineNode::spawn(
+        EngineConfig::default().with_buffer_msgs(64),
+        Box::new(
+            SourceApp::new(APP, vec![next], msg_bytes, SourceMode::BackToBack)
+                .with_pump_interval(200_000) // saturate: refill every 0.2 ms
+                .deployed(),
+        ),
+    )
+    .expect("spawn source");
+
+    let sink_bytes = || -> u64 {
+        sink.status()
+            .and_then(|s| s.algorithm.get("bytes").and_then(|b| b.as_u64()))
+            .unwrap_or(0)
+    };
+    // Warm up, then measure a steady window.
+    thread::sleep(Duration::from_millis(1_000));
+    let start = sink_bytes();
+    thread::sleep(Duration::from_secs(measure_secs));
+    let got = sink_bytes().saturating_sub(start);
+
+    source.shutdown();
+    for r in relays {
+        r.shutdown();
+    }
+    sink.shutdown();
+
+    let end_to_end = got as f64 / (1024.0 * 1024.0) / measure_secs as f64;
+    ChainPoint {
+        nodes,
+        end_to_end_mbps: end_to_end,
+        total_mbps: end_to_end * (nodes - 1) as f64,
+    }
+}
+
+/// Paper reference points (nodes, end-to-end MBps) read from Fig. 5.
+pub const PAPER_POINTS: &[(usize, f64)] = &[
+    (2, 48.4),
+    (3, 23.4),
+    (4, 14.5),
+    (5, 10.1),
+    (6, 7.7),
+    (8, 5.0),
+    (12, 2.5),
+    (16, 1.6),
+    (32, 0.414),
+];
+
+/// Runs the full sweep and prints the Fig. 5 table.
+pub fn run(measure_secs: u64) -> Vec<ChainPoint> {
+    banner("fig5", "raw engine switching performance (chain of virtual nodes)");
+    let widths = [6, 16, 14, 18];
+    println!(
+        "{}",
+        row(
+            &[
+                "nodes".into(),
+                "end-to-end MB/s".into(),
+                "total MB/s".into(),
+                "paper e2e MB/s".into(),
+            ],
+            &widths
+        )
+    );
+    let mut out = Vec::new();
+    for &(nodes, paper) in PAPER_POINTS {
+        let point = run_chain(nodes, 5 * 1024, measure_secs);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{nodes}"),
+                    format!("{:.1}", point.end_to_end_mbps),
+                    format!("{:.1}", point.total_mbps),
+                    format!("{paper:.1}"),
+                ],
+                &widths
+            )
+        );
+        out.push(point);
+    }
+    println!(
+        "\nshape check: per-hop overhead at n=3 vs n=2 = {:.1}% (paper: 3.3%)",
+        (1.0 - out[1].total_mbps / out[0].total_mbps) * 100.0
+    );
+    out
+}

@@ -1,0 +1,97 @@
+//! `repro` — regenerates every table and figure of the iOverlay paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment> [...]
+//! repro all              # everything (slow: several minutes)
+//! repro quick            # one fast experiment per family
+//! ```
+//!
+//! Experiments: `fig5 fig6a fig6b fig6c fig6d fig7a fig7b fig8 table3
+//! fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 footprint`.
+
+use ioverlay_bench::{ablation, extensions, federation_exp, fig5, fig8, seven, tree_exp};
+
+fn run_one(id: &str) -> bool {
+    match id {
+        "fig5" => {
+            fig5::run(3);
+        }
+        "fig5-quick" => {
+            fig5::run(1);
+        }
+        "fig6a" => seven::fig6a(),
+        "fig6b" => seven::fig6b(),
+        "fig6c" => seven::fig6c(),
+        "fig6d" => seven::fig6d(),
+        "fig7a" => seven::fig7a(),
+        "fig7b" => seven::fig7b(),
+        "fig8" => {
+            fig8::run();
+        }
+        "table3" => tree_exp::table3(),
+        "fig9" => tree_exp::fig9(),
+        "fig11" => tree_exp::fig11(80),
+        "fig11-quick" => tree_exp::fig11(30),
+        "fig12" => tree_exp::topology_dot(9),
+        "fig13" => tree_exp::topology_dot(80),
+        "fig14" => federation_exp::fig14(),
+        "fig15" => federation_exp::fig15(),
+        "fig16" => federation_exp::fig16(),
+        "fig17" => federation_exp::fig17(),
+        "fig18" => federation_exp::fig18(),
+        "fig19" => federation_exp::fig19(),
+        "footprint" => seven::footprint(),
+        "ablation-buffers" => ablation::buffers(),
+        "ablation-gossip" => ablation::gossip(),
+        "ablation-detect" => ablation::detect(),
+        "ablation-wrr" => ablation::wrr(),
+        "ext-dht" => extensions::dht_scaling(),
+        "ext-churn" => extensions::churn(),
+        _ => return false,
+    }
+    true
+}
+
+const ALL: &[&str] = &[
+    "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig7a", "fig7b", "fig8", "table3", "fig9",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "footprint",
+    "ablation-buffers", "ablation-gossip", "ablation-detect", "ablation-wrr",
+    "ext-dht", "ext-churn",
+];
+
+const QUICK: &[&str] = &[
+    "fig5-quick",
+    "fig6a",
+    "fig8",
+    "table3",
+    "fig11-quick",
+    "fig15",
+    "footprint",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <experiment|all|quick> [...]");
+        eprintln!("experiments: {}", ALL.join(" "));
+        std::process::exit(2);
+    }
+    for arg in &args {
+        let list: &[&str] = match arg.as_str() {
+            "all" => ALL,
+            "quick" => QUICK,
+            other => {
+                if !run_one(other) {
+                    eprintln!("unknown experiment {other:?}; known: {}", ALL.join(" "));
+                    std::process::exit(2);
+                }
+                continue;
+            }
+        };
+        for id in list {
+            run_one(id);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! One-command deployment of many virtualized nodes.
+//!
+//! The paper: *"By taking advantage of the deployment scripts in
+//! iOverlay, we are able to deploy, run, terminate and collect data from
+//! all 81 nodes, with one command for each operation."* This module is
+//! the library form of those scripts for single-host (virtualized)
+//! deployments: spawn a fleet of engine nodes wired to one observer,
+//! push control commands to all of them, collect their status, and tear
+//! everything down.
+
+use std::io;
+
+use ioverlay_algorithms as algorithms;
+use ioverlay_api::{Algorithm, Msg, NodeId, StatusReport};
+use ioverlay_engine::{EngineConfig, EngineNode};
+use ioverlay_observer::{commands, dot, ObserverConfig, ObserverServer};
+
+/// A fleet of virtualized engine nodes sharing one observer.
+///
+/// # Example
+///
+/// ```no_run
+/// use ioverlay::cluster::LocalCluster;
+/// use ioverlay::algorithms::SinkApp;
+/// use ioverlay::engine::EngineConfig;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let mut cluster = LocalCluster::new()?;
+/// let ids = cluster.spawn_many(10, |_| {
+///     (EngineConfig::default(), Box::new(SinkApp::new()) as _)
+/// })?;
+/// println!("deployed {} nodes, observer at {}", ids.len(), cluster.observer_id());
+/// cluster.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct LocalCluster {
+    observer: ObserverServer,
+    nodes: Vec<EngineNode>,
+}
+
+impl LocalCluster {
+    /// Starts an observer (on an ephemeral port) and an empty fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from starting the observer.
+    pub fn new() -> io::Result<Self> {
+        Self::with_observer_config(ObserverConfig::default())
+    }
+
+    /// Starts the fleet with an explicit observer configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from starting the observer.
+    pub fn with_observer_config(config: ObserverConfig) -> io::Result<Self> {
+        Ok(Self {
+            observer: ObserverServer::spawn(config, 0)?,
+            nodes: Vec::new(),
+        })
+    }
+
+    /// The observer's address.
+    pub fn observer_id(&self) -> NodeId {
+        self.observer.id()
+    }
+
+    /// Direct access to the observer (statuses, traces, commands).
+    pub fn observer(&self) -> &ObserverServer {
+        &self.observer
+    }
+
+    /// Spawns one node running `algorithm`; its engine is wired to the
+    /// cluster observer automatically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the node's port.
+    pub fn spawn(
+        &mut self,
+        config: EngineConfig,
+        algorithm: Box<dyn Algorithm>,
+    ) -> io::Result<NodeId> {
+        let config = config.with_observer(self.observer.id());
+        let node = EngineNode::spawn(config, algorithm)?;
+        let id = node.id();
+        self.nodes.push(node);
+        Ok(id)
+    }
+
+    /// Spawns `count` nodes from a factory keyed by fleet index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first spawn failure; earlier nodes stay up.
+    pub fn spawn_many<F>(&mut self, count: usize, mut factory: F) -> io::Result<Vec<NodeId>>
+    where
+        F: FnMut(usize) -> (EngineConfig, Box<dyn Algorithm>),
+    {
+        let mut ids = Vec::with_capacity(count);
+        for i in 0..count {
+            let (config, alg) = factory(i);
+            ids.push(self.spawn(config, alg)?);
+        }
+        Ok(ids)
+    }
+
+    /// Ids of all fleet nodes, in spawn order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(EngineNode::id).collect()
+    }
+
+    /// Sends a control message to one node via its local handle.
+    pub fn send(&self, node: NodeId, msg: Msg) {
+        if let Some(n) = self.nodes.iter().find(|n| n.id() == node) {
+            n.send_control(msg);
+        }
+    }
+
+    /// Broadcasts a control message to the whole fleet — the "one
+    /// command for each operation" deployment primitive.
+    pub fn broadcast(&self, msg: &Msg) {
+        for n in &self.nodes {
+            n.send_control(msg.clone());
+        }
+    }
+
+    /// Deploys an application source on one node.
+    pub fn deploy_source(&self, node: NodeId, app: u32) {
+        self.send(node, commands::deploy_source(app));
+    }
+
+    /// Collects a fresh status report from every node.
+    pub fn collect_statuses(&self) -> Vec<StatusReport> {
+        self.nodes.iter().filter_map(EngineNode::status).collect()
+    }
+
+    /// Renders the current fleet topology as Graphviz DOT.
+    pub fn topology_dot(&self) -> String {
+        dot::to_dot(&self.collect_statuses())
+    }
+
+    /// Convenience re-export so cluster users can build stock apps
+    /// without importing the algorithms crate.
+    pub fn sink() -> Box<dyn Algorithm> {
+        Box::new(algorithms::SinkApp::new())
+    }
+
+    /// Terminates every node, then the observer.
+    pub fn shutdown(self) {
+        for node in self.nodes {
+            node.shutdown();
+        }
+        self.observer.shutdown();
+    }
+}
+
+impl std::fmt::Debug for LocalCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalCluster")
+            .field("observer", &self.observer.id())
+            .field("nodes", &self.node_ids())
+            .finish()
+    }
+}

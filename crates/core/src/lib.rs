@@ -1,0 +1,90 @@
+//! # ioverlay — a lightweight middleware infrastructure for overlay applications
+//!
+//! A Rust reproduction of **iOverlay** (Li, Guo, Wang — *Middleware
+//! 2004*): a middleware layer that removes the *"mundane and tedious —
+//! and at worst challenging"* plumbing from application-layer overlay
+//! research, so that only the algorithm itself has to be written.
+//!
+//! ## The three layers
+//!
+//! The paper splits a distributed overlay application into three layers,
+//! and so does this crate:
+//!
+//! 1. **the engine** ([`engine`]) — a multi-threaded application-layer
+//!    message switch on every node: persistent connections, bounded
+//!    circular buffers, weighted-round-robin switching, zero-copy
+//!    forwarding, failure detection, QoS measurement, and bandwidth
+//!    emulation;
+//! 2. **the algorithm** ([`api::Algorithm`]) — your protocol, written as
+//!    a single-threaded, reactive message handler that knows exactly one
+//!    engine function: [`api::Context::send`];
+//! 3. **the application** ([`algorithms::SourceApp`],
+//!    [`algorithms::SinkApp`], …) — the producers and consumers of data
+//!    payloads.
+//!
+//! A fourth piece, the **observer** ([`observer`]), is the centralized
+//! bootstrap/monitoring/control facility, and the **simulator**
+//! ([`simnet`]) is a deterministic stand-in for a wide-area testbed:
+//! algorithms run unchanged on either runtime.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ioverlay::api::{Algorithm, Context, Msg, MsgType, NodeId};
+//! use ioverlay::simnet::{NodeBandwidth, Rate, SimBuilder};
+//! use ioverlay::algorithms::{SinkApp, SourceApp, SourceMode, StaticForwarder};
+//!
+//! // Build a three-node overlay in the simulator: source -> relay -> sink.
+//! let (a, b, c) = (NodeId::loopback(1), NodeId::loopback(2), NodeId::loopback(3));
+//! let mut sim = SimBuilder::new(7).build();
+//! sim.add_node(c, NodeBandwidth::unlimited(), Box::new(SinkApp::new()));
+//! sim.add_node(b, NodeBandwidth::unlimited(), Box::new(StaticForwarder::new().route(1, vec![c])));
+//! sim.add_node(
+//!     a,
+//!     NodeBandwidth::total_only(Rate::kbps(400)),
+//!     Box::new(SourceApp::new(1, vec![b], 5 * 1024, SourceMode::BackToBack).deployed()),
+//! );
+//! sim.run_for(10_000_000_000); // ten virtual seconds
+//! assert!(sim.metrics().received_bytes(c, 1) > 0);
+//! ```
+//!
+//! The same `StaticForwarder`/`SourceApp`/`SinkApp` run on real TCP via
+//! [`engine::EngineNode::spawn`].
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`message`] | 24-byte-header wire format, zero-copy payloads |
+//! | [`queue`] | thread-safe circular queues, weighted round-robin |
+//! | [`gf256`] | GF(2⁸) arithmetic and linear network coding |
+//! | [`ratelimit`] | token buckets, bandwidth profiles, throughput meters |
+//! | [`api`] | the `Algorithm`/`Context` contract |
+//! | [`engine`] | the real multi-threaded TCP message switch |
+//! | [`simnet`] | the deterministic discrete-event runtime |
+//! | [`algorithms`] | `iAlgorithm` base + the paper's case studies |
+//! | [`observer`] | bootstrap, status collection, control, traces, DOT |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+
+pub use ioverlay_algorithms as algorithms;
+pub use ioverlay_api as api;
+pub use ioverlay_engine as engine;
+pub use ioverlay_gf256 as gf256;
+pub use ioverlay_message as message;
+pub use ioverlay_observer as observer;
+pub use ioverlay_queue as queue;
+pub use ioverlay_ratelimit as ratelimit;
+pub use ioverlay_simnet as simnet;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use ioverlay_algorithms::{IAlgorithmBase, SinkApp, SourceApp, SourceMode, StaticForwarder};
+    pub use ioverlay_api::{Algorithm, AppId, Context, Msg, MsgType, NodeId};
+    pub use ioverlay_engine::{EngineConfig, EngineNode};
+    pub use ioverlay_ratelimit::{NodeBandwidth, Rate};
+    pub use ioverlay_simnet::{Sim, SimBuilder};
+}

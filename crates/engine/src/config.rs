@@ -1,0 +1,111 @@
+//! Engine node configuration.
+
+use ioverlay_api::{Nanos, NodeId};
+use ioverlay_ratelimit::NodeBandwidth;
+
+/// Configuration for one [`crate::EngineNode`].
+///
+/// The defaults mirror the paper's experimental setup: 10-message
+/// buffers, one-second measurement intervals, and no emulated bandwidth
+/// limits.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Port to listen on; 0 lets the OS choose (*"the port number may be
+    /// explicitly specified at start-up time; otherwise, the engine
+    /// chooses one of the available ports"*).
+    pub port: u16,
+    /// Capacity of each receiver and sender buffer, in messages.
+    pub buffer_msgs: usize,
+    /// Emulated bandwidth profile for this node.
+    pub bandwidth: NodeBandwidth,
+    /// Interval between QoS measurement reports.
+    pub measure_interval: Nanos,
+    /// Averaging window for throughput meters.
+    pub measure_window: Nanos,
+    /// If set, a data link idle for longer than this is declared failed
+    /// (the paper's *"long consecutive periods of traffic inactivity"*
+    /// detector). `None` disables inactivity detection.
+    pub inactivity_timeout: Option<Nanos>,
+    /// Observer to bootstrap against, if any.
+    pub observer: Option<NodeId>,
+    /// RNG seed for the algorithm-visible randomness.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            port: 0,
+            buffer_msgs: 10,
+            bandwidth: NodeBandwidth::unlimited(),
+            measure_interval: 1_000_000_000,
+            measure_window: 4_000_000_000,
+            inactivity_timeout: None,
+            observer: None,
+            seed: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Starts from defaults with an explicit port.
+    pub fn on_port(port: u16) -> Self {
+        Self {
+            port,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the buffer capacity (builder style).
+    pub fn with_buffer_msgs(mut self, cap: usize) -> Self {
+        self.buffer_msgs = cap;
+        self
+    }
+
+    /// Sets the emulated bandwidth profile (builder style).
+    pub fn with_bandwidth(mut self, bandwidth: NodeBandwidth) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Sets the observer address (builder style).
+    pub fn with_observer(mut self, observer: NodeId) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioverlay_ratelimit::Rate;
+
+    #[test]
+    fn builder_style_composition() {
+        let cfg = EngineConfig::on_port(7777)
+            .with_buffer_msgs(5)
+            .with_bandwidth(NodeBandwidth::total_only(Rate::kbps(400)))
+            .with_observer(NodeId::loopback(9000))
+            .with_seed(7);
+        assert_eq!(cfg.port, 7777);
+        assert_eq!(cfg.buffer_msgs, 5);
+        assert_eq!(cfg.bandwidth.total(), Some(Rate::kbps(400)));
+        assert_eq!(cfg.observer, Some(NodeId::loopback(9000)));
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn defaults_are_paperlike() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.port, 0);
+        assert_eq!(cfg.buffer_msgs, 10);
+        assert!(cfg.bandwidth.is_unlimited());
+        assert!(cfg.inactivity_timeout.is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! The engine-backed `Context` handed to algorithms.
+
+use ioverlay_api::{Context, Msg, Nanos, NodeId, TimerToken};
+
+/// Effects staged by an algorithm during one callback; the engine thread
+/// applies them after the callback returns. This keeps the algorithm
+/// strictly reactive and single-threaded, as the paper requires.
+#[derive(Debug, Default)]
+pub(crate) struct StagedEffects {
+    pub sends: Vec<(Msg, NodeId)>,
+    pub observer_msgs: Vec<Msg>,
+    pub timers: Vec<(Nanos, TimerToken)>,
+    pub probes: Vec<NodeId>,
+    pub closes: Vec<NodeId>,
+}
+
+/// A read-only snapshot of the node plus a staging area, implementing
+/// [`Context`] for the real engine.
+pub(crate) struct EngineCtx<'a> {
+    pub id: NodeId,
+    pub now: Nanos,
+    pub observer: Option<NodeId>,
+    pub buffer_capacity: usize,
+    /// `(dest, depth)` snapshot of sender links taken before the callback.
+    pub backlogs: &'a [(NodeId, usize)],
+    pub rng: &'a mut rand::rngs::StdRng,
+    pub staged: StagedEffects,
+}
+
+impl Context for EngineCtx<'_> {
+    fn local_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn now(&self) -> Nanos {
+        self.now
+    }
+
+    fn send(&mut self, msg: Msg, dest: NodeId) {
+        self.staged.sends.push((msg, dest));
+    }
+
+    fn send_to_observer(&mut self, msg: Msg) {
+        self.staged.observer_msgs.push(msg);
+    }
+
+    fn set_timer(&mut self, delay: Nanos, token: TimerToken) {
+        self.staged.timers.push((delay, token));
+    }
+
+    fn backlog(&self, dest: NodeId) -> Option<usize> {
+        let staged = self
+            .staged
+            .sends
+            .iter()
+            .filter(|(_, d)| *d == dest)
+            .count();
+        match self.backlogs.iter().find(|(d, _)| *d == dest) {
+            Some((_, depth)) => Some(depth + staged),
+            None if staged > 0 => Some(staged),
+            None => None,
+        }
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        self.buffer_capacity
+    }
+
+    fn probe_rtt(&mut self, peer: NodeId) {
+        self.staged.probes.push(peer);
+    }
+
+    fn close_link(&mut self, peer: NodeId) {
+        self.staged.closes.push(peer);
+    }
+
+    fn observer(&self) -> Option<NodeId> {
+        self.observer
+    }
+
+    fn random_u64(&mut self) -> u64 {
+        use rand::Rng;
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioverlay_api::MsgType;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backlog_includes_staged_sends() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let dest = NodeId::loopback(2);
+        let backlogs = vec![(dest, 3)];
+        let mut ctx = EngineCtx {
+            id: NodeId::loopback(1),
+            now: 0,
+            observer: None,
+            buffer_capacity: 10,
+            backlogs: &backlogs,
+            rng: &mut rng,
+            staged: StagedEffects::default(),
+        };
+        assert_eq!(ctx.backlog(dest), Some(3));
+        ctx.send(Msg::control(MsgType::Data, NodeId::loopback(1), 0), dest);
+        assert_eq!(ctx.backlog(dest), Some(4));
+        let ghost = NodeId::loopback(9);
+        assert_eq!(ctx.backlog(ghost), None);
+        ctx.send(Msg::control(MsgType::Data, NodeId::loopback(1), 0), ghost);
+        assert_eq!(ctx.backlog(ghost), Some(1));
+    }
+}

@@ -1,0 +1,966 @@
+//! The engine thread: control polling, switching, timers, measurement.
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, VecDeque};
+use std::io::{BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
+use ioverlay_api::{
+    Algorithm, AppId, BandwidthScope, ControlParams, LinkDirection, Msg, MsgType, Nanos, NodeId,
+    SetBandwidthPayload, StatusReport, ThroughputPayload, TimerToken,
+};
+use ioverlay_message::{read_msg, write_msg};
+use ioverlay_queue::{CircularQueue, WeightedRoundRobin};
+use ioverlay_ratelimit::{
+    BucketChain, Clock, Rate, SharedBucket, SystemClock, ThroughputMeter, TokenBucket,
+};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::EngineConfig;
+use crate::ctx::{EngineCtx, StagedEffects};
+use crate::peer::{
+    connect_to_peer, run_receiver, run_sender, ControlEvent, ReceiverLink, SenderLink,
+};
+
+/// Rate standing in for "unlimited".
+fn unlimited_rate() -> Rate {
+    Rate::bytes_per_sec(1 << 50)
+}
+
+fn make_bucket(rate: Option<Rate>, now: Nanos) -> SharedBucket {
+    let r = rate.unwrap_or_else(unlimited_rate);
+    BucketChain::shared(TokenBucket::with_burst(
+        r,
+        (r.as_bytes_per_sec() / 8).max(64 * 1024),
+        now,
+    ))
+}
+
+/// Everything the engine thread owns.
+pub(crate) struct EngineState {
+    pub id: NodeId,
+    pub config: EngineConfig,
+    pub clock: Arc<SystemClock>,
+    pub alg: Option<Box<dyn Algorithm>>,
+    pub receivers: BTreeMap<NodeId, ReceiverLink>,
+    pub senders: BTreeMap<NodeId, SenderLink>,
+    /// Per-downstream link bucket (part of that sender's chain), kept for
+    /// runtime retuning.
+    pub link_buckets: HashMap<NodeId, SharedBucket>,
+    pub up_bucket: SharedBucket,
+    pub down_bucket: SharedBucket,
+    pub total_bucket: SharedBucket,
+    pub wrr: WeightedRoundRobin<NodeId>,
+    pub blocked: BTreeMap<NodeId, Vec<(Msg, NodeId)>>,
+    pub local_inbox: VecDeque<Msg>,
+    pub timers: BinaryHeap<std::cmp::Reverse<(Nanos, u64, TimerToken)>>,
+    pub timer_seq: u64,
+    pub app_upstreams: HashMap<AppId, BTreeSet<NodeId>>,
+    pub app_downstreams: HashMap<AppId, BTreeSet<NodeId>>,
+    pub rng: StdRng,
+    pub switched: u64,
+    pub running: bool,
+    pub events_tx: Sender<ControlEvent>,
+    pub next_measure: Nanos,
+    /// Outstanding RTT probes: probe id -> (peer, sent-at).
+    pub probes: HashMap<u32, (NodeId, Nanos)>,
+    pub probe_seq: u32,
+    /// Rotates the blocked-fanout retry order (upstream fairness).
+    pub retry_rotor: u64,
+}
+
+impl EngineState {
+    pub(crate) fn new(
+        id: NodeId,
+        config: EngineConfig,
+        alg: Box<dyn Algorithm>,
+        events_tx: Sender<ControlEvent>,
+    ) -> Self {
+        let clock = Arc::new(SystemClock::new());
+        let now = clock.now();
+        let bw = config.bandwidth;
+        let seed = config.seed ^ u64::from(id.port());
+        let measure = config.measure_interval;
+        Self {
+            id,
+            config,
+            clock,
+            alg: Some(alg),
+            receivers: BTreeMap::new(),
+            senders: BTreeMap::new(),
+            link_buckets: HashMap::new(),
+            up_bucket: make_bucket(bw.up(), now),
+            down_bucket: make_bucket(bw.down(), now),
+            total_bucket: make_bucket(bw.total(), now),
+            wrr: WeightedRoundRobin::new(),
+            blocked: BTreeMap::new(),
+            local_inbox: VecDeque::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            app_upstreams: HashMap::new(),
+            app_downstreams: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            switched: 0,
+            running: true,
+            events_tx,
+            next_measure: now + measure,
+            probes: HashMap::new(),
+            probe_seq: 0,
+            retry_rotor: 0,
+        }
+    }
+
+    fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+
+    // ------------------------------------------------------------------
+    // algorithm invocation
+    // ------------------------------------------------------------------
+
+    fn run_algorithm<F>(&mut self, from_upstream: Option<NodeId>, f: F)
+    where
+        F: FnOnce(&mut dyn Algorithm, &mut EngineCtx<'_>),
+    {
+        let Some(mut alg) = self.alg.take() else {
+            return;
+        };
+        let backlogs: Vec<(NodeId, usize)> = self
+            .senders
+            .iter()
+            .map(|(&d, s)| (d, s.depth()))
+            .collect();
+        let staged = {
+            let mut ctx = EngineCtx {
+                id: self.id,
+                now: self.now(),
+                observer: self.config.observer,
+                buffer_capacity: self.config.buffer_msgs,
+                backlogs: &backlogs,
+                rng: &mut self.rng,
+                staged: StagedEffects::default(),
+            };
+            f(alg.as_mut(), &mut ctx);
+            ctx.staged
+        };
+        self.alg = Some(alg);
+        self.apply_staged(from_upstream, staged);
+    }
+
+    fn apply_staged(&mut self, from_upstream: Option<NodeId>, staged: StagedEffects) {
+        for (msg, dest) in staged.sends {
+            if !self.enqueue_send(dest, msg.clone(), from_upstream) {
+                if let Some(up) = from_upstream {
+                    self.blocked.entry(up).or_default().push((msg, dest));
+                }
+            }
+        }
+        for msg in staged.observer_msgs {
+            if let Some(observer) = self.config.observer {
+                // The observer connection is an ordinary persistent link.
+                let _ = self.enqueue_send(observer, msg, None);
+            }
+        }
+        let now = self.now();
+        for (delay, token) in staged.timers {
+            self.timer_seq += 1;
+            self.timers
+                .push(std::cmp::Reverse((now + delay, self.timer_seq, token)));
+        }
+        for peer in staged.probes {
+            self.probe_seq += 1;
+            let seq = self.probe_seq;
+            self.probes.insert(seq, (peer, now));
+            let ping = Msg::new(MsgType::Ping, self.id, 0, seq, bytes::Bytes::new());
+            let _ = self.enqueue_send(peer, ping, None);
+        }
+        for peer in staged.closes {
+            self.close_downstream(peer, true);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // send path
+    // ------------------------------------------------------------------
+
+    /// Queues `msg` toward `dest`, dialing a persistent connection on
+    /// first use. Returns `false` when a *forwarded* message found the
+    /// sender buffer full (the caller records it as blocked).
+    fn enqueue_send(&mut self, dest: NodeId, msg: Msg, from_upstream: Option<NodeId>) -> bool {
+        if dest == self.id {
+            return true; // self-sends are consumed
+        }
+        if !self.senders.contains_key(&dest) && !self.open_sender(dest) {
+            // Connection failed; the engine already notified the
+            // algorithm. The message is consumed (lost).
+            return true;
+        }
+        let is_data = msg.ty() == MsgType::Data;
+        let app = msg.app();
+        let sender = self.senders.get_mut(&dest).expect("just ensured");
+        let accepted = if from_upstream.is_some() {
+            sender.queue.try_push(msg).is_ok()
+        } else {
+            match sender.queue.try_push(msg) {
+                Ok(()) => true,
+                Err(e) => {
+                    // Locally originated: park in the unbounded pending
+                    // list; sources self-pace via Context::backlog.
+                    sender.pending.push_back(e.into_inner());
+                    true
+                }
+            }
+        };
+        if accepted && is_data {
+            self.app_downstreams.entry(app).or_default().insert(dest);
+        }
+        accepted
+    }
+
+    /// Dials `dest` and spawns its sender thread. On failure, notifies
+    /// the algorithm with `NeighborFailed` and returns `false`.
+    fn open_sender(&mut self, dest: NodeId) -> bool {
+        match connect_to_peer(self.id, dest) {
+            Ok(stream) => {
+                let queue = CircularQueue::with_capacity(self.config.buffer_msgs);
+                let meter = Arc::new(Mutex::new(ThroughputMeter::new(
+                    self.config.measure_window,
+                )));
+                let link_bucket = make_bucket(None, self.now());
+                let mut chain = BucketChain::new();
+                chain.push(link_bucket.clone());
+                chain.push(self.up_bucket.clone());
+                chain.push(self.total_bucket.clone());
+                self.link_buckets.insert(dest, link_bucket);
+                let thread = {
+                    let stream = match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return false,
+                    };
+                    let queue = queue.clone();
+                    let meter = meter.clone();
+                    let clock = self.clock.clone();
+                    let events = self.events_tx.clone();
+                    thread::Builder::new()
+                        .name(format!("snd-{dest}"))
+                        .spawn(move || run_sender(dest, stream, queue, meter, chain, clock, events))
+                        .expect("spawn sender thread")
+                };
+                self.senders.insert(
+                    dest,
+                    SenderLink {
+                        queue,
+                        pending: VecDeque::new(),
+                        meter,
+                        stream,
+                        thread: Some(thread),
+                    },
+                );
+                self.local_inbox
+                    .push_back(Msg::control(MsgType::DownstreamJoined, dest, 0));
+                true
+            }
+            Err(_) => {
+                self.local_inbox
+                    .push_back(Msg::control(MsgType::NeighborFailed, dest, 0));
+                false
+            }
+        }
+    }
+
+    /// Moves parked local messages into sender buffers as space frees.
+    fn flush_pending(&mut self) {
+        for sender in self.senders.values_mut() {
+            while let Some(msg) = sender.pending.pop_front() {
+                if let Err(e) = sender.queue.try_push(msg) {
+                    sender.pending.push_front(e.into_inner());
+                    break;
+                }
+            }
+        }
+    }
+
+    fn retry_blocked(&mut self) {
+        let mut keys: Vec<NodeId> = self.blocked.keys().copied().collect();
+        // Rotate the retry order so competing upstreams take turns at a
+        // freed sender slot instead of the smallest id always winning.
+        if !keys.is_empty() {
+            let shift = (self.retry_rotor as usize) % keys.len();
+            keys.rotate_left(shift);
+            self.retry_rotor = self.retry_rotor.wrapping_add(1);
+        }
+        for up in keys {
+            let Some(sends) = self.blocked.remove(&up) else {
+                continue;
+            };
+            let mut still = Vec::new();
+            for (msg, dest) in sends {
+                if !self.enqueue_send(dest, msg.clone(), Some(up)) {
+                    still.push((msg, dest));
+                }
+            }
+            if !still.is_empty() {
+                self.blocked.insert(up, still);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // switch
+    // ------------------------------------------------------------------
+
+    /// One switching round: services receive buffers in WRR order until
+    /// everything is blocked or drained, bounded by `budget` messages.
+    /// Returns how many messages were switched.
+    fn switch_round(&mut self, budget: usize) -> usize {
+        let mut moved = 0;
+        while moved < budget {
+            self.retry_blocked();
+            if let Some(msg) = self.local_inbox.pop_front() {
+                self.dispatch_to_algorithm(None, msg);
+                moved += 1;
+                continue;
+            }
+            let Some(up) = self.pick_upstream() else { break };
+            let Some(msg) = self
+                .receivers
+                .get_mut(&up)
+                .and_then(|r| r.queue.try_pop())
+            else {
+                continue;
+            };
+            self.switched += 1;
+            moved += 1;
+            self.dispatch_to_algorithm(Some(up), msg);
+        }
+        moved
+    }
+
+    fn pick_upstream(&mut self) -> Option<NodeId> {
+        let candidates = self.wrr.len();
+        for _ in 0..candidates {
+            let up = *self.wrr.next()?;
+            let eligible = !self.blocked.contains_key(&up)
+                && self
+                    .receivers
+                    .get(&up)
+                    .is_some_and(|r| !r.queue.is_empty());
+            if eligible {
+                return Some(up);
+            }
+        }
+        None
+    }
+
+    /// Applies middleware semantics, then hands the message to the
+    /// algorithm — the `Engine::process` / `Algorithm::process` split of
+    /// Table 1.
+    fn dispatch_to_algorithm(&mut self, from_upstream: Option<NodeId>, msg: Msg) {
+        match msg.ty() {
+            MsgType::Data => {
+                if let Some(up) = from_upstream {
+                    self.app_upstreams.entry(msg.app()).or_default().insert(up);
+                }
+            }
+            MsgType::Hello => return, // connection plumbing, not for the algorithm
+            MsgType::Ping => {
+                // Engine-level: reply immediately with the same seq.
+                let pong = Msg::new(MsgType::Pong, self.id, 0, msg.seq(), bytes::Bytes::new());
+                let _ = self.enqueue_send(msg.origin(), pong, None);
+                return;
+            }
+            MsgType::Pong => {
+                // Resolve the probe and deliver the RTT to the algorithm.
+                if let Some((peer, sent)) = self.probes.remove(&msg.seq()) {
+                    let rtt_micros =
+                        i32::try_from((self.now().saturating_sub(sent)) / 1_000).unwrap_or(i32::MAX);
+                    let report = Msg::new(
+                        MsgType::Pong,
+                        peer,
+                        0,
+                        msg.seq(),
+                        ControlParams::new(Some(rtt_micros), None).encode(),
+                    );
+                    self.run_algorithm(None, |alg, ctx| alg.on_message(ctx, report));
+                }
+                return;
+            }
+            MsgType::SetBandwidth => {
+                self.apply_set_bandwidth(&msg);
+                return;
+            }
+            MsgType::Request => {
+                // The engine answers status requests itself (the report
+                // includes the algorithm's own status extension), then
+                // still shows the request to the algorithm.
+                if let Some(observer) = self.config.observer {
+                    let report = self.status_report();
+                    let status =
+                        Msg::new(MsgType::Status, self.id, 0, 0, report.encode());
+                    let _ = self.enqueue_send(observer, status, None);
+                }
+            }
+            MsgType::Terminate => {
+                self.running = false;
+                return;
+            }
+            MsgType::BrokenSource => {
+                if let Some(up) = from_upstream {
+                    self.domino_broken_source(msg.app(), up);
+                }
+            }
+            _ => {}
+        }
+        self.run_algorithm(from_upstream, |alg, ctx| alg.on_message(ctx, msg));
+    }
+
+    fn apply_set_bandwidth(&mut self, msg: &Msg) {
+        let Ok(payload) = SetBandwidthPayload::decode(msg.payload()) else {
+            return;
+        };
+        let rate = payload.kbps.map(Rate::kbps).unwrap_or_else(unlimited_rate);
+        let now = self.now();
+        match payload.scope {
+            BandwidthScope::NodeTotal => self.total_bucket.lock().set_rate(rate, now),
+            BandwidthScope::NodeUp => self.up_bucket.lock().set_rate(rate, now),
+            BandwidthScope::NodeDown => self.down_bucket.lock().set_rate(rate, now),
+            BandwidthScope::Link(peer) => {
+                if let Some(bucket) = self.link_buckets.get(&peer) {
+                    bucket.lock().set_rate(rate, now);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // failures and teardown
+    // ------------------------------------------------------------------
+
+    fn domino_broken_source(&mut self, app: AppId, gone_upstream: NodeId) {
+        let ups = self.app_upstreams.entry(app).or_default();
+        ups.remove(&gone_upstream);
+        if !ups.is_empty() {
+            return;
+        }
+        let downstreams: Vec<NodeId> = self
+            .app_downstreams
+            .remove(&app)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        for dest in downstreams {
+            let broken = Msg::control(MsgType::BrokenSource, self.id, app);
+            let _ = self.enqueue_send(dest, broken, None);
+        }
+    }
+
+    pub(crate) fn handle_upstream_failed(&mut self, peer: NodeId) {
+        let Some(mut link) = self.receivers.remove(&peer) else {
+            return;
+        };
+        link.close();
+        self.wrr.remove(&peer);
+        self.blocked.remove(&peer);
+        let mut broken_apps = Vec::new();
+        for (app, ups) in self.app_upstreams.iter_mut() {
+            if ups.remove(&peer) && ups.is_empty() {
+                broken_apps.push(*app);
+            }
+        }
+        self.local_inbox
+            .push_back(Msg::control(MsgType::NeighborFailed, peer, 0));
+        for app in broken_apps {
+            let downstreams: Vec<NodeId> = self
+                .app_downstreams
+                .remove(&app)
+                .map(|s| s.into_iter().collect())
+                .unwrap_or_default();
+            for dest in downstreams {
+                let broken = Msg::control(MsgType::BrokenSource, self.id, app);
+                let _ = self.enqueue_send(dest, broken, None);
+            }
+            self.local_inbox
+                .push_back(Msg::control(MsgType::BrokenSource, peer, app));
+        }
+    }
+
+    pub(crate) fn close_downstream(&mut self, peer: NodeId, notify_alg: bool) {
+        if let Some(mut link) = self.senders.remove(&peer) {
+            link.close();
+        }
+        self.link_buckets.remove(&peer);
+        for set in self.app_downstreams.values_mut() {
+            set.remove(&peer);
+        }
+        if notify_alg {
+            self.local_inbox
+                .push_back(Msg::control(MsgType::NeighborFailed, peer, 0));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // measurement
+    // ------------------------------------------------------------------
+
+    fn measure_tick(&mut self) {
+        let now = self.now();
+        let mut reports: Vec<Msg> = Vec::new();
+        let mut dead_upstreams: Vec<NodeId> = Vec::new();
+        for (&peer, link) in self.receivers.iter() {
+            let mut meter = link.meter.lock();
+            let kbps = meter.rate_kbps(now);
+            if let (Some(timeout), Some(idle)) =
+                (self.config.inactivity_timeout, meter.idle_for(now))
+            {
+                if idle > timeout {
+                    dead_upstreams.push(peer);
+                }
+            }
+            let payload = ThroughputPayload {
+                peer,
+                direction: LinkDirection::Upstream,
+                kbps,
+                lost_msgs: 0,
+            };
+            reports.push(Msg::new(
+                MsgType::UpThroughput,
+                self.id,
+                0,
+                0,
+                payload.encode(),
+            ));
+        }
+        for (&peer, link) in self.senders.iter() {
+            let kbps = link.meter.lock().rate_kbps(now);
+            let payload = ThroughputPayload {
+                peer,
+                direction: LinkDirection::Downstream,
+                kbps,
+                lost_msgs: 0,
+            };
+            reports.push(Msg::new(
+                MsgType::DownThroughput,
+                self.id,
+                0,
+                0,
+                payload.encode(),
+            ));
+        }
+        self.local_inbox.extend(reports);
+        for peer in dead_upstreams {
+            self.handle_upstream_failed(peer);
+        }
+        self.next_measure = now + self.config.measure_interval;
+    }
+
+    fn fire_due_timers(&mut self) {
+        let now = self.now();
+        while let Some(std::cmp::Reverse((at, _, token))) = self.timers.peek().copied() {
+            if at > now {
+                break;
+            }
+            self.timers.pop();
+            self.run_algorithm(None, |alg, ctx| alg.on_timer(ctx, token));
+        }
+    }
+
+    pub(crate) fn status_report(&mut self) -> StatusReport {
+        let now = self.now();
+        let recv_buffers: Vec<(NodeId, usize)> = self
+            .receivers
+            .iter()
+            .map(|(&p, r)| (p, r.queue.len()))
+            .collect();
+        let send_buffers: Vec<(NodeId, usize)> = self
+            .senders
+            .iter()
+            .map(|(&p, s)| (p, s.depth()))
+            .collect();
+        let link_kbps: Vec<(NodeId, f64)> = self
+            .senders
+            .iter()
+            .map(|(&p, s)| (p, s.meter.lock().rate_kbps(now)))
+            .collect();
+        StatusReport {
+            node: Some(self.id),
+            upstreams: self.receivers.keys().copied().collect(),
+            downstreams: self.senders.keys().copied().collect(),
+            recv_buffers,
+            send_buffers,
+            link_kbps,
+            switched_msgs: self.switched,
+            algorithm: self
+                .alg
+                .as_ref()
+                .map(|a| a.status())
+                .unwrap_or(serde_json::Value::Null),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // bootstrap
+    // ------------------------------------------------------------------
+
+    fn bootstrap(&mut self) {
+        let Some(observer) = self.config.observer else {
+            return;
+        };
+        let boot = Msg::control(MsgType::Boot, self.id, 0);
+        let reply = (|| -> std::io::Result<Option<Msg>> {
+            let stream = TcpStream::connect_timeout(
+                &observer.to_socket_addr(),
+                Duration::from_secs(2),
+            )?;
+            stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+            let mut w = BufWriter::new(stream.try_clone()?);
+            write_msg(&mut w, &boot)?;
+            w.flush()?;
+            read_msg(&stream)
+        })();
+        if let Ok(Some(reply)) = reply {
+            self.local_inbox.push_back(reply);
+        }
+    }
+}
+
+/// Runs the engine thread until termination; returns after teardown.
+pub(crate) fn run_engine(mut state: EngineState, events_rx: Receiver<ControlEvent>) {
+    state.bootstrap();
+    state.run_algorithm(None, |alg, ctx| alg.on_start(ctx));
+    while state.running {
+        // Decide how long to sleep: zero if there is switchable work.
+        let has_work = !state.local_inbox.is_empty()
+            || state
+                .receivers
+                .iter()
+                .any(|(up, r)| !r.queue.is_empty() && !state.blocked.contains_key(up));
+        let now = state.now();
+        let next_timer = state
+            .timers
+            .peek()
+            .map(|std::cmp::Reverse((at, _, _))| *at)
+            .unwrap_or(u64::MAX);
+        let wake_at = next_timer.min(state.next_measure);
+        let timeout = if has_work {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(wake_at.saturating_sub(now).min(5_000_000))
+        };
+        match events_rx.recv_timeout(timeout) {
+            Ok(event) => {
+                handle_event(&mut state, event);
+                // Drain whatever else is queued without sleeping.
+                while let Ok(event) = events_rx.try_recv() {
+                    handle_event(&mut state, event);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        state.flush_pending();
+        state.switch_round(1024);
+        state.fire_due_timers();
+        if state.now() >= state.next_measure {
+            state.measure_tick();
+        }
+    }
+    // Graceful teardown: close every link; socket threads exit on their
+    // own (closed queues / dead sockets).
+    let downstreams: Vec<NodeId> = state.senders.keys().copied().collect();
+    for peer in downstreams {
+        state.close_downstream(peer, false);
+    }
+    let upstreams: Vec<NodeId> = state.receivers.keys().copied().collect();
+    for peer in upstreams {
+        if let Some(mut link) = state.receivers.remove(&peer) {
+            link.close();
+        }
+    }
+}
+
+fn handle_event(state: &mut EngineState, event: ControlEvent) {
+    match event {
+        ControlEvent::Incoming(msg) => state.local_inbox.push_back(msg),
+        ControlEvent::UpstreamOpened {
+            peer,
+            queue,
+            meter,
+            stream,
+        } => {
+            state.receivers.insert(
+                peer,
+                ReceiverLink {
+                    queue,
+                    meter,
+                    stream,
+                },
+            );
+            state.wrr.set_weight(peer, 1);
+            state
+                .local_inbox
+                .push_back(Msg::control(MsgType::UpstreamJoined, peer, 0));
+        }
+        ControlEvent::UpstreamFailed(peer) => state.handle_upstream_failed(peer),
+        ControlEvent::DownstreamFailed(peer) => state.close_downstream(peer, true),
+        ControlEvent::DataAvailable => {}
+        ControlEvent::StatusRequest(reply) => {
+            let _ = reply.send(state.status_report());
+        }
+        ControlEvent::Shutdown => state.running = false,
+    }
+}
+
+/// Runs the listener thread: accepts persistent (hello-prefixed) and
+/// one-shot control connections on the node's publicized port.
+#[allow(clippy::too_many_arguments)] // thread entry point: takes its full wiring
+pub(crate) fn run_listener(
+    local: NodeId,
+    listener: TcpListener,
+    buffer_msgs: usize,
+    measure_window: Nanos,
+    down_chain_template: (SharedBucket, SharedBucket),
+    clock: Arc<SystemClock>,
+    events: Sender<ControlEvent>,
+    running: Arc<AtomicBool>,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("listener nonblocking");
+    while running.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let events = events.clone();
+                let clock = clock.clone();
+                let (down, total) = down_chain_template.clone();
+                thread::Builder::new()
+                    .name(format!("acc-{local}"))
+                    .spawn(move || {
+                        handle_accepted(
+                            local,
+                            stream,
+                            buffer_msgs,
+                            measure_window,
+                            down,
+                            total,
+                            clock,
+                            events,
+                        );
+                    })
+                    .expect("spawn accept handler");
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_accepted(
+    local: NodeId,
+    stream: TcpStream,
+    buffer_msgs: usize,
+    measure_window: Nanos,
+    down_bucket: SharedBucket,
+    total_bucket: SharedBucket,
+    clock: Arc<SystemClock>,
+    events: Sender<ControlEvent>,
+) {
+    let _ = local;
+    let _ = stream.set_nodelay(true);
+    // Peek at the first message without buffered read-ahead so the
+    // receiver thread sees a clean stream afterwards.
+    let first = match read_msg(&stream) {
+        Ok(Some(msg)) => msg,
+        _ => return,
+    };
+    if first.ty() == MsgType::Hello {
+        let peer = first.origin();
+        let queue = CircularQueue::with_capacity(buffer_msgs);
+        let meter = Arc::new(Mutex::new(ThroughputMeter::new(measure_window)));
+        let mut chain = BucketChain::new();
+        chain.push(down_bucket);
+        chain.push(total_bucket);
+        let reg_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        if events
+            .send(ControlEvent::UpstreamOpened {
+                peer,
+                queue: queue.clone(),
+                meter: meter.clone(),
+                stream: reg_stream,
+            })
+            .is_err()
+        {
+            return;
+        }
+        run_receiver(peer, stream, queue, meter, chain, clock, events);
+    } else {
+        // One-shot control session: forward every message until EOF.
+        let _ = events.send(ControlEvent::Incoming(first));
+        while let Ok(Some(msg)) = read_msg(&stream) {
+            if events.send(ControlEvent::Incoming(msg)).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::unbounded;
+
+    /// Records every message it is handed.
+    struct Recorder {
+        seen: std::sync::Arc<Mutex<Vec<Msg>>>,
+    }
+
+    impl Algorithm for Recorder {
+        fn on_message(&mut self, _ctx: &mut dyn ioverlay_api::Context, msg: Msg) {
+            self.seen.lock().push(msg);
+        }
+        fn on_timer(&mut self, ctx: &mut dyn ioverlay_api::Context, token: TimerToken) {
+            // Record timer firings as synthetic messages for inspection.
+            let marker = Msg::new(
+                MsgType::Custom(0x2000),
+                ctx.local_id(),
+                0,
+                token as u32,
+                bytes::Bytes::new(),
+            );
+            self.seen.lock().push(marker);
+        }
+        fn status(&self) -> serde_json::Value {
+            serde_json::json!({"recorded": self.seen.lock().len()})
+        }
+    }
+
+    fn state() -> (EngineState, std::sync::Arc<Mutex<Vec<Msg>>>) {
+        let (tx, _rx) = unbounded();
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let alg = Recorder { seen: seen.clone() };
+        let state = EngineState::new(
+            NodeId::loopback(9_999),
+            EngineConfig::default(),
+            Box::new(alg),
+            tx,
+        );
+        (state, seen)
+    }
+
+    #[test]
+    fn send_to_unreachable_peer_notifies_the_algorithm() {
+        let (mut state, _seen) = state();
+        // Port 1 on loopback has no listener: connect fails fast.
+        let ghost = NodeId::loopback(1);
+        let consumed = state.enqueue_send(ghost, Msg::control(MsgType::Data, state.id, 0), None);
+        assert!(consumed, "failed sends are consumed, not blocked");
+        assert!(state
+            .local_inbox
+            .iter()
+            .any(|m| m.ty() == MsgType::NeighborFailed && m.origin() == ghost));
+        assert!(state.senders.is_empty());
+    }
+
+    #[test]
+    fn self_sends_are_consumed_silently() {
+        let (mut state, _seen) = state();
+        let me = state.id;
+        assert!(state.enqueue_send(me, Msg::control(MsgType::Data, me, 0), None));
+        assert!(state.local_inbox.is_empty());
+    }
+
+    #[test]
+    fn set_bandwidth_retunes_the_right_bucket() {
+        let (mut state, _seen) = state();
+        let payload = SetBandwidthPayload {
+            scope: BandwidthScope::NodeUp,
+            kbps: Some(30),
+        };
+        let msg = Msg::new(MsgType::SetBandwidth, state.id, 0, 0, payload.encode());
+        state.dispatch_to_algorithm(None, msg);
+        assert_eq!(state.up_bucket.lock().rate(), Rate::kbps(30));
+        // The other buckets stay unlimited.
+        assert!(state.total_bucket.lock().rate() > Rate::mbps(1_000_000));
+    }
+
+    #[test]
+    fn terminate_stops_the_engine_loop_flag() {
+        let (mut state, _seen) = state();
+        assert!(state.running);
+        state.dispatch_to_algorithm(None, Msg::control(MsgType::Terminate, state.id, 0));
+        assert!(!state.running);
+    }
+
+    #[test]
+    fn engine_internal_types_never_reach_the_algorithm() {
+        let (mut state, seen) = state();
+        state.dispatch_to_algorithm(None, Msg::control(MsgType::Hello, NodeId::loopback(2), 0));
+        state.dispatch_to_algorithm(
+            None,
+            Msg::control(MsgType::Terminate, NodeId::loopback(2), 0),
+        );
+        assert!(seen.lock().is_empty(), "hello/terminate are engine-level");
+        // Data does reach it.
+        state.running = true;
+        state.dispatch_to_algorithm(None, Msg::data(NodeId::loopback(2), 1, 0, &b"x"[..]));
+        assert_eq!(seen.lock().len(), 1);
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let (mut state, seen) = state();
+        // Arm three timers in scrambled order with tiny delays.
+        state.apply_staged(
+            None,
+            crate::ctx::StagedEffects {
+                timers: vec![(2_000_000, 30), (0, 10), (1_000_000, 20)],
+                ..Default::default()
+            },
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        state.fire_due_timers();
+        let tokens: Vec<u32> = seen.lock().iter().map(|m| m.seq()).collect();
+        assert_eq!(tokens, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn status_report_includes_algorithm_extension() {
+        let (mut state, _seen) = state();
+        state.switched = 7;
+        let report = state.status_report();
+        assert_eq!(report.node, Some(state.id));
+        assert_eq!(report.switched_msgs, 7);
+        assert_eq!(report.algorithm["recorded"], 0);
+        assert!(report.upstreams.is_empty());
+    }
+
+    #[test]
+    fn broken_source_domino_clears_app_routes() {
+        let (mut state, seen) = state();
+        let upstream = NodeId::loopback(2);
+        // Pretend app 5 flowed in from `upstream` only.
+        state.app_upstreams.entry(5).or_default().insert(upstream);
+        state
+            .app_downstreams
+            .entry(5)
+            .or_default()
+            .insert(NodeId::loopback(1)); // unreachable downstream
+        state.dispatch_to_algorithm(
+            Some(upstream),
+            Msg::control(MsgType::BrokenSource, upstream, 5),
+        );
+        assert!(!state.app_downstreams.contains_key(&5), "routes cleared");
+        // The algorithm still saw the BrokenSource itself.
+        assert!(seen.lock().iter().any(|m| m.ty() == MsgType::BrokenSource));
+    }
+}

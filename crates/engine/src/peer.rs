@@ -1,0 +1,284 @@
+//! Receiver and sender threads for persistent peer connections.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crossbeam_channel::Sender;
+use ioverlay_api::{Msg, MsgType, NodeId};
+use ioverlay_message::{read_msg, write_msg};
+use ioverlay_queue::{CircularQueue, PopTimeout};
+use ioverlay_ratelimit::{BucketChain, Clock, SystemClock, ThroughputMeter};
+use parking_lot::Mutex;
+
+/// Internal events posted to the engine thread by socket threads — the
+/// paper's *"mechanism of passing application-layer messages across
+/// thread boundaries"* that avoids explicit thread synchronization.
+#[derive(Debug)]
+pub(crate) enum ControlEvent {
+    /// A control-plane or one-shot message arrived (from the observer,
+    /// from a peer's algorithm, or synthesized by the engine itself).
+    Incoming(Msg),
+    /// The listener accepted a persistent connection from `peer`.
+    UpstreamOpened {
+        peer: NodeId,
+        queue: CircularQueue<Msg>,
+        meter: Arc<Mutex<ThroughputMeter>>,
+        stream: TcpStream,
+    },
+    /// A receiver thread saw its socket die.
+    UpstreamFailed(NodeId),
+    /// A sender thread saw its socket die.
+    DownstreamFailed(NodeId),
+    /// A receiver enqueued into an empty buffer; the engine should wake.
+    DataAvailable,
+    /// Reply-carrying status request from the local handle.
+    StatusRequest(Sender<ioverlay_api::StatusReport>),
+    /// Ask the engine to stop.
+    Shutdown,
+}
+
+/// Sender-side state for one downstream link, owned by the engine thread.
+pub(crate) struct SenderLink {
+    pub queue: CircularQueue<Msg>,
+    /// Locally originated messages that did not fit in `queue`; retried
+    /// every engine round. Bounded in practice because sources pace on
+    /// [`ioverlay_api::Context::backlog`], which includes this.
+    pub pending: std::collections::VecDeque<Msg>,
+    pub meter: Arc<Mutex<ThroughputMeter>>,
+    pub stream: TcpStream,
+    pub thread: Option<JoinHandle<()>>,
+}
+
+impl SenderLink {
+    /// Messages queued toward the peer, in all stages.
+    pub fn depth(&self) -> usize {
+        self.queue.len() + self.pending.len()
+    }
+
+    /// Closes the link: the queue drains, the sender thread exits, and
+    /// the socket shuts down.
+    pub fn close(&mut self) {
+        self.queue.close();
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Receiver-side state for one upstream link, owned by the engine thread.
+pub(crate) struct ReceiverLink {
+    pub queue: CircularQueue<Msg>,
+    pub meter: Arc<Mutex<ThroughputMeter>>,
+    pub stream: TcpStream,
+}
+
+impl ReceiverLink {
+    /// Closes the link; the receiver thread exits on the socket error.
+    pub fn close(&mut self) {
+        self.queue.close();
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Runs a receiver thread: blocking reads from a persistent connection
+/// into the bounded receive buffer. Blocking on a full buffer is what
+/// stops the TCP window and propagates back pressure upstream.
+pub(crate) fn run_receiver(
+    peer: NodeId,
+    stream: TcpStream,
+    queue: CircularQueue<Msg>,
+    meter: Arc<Mutex<ThroughputMeter>>,
+    down_chain: BucketChain,
+    clock: Arc<SystemClock>,
+    events: Sender<ControlEvent>,
+) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_msg(&mut reader) {
+            Ok(Some(msg)) => {
+                let bytes = msg.wire_len() as u64;
+                // Downlink emulation: pace the read exactly like the
+                // paper's wrapped recv.
+                let delay = down_chain.reserve(bytes, clock.now());
+                if delay > 0 {
+                    thread::sleep(Duration::from_nanos(delay));
+                }
+                meter.lock().record(bytes, clock.now());
+                let was_empty = queue.is_empty();
+                if queue.push(msg).is_err() {
+                    break; // engine closed the link
+                }
+                if was_empty {
+                    let _ = events.send(ControlEvent::DataAvailable);
+                }
+            }
+            Ok(None) => {
+                // Clean EOF: the peer closed the connection.
+                let _ = events.send(ControlEvent::UpstreamFailed(peer));
+                break;
+            }
+            Err(_) => {
+                let _ = events.send(ControlEvent::UpstreamFailed(peer));
+                break;
+            }
+        }
+    }
+}
+
+/// Runs a sender thread: pops from the bounded send buffer (sleeping when
+/// empty, woken by the engine thread via the queue's condvar), applies
+/// uplink emulation, and performs blocking writes.
+pub(crate) fn run_sender(
+    peer: NodeId,
+    stream: TcpStream,
+    queue: CircularQueue<Msg>,
+    meter: Arc<Mutex<ThroughputMeter>>,
+    up_chain: BucketChain,
+    clock: Arc<SystemClock>,
+    events: Sender<ControlEvent>,
+) {
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match queue.pop_timeout(Duration::from_millis(100)) {
+            PopTimeout::Item(msg) => {
+                let bytes = msg.wire_len() as u64;
+                let delay = up_chain.reserve(bytes, clock.now());
+                if delay > 0 {
+                    thread::sleep(Duration::from_nanos(delay));
+                }
+                if write_msg(&mut writer, &msg).and_then(|()| flush_if_idle(&mut writer, &queue))
+                    .is_err()
+                {
+                    let _ = events.send(ControlEvent::DownstreamFailed(peer));
+                    break;
+                }
+                meter.lock().record(bytes, clock.now());
+            }
+            PopTimeout::TimedOut => {
+                if writer.flush().is_err() {
+                    let _ = events.send(ControlEvent::DownstreamFailed(peer));
+                    break;
+                }
+            }
+            PopTimeout::Closed => {
+                let _ = writer.flush();
+                break;
+            }
+        }
+    }
+}
+
+/// Flushes the buffered writer only when no more messages are queued, so
+/// back-to-back traffic batches into large writes but a lone message is
+/// never left sitting in the buffer.
+fn flush_if_idle(writer: &mut BufWriter<TcpStream>, queue: &CircularQueue<Msg>) -> io::Result<()> {
+    if queue.is_empty() {
+        writer.flush()
+    } else {
+        Ok(())
+    }
+}
+
+/// Dials a peer and performs the `hello` handshake that registers this
+/// node as an upstream of `peer`.
+pub(crate) fn connect_to_peer(local: NodeId, peer: NodeId) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(&peer.to_socket_addr(), Duration::from_secs(2))?;
+    stream.set_nodelay(true)?;
+    let hello = Msg::control(MsgType::Hello, local, 0);
+    let mut w = BufWriter::new(stream.try_clone()?);
+    write_msg(&mut w, &hello)?;
+    w.flush()?;
+    Ok(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::unbounded;
+    use std::net::TcpListener;
+
+    #[test]
+    fn hello_handshake_identifies_the_dialer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let local = NodeId::loopback(4242);
+        let peer = NodeId::loopback(addr.port());
+        let dialer = thread::spawn(move || connect_to_peer(local, peer).unwrap());
+        let (conn, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(conn);
+        let msg = read_msg(&mut reader).unwrap().unwrap();
+        assert_eq!(msg.ty(), MsgType::Hello);
+        assert_eq!(msg.origin(), local);
+        dialer.join().unwrap();
+    }
+
+    #[test]
+    fn receiver_thread_reports_eof_as_failure() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let msg = Msg::data(NodeId::loopback(1), 7, 0, vec![9u8; 64]);
+            let mut w = BufWriter::new(&stream);
+            write_msg(&mut w, &msg).unwrap();
+            w.flush().unwrap();
+            // Dropping the stream produces EOF at the receiver.
+        });
+        let (conn, _) = listener.accept().unwrap();
+        let queue = CircularQueue::with_capacity(4);
+        let meter = Arc::new(Mutex::new(ThroughputMeter::new(1_000_000_000)));
+        let (tx, rx) = unbounded();
+        let peer = NodeId::loopback(1);
+        run_receiver(
+            peer,
+            conn,
+            queue.clone(),
+            meter.clone(),
+            BucketChain::new(),
+            Arc::new(SystemClock::new()),
+            tx,
+        );
+        writer.join().unwrap();
+        // One data message arrived, then a failure event.
+        assert_eq!(queue.len(), 1);
+        assert!(matches!(rx.try_recv(), Ok(ControlEvent::DataAvailable)));
+        assert!(matches!(rx.try_recv(), Ok(ControlEvent::UpstreamFailed(p)) if p == peer));
+        assert_eq!(meter.lock().total_msgs(), 1);
+    }
+
+    #[test]
+    fn sender_thread_writes_queued_messages() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let out = TcpStream::connect(addr).unwrap();
+        let (conn, _) = listener.accept().unwrap();
+        let queue = CircularQueue::with_capacity(4);
+        let meter = Arc::new(Mutex::new(ThroughputMeter::new(1_000_000_000)));
+        let (tx, _rx) = unbounded();
+        let q2 = queue.clone();
+        let m2 = meter.clone();
+        let sender = thread::spawn(move || {
+            run_sender(
+                NodeId::loopback(2),
+                out,
+                q2,
+                m2,
+                BucketChain::new(),
+                Arc::new(SystemClock::new()),
+                tx,
+            )
+        });
+        let msg = Msg::data(NodeId::loopback(1), 7, 3, vec![5u8; 100]);
+        queue.push(msg.clone()).unwrap();
+        let mut reader = BufReader::new(conn);
+        let got = read_msg(&mut reader).unwrap().unwrap();
+        assert_eq!(got, msg);
+        queue.close();
+        sender.join().unwrap();
+        assert_eq!(meter.lock().total_bytes(), msg.wire_len() as u64);
+    }
+}

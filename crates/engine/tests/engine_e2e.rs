@@ -1,0 +1,262 @@
+//! End-to-end tests of the real TCP engine on loopback.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ioverlay_api::{Algorithm, Context, Msg, MsgType, NodeId};
+use ioverlay_engine::{EngineConfig, EngineNode};
+
+/// Emits `count` data messages to a downstream as fast as back pressure
+/// allows, pacing on `Context::backlog`.
+struct BurstSource {
+    dest: NodeId,
+    app: u32,
+    msg_bytes: usize,
+    remaining: u64,
+    seq: u32,
+}
+
+impl BurstSource {
+    fn pump(&mut self, ctx: &mut dyn Context) {
+        while self.remaining > 0 {
+            let full = ctx
+                .backlog(self.dest)
+                .is_some_and(|d| d >= ctx.buffer_capacity());
+            if full {
+                break;
+            }
+            let msg = Msg::data(ctx.local_id(), self.app, self.seq, vec![7u8; self.msg_bytes]);
+            ctx.send(msg, self.dest);
+            self.seq += 1;
+            self.remaining -= 1;
+        }
+        if self.remaining > 0 {
+            ctx.set_timer(2_000_000, 1); // 2 ms
+        }
+    }
+}
+
+impl Algorithm for BurstSource {
+    fn name(&self) -> &'static str {
+        "burst-source"
+    }
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        self.pump(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut dyn Context, _token: u64) {
+        self.pump(ctx);
+    }
+    fn on_message(&mut self, _ctx: &mut dyn Context, _msg: Msg) {}
+}
+
+/// Forwards data to an optional downstream; counts what it sees.
+struct Relay {
+    next: Option<NodeId>,
+    data_count: Arc<AtomicU64>,
+    data_bytes: Arc<AtomicU64>,
+    events: Arc<parking_lot::Mutex<Vec<MsgType>>>,
+}
+
+impl Relay {
+    fn new() -> Self {
+        Self {
+            next: None,
+            data_count: Arc::new(AtomicU64::new(0)),
+            data_bytes: Arc::new(AtomicU64::new(0)),
+            events: Arc::new(parking_lot::Mutex::new(Vec::new())),
+        }
+    }
+    fn to(next: NodeId) -> Self {
+        Self {
+            next: Some(next),
+            ..Self::new()
+        }
+    }
+}
+
+impl Algorithm for Relay {
+    fn name(&self) -> &'static str {
+        "relay"
+    }
+    fn on_message(&mut self, ctx: &mut dyn Context, msg: Msg) {
+        self.events.lock().push(msg.ty());
+        if msg.ty() == MsgType::Data {
+            self.data_count.fetch_add(1, Ordering::Relaxed);
+            self.data_bytes
+                .fetch_add(msg.payload().len() as u64, Ordering::Relaxed);
+            if let Some(next) = self.next {
+                ctx.send(msg, next);
+            }
+        }
+    }
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+    cond()
+}
+
+#[test]
+fn two_node_transfer_delivers_every_message() {
+    let sink_alg = Relay::new();
+    let count = sink_alg.data_count.clone();
+    let bytes = sink_alg.data_bytes.clone();
+    let sink = EngineNode::spawn(EngineConfig::default(), Box::new(sink_alg)).unwrap();
+    const N: u64 = 500;
+    let source = EngineNode::spawn(
+        EngineConfig::default(),
+        Box::new(BurstSource {
+            dest: sink.id(),
+            app: 1,
+            msg_bytes: 2048,
+            remaining: N,
+            seq: 0,
+        }),
+    )
+    .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(20), || count.load(Ordering::Relaxed) == N),
+        "sink got {} of {N} messages",
+        count.load(Ordering::Relaxed)
+    );
+    assert_eq!(bytes.load(Ordering::Relaxed), N * 2048);
+    source.shutdown();
+    sink.shutdown();
+}
+
+#[test]
+fn three_node_chain_switches_messages() {
+    let sink_alg = Relay::new();
+    let count = sink_alg.data_count.clone();
+    let sink = EngineNode::spawn(EngineConfig::default(), Box::new(sink_alg)).unwrap();
+    let relay_alg = Relay::to(sink.id());
+    let relay_events = relay_alg.events.clone();
+    let relay = EngineNode::spawn(EngineConfig::default(), Box::new(relay_alg)).unwrap();
+    const N: u64 = 300;
+    let source = EngineNode::spawn(
+        EngineConfig::default(),
+        Box::new(BurstSource {
+            dest: relay.id(),
+            app: 9,
+            msg_bytes: 1024,
+            remaining: N,
+            seq: 0,
+        }),
+    )
+    .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(20), || count.load(Ordering::Relaxed) == N),
+        "sink got {} of {N}",
+        count.load(Ordering::Relaxed)
+    );
+    // The relay saw the upstream join event and the data.
+    let events = relay_events.lock();
+    assert!(events.contains(&MsgType::UpstreamJoined));
+    drop(events);
+    // Status reports reflect the chain topology.
+    let relay_status = relay.status().expect("relay status");
+    assert_eq!(relay_status.upstreams, vec![source.id()]);
+    assert_eq!(relay_status.downstreams, vec![sink.id()]);
+    assert_eq!(relay_status.switched_msgs, N);
+    source.shutdown();
+    relay.shutdown();
+    sink.shutdown();
+}
+
+#[test]
+fn peer_death_is_detected_and_reported() {
+    let sink_alg = Relay::new();
+    let sink_events = sink_alg.events.clone();
+    let count = sink_alg.data_count.clone();
+    let sink = EngineNode::spawn(EngineConfig::default(), Box::new(sink_alg)).unwrap();
+    let source = EngineNode::spawn(
+        EngineConfig::default(),
+        Box::new(BurstSource {
+            dest: sink.id(),
+            app: 2,
+            msg_bytes: 512,
+            remaining: 100,
+            seq: 0,
+        }),
+    )
+    .unwrap();
+    assert!(wait_until(Duration::from_secs(10), || {
+        count.load(Ordering::Relaxed) >= 100
+    }));
+    // Kill the source; the sink must notice the dead upstream and, since
+    // it was the only upstream for app 2, surface BrokenSource.
+    source.shutdown();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            let events = sink_events.lock();
+            events.contains(&MsgType::NeighborFailed)
+                && events.contains(&MsgType::BrokenSource)
+        }),
+        "sink events: {:?}",
+        sink_events.lock()
+    );
+    sink.shutdown();
+}
+
+#[test]
+fn terminate_control_message_stops_the_node() {
+    let node = EngineNode::spawn(EngineConfig::default(), Box::new(Relay::new())).unwrap();
+    let id = node.id();
+    node.send_control(Msg::control(MsgType::Terminate, id, 0));
+    assert!(
+        wait_until(Duration::from_secs(5), || node.status().is_none()),
+        "node still answering status after terminate"
+    );
+    node.shutdown();
+}
+
+#[test]
+fn bandwidth_emulation_throttles_throughput() {
+    use ioverlay_api::{BandwidthScope, SetBandwidthPayload};
+    let sink_alg = Relay::new();
+    let bytes = sink_alg.data_bytes.clone();
+    let sink = EngineNode::spawn(EngineConfig::default(), Box::new(sink_alg)).unwrap();
+    let source = EngineNode::spawn(
+        EngineConfig::default(),
+        Box::new(BurstSource {
+            dest: sink.id(),
+            app: 3,
+            msg_bytes: 5 * 1024,
+            remaining: 1_000_000,
+            seq: 0,
+        }),
+    )
+    .unwrap();
+    // Cap the source's uplink to 100 KBps at runtime.
+    let payload = SetBandwidthPayload {
+        scope: BandwidthScope::NodeUp,
+        kbps: Some(100),
+    };
+    source.send_control(Msg::new(
+        MsgType::SetBandwidth,
+        source.id(),
+        0,
+        0,
+        payload.encode(),
+    ));
+    thread::sleep(Duration::from_millis(500)); // let the cap take hold
+    let start = bytes.load(Ordering::Relaxed);
+    thread::sleep(Duration::from_secs(4));
+    let got = bytes.load(Ordering::Relaxed) - start;
+    let kbps = got as f64 / 1024.0 / 4.0;
+    assert!(
+        kbps < 200.0,
+        "throughput {kbps} KBps despite a 100 KBps uplink cap"
+    );
+    assert!(kbps > 20.0, "throughput {kbps} KBps — link seems stalled");
+    source.shutdown();
+    sink.shutdown();
+}

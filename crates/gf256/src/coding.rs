@@ -1,0 +1,455 @@
+//! Generation-based linear network coding.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+
+use crate::field::mul_acc;
+use crate::{Gf256, Matrix};
+
+/// Errors arising in coding operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodingError {
+    /// Combined packets disagree on generation size or payload length.
+    ShapeMismatch,
+    /// `combine` was called with no inputs.
+    NoInputs,
+    /// The decoder does not yet hold enough independent packets.
+    NotDecodable {
+        /// Current rank of the coefficient matrix.
+        rank: usize,
+        /// Generation size required.
+        need: usize,
+    },
+}
+
+impl fmt::Display for CodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodingError::ShapeMismatch => {
+                f.write_str("packets disagree on generation size or payload length")
+            }
+            CodingError::NoInputs => f.write_str("cannot combine zero packets"),
+            CodingError::NotDecodable { rank, need } => {
+                write!(f, "not decodable yet: rank {rank} of {need}")
+            }
+        }
+    }
+}
+
+impl Error for CodingError {}
+
+/// A linear combination of the source packets of one generation.
+///
+/// Carries the coefficient vector alongside the combined payload, as in
+/// practical network-coding systems; the coefficients are what let a
+/// receiver decode without any out-of-band coordination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodedPacket {
+    coeffs: Vec<Gf256>,
+    data: Vec<u8>,
+}
+
+impl CodedPacket {
+    /// Wraps an original source packet as the trivial combination
+    /// `e_index` (a unit coefficient vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= generation`.
+    pub fn source(index: usize, generation: usize, data: Vec<u8>) -> Self {
+        assert!(index < generation, "source index out of range");
+        let mut coeffs = vec![Gf256::ZERO; generation];
+        coeffs[index] = Gf256::ONE;
+        Self { coeffs, data }
+    }
+
+    /// Creates a packet directly from a coefficient vector and payload.
+    pub fn from_parts(coeffs: Vec<Gf256>, data: Vec<u8>) -> Self {
+        Self { coeffs, data }
+    }
+
+    /// The coefficient vector (length = generation size).
+    pub fn coeffs(&self) -> &[Gf256] {
+        &self.coeffs
+    }
+
+    /// The combined payload bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Generation size this packet belongs to.
+    pub fn generation(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Linearly combines packets: `sum_i scalar_i * packet_i`.
+    ///
+    /// This is what a coding overlay node (node *D* in Fig. 8 of the
+    /// paper) does with the messages it has placed on *hold*: the paper's
+    /// `a + b` is `combine(&[(1, a), (1, b)])`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::NoInputs`] for an empty slice,
+    /// [`CodingError::ShapeMismatch`] if inputs disagree on generation
+    /// size or payload length.
+    pub fn combine(inputs: &[(Gf256, &CodedPacket)]) -> Result<CodedPacket, CodingError> {
+        let (_, first) = inputs.first().ok_or(CodingError::NoInputs)?;
+        let gen = first.generation();
+        let len = first.data.len();
+        if inputs
+            .iter()
+            .any(|(_, p)| p.generation() != gen || p.data.len() != len)
+        {
+            return Err(CodingError::ShapeMismatch);
+        }
+        let mut coeffs = vec![Gf256::ZERO; gen];
+        let mut data = vec![0u8; len];
+        for (scalar, packet) in inputs {
+            for (c, pc) in coeffs.iter_mut().zip(&packet.coeffs) {
+                *c += *scalar * *pc;
+            }
+            mul_acc(&mut data, &packet.data, *scalar);
+        }
+        Ok(CodedPacket { coeffs, data })
+    }
+}
+
+/// Produces coded packets from the source packets of one generation.
+///
+/// The encoder sits at (or near) the data source: it holds the original
+/// payloads and emits either systematic packets (the originals) or random
+/// linear combinations.
+///
+/// # Example
+///
+/// ```
+/// use ioverlay_gf256::{Decoder, Encoder};
+///
+/// let gen = vec![b"alpha".to_vec(), b"bravo".to_vec(), b"charl".to_vec()];
+/// let enc = Encoder::new(gen.clone()).unwrap();
+/// let mut rng = rand::thread_rng();
+/// let mut dec = Decoder::new(3);
+/// while !dec.is_complete() {
+///     dec.push(enc.random_packet(&mut rng));
+/// }
+/// assert_eq!(dec.decoded_payloads().unwrap(), gen);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    sources: Vec<CodedPacket>,
+}
+
+impl Encoder {
+    /// Creates an encoder over one generation of equally sized payloads.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::NoInputs`] if `payloads` is empty,
+    /// [`CodingError::ShapeMismatch`] if payload lengths differ. (Pad
+    /// variable-length application messages to the generation's maximum
+    /// before encoding.)
+    pub fn new(payloads: Vec<Vec<u8>>) -> Result<Self, CodingError> {
+        if payloads.is_empty() {
+            return Err(CodingError::NoInputs);
+        }
+        let len = payloads[0].len();
+        if payloads.iter().any(|p| p.len() != len) {
+            return Err(CodingError::ShapeMismatch);
+        }
+        let gen = payloads.len();
+        Ok(Self {
+            sources: payloads
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| CodedPacket::source(i, gen, p))
+                .collect(),
+        })
+    }
+
+    /// Generation size.
+    pub fn generation(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The systematic (uncoded) packet for source `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn systematic(&self, index: usize) -> CodedPacket {
+        self.sources[index].clone()
+    }
+
+    /// Emits a packet with the given coefficient vector.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::ShapeMismatch`] if `coeffs.len()` differs from the
+    /// generation size.
+    pub fn packet_with(&self, coeffs: &[Gf256]) -> Result<CodedPacket, CodingError> {
+        if coeffs.len() != self.generation() {
+            return Err(CodingError::ShapeMismatch);
+        }
+        let inputs: Vec<(Gf256, &CodedPacket)> = coeffs
+            .iter()
+            .copied()
+            .zip(self.sources.iter())
+            .collect();
+        CodedPacket::combine(&inputs)
+    }
+
+    /// Emits a random linear combination (RLNC).
+    pub fn random_packet<R: Rng + ?Sized>(&self, rng: &mut R) -> CodedPacket {
+        loop {
+            let coeffs: Vec<Gf256> = (0..self.generation())
+                .map(|_| Gf256::new(rng.gen()))
+                .collect();
+            if coeffs.iter().any(|c| !c.is_zero()) {
+                return self
+                    .packet_with(&coeffs)
+                    .expect("coeff length matches generation");
+            }
+        }
+    }
+}
+
+/// Progressive Gaussian-elimination decoder for one generation.
+///
+/// Feed packets as they arrive with [`Decoder::push`]; each innovative
+/// (linearly independent) packet raises the rank by one. Once the rank
+/// reaches the generation size, [`Decoder::decoded_payloads`] recovers
+/// the original source payloads.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    generation: usize,
+    /// Row-reduced coefficient rows paired with their payloads.
+    rows: Vec<(Vec<Gf256>, Vec<u8>)>,
+}
+
+impl Decoder {
+    /// Creates a decoder for a generation of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `generation` is zero.
+    pub fn new(generation: usize) -> Self {
+        assert!(generation > 0, "generation size must be non-zero");
+        Self {
+            generation,
+            rows: Vec::with_capacity(generation),
+        }
+    }
+
+    /// Current rank (number of innovative packets held).
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether enough innovative packets have arrived to decode.
+    pub fn is_complete(&self) -> bool {
+        self.rank() == self.generation
+    }
+
+    /// Inserts a packet; returns `true` if it was innovative.
+    ///
+    /// Non-innovative packets (including shape-mismatched ones) are
+    /// discarded, which models a receiver simply ignoring useless
+    /// arrivals.
+    pub fn push(&mut self, packet: CodedPacket) -> bool {
+        if packet.generation() != self.generation || self.is_complete() {
+            return false;
+        }
+        if let Some((expect_len, _)) = self.rows.first().map(|(_, d)| (d.len(), ())) {
+            if packet.data.len() != expect_len {
+                return false;
+            }
+        }
+        let mut coeffs = packet.coeffs;
+        let mut data = packet.data;
+        // Reduce against existing rows (forward elimination).
+        for (row_coeffs, row_data) in &self.rows {
+            let lead = row_coeffs
+                .iter()
+                .position(|c| !c.is_zero())
+                .expect("stored rows are non-zero");
+            let factor = coeffs[lead];
+            if !factor.is_zero() {
+                for (c, rc) in coeffs.iter_mut().zip(row_coeffs) {
+                    *c += factor * *rc;
+                }
+                mul_acc(&mut data, row_data, factor);
+            }
+        }
+        let Some(lead) = coeffs.iter().position(|c| !c.is_zero()) else {
+            return false; // not innovative
+        };
+        // Normalize the new row to a unit leading coefficient.
+        let inv = coeffs[lead].inv();
+        for c in coeffs.iter_mut() {
+            *c *= inv;
+        }
+        let mut scaled = vec![0u8; data.len()];
+        mul_acc(&mut scaled, &data, inv);
+        let data = scaled;
+        // Back-substitute the new row into the existing ones.
+        for (row_coeffs, row_data) in self.rows.iter_mut() {
+            let factor = row_coeffs[lead];
+            if !factor.is_zero() {
+                for (rc, c) in row_coeffs.iter_mut().zip(&coeffs) {
+                    *rc += factor * *c;
+                }
+                mul_acc(row_data, &data, factor);
+            }
+        }
+        self.rows.push((coeffs, data));
+        // Keep rows ordered by leading position for readability.
+        self.rows.sort_by_key(|(c, _)| {
+            c.iter().position(|x| !x.is_zero()).unwrap_or(usize::MAX)
+        });
+        true
+    }
+
+    /// Recovers the original payloads, in source order.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::NotDecodable`] if the rank is still short of the
+    /// generation size.
+    pub fn decoded_payloads(&self) -> Result<Vec<Vec<u8>>, CodingError> {
+        if !self.is_complete() {
+            return Err(CodingError::NotDecodable {
+                rank: self.rank(),
+                need: self.generation,
+            });
+        }
+        // After full rank with reduced rows, the coefficient matrix is a
+        // permutation-free identity (rows sorted by leading position).
+        debug_assert!(Matrix::from_rows(
+            &self.rows.iter().map(|(c, _)| c.as_slice()).collect::<Vec<_>>()
+        )
+        .is_identity());
+        Ok(self.rows.iter().map(|(_, d)| d.clone()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn payloads(n: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| (0..len).map(|j| (i * 31 + j * 7) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn paper_a_plus_b_scenario() {
+        // Fig. 8(b): F receives `a` and `a + b`, recovers both streams.
+        let a = CodedPacket::source(0, 2, b"stream-a".to_vec());
+        let b = CodedPacket::source(1, 2, b"stream-b".to_vec());
+        let coded = CodedPacket::combine(&[(Gf256::ONE, &a), (Gf256::ONE, &b)]).unwrap();
+        let mut dec = Decoder::new(2);
+        assert!(dec.push(a));
+        assert!(dec.push(coded));
+        let out = dec.decoded_payloads().unwrap();
+        assert_eq!(out[0], b"stream-a");
+        assert_eq!(out[1], b"stream-b");
+    }
+
+    #[test]
+    fn random_coding_decodes_with_exactly_gen_innovative_packets() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sources = payloads(8, 64);
+        let enc = Encoder::new(sources.clone()).unwrap();
+        let mut dec = Decoder::new(8);
+        let mut pushes = 0;
+        while !dec.is_complete() {
+            dec.push(enc.random_packet(&mut rng));
+            pushes += 1;
+            assert!(pushes < 100, "decoder failed to converge");
+        }
+        assert_eq!(dec.decoded_payloads().unwrap(), sources);
+    }
+
+    #[test]
+    fn duplicate_packets_are_not_innovative() {
+        let enc = Encoder::new(payloads(3, 16)).unwrap();
+        let p = enc.systematic(0);
+        let mut dec = Decoder::new(3);
+        assert!(dec.push(p.clone()));
+        assert!(!dec.push(p));
+        assert_eq!(dec.rank(), 1);
+    }
+
+    #[test]
+    fn linear_dependents_are_rejected() {
+        let enc = Encoder::new(payloads(3, 16)).unwrap();
+        let a = enc.systematic(0);
+        let b = enc.systematic(1);
+        let dep = CodedPacket::combine(&[(Gf256::new(3), &a), (Gf256::new(5), &b)]).unwrap();
+        let mut dec = Decoder::new(3);
+        assert!(dec.push(a));
+        assert!(dec.push(b));
+        assert!(!dec.push(dep));
+        assert_eq!(dec.rank(), 2);
+        assert!(matches!(
+            dec.decoded_payloads(),
+            Err(CodingError::NotDecodable { rank: 2, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn systematic_then_coded_mix() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let sources = payloads(5, 33);
+        let enc = Encoder::new(sources.clone()).unwrap();
+        let mut dec = Decoder::new(5);
+        dec.push(enc.systematic(2));
+        dec.push(enc.systematic(4));
+        while !dec.is_complete() {
+            dec.push(enc.random_packet(&mut rng));
+        }
+        assert_eq!(dec.decoded_payloads().unwrap(), sources);
+    }
+
+    #[test]
+    fn combine_shape_mismatch() {
+        let a = CodedPacket::source(0, 2, vec![1, 2, 3]);
+        let b = CodedPacket::source(1, 3, vec![1, 2, 3]);
+        assert_eq!(
+            CodedPacket::combine(&[(Gf256::ONE, &a), (Gf256::ONE, &b)]),
+            Err(CodingError::ShapeMismatch)
+        );
+        let c = CodedPacket::source(1, 2, vec![1, 2]);
+        assert_eq!(
+            CodedPacket::combine(&[(Gf256::ONE, &a), (Gf256::ONE, &c)]),
+            Err(CodingError::ShapeMismatch)
+        );
+        assert_eq!(CodedPacket::combine(&[]), Err(CodingError::NoInputs));
+    }
+
+    #[test]
+    fn encoder_rejects_ragged_or_empty_input() {
+        assert_eq!(Encoder::new(vec![]).unwrap_err(), CodingError::NoInputs);
+        assert_eq!(
+            Encoder::new(vec![vec![1], vec![1, 2]]).unwrap_err(),
+            CodingError::ShapeMismatch
+        );
+    }
+
+    #[test]
+    fn decoder_ignores_wrong_shapes() {
+        let mut dec = Decoder::new(2);
+        assert!(!dec.push(CodedPacket::source(0, 3, vec![1])));
+        assert!(dec.push(CodedPacket::source(0, 2, vec![1, 2])));
+        // Different payload length is ignored too.
+        assert!(!dec.push(CodedPacket::source(1, 2, vec![1])));
+    }
+}

@@ -1,0 +1,47 @@
+//! GF(2⁸) arithmetic and linear network coding.
+//!
+//! The first iOverlay case study (§3.2 of the paper) implements *"a novel
+//! message processing algorithm that performs network coding on overlay
+//! nodes ... messages from multiple incoming streams are coded into one
+//! stream using linear codes in the Galois Field (and more specifically,
+//! with GF(2⁸))"*.
+//!
+//! This crate supplies that mathematical substrate:
+//!
+//! * [`Gf256`] — field elements with `+`, `-`, `*`, `/` operators backed
+//!   by compile-time log/antilog tables;
+//! * [`Matrix`] — dense matrices over the field with Gaussian
+//!   elimination, rank, and inversion;
+//! * [`CodedPacket`], [`Encoder`], [`Decoder`] — generation-based linear
+//!   network coding: combine source packets with (random or explicit)
+//!   coefficient vectors, and progressively decode at receivers.
+//!
+//! # Example: the paper's `a + b` butterfly combine
+//!
+//! ```
+//! use ioverlay_gf256::{CodedPacket, Decoder, Gf256};
+//!
+//! let a = CodedPacket::source(0, 2, b"stream-a".to_vec());
+//! let b = CodedPacket::source(1, 2, b"stream-b".to_vec());
+//! // Node D codes the two incoming streams into one: a + b.
+//! let coded = CodedPacket::combine(&[(Gf256::ONE, &a), (Gf256::ONE, &b)]).unwrap();
+//!
+//! // Node F receives `a` directly and `a + b` from D, and decodes both.
+//! let mut dec = Decoder::new(2);
+//! dec.push(a.clone());
+//! dec.push(coded);
+//! let originals = dec.decoded_payloads().unwrap();
+//! assert_eq!(originals[0], b"stream-a");
+//! assert_eq!(originals[1], b"stream-b");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coding;
+mod field;
+mod linalg;
+
+pub use coding::{CodedPacket, CodingError, Decoder, Encoder};
+pub use field::Gf256;
+pub use linalg::Matrix;

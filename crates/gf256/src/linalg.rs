@@ -1,0 +1,377 @@
+//! Dense matrices over GF(2⁸) with Gaussian elimination.
+
+// Gaussian elimination reads more naturally with an explicit pivot-row
+// counter than with iterator adapters.
+#![allow(clippy::explicit_counter_loop)]
+
+use std::fmt;
+use std::ops::{Index, IndexMut, Mul};
+
+use crate::Gf256;
+
+/// A dense row-major matrix over GF(2⁸).
+///
+/// Used by the network-coding decoder to track coefficient vectors, and
+/// useful on its own for verifying decodability (rank) of a coding
+/// scheme.
+///
+/// # Example
+///
+/// ```
+/// use ioverlay_gf256::{Gf256, Matrix};
+///
+/// let m = Matrix::from_rows(&[
+///     &[Gf256::new(1), Gf256::new(1)],
+///     &[Gf256::new(1), Gf256::new(0)],
+/// ]);
+/// assert_eq!(m.rank(), 2);
+/// let inv = m.inverse().expect("full-rank matrix inverts");
+/// assert!( (&m * &inv).is_identity() );
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf256>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            data: vec![Gf256::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the n×n identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = Gf256::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows have differing lengths.
+    pub fn from_rows(rows: &[&[Gf256]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut m = Self::zero(rows.len(), cols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "ragged rows");
+            m.data[i * cols..(i + 1) * cols].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[Gf256] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Whether this is a square identity matrix.
+    pub fn is_identity(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.data.iter().enumerate().all(|(idx, &v)| {
+            let (r, c) = (idx / self.cols, idx % self.cols);
+            v == if r == c { Gf256::ONE } else { Gf256::ZERO }
+        })
+    }
+
+    /// Computes the rank via Gaussian elimination on a copy.
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        m.row_reduce()
+    }
+
+    /// In-place reduction to (reduced) row-echelon form; returns the rank.
+    pub fn row_reduce(&mut self) -> usize {
+        let mut pivot_row = 0;
+        for col in 0..self.cols {
+            if pivot_row == self.rows {
+                break;
+            }
+            let Some(src) = (pivot_row..self.rows).find(|&r| !self[(r, col)].is_zero()) else {
+                continue;
+            };
+            self.swap_rows(pivot_row, src);
+            let inv = self[(pivot_row, col)].inv();
+            self.scale_row(pivot_row, inv);
+            for r in 0..self.rows {
+                if r != pivot_row && !self[(r, col)].is_zero() {
+                    let factor = self[(r, col)];
+                    self.add_scaled_row(r, pivot_row, factor);
+                }
+            }
+            pivot_row += 1;
+        }
+        pivot_row
+    }
+
+    /// Computes the inverse of a square matrix, or `None` if singular.
+    pub fn inverse(&self) -> Option<Matrix> {
+        if self.rows != self.cols {
+            return None;
+        }
+        let n = self.rows;
+        // Form the augmented matrix [self | I] and reduce.
+        let mut aug = Matrix::zero(n, 2 * n);
+        for r in 0..n {
+            for c in 0..n {
+                aug[(r, c)] = self[(r, c)];
+            }
+            aug[(r, n + r)] = Gf256::ONE;
+        }
+        // Pivot only on the left (coefficient) block: reducing across all
+        // 2n columns would let pivots land in the identity half and make a
+        // singular matrix look invertible.
+        let mut pivot_row = 0;
+        for col in 0..n {
+            let src = (pivot_row..n).find(|&r| !aug[(r, col)].is_zero())?;
+            aug.swap_rows(pivot_row, src);
+            let inv = aug[(pivot_row, col)].inv();
+            aug.scale_row(pivot_row, inv);
+            for r in 0..n {
+                if r != pivot_row && !aug[(r, col)].is_zero() {
+                    let factor = aug[(r, col)];
+                    aug.add_scaled_row(r, pivot_row, factor);
+                }
+            }
+            pivot_row += 1;
+        }
+        let mut inv = Matrix::zero(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                inv[(r, c)] = aug[(r, n + c)];
+            }
+        }
+        Some(inv)
+    }
+
+    /// Solves `self * x = rhs` for a square, full-rank `self`.
+    ///
+    /// Returns `None` if the system is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.len() != self.rows()` or `self` is not square.
+    pub fn solve(&self, rhs: &[Gf256]) -> Option<Vec<Gf256>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(rhs.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        let mut aug = Matrix::zero(n, n + 1);
+        for r in 0..n {
+            for c in 0..n {
+                aug[(r, c)] = self[(r, c)];
+            }
+            aug[(r, n)] = rhs[r];
+        }
+        // Reduce only on the coefficient columns so a pivot never lands in
+        // the augmented column.
+        let mut pivot_row = 0;
+        for col in 0..n {
+            let src = (pivot_row..n).find(|&r| !aug[(r, col)].is_zero())?;
+            aug.swap_rows(pivot_row, src);
+            let inv = aug[(pivot_row, col)].inv();
+            aug.scale_row(pivot_row, inv);
+            for r in 0..n {
+                if r != pivot_row && !aug[(r, col)].is_zero() {
+                    let factor = aug[(r, col)];
+                    aug.add_scaled_row(r, pivot_row, factor);
+                }
+            }
+            pivot_row += 1;
+        }
+        Some((0..n).map(|r| aug[(r, n)]).collect())
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, factor: Gf256) {
+        for c in 0..self.cols {
+            self[(r, c)] *= factor;
+        }
+    }
+
+    /// `row[dst] -= factor * row[src]` (same as `+=` in characteristic 2).
+    fn add_scaled_row(&mut self, dst: usize, src: usize, factor: Gf256) {
+        for c in 0..self.cols {
+            let v = self[(src, c)] * factor;
+            self[(dst, c)] += v;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = Gf256;
+    fn index(&self, (r, c): (usize, usize)) -> &Gf256 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Gf256 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matrix shape mismatch");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let lhs = self[(r, k)];
+                if lhs.is_zero() {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let v = lhs * rhs[(k, c)];
+                    out[(r, c)] += v;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:02x} ", self[(r, c)].value())?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(v: u8) -> Gf256 {
+        Gf256::new(v)
+    }
+
+    #[test]
+    fn identity_properties() {
+        let id = Matrix::identity(4);
+        assert!(id.is_identity());
+        assert_eq!(id.rank(), 4);
+        assert_eq!(id.inverse().unwrap(), id);
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        // Row 2 = 3 * row 0 (over GF(256)).
+        let r0 = [g(1), g(2), g(4)];
+        let r1 = [g(5), g(7), g(9)];
+        let r2: Vec<Gf256> = r0.iter().map(|&x| x * g(3)).collect();
+        let m = Matrix::from_rows(&[&r0, &r1, &r2]);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = Matrix::from_rows(&[
+            &[g(1), g(1), g(0)],
+            &[g(1), g(0), g(1)],
+            &[g(0), g(1), g(1)],
+        ]);
+        // Over GF(2) this matrix is singular; over GF(256) with the same
+        // 0/1 entries it is also singular (it is the same matrix). Use a
+        // different one:
+        let m2 = Matrix::from_rows(&[
+            &[g(2), g(1), g(0)],
+            &[g(1), g(0), g(1)],
+            &[g(0), g(1), g(1)],
+        ]);
+        assert!(m.inverse().is_none());
+        let inv = m2.inverse().expect("invertible");
+        assert!((&m2 * &inv).is_identity());
+        assert!((&inv * &m2).is_identity());
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let m = Matrix::from_rows(&[&[g(1), g(1)], &[g(1), g(0)]]);
+        // x + y = 5, x = 7 => y = 2 (xor arithmetic)
+        let x = m.solve(&[g(5), g(7)]).unwrap();
+        assert_eq!(x, vec![g(7), g(2)]);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let m = Matrix::from_rows(&[&[g(1), g(1)], &[g(1), g(1)]]);
+        assert!(m.solve(&[g(1), g(2)]).is_none());
+    }
+
+    #[test]
+    fn multiply_by_identity_is_noop() {
+        let m = Matrix::from_rows(&[&[g(9), g(8)], &[g(7), g(6)]]);
+        assert_eq!(&m * &Matrix::identity(2), m);
+        assert_eq!(&Matrix::identity(2) * &m, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn multiply_shape_mismatch_panics() {
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(2, 3);
+        let _ = &a * &b;
+    }
+
+    #[test]
+    fn row_reduce_is_reduced_echelon() {
+        let mut m = Matrix::from_rows(&[&[g(2), g(4)], &[g(1), g(1)]]);
+        assert_eq!(m.row_reduce(), 2);
+        assert!(m.is_identity());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests: GF(2⁸) field axioms and end-to-end coding.
+
+use ioverlay_gf256::{CodedPacket, Decoder, Encoder, Gf256, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn g() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256::new)
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative_and_associative(a in g(), b in g(), c in g()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative(a in g(), b in g(), c in g()) {
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributivity(a in g(), b in g(), c in g()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn identities_hold(a in g()) {
+        prop_assert_eq!(a + Gf256::ZERO, a);
+        prop_assert_eq!(a * Gf256::ONE, a);
+        prop_assert_eq!(a * Gf256::ZERO, Gf256::ZERO);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in g(), b in g().prop_filter("nonzero", |x| !x.is_zero())) {
+        prop_assert_eq!((a * b) / b, a);
+        prop_assert_eq!((a / b) * b, a);
+    }
+
+    #[test]
+    fn pow_is_homomorphic(a in g(), e1 in 0u32..300, e2 in 0u32..300) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    /// Any full-rank square matrix inverts, and the inverse verifies.
+    #[test]
+    fn matrix_inverse_verifies(seed in any::<u64>(), n in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zero(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                m[(r, c)] = Gf256::new(rand::Rng::gen(&mut rng));
+            }
+        }
+        match m.inverse() {
+            Some(inv) => {
+                prop_assert!((&m * &inv).is_identity());
+                prop_assert_eq!(m.rank(), n);
+            }
+            None => prop_assert!(m.rank() < n),
+        }
+    }
+
+    /// decode ∘ encode recovers the original generation for arbitrary
+    /// payloads and any seed of random coefficients.
+    #[test]
+    fn rlnc_roundtrip(
+        seed in any::<u64>(),
+        gen in 1usize..9,
+        len in 1usize..64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sources: Vec<Vec<u8>> = (0..gen)
+            .map(|i| (0..len).map(|j| (i.wrapping_mul(37) ^ j.wrapping_mul(11)) as u8).collect())
+            .collect();
+        let enc = Encoder::new(sources.clone()).unwrap();
+        let mut dec = Decoder::new(gen);
+        let mut budget = 0;
+        while !dec.is_complete() {
+            dec.push(enc.random_packet(&mut rng));
+            budget += 1;
+            prop_assert!(budget < 256, "decoder failed to converge");
+        }
+        prop_assert_eq!(dec.decoded_payloads().unwrap(), sources);
+    }
+
+    /// Combining combinations is still a valid combination: re-coding at
+    /// intermediate nodes (the whole point of network coding) is sound.
+    #[test]
+    fn recoding_at_intermediate_nodes(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sources: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 1; 32]).collect();
+        let enc = Encoder::new(sources.clone()).unwrap();
+        // First hop emits 6 random packets.
+        let hop1: Vec<CodedPacket> = (0..6).map(|_| enc.random_packet(&mut rng)).collect();
+        // Intermediate node re-codes random pairs of what it received.
+        let mut dec = Decoder::new(4);
+        let mut budget = 0;
+        while !dec.is_complete() {
+            let i = rand::Rng::gen_range(&mut rng, 0..hop1.len());
+            let j = rand::Rng::gen_range(&mut rng, 0..hop1.len());
+            let c1 = Gf256::new(rand::Rng::gen(&mut rng));
+            let c2 = Gf256::new(rand::Rng::gen(&mut rng));
+            let recoded = CodedPacket::combine(&[(c1, &hop1[i]), (c2, &hop1[j])]).unwrap();
+            dec.push(recoded);
+            budget += 1;
+            if budget > 512 { break; } // pathological seeds: pairs may not span
+        }
+        if dec.is_complete() {
+            prop_assert_eq!(dec.decoded_payloads().unwrap(), sources);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Stream codec: incremental decoding and blocking I/O helpers.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BytesMut};
+
+use crate::msg::MAX_PAYLOAD;
+use crate::{DecodeError, Header, Msg, HEADER_LEN};
+
+/// Incremental decoder for a byte stream carrying back-to-back messages.
+///
+/// Feed arbitrary chunks with [`Decoder::feed`] and drain complete
+/// messages with [`Decoder::next_msg`]. Messages are extracted zero-copy:
+/// the payload of a yielded [`Msg`] references the decoder's internal
+/// buffer rather than a fresh allocation.
+///
+/// # Example
+///
+/// ```
+/// use ioverlay_message::{Decoder, Msg, MsgType, NodeId};
+///
+/// let a = Msg::data(NodeId::loopback(1), 0, 0, &b"aa"[..]);
+/// let b = Msg::data(NodeId::loopback(1), 0, 1, &b"bb"[..]);
+/// let mut wire = a.encode();
+/// wire.extend_from_slice(&b.encode());
+///
+/// let mut dec = Decoder::new();
+/// dec.feed(&wire[..10]); // partial chunk
+/// assert!(dec.next_msg()?.is_none());
+/// dec.feed(&wire[10..]);
+/// assert_eq!(dec.next_msg()?, Some(a));
+/// assert_eq!(dec.next_msg()?, Some(b));
+/// assert!(dec.next_msg()?.is_none());
+/// # Ok::<(), ioverlay_message::DecodeError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: BytesMut,
+}
+
+impl Decoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a chunk of stream bytes to the decode buffer.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Number of bytes buffered but not yet consumed by a complete message.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to extract the next complete message.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::PayloadTooLarge`] or
+    /// [`DecodeError::PortOutOfRange`] on malformed headers; the stream
+    /// should be torn down in that case, since framing is lost.
+    pub fn next_msg(&mut self) -> Result<Option<Msg>, DecodeError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header = Header::decode(&self.buf)?;
+        let declared = header.payload_len() as usize;
+        if declared > MAX_PAYLOAD {
+            return Err(DecodeError::PayloadTooLarge {
+                declared,
+                max: MAX_PAYLOAD,
+            });
+        }
+        if self.buf.len() < HEADER_LEN + declared {
+            return Ok(None);
+        }
+        self.buf.advance(HEADER_LEN);
+        let payload = self.buf.split_to(declared).freeze();
+        Ok(Some(Msg::new(
+            header.ty(),
+            header.origin(),
+            header.app(),
+            header.seq(),
+            payload,
+        )))
+    }
+}
+
+/// Writes one message to a blocking writer.
+///
+/// This is the paper's sender-thread primitive: sender threads *"use
+/// blocking ... send operations"* on persistent connections.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying writer. Note that a `&mut
+/// W` can be passed for any `W: Write`.
+pub fn write_msg<W: Write>(mut w: W, msg: &Msg) -> io::Result<()> {
+    w.write_all(&msg.header().encode())?;
+    w.write_all(msg.payload())?;
+    Ok(())
+}
+
+/// Reads one complete message from a blocking reader.
+///
+/// This is the paper's receiver-thread primitive. Returns `Ok(None)` on a
+/// clean end-of-stream at a message boundary.
+///
+/// # Errors
+///
+/// Returns `io::ErrorKind::UnexpectedEof` if the stream ends mid-message,
+/// or `io::ErrorKind::InvalidData` wrapping a [`DecodeError`] if the
+/// header is malformed. Note that a `&mut R` can be passed for any
+/// `R: Read`.
+pub fn read_msg<R: Read>(mut r: R) -> io::Result<Option<Msg>> {
+    let mut header_buf = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = r.read(&mut header_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream ended inside a message header",
+            ));
+        }
+        filled += n;
+    }
+    let header =
+        Header::decode(&header_buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let declared = header.payload_len() as usize;
+    if declared > MAX_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            DecodeError::PayloadTooLarge {
+                declared,
+                max: MAX_PAYLOAD,
+            },
+        ));
+    }
+    let mut payload = vec![0u8; declared];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Msg::new(
+        header.ty(),
+        header.origin(),
+        header.app(),
+        header.seq(),
+        payload,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn sample(seq: u32, len: usize) -> Msg {
+        Msg::data(NodeId::loopback(9000), 1, seq, vec![seq as u8; len])
+    }
+
+    #[test]
+    fn decoder_handles_byte_at_a_time_delivery() {
+        let msgs: Vec<Msg> = (0..4).map(|i| sample(i, 33)).collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&m.encode());
+        }
+        let mut dec = Decoder::new();
+        let mut out = Vec::new();
+        for b in wire {
+            dec.feed(&[b]);
+            while let Some(m) = dec.next_msg().unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, msgs);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn decoder_rejects_poisoned_length() {
+        let mut wire = sample(0, 4).encode();
+        wire[20..24].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut dec = Decoder::new();
+        dec.feed(&wire);
+        assert!(dec.next_msg().is_err());
+    }
+
+    #[test]
+    fn io_roundtrip_over_a_cursor() {
+        let msgs: Vec<Msg> = (0..3).map(|i| sample(i, 100)).collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_msg(&mut wire, m).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for expect in &msgs {
+            assert_eq!(read_msg(&mut cursor).unwrap().as_ref(), Some(expect));
+        }
+        assert_eq!(read_msg(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn read_msg_detects_mid_message_eof() {
+        let wire = sample(0, 50).encode();
+        let mut cursor = std::io::Cursor::new(&wire[..wire.len() - 10]);
+        let err = read_msg(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn read_msg_detects_mid_header_eof() {
+        let wire = sample(0, 0).encode();
+        let mut cursor = std::io::Cursor::new(&wire[..HEADER_LEN / 2]);
+        let err = read_msg(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn clean_eof_returns_none() {
+        let mut cursor = std::io::Cursor::new(Vec::<u8>::new());
+        assert_eq!(read_msg(&mut cursor).unwrap(), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Decoding errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when decoding messages from their wire representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The buffer ended before a complete 24-byte header was available.
+    TruncatedHeader {
+        /// Number of header bytes that were available.
+        available: usize,
+    },
+    /// The header promised a payload longer than the bytes available.
+    TruncatedPayload {
+        /// Payload length declared in the header.
+        declared: usize,
+        /// Number of payload bytes actually available.
+        available: usize,
+    },
+    /// The payload size field exceeds the maximum supported message size.
+    PayloadTooLarge {
+        /// Payload length declared in the header.
+        declared: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// The 4-byte port field holds a value that does not fit in a `u16`.
+    PortOutOfRange(u32),
+    /// A textual node identity could not be parsed as `ip:port`.
+    InvalidNodeId(String),
+    /// A structured payload (for example [`crate::ControlParams`]) was
+    /// malformed.
+    InvalidPayload(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::TruncatedHeader { available } => write!(
+                f,
+                "truncated header: need {} bytes, only {available} available",
+                crate::HEADER_LEN
+            ),
+            DecodeError::TruncatedPayload {
+                declared,
+                available,
+            } => write!(
+                f,
+                "truncated payload: header declares {declared} bytes, only {available} available"
+            ),
+            DecodeError::PayloadTooLarge { declared, max } => {
+                write!(f, "payload of {declared} bytes exceeds maximum of {max}")
+            }
+            DecodeError::PortOutOfRange(raw) => {
+                write!(f, "port field {raw} does not fit in 16 bits")
+            }
+            DecodeError::InvalidNodeId(text) => {
+                write!(f, "invalid node id {text:?}, expected ip:port")
+            }
+            DecodeError::InvalidPayload(what) => write!(f, "invalid payload: {what}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let err = DecodeError::TruncatedPayload {
+            declared: 100,
+            available: 3,
+        };
+        let text = err.to_string();
+        assert!(text.contains("100"));
+        assert!(text.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecodeError>();
+    }
+}

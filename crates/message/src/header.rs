@@ -1,0 +1,170 @@
+//! The fixed 24-byte message header.
+
+use crate::{DecodeError, MsgType, NodeId};
+
+/// Length of the fixed message header in bytes, as in Fig. 3 of the paper.
+pub const HEADER_LEN: usize = 24;
+
+/// The fixed-size header carried by every application-layer message.
+///
+/// Fields mirror Fig. 3: message type, original sender (IP and port),
+/// application identifier, sequence number, and payload size. All fields
+/// except the sequence number are immutable after construction.
+///
+/// # Example
+///
+/// ```
+/// use ioverlay_message::{Header, MsgType, NodeId, HEADER_LEN};
+///
+/// let header = Header::new(MsgType::Data, NodeId::loopback(9000), 1, 42, 128);
+/// let wire = header.encode();
+/// assert_eq!(wire.len(), HEADER_LEN);
+/// assert_eq!(Header::decode(&wire)?, header);
+/// # Ok::<(), ioverlay_message::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Header {
+    ty: MsgType,
+    origin: NodeId,
+    app: u32,
+    seq: u32,
+    payload_len: u32,
+}
+
+impl Header {
+    /// Creates a new header.
+    pub fn new(ty: MsgType, origin: NodeId, app: u32, seq: u32, payload_len: u32) -> Self {
+        Self {
+            ty,
+            origin,
+            app,
+            seq,
+            payload_len,
+        }
+    }
+
+    /// The message type.
+    pub fn ty(&self) -> MsgType {
+        self.ty
+    }
+
+    /// The original sender of the message. Forwarding preserves this
+    /// field, so a receiver many hops away still learns which node
+    /// produced the message.
+    pub fn origin(&self) -> NodeId {
+        self.origin
+    }
+
+    /// The application (session) the message belongs to. The engine uses
+    /// this to demultiplex concurrent applications over persistent
+    /// connections.
+    pub fn app(&self) -> u32 {
+        self.app
+    }
+
+    /// The sequence number — the single mutable header field.
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// Rewrites the sequence number in place.
+    pub fn set_seq(&mut self, seq: u32) {
+        self.seq = seq;
+    }
+
+    /// Declared payload length in bytes.
+    pub fn payload_len(&self) -> u32 {
+        self.payload_len
+    }
+
+    /// Encodes the header into its 24-byte wire representation.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0..4].copy_from_slice(&self.ty.to_wire().to_be_bytes());
+        out[4..12].copy_from_slice(&self.origin.to_wire());
+        out[12..16].copy_from_slice(&self.app.to_be_bytes());
+        out[16..20].copy_from_slice(&self.seq.to_be_bytes());
+        out[20..24].copy_from_slice(&self.payload_len.to_be_bytes());
+        out
+    }
+
+    /// Decodes a header from a buffer that starts with its 24-byte wire
+    /// representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::TruncatedHeader`] if fewer than
+    /// [`HEADER_LEN`] bytes are available, or [`DecodeError::PortOutOfRange`]
+    /// if the origin's port field is malformed.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        if buf.len() < HEADER_LEN {
+            return Err(DecodeError::TruncatedHeader {
+                available: buf.len(),
+            });
+        }
+        let ty = MsgType::from_wire(u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]));
+        let mut origin_wire = [0u8; NodeId::WIRE_LEN];
+        origin_wire.copy_from_slice(&buf[4..12]);
+        let origin = NodeId::from_wire(&origin_wire)?;
+        let app = u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]);
+        let seq = u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]]);
+        let payload_len = u32::from_be_bytes([buf[20], buf[21], buf[22], buf[23]]);
+        Ok(Self {
+            ty,
+            origin,
+            app,
+            seq,
+            payload_len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Header {
+        Header::new(MsgType::SQuery, NodeId::loopback(7001), 3, 99, 1234)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let header = sample();
+        assert_eq!(Header::decode(&header.encode()).unwrap(), header);
+    }
+
+    #[test]
+    fn decode_needs_full_header() {
+        let wire = sample().encode();
+        for len in 0..HEADER_LEN {
+            assert!(matches!(
+                Header::decode(&wire[..len]),
+                Err(DecodeError::TruncatedHeader { available }) if available == len
+            ));
+        }
+    }
+
+    #[test]
+    fn seq_is_the_only_mutable_field() {
+        let mut header = sample();
+        header.set_seq(100);
+        assert_eq!(header.seq(), 100);
+        let reference = sample();
+        assert_eq!(header.ty(), reference.ty());
+        assert_eq!(header.origin(), reference.origin());
+        assert_eq!(header.app(), reference.app());
+        assert_eq!(header.payload_len(), reference.payload_len());
+    }
+
+    #[test]
+    fn header_is_exactly_24_bytes() {
+        assert_eq!(sample().encode().len(), 24);
+    }
+
+    #[test]
+    fn decode_tolerates_trailing_bytes() {
+        let mut wire = sample().encode().to_vec();
+        wire.extend_from_slice(b"payload follows");
+        assert_eq!(Header::decode(&wire).unwrap(), sample());
+    }
+}

@@ -1,0 +1,57 @@
+//! Application-layer message wire format for the iOverlay reproduction.
+//!
+//! iOverlay assumes that *all* communication between overlay nodes — data
+//! payloads, protocol messages, observer control traffic — is carried by
+//! application-layer messages with a fixed 24-byte header (Fig. 3 of the
+//! paper):
+//!
+//! ```text
+//! +-------------------------------+
+//! | message type        (4 bytes) |
+//! | origin IP           (4 bytes) |
+//! | origin port         (4 bytes) |
+//! | application id      (4 bytes) |
+//! | sequence number     (4 bytes) |  (the only mutable field)
+//! | payload size        (4 bytes) |
+//! +-------------------------------+
+//! |       payload (variable)      |
+//! +-------------------------------+
+//! ```
+//!
+//! The content of a message is mostly immutable and initialized at
+//! construction time; only the sequence number may be rewritten in place.
+//! Payloads are held in [`bytes::Bytes`], so cloning a [`Msg`] is a cheap
+//! reference-count bump — this is the Rust rendition of the paper's
+//! "zero copying of messages" with its hand-rolled thread-safe reference
+//! counting.
+//!
+//! # Example
+//!
+//! ```
+//! use ioverlay_message::{Msg, MsgType, NodeId};
+//!
+//! let origin = NodeId::new([10, 0, 0, 1].into(), 9000);
+//! let msg = Msg::data(origin, /*app=*/7, /*seq=*/0, &b"hello overlay"[..]);
+//! let wire = msg.encode();
+//! let back = Msg::decode(&wire).unwrap();
+//! assert_eq!(back, msg);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod error;
+mod header;
+mod msg;
+mod node_id;
+mod params;
+mod types;
+
+pub use codec::{read_msg, write_msg, Decoder};
+pub use error::DecodeError;
+pub use header::{Header, HEADER_LEN};
+pub use msg::Msg;
+pub use node_id::NodeId;
+pub use params::ControlParams;
+pub use types::MsgType;

@@ -1,0 +1,248 @@
+//! The message type: header plus zero-copy payload.
+
+use bytes::Bytes;
+
+use crate::{DecodeError, Header, MsgType, NodeId, HEADER_LEN};
+
+/// Default upper bound on payload size accepted by decoders (16 MiB).
+///
+/// The paper's messages carry *"application data (or payload) of a maximum
+/// (but not necessarily fixed) length"*; this cap protects the engine from
+/// a corrupted or hostile length field.
+pub(crate) const MAX_PAYLOAD: usize = 16 << 20;
+
+/// An application-layer message: a 24-byte [`Header`] and a payload.
+///
+/// Cloning a `Msg` is cheap: the payload lives in a [`Bytes`] buffer whose
+/// clone is a reference-count increment, which is how this reproduction
+/// realizes the paper's *"zero copying of messages"* — references flow
+/// from the incoming socket all the way to the outgoing sockets, and the
+/// engine never deep-copies a data payload.
+///
+/// # Example
+///
+/// ```
+/// use ioverlay_message::{Msg, MsgType, NodeId};
+///
+/// let origin = NodeId::loopback(9000);
+/// let msg = Msg::new(MsgType::SQuery, origin, 1, 0, &b"join?"[..]);
+/// let copy = msg.clone(); // reference-count bump, no payload copy
+/// assert_eq!(copy.payload(), msg.payload());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg {
+    header: Header,
+    payload: Bytes,
+}
+
+impl Msg {
+    /// Creates a message of the given type.
+    ///
+    /// The payload may be anything convertible into [`Bytes`]: a `&'static
+    /// [u8]`, a `Vec<u8>`, or another `Bytes` (zero-copy).
+    pub fn new(
+        ty: MsgType,
+        origin: NodeId,
+        app: u32,
+        seq: u32,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        let payload = payload.into();
+        let len = u32::try_from(payload.len()).expect("payload fits in u32");
+        Self {
+            header: Header::new(ty, origin, app, seq, len),
+            payload,
+        }
+    }
+
+    /// Convenience constructor for a `data` message.
+    pub fn data(origin: NodeId, app: u32, seq: u32, payload: impl Into<Bytes>) -> Self {
+        Self::new(MsgType::Data, origin, app, seq, payload)
+    }
+
+    /// Convenience constructor for a payload-less control message.
+    pub fn control(ty: MsgType, origin: NodeId, app: u32) -> Self {
+        Self::new(ty, origin, app, 0, Bytes::new())
+    }
+
+    /// The message header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// The message type.
+    pub fn ty(&self) -> MsgType {
+        self.header.ty()
+    }
+
+    /// The original sender.
+    pub fn origin(&self) -> NodeId {
+        self.header.origin()
+    }
+
+    /// The application (session) identifier.
+    pub fn app(&self) -> u32 {
+        self.header.app()
+    }
+
+    /// The sequence number.
+    pub fn seq(&self) -> u32 {
+        self.header.seq()
+    }
+
+    /// Rewrites the sequence number — the single mutable header field.
+    pub fn set_seq(&mut self, seq: u32) {
+        self.header.set_seq(seq);
+    }
+
+    /// The payload bytes.
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+
+    /// Total size of the message on the wire (header plus payload).
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Returns a copy of this message with a different type but the same
+    /// origin, application, sequence number, and (zero-copy) payload.
+    ///
+    /// This supports the paper's rule that an algorithm must *clone*
+    /// non-`data` messages before re-sending them.
+    pub fn with_ty(&self, ty: MsgType) -> Self {
+        Self {
+            header: Header::new(
+                ty,
+                self.header.origin(),
+                self.header.app(),
+                self.header.seq(),
+                self.header.payload_len(),
+            ),
+            payload: self.payload.clone(),
+        }
+    }
+
+    /// Returns a copy of this message re-originated at `origin`.
+    pub fn with_origin(&self, origin: NodeId) -> Self {
+        Self {
+            header: Header::new(
+                self.header.ty(),
+                origin,
+                self.header.app(),
+                self.header.seq(),
+                self.header.payload_len(),
+            ),
+            payload: self.payload.clone(),
+        }
+    }
+
+    /// Encodes the message into a freshly allocated wire buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&self.header.encode());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes a message from a buffer containing exactly one message.
+    ///
+    /// Use [`crate::Decoder`] to parse a byte *stream* that may hold
+    /// partial or multiple messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the header is truncated or malformed,
+    /// the declared payload exceeds the bytes available, or the declared
+    /// payload exceeds the 16 MiB safety cap.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let header = Header::decode(buf)?;
+        let declared = header.payload_len() as usize;
+        if declared > MAX_PAYLOAD {
+            return Err(DecodeError::PayloadTooLarge {
+                declared,
+                max: MAX_PAYLOAD,
+            });
+        }
+        let available = buf.len() - HEADER_LEN;
+        if available < declared {
+            return Err(DecodeError::TruncatedPayload {
+                declared,
+                available,
+            });
+        }
+        Ok(Self {
+            header,
+            payload: Bytes::copy_from_slice(&buf[HEADER_LEN..HEADER_LEN + declared]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin() -> NodeId {
+        NodeId::loopback(9000)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let msg = Msg::new(MsgType::Data, origin(), 5, 17, &b"payload bytes"[..]);
+        let back = Msg::decode(&msg.encode()).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let msg = Msg::control(MsgType::Boot, origin(), 0);
+        assert_eq!(msg.wire_len(), HEADER_LEN);
+        assert_eq!(Msg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn clone_shares_payload_storage() {
+        let msg = Msg::data(origin(), 1, 0, vec![7u8; 4096]);
+        let copy = msg.clone();
+        // Bytes clones share the same backing allocation.
+        assert_eq!(msg.payload().as_ptr(), copy.payload().as_ptr());
+    }
+
+    #[test]
+    fn with_ty_preserves_everything_else() {
+        let msg = Msg::new(MsgType::SQuery, origin(), 2, 3, &b"q"[..]);
+        let ack = msg.with_ty(MsgType::SQueryAck);
+        assert_eq!(ack.ty(), MsgType::SQueryAck);
+        assert_eq!(ack.origin(), msg.origin());
+        assert_eq!(ack.app(), msg.app());
+        assert_eq!(ack.seq(), msg.seq());
+        assert_eq!(ack.payload(), msg.payload());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_payload() {
+        let msg = Msg::data(origin(), 1, 0, vec![0u8; 100]);
+        let wire = msg.encode();
+        assert!(matches!(
+            Msg::decode(&wire[..wire.len() - 1]),
+            Err(DecodeError::TruncatedPayload { declared: 100, available: 99 })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_giant_declared_payload() {
+        let msg = Msg::control(MsgType::Data, origin(), 0);
+        let mut wire = msg.encode();
+        wire[20..24].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            Msg::decode(&wire),
+            Err(DecodeError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn msg_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Msg>();
+    }
+}

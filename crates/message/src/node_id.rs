@@ -1,0 +1,165 @@
+//! Overlay node identity.
+
+use std::fmt;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// The identity of an overlay node.
+///
+/// The paper: *"the notion of a node in iOverlay is uniquely identified by
+/// its IP address and port number"*. Virtualized nodes on the same host
+/// differ only in their port.
+///
+/// # Example
+///
+/// ```
+/// use ioverlay_message::NodeId;
+///
+/// let id: NodeId = "128.100.241.68:7000".parse()?;
+/// assert_eq!(id.port(), 7000);
+/// assert_eq!(id.to_string(), "128.100.241.68:7000");
+/// # Ok::<(), ioverlay_message::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId {
+    ip: Ipv4Addr,
+    port: u16,
+}
+
+impl NodeId {
+    /// Number of bytes a `NodeId` occupies on the wire (4-byte IP followed
+    /// by a 4-byte port, per Fig. 3 of the paper).
+    pub const WIRE_LEN: usize = 8;
+
+    /// Creates a node identity from an IPv4 address and a port.
+    pub fn new(ip: Ipv4Addr, port: u16) -> Self {
+        Self { ip, port }
+    }
+
+    /// A loopback node identity, convenient for single-host deployments of
+    /// virtualized nodes.
+    pub fn loopback(port: u16) -> Self {
+        Self::new(Ipv4Addr::LOCALHOST, port)
+    }
+
+    /// The IPv4 address of the node.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.ip
+    }
+
+    /// The port the node's engine listens on.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Encodes the identity into its 8-byte wire representation.
+    pub fn to_wire(self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[..4].copy_from_slice(&self.ip.octets());
+        out[4..].copy_from_slice(&u32::from(self.port).to_be_bytes());
+        out
+    }
+
+    /// Decodes an identity from its 8-byte wire representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DecodeError::PortOutOfRange`] if the 4-byte port
+    /// field holds a value above `u16::MAX`.
+    pub fn from_wire(bytes: &[u8; Self::WIRE_LEN]) -> Result<Self, crate::DecodeError> {
+        let ip = Ipv4Addr::new(bytes[0], bytes[1], bytes[2], bytes[3]);
+        let raw_port = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        let port =
+            u16::try_from(raw_port).map_err(|_| crate::DecodeError::PortOutOfRange(raw_port))?;
+        Ok(Self { ip, port })
+    }
+
+    /// Converts the identity into a socket address usable with `std::net`.
+    pub fn to_socket_addr(self) -> SocketAddr {
+        SocketAddr::V4(SocketAddrV4::new(self.ip, self.port))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+impl From<SocketAddrV4> for NodeId {
+    fn from(addr: SocketAddrV4) -> Self {
+        Self::new(*addr.ip(), addr.port())
+    }
+}
+
+impl From<NodeId> for SocketAddr {
+    fn from(id: NodeId) -> Self {
+        id.to_socket_addr()
+    }
+}
+
+impl FromStr for NodeId {
+    type Err = crate::DecodeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let addr: SocketAddrV4 = s
+            .parse()
+            .map_err(|_| crate::DecodeError::InvalidNodeId(s.to_owned()))?;
+        Ok(Self::from(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let id = NodeId::new(Ipv4Addr::new(128, 100, 241, 68), 54321);
+        let wire = id.to_wire();
+        assert_eq!(NodeId::from_wire(&wire).unwrap(), id);
+    }
+
+    #[test]
+    fn rejects_oversized_port() {
+        let mut wire = NodeId::loopback(1).to_wire();
+        wire[4] = 0xff; // port field > u16::MAX
+        assert!(matches!(
+            NodeId::from_wire(&wire),
+            Err(crate::DecodeError::PortOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn display_and_parse() {
+        let id = NodeId::new(Ipv4Addr::new(10, 1, 2, 3), 8000);
+        let text = id.to_string();
+        assert_eq!(text, "10.1.2.3:8000");
+        assert_eq!(text.parse::<NodeId>().unwrap(), id);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("not-an-addr".parse::<NodeId>().is_err());
+        assert!("1.2.3.4".parse::<NodeId>().is_err());
+    }
+
+    #[test]
+    fn socket_addr_conversions() {
+        let id = NodeId::loopback(9999);
+        let sock: SocketAddr = id.into();
+        assert_eq!(sock.port(), 9999);
+        assert!(sock.ip().is_loopback());
+    }
+
+    #[test]
+    fn ordering_is_ip_then_port() {
+        let a = NodeId::new(Ipv4Addr::new(1, 0, 0, 1), 9);
+        let b = NodeId::new(Ipv4Addr::new(1, 0, 0, 2), 1);
+        assert!(a < b);
+        let c = NodeId::new(Ipv4Addr::new(1, 0, 0, 1), 10);
+        assert!(a < c);
+    }
+}

@@ -1,0 +1,121 @@
+//! The observer's two-integer control parameters.
+
+use bytes::Bytes;
+
+use crate::DecodeError;
+
+/// The two optional integer parameters the observer may embed in an
+/// algorithm-specific control message.
+///
+/// The paper: *"the observer is also able to send new types of
+/// algorithm-specific control messages to the nodes, with two optional
+/// integer parameters embedded in the header."* This reproduction carries
+/// them at the head of the payload instead, preserving the fixed 24-byte
+/// header; semantically they are the same two knobs.
+///
+/// # Example
+///
+/// ```
+/// use ioverlay_message::ControlParams;
+///
+/// let params = ControlParams::new(Some(7), None);
+/// let wire = params.encode();
+/// assert_eq!(ControlParams::decode(&wire)?, params);
+/// # Ok::<(), ioverlay_message::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ControlParams {
+    a: Option<i32>,
+    b: Option<i32>,
+}
+
+impl ControlParams {
+    /// Encoded size in bytes: two presence flags plus two 4-byte values.
+    pub const WIRE_LEN: usize = 10;
+
+    /// Creates a parameter pair.
+    pub fn new(a: Option<i32>, b: Option<i32>) -> Self {
+        Self { a, b }
+    }
+
+    /// The first parameter, if present.
+    pub fn a(&self) -> Option<i32> {
+        self.a
+    }
+
+    /// The second parameter, if present.
+    pub fn b(&self) -> Option<i32> {
+        self.b
+    }
+
+    /// Encodes into a payload prefix.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(Self::WIRE_LEN);
+        out.push(self.a.is_some() as u8);
+        out.push(self.b.is_some() as u8);
+        out.extend_from_slice(&self.a.unwrap_or(0).to_be_bytes());
+        out.extend_from_slice(&self.b.unwrap_or(0).to_be_bytes());
+        Bytes::from(out)
+    }
+
+    /// Decodes from the first [`Self::WIRE_LEN`] bytes of a payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidPayload`] if the buffer is too short
+    /// or a presence flag is not 0/1.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(DecodeError::InvalidPayload("control params truncated"));
+        }
+        let flag = |b: u8| match b {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::InvalidPayload("bad presence flag")),
+        };
+        let has_a = flag(buf[0])?;
+        let has_b = flag(buf[1])?;
+        let a = i32::from_be_bytes([buf[2], buf[3], buf[4], buf[5]]);
+        let b = i32::from_be_bytes([buf[6], buf[7], buf[8], buf[9]]);
+        Ok(Self {
+            a: has_a.then_some(a),
+            b: has_b.then_some(b),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_presence_combinations() {
+        for params in [
+            ControlParams::new(None, None),
+            ControlParams::new(Some(-5), None),
+            ControlParams::new(None, Some(i32::MAX)),
+            ControlParams::new(Some(0), Some(i32::MIN)),
+        ] {
+            assert_eq!(ControlParams::decode(&params.encode()).unwrap(), params);
+        }
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        assert!(ControlParams::decode(&[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn bad_flag_is_rejected() {
+        let mut wire = ControlParams::new(Some(1), Some(2)).encode().to_vec();
+        wire[0] = 9;
+        assert!(ControlParams::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn default_has_no_params() {
+        let d = ControlParams::default();
+        assert_eq!(d.a(), None);
+        assert_eq!(d.b(), None);
+    }
+}

@@ -1,0 +1,252 @@
+//! The message-type registry.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The type tag carried in the first four bytes of every message header.
+///
+/// The interface between an algorithm and the engine is *"completely
+/// message driven"*: messages are distinguished by their types, and a
+/// message handler over the possible types is all an algorithm has to
+/// implement. This enum collects every type named in the paper (observer
+/// control, engine events, and the case-study protocol messages) and
+/// leaves an open [`MsgType::Custom`] space for new algorithms, mirroring
+/// the observer's ability to send *"new types of algorithm-specific
+/// control messages"*.
+///
+/// Wire codes are stable: well-known types occupy `0..=0x3F`, and custom
+/// codes live at `0x1000` and above.
+///
+/// # Example
+///
+/// ```
+/// use ioverlay_message::MsgType;
+///
+/// assert_eq!(MsgType::from_wire(MsgType::Data.to_wire()), MsgType::Data);
+/// let custom = MsgType::Custom(0x1000 + 7);
+/// assert_eq!(MsgType::from_wire(custom.to_wire()), custom);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MsgType {
+    // --- data plane ---
+    /// An application data message. The only type an algorithm *must*
+    /// handle.
+    Data,
+
+    // --- bootstrap / observer control plane ---
+    /// Bootstrap request sent by a starting node to the observer.
+    Boot,
+    /// Bootstrap reply: a random subset of alive nodes (`KnownHosts`).
+    BootReply,
+    /// Observer asks a node for a status update.
+    Request,
+    /// A node's status report (buffer lengths, QoS metrics, neighbors).
+    Status,
+    /// Observer deploys an application data source on a node.
+    SDeploy,
+    /// Observer terminates an application data source.
+    STerminate,
+    /// Observer asks a node to join an application session.
+    SJoin,
+    /// Observer asks a node to leave an application session.
+    SLeave,
+    /// Observer terminates a node entirely (graceful shutdown).
+    Terminate,
+    /// Observer announces the data source of a session.
+    SAnnounce,
+    /// Observer adjusts emulated bandwidth (per-node / per-link).
+    SetBandwidth,
+    /// A trace record to be logged centrally by the observer.
+    Trace,
+
+    // --- engine events delivered to the algorithm ---
+    /// An upstream application source failed; downstream state must be
+    /// cleared (the "Domino Effect" teardown).
+    BrokenSource,
+    /// Periodic throughput measurement for an upstream link.
+    UpThroughput,
+    /// Periodic throughput measurement for a downstream link.
+    DownThroughput,
+    /// A neighbor node (upstream or downstream) was detected as failed.
+    NeighborFailed,
+    /// A new incoming (upstream) connection was established.
+    UpstreamJoined,
+    /// A new outgoing (downstream) connection was established.
+    DownstreamJoined,
+
+    // --- connection management ---
+    /// First message on a persistent connection: identifies the sending
+    /// node so the receiver can register the upstream link.
+    Hello,
+
+    // --- measurement probes ---
+    /// Round-trip latency probe.
+    Ping,
+    /// Round-trip latency probe response.
+    Pong,
+
+    // --- tree-construction case study (Section 3.3) ---
+    /// Query relayed toward a suitable attachment point in the tree.
+    SQuery,
+    /// Acknowledgment that the sender accepts the joiner as a child.
+    SQueryAck,
+
+    // --- service-federation case study (Section 3.4) ---
+    /// Observer assigns a service instance to a node.
+    SAssign,
+    /// Disseminates awareness of a new service instance.
+    SAware,
+    /// Carries a service requirement through the federation process.
+    SFederate,
+
+    /// An algorithm-specific type (wire codes `0x1000` and above).
+    Custom(u32),
+}
+
+/// First wire code reserved for algorithm-specific message types.
+pub const CUSTOM_BASE: u32 = 0x1000;
+
+const WELL_KNOWN: &[(MsgType, u32, &str)] = &[
+    (MsgType::Data, 0x00, "data"),
+    (MsgType::Boot, 0x01, "boot"),
+    (MsgType::BootReply, 0x02, "bootReply"),
+    (MsgType::Request, 0x03, "request"),
+    (MsgType::Status, 0x04, "status"),
+    (MsgType::SDeploy, 0x05, "sDeploy"),
+    (MsgType::STerminate, 0x06, "sTerminate"),
+    (MsgType::SJoin, 0x07, "sJoin"),
+    (MsgType::SLeave, 0x08, "sLeave"),
+    (MsgType::Terminate, 0x09, "terminate"),
+    (MsgType::SAnnounce, 0x0A, "sAnnounce"),
+    (MsgType::SetBandwidth, 0x0B, "setBandwidth"),
+    (MsgType::Trace, 0x0C, "trace"),
+    (MsgType::BrokenSource, 0x10, "brokenSource"),
+    (MsgType::UpThroughput, 0x11, "upThroughput"),
+    (MsgType::DownThroughput, 0x12, "downThroughput"),
+    (MsgType::NeighborFailed, 0x13, "neighborFailed"),
+    (MsgType::UpstreamJoined, 0x14, "upstreamJoined"),
+    (MsgType::DownstreamJoined, 0x15, "downstreamJoined"),
+    (MsgType::Hello, 0x16, "hello"),
+    (MsgType::Ping, 0x18, "ping"),
+    (MsgType::Pong, 0x19, "pong"),
+    (MsgType::SQuery, 0x20, "sQuery"),
+    (MsgType::SQueryAck, 0x21, "sQueryAck"),
+    (MsgType::SAssign, 0x28, "sAssign"),
+    (MsgType::SAware, 0x29, "sAware"),
+    (MsgType::SFederate, 0x2A, "sFederate"),
+];
+
+impl MsgType {
+    /// Encodes the type into its 4-byte wire code.
+    pub fn to_wire(self) -> u32 {
+        if let MsgType::Custom(code) = self {
+            return code.max(CUSTOM_BASE);
+        }
+        WELL_KNOWN
+            .iter()
+            .find(|(ty, _, _)| *ty == self)
+            .map(|(_, code, _)| *code)
+            .expect("every non-custom MsgType has a wire code")
+    }
+
+    /// Decodes a 4-byte wire code into a message type.
+    ///
+    /// Unknown codes decode to [`MsgType::Custom`], so new algorithm
+    /// message types never fail to parse at the engine level — the engine
+    /// simply relays them to the algorithm, as in the paper.
+    pub fn from_wire(code: u32) -> Self {
+        WELL_KNOWN
+            .iter()
+            .find(|(_, c, _)| *c == code)
+            .map(|(ty, _, _)| *ty)
+            .unwrap_or(MsgType::Custom(code))
+    }
+
+    /// Whether this is the `data` type — the only type that travels on the
+    /// zero-copy fast path through the switch.
+    pub fn is_data(self) -> bool {
+        self == MsgType::Data
+    }
+
+    /// Whether the engine handles this type itself rather than passing it
+    /// to the algorithm (`Engine::process()` vs `Algorithm::process()` in
+    /// Table 1 of the paper).
+    pub fn is_engine_internal(self) -> bool {
+        matches!(
+            self,
+            MsgType::Ping | MsgType::Pong | MsgType::SetBandwidth | MsgType::Terminate
+        )
+    }
+
+    /// The human-readable name used in traces and observer output.
+    pub fn name(self) -> String {
+        match self {
+            MsgType::Custom(code) => format!("custom({code:#x})"),
+            _ => WELL_KNOWN
+                .iter()
+                .find(|(ty, _, _)| *ty == self)
+                .map(|(_, _, name)| (*name).to_owned())
+                .expect("every non-custom MsgType has a name"),
+        }
+    }
+}
+
+impl fmt::Display for MsgType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_codes_are_unique() {
+        let mut codes: Vec<u32> = WELL_KNOWN.iter().map(|(_, c, _)| *c).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), WELL_KNOWN.len());
+    }
+
+    #[test]
+    fn wire_roundtrip_for_all_well_known() {
+        for (ty, _, _) in WELL_KNOWN {
+            assert_eq!(MsgType::from_wire(ty.to_wire()), *ty);
+        }
+    }
+
+    #[test]
+    fn custom_roundtrip() {
+        let ty = MsgType::Custom(CUSTOM_BASE + 42);
+        assert_eq!(MsgType::from_wire(ty.to_wire()), ty);
+    }
+
+    #[test]
+    fn unknown_code_decodes_to_custom() {
+        assert_eq!(MsgType::from_wire(0x9999), MsgType::Custom(0x9999));
+    }
+
+    #[test]
+    fn custom_codes_below_base_are_clamped() {
+        // A Custom value colliding with the well-known space would be
+        // ambiguous on the wire; encoding clamps it into the custom space.
+        let ty = MsgType::Custom(3);
+        assert_eq!(ty.to_wire(), CUSTOM_BASE);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(MsgType::Data.name(), "data");
+        assert_eq!(MsgType::SQueryAck.name(), "sQueryAck");
+        assert_eq!(MsgType::Custom(0x1001).to_string(), "custom(0x1001)");
+    }
+
+    #[test]
+    fn engine_internal_classification() {
+        assert!(MsgType::Ping.is_engine_internal());
+        assert!(!MsgType::Data.is_engine_internal());
+        assert!(!MsgType::SQuery.is_engine_internal());
+    }
+}

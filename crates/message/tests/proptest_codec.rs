@@ -1,0 +1,94 @@
+//! Property-based tests for the message wire format.
+
+use ioverlay_message::{Decoder, Msg, MsgType, NodeId};
+use proptest::prelude::*;
+
+fn arb_msg_type() -> impl Strategy<Value = MsgType> {
+    prop_oneof![
+        Just(MsgType::Data),
+        Just(MsgType::Boot),
+        Just(MsgType::Request),
+        Just(MsgType::SDeploy),
+        Just(MsgType::BrokenSource),
+        Just(MsgType::UpThroughput),
+        Just(MsgType::SQuery),
+        Just(MsgType::SQueryAck),
+        Just(MsgType::SAware),
+        Just(MsgType::SFederate),
+        Just(MsgType::Trace),
+        (0x1000u32..0xFFFF).prop_map(MsgType::Custom),
+    ]
+}
+
+fn arb_node_id() -> impl Strategy<Value = NodeId> {
+    (any::<[u8; 4]>(), any::<u16>()).prop_map(|(ip, port)| NodeId::new(ip.into(), port))
+}
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    (
+        arb_msg_type(),
+        arb_node_id(),
+        any::<u32>(),
+        any::<u32>(),
+        proptest::collection::vec(any::<u8>(), 0..2048),
+    )
+        .prop_map(|(ty, origin, app, seq, payload)| Msg::new(ty, origin, app, seq, payload))
+}
+
+proptest! {
+    /// encode ∘ decode is the identity for any well-formed message.
+    #[test]
+    fn single_message_roundtrip(msg in arb_msg()) {
+        let back = Msg::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// The streaming decoder reconstructs any message sequence regardless
+    /// of how the byte stream is chopped into chunks.
+    #[test]
+    fn stream_roundtrip_with_arbitrary_chunking(
+        msgs in proptest::collection::vec(arb_msg(), 0..8),
+        chunk_sizes in proptest::collection::vec(1usize..97, 1..64),
+    ) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&m.encode());
+        }
+        let mut dec = Decoder::new();
+        let mut out = Vec::new();
+        let mut offset = 0;
+        let mut chunk_iter = chunk_sizes.iter().cycle();
+        while offset < wire.len() {
+            let take = (*chunk_iter.next().unwrap()).min(wire.len() - offset);
+            dec.feed(&wire[offset..offset + take]);
+            offset += take;
+            while let Some(m) = dec.next_msg().unwrap() {
+                out.push(m);
+            }
+        }
+        prop_assert_eq!(out, msgs);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// Truncating the wire image of a message never yields a bogus decode:
+    /// it either errors or (for stream decoding) reports "need more".
+    #[test]
+    fn truncation_never_yields_wrong_message(msg in arb_msg(), cut in 0usize..24) {
+        let wire = msg.encode();
+        let cut = cut.min(wire.len().saturating_sub(1));
+        let truncated = &wire[..wire.len() - 1 - cut];
+        prop_assert!(Msg::decode(truncated).is_err());
+        let mut dec = Decoder::new();
+        dec.feed(truncated);
+        match dec.next_msg() {
+            Ok(None) | Err(_) => {}
+            Ok(Some(got)) => prop_assert!(false, "decoded {got:?} from truncated stream"),
+        }
+    }
+
+    /// Message types survive a wire roundtrip.
+    #[test]
+    fn msg_type_wire_roundtrip(ty in arb_msg_type()) {
+        prop_assert_eq!(MsgType::from_wire(ty.to_wire()), ty);
+    }
+}

@@ -1,0 +1,94 @@
+//! Constructors for the observer's control commands.
+//!
+//! The paper's observer *"serves as a control panel"*: it adjusts
+//! emulated bandwidth, deploys applications, asks nodes to join or leave
+//! a session, terminates sources and nodes, and can send
+//! algorithm-specific messages with two integer parameters. These
+//! helpers build those messages; any transport (TCP server, simulator
+//! injection) can carry them.
+
+use ioverlay_api::{
+    AppId, BandwidthScope, ControlParams, Msg, MsgType, NodeId, SetBandwidthPayload,
+};
+
+/// The node id observer-originated messages carry as origin.
+pub fn observer_origin() -> NodeId {
+    NodeId::loopback(0)
+}
+
+/// Deploys an application data source on the target node.
+pub fn deploy_source(app: AppId) -> Msg {
+    Msg::control(MsgType::SDeploy, observer_origin(), app)
+}
+
+/// Terminates an application data source.
+pub fn terminate_source(app: AppId) -> Msg {
+    Msg::control(MsgType::STerminate, observer_origin(), app)
+}
+
+/// Terminates a node entirely.
+pub fn terminate_node() -> Msg {
+    Msg::control(MsgType::Terminate, observer_origin(), 0)
+}
+
+/// Requests a status update.
+pub fn request_status() -> Msg {
+    Msg::control(MsgType::Request, observer_origin(), 0)
+}
+
+/// Retunes the target node's emulated bandwidth. `kbps = None` removes
+/// the limit — *"artificially emulated bottlenecks may be produced or
+/// relieved on the fly"*.
+pub fn set_bandwidth(scope: BandwidthScope, kbps: Option<u64>) -> Msg {
+    let payload = SetBandwidthPayload { scope, kbps };
+    Msg::new(
+        MsgType::SetBandwidth,
+        observer_origin(),
+        0,
+        0,
+        payload.encode(),
+    )
+}
+
+/// An algorithm-specific control message with the paper's two optional
+/// integer parameters.
+pub fn custom(code: u32, app: AppId, a: Option<i32>, b: Option<i32>) -> Msg {
+    Msg::new(
+        MsgType::Custom(code),
+        observer_origin(),
+        app,
+        0,
+        ControlParams::new(a, b).encode(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_carry_the_right_types() {
+        assert_eq!(deploy_source(3).ty(), MsgType::SDeploy);
+        assert_eq!(deploy_source(3).app(), 3);
+        assert_eq!(terminate_source(3).ty(), MsgType::STerminate);
+        assert_eq!(terminate_node().ty(), MsgType::Terminate);
+        assert_eq!(request_status().ty(), MsgType::Request);
+    }
+
+    #[test]
+    fn set_bandwidth_roundtrips() {
+        let msg = set_bandwidth(BandwidthScope::NodeUp, Some(30));
+        let payload = SetBandwidthPayload::decode(msg.payload()).unwrap();
+        assert_eq!(payload.scope, BandwidthScope::NodeUp);
+        assert_eq!(payload.kbps, Some(30));
+    }
+
+    #[test]
+    fn custom_carries_two_integer_params() {
+        let msg = custom(0x1234, 7, Some(-1), None);
+        assert_eq!(msg.ty(), MsgType::Custom(0x1234));
+        let params = ControlParams::decode(msg.payload()).unwrap();
+        assert_eq!(params.a(), Some(-1));
+        assert_eq!(params.b(), None);
+    }
+}

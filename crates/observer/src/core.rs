@@ -1,0 +1,307 @@
+//! The transport-free observer state machine.
+
+use std::collections::BTreeMap;
+
+use ioverlay_api::{BootReplyPayload, Msg, MsgType, Nanos, NodeId, StatusReport};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::trace::{TraceLog, TraceRecord};
+
+/// Observer tunables.
+#[derive(Debug, Clone)]
+pub struct ObserverConfig {
+    /// How many alive nodes a bootstrap reply contains (*"the number of
+    /// initial nodes in such a subset is configurable"*).
+    pub bootstrap_subset: usize,
+    /// RNG seed for subset selection.
+    pub seed: u64,
+    /// A node is considered dead if it has not been heard from for this
+    /// long.
+    pub liveness_timeout: Nanos,
+}
+
+impl Default for ObserverConfig {
+    fn default() -> Self {
+        Self {
+            bootstrap_subset: 8,
+            seed: 0,
+            liveness_timeout: 30_000_000_000,
+        }
+    }
+}
+
+/// What the observer knows about one node.
+#[derive(Debug, Clone)]
+pub struct NodeRecord {
+    /// Last time any message arrived from the node.
+    pub last_heard: Nanos,
+    /// The latest status report, if any.
+    pub status: Option<StatusReport>,
+}
+
+/// The observer's state machine: feed it every message that arrives from
+/// the overlay and it produces replies and bookkeeping. Transports (the
+/// TCP server, the simulator harness) stay thin.
+#[derive(Debug)]
+pub struct ObserverCore {
+    config: ObserverConfig,
+    nodes: BTreeMap<NodeId, NodeRecord>,
+    traces: TraceLog,
+    rng: StdRng,
+}
+
+impl ObserverCore {
+    /// Creates an observer with the given configuration.
+    pub fn new(config: ObserverConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            nodes: BTreeMap::new(),
+            traces: TraceLog::new(),
+            rng,
+        }
+    }
+
+    /// Nodes currently considered alive at time `now`.
+    pub fn alive_nodes(&self, now: Nanos) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|(_, r)| now.saturating_sub(r.last_heard) < self.config.liveness_timeout)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Everything known about a node.
+    pub fn node(&self, id: NodeId) -> Option<&NodeRecord> {
+        self.nodes.get(&id)
+    }
+
+    /// All known nodes, in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (&NodeId, &NodeRecord)> {
+        self.nodes.iter()
+    }
+
+    /// The collected trace log.
+    pub fn traces(&self) -> &TraceLog {
+        &self.traces
+    }
+
+    /// Latest status reports, for topology export.
+    pub fn statuses(&self) -> Vec<StatusReport> {
+        self.nodes
+            .values()
+            .filter_map(|r| r.status.clone())
+            .collect()
+    }
+
+    /// Processes one message from the overlay at time `now`; returns the
+    /// reply to send back to the originating node, if any.
+    pub fn handle(&mut self, msg: &Msg, now: Nanos) -> Option<Msg> {
+        let from = msg.origin();
+        let record = self.nodes.entry(from).or_insert(NodeRecord {
+            last_heard: now,
+            status: None,
+        });
+        record.last_heard = now;
+        match msg.ty() {
+            MsgType::Boot => {
+                // Reply with a random subset of the *other* alive nodes.
+                let mut candidates: Vec<NodeId> = self
+                    .alive_nodes(now)
+                    .into_iter()
+                    .filter(|n| *n != from)
+                    .collect();
+                candidates.shuffle(&mut self.rng);
+                candidates.truncate(self.config.bootstrap_subset);
+                let reply = BootReplyPayload { hosts: candidates };
+                Some(Msg::new(
+                    MsgType::BootReply,
+                    from,
+                    msg.app(),
+                    0,
+                    reply.encode(),
+                ))
+            }
+            MsgType::Status => {
+                if let Ok(report) = StatusReport::decode(msg.payload()) {
+                    let key = report.node.unwrap_or(from);
+                    self.nodes
+                        .entry(key)
+                        .or_insert(NodeRecord {
+                            last_heard: now,
+                            status: None,
+                        })
+                        .status = Some(report);
+                }
+                None
+            }
+            MsgType::Trace => {
+                let text = String::from_utf8_lossy(msg.payload()).into_owned();
+                self.traces.push(TraceRecord {
+                    at: now,
+                    node: from,
+                    text,
+                });
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds the periodic status `request` for one node.
+    pub fn status_request(&self, target: NodeId) -> Msg {
+        let _ = target;
+        Msg::control(MsgType::Request, NodeId::loopback(0), 0)
+    }
+
+    /// Serializes everything the observer currently knows — alive nodes,
+    /// per-node status, topology edges, trace count — as one JSON value.
+    /// This is the data behind the paper's GUI dashboard (Fig. 2).
+    pub fn snapshot_json(&self, now: Nanos) -> serde_json::Value {
+        let alive = self.alive_nodes(now);
+        let nodes: Vec<serde_json::Value> = self
+            .nodes
+            .iter()
+            .map(|(id, record)| {
+                serde_json::json!({
+                    "node": id.to_string(),
+                    "alive": alive.contains(id),
+                    "last_heard_secs_ago": (now.saturating_sub(record.last_heard)) as f64 / 1e9,
+                    "status": record.status.as_ref().map(|s| serde_json::json!({
+                        "upstreams": s.upstreams.iter().map(|n| n.to_string()).collect::<Vec<_>>(),
+                        "downstreams": s.downstreams.iter().map(|n| n.to_string()).collect::<Vec<_>>(),
+                        "switched_msgs": s.switched_msgs,
+                        "link_kbps": s.link_kbps.iter()
+                            .map(|(n, k)| serde_json::json!({"peer": n.to_string(), "kbps": k}))
+                            .collect::<Vec<_>>(),
+                        "algorithm": s.algorithm,
+                    })),
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "alive": alive.len(),
+            "known": self.nodes.len(),
+            "traces": self.traces.records().len(),
+            "nodes": nodes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(port: u16) -> NodeId {
+        NodeId::loopback(port)
+    }
+
+    fn boot(from: NodeId) -> Msg {
+        Msg::control(MsgType::Boot, from, 0)
+    }
+
+    #[test]
+    fn bootstrap_replies_with_other_alive_nodes() {
+        let mut obs = ObserverCore::new(ObserverConfig {
+            bootstrap_subset: 3,
+            ..Default::default()
+        });
+        for p in 1..=5 {
+            obs.handle(&boot(n(p)), 0);
+        }
+        let reply = obs.handle(&boot(n(6)), 0).expect("boot gets a reply");
+        assert_eq!(reply.ty(), MsgType::BootReply);
+        let hosts = BootReplyPayload::decode(reply.payload()).unwrap().hosts;
+        assert_eq!(hosts.len(), 3, "subset size respected");
+        assert!(!hosts.contains(&n(6)), "self excluded");
+    }
+
+    #[test]
+    fn first_node_bootstraps_alone() {
+        let mut obs = ObserverCore::new(ObserverConfig::default());
+        let reply = obs.handle(&boot(n(1)), 0).unwrap();
+        let hosts = BootReplyPayload::decode(reply.payload()).unwrap().hosts;
+        assert!(hosts.is_empty());
+    }
+
+    #[test]
+    fn liveness_times_out_quiet_nodes() {
+        let mut obs = ObserverCore::new(ObserverConfig {
+            liveness_timeout: 100,
+            ..Default::default()
+        });
+        obs.handle(&boot(n(1)), 0);
+        obs.handle(&boot(n(2)), 90);
+        assert_eq!(obs.alive_nodes(95).len(), 2);
+        assert_eq!(obs.alive_nodes(150), vec![n(2)]);
+    }
+
+    #[test]
+    fn status_reports_are_stored() {
+        let mut obs = ObserverCore::new(ObserverConfig::default());
+        let report = StatusReport {
+            node: Some(n(1)),
+            switched_msgs: 77,
+            ..Default::default()
+        };
+        let msg = Msg::new(MsgType::Status, n(1), 0, 0, report.encode());
+        assert!(obs.handle(&msg, 5).is_none());
+        assert_eq!(
+            obs.node(n(1)).unwrap().status.as_ref().unwrap().switched_msgs,
+            77
+        );
+        assert_eq!(obs.statuses().len(), 1);
+    }
+
+    #[test]
+    fn traces_are_collected_centrally() {
+        let mut obs = ObserverCore::new(ObserverConfig::default());
+        let msg = Msg::new(MsgType::Trace, n(3), 0, 0, &b"tree converged"[..]);
+        obs.handle(&msg, 42);
+        let records = obs.traces().records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].node, n(3));
+        assert_eq!(records[0].text, "tree converged");
+        assert_eq!(records[0].at, 42);
+    }
+
+    #[test]
+    fn snapshot_reflects_everything_known() {
+        let mut obs = ObserverCore::new(ObserverConfig::default());
+        obs.handle(&boot(n(1)), 0);
+        let report = StatusReport {
+            node: Some(n(1)),
+            downstreams: vec![n(2)],
+            switched_msgs: 9,
+            ..Default::default()
+        };
+        obs.handle(&Msg::new(MsgType::Status, n(1), 0, 0, report.encode()), 1);
+        obs.handle(&Msg::new(MsgType::Trace, n(1), 0, 0, &b"t"[..]), 2);
+        let snap = obs.snapshot_json(3);
+        assert_eq!(snap["alive"], 1);
+        assert_eq!(snap["traces"], 1);
+        let node = &snap["nodes"][0];
+        assert_eq!(node["alive"], true);
+        assert_eq!(node["status"]["switched_msgs"], 9);
+        assert_eq!(node["status"]["downstreams"][0], "127.0.0.1:2");
+    }
+
+    #[test]
+    fn bootstrap_subsets_are_seed_deterministic() {
+        let run = |seed| {
+            let mut obs = ObserverCore::new(ObserverConfig {
+                bootstrap_subset: 2,
+                seed,
+                ..Default::default()
+            });
+            for p in 1..=6 {
+                obs.handle(&boot(n(p)), 0);
+            }
+            let reply = obs.handle(&boot(n(7)), 0).unwrap();
+            BootReplyPayload::decode(reply.payload()).unwrap().hosts
+        };
+        assert_eq!(run(1), run(1));
+    }
+}

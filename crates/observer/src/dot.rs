@@ -1,0 +1,120 @@
+//! Graphviz DOT export of the observed topology.
+//!
+//! Substitutes for the paper's Windows GUI map view (Fig. 2, 10, 12,
+//! 13): the observer's status reports carry each node's upstream and
+//! downstream lists and per-link throughput, which is everything the GUI
+//! visualizes.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use ioverlay_api::{NodeId, StatusReport};
+
+/// Renders the topology described by a set of status reports as a DOT
+/// digraph. Edges are directed downstream and labeled with the measured
+/// throughput in KBps when available.
+///
+/// # Example
+///
+/// ```
+/// use ioverlay_api::{NodeId, StatusReport};
+/// use ioverlay_observer::dot::to_dot;
+///
+/// let report = StatusReport {
+///     node: Some(NodeId::loopback(1)),
+///     downstreams: vec![NodeId::loopback(2)],
+///     link_kbps: vec![(NodeId::loopback(2), 199.5)],
+///     ..StatusReport::default()
+/// };
+/// let dot = to_dot(&[report]);
+/// assert!(dot.contains("\"127.0.0.1:1\" -> \"127.0.0.1:2\""));
+/// assert!(dot.contains("199.5"));
+/// ```
+pub fn to_dot(reports: &[StatusReport]) -> String {
+    let mut out = String::from("digraph overlay {\n  rankdir=TB;\n  node [shape=ellipse];\n");
+    let mut nodes: BTreeSet<NodeId> = BTreeSet::new();
+    let mut edges: BTreeSet<(NodeId, NodeId, Option<u64>)> = BTreeSet::new();
+    for report in reports {
+        let Some(me) = report.node else { continue };
+        nodes.insert(me);
+        for &down in &report.downstreams {
+            nodes.insert(down);
+            let kbps = report
+                .link_kbps
+                .iter()
+                .find(|(peer, _)| *peer == down)
+                .map(|(_, k)| (k * 10.0).round() as u64);
+            edges.insert((me, down, kbps));
+        }
+    }
+    for node in &nodes {
+        let _ = writeln!(out, "  \"{node}\";");
+    }
+    for (from, to, kbps) in &edges {
+        match kbps {
+            Some(deci) => {
+                let _ = writeln!(
+                    out,
+                    "  \"{from}\" -> \"{to}\" [label=\"{:.1} KBps\"];",
+                    *deci as f64 / 10.0
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  \"{from}\" -> \"{to}\";");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a plain parent/child tree (as produced by the
+/// tree-construction case study) as DOT.
+pub fn tree_to_dot(edges: &[(NodeId, NodeId)]) -> String {
+    let mut out = String::from("digraph tree {\n  rankdir=TB;\n");
+    for (parent, child) in edges {
+        let _ = writeln!(out, "  \"{parent}\" -> \"{child}\";");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(p: u16) -> NodeId {
+        NodeId::loopback(p)
+    }
+
+    #[test]
+    fn renders_nodes_and_labeled_edges() {
+        let report = StatusReport {
+            node: Some(n(1)),
+            downstreams: vec![n(2), n(3)],
+            link_kbps: vec![(n(2), 200.25)],
+            ..StatusReport::default()
+        };
+        let dot = to_dot(&[report]);
+        assert!(dot.starts_with("digraph overlay {"));
+        assert!(dot.contains("\"127.0.0.1:1\";"));
+        assert!(dot.contains("\"127.0.0.1:3\";"), "downstream-only nodes appear");
+        assert!(dot.contains("[label=\"200.2 KBps\"]") || dot.contains("[label=\"200.3 KBps\"]"));
+        assert!(dot.contains("\"127.0.0.1:1\" -> \"127.0.0.1:3\";"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_input_is_a_valid_graph() {
+        let dot = to_dot(&[]);
+        assert!(dot.contains("digraph overlay"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn tree_export() {
+        let dot = tree_to_dot(&[(n(1), n(2)), (n(1), n(3))]);
+        assert!(dot.contains("\"127.0.0.1:1\" -> \"127.0.0.1:2\";"));
+        assert!(dot.contains("\"127.0.0.1:1\" -> \"127.0.0.1:3\";"));
+    }
+}

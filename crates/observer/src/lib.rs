@@ -1,0 +1,39 @@
+//! The observer: centralized bootstrap, monitoring, control, and trace
+//! collection.
+//!
+//! In the paper the observer is a Windows GUI; everything it *does* is
+//! headless, and that is what this crate reproduces:
+//!
+//! * **bootstrap** — answer `boot` requests with *"a random subset of
+//!   existing nodes that are alive"* ([`ObserverCore`]);
+//! * **status collection** — periodically `request` status updates
+//!   (buffer lengths, QoS metrics, upstream/downstream lists) and keep
+//!   the latest per node;
+//! * **control** — deploy applications, ask nodes to join/leave,
+//!   terminate sources or nodes, and retune emulated bandwidth at
+//!   runtime ([`commands`]);
+//! * **traces** — collect `trace` messages into a central log
+//!   ([`TraceLog`]);
+//! * **visualization** — export the observed topology as Graphviz DOT
+//!   ([`dot`]), substituting for the GUI's world-map view;
+//! * **proxy** — a relay that multiplexes many node connections into a
+//!   single observer connection ([`proxy`]), as the paper deploys
+//!   outside the Windows firewall.
+//!
+//! [`ObserverServer`] runs the whole thing over real TCP for
+//! `ioverlay-engine` nodes; [`ObserverCore`] is the transport-free state
+//! machine, reusable from the simulator and from tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+mod core;
+pub mod dot;
+pub mod proxy;
+mod server;
+mod trace;
+
+pub use crate::core::{NodeRecord, ObserverConfig, ObserverCore};
+pub use server::ObserverServer;
+pub use trace::{TraceLog, TraceRecord};

@@ -1,0 +1,167 @@
+//! The observer proxy.
+//!
+//! The paper's Windows observer hit two walls: a tight OS limit on
+//! concurrently backlogged connections, and desktop firewalls. The fix
+//! was *"an efficient proxy to be executed in an UNIX environment
+//! outside of the firewall ... status updates from overlay nodes are
+//! submitted to the proxy, who relay them with a single connection to
+//! the observer"*. This module reproduces that relay: many inbound node
+//! connections are multiplexed onto one upstream observer connection.
+//!
+//! The relay is one-way (status, traces, boot requests flow upstream;
+//! only bootstrap replies flow back, which the proxy does not need to
+//! route because engine nodes bootstrap directly). That matches the
+//! paper's use of the proxy as a fan-in for *updates*.
+
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use ioverlay_api::{Msg, NodeId};
+use ioverlay_message::{read_msg, write_msg};
+
+/// A running proxy.
+pub struct Proxy {
+    id: NodeId,
+    running: Arc<AtomicBool>,
+    relayed: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+    relay_thread: Option<JoinHandle<()>>,
+}
+
+impl Proxy {
+    /// Binds `port` (0 = ephemeral) and relays everything received there
+    /// to `observer` over a single connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from binding the listen socket.
+    pub fn spawn(port: u16, observer: NodeId) -> io::Result<Proxy> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let id = NodeId::loopback(listener.local_addr()?.port());
+        let running = Arc::new(AtomicBool::new(true));
+        let relayed = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = unbounded::<Msg>();
+        let accept_thread = {
+            let running = running.clone();
+            thread::Builder::new()
+                .name(format!("pxy-{id}"))
+                .spawn(move || accept_loop(listener, tx, running))?
+        };
+        let relay_thread = {
+            let running = running.clone();
+            let relayed = relayed.clone();
+            thread::Builder::new()
+                .name(format!("pxyr-{id}"))
+                .spawn(move || relay_loop(observer, rx, running, relayed))?
+        };
+        Ok(Proxy {
+            id,
+            running,
+            relayed,
+            accept_thread: Some(accept_thread),
+            relay_thread: Some(relay_thread),
+        })
+    }
+
+    /// The proxy's address; nodes report here instead of the observer.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Messages relayed upstream so far.
+    pub fn relayed(&self) -> u64 {
+        self.relayed.load(Ordering::Relaxed)
+    }
+
+    /// Stops the proxy.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.running.store(false, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.relay_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Proxy {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<Msg>, running: Arc<AtomicBool>) {
+    while running.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = tx.clone();
+                let _ = thread::Builder::new()
+                    .name("pxy-conn".into())
+                    .spawn(move || {
+                        while let Ok(Some(msg)) = read_msg(&stream) {
+                            if tx.send(msg).is_err() {
+                                break;
+                            }
+                        }
+                    });
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Drains the fan-in channel into one upstream connection, reconnecting
+/// as needed.
+fn relay_loop(
+    observer: NodeId,
+    rx: Receiver<Msg>,
+    running: Arc<AtomicBool>,
+    relayed: Arc<AtomicU64>,
+) {
+    let mut upstream: Option<BufWriter<TcpStream>> = None;
+    while running.load(Ordering::Relaxed) {
+        let msg = match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(msg) => msg,
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                if let Some(w) = upstream.as_mut() {
+                    if w.flush().is_err() {
+                        upstream = None;
+                    }
+                }
+                continue;
+            }
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+        };
+        // (Re)connect lazily.
+        if upstream.is_none() {
+            upstream = TcpStream::connect_timeout(
+                &observer.to_socket_addr(),
+                Duration::from_secs(2),
+            )
+            .ok()
+            .map(BufWriter::new);
+        }
+        let Some(w) = upstream.as_mut() else {
+            continue; // drop the message; the node will report again
+        };
+        if write_msg(&mut *w, &msg).and_then(|()| w.flush()).is_err() {
+            upstream = None;
+        } else {
+            relayed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The TCP observer server for real engine nodes.
+
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use ioverlay_api::{Msg, MsgType, Nanos, NodeId, StatusReport};
+use ioverlay_message::{read_msg, write_msg};
+use ioverlay_ratelimit::{Clock, SystemClock};
+use parking_lot::Mutex;
+
+use crate::core::{ObserverConfig, ObserverCore};
+
+/// A running observer: accepts bootstrap requests, status reports and
+/// traces from overlay nodes, periodically polls them for status, and
+/// can push control commands.
+///
+/// # Example
+///
+/// ```no_run
+/// use ioverlay_observer::{ObserverConfig, ObserverServer};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let observer = ObserverServer::spawn(ObserverConfig::default(), 0)?;
+/// println!("observer on {}", observer.id());
+/// observer.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct ObserverServer {
+    id: NodeId,
+    core: Arc<Mutex<ObserverCore>>,
+    clock: Arc<SystemClock>,
+    running: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    poll_thread: Option<JoinHandle<()>>,
+}
+
+impl ObserverServer {
+    /// Binds `port` (0 = ephemeral) and starts the accept and polling
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from binding the socket.
+    pub fn spawn(config: ObserverConfig, port: u16) -> io::Result<ObserverServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let id = NodeId::loopback(listener.local_addr()?.port());
+        let core = Arc::new(Mutex::new(ObserverCore::new(config)));
+        let clock = Arc::new(SystemClock::new());
+        let running = Arc::new(AtomicBool::new(true));
+        let accept_thread = {
+            let core = core.clone();
+            let clock = clock.clone();
+            let running = running.clone();
+            thread::Builder::new()
+                .name(format!("obs-{id}"))
+                .spawn(move || accept_loop(listener, core, clock, running))?
+        };
+        let poll_thread = {
+            let core = core.clone();
+            let clock = clock.clone();
+            let running = running.clone();
+            thread::Builder::new()
+                .name(format!("obsq-{id}"))
+                .spawn(move || poll_loop(core, clock, running))?
+        };
+        Ok(ObserverServer {
+            id,
+            core,
+            clock,
+            running,
+            accept_thread: Some(accept_thread),
+            poll_thread: Some(poll_thread),
+        })
+    }
+
+    /// The observer's address, to pass as `EngineConfig::observer`.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Nodes currently considered alive.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        let now = self.clock.now();
+        self.core.lock().alive_nodes(now)
+    }
+
+    /// The latest status reports (for DOT export and dashboards).
+    pub fn statuses(&self) -> Vec<StatusReport> {
+        self.core.lock().statuses()
+    }
+
+    /// Copies of all collected trace records.
+    pub fn traces(&self) -> Vec<crate::TraceRecord> {
+        self.core.lock().traces().records().to_vec()
+    }
+
+    /// One JSON value describing everything the observer knows (alive
+    /// nodes, statuses, topology) — the GUI-dashboard data of Fig. 2.
+    pub fn snapshot_json(&self) -> serde_json::Value {
+        let now = self.clock.now();
+        self.core.lock().snapshot_json(now)
+    }
+
+    /// Sends a control command to a node over a one-shot connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connection or write error, if any.
+    pub fn send_to_node(&self, node: NodeId, msg: &Msg) -> io::Result<()> {
+        send_one_shot(node, msg)
+    }
+
+    /// Stops the observer threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.running.store(false, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.poll_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ObserverServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Writes one message to `node` over a fresh connection.
+fn send_one_shot(node: NodeId, msg: &Msg) -> io::Result<()> {
+    let stream = TcpStream::connect_timeout(&node.to_socket_addr(), Duration::from_secs(2))?;
+    let mut w = BufWriter::new(stream);
+    write_msg(&mut w, msg)?;
+    w.flush()
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    core: Arc<Mutex<ObserverCore>>,
+    clock: Arc<SystemClock>,
+    running: Arc<AtomicBool>,
+) {
+    while running.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let core = core.clone();
+                let clock = clock.clone();
+                let _ = thread::Builder::new()
+                    .name("obs-conn".into())
+                    .spawn(move || serve_connection(stream, core, clock));
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serves one inbound connection: every received message goes through
+/// the core; replies (bootstrap) go back on the same connection.
+fn serve_connection(stream: TcpStream, core: Arc<Mutex<ObserverCore>>, clock: Arc<SystemClock>) {
+    let mut writer = match stream.try_clone() {
+        Ok(s) => BufWriter::new(s),
+        Err(_) => return,
+    };
+    while let Ok(Some(msg)) = read_msg(&stream) {
+        if msg.ty() == MsgType::Hello {
+            continue; // persistent-connection preamble
+        }
+        let now = clock.now();
+        let reply = core.lock().handle(&msg, now);
+        if let Some(reply) = reply {
+            if write_msg(&mut writer, &reply)
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    }
+}
+
+/// Periodically asks every alive node for a status update.
+fn poll_loop(core: Arc<Mutex<ObserverCore>>, clock: Arc<SystemClock>, running: Arc<AtomicBool>) {
+    const POLL_INTERVAL: Nanos = 1_000_000_000;
+    let mut next = POLL_INTERVAL;
+    while running.load(Ordering::Relaxed) {
+        thread::sleep(Duration::from_millis(50));
+        let now = clock.now();
+        if now < next {
+            continue;
+        }
+        next = now + POLL_INTERVAL;
+        let (nodes, request) = {
+            let core = core.lock();
+            let nodes = core.alive_nodes(now);
+            let request = core.status_request(NodeId::loopback(0));
+            (nodes, request)
+        };
+        for node in nodes {
+            let _ = send_one_shot(node, &request);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Central trace collection.
+
+use std::fmt;
+use std::io::{self, Write};
+
+use ioverlay_api::{Nanos, NodeId};
+
+/// One collected `trace` message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Observer-side arrival time.
+    pub at: Nanos,
+    /// Originating node.
+    pub node: NodeId,
+    /// The trace text.
+    pub text: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12.6}s] {} {}",
+            self.at as f64 / 1e9,
+            self.node,
+            self.text
+        )
+    }
+}
+
+/// The observer's trace log — the paper's *"centralized facility to
+/// collect and record debugging information, performance data and other
+/// traces"*.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in arrival order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records from one node.
+    pub fn for_node(&self, node: NodeId) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.node == node)
+    }
+
+    /// Writes the whole log to `w`, one line per record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer. A `&mut W` can be passed
+    /// for any `W: Write`.
+    pub fn dump<W: Write>(&self, mut w: W) -> io::Result<()> {
+        for r in &self.records {
+            writeln!(w, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_and_filters_by_node() {
+        let mut log = TraceLog::new();
+        log.push(TraceRecord {
+            at: 1,
+            node: NodeId::loopback(1),
+            text: "a".into(),
+        });
+        log.push(TraceRecord {
+            at: 2,
+            node: NodeId::loopback(2),
+            text: "b".into(),
+        });
+        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.for_node(NodeId::loopback(2)).count(), 1);
+    }
+
+    #[test]
+    fn dump_is_line_oriented() {
+        let mut log = TraceLog::new();
+        log.push(TraceRecord {
+            at: 1_500_000_000,
+            node: NodeId::loopback(9),
+            text: "hello".into(),
+        });
+        let mut out = Vec::new();
+        log.dump(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("1.5"));
+        assert!(text.contains("127.0.0.1:9"));
+        assert!(text.ends_with("hello\n"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Thread-safe bounded circular queues and weighted round-robin
+//! scheduling.
+//!
+//! These are the two scheduling substrates of the iOverlay engine
+//! (§2.2 of the paper):
+//!
+//! * [`CircularQueue`] — *"a thread-safe circular queue to implement the
+//!   shared buffers between the threads"*. Each receiver thread owns one
+//!   (filled by the socket, drained by the engine thread) and each sender
+//!   thread owns one (filled by the engine thread, drained by the
+//!   socket). Producers block when the buffer is full and consumers block
+//!   when it is empty, signaled by condition variables — this blocking is
+//!   what produces the paper's TCP-like *back pressure* effect.
+//! * [`WeightedRoundRobin`] — the engine *"switches data messages from
+//!   the receiver buffers to the sender buffers in a weighted round-robin
+//!   fashion, with dynamically tunable weights"*.
+//!
+//! # Example
+//!
+//! ```
+//! use ioverlay_queue::CircularQueue;
+//!
+//! let q = CircularQueue::with_capacity(2);
+//! q.push(1).unwrap();
+//! q.push(2).unwrap();
+//! assert!(q.try_push(3).is_err()); // full: a producer thread would block
+//! assert_eq!(q.try_pop(), Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ring;
+mod wrr;
+
+pub use ring::{CircularQueue, PopTimeout, PushError, TryPushError};
+pub use wrr::WeightedRoundRobin;

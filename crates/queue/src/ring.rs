@@ -1,0 +1,471 @@
+//! The bounded, thread-safe circular queue.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Error returned by blocking [`CircularQueue::push`] when the queue has
+/// been closed.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PushError<T>(pub T);
+
+impl<T> fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("queue is closed")
+    }
+}
+
+impl<T: fmt::Debug> Error for PushError<T> {}
+
+/// Error returned by [`CircularQueue::try_push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity; a blocking producer would sleep.
+    Full(T),
+    /// The queue has been closed and accepts no more items.
+    Closed(T),
+}
+
+impl<T> TryPushError<T> {
+    /// Recovers the item that could not be enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            TryPushError::Full(v) | TryPushError::Closed(v) => v,
+        }
+    }
+}
+
+impl<T> fmt::Display for TryPushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryPushError::Full(_) => f.write_str("queue is full"),
+            TryPushError::Closed(_) => f.write_str("queue is closed"),
+        }
+    }
+}
+
+impl<T: fmt::Debug> Error for TryPushError<T> {}
+
+/// Outcome of [`CircularQueue::pop_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopTimeout<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed with the queue still empty.
+    TimedOut,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded, thread-safe FIFO ring buffer with blocking semantics.
+///
+/// This is the *"thread-safe circular queue"* from §2.2, used as the
+/// shared buffer between a socket thread and the engine thread. Each
+/// queue is intentionally single-purpose — one receiver or one sender —
+/// to *"avoid the complex wait/signal scenario where the receiver or
+/// sender buffer is shared by more than one reader or writer threads"*,
+/// although the implementation is safe under arbitrary sharing.
+///
+/// The handle is cheaply cloneable (internally an [`Arc`]); clones refer
+/// to the same underlying buffer.
+///
+/// Closing the queue (see [`CircularQueue::close`]) wakes all sleepers:
+/// blocked producers fail, and blocked consumers drain the remaining
+/// items before observing the close. This drives the paper's *graceful*
+/// link teardown, where buffered messages are flushed rather than
+/// dropped.
+#[derive(Debug)]
+pub struct CircularQueue<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for CircularQueue<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> CircularQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero: a zero-capacity buffer can never
+    /// transfer an item under this (non-rendezvous) design.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "circular queue capacity must be non-zero");
+        Self {
+            shared: Arc::new(Shared {
+                inner: Mutex::new(Inner {
+                    items: VecDeque::with_capacity(capacity),
+                    closed: false,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// Maximum number of buffered items.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Current number of buffered items.
+    pub fn len(&self) -> usize {
+        self.shared.inner.lock().items.len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.shared.capacity
+    }
+
+    /// Whether [`CircularQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.shared.inner.lock().closed
+    }
+
+    /// Enqueues an item, blocking while the queue is full.
+    ///
+    /// This is the receiver thread's operation: when its buffer is full
+    /// the thread sleeps, which stops it reading from the socket and
+    /// propagates back pressure to the upstream node over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError`] carrying the item if the queue is closed
+    /// (either before the call or while blocked).
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.shared.inner.lock();
+        loop {
+            if inner.closed {
+                return Err(PushError(item));
+            }
+            if inner.items.len() < self.shared.capacity {
+                inner.items.push_back(item);
+                drop(inner);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            self.shared.not_full.wait(&mut inner);
+        }
+    }
+
+    /// Attempts to enqueue without blocking.
+    ///
+    /// This is the engine thread's operation when moving a message into a
+    /// sender buffer: if the buffer is full the engine does *not* block —
+    /// it records the message's remaining destinations and retries on the
+    /// next switching round.
+    ///
+    /// # Errors
+    ///
+    /// [`TryPushError::Full`] if at capacity, [`TryPushError::Closed`] if
+    /// closed; both return the item.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut inner = self.shared.inner.lock();
+        if inner.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if inner.items.len() >= self.shared.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues an item, blocking while the queue is empty.
+    ///
+    /// This is the sender thread's operation: *"the sender thread is
+    /// suspended when the buffer is empty, to be signaled by the engine
+    /// thread"*.
+    ///
+    /// Returns `None` once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.shared.inner.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            self.shared.not_empty.wait(&mut inner);
+        }
+    }
+
+    /// Attempts to dequeue without blocking. Returns `None` if empty.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.shared.inner.lock();
+        let item = inner.items.pop_front();
+        if item.is_some() {
+            drop(inner);
+            self.shared.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Dequeues with a timeout.
+    ///
+    /// Used by sender threads that must wake periodically (for example to
+    /// notice termination or refresh throughput measurements) even when
+    /// no traffic flows.
+    pub fn pop_timeout(&self, timeout: Duration) -> PopTimeout<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return PopTimeout::Item(item);
+            }
+            if inner.closed {
+                return PopTimeout::Closed;
+            }
+            if self
+                .shared
+                .not_empty
+                .wait_until(&mut inner, deadline)
+                .timed_out()
+            {
+                return match inner.items.pop_front() {
+                    Some(item) => {
+                        drop(inner);
+                        self.shared.not_full.notify_one();
+                        PopTimeout::Item(item)
+                    }
+                    None if inner.closed => PopTimeout::Closed,
+                    None => PopTimeout::TimedOut,
+                };
+            }
+        }
+    }
+
+    /// Closes the queue: all sleeping producers and consumers wake,
+    /// further pushes fail, and pops drain the remaining items before
+    /// returning `None`.
+    ///
+    /// Closing twice is a no-op.
+    pub fn close(&self) {
+        let mut inner = self.shared.inner.lock();
+        inner.closed = true;
+        drop(inner);
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+
+    /// Discards all buffered items, returning how many were dropped.
+    ///
+    /// Used during forced (non-graceful) teardown.
+    pub fn clear(&self) -> usize {
+        let mut inner = self.shared.inner.lock();
+        let n = inner.items.len();
+        inner.items.clear();
+        drop(inner);
+        self.shared.not_full.notify_all();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = CircularQueue::with_capacity(8);
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = CircularQueue::<u8>::with_capacity(0);
+    }
+
+    #[test]
+    fn try_push_full_returns_item() {
+        let q = CircularQueue::with_capacity(1);
+        q.push("a").unwrap();
+        match q.try_push("b") {
+            Err(TryPushError::Full("b")) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocking_push_wakes_on_pop() {
+        let q = CircularQueue::with_capacity(1);
+        q.push(0).unwrap();
+        let q2 = q.clone();
+        let producer = thread::spawn(move || q2.push(1));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = CircularQueue::with_capacity(4);
+        let q2 = q.clone();
+        let consumer = thread::spawn(move || q2.pop());
+        thread::sleep(Duration::from_millis(20));
+        q.push(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = CircularQueue::with_capacity(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert!(q.push(3).is_err());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = CircularQueue::<u8>::with_capacity(1);
+        let q2 = q.clone();
+        let consumer = thread::spawn(move || q2.pop());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer() {
+        let q = CircularQueue::with_capacity(1);
+        q.push(0u8).unwrap();
+        let q2 = q.clone();
+        let producer = thread::spawn(move || q2.push(1));
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(PushError(1)));
+    }
+
+    #[test]
+    fn pop_timeout_times_out_and_recovers() {
+        let q = CircularQueue::<u8>::with_capacity(1);
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(10)),
+            PopTimeout::TimedOut
+        );
+        q.push(9).unwrap();
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(10)),
+            PopTimeout::Item(9)
+        );
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), PopTimeout::Closed);
+    }
+
+    #[test]
+    fn clear_discards_contents() {
+        let q = CircularQueue::with_capacity(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.clear(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn spsc_stress_transfers_everything_in_order() {
+        let q = CircularQueue::with_capacity(7);
+        let q2 = q.clone();
+        const N: usize = 10_000;
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                q2.push(i).unwrap();
+            }
+        });
+        let mut expected = 0;
+        while expected < N {
+            if let Some(v) = q.pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_stress_conserves_items() {
+        let q = CircularQueue::with_capacity(16);
+        const PER_PRODUCER: usize = 2_000;
+        const PRODUCERS: usize = 4;
+        let mut producers = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = q.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    q.push(p * PER_PRODUCER + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = q.clone();
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the circular queue and WRR scheduler.
+
+use ioverlay_queue::{CircularQueue, WeightedRoundRobin};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u16),
+    Pop,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![any::<u16>().prop_map(Op::Push), Just(Op::Pop)],
+        0..256,
+    )
+}
+
+proptest! {
+    /// The queue behaves exactly like a capacity-bounded VecDeque under
+    /// any single-threaded sequence of try_push/try_pop operations.
+    #[test]
+    fn queue_matches_reference_model(capacity in 1usize..16, ops in arb_ops()) {
+        let q = CircularQueue::with_capacity(capacity);
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    let accepted = q.try_push(v).is_ok();
+                    let model_accepts = model.len() < capacity;
+                    prop_assert_eq!(accepted, model_accepts);
+                    if model_accepts {
+                        model.push_back(v);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(q.try_pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_full(), model.len() == capacity);
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
+    }
+
+    /// Closing after arbitrary operations lets a consumer drain exactly
+    /// the leftover items in FIFO order.
+    #[test]
+    fn close_preserves_residue(capacity in 1usize..16, ops in arb_ops()) {
+        let q = CircularQueue::with_capacity(capacity);
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    if q.try_push(v).is_ok() {
+                        model.push_back(v);
+                    }
+                }
+                Op::Pop => {
+                    let _ = q.try_pop();
+                    let _ = model.pop_front();
+                }
+            }
+        }
+        q.close();
+        let mut drained = Vec::new();
+        while let Some(v) = q.pop() {
+            drained.push(v);
+        }
+        prop_assert_eq!(drained, model.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Over any whole number of cycles, smooth WRR serves every key in
+    /// exact proportion to its weight.
+    #[test]
+    fn wrr_is_exactly_proportional(
+        weights in proptest::collection::vec(1u32..9, 1..6),
+        cycles in 1usize..5,
+    ) {
+        let mut wrr = WeightedRoundRobin::new();
+        for (i, w) in weights.iter().enumerate() {
+            wrr.set_weight(i, *w);
+        }
+        let total: u32 = weights.iter().sum();
+        let mut counts = vec![0u32; weights.len()];
+        for _ in 0..(total as usize * cycles) {
+            counts[*wrr.next().unwrap()] += 1;
+        }
+        for (i, w) in weights.iter().enumerate() {
+            prop_assert_eq!(counts[i], w * cycles as u32);
+        }
+    }
+
+    /// WRR never selects a removed or zero-weight key.
+    #[test]
+    fn wrr_never_selects_parked_keys(
+        weights in proptest::collection::vec(0u32..4, 2..8),
+    ) {
+        let mut wrr = WeightedRoundRobin::new();
+        for (i, w) in weights.iter().enumerate() {
+            wrr.set_weight(i, *w);
+        }
+        for _ in 0..64 {
+            match wrr.next() {
+                Some(&k) => prop_assert!(weights[k] > 0),
+                None => prop_assert!(weights.iter().all(|&w| w == 0)),
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Windowed throughput measurement.
+
+use std::collections::VecDeque;
+
+use crate::clock::{Nanos, NANOS_PER_SEC};
+
+/// Measures throughput over a sliding time window.
+///
+/// The engine keeps one meter per link direction; its readings feed
+/// (1) the periodic `UpThroughput`/`DownThroughput` reports delivered to
+/// the algorithm and the observer, and (2) the failure detector's *"long
+/// consecutive periods of traffic inactivity, detected by throughput
+/// measurements"*.
+///
+/// # Example
+///
+/// ```
+/// use ioverlay_ratelimit::ThroughputMeter;
+///
+/// let mut meter = ThroughputMeter::new(1_000_000_000); // 1 s window
+/// meter.record(512, 0);
+/// meter.record(512, 500_000_000);
+/// let bps = meter.rate_bytes_per_sec(1_000_000_000);
+/// assert!((bps - 1024.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    window: Nanos,
+    samples: VecDeque<(Nanos, u64)>,
+    window_bytes: u64,
+    total_bytes: u64,
+    total_msgs: u64,
+    last_activity: Option<Nanos>,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter with the given averaging window in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: Nanos) -> Self {
+        assert!(window > 0, "measurement window must be non-zero");
+        Self {
+            window,
+            samples: VecDeque::new(),
+            window_bytes: 0,
+            total_bytes: 0,
+            total_msgs: 0,
+            last_activity: None,
+        }
+    }
+
+    /// Records a transfer of `bytes` at time `now`.
+    pub fn record(&mut self, bytes: u64, now: Nanos) {
+        self.evict(now);
+        self.samples.push_back((now, bytes));
+        self.window_bytes += bytes;
+        self.total_bytes += bytes;
+        self.total_msgs += 1;
+        self.last_activity = Some(self.last_activity.map_or(now, |t| t.max(now)));
+    }
+
+    fn evict(&mut self, now: Nanos) {
+        let horizon = now.saturating_sub(self.window);
+        while let Some(&(t, bytes)) = self.samples.front() {
+            if t >= horizon {
+                break;
+            }
+            self.samples.pop_front();
+            self.window_bytes -= bytes;
+        }
+    }
+
+    /// Average throughput over the window ending at `now`, in bytes/sec.
+    pub fn rate_bytes_per_sec(&mut self, now: Nanos) -> f64 {
+        self.evict(now);
+        self.window_bytes as f64 * NANOS_PER_SEC as f64 / self.window as f64
+    }
+
+    /// Average throughput over the window, in (1024-byte) KBps — the unit
+    /// the paper's figures use.
+    pub fn rate_kbps(&mut self, now: Nanos) -> f64 {
+        self.rate_bytes_per_sec(now) / 1024.0
+    }
+
+    /// Total bytes ever recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total messages ever recorded.
+    pub fn total_msgs(&self) -> u64 {
+        self.total_msgs
+    }
+
+    /// Time since the last recorded activity, or `None` if nothing has
+    /// ever been recorded. Drives the inactivity failure detector.
+    pub fn idle_for(&self, now: Nanos) -> Option<Nanos> {
+        self.last_activity.map(|t| now.saturating_sub(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: Nanos = NANOS_PER_SEC;
+
+    #[test]
+    fn empty_meter_reads_zero() {
+        let mut m = ThroughputMeter::new(SEC);
+        assert_eq!(m.rate_bytes_per_sec(0), 0.0);
+        assert_eq!(m.idle_for(100), None);
+    }
+
+    #[test]
+    fn steady_stream_measures_its_rate() {
+        let mut m = ThroughputMeter::new(SEC);
+        // 100 B every 10 ms = 10 KB/s.
+        for i in 0..200 {
+            m.record(100, i * SEC / 100);
+        }
+        let now = 199 * SEC / 100;
+        let rate = m.rate_bytes_per_sec(now);
+        assert!((rate - 10_000.0).abs() < 500.0, "rate {rate}");
+    }
+
+    #[test]
+    fn old_samples_age_out() {
+        let mut m = ThroughputMeter::new(SEC);
+        m.record(1_000_000, 0);
+        assert!(m.rate_bytes_per_sec(SEC / 2) > 0.0);
+        assert_eq!(m.rate_bytes_per_sec(3 * SEC), 0.0);
+        assert_eq!(m.total_bytes(), 1_000_000, "totals never age out");
+    }
+
+    #[test]
+    fn idle_time_tracks_last_activity() {
+        let mut m = ThroughputMeter::new(SEC);
+        m.record(10, 5 * SEC);
+        assert_eq!(m.idle_for(5 * SEC), Some(0));
+        assert_eq!(m.idle_for(9 * SEC), Some(4 * SEC));
+    }
+
+    #[test]
+    fn counts_messages_and_bytes() {
+        let mut m = ThroughputMeter::new(SEC);
+        m.record(10, 0);
+        m.record(20, 1);
+        assert_eq!(m.total_msgs(), 2);
+        assert_eq!(m.total_bytes(), 30);
+    }
+
+    #[test]
+    fn kbps_conversion() {
+        let mut m = ThroughputMeter::new(SEC);
+        m.record(2048, 0);
+        let kbps = m.rate_kbps(0);
+        assert!((kbps - 2.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-node emulated bandwidth profiles.
+
+use std::fmt;
+
+use crate::Rate;
+
+/// A node's emulated bandwidth availability.
+///
+/// Mirrors the paper's three emulation categories: *"(1) per-node total
+/// bandwidth: the total incoming and outgoing bandwidth available; (2)
+/// per-link bandwidth ...; and (3) per-node incoming and outgoing
+/// bandwidth: iOverlay is able to emulate asymmetric nodes (such as nodes
+/// on DSL or cable modem connections)"*. Per-link caps are attached to
+/// individual links, not to this profile.
+///
+/// `None` in any field means "unlimited" in that category.
+///
+/// # Example
+///
+/// ```
+/// use ioverlay_ratelimit::{NodeBandwidth, Rate};
+///
+/// // An ADSL-like node: 1 MBps down, 100 KBps up.
+/// let profile = NodeBandwidth::asymmetric(Rate::mbps(1), Rate::kbps(100));
+/// assert_eq!(profile.up(), Some(Rate::kbps(100)));
+/// assert_eq!(profile.total(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeBandwidth {
+    total: Option<Rate>,
+    up: Option<Rate>,
+    down: Option<Rate>,
+}
+
+impl NodeBandwidth {
+    /// A node with no emulated limits.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A node limited only by a shared total (incoming + outgoing) rate —
+    /// the knob used for node *A* in the paper's Fig. 6 experiment.
+    pub fn total_only(total: Rate) -> Self {
+        Self {
+            total: Some(total),
+            up: None,
+            down: None,
+        }
+    }
+
+    /// An asymmetric node with distinct downlink and uplink rates.
+    pub fn asymmetric(down: Rate, up: Rate) -> Self {
+        Self {
+            total: None,
+            up: Some(up),
+            down: Some(down),
+        }
+    }
+
+    /// The shared total cap, if any.
+    pub fn total(&self) -> Option<Rate> {
+        self.total
+    }
+
+    /// The uplink (outgoing) cap, if any.
+    pub fn up(&self) -> Option<Rate> {
+        self.up
+    }
+
+    /// The downlink (incoming) cap, if any.
+    pub fn down(&self) -> Option<Rate> {
+        self.down
+    }
+
+    /// Sets the total cap (builder style).
+    pub fn with_total(mut self, total: Rate) -> Self {
+        self.total = Some(total);
+        self
+    }
+
+    /// Sets the uplink cap (builder style) — the knob used for node *D*'s
+    /// 30 KBps bottleneck in Fig. 6(b).
+    pub fn with_up(mut self, up: Rate) -> Self {
+        self.up = Some(up);
+        self
+    }
+
+    /// Sets the downlink cap (builder style).
+    pub fn with_down(mut self, down: Rate) -> Self {
+        self.down = Some(down);
+        self
+    }
+
+    /// Whether the profile imposes no limits at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.total.is_none() && self.up.is_none() && self.down.is_none()
+    }
+}
+
+impl fmt::Display for NodeBandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unlimited() {
+            return f.write_str("unlimited");
+        }
+        let mut parts = Vec::new();
+        if let Some(t) = self.total {
+            parts.push(format!("total {t}"));
+        }
+        if let Some(u) = self.up {
+            parts.push(format!("up {u}"));
+        }
+        if let Some(d) = self.down {
+            parts.push(format!("down {d}"));
+        }
+        f.write_str(&parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(NodeBandwidth::unlimited().is_unlimited());
+        let t = NodeBandwidth::total_only(Rate::kbps(400));
+        assert_eq!(t.total(), Some(Rate::kbps(400)));
+        assert_eq!(t.up(), None);
+        let a = NodeBandwidth::asymmetric(Rate::kbps(200), Rate::kbps(50));
+        assert_eq!(a.down(), Some(Rate::kbps(200)));
+        assert_eq!(a.up(), Some(Rate::kbps(50)));
+    }
+
+    #[test]
+    fn builder_composes() {
+        let p = NodeBandwidth::unlimited()
+            .with_total(Rate::kbps(400))
+            .with_up(Rate::kbps(30));
+        assert_eq!(p.total(), Some(Rate::kbps(400)));
+        assert_eq!(p.up(), Some(Rate::kbps(30)));
+        assert!(!p.is_unlimited());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = NodeBandwidth::total_only(Rate::kbps(400));
+        assert_eq!(p.to_string(), "total 400.0 KBps");
+        assert_eq!(NodeBandwidth::unlimited().to_string(), "unlimited");
+    }
+}

@@ -1,0 +1,137 @@
+//! The simulator's event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ioverlay_api::{Msg, Nanos, NodeId, TimerToken};
+
+/// A scheduled simulator event.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// A message finishes crossing the link `from -> to`.
+    Arrival {
+        /// Sending endpoint.
+        from: NodeId,
+        /// Receiving endpoint.
+        to: NodeId,
+        /// The message delivered.
+        msg: Msg,
+    },
+    /// Run the virtual switch loop of a node.
+    Process(NodeId),
+    /// An algorithm timer fires.
+    Timer {
+        /// Owning node.
+        node: NodeId,
+        /// Token passed back to the algorithm.
+        token: TimerToken,
+    },
+    /// Periodic QoS measurement tick for a node.
+    MeasureTick(NodeId),
+    /// Kill a node (failure injection).
+    KillNode(NodeId),
+    /// A surviving endpoint detects that its peer on a link has failed.
+    LinkFailureDetected {
+        /// The node that notices.
+        survivor: NodeId,
+        /// The failed peer.
+        failed: NodeId,
+    },
+    /// A peer gracefully closed its link toward `node`.
+    UpstreamClosed {
+        /// The node whose upstream went away.
+        node: NodeId,
+        /// The departed upstream.
+        upstream: NodeId,
+    },
+    /// Deliver an externally injected (observer-style) control message.
+    Inject {
+        /// Target node.
+        node: NodeId,
+        /// The control message.
+        msg: Msg,
+    },
+}
+
+/// Priority queue of events ordered by (time, insertion sequence).
+///
+/// The sequence number makes simultaneous events fire in insertion
+/// order, which keeps runs bit-for-bit deterministic.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    at: Nanos,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl EventQueue {
+    /// Schedules `event` at absolute time `at`.
+    pub(crate) fn schedule(&mut self, at: Nanos, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Time of the next event, if any.
+    pub(crate) fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Pops the next event.
+    pub(crate) fn pop(&mut self) -> Option<(Nanos, Event)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// Number of pending events.
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        let mut q = EventQueue::default();
+        let n = NodeId::loopback(1);
+        q.schedule(10, Event::Process(n));
+        q.schedule(5, Event::MeasureTick(n));
+        q.schedule(10, Event::KillNode(n));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(5));
+        let (t1, e1) = q.pop().unwrap();
+        assert_eq!(t1, 5);
+        assert!(matches!(e1, Event::MeasureTick(_)));
+        let (t2, e2) = q.pop().unwrap();
+        assert_eq!(t2, 10);
+        assert!(matches!(e2, Event::Process(_)), "insertion order preserved");
+        let (_, e3) = q.pop().unwrap();
+        assert!(matches!(e3, Event::KillNode(_)));
+        assert!(q.pop().is_none());
+    }
+}

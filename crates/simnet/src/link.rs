@@ -1,0 +1,164 @@
+//! Directed virtual links: sender buffer, shaping, and in-flight state.
+
+use std::collections::VecDeque;
+
+use ioverlay_api::{Msg, Nanos};
+use ioverlay_ratelimit::{BucketChain, Rate, SharedBucket, TokenBucket};
+
+/// The sender side of a directed virtual link `u -> v`.
+///
+/// Mirrors one sender thread of the engine: a bounded buffer drained by a
+/// (virtual) blocking socket. The paper's three bandwidth-emulation
+/// categories all shape the drain through `chain`; `window` bounds the
+/// number of messages in the network (the TCP send window), and
+/// `stalled` holds messages that arrived at the receiver while its
+/// receive buffer was full — exactly the condition under which a real
+/// receiver thread stops reading and TCP back pressure reaches the
+/// sender.
+#[derive(Debug)]
+pub(crate) struct DirectedLink {
+    /// Sender-side message buffer.
+    pub queue: VecDeque<Msg>,
+    /// Capacity of `queue` for *forwarded* traffic (locally originated
+    /// sends may exceed it; sources self-pace via `Context::backlog`).
+    pub cap: usize,
+    /// Rate limiters applied to each transmission.
+    pub chain: BucketChain,
+    /// The per-link bucket inside `chain`, kept for runtime retuning.
+    pub link_bucket: Option<SharedBucket>,
+    /// One-way propagation latency.
+    pub latency: Nanos,
+    /// Messages transmitted but not yet accepted by the receiver.
+    pub outstanding: usize,
+    /// Maximum `outstanding` before transmissions pause.
+    pub window: usize,
+    /// Messages that reached the receiver while its buffer was full.
+    pub stalled: VecDeque<Msg>,
+    /// Set when the link has been torn down.
+    pub closed: bool,
+}
+
+impl DirectedLink {
+    pub(crate) fn new(cap: usize, chain: BucketChain, latency: Nanos, window: usize) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            cap,
+            chain,
+            link_bucket: None,
+            latency,
+            outstanding: 0,
+            window,
+            stalled: VecDeque::new(),
+            closed: false,
+        }
+    }
+
+    /// Whether a transmission may start now.
+    pub(crate) fn can_transmit(&self) -> bool {
+        !self.closed && !self.queue.is_empty() && self.outstanding < self.window
+    }
+
+    /// Whether a *forwarded* message may be enqueued.
+    pub(crate) fn has_space(&self) -> bool {
+        !self.closed && self.queue.len() < self.cap
+    }
+
+    /// Total messages held by this link in any stage (buffered, in
+    /// flight, or stalled at the receiver). This is the figure reported
+    /// as the sender-buffer length in status updates.
+    pub(crate) fn depth(&self) -> usize {
+        self.queue.len() + self.outstanding + self.stalled.len()
+    }
+
+    /// Retunes (or installs) the per-link bandwidth cap.
+    pub(crate) fn set_link_rate(&mut self, rate: Option<Rate>, now: Nanos) {
+        match (rate, &self.link_bucket) {
+            (Some(r), Some(bucket)) => bucket.lock().set_rate(r, now),
+            (Some(r), None) => {
+                let bucket = BucketChain::shared(TokenBucket::with_burst(
+                    r,
+                    r.as_bytes_per_sec() / 8,
+                    now,
+                ));
+                self.chain.push(bucket.clone());
+                self.link_bucket = Some(bucket);
+            }
+            (None, Some(bucket)) => {
+                // "Unlimited" = a rate too high to matter; keeps the chain
+                // structure stable.
+                bucket
+                    .lock()
+                    .set_rate(Rate::bytes_per_sec(u64::MAX / 4), now);
+            }
+            (None, None) => {}
+        }
+    }
+
+    /// Drains every queued or stalled message, returning how many were
+    /// dropped (for loss accounting during teardown).
+    pub(crate) fn drop_all(&mut self) -> u64 {
+        let n = self.queue.len() + self.stalled.len() + self.outstanding;
+        self.queue.clear();
+        self.stalled.clear();
+        self.outstanding = 0;
+        self.closed = true;
+        n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioverlay_api::NodeId;
+
+    fn msg() -> Msg {
+        Msg::data(NodeId::loopback(1), 1, 0, vec![0u8; 100])
+    }
+
+    #[test]
+    fn space_and_transmit_predicates() {
+        let mut link = DirectedLink::new(2, BucketChain::new(), 0, 4);
+        assert!(link.has_space());
+        assert!(!link.can_transmit());
+        link.queue.push_back(msg());
+        link.queue.push_back(msg());
+        assert!(!link.has_space());
+        assert!(link.can_transmit());
+        link.outstanding = 4;
+        assert!(!link.can_transmit(), "window exhausted");
+    }
+
+    #[test]
+    fn depth_counts_all_stages() {
+        let mut link = DirectedLink::new(5, BucketChain::new(), 0, 4);
+        link.queue.push_back(msg());
+        link.stalled.push_back(msg());
+        link.outstanding = 2;
+        assert_eq!(link.depth(), 4);
+    }
+
+    #[test]
+    fn drop_all_closes_and_counts() {
+        let mut link = DirectedLink::new(5, BucketChain::new(), 0, 4);
+        link.queue.push_back(msg());
+        link.stalled.push_back(msg());
+        link.outstanding = 1;
+        assert_eq!(link.drop_all(), 3);
+        assert!(link.closed);
+        assert!(!link.has_space());
+        assert!(!link.can_transmit());
+    }
+
+    #[test]
+    fn retuning_installs_then_updates_bucket() {
+        let mut link = DirectedLink::new(5, BucketChain::new(), 0, 4);
+        assert_eq!(link.chain.len(), 0);
+        link.set_link_rate(Some(Rate::kbps(30)), 0);
+        assert_eq!(link.chain.len(), 1);
+        link.set_link_rate(Some(Rate::kbps(15)), 0);
+        assert_eq!(link.chain.len(), 1, "retune reuses the bucket");
+        assert_eq!(link.link_bucket.as_ref().unwrap().lock().rate(), Rate::kbps(15));
+        link.set_link_rate(None, 0);
+        assert!(link.link_bucket.as_ref().unwrap().lock().rate() > Rate::mbps(1_000_000));
+    }
+}

@@ -1,0 +1,253 @@
+//! Simulation metrics: link throughput, per-app reception, control
+//! overhead, and loss accounting.
+
+use std::collections::HashMap;
+
+use ioverlay_api::{AppId, MsgType, Nanos, NodeId};
+use ioverlay_ratelimit::ThroughputMeter;
+
+/// Per-directed-link delivery statistics.
+#[derive(Debug, Clone)]
+pub struct LinkStats {
+    meter: ThroughputMeter,
+    /// Total bytes delivered over the link.
+    pub delivered_bytes: u64,
+    /// Total messages delivered over the link.
+    pub delivered_msgs: u64,
+    /// Messages lost on this link (teardown, dead peer).
+    pub lost_msgs: u64,
+}
+
+impl LinkStats {
+    fn new(window: Nanos) -> Self {
+        Self {
+            meter: ThroughputMeter::new(window),
+            delivered_bytes: 0,
+            delivered_msgs: 0,
+            lost_msgs: 0,
+        }
+    }
+
+    /// Windowed throughput in KBps at time `now`.
+    pub fn kbps(&mut self, now: Nanos) -> f64 {
+        self.meter.rate_kbps(now)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RecvStats {
+    meter: ThroughputMeter,
+    bytes: u64,
+    msgs: u64,
+}
+
+/// All measurements collected by a simulation run.
+///
+/// The measurement surface intentionally matches what the paper's
+/// observer sees: per-link throughput (the numbers on the edges of
+/// Fig. 6–8), per-receiver application goodput (Fig. 9, 11, 19), control
+/// message overhead by type over time (Fig. 15–18), and loss counters.
+#[derive(Debug)]
+pub struct Metrics {
+    window: Nanos,
+    links: HashMap<(NodeId, NodeId), LinkStats>,
+    received: HashMap<(NodeId, AppId), RecvStats>,
+    sent_by_type: HashMap<(NodeId, MsgType), u64>,
+    /// Time-ordered control transmissions: (time, sender, type, bytes).
+    control_log: Vec<(Nanos, NodeId, MsgType, u64)>,
+    lost_total: u64,
+}
+
+impl Metrics {
+    pub(crate) fn new(window: Nanos) -> Self {
+        Self {
+            window,
+            links: HashMap::new(),
+            received: HashMap::new(),
+            sent_by_type: HashMap::new(),
+            control_log: Vec::new(),
+            lost_total: 0,
+        }
+    }
+
+    pub(crate) fn record_link_delivery(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        now: Nanos,
+    ) {
+        let stats = self
+            .links
+            .entry((from, to))
+            .or_insert_with(|| LinkStats::new(self.window));
+        stats.meter.record(bytes, now);
+        stats.delivered_bytes += bytes;
+        stats.delivered_msgs += 1;
+    }
+
+    pub(crate) fn record_data_received(
+        &mut self,
+        node: NodeId,
+        app: AppId,
+        bytes: u64,
+        now: Nanos,
+    ) {
+        let window = self.window;
+        let stats = self
+            .received
+            .entry((node, app))
+            .or_insert_with(|| RecvStats {
+                meter: ThroughputMeter::new(window),
+                bytes: 0,
+                msgs: 0,
+            });
+        stats.meter.record(bytes, now);
+        stats.bytes += bytes;
+        stats.msgs += 1;
+    }
+
+    pub(crate) fn record_sent(&mut self, node: NodeId, ty: MsgType, bytes: u64, now: Nanos) {
+        *self.sent_by_type.entry((node, ty)).or_insert(0) += bytes;
+        if ty != MsgType::Data {
+            self.control_log.push((now, node, ty, bytes));
+        }
+    }
+
+    pub(crate) fn record_lost(&mut self, from: NodeId, to: NodeId, msgs: u64) {
+        self.lost_total += msgs;
+        let stats = self
+            .links
+            .entry((from, to))
+            .or_insert_with(|| LinkStats::new(self.window));
+        stats.lost_msgs += msgs;
+    }
+
+    /// Windowed throughput of the directed link `from -> to` in KBps.
+    ///
+    /// Returns 0.0 for a link that never carried traffic.
+    pub fn link_kbps(&mut self, from: NodeId, to: NodeId, now: Nanos) -> f64 {
+        self.links
+            .get_mut(&(from, to))
+            .map(|s| s.kbps(now))
+            .unwrap_or(0.0)
+    }
+
+    /// Total bytes ever delivered on the directed link.
+    pub fn link_bytes(&self, from: NodeId, to: NodeId) -> u64 {
+        self.links
+            .get(&(from, to))
+            .map(|s| s.delivered_bytes)
+            .unwrap_or(0)
+    }
+
+    /// All links that ever carried traffic.
+    pub fn active_links(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.links
+            .iter()
+            .filter(|(_, s)| s.delivered_msgs > 0)
+            .map(|(&(a, b), _)| (a, b))
+    }
+
+    /// Windowed goodput of application `app` at `node`, in KBps.
+    pub fn received_kbps(&mut self, node: NodeId, app: AppId, now: Nanos) -> f64 {
+        self.received
+            .get_mut(&(node, app))
+            .map(|s| s.meter.rate_kbps(now))
+            .unwrap_or(0.0)
+    }
+
+    /// Total application bytes received by `node` for `app`.
+    pub fn received_bytes(&self, node: NodeId, app: AppId) -> u64 {
+        self.received.get(&(node, app)).map(|s| s.bytes).unwrap_or(0)
+    }
+
+    /// Total application messages received by `node` for `app`.
+    pub fn received_msgs(&self, node: NodeId, app: AppId) -> u64 {
+        self.received.get(&(node, app)).map(|s| s.msgs).unwrap_or(0)
+    }
+
+    /// Bytes of messages of `ty` sent by `node` (headers + payloads).
+    pub fn sent_bytes(&self, node: NodeId, ty: MsgType) -> u64 {
+        self.sent_by_type.get(&(node, ty)).copied().unwrap_or(0)
+    }
+
+    /// Total control bytes (all non-`data` types) sent by `node`.
+    pub fn control_bytes(&self, node: NodeId) -> u64 {
+        self.sent_by_type
+            .iter()
+            .filter(|(&(n, ty), _)| n == node && ty != MsgType::Data)
+            .map(|(_, &b)| b)
+            .sum()
+    }
+
+    /// Total bytes of control messages of `ty` sent network-wide within
+    /// `[t0, t1)` — the query behind the overhead-over-time figures.
+    pub fn control_bytes_between(&self, ty: MsgType, t0: Nanos, t1: Nanos) -> u64 {
+        self.control_log
+            .iter()
+            .filter(|&&(t, _, mt, _)| mt == ty && t >= t0 && t < t1)
+            .map(|&(_, _, _, b)| b)
+            .sum()
+    }
+
+    /// Total messages lost across the whole simulation.
+    pub fn lost_msgs(&self) -> u64 {
+        self.lost_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: Nanos = 1_000_000_000;
+
+    #[test]
+    fn link_accounting() {
+        let mut m = Metrics::new(SEC);
+        let (a, b) = (NodeId::loopback(1), NodeId::loopback(2));
+        m.record_link_delivery(a, b, 1024, 0);
+        m.record_link_delivery(a, b, 1024, SEC / 2);
+        assert_eq!(m.link_bytes(a, b), 2048);
+        assert!((m.link_kbps(a, b, SEC / 2) - 2.0).abs() < 0.01);
+        assert_eq!(m.link_bytes(b, a), 0);
+        assert_eq!(m.active_links().count(), 1);
+    }
+
+    #[test]
+    fn reception_accounting() {
+        let mut m = Metrics::new(SEC);
+        let n = NodeId::loopback(1);
+        m.record_data_received(n, 7, 100, 0);
+        m.record_data_received(n, 7, 100, 1);
+        m.record_data_received(n, 8, 50, 2);
+        assert_eq!(m.received_bytes(n, 7), 200);
+        assert_eq!(m.received_msgs(n, 7), 2);
+        assert_eq!(m.received_bytes(n, 8), 50);
+        assert_eq!(m.received_bytes(NodeId::loopback(9), 7), 0);
+    }
+
+    #[test]
+    fn control_overhead_by_type_and_time() {
+        let mut m = Metrics::new(SEC);
+        let n = NodeId::loopback(1);
+        m.record_sent(n, MsgType::SAware, 100, 0);
+        m.record_sent(n, MsgType::SAware, 100, 2 * SEC);
+        m.record_sent(n, MsgType::SFederate, 40, SEC);
+        m.record_sent(n, MsgType::Data, 5000, SEC);
+        assert_eq!(m.sent_bytes(n, MsgType::SAware), 200);
+        assert_eq!(m.control_bytes(n), 240, "data excluded from control");
+        assert_eq!(m.control_bytes_between(MsgType::SAware, 0, SEC), 100);
+        assert_eq!(m.control_bytes_between(MsgType::SAware, 0, 3 * SEC), 200);
+    }
+
+    #[test]
+    fn loss_accounting() {
+        let mut m = Metrics::new(SEC);
+        let (a, b) = (NodeId::loopback(1), NodeId::loopback(2));
+        m.record_lost(a, b, 3);
+        assert_eq!(m.lost_msgs(), 3);
+        assert_eq!(m.active_links().count(), 0, "lost-only links are not active");
+    }
+}

@@ -1,0 +1,297 @@
+//! Simulated node state and the simulator's `Context` implementation.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use ioverlay_api::{Algorithm, AppId, Context, Msg, Nanos, NodeId, TimerToken};
+use ioverlay_queue::WeightedRoundRobin;
+use ioverlay_ratelimit::{NodeBandwidth, SharedBucket};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::link::DirectedLink;
+
+/// A message queued for forwarding whose destination buffer was full —
+/// the paper's *"we label each message with its set of remaining
+/// senders, so that they may be tried in the next round"*.
+pub(crate) type BlockedSend = (Msg, NodeId);
+
+/// One virtualized overlay node inside the simulator.
+pub(crate) struct SimNode {
+    pub id: NodeId,
+    /// Taken out while the algorithm runs (the take-out/put-back pattern
+    /// that gives the algorithm `&mut self` and the context the rest of
+    /// the node).
+    pub alg: Option<Box<dyn Algorithm>>,
+    pub alive: bool,
+    /// Per-upstream receive buffers (one per receiver thread in the
+    /// engine).
+    pub recv_queues: BTreeMap<NodeId, VecDeque<Msg>>,
+    pub recv_cap: usize,
+    /// Service order over receive buffers.
+    pub wrr: WeightedRoundRobin<NodeId>,
+    /// Per-upstream blocked fanouts: while non-empty for an upstream, no
+    /// more messages are popped from that upstream's receive buffer.
+    pub blocked: BTreeMap<NodeId, Vec<BlockedSend>>,
+    /// Outgoing links keyed by downstream.
+    pub links: BTreeMap<NodeId, DirectedLink>,
+    /// Engine-internal deliveries (events, observer control); unbounded
+    /// because they bypass the data path, like the paper's control
+    /// messages on the publicized port.
+    pub local_inbox: VecDeque<Msg>,
+    /// Emulated bandwidth buckets, shared by all of this node's links.
+    pub up_bucket: SharedBucket,
+    pub down_bucket: SharedBucket,
+    pub total_bucket: SharedBucket,
+    pub bandwidth: NodeBandwidth,
+    /// Data-plane routing memory per application, used for the
+    /// `BrokenSource` domino teardown.
+    pub app_upstreams: HashMap<AppId, BTreeSet<NodeId>>,
+    pub app_downstreams: HashMap<AppId, BTreeSet<NodeId>>,
+    pub observer: Option<NodeId>,
+    pub rng: StdRng,
+    /// Total messages switched (popped from receive buffers).
+    pub switched: u64,
+    /// Rotates the blocked-fanout retry order (fairness between
+    /// upstreams competing for one freed sender slot).
+    pub retry_rotor: u64,
+}
+
+impl SimNode {
+    /// Depth of the receive buffer from `upstream`, if one exists.
+    pub(crate) fn recv_len(&self, upstream: NodeId) -> Option<usize> {
+        self.recv_queues.get(&upstream).map(|q| q.len())
+    }
+
+    /// Whether any receive buffer holds messages this node could switch
+    /// right now: non-empty, not head-of-line blocked, and not parked by
+    /// a zero WRR weight.
+    pub(crate) fn has_switchable_input(&self) -> bool {
+        self.recv_queues.iter().any(|(up, q)| {
+            !q.is_empty()
+                && !self.blocked.contains_key(up)
+                && self.wrr.weight(up).unwrap_or(0) > 0
+        })
+    }
+
+    /// Registers where data for `app` comes from / goes to.
+    pub(crate) fn note_app_upstream(&mut self, app: AppId, upstream: NodeId) {
+        self.app_upstreams.entry(app).or_default().insert(upstream);
+    }
+
+    pub(crate) fn note_app_downstream(&mut self, app: AppId, downstream: NodeId) {
+        self.app_downstreams
+            .entry(app)
+            .or_default()
+            .insert(downstream);
+    }
+
+    #[allow(clippy::too_many_arguments)] // node construction takes its full wiring
+    pub(crate) fn seeded(
+        id: NodeId,
+        bandwidth: NodeBandwidth,
+        alg: Box<dyn Algorithm>,
+        recv_cap: usize,
+        seed: u64,
+        up: SharedBucket,
+        down: SharedBucket,
+        total: SharedBucket,
+    ) -> Self {
+        // Derive the node RNG from the scenario seed and the node id so
+        // results do not depend on insertion order.
+        let mut hasher_seed = seed ^ u64::from(u32::from(id.ip())) << 16 ^ u64::from(id.port());
+        hasher_seed = hasher_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self {
+            id,
+            alg: Some(alg),
+            alive: true,
+            recv_queues: BTreeMap::new(),
+            recv_cap,
+            wrr: WeightedRoundRobin::new(),
+            blocked: BTreeMap::new(),
+            links: BTreeMap::new(),
+            local_inbox: VecDeque::new(),
+            up_bucket: up,
+            down_bucket: down,
+            total_bucket: total,
+            bandwidth,
+            app_upstreams: HashMap::new(),
+            app_downstreams: HashMap::new(),
+            observer: None,
+            rng: StdRng::seed_from_u64(hasher_seed),
+            switched: 0,
+            retry_rotor: 0,
+        }
+    }
+}
+
+/// Effects staged by an algorithm during one callback, applied by the
+/// simulator after the callback returns.
+#[derive(Debug, Default)]
+pub(crate) struct StagedEffects {
+    pub sends: Vec<(Msg, NodeId)>,
+    pub observer_msgs: Vec<Msg>,
+    pub timers: Vec<(Nanos, TimerToken)>,
+    pub probes: Vec<NodeId>,
+    pub closes: Vec<NodeId>,
+}
+
+/// The simulator-backed [`Context`] handed to algorithms.
+pub(crate) struct SimCtx<'a> {
+    pub node: &'a mut SimNode,
+    pub now: Nanos,
+    pub staged: StagedEffects,
+}
+
+impl Context for SimCtx<'_> {
+    fn local_id(&self) -> NodeId {
+        self.node.id
+    }
+
+    fn now(&self) -> Nanos {
+        self.now
+    }
+
+    fn send(&mut self, msg: Msg, dest: NodeId) {
+        self.staged.sends.push((msg, dest));
+    }
+
+    fn send_to_observer(&mut self, msg: Msg) {
+        self.staged.observer_msgs.push(msg);
+    }
+
+    fn set_timer(&mut self, delay: Nanos, token: TimerToken) {
+        self.staged.timers.push((delay, token));
+    }
+
+    fn backlog(&self, dest: NodeId) -> Option<usize> {
+        // Count sends staged during this very callback too, so a source
+        // looping "send until the buffer is full" observes its own
+        // queued-but-not-yet-applied traffic.
+        let staged = self
+            .staged
+            .sends
+            .iter()
+            .filter(|(_, d)| *d == dest)
+            .count();
+        match self.node.links.get(&dest) {
+            Some(link) => Some(link.depth() + staged),
+            None if staged > 0 => Some(staged),
+            None => None,
+        }
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        self.node.recv_cap
+    }
+
+    fn probe_rtt(&mut self, peer: NodeId) {
+        self.staged.probes.push(peer);
+    }
+
+    fn close_link(&mut self, peer: NodeId) {
+        self.staged.closes.push(peer);
+    }
+
+    fn observer(&self) -> Option<NodeId> {
+        self.node.observer
+    }
+
+    fn random_u64(&mut self) -> u64 {
+        self.node.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioverlay_api::MsgType;
+    use ioverlay_ratelimit::{BucketChain, Rate, TokenBucket};
+
+    struct Nop;
+    impl Algorithm for Nop {
+        fn on_message(&mut self, _ctx: &mut dyn Context, _msg: Msg) {}
+    }
+
+    fn bucket() -> SharedBucket {
+        BucketChain::shared(TokenBucket::new(Rate::mbps(1000), 0))
+    }
+
+    fn node(port: u16) -> SimNode {
+        SimNode::seeded(
+            NodeId::loopback(port),
+            NodeBandwidth::unlimited(),
+            Box::new(Nop),
+            5,
+            42,
+            bucket(),
+            bucket(),
+            bucket(),
+        )
+    }
+
+    #[test]
+    fn ctx_stages_effects_without_applying_them() {
+        let mut n = node(1);
+        let dest = NodeId::loopback(2);
+        let mut ctx = SimCtx {
+            node: &mut n,
+            now: 5,
+            staged: StagedEffects::default(),
+        };
+        ctx.send(Msg::control(MsgType::SQuery, NodeId::loopback(1), 0), dest);
+        ctx.set_timer(100, 7);
+        ctx.probe_rtt(dest);
+        ctx.close_link(dest);
+        assert_eq!(ctx.staged.sends.len(), 1);
+        assert_eq!(ctx.staged.timers, vec![(100, 7)]);
+        assert_eq!(ctx.staged.probes, vec![dest]);
+        assert_eq!(ctx.staged.closes, vec![dest]);
+        assert_eq!(ctx.now(), 5);
+        assert_eq!(ctx.local_id(), NodeId::loopback(1));
+        assert!(n.links.is_empty(), "staging must not create links");
+    }
+
+    #[test]
+    fn backlog_reports_link_depth() {
+        let mut n = node(1);
+        let dest = NodeId::loopback(2);
+        n.links
+            .insert(dest, DirectedLink::new(5, BucketChain::new(), 0, 4));
+        n.links.get_mut(&dest).unwrap().queue.push_back(Msg::control(
+            MsgType::Data,
+            NodeId::loopback(1),
+            0,
+        ));
+        let ctx = SimCtx {
+            node: &mut n,
+            now: 0,
+            staged: StagedEffects::default(),
+        };
+        assert_eq!(ctx.backlog(dest), Some(1));
+        assert_eq!(ctx.backlog(NodeId::loopback(9)), None);
+    }
+
+    #[test]
+    fn node_rng_is_seed_and_id_deterministic() {
+        let mut a1 = node(1);
+        let mut a2 = node(1);
+        let mut b = node(2);
+        let x1: u64 = a1.rng.gen();
+        let x2: u64 = a2.rng.gen();
+        let y: u64 = b.rng.gen();
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+    }
+
+    #[test]
+    fn app_route_bookkeeping() {
+        let mut n = node(1);
+        let up = NodeId::loopback(2);
+        let down = NodeId::loopback(3);
+        n.note_app_upstream(7, up);
+        n.note_app_upstream(7, up);
+        n.note_app_downstream(7, down);
+        assert_eq!(n.app_upstreams[&7].len(), 1);
+        assert!(n.app_downstreams[&7].contains(&down));
+    }
+}

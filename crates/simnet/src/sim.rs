@@ -1,0 +1,1077 @@
+//! The simulation driver.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ioverlay_api::{
+    Algorithm, ControlParams, LinkDirection, Msg, MsgType, Nanos, NodeId, ThroughputPayload,
+};
+use ioverlay_ratelimit::{BucketChain, NodeBandwidth, Rate, SharedBucket, TokenBucket};
+
+use crate::event::{Event, EventQueue};
+use crate::link::DirectedLink;
+use crate::metrics::Metrics;
+use crate::node::{SimCtx, SimNode, StagedEffects};
+
+const SEC: Nanos = 1_000_000_000;
+
+/// Rate used internally to represent "unlimited": high enough never to
+/// delay, low enough to keep the arithmetic exact.
+fn unlimited_rate() -> Rate {
+    Rate::bytes_per_sec(1 << 50)
+}
+
+/// Tunables of a simulation. Defaults are chosen to mirror the paper's
+/// experimental setup (5 KB messages, buffers of a handful of messages,
+/// wide-area-ish latencies).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Scenario seed; everything random derives from it.
+    pub seed: u64,
+    /// Capacity, in messages, of each receive buffer and each send
+    /// buffer (the paper's per-node "buffer size").
+    pub buffer_msgs: usize,
+    /// Default one-way link latency.
+    pub default_latency: Nanos,
+    /// Maximum messages in flight per link (TCP window stand-in).
+    pub link_window: usize,
+    /// Interval between QoS measurement reports to algorithms.
+    pub measure_interval: Nanos,
+    /// Averaging window of throughput meters.
+    pub measure_window: Nanos,
+    /// Delay between a node dying and its peers detecting it — the
+    /// paper's socket-exception / inactivity detection latency.
+    pub failure_detect_delay: Nanos,
+    /// Maximum messages a node switches per `Process` event before
+    /// yielding.
+    pub process_batch: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            buffer_msgs: 10,
+            default_latency: 10_000_000, // 10 ms
+            link_window: 4,
+            measure_interval: SEC,
+            measure_window: 4 * SEC,
+            failure_detect_delay: 200_000_000, // 200 ms
+            process_batch: 4096,
+        }
+    }
+}
+
+/// Builder for a [`Sim`].
+///
+/// # Example
+///
+/// ```
+/// use ioverlay_simnet::SimBuilder;
+///
+/// let sim = SimBuilder::new(42)
+///     .buffer_msgs(5)
+///     .latency_ms(25)
+///     .build();
+/// assert_eq!(sim.now(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimBuilder {
+    config: SimConfig,
+}
+
+impl SimBuilder {
+    /// Starts a builder with the given scenario seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            config: SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        }
+    }
+
+    /// Sets the per-buffer capacity in messages (paper: 5 for the
+    /// back-pressure experiments, 10000 for the large-buffer ones).
+    pub fn buffer_msgs(mut self, cap: usize) -> Self {
+        self.config.buffer_msgs = cap;
+        self
+    }
+
+    /// Sets the default one-way link latency in milliseconds.
+    pub fn latency_ms(mut self, ms: u64) -> Self {
+        self.config.default_latency = ms * 1_000_000;
+        self
+    }
+
+    /// Sets the failure-detection delay in milliseconds.
+    pub fn failure_detect_ms(mut self, ms: u64) -> Self {
+        self.config.failure_detect_delay = ms * 1_000_000;
+        self
+    }
+
+    /// Sets the QoS measurement interval in milliseconds.
+    pub fn measure_interval_ms(mut self, ms: u64) -> Self {
+        self.config.measure_interval = ms * 1_000_000;
+        self
+    }
+
+    /// Overrides the full configuration.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds the simulator at virtual time zero.
+    pub fn build(self) -> Sim {
+        Sim {
+            metrics: Metrics::new(self.config.measure_window),
+            config: self.config,
+            now: 0,
+            events: EventQueue::default(),
+            nodes: BTreeMap::new(),
+            link_rate_presets: HashMap::new(),
+            latency_presets: HashMap::new(),
+            observer_log: Vec::new(),
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation of an iOverlay deployment.
+///
+/// See the crate docs for the modeling rationale and an end-to-end
+/// example.
+pub struct Sim {
+    config: SimConfig,
+    now: Nanos,
+    events: EventQueue,
+    nodes: BTreeMap<NodeId, SimNode>,
+    metrics: Metrics,
+    link_rate_presets: HashMap<(NodeId, NodeId), Rate>,
+    latency_presets: HashMap<(NodeId, NodeId), Nanos>,
+    observer_log: Vec<(Nanos, NodeId, Msg)>,
+}
+
+impl Sim {
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Immutable metrics access (totals, counters).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics access (windowed rate queries evict old samples).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Messages sent to the observer so far: `(time, sender, message)`.
+    pub fn observer_log(&self) -> &[(Nanos, NodeId, Msg)] {
+        &self.observer_log
+    }
+
+    /// Windowed throughput of link `from -> to` in KBps at the current
+    /// virtual time.
+    pub fn link_kbps(&mut self, from: NodeId, to: NodeId) -> f64 {
+        let now = self.now;
+        self.metrics.link_kbps(from, to, now)
+    }
+
+    /// Windowed application goodput at `node` in KBps.
+    pub fn received_kbps(&mut self, node: NodeId, app: u32) -> f64 {
+        let now = self.now;
+        self.metrics.received_kbps(node, app, now)
+    }
+
+    /// Adds a node running `alg` with the given emulated bandwidth.
+    ///
+    /// The algorithm's `on_start` runs immediately (at the current
+    /// virtual time) and its periodic QoS measurement ticks are armed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node with this id already exists.
+    pub fn add_node(&mut self, id: NodeId, bandwidth: NodeBandwidth, alg: Box<dyn Algorithm>) {
+        assert!(
+            !self.nodes.contains_key(&id),
+            "node {id} already exists in the simulation"
+        );
+        let mk = |rate: Option<Rate>| -> SharedBucket {
+            let r = rate.unwrap_or_else(unlimited_rate);
+            BucketChain::shared(TokenBucket::with_burst(
+                r,
+                (r.as_bytes_per_sec() / 8).max(8 * 1024),
+                self.now,
+            ))
+        };
+        let node = SimNode::seeded(
+            id,
+            bandwidth,
+            alg,
+            self.config.buffer_msgs,
+            self.config.seed,
+            mk(bandwidth.up()),
+            mk(bandwidth.down()),
+            mk(bandwidth.total()),
+        );
+        self.nodes.insert(id, node);
+        self.run_algorithm(id, None, |alg, ctx| alg.on_start(ctx));
+        self.events
+            .schedule(self.now + self.config.measure_interval, Event::MeasureTick(id));
+    }
+
+    /// Declares the observer address a node reports to.
+    pub fn set_observer(&mut self, node: NodeId, observer: NodeId) {
+        if let Some(n) = self.nodes.get_mut(&node) {
+            n.observer = Some(observer);
+        }
+    }
+
+    /// Sets the bandwidth of the directed link `from -> to` (applies to
+    /// the existing link and to any future recreation of it).
+    pub fn set_link_rate(&mut self, from: NodeId, to: NodeId, rate: Option<Rate>) {
+        match rate {
+            Some(r) => {
+                self.link_rate_presets.insert((from, to), r);
+            }
+            None => {
+                self.link_rate_presets.remove(&(from, to));
+            }
+        }
+        let now = self.now;
+        if let Some(link) = self.nodes.get_mut(&from).and_then(|n| n.links.get_mut(&to)) {
+            link.set_link_rate(rate, now);
+        }
+    }
+
+    /// Sets the one-way latency of links between `a` and `b` (both
+    /// directions).
+    pub fn set_latency(&mut self, a: NodeId, b: NodeId, latency: Nanos) {
+        self.latency_presets.insert((a, b), latency);
+        self.latency_presets.insert((b, a), latency);
+        for (u, v) in [(a, b), (b, a)] {
+            if let Some(link) = self.nodes.get_mut(&u).and_then(|n| n.links.get_mut(&v)) {
+                link.latency = latency;
+            }
+        }
+    }
+
+    /// Retunes a node's emulated total bandwidth at runtime.
+    pub fn set_node_total(&mut self, node: NodeId, rate: Option<Rate>) {
+        let now = self.now;
+        if let Some(n) = self.nodes.get_mut(&node) {
+            n.total_bucket
+                .lock()
+                .set_rate(rate.unwrap_or_else(unlimited_rate), now);
+        }
+    }
+
+    /// Retunes a node's emulated uplink bandwidth at runtime (Fig. 6(b):
+    /// *"we proceed to set the uplink available bandwidth of node D to
+    /// 30 KBps"*).
+    pub fn set_node_up(&mut self, node: NodeId, rate: Option<Rate>) {
+        let now = self.now;
+        if let Some(n) = self.nodes.get_mut(&node) {
+            n.up_bucket
+                .lock()
+                .set_rate(rate.unwrap_or_else(unlimited_rate), now);
+        }
+    }
+
+    /// Retunes a node's emulated downlink bandwidth at runtime.
+    pub fn set_node_down(&mut self, node: NodeId, rate: Option<Rate>) {
+        let now = self.now;
+        if let Some(n) = self.nodes.get_mut(&node) {
+            n.down_bucket
+                .lock()
+                .set_rate(rate.unwrap_or_else(unlimited_rate), now);
+        }
+    }
+
+    /// Retunes the switch's weighted-round-robin weight for one of a
+    /// node's upstreams — the paper's *"dynamically tunable weights"*.
+    /// A weight of 0 parks the upstream (its buffer is never serviced).
+    pub fn set_switch_weight(&mut self, node: NodeId, upstream: NodeId, weight: u32) {
+        if let Some(n) = self.nodes.get_mut(&node) {
+            n.wrr.set_weight(upstream, weight);
+        }
+    }
+
+    /// Overrides the buffer capacity of one node (existing and future
+    /// links).
+    pub fn set_node_buffer(&mut self, node: NodeId, cap: usize) {
+        if let Some(n) = self.nodes.get_mut(&node) {
+            n.recv_cap = cap;
+            for link in n.links.values_mut() {
+                link.cap = cap;
+            }
+        }
+    }
+
+    /// Delivers an observer-style control message to `node` at absolute
+    /// virtual time `at`.
+    pub fn inject(&mut self, at: Nanos, node: NodeId, msg: Msg) {
+        self.events.schedule(at.max(self.now), Event::Inject { node, msg });
+    }
+
+    /// Schedules a node failure at absolute virtual time `at`.
+    pub fn kill_at(&mut self, at: Nanos, node: NodeId) {
+        self.events
+            .schedule(at.max(self.now), Event::KillNode(node));
+    }
+
+    /// Whether `node` is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes.get(&node).is_some_and(|n| n.alive)
+    }
+
+    /// The downstream neighbors of `node` (outgoing links).
+    pub fn downstreams_of(&self, node: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .get(&node)
+            .map(|n| n.links.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The upstream neighbors of `node` (receive buffers).
+    pub fn upstreams_of(&self, node: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .get(&node)
+            .map(|n| n.recv_queues.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The emulated bandwidth profile a node was created with.
+    pub fn node_bandwidth(&self, node: NodeId) -> Option<NodeBandwidth> {
+        self.nodes.get(&node).map(|n| n.bandwidth)
+    }
+
+    /// Builds the node's status report — the same data a real node sends
+    /// the observer on each `request`: buffer lengths, neighbors,
+    /// per-link throughput, and the algorithm's own status.
+    pub fn status_report(&mut self, node_id: NodeId) -> Option<ioverlay_api::StatusReport> {
+        let now = self.now;
+        let (recv, send, ups, downs, switched, alg_status) = {
+            let node = self.nodes.get(&node_id)?;
+            let recv: Vec<(NodeId, usize)> = node
+                .recv_queues
+                .keys()
+                .map(|&u| (u, node.recv_len(u).unwrap_or(0)))
+                .collect();
+            let send: Vec<(NodeId, usize)> = node
+                .links
+                .iter()
+                .map(|(&d, l)| (d, l.depth()))
+                .collect();
+            let ups: Vec<NodeId> = node.recv_queues.keys().copied().collect();
+            let downs: Vec<NodeId> = node.links.keys().copied().collect();
+            let alg_status = node
+                .alg
+                .as_ref()
+                .map(|a| a.status())
+                .unwrap_or(serde_json::Value::Null);
+            (recv, send, ups, downs, node.switched, alg_status)
+        };
+        let link_kbps: Vec<(NodeId, f64)> = downs
+            .iter()
+            .map(|&d| (d, self.metrics.link_kbps(node_id, d, now)))
+            .collect();
+        Some(ioverlay_api::StatusReport {
+            node: Some(node_id),
+            recv_buffers: recv,
+            send_buffers: send,
+            upstreams: ups,
+            downstreams: downs,
+            link_kbps,
+            switched_msgs: switched,
+            algorithm: alg_status,
+        })
+    }
+
+    /// Runs a read-only query against a node's algorithm state.
+    pub fn algorithm_status(&self, node: NodeId) -> serde_json::Value {
+        self.nodes
+            .get(&node)
+            .and_then(|n| n.alg.as_ref())
+            .map(|a| a.status())
+            .unwrap_or(serde_json::Value::Null)
+    }
+
+    /// Advances the simulation until virtual time `deadline`.
+    pub fn run_until(&mut self, deadline: Nanos) {
+        while let Some(at) = self.events.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let (at, event) = self.events.pop().expect("peeked event exists");
+            debug_assert!(at >= self.now, "event queue went backwards");
+            self.now = at;
+            self.handle(event);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Advances the simulation by `duration` nanoseconds of virtual time.
+    pub fn run_for(&mut self, duration: Nanos) {
+        let deadline = self.now + duration;
+        self.run_until(deadline);
+    }
+
+    /// Number of pending events (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    // ------------------------------------------------------------------
+    // event handlers
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Arrival { from, to, msg } => self.handle_arrival(from, to, msg),
+            Event::Process(node) => self.handle_process(node),
+            Event::Timer { node, token } => {
+                if self.nodes.get(&node).is_some_and(|n| n.alive) {
+                    self.run_algorithm(node, None, |alg, ctx| alg.on_timer(ctx, token));
+                }
+            }
+            Event::MeasureTick(node) => self.handle_measure_tick(node),
+            Event::KillNode(node) => self.handle_kill(node),
+            Event::LinkFailureDetected { survivor, failed } => {
+                self.handle_peer_gone(survivor, failed, true);
+            }
+            Event::UpstreamClosed { node, upstream } => {
+                self.handle_peer_gone(node, upstream, false);
+            }
+            Event::Inject { node, msg } => {
+                if let Some(n) = self.nodes.get_mut(&node) {
+                    if n.alive {
+                        n.local_inbox.push_back(msg);
+                        self.events.schedule(self.now, Event::Process(node));
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_arrival(&mut self, from: NodeId, to: NodeId, msg: Msg) {
+        let bytes = msg.wire_len() as u64;
+        let receiver_ok = self.nodes.get(&to).is_some_and(|n| n.alive);
+        if !receiver_ok {
+            self.metrics.record_lost(from, to, 1);
+            if let Some(link) = self.nodes.get_mut(&from).and_then(|n| n.links.get_mut(&to)) {
+                link.outstanding = link.outstanding.saturating_sub(1);
+            }
+            return;
+        }
+        // Ensure the receive buffer exists; a first arrival from a new
+        // upstream also notifies the algorithm (persistent connection
+        // accepted).
+        let mut newly_joined = false;
+        {
+            let node = self.nodes.get_mut(&to).expect("receiver exists");
+            if let std::collections::btree_map::Entry::Vacant(e) = node.recv_queues.entry(from) {
+                e.insert(Default::default());
+                node.wrr.set_weight(from, 1);
+                newly_joined = true;
+            }
+        }
+        if newly_joined {
+            self.deliver_local(to, Msg::control(MsgType::UpstreamJoined, from, msg.app()));
+        }
+        let accepted = {
+            let node = self.nodes.get_mut(&to).expect("receiver exists");
+            let q = node.recv_queues.get_mut(&from).expect("just ensured");
+            if q.len() < node.recv_cap {
+                q.push_back(msg.clone());
+                true
+            } else {
+                false
+            }
+        };
+        if accepted {
+            self.metrics.record_link_delivery(from, to, bytes, self.now);
+            if let Some(link) = self.nodes.get_mut(&from).and_then(|n| n.links.get_mut(&to)) {
+                link.outstanding = link.outstanding.saturating_sub(1);
+            }
+            self.kick_link(from, to);
+            self.events.schedule(self.now, Event::Process(to));
+            // Freed send-buffer space may unblock fanouts at the sender.
+            self.events.schedule(self.now, Event::Process(from));
+        } else if let Some(link) = self.nodes.get_mut(&from).and_then(|n| n.links.get_mut(&to)) {
+            // Receiver buffer full: the message waits in the (virtual)
+            // kernel buffer and the link stays throttled — TCP back
+            // pressure.
+            link.stalled.push_back(msg);
+        }
+    }
+
+    fn handle_process(&mut self, node_id: NodeId) {
+        if !self.nodes.get(&node_id).is_some_and(|n| n.alive) {
+            return;
+        }
+        for _ in 0..self.config.process_batch {
+            // 1. Retry blocked fanouts ("remaining senders").
+            self.retry_blocked(node_id);
+            // 2. Engine-internal deliveries first (control plane).
+            let local = self
+                .nodes
+                .get_mut(&node_id)
+                .and_then(|n| n.local_inbox.pop_front());
+            if let Some(msg) = local {
+                self.deliver_to_algorithm(node_id, None, msg);
+                continue;
+            }
+            // 3. Switch one data-plane message, WRR over receive buffers.
+            let Some(upstream) = self.pick_upstream(node_id) else {
+                break;
+            };
+            let msg = {
+                let node = self.nodes.get_mut(&node_id).expect("alive node");
+                node.switched += 1;
+                node.recv_queues
+                    .get_mut(&upstream)
+                    .and_then(|q| q.pop_front())
+            };
+            let Some(msg) = msg else { continue };
+            // Freed receive space: accept one stalled in-network message.
+            self.resume_stalled(upstream, node_id);
+            self.deliver_to_algorithm(node_id, Some(upstream), msg);
+        }
+        // If work remains, continue in a fresh event (bounded batches keep
+        // single events from monopolizing the virtual instant).
+        let more = self.nodes.get(&node_id).is_some_and(|n| {
+            n.alive && (!n.local_inbox.is_empty() || n.has_switchable_input())
+        });
+        if more {
+            self.events.schedule(self.now, Event::Process(node_id));
+        }
+    }
+
+    /// Chooses the next upstream to service: WRR order, skipping empty
+    /// buffers and upstreams with a blocked fanout.
+    fn pick_upstream(&mut self, node_id: NodeId) -> Option<NodeId> {
+        let node = self.nodes.get_mut(&node_id)?;
+        let candidates = node.wrr.len();
+        for _ in 0..candidates {
+            let up = *node.wrr.next()?;
+            let eligible = !node.blocked.contains_key(&up)
+                && node.recv_queues.get(&up).is_some_and(|q| !q.is_empty());
+            if eligible {
+                return Some(up);
+            }
+        }
+        None
+    }
+
+    fn retry_blocked(&mut self, node_id: NodeId) {
+        let blocked: Vec<(NodeId, Vec<(Msg, NodeId)>)> = {
+            let Some(node) = self.nodes.get_mut(&node_id) else {
+                return;
+            };
+            let mut keys: Vec<NodeId> = node.blocked.keys().copied().collect();
+            // Rotate the retry order so a single freed sender slot is
+            // granted to competing upstreams in turn — fixed iteration
+            // order would starve all but the smallest id.
+            if !keys.is_empty() {
+                let shift = (node.retry_rotor as usize) % keys.len();
+                keys.rotate_left(shift);
+                node.retry_rotor = node.retry_rotor.wrapping_add(1);
+            }
+            keys.into_iter()
+                .filter_map(|k| node.blocked.remove(&k).map(|v| (k, v)))
+                .collect()
+        };
+        for (upstream, sends) in blocked {
+            let mut still = Vec::new();
+            for (msg, dest) in sends {
+                if !self.enqueue_send(node_id, dest, msg.clone(), Some(upstream)) {
+                    still.push((msg, dest));
+                }
+            }
+            if !still.is_empty() {
+                if let Some(node) = self.nodes.get_mut(&node_id) {
+                    node.blocked.insert(upstream, still);
+                }
+            } else {
+                // The head-of-line block cleared; the upstream's buffer
+                // can drain again.
+                self.events.schedule(self.now, Event::Process(node_id));
+            }
+        }
+    }
+
+    /// Accepts one stalled in-network message from `upstream`'s link now
+    /// that `node_id` freed a receive slot.
+    fn resume_stalled(&mut self, upstream: NodeId, node_id: NodeId) {
+        let msg = self
+            .nodes
+            .get_mut(&upstream)
+            .and_then(|n| n.links.get_mut(&node_id))
+            .and_then(|l| l.stalled.pop_front());
+        let Some(msg) = msg else { return };
+        let bytes = msg.wire_len() as u64;
+        let node = self.nodes.get_mut(&node_id).expect("receiver exists");
+        node.recv_queues
+            .entry(upstream)
+            .or_default()
+            .push_back(msg);
+        self.metrics
+            .record_link_delivery(upstream, node_id, bytes, self.now);
+        if let Some(link) = self
+            .nodes
+            .get_mut(&upstream)
+            .and_then(|n| n.links.get_mut(&node_id))
+        {
+            link.outstanding = link.outstanding.saturating_sub(1);
+        }
+        self.kick_link(upstream, node_id);
+    }
+
+    /// Runs the algorithm callback for one message, applying the
+    /// middleware-level semantics first (app-route bookkeeping, the
+    /// `BrokenSource` domino).
+    fn deliver_to_algorithm(&mut self, node_id: NodeId, from_upstream: Option<NodeId>, msg: Msg) {
+        match msg.ty() {
+            MsgType::Data => {
+                let app = msg.app();
+                let payload = msg.payload().len() as u64;
+                if let Some(up) = from_upstream {
+                    if let Some(node) = self.nodes.get_mut(&node_id) {
+                        node.note_app_upstream(app, up);
+                    }
+                }
+                self.metrics
+                    .record_data_received(node_id, app, payload, self.now);
+            }
+            MsgType::BrokenSource => {
+                if let Some(up) = from_upstream {
+                    self.domino_broken_source(node_id, msg.app(), up);
+                }
+            }
+            MsgType::Request => {
+                // The runtime answers status requests, mirroring the
+                // engine; the report lands in the observer log.
+                if let Some(report) = self.status_report(node_id) {
+                    let status = Msg::new(MsgType::Status, node_id, 0, 0, report.encode());
+                    self.metrics
+                        .record_sent(node_id, MsgType::Status, status.wire_len() as u64, self.now);
+                    self.observer_log.push((self.now, node_id, status));
+                }
+            }
+            _ => {}
+        }
+        self.run_algorithm(node_id, from_upstream, |alg, ctx| alg.on_message(ctx, msg));
+    }
+
+    /// Propagates a broken application source downstream — the paper's
+    /// "Domino Effect", performed by the middleware so that algorithms
+    /// only ever *react* to `BrokenSource`.
+    fn domino_broken_source(&mut self, node_id: NodeId, app: u32, gone_upstream: NodeId) {
+        let forward_to: Vec<NodeId> = {
+            let Some(node) = self.nodes.get_mut(&node_id) else {
+                return;
+            };
+            let ups = node.app_upstreams.entry(app).or_default();
+            ups.remove(&gone_upstream);
+            if !ups.is_empty() {
+                Vec::new() // another upstream still feeds this app
+            } else {
+                node.app_downstreams
+                    .remove(&app)
+                    .map(|s| s.into_iter().collect())
+                    .unwrap_or_default()
+            }
+        };
+        for dest in forward_to {
+            let broken = Msg::control(MsgType::BrokenSource, node_id, app);
+            self.enqueue_send(node_id, dest, broken, None);
+        }
+    }
+
+    fn run_algorithm<F>(&mut self, node_id: NodeId, from_upstream: Option<NodeId>, f: F)
+    where
+        F: FnOnce(&mut dyn Algorithm, &mut SimCtx<'_>),
+    {
+        let Some(mut node) = self.nodes.remove(&node_id) else {
+            return;
+        };
+        let Some(mut alg) = node.alg.take() else {
+            self.nodes.insert(node_id, node);
+            return;
+        };
+        let staged = {
+            let mut ctx = SimCtx {
+                node: &mut node,
+                now: self.now,
+                staged: StagedEffects::default(),
+            };
+            f(alg.as_mut(), &mut ctx);
+            ctx.staged
+        };
+        node.alg = Some(alg);
+        self.nodes.insert(node_id, node);
+        self.apply_staged(node_id, from_upstream, staged);
+    }
+
+    fn apply_staged(
+        &mut self,
+        node_id: NodeId,
+        from_upstream: Option<NodeId>,
+        staged: StagedEffects,
+    ) {
+        for (msg, dest) in staged.sends {
+            if !self.enqueue_send(node_id, dest, msg.clone(), from_upstream) {
+                if let (Some(up), Some(node)) = (from_upstream, self.nodes.get_mut(&node_id)) {
+                    node.blocked.entry(up).or_default().push((msg, dest));
+                }
+            }
+        }
+        for msg in staged.observer_msgs {
+            self.metrics
+                .record_sent(node_id, msg.ty(), msg.wire_len() as u64, self.now);
+            self.observer_log.push((self.now, node_id, msg));
+        }
+        for (delay, token) in staged.timers {
+            self.events.schedule(
+                self.now + delay,
+                Event::Timer {
+                    node: node_id,
+                    token,
+                },
+            );
+        }
+        for peer in staged.probes {
+            let latency = self.latency_for(node_id, peer);
+            let rtt = 2 * latency;
+            let micros = i32::try_from(rtt / 1_000).unwrap_or(i32::MAX);
+            let pong = Msg::new(
+                MsgType::Pong,
+                peer,
+                0,
+                0,
+                ControlParams::new(Some(micros), None).encode(),
+            );
+            self.events.schedule(
+                self.now + rtt,
+                Event::Inject {
+                    node: node_id,
+                    msg: pong,
+                },
+            );
+        }
+        for peer in staged.closes {
+            self.close_link(node_id, peer);
+        }
+    }
+
+    /// Gracefully closes the directed link `from -> to`.
+    fn close_link(&mut self, from: NodeId, to: NodeId) {
+        let latency = self.latency_for(from, to);
+        let existed = {
+            let Some(node) = self.nodes.get_mut(&from) else {
+                return;
+            };
+            match node.links.remove(&to) {
+                Some(mut link) => {
+                    let lost = link.drop_all();
+                    if lost > 0 {
+                        self.metrics.record_lost(from, to, lost);
+                    }
+                    true
+                }
+                None => false,
+            }
+        };
+        if existed {
+            if let Some(node) = self.nodes.get_mut(&from) {
+                for set in node.app_downstreams.values_mut() {
+                    set.remove(&to);
+                }
+            }
+            self.events.schedule(
+                self.now + latency,
+                Event::UpstreamClosed {
+                    node: to,
+                    upstream: from,
+                },
+            );
+        }
+    }
+
+    fn latency_for(&self, from: NodeId, to: NodeId) -> Nanos {
+        self.latency_presets
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.config.default_latency)
+    }
+
+    /// Queues a message on the link `owner -> dest`, creating the link on
+    /// first use (persistent connections). Returns `false` if the send
+    /// must wait because the (bounded) buffer is full — only possible for
+    /// traffic forwarded from a receive buffer; locally originated sends
+    /// always enqueue (sources self-pace via `Context::backlog`).
+    fn enqueue_send(
+        &mut self,
+        owner: NodeId,
+        dest: NodeId,
+        msg: Msg,
+        from_upstream: Option<NodeId>,
+    ) -> bool {
+        if owner == dest {
+            return true; // self-sends are silently consumed
+        }
+        if !self.nodes.get(&dest).is_some_and(|n| n.alive) {
+            // Unknown or dead destination: the connect fails and the
+            // engine reports it, exactly like a refused TCP connection.
+            self.metrics.record_lost(owner, dest, 1);
+            self.deliver_local(owner, Msg::control(MsgType::NeighborFailed, dest, msg.app()));
+            return true;
+        }
+        // Create the link lazily.
+        if !self
+            .nodes
+            .get(&owner)
+            .is_some_and(|n| n.links.contains_key(&dest))
+        {
+            self.create_link(owner, dest);
+            self.deliver_local(
+                owner,
+                Msg::control(MsgType::DownstreamJoined, dest, msg.app()),
+            );
+        }
+        let is_data = msg.ty() == MsgType::Data;
+        let app = msg.app();
+        let ty = msg.ty();
+        let bytes = msg.wire_len() as u64;
+        let pushed = {
+            let node = self.nodes.get_mut(&owner).expect("owner exists");
+            let link = node.links.get_mut(&dest).expect("just created");
+            if from_upstream.is_some() && !link.has_space() {
+                false
+            } else {
+                link.queue.push_back(msg);
+                true
+            }
+        };
+        if pushed {
+            if is_data {
+                if let Some(node) = self.nodes.get_mut(&owner) {
+                    node.note_app_downstream(app, dest);
+                }
+            }
+            self.metrics.record_sent(owner, ty, bytes, self.now);
+            self.kick_link(owner, dest);
+        }
+        pushed
+    }
+
+    fn create_link(&mut self, owner: NodeId, dest: NodeId) {
+        let (dest_down, dest_total) = {
+            let d = self.nodes.get(&dest).expect("dest exists");
+            (d.down_bucket.clone(), d.total_bucket.clone())
+        };
+        let latency = self.latency_for(owner, dest);
+        let preset = self.link_rate_presets.get(&(owner, dest)).copied();
+        let node = self.nodes.get_mut(&owner).expect("owner exists");
+        let mut chain = BucketChain::new();
+        chain.push(node.up_bucket.clone());
+        chain.push(node.total_bucket.clone());
+        chain.push(dest_down);
+        chain.push(dest_total);
+        let mut link = DirectedLink::new(node.recv_cap, chain, latency, self.config.link_window);
+        if let Some(rate) = preset {
+            link.set_link_rate(Some(rate), self.now);
+        }
+        node.links.insert(dest, link);
+    }
+
+    /// Starts as many transmissions as the link's window allows.
+    fn kick_link(&mut self, from: NodeId, to: NodeId) {
+        loop {
+            let Some(link) = self.nodes.get_mut(&from).and_then(|n| n.links.get_mut(&to))
+            else {
+                return;
+            };
+            if !link.can_transmit() || !link.stalled.is_empty() {
+                return;
+            }
+            let msg = link.queue.pop_front().expect("can_transmit checked");
+            let bytes = msg.wire_len() as u64;
+            let delay = link.chain.reserve(bytes, self.now);
+            link.outstanding += 1;
+            let latency = link.latency;
+            self.events.schedule(
+                self.now + delay + latency,
+                Event::Arrival { from, to, msg },
+            );
+        }
+    }
+
+    /// Delivers an engine-internal event message directly to a node's
+    /// algorithm queue (bypassing the data path).
+    fn deliver_local(&mut self, node_id: NodeId, msg: Msg) {
+        if let Some(node) = self.nodes.get_mut(&node_id) {
+            if node.alive {
+                node.local_inbox.push_back(msg);
+                self.events.schedule(self.now, Event::Process(node_id));
+            }
+        }
+    }
+
+    fn handle_measure_tick(&mut self, node_id: NodeId) {
+        let Some(node) = self.nodes.get(&node_id) else {
+            return;
+        };
+        if !node.alive {
+            return;
+        }
+        let downstreams: Vec<NodeId> = node.links.keys().copied().collect();
+        let upstreams: Vec<NodeId> = node.recv_queues.keys().copied().collect();
+        let now = self.now;
+        for peer in downstreams {
+            let kbps = self.metrics.link_kbps(node_id, peer, now);
+            let payload = ThroughputPayload {
+                peer,
+                direction: LinkDirection::Downstream,
+                kbps,
+                lost_msgs: 0,
+            };
+            let msg = Msg::new(MsgType::DownThroughput, node_id, 0, 0, payload.encode());
+            self.deliver_local(node_id, msg);
+        }
+        for peer in upstreams {
+            let kbps = self.metrics.link_kbps(peer, node_id, now);
+            let payload = ThroughputPayload {
+                peer,
+                direction: LinkDirection::Upstream,
+                kbps,
+                lost_msgs: 0,
+            };
+            let msg = Msg::new(MsgType::UpThroughput, node_id, 0, 0, payload.encode());
+            self.deliver_local(node_id, msg);
+        }
+        self.events.schedule(
+            self.now + self.config.measure_interval,
+            Event::MeasureTick(node_id),
+        );
+    }
+
+    fn handle_kill(&mut self, node_id: NodeId) {
+        let peers: Vec<NodeId> = {
+            let Some(node) = self.nodes.get_mut(&node_id) else {
+                return;
+            };
+            if !node.alive {
+                return;
+            }
+            node.alive = false;
+            node.local_inbox.clear();
+            // Everything buffered toward downstreams dies with the node.
+            let downstreams: Vec<NodeId> = node.links.keys().copied().collect();
+            for d in &downstreams {
+                if let Some(link) = node.links.get_mut(d) {
+                    link.drop_all();
+                }
+            }
+            let mut all: Vec<NodeId> = downstreams;
+            all.extend(node.recv_queues.keys().copied());
+            node.recv_queues.clear();
+            all
+        };
+        // Peers that send *to* the dead node also need to notice.
+        let senders: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.alive && n.links.contains_key(&node_id))
+            .map(|(&id, _)| id)
+            .collect();
+        let mut notify: Vec<NodeId> = peers;
+        notify.extend(senders);
+        notify.sort_unstable();
+        notify.dedup();
+        for peer in notify {
+            if peer == node_id {
+                continue;
+            }
+            self.events.schedule(
+                self.now + self.config.failure_detect_delay,
+                Event::LinkFailureDetected {
+                    survivor: peer,
+                    failed: node_id,
+                },
+            );
+        }
+    }
+
+    /// A peer disappeared (failure) or departed (graceful close): tear
+    /// down both directions of state toward it, notify the algorithm, and
+    /// run the domino for any application the peer was feeding.
+    fn handle_peer_gone(&mut self, survivor: NodeId, gone: NodeId, abrupt: bool) {
+        if !self.nodes.get(&survivor).is_some_and(|n| n.alive) {
+            return;
+        }
+        let (was_upstream, lost, broken_apps): (bool, u64, Vec<u32>) = {
+            let node = self.nodes.get_mut(&survivor).expect("alive");
+            let lost = match node.links.remove(&gone) {
+                Some(mut link) if abrupt => link.drop_all(),
+                Some(mut link) => {
+                    // Graceful: buffered messages are flushed in the real
+                    // engine; in the model we simply drop the link whose
+                    // queue is typically empty by the time of the close.
+                    link.drop_all()
+                }
+                None => 0,
+            };
+            let was_upstream = node.recv_queues.remove(&gone).is_some();
+            node.wrr.remove(&gone);
+            node.blocked.remove(&gone);
+            for set in node.app_downstreams.values_mut() {
+                set.remove(&gone);
+            }
+            // Which applications lose their (only) upstream?
+            let mut broken = Vec::new();
+            for (app, ups) in node.app_upstreams.iter_mut() {
+                if ups.remove(&gone) && ups.is_empty() {
+                    broken.push(*app);
+                }
+            }
+            (was_upstream, lost, broken)
+        };
+        if lost > 0 && abrupt {
+            self.metrics.record_lost(survivor, gone, lost);
+        }
+        // Notify the algorithm of the failed/closed neighbor.
+        let direction_app = 0;
+        self.deliver_local(
+            survivor,
+            Msg::control(MsgType::NeighborFailed, gone, direction_app),
+        );
+        // Domino: propagate BrokenSource for orphaned applications.
+        if was_upstream {
+            for app in broken_apps {
+                let downstreams: Vec<NodeId> = self
+                    .nodes
+                    .get_mut(&survivor)
+                    .and_then(|n| n.app_downstreams.remove(&app))
+                    .map(|s| s.into_iter().collect())
+                    .unwrap_or_default();
+                for dest in downstreams {
+                    let broken = Msg::control(MsgType::BrokenSource, survivor, app);
+                    self.enqueue_send(survivor, dest, broken, None);
+                }
+                self.deliver_local(
+                    survivor,
+                    Msg::control(MsgType::BrokenSource, gone, app),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests on whole simulations: conservation and
+//! determinism over randomized topologies.
+
+use ioverlay_api::{Algorithm, Context, Msg, MsgType, NodeId};
+use ioverlay_simnet::{NodeBandwidth, Rate, SimBuilder};
+use proptest::prelude::*;
+
+const SEC: u64 = 1_000_000_000;
+
+/// Forwards data along a fixed next-hop (or sinks it).
+struct Hop {
+    next: Option<NodeId>,
+    emitted: u64,
+    to_emit: u64,
+    payload: usize,
+}
+
+impl Algorithm for Hop {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        ctx.set_timer(10_000_000, 1);
+    }
+    fn on_timer(&mut self, ctx: &mut dyn Context, _t: u64) {
+        if let Some(next) = self.next {
+            while self.emitted < self.to_emit {
+                let full = ctx
+                    .backlog(next)
+                    .is_some_and(|d| d >= ctx.buffer_capacity());
+                if full {
+                    break;
+                }
+                let msg = Msg::data(ctx.local_id(), 1, self.emitted as u32, vec![0; self.payload]);
+                ctx.send(msg, next);
+                self.emitted += 1;
+            }
+            if self.emitted < self.to_emit {
+                ctx.set_timer(10_000_000, 1);
+            }
+        }
+    }
+    fn on_message(&mut self, ctx: &mut dyn Context, msg: Msg) {
+        if msg.ty() == MsgType::Data {
+            if let Some(next) = self.next {
+                ctx.send(msg, next);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// In a lossless chain, every emitted message is eventually received
+    /// by every hop downstream of the source, exactly once.
+    #[test]
+    fn chain_conserves_messages(
+        hops in 2usize..6,
+        to_emit in 1u64..120,
+        payload in 1usize..2048,
+        rate_kbps in 20u64..200,
+        seed in 0u64..1000,
+    ) {
+        let ids: Vec<NodeId> = (1..=hops as u16 + 1).map(NodeId::loopback).collect();
+        let mut sim = SimBuilder::new(seed).buffer_msgs(5).latency_ms(5).build();
+        // Sink first, then intermediate hops, then the source.
+        for i in (0..ids.len()).rev() {
+            let next = ids.get(i + 1).copied();
+            let alg = Hop {
+                next,
+                emitted: 0,
+                to_emit: if i == 0 { to_emit } else { 0 },
+                payload,
+            };
+            let bw = if i == 0 {
+                NodeBandwidth::total_only(Rate::kbps(rate_kbps))
+            } else {
+                NodeBandwidth::unlimited()
+            };
+            sim.add_node(ids[i], bw, Box::new(alg));
+        }
+        // Enough virtual time to drain everything at the slowest rate.
+        let bytes = to_emit * (payload as u64 + 24);
+        let secs = bytes / (rate_kbps * 1024) + 30;
+        sim.run_for(secs * SEC);
+        prop_assert_eq!(sim.metrics().lost_msgs(), 0);
+        for id in &ids[1..] {
+            prop_assert_eq!(
+                sim.metrics().received_msgs(*id, 1),
+                to_emit,
+                "node {} got the wrong count", id
+            );
+        }
+    }
+
+    /// Two identical runs produce identical byte counts everywhere.
+    #[test]
+    fn runs_are_deterministic(
+        hops in 2usize..5,
+        to_emit in 1u64..60,
+        seed in 0u64..1000,
+    ) {
+        let run = || {
+            let ids: Vec<NodeId> = (1..=hops as u16 + 1).map(NodeId::loopback).collect();
+            let mut sim = SimBuilder::new(seed).buffer_msgs(5).latency_ms(3).build();
+            for i in (0..ids.len()).rev() {
+                let next = ids.get(i + 1).copied();
+                sim.add_node(
+                    ids[i],
+                    NodeBandwidth::total_only(Rate::kbps(64)),
+                    Box::new(Hop { next, emitted: 0, to_emit: if i == 0 { to_emit } else { 0 }, payload: 512 }),
+                );
+            }
+            sim.run_for(30 * SEC);
+            ids.iter()
+                .map(|id| sim.metrics().received_bytes(*id, 1))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,178 @@
+//! Edge-case tests for the simulator: graceful link close, latency
+//! configuration, idempotent failures, and clock behavior.
+
+use std::sync::{Arc, Mutex};
+
+use ioverlay_api::{Algorithm, Context, Msg, MsgType, NodeId};
+use ioverlay_simnet::{NodeBandwidth, SimBuilder};
+
+const SEC: u64 = 1_000_000_000;
+const CLOSE_CMD: MsgType = MsgType::Custom(0x1F00);
+
+fn node(port: u16) -> NodeId {
+    NodeId::loopback(port)
+}
+
+/// Records event types; closes its link to `target` on `CLOSE_CMD`.
+struct Recorder {
+    target: Option<NodeId>,
+    seen: Arc<Mutex<Vec<(MsgType, u64)>>>,
+}
+
+impl Recorder {
+    fn new(target: Option<NodeId>) -> Self {
+        Self {
+            target,
+            seen: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+}
+
+impl Algorithm for Recorder {
+    fn on_message(&mut self, ctx: &mut dyn Context, msg: Msg) {
+        self.seen.lock().unwrap().push((msg.ty(), ctx.now()));
+        match msg.ty() {
+            CLOSE_CMD => {
+                if let Some(target) = self.target {
+                    ctx.close_link(target);
+                }
+            }
+            MsgType::Data => {
+                if let Some(target) = self.target {
+                    ctx.send(msg, target);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn graceful_close_notifies_the_peer_without_loss() {
+    let (a, b) = (node(1), node(2));
+    let mut sim = SimBuilder::new(1).latency_ms(10).build();
+    let rec_b = Recorder::new(None);
+    let seen_b = rec_b.seen.clone();
+    sim.add_node(b, NodeBandwidth::unlimited(), Box::new(rec_b));
+    sim.add_node(a, NodeBandwidth::unlimited(), Box::new(Recorder::new(Some(b))));
+    // Traffic establishes the link, then A closes it on command.
+    sim.inject(0, a, Msg::data(a, 1, 0, vec![0u8; 64]));
+    sim.run_for(SEC);
+    assert!(sim.downstreams_of(a).contains(&b));
+    sim.inject(sim.now(), a, Msg::control(CLOSE_CMD, node(99), 1));
+    sim.run_for(SEC);
+    assert!(!sim.downstreams_of(a).contains(&b), "link must be gone");
+    assert!(!sim.upstreams_of(b).contains(&a), "peer side must be gone");
+    let seen = seen_b.lock().unwrap();
+    assert!(
+        seen.iter().any(|(ty, _)| *ty == MsgType::NeighborFailed),
+        "B never heard about the close: {seen:?}"
+    );
+    assert_eq!(sim.metrics().lost_msgs(), 0, "graceful close loses nothing");
+}
+
+#[test]
+fn configured_latency_delays_delivery() {
+    let measure = |latency_ms: u64| -> u64 {
+        let (a, b) = (node(1), node(2));
+        let mut sim = SimBuilder::new(1).latency_ms(latency_ms).build();
+        let rec = Recorder::new(None);
+        let seen = rec.seen.clone();
+        sim.add_node(b, NodeBandwidth::unlimited(), Box::new(rec));
+        sim.add_node(a, NodeBandwidth::unlimited(), Box::new(Recorder::new(Some(b))));
+        sim.inject(0, a, Msg::data(a, 1, 0, vec![0u8; 16]));
+        sim.run_for(10 * SEC);
+        let seen = seen.lock().unwrap();
+        seen.iter()
+            .find(|(ty, _)| *ty == MsgType::Data)
+            .map(|(_, at)| *at)
+            .expect("data arrived")
+    };
+    let fast = measure(5);
+    let slow = measure(200);
+    assert!(
+        slow >= fast + 190_000_000,
+        "200 ms links should deliver much later: {fast} vs {slow}"
+    );
+}
+
+#[test]
+fn per_pair_latency_override_applies() {
+    let (a, b) = (node(1), node(2));
+    let mut sim = SimBuilder::new(1).latency_ms(5).build();
+    let rec = Recorder::new(None);
+    let seen = rec.seen.clone();
+    sim.add_node(b, NodeBandwidth::unlimited(), Box::new(rec));
+    sim.add_node(a, NodeBandwidth::unlimited(), Box::new(Recorder::new(Some(b))));
+    sim.set_latency(a, b, 500_000_000); // half a second
+    sim.inject(0, a, Msg::data(a, 1, 0, vec![0u8; 16]));
+    sim.run_for(5 * SEC);
+    let at = seen
+        .lock()
+        .unwrap()
+        .iter()
+        .find(|(ty, _)| *ty == MsgType::Data)
+        .map(|(_, t)| *t)
+        .expect("arrived");
+    assert!(at >= 500_000_000, "arrived after {at} ns despite the override");
+}
+
+#[test]
+fn killing_a_node_twice_is_harmless() {
+    let (a, b) = (node(1), node(2));
+    let mut sim = SimBuilder::new(1).build();
+    sim.add_node(b, NodeBandwidth::unlimited(), Box::new(Recorder::new(None)));
+    sim.add_node(a, NodeBandwidth::unlimited(), Box::new(Recorder::new(Some(b))));
+    sim.inject(0, a, Msg::data(a, 1, 0, vec![0u8; 16]));
+    sim.run_for(SEC);
+    sim.kill_at(sim.now(), b);
+    sim.run_for(SEC);
+    sim.kill_at(sim.now(), b); // again
+    sim.run_for(SEC);
+    assert!(!sim.is_alive(b));
+    assert!(sim.is_alive(a));
+}
+
+#[test]
+fn run_until_advances_time_with_no_events() {
+    let mut sim = SimBuilder::new(1).build();
+    assert_eq!(sim.now(), 0);
+    sim.run_until(7 * SEC);
+    assert_eq!(sim.now(), 7 * SEC);
+    sim.run_for(3 * SEC);
+    assert_eq!(sim.now(), 10 * SEC);
+}
+
+#[test]
+fn timers_fire_in_order_at_the_right_virtual_times() {
+    struct TimerChain {
+        fired: Arc<Mutex<Vec<(u64, u64)>>>,
+    }
+    impl Algorithm for TimerChain {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            ctx.set_timer(3 * SEC, 3);
+            ctx.set_timer(SEC, 1);
+            ctx.set_timer(2 * SEC, 2);
+        }
+        fn on_timer(&mut self, ctx: &mut dyn Context, token: u64) {
+            self.fired.lock().unwrap().push((token, ctx.now()));
+        }
+        fn on_message(&mut self, _ctx: &mut dyn Context, _msg: Msg) {}
+    }
+    let fired = Arc::new(Mutex::new(Vec::new()));
+    let mut sim = SimBuilder::new(1).build();
+    sim.add_node(
+        node(1),
+        NodeBandwidth::unlimited(),
+        Box::new(TimerChain {
+            fired: fired.clone(),
+        }),
+    );
+    sim.run_for(5 * SEC);
+    let fired = fired.lock().unwrap();
+    assert_eq!(
+        *fired,
+        vec![(1, SEC), (2, 2 * SEC), (3, 3 * SEC)],
+        "timers must fire in delay order at exact virtual times"
+    );
+}

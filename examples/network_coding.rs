@@ -1,0 +1,77 @@
+//! Network coding on overlay nodes (§3.2, Fig. 8 of the paper).
+//!
+//! Reproduces the butterfly-style scenario: a source splits two streams
+//! through helper nodes; a coding node combines them in GF(2⁸); both
+//! receivers decode the full session. The example runs the topology
+//! with and without coding and prints the effective throughput of each
+//! receiver.
+//!
+//! Run with: `cargo run --example network_coding`
+
+use ioverlay::algorithms::coding::{CodingRelay, DecodingSink, SplitSource};
+use ioverlay::api::{Algorithm, NodeId};
+use ioverlay::simnet::{NodeBandwidth, Rate, Sim, SimBuilder};
+
+const APP: u32 = 1;
+const SEC: u64 = 1_000_000_000;
+const RUN_SECS: u64 = 90;
+
+fn build(code: bool) -> (Sim, NodeId, NodeId) {
+    let n = |p: u16| NodeId::loopback(p);
+    let (a, b, c, d, e, f, g) = (n(1), n(2), n(3), n(4), n(5), n(6), n(7));
+    let mut sim = SimBuilder::new(8).buffer_msgs(10_000).latency_ms(5).build();
+    sim.add_node(f, NodeBandwidth::unlimited(), Box::new(DecodingSink::new()));
+    sim.add_node(g, NodeBandwidth::unlimited(), Box::new(DecodingSink::new()));
+    let e_alg: Box<dyn Algorithm> = if code {
+        Box::new(CodingRelay::forwarder(vec![f, g]))
+    } else {
+        // Baseline: send each receiver the stream it lacks.
+        Box::new(CodingRelay::stream_router(vec![(1, vec![f]), (0, vec![g])]))
+    };
+    sim.add_node(e, NodeBandwidth::unlimited(), e_alg);
+    let d_alg: Box<dyn Algorithm> = if code {
+        Box::new(CodingRelay::coder(vec![e], 2))
+    } else {
+        Box::new(CodingRelay::forwarder(vec![e]))
+    };
+    sim.add_node(d, NodeBandwidth::unlimited().with_up(Rate::kbps(200)), d_alg);
+    sim.add_node(
+        b,
+        NodeBandwidth::unlimited(),
+        Box::new(CodingRelay::forwarder(vec![d, f])),
+    );
+    sim.add_node(
+        c,
+        NodeBandwidth::unlimited(),
+        Box::new(CodingRelay::forwarder(vec![d, g])),
+    );
+    sim.add_node(
+        a,
+        NodeBandwidth::total_only(Rate::kbps(400)),
+        Box::new(SplitSource::new(APP, b, c, 5 * 1024)),
+    );
+    (sim, f, g)
+}
+
+fn effective_kbps(sim: &Sim, node: NodeId) -> f64 {
+    sim.algorithm_status(node)["effective_bytes"].as_u64().unwrap() as f64
+        / 1024.0
+        / RUN_SECS as f64
+}
+
+fn main() {
+    println!("seven-node butterfly, source 400 KBps, D uplink 200 KBps\n");
+    for (label, code) in [("without coding (Fig. 8a)", false), ("with a+b coding (Fig. 8b)", true)] {
+        let (mut sim, f, g) = build(code);
+        sim.run_for(RUN_SECS * SEC);
+        let gen_f = sim.algorithm_status(f)["complete_generations"].as_u64().unwrap();
+        println!("{label}:");
+        println!(
+            "  receiver F: {:6.1} KBps effective ({} fully decoded generations)",
+            effective_kbps(&sim, f),
+            gen_f
+        );
+        println!("  receiver G: {:6.1} KBps effective", effective_kbps(&sim, g));
+    }
+    println!("\n(the paper reports 300 KBps without coding and 400 KBps with it)");
+}

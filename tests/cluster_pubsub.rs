@@ -1,0 +1,139 @@
+//! Integration: the LocalCluster deployment helper (real TCP) and the
+//! content-based networking case study (simulator).
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ioverlay::algorithms::pubsub::{Constraint, ContentRouter, Event, Predicate};
+use ioverlay::algorithms::{SinkApp, SourceApp, SourceMode};
+use ioverlay::api::{Msg, MsgType, NodeId};
+use ioverlay::cluster::LocalCluster;
+use ioverlay::engine::EngineConfig;
+use ioverlay::simnet::{NodeBandwidth, SimBuilder};
+
+const SEC: u64 = 1_000_000_000;
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    cond()
+}
+
+#[test]
+fn cluster_deploys_bootstraps_and_collects() {
+    let mut cluster = LocalCluster::new().unwrap();
+    // Nine sinks plus one source toward the first sink.
+    let sinks = cluster
+        .spawn_many(9, |_| {
+            (
+                EngineConfig::default(),
+                Box::new(SinkApp::new()) as Box<dyn ioverlay::api::Algorithm>,
+            )
+        })
+        .unwrap();
+    let source = cluster
+        .spawn(
+            EngineConfig::default(),
+            Box::new(SourceApp::new(1, vec![sinks[0]], 1024, SourceMode::BackToBack)),
+        )
+        .unwrap();
+    // Everyone bootstraps against the cluster observer.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            cluster.observer().alive_nodes().len() == 10
+        }),
+        "alive: {:?}",
+        cluster.observer().alive_nodes().len()
+    );
+    // One command deploys the application.
+    cluster.deploy_source(source, 1);
+    assert!(wait_until(Duration::from_secs(10), || {
+        cluster
+            .collect_statuses()
+            .iter()
+            .any(|s| s.node == Some(sinks[0]) && s.switched_msgs > 0)
+    }));
+    // Topology export sees the data link.
+    let dot = cluster.topology_dot();
+    assert!(dot.contains(&format!("\"{source}\"")), "{dot}");
+    // One command terminates a node fleet-wide operation.
+    cluster.broadcast(&Msg::control(MsgType::Terminate, source, 0));
+    assert!(wait_until(Duration::from_secs(5), || {
+        cluster.collect_statuses().is_empty()
+    }));
+    cluster.shutdown();
+}
+
+#[test]
+fn content_based_network_routes_by_predicate() {
+    // A five-router line: 1 - 2 - 3 - 4 - 5. Node 5 subscribes to
+    // temperature > 30, node 1 publishes events; only matching ones
+    // arrive, routed hop by hop with no flooding of data.
+    let ids: Vec<NodeId> = (1..=5).map(NodeId::loopback).collect();
+    let mut sim = SimBuilder::new(31).buffer_msgs(10).latency_ms(5).build();
+    for (i, &id) in ids.iter().enumerate() {
+        let mut neighbors = Vec::new();
+        if i > 0 {
+            neighbors.push(ids[i - 1]);
+        }
+        if i + 1 < ids.len() {
+            neighbors.push(ids[i + 1]);
+        }
+        let mut router = ContentRouter::new(7, neighbors);
+        if i == ids.len() - 1 {
+            router = router
+                .with_subscription(Predicate::new().with("temperature", Constraint::Gt(30)));
+        }
+        sim.add_node(id, NodeBandwidth::unlimited(), Box::new(router));
+    }
+    sim.run_for(5 * SEC); // subscriptions flood
+
+    // Publish from node 1 by injecting events as data messages.
+    let hot = Event::new().with("temperature", 35).with_body(b"heat!".to_vec());
+    let cold = Event::new().with("temperature", 10).with_body(b"brr".to_vec());
+    // Events enter at router 1, self-originated (a local publish).
+    sim.inject(6 * SEC, ids[0], Msg::data(ids[0], 7, 0, hot.encode()));
+    sim.inject(6 * SEC, ids[0], Msg::data(ids[0], 7, 1, cold.encode()));
+    sim.run_for(10 * SEC);
+
+    let end_status = sim.algorithm_status(ids[4]);
+    assert_eq!(end_status["delivered"], 1, "only the hot event matches");
+    // Intermediate routers forwarded but did not deliver.
+    for &mid in &ids[1..4] {
+        let status = sim.algorithm_status(mid);
+        assert_eq!(status["delivered"], 0, "{mid} should not deliver");
+    }
+    // No events leaked backwards to node 1's other side (no neighbors).
+    assert_eq!(sim.algorithm_status(ids[0])["delivered"], 0);
+}
+
+#[test]
+fn streaming_sink_measures_quality_over_the_simulator() {
+    use ioverlay::algorithms::streaming::{MediaSink, MediaSource};
+    let (src, sink) = (NodeId::loopback(1), NodeId::loopback(2));
+    let mut sim = SimBuilder::new(3).buffer_msgs(16).latency_ms(20).build();
+    sim.add_node(
+        sink,
+        NodeBandwidth::unlimited(),
+        Box::new(MediaSink::new(5, 100_000_000)),
+    );
+    sim.add_node(
+        src,
+        NodeBandwidth::unlimited(),
+        // ~30 fps, 4 KB frames.
+        Box::new(MediaSource::new(5, vec![sink], 4096, 33_000_000)),
+    );
+    sim.run_for(10 * SEC);
+    let status = sim.algorithm_status(sink);
+    let frames = status["frames"].as_u64().unwrap();
+    assert!(frames > 250, "got only {frames} frames in 10 s at 30 fps");
+    assert_eq!(status["gaps"], 0);
+    assert_eq!(status["late"], 0, "20 ms latency is inside the 100 ms deadline");
+    let delay_ms = status["mean_delay_ms"].as_f64().unwrap();
+    assert!((delay_ms - 20.0).abs() < 10.0, "mean delay {delay_ms} ms");
+}

@@ -1,0 +1,135 @@
+//! Integration: real engine nodes against a real observer over TCP.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ioverlay::algorithms::{SinkApp, SourceApp, SourceMode, StaticForwarder};
+use ioverlay::engine::{EngineConfig, EngineNode};
+use ioverlay::observer::{commands, dot, ObserverConfig, ObserverServer};
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    cond()
+}
+
+#[test]
+fn bootstrap_status_collection_and_control() {
+    let observer = ObserverServer::spawn(ObserverConfig::default(), 0).unwrap();
+    let cfg = || EngineConfig::default().with_observer(observer.id());
+
+    // A sink, a relay toward it, and a source feeding the relay.
+    let sink = EngineNode::spawn(cfg(), Box::new(SinkApp::new())).unwrap();
+    let relay = EngineNode::spawn(
+        cfg(),
+        Box::new(StaticForwarder::new().route(1, vec![sink.id()])),
+    )
+    .unwrap();
+    let source = EngineNode::spawn(
+        cfg(),
+        Box::new(
+            SourceApp::new(1, vec![relay.id()], 2048, SourceMode::BackToBack).deployed(),
+        ),
+    )
+    .unwrap();
+
+    // All three bootstrapped against the observer.
+    assert!(
+        wait_until(Duration::from_secs(10), || observer.alive_nodes().len() == 3),
+        "observer knows {:?}",
+        observer.alive_nodes()
+    );
+
+    // The observer's periodic polling collects status reports showing
+    // the chain topology.
+    assert!(
+        wait_until(Duration::from_secs(15), || {
+            observer
+                .statuses()
+                .iter()
+                .any(|s| s.node == Some(relay.id()) && s.downstreams.contains(&sink.id()))
+        }),
+        "statuses: {:?}",
+        observer.statuses().len()
+    );
+
+    // DOT export renders the observed topology.
+    let graph = dot::to_dot(&observer.statuses());
+    assert!(graph.contains(&format!("\"{}\"", relay.id())));
+    assert!(graph.contains("->"));
+
+    // Control: stop the source via the observer.
+    observer
+        .send_to_node(source.id(), &commands::terminate_source(1))
+        .unwrap();
+    // And terminate the relay node entirely.
+    observer
+        .send_to_node(relay.id(), &commands::terminate_node())
+        .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(5), || relay.status().is_none()),
+        "relay survived observer termination"
+    );
+
+    source.shutdown();
+    relay.shutdown();
+    sink.shutdown();
+    observer.shutdown();
+}
+
+#[test]
+fn traces_reach_the_observer() {
+    use ioverlay::api::{Algorithm, Context, Msg, MsgType};
+
+    /// Sends one trace to the observer when it first sees data.
+    struct Tracer {
+        sent: bool,
+    }
+    impl Algorithm for Tracer {
+        fn on_message(&mut self, ctx: &mut dyn Context, msg: Msg) {
+            if msg.ty() == MsgType::Data && !self.sent {
+                self.sent = true;
+                let trace = Msg::new(
+                    MsgType::Trace,
+                    ctx.local_id(),
+                    0,
+                    0,
+                    &b"first data message"[..],
+                );
+                ctx.send_to_observer(trace);
+            }
+        }
+    }
+
+    let observer = ObserverServer::spawn(ObserverConfig::default(), 0).unwrap();
+    let tracer = EngineNode::spawn(
+        EngineConfig::default().with_observer(observer.id()),
+        Box::new(Tracer { sent: false }),
+    )
+    .unwrap();
+    let source = EngineNode::spawn(
+        EngineConfig::default().with_observer(observer.id()),
+        Box::new(
+            SourceApp::new(1, vec![tracer.id()], 512, SourceMode::BackToBack).deployed(),
+        ),
+    )
+    .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            observer
+                .traces()
+                .iter()
+                .any(|t| t.text == "first data message" && t.node == tracer.id())
+        }),
+        "traces: {:?}",
+        observer.traces()
+    );
+    source.shutdown();
+    tracer.shutdown();
+    observer.shutdown();
+}

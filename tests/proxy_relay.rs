@@ -1,0 +1,103 @@
+//! Integration: the observer proxy fans many node connections into a
+//! single observer connection.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ioverlay::api::{Msg, MsgType, NodeId};
+use ioverlay::message::write_msg;
+use ioverlay::observer::{proxy::Proxy, ObserverConfig, ObserverServer};
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+    cond()
+}
+
+#[test]
+fn proxy_relays_traces_from_many_connections() {
+    let observer = ObserverServer::spawn(ObserverConfig::default(), 0).unwrap();
+    let proxy = Proxy::spawn(0, observer.id()).unwrap();
+
+    // Twenty "nodes" each open their own connection to the proxy and
+    // submit one trace — the scenario that exhausted the Windows
+    // observer's connection backlog in the paper.
+    let mut handles = Vec::new();
+    for i in 0..20u16 {
+        let proxy_id = proxy.id();
+        handles.push(thread::spawn(move || {
+            let stream = TcpStream::connect(proxy_id.to_socket_addr()).unwrap();
+            let mut w = std::io::BufWriter::new(stream);
+            let node = NodeId::loopback(10_000 + i);
+            let trace = Msg::new(
+                MsgType::Trace,
+                node,
+                0,
+                0,
+                format!("report from {i}").into_bytes(),
+            );
+            write_msg(&mut w, &trace).unwrap();
+            w.flush().unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert!(
+        wait_until(Duration::from_secs(10), || observer.traces().len() == 20),
+        "observer got {} of 20 traces (proxy relayed {})",
+        observer.traces().len(),
+        proxy.relayed()
+    );
+    assert_eq!(proxy.relayed(), 20);
+    // Trace contents survive the relay.
+    assert!(observer
+        .traces()
+        .iter()
+        .any(|t| t.text == "report from 7"));
+    proxy.shutdown();
+    observer.shutdown();
+}
+
+#[test]
+fn proxy_survives_observer_coming_up_late() {
+    // The proxy reconnects lazily: messages sent while the observer is
+    // down are dropped (nodes re-report), later ones flow.
+    let observer = ObserverServer::spawn(ObserverConfig::default(), 0).unwrap();
+    let observer_id = observer.id();
+    observer.shutdown(); // free the port; proxy's first connect will fail
+
+    let proxy = Proxy::spawn(0, observer_id).unwrap();
+    let send_trace = |text: &str| {
+        let stream = TcpStream::connect(proxy.id().to_socket_addr()).unwrap();
+        let mut w = std::io::BufWriter::new(stream);
+        let trace = Msg::new(
+            MsgType::Trace,
+            NodeId::loopback(777),
+            0,
+            0,
+            text.as_bytes().to_vec(),
+        );
+        write_msg(&mut w, &trace).unwrap();
+        w.flush().unwrap();
+    };
+    send_trace("lost while down");
+    thread::sleep(Duration::from_millis(300));
+
+    // Bring the observer back on the same port.
+    let observer = ObserverServer::spawn(ObserverConfig::default(), observer_id.port()).unwrap();
+    assert!(wait_until(Duration::from_secs(5), || {
+        send_trace("after recovery");
+        !observer.traces().is_empty()
+    }));
+    proxy.shutdown();
+    observer.shutdown();
+}

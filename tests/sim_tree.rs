@@ -1,0 +1,181 @@
+//! Integration: tree construction (§3.3) on the simulator.
+//!
+//! Reproduces the five-node scenario of Table 3 / Fig. 9: source S with
+//! 200 KBps, nodes A(500), B(100), C(200), D(100); joins in the order
+//! D, A, C, B. The node-stress-aware algorithm must produce the paper's
+//! exact tree (S adopts D and A; A adopts C and B), all-unicast must
+//! produce a star at S, and the ns-aware tree must beat all-unicast on
+//! delivered throughput.
+
+use ioverlay::algorithms::tree::{JoinPayload, TreeNode, TreeVariant};
+use ioverlay::api::{Msg, MsgType, NodeId};
+use ioverlay::observer::commands;
+use ioverlay::simnet::{NodeBandwidth, Rate, Sim, SimBuilder};
+
+const SEC: u64 = 1_000_000_000;
+const APP: u32 = 1;
+
+fn n(port: u16) -> NodeId {
+    NodeId::loopback(port)
+}
+
+/// Builds the Table 3 scenario and returns (sim, S, [D, A, C, B]).
+fn five_node_session(variant: TreeVariant) -> (Sim, NodeId, Vec<NodeId>) {
+    let s = n(1);
+    let (a, b, c, d) = (n(2), n(3), n(4), n(5));
+    let bandwidths = [
+        (s, 200.0),
+        (a, 500.0),
+        (b, 100.0),
+        (c, 200.0),
+        (d, 100.0),
+    ];
+    let mut sim = SimBuilder::new(3).buffer_msgs(5).latency_ms(10).build();
+    for (id, kbps) in bandwidths {
+        sim.add_node(
+            id,
+            NodeBandwidth::total_only(Rate::kbps(kbps as u64)),
+            Box::new(TreeNode::new(variant, APP, kbps, 5 * 1024)),
+        );
+    }
+    // Deploy the source, then join D, A, C, B — each contacting S, with
+    // time between joins for stress updates to propagate.
+    sim.inject(0, s, commands::deploy_source(APP));
+    let join_order = [d, a, c, b];
+    for (i, joiner) in join_order.iter().enumerate() {
+        let payload = JoinPayload {
+            contact: s,
+            source: s,
+        };
+        let msg = Msg::new(MsgType::SJoin, n(99), APP, 0, payload.encode());
+        sim.inject((3 + 4 * i as u64) * SEC, *joiner, msg);
+    }
+    (sim, s, vec![d, a, c, b])
+}
+
+fn degree(sim: &Sim, node: NodeId) -> u64 {
+    sim.algorithm_status(node)["degree"].as_u64().unwrap()
+}
+
+fn parent(sim: &Sim, node: NodeId) -> Option<String> {
+    sim.algorithm_status(node)["parent"]
+        .as_str()
+        .map(str::to_owned)
+}
+
+#[test]
+fn ns_aware_reproduces_the_papers_tree() {
+    let (mut sim, s, joiners) = five_node_session(TreeVariant::NsAware);
+    sim.run_for(60 * SEC);
+    let (d, a, c, b) = (joiners[0], joiners[1], joiners[2], joiners[3]);
+    // Table 3, ns-aware column: degrees S:2, A:3, B:1, C:1, D:1.
+    assert_eq!(degree(&sim, s), 2, "S adopts D and A");
+    assert_eq!(degree(&sim, a), 3, "A has parent S and children C, B");
+    assert_eq!(degree(&sim, b), 1);
+    assert_eq!(degree(&sim, c), 1);
+    assert_eq!(degree(&sim, d), 1);
+    assert_eq!(parent(&sim, c).unwrap(), a.to_string());
+    assert_eq!(parent(&sim, b).unwrap(), a.to_string());
+    // Node stress matches the paper's 1/100-KBps numbers.
+    let stress = |node: NodeId| sim.algorithm_status(node)["stress"].as_f64().unwrap();
+    assert!((stress(s) - 1.0).abs() < 1e-9);
+    assert!((stress(a) - 0.6).abs() < 1e-9);
+    assert!((stress(d) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn unicast_builds_a_star_at_the_source() {
+    let (mut sim, s, joiners) = five_node_session(TreeVariant::Unicast);
+    sim.run_for(60 * SEC);
+    assert_eq!(degree(&sim, s), 4, "all-unicast: everyone a child of S");
+    for j in &joiners {
+        assert_eq!(parent(&sim, *j).unwrap(), s.to_string());
+        assert_eq!(degree(&sim, *j), 1);
+    }
+}
+
+#[test]
+fn random_attaches_every_joiner_somewhere() {
+    let (mut sim, s, joiners) = five_node_session(TreeVariant::Random);
+    sim.run_for(60 * SEC);
+    let mut total_children = 0;
+    for node in std::iter::once(s).chain(joiners.iter().copied()) {
+        total_children += sim.algorithm_status(node)["children"]
+            .as_array()
+            .unwrap()
+            .len();
+    }
+    assert_eq!(total_children, 4, "exactly one parent per joiner");
+    for j in &joiners {
+        assert!(parent(&sim, *j).is_some(), "{j} never attached");
+    }
+}
+
+#[test]
+fn ns_aware_outperforms_unicast_on_throughput() {
+    // Fig. 9: with S's 200 KBps last mile split four ways, the star
+    // delivers ~50 KBps per receiver; the ns-aware tree delivers ~100.
+    let run = |variant| {
+        let (mut sim, _s, joiners) = five_node_session(variant);
+        sim.run_for(120 * SEC);
+        let mut rates: Vec<f64> = joiners
+            .iter()
+            .map(|j| sim.received_kbps(*j, APP))
+            .collect();
+        rates.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        rates
+    };
+    let star = run(TreeVariant::Unicast);
+    let smart = run(TreeVariant::NsAware);
+    let star_min = star[0];
+    let smart_min = smart[0];
+    assert!(
+        smart_min > star_min * 1.5,
+        "ns-aware {smart:?} should clearly beat unicast {star:?}"
+    );
+    // Star receivers share 200 KBps four ways.
+    assert!(
+        (star.iter().sum::<f64>() / 4.0 - 50.0).abs() < 15.0,
+        "unicast receivers should average ~50 KBps, got {star:?}"
+    );
+}
+
+#[test]
+fn data_flows_to_every_member_of_the_ns_aware_tree() {
+    let (mut sim, _s, joiners) = five_node_session(TreeVariant::NsAware);
+    sim.run_for(60 * SEC);
+    for j in &joiners {
+        assert!(
+            sim.metrics().received_bytes(*j, APP) > 0,
+            "{j} received no session data"
+        );
+    }
+    assert_eq!(sim.metrics().lost_msgs(), 0);
+}
+
+#[test]
+fn orphaned_subtrees_rejoin_after_interior_failure() {
+    // Build the ns-aware tree (S adopts D and A; A adopts C and B), then
+    // kill A: C and B must re-query the session and reattach so data
+    // keeps flowing to them.
+    let (mut sim, s, joiners) = five_node_session(TreeVariant::NsAware);
+    sim.run_for(60 * SEC);
+    let (_, a, c, b) = (joiners[0], joiners[1], joiners[2], joiners[3]);
+    assert_eq!(parent(&sim, c).unwrap(), a.to_string());
+    let before_c = sim.metrics().received_bytes(c, APP);
+    let now = sim.now();
+    sim.kill_at(now, a);
+    sim.run_for(120 * SEC);
+    // Both orphans found a new parent (anything alive).
+    for orphan in [c, b] {
+        let p = parent(&sim, orphan).expect("reattached");
+        assert_ne!(p, a.to_string(), "{orphan} still points at the dead node");
+    }
+    // And data flows to C again after the repair.
+    let after_c = sim.metrics().received_bytes(c, APP);
+    assert!(
+        after_c > before_c,
+        "C stopped receiving after repair: {before_c} -> {after_c}"
+    );
+    let _ = s;
+}
