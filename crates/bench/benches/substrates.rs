@@ -38,6 +38,58 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-message vs batched paths for the two hot substrates the batched
+/// switch is built on: queue transfer and wire encoding.
+fn bench_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batching");
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("queue-64-per-message", |b| {
+        let q = CircularQueue::with_capacity(64);
+        b.iter(|| {
+            for i in 0..64u64 {
+                q.try_push(i).unwrap();
+            }
+            while q.try_pop().is_some() {}
+        })
+    });
+    group.bench_function("queue-64-batched", |b| {
+        let q = CircularQueue::with_capacity(64);
+        let mut staged: Vec<u64> = Vec::with_capacity(64);
+        let mut out: Vec<u64> = Vec::with_capacity(64);
+        b.iter(|| {
+            staged.extend(0..64u64);
+            q.push_batch(&mut staged);
+            q.pop_batch(64, &mut out);
+            out.clear();
+        })
+    });
+    let msgs: Vec<Msg> = (0..64)
+        .map(|i| Msg::data(NodeId::loopback(1), 1, i, vec![7u8; 1024]))
+        .collect();
+    let total: u64 = msgs.iter().map(|m| m.wire_len() as u64).sum();
+    group.throughput(Throughput::Bytes(total));
+    group.bench_function("encode-64x1k-fresh-vecs", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for m in &msgs {
+                n += std::hint::black_box(m.encode()).len();
+            }
+            n
+        })
+    });
+    group.bench_function("encode-64x1k-into-reused", |b| {
+        let mut wire = bytes::BytesMut::new();
+        b.iter(|| {
+            wire.clear();
+            for m in &msgs {
+                m.encode_into(&mut wire);
+            }
+            wire.len()
+        })
+    });
+    group.finish();
+}
+
 fn bench_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("circular-queue");
     group.bench_function("push-pop", |b| {
@@ -177,6 +229,7 @@ fn bench_engine_pair(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_codec,
+    bench_batching,
     bench_queue,
     bench_gf256,
     bench_token_bucket,

@@ -18,6 +18,7 @@ pub mod federation_exp;
 pub mod fig5;
 pub mod fig8;
 pub mod seven;
+pub mod switch_bench;
 pub mod tree_exp;
 pub mod util;
 

@@ -1,0 +1,139 @@
+//! Batched-switching benchmark: per-message baseline vs batched fast
+//! path on the same 3-node relay chain, emitted as `BENCH_switch.json`.
+//!
+//! The chain is the Fig. 5 primitive (source → relay → sink over real
+//! loopback TCP through full [`EngineNode`]s); the relay exercises every
+//! batched layer at once — `pop_batch` in the switch, staged sends
+//! flushed with `push_batch`, and the sender thread's one-write-per-
+//! batch encode path. The baseline pins every batch size to one, which
+//! restores the seed's per-message behavior.
+
+use std::thread;
+use std::time::Duration;
+
+use ioverlay::algorithms::{SinkApp, SourceApp, SourceMode, StaticForwarder};
+use ioverlay::engine::{EngineConfig, EngineNode};
+
+use crate::util::{banner, row};
+
+/// Measured rates for one chain configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchPoint {
+    pub msgs_per_sec: f64,
+    pub mb_per_sec: f64,
+}
+
+/// Runs the 3-node relay chain for `measure_secs` and returns sink-side
+/// goodput. `per_message` pins all batch sizes to 1 (the baseline).
+pub fn run_chain(per_message: bool, msg_bytes: usize, measure_secs: u64) -> SwitchPoint {
+    const APP: u32 = 1;
+    let config = || {
+        // Deep buffers keep the relay backlogged — the regime the batched
+        // fast path is built for (batches only form under backlog).
+        let c = EngineConfig::default().with_buffer_msgs(4096);
+        if per_message {
+            c.with_switch_quantum(1)
+                .with_send_batch_max(1)
+                .with_recv_batched(false)
+        } else {
+            c
+        }
+    };
+    let sink = EngineNode::spawn(config(), Box::new(SinkApp::new())).expect("spawn sink");
+    let relay = EngineNode::spawn(
+        config(),
+        Box::new(StaticForwarder::new().route(APP, vec![sink.id()])),
+    )
+    .expect("spawn relay");
+    let source = EngineNode::spawn(
+        config(),
+        Box::new(
+            SourceApp::new(APP, vec![relay.id()], msg_bytes, SourceMode::BackToBack)
+                .with_pump_interval(20_000) // saturate: refill every 20 µs
+                .deployed(),
+        ),
+    )
+    .expect("spawn source");
+
+    let sink_counters = || -> (u64, u64) {
+        sink.status()
+            .map(|s| {
+                (
+                    s.algorithm.get("msgs").and_then(|v| v.as_u64()).unwrap_or(0),
+                    s.algorithm.get("bytes").and_then(|v| v.as_u64()).unwrap_or(0),
+                )
+            })
+            .unwrap_or((0, 0))
+    };
+    // Warm up, then measure a steady window.
+    thread::sleep(Duration::from_millis(1_000));
+    let (msgs0, bytes0) = sink_counters();
+    thread::sleep(Duration::from_secs(measure_secs));
+    let (msgs1, bytes1) = sink_counters();
+
+    source.shutdown();
+    relay.shutdown();
+    sink.shutdown();
+
+    SwitchPoint {
+        msgs_per_sec: msgs1.saturating_sub(msgs0) as f64 / measure_secs as f64,
+        mb_per_sec: bytes1.saturating_sub(bytes0) as f64 / (1024.0 * 1024.0) / measure_secs as f64,
+    }
+}
+
+/// Runs both configurations, prints the comparison, and writes
+/// `BENCH_switch.json` into the current directory.
+pub fn run(measure_secs: u64) {
+    banner(
+        "switch",
+        "batched switching fast path vs per-message baseline (3-node relay chain)",
+    );
+    let msg_bytes = 256;
+    let baseline = run_chain(true, msg_bytes, measure_secs);
+    let batched = run_chain(false, msg_bytes, measure_secs);
+    let widths = [14, 14, 12];
+    println!(
+        "{}",
+        row(&["mode".into(), "msgs/sec".into(), "MB/sec".into()], &widths)
+    );
+    for (name, p) in [("per-message", baseline), ("batched", batched)] {
+        println!(
+            "{}",
+            row(
+                &[
+                    name.into(),
+                    format!("{:.0}", p.msgs_per_sec),
+                    format!("{:.1}", p.mb_per_sec),
+                ],
+                &widths
+            )
+        );
+    }
+    let speedup = if baseline.msgs_per_sec > 0.0 {
+        batched.msgs_per_sec / baseline.msgs_per_sec
+    } else {
+        f64::INFINITY
+    };
+    println!("\nspeedup (msgs/sec): {speedup:.2}x");
+
+    let report = serde_json::json!({
+        "bench": "switch",
+        "chain_nodes": 3,
+        "msg_bytes": msg_bytes,
+        "measure_secs": measure_secs,
+        "per_message": {
+            "msgs_per_sec": baseline.msgs_per_sec,
+            "mb_per_sec": baseline.mb_per_sec,
+        },
+        "batched": {
+            "msgs_per_sec": batched.msgs_per_sec,
+            "mb_per_sec": batched.mb_per_sec,
+        },
+        "speedup_msgs_per_sec": speedup,
+    });
+    let text = serde_json::to_string_pretty(&report).expect("serialize report");
+    match std::fs::write("BENCH_switch.json", &text) {
+        Ok(()) => println!("wrote BENCH_switch.json"),
+        Err(e) => eprintln!("could not write BENCH_switch.json: {e}"),
+    }
+}

@@ -1,0 +1,239 @@
+//! Offline compat shim for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the criterion API
+//! this workspace uses: `Criterion`, benchmark groups with
+//! `throughput`/`sample_size`, `Bencher::iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros. No statistics beyond
+//! mean time per iteration; results print one line per benchmark:
+//!
+//! ```text
+//! group/name              1234 ns/iter    412.3 MB/s
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (criterion API parity).
+pub use std::hint::black_box;
+
+/// How much time each benchmark spends measuring (after calibration).
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+
+/// Per-benchmark units moved per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup (accepted, not interpreted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: criterion would batch many per measurement.
+    SmallInput,
+    /// Large inputs: fewer per measurement.
+    LargeInput,
+    /// One input per measured iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_cap: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, None, None, f);
+    }
+}
+
+/// A named group sharing throughput/sample settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_cap: Option<u64>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Caps measured iterations (stands in for criterion's sample
+    /// count; keeps slow end-to-end benches bounded).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_cap = Some(n as u64);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.throughput, self.sample_cap, f);
+        self
+    }
+
+    /// Ends the group (criterion API parity; nothing to flush here).
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark<F>(name: &str, throughput: Option<Throughput>, cap: Option<u64>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iteration_cap: cap,
+        mean_ns: 0.0,
+    };
+    f(&mut bencher);
+    let mut line = format!("{name:<44} {:>12.0} ns/iter", bencher.mean_ns);
+    match throughput {
+        Some(Throughput::Bytes(bytes)) if bencher.mean_ns > 0.0 => {
+            let mbps = bytes as f64 / (1024.0 * 1024.0) / (bencher.mean_ns / 1e9);
+            line.push_str(&format!("  {mbps:>10.1} MB/s"));
+        }
+        Some(Throughput::Elements(elems)) if bencher.mean_ns > 0.0 => {
+            let eps = elems as f64 / (bencher.mean_ns / 1e9);
+            line.push_str(&format!("  {eps:>10.0} elem/s"));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iteration_cap: Option<u64>,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Picks an iteration count targeting [`TARGET_MEASURE`] from one
+    /// calibration run of `calibration_ns`.
+    fn plan_iterations(&self, calibration_ns: u128) -> u64 {
+        let per = calibration_ns.max(1);
+        let planned = (TARGET_MEASURE.as_nanos() / per).clamp(1, 1_000_000) as u64;
+        match self.iteration_cap {
+            Some(cap) => planned.min(cap.max(1)),
+            None => planned,
+        }
+    }
+
+    /// Measures `routine`, reporting mean wall-clock time per call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        let iters = self.plan_iterations(start.elapsed().as_nanos());
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let iters = self.plan_iterations(start.elapsed().as_nanos());
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Bundles benchmark functions into one named runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_caps() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(1024));
+        group.sample_size(10);
+        let mut count = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        // 1 calibration + at most 10 measured iterations.
+        assert!(count >= 2 && count <= 11);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |v| v.into_iter().map(u64::from).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

@@ -1,0 +1,498 @@
+//! Offline compat shim for `serde_derive`.
+//!
+//! Generates impls of the simplified `serde::Serialize` /
+//! `serde::Deserialize` traits (the `to_value` / `from_value` model —
+//! see the `serde` shim crate). Implemented without `syn`/`quote`: the
+//! input token stream is scanned for just what codegen needs — the type
+//! name, field names, variant names and arities — and the impl is
+//! assembled as source text. Field and variant *types* are never
+//! parsed; the generated code lets trait inference pick the right
+//! `from_value` at each use site.
+//!
+//! Supported shapes: named/tuple/unit structs; enums with unit, tuple,
+//! and named-field variants (externally tagged); and the
+//! `#[serde(default = "path")]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// One parsed field of a struct or struct-variant.
+struct Field {
+    name: String,
+    /// Function path from `#[serde(default = "path")]`, if present.
+    default: Option<String>,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// Derives the simplified `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = gen_serialize(&name, &shape);
+    TokenStream::from_str(&body).expect("generated Serialize impl parses")
+}
+
+/// Derives the simplified `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = gen_deserialize(&name, &shape);
+    TokenStream::from_str(&body).expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility to the `struct`/`enum`
+    // keyword.
+    let mut is_enum = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" => break,
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                is_enum = true;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after struct/enum, got {other:?}"),
+    };
+    i += 1;
+
+    // No generics appear on serialized types in this workspace; bail
+    // loudly if any show up rather than generating a wrong impl.
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive shim does not support generic types (deriving {name})");
+    }
+
+    if is_enum {
+        let body = expect_brace_group(&tokens, i, &name);
+        (name, Shape::Enum(parse_variants(body)))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream().into_iter().collect());
+                (name, Shape::NamedStruct(fields))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_items(g.stream().into_iter().collect());
+                (name, Shape::TupleStruct(arity))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::UnitStruct),
+            other => panic!("unexpected token after type name of {name}: {other:?}"),
+        }
+    }
+}
+
+fn expect_brace_group<'a>(tokens: &'a [TokenTree], i: usize, name: &str) -> Vec<TokenTree> {
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect()
+        }
+        other => panic!("expected brace-delimited body for {name}, got {other:?}"),
+    }
+}
+
+/// Splits `tokens` on commas at angle-bracket depth zero and counts the
+/// non-empty chunks. Parens/brackets/braces arrive as single `Group`
+/// tokens, so only `<`/`>` need explicit depth tracking.
+fn count_top_level_items(tokens: Vec<TokenTree>) -> usize {
+    let mut depth = 0i32;
+    let mut items = 0usize;
+    let mut in_item = false;
+    for tok in tokens {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                in_item = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                in_item = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if in_item {
+                    items += 1;
+                }
+                in_item = false;
+            }
+            _ => in_item = true,
+        }
+    }
+    if in_item {
+        items += 1;
+    }
+    items
+}
+
+/// Parses `(attrs)* (pub)? name : Type` field lists, keeping only the
+/// names and any `#[serde(default = "path")]` attribute.
+fn parse_named_fields(tokens: Vec<TokenTree>) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = None;
+        // Attributes.
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if let Some(path) = serde_default_path(g.stream().into_iter().collect()) {
+                    default = Some(path);
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(
+                &tokens.get(i),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                i += 1; // pub(crate) etc.
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma / end
+        };
+        let name = id.to_string();
+        i += 1;
+        // Skip `:` and the type, up to a comma at angle depth zero.
+        debug_assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected ':' after field {name}"
+        );
+        i += 1;
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Extracts `path` from attribute tokens of the form
+/// `[serde(default = "path")]` (the tokens inside the `#[...]` group).
+fn serde_default_path(attr_tokens: Vec<TokenTree>) -> Option<String> {
+    match (attr_tokens.first(), attr_tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let is_default =
+                matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "default");
+            let is_eq =
+                matches!(inner.get(1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+            if is_default && is_eq {
+                if let Some(TokenTree::Literal(lit)) = inner.get(2) {
+                    return Some(lit.to_string().trim_matches('"').to_string());
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn parse_variants(tokens: Vec<TokenTree>) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes (doc comments etc.).
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_items(g.stream().into_iter().collect()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream().into_iter().collect()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n"
+    );
+    match shape {
+        Shape::NamedStruct(fields) => {
+            out.push_str("let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "__fields.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                );
+            }
+            out.push_str("::serde::Value::object_from_pairs(__fields)\n");
+        }
+        Shape::TupleStruct(1) => {
+            out.push_str("::serde::Serialize::to_value(&self.0)\n");
+        }
+        Shape::TupleStruct(arity) => {
+            out.push_str("::serde::Value::Array(vec![");
+            for idx in 0..*arity {
+                let _ = write!(out, "::serde::Serialize::to_value(&self.{idx}),");
+            }
+            out.push_str("])\n");
+        }
+        Shape::UnitStruct => {
+            out.push_str("::serde::Value::Null\n");
+        }
+        Shape::Enum(variants) => {
+            out.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vname}(__a0) => ::serde::Value::tagged(\"{vname}\", \
+                             ::serde::Serialize::to_value(__a0)),\n"
+                        );
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> =
+                            (0..*arity).map(|k| format!("__a{k}")).collect();
+                        let _ = write!(
+                            out,
+                            "{name}::{vname}({binds}) => ::serde::Value::tagged(\"{vname}\", \
+                             ::serde::Value::Array(vec![{vals}])),\n",
+                            binds = binders.join(", "),
+                            vals = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let _ = write!(
+                            out,
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n"
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                out,
+                                "__fields.push((\"{0}\".to_string(), \
+                                 ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            );
+                        }
+                        let _ = write!(
+                            out,
+                            "::serde::Value::tagged(\"{vname}\", \
+                             ::serde::Value::object_from_pairs(__fields))\n}}\n"
+                        );
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+    );
+    match shape {
+        Shape::NamedStruct(fields) => {
+            out.push_str("Ok(Self {\n");
+            for f in fields {
+                write_named_field_init(&mut out, f, "__v");
+            }
+            out.push_str("})\n");
+        }
+        Shape::TupleStruct(1) => {
+            out.push_str("Ok(Self(::serde::Deserialize::from_value(__v)?))\n");
+        }
+        Shape::TupleStruct(arity) => {
+            let _ = write!(
+                out,
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::msg(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {arity} {{\n\
+                 return Err(::serde::DeError::msg(\"wrong arity for {name}\"));\n}}\n\
+                 Ok(Self("
+            );
+            for idx in 0..*arity {
+                let _ = write!(out, "::serde::Deserialize::from_value(&__arr[{idx}])?,");
+            }
+            out.push_str("))\n");
+        }
+        Shape::UnitStruct => {
+            out.push_str("let _ = __v;\nOk(Self)\n");
+        }
+        Shape::Enum(variants) => {
+            // Unit variants arrive as bare strings.
+            out.push_str("if let Some(__s) = __v.as_str() {\nreturn match __s {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let _ = write!(out, "\"{0}\" => Ok({name}::{0}),\n", v.name);
+                }
+            }
+            let _ = write!(
+                out,
+                "_ => Err(::serde::DeError::msg(\"unknown {name} variant\")),\n}};\n}}\n"
+            );
+            // Everything else is externally tagged.
+            let _ = write!(
+                out,
+                "let (__tag, __inner) = __v.tag_pair().ok_or_else(|| \
+                 ::serde::DeError::msg(\"expected tagged {name}\"))?;\n\
+                 match __tag {{\n"
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(out, "\"{vname}\" => Ok({name}::{vname}),\n");
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        );
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let _ = write!(
+                            out,
+                            "\"{vname}\" => {{\n\
+                             let __arr = __inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::msg(\"expected array for {name}::{vname}\"))?;\n\
+                             if __arr.len() != {arity} {{\n\
+                             return Err(::serde::DeError::msg(\"wrong arity for {name}::{vname}\"));\n}}\n\
+                             Ok({name}::{vname}("
+                        );
+                        for idx in 0..*arity {
+                            let _ =
+                                write!(out, "::serde::Deserialize::from_value(&__arr[{idx}])?,");
+                        }
+                        out.push_str("))\n}\n");
+                    }
+                    VariantKind::Named(fields) => {
+                        let _ = write!(out, "\"{vname}\" => Ok({name}::{vname} {{\n");
+                        for f in fields {
+                            write_named_field_init(&mut out, f, "__inner");
+                        }
+                        out.push_str("}),\n");
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "_ => Err(::serde::DeError::msg(\"unknown {name} variant\")),\n}}\n"
+            );
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Writes `field: <expr>,` for one named field, honoring
+/// `#[serde(default = "path")]` when the field is absent/null.
+fn write_named_field_init(out: &mut String, f: &Field, src: &str) {
+    match &f.default {
+        Some(path) => {
+            let _ = write!(
+                out,
+                "{0}: {{\nlet __f = {src}.field(\"{0}\");\n\
+                 if __f.is_null() {{ {path}() }} else {{ \
+                 ::serde::Deserialize::from_value(__f)? }}\n}},\n",
+                f.name
+            );
+        }
+        None => {
+            let _ = write!(
+                out,
+                "{0}: ::serde::Deserialize::from_value({src}.field(\"{0}\"))?,\n",
+                f.name
+            );
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! Offline compat shim for `serde_json`.
+//!
+//! JSON text serialization over the simplified `serde` shim's
+//! [`Value`] model: `to_vec`/`to_string`/`to_string_pretty`,
+//! `from_slice`/`from_str`, and a `json!` macro covering the literal
+//! shapes this workspace uses (string-literal keys; `null`, arrays,
+//! objects, and arbitrary serializable expressions as values).
+
+use std::fmt;
+
+pub use serde::{Map, Number, Value};
+
+/// Error from JSON parsing or value conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn msg(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::msg(e.to_string())
+    }
+}
+
+/// Serializes a value into its [`Value`] tree (also the workhorse
+/// behind the `json!` macro).
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Deserializes a typed value out of a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the tree does not match `T`'s shape.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Serializes a value to compact JSON text bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to 2-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text bytes into a typed value.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid utf-8: {e}")))?;
+    from_str(text)
+}
+
+/// Parses JSON text into a typed value.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value_text(text)?;
+    from_value(&value)
+}
+
+// ---------------------------------------------------------------------
+// Text serializer
+// ---------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => {
+            use std::fmt::Write as _;
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_sep(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            if !items.is_empty() {
+                write_sep(out, indent, level);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_sep(out, indent, level + 1);
+                write_json_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            if !map.is_empty() {
+                write_sep(out, indent, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_sep(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..level * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Text parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value_text(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::msg("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b' ' | b'\t' | b'\n' | b'\r')
+        ) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected '{}' at byte {}",
+                expected as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected '{kw}' at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::msg("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::msg("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::msg("bad \\u escape"))?;
+                            // Surrogate pairs are not produced by our own
+                            // serializer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::msg("bad escape in string")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str,
+                    // so boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().ok_or_else(|| Error::msg("eof in string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("bad number"))?;
+        let number = if is_float {
+            Number::F(text.parse().map_err(|_| Error::msg("bad float"))?)
+        } else if text.starts_with('-') {
+            Number::I(text.parse().map_err(|_| Error::msg("bad int"))?)
+        } else {
+            Number::U(text.parse().map_err(|_| Error::msg("bad uint"))?)
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+// ---------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------
+
+/// Builds a [`Value`] from a JSON-like literal.
+///
+/// Supports `null`, booleans, numbers, string literals, arrays,
+/// objects with string-literal keys, and arbitrary expressions
+/// implementing the shim `Serialize` trait as values.
+#[macro_export]
+macro_rules! json {
+    // ---- array munchers ----
+    (@array [$($done:expr,)*]) => {
+        vec![$($done,)*]
+    };
+    (@array [$($done:expr,)*] null $($rest:tt)*) => {
+        $crate::json!(@array [$($done,)* $crate::Value::Null,] $($rest)*)
+    };
+    (@array [$($done:expr,)*] [$($inner:tt)*] $($rest:tt)*) => {
+        $crate::json!(@array [$($done,)* $crate::json!([$($inner)*]),] $($rest)*)
+    };
+    (@array [$($done:expr,)*] {$($inner:tt)*} $($rest:tt)*) => {
+        $crate::json!(@array [$($done,)* $crate::json!({$($inner)*}),] $($rest)*)
+    };
+    (@array [$($done:expr,)*] $value:expr , $($rest:tt)*) => {
+        $crate::json!(@array [$($done,)* $crate::to_value(&$value),] $($rest)*)
+    };
+    (@array [$($done:expr,)*] $value:expr) => {
+        $crate::json!(@array [$($done,)* $crate::to_value(&$value),])
+    };
+    (@array [$($done:expr,)*] , $($rest:tt)*) => {
+        $crate::json!(@array [$($done,)*] $($rest)*)
+    };
+
+    // ---- object munchers ----
+    (@object $map:ident) => {};
+    (@object $map:ident , $($rest:tt)*) => {
+        $crate::json!(@object $map $($rest)*);
+    };
+    (@object $map:ident $key:literal : null $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $crate::json!(@object $map $($rest)*);
+    };
+    (@object $map:ident $key:literal : [$($inner:tt)*] $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!([$($inner)*]));
+        $crate::json!(@object $map $($rest)*);
+    };
+    (@object $map:ident $key:literal : {$($inner:tt)*} $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!({$($inner)*}));
+        $crate::json!(@object $map $($rest)*);
+    };
+    (@object $map:ident $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::to_value(&$value));
+        $crate::json!(@object $map $($rest)*);
+    };
+    (@object $map:ident $key:literal : $value:expr) => {
+        $map.insert($key.to_string(), $crate::to_value(&$value));
+    };
+
+    // ---- entry points ----
+    (null) => {
+        $crate::Value::Null
+    };
+    ([]) => {
+        $crate::Value::Array(vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {{
+        let mut __map = $crate::Map::new();
+        $crate::json!(@object __map $($tt)+);
+        $crate::Value::Object(__map)
+    }};
+    ($value:expr) => {
+        $crate::to_value(&$value)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(3), Value::Number(Number::U(3)));
+        assert_eq!(json!("hi"), Value::String("hi".to_string()));
+        let v = json!({"a": 1, "b": [1, null, "x"], "c": {"d": true}});
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"][1], Value::Null);
+        assert_eq!(v["b"][2], "x");
+        assert_eq!(v["c"]["d"], true);
+        let n = 5u64;
+        assert_eq!(json!({"n": n + 1})["n"], 6);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let v = json!({
+            "s": "a\"b\\c\nd",
+            "arr": [1, -2, 1.5],
+            "flag": false,
+            "nothing": null,
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back_pretty: Value = from_str(&pretty).unwrap();
+        assert_eq!(back_pretty, v);
+    }
+
+    #[test]
+    fn numbers_parse_by_kind() {
+        let v: Value = from_str("[0, -3, 2.5, 1e3]").unwrap();
+        assert_eq!(v[0], 0);
+        assert_eq!(v[1], -3);
+        assert_eq!(v[2], 2.5);
+        assert_eq!(v[3], 1000.0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}

@@ -30,6 +30,19 @@ pub struct EngineConfig {
     pub observer: Option<NodeId>,
     /// RNG seed for the algorithm-visible randomness.
     pub seed: u64,
+    /// How many messages the switch drains from the chosen upstream per
+    /// `pop_batch` — the batch that amortizes one queue-lock round-trip
+    /// and one wakeup across many messages. Values above the buffer
+    /// capacity are harmless (a batch can never exceed what is queued).
+    pub switch_quantum: usize,
+    /// Most messages a sender thread drains, encodes, and writes as one
+    /// batch (one bucket reservation, one socket write). `1` restores
+    /// the per-message sender path — the benchmark baseline.
+    pub send_batch_max: usize,
+    /// When `true` (default), receiver threads read the socket in large
+    /// chunks through the incremental decoder and enqueue whole batches.
+    /// `false` restores per-message reads — the benchmark baseline.
+    pub recv_batched: bool,
 }
 
 impl Default for EngineConfig {
@@ -43,6 +56,9 @@ impl Default for EngineConfig {
             inactivity_timeout: None,
             observer: None,
             seed: 0,
+            switch_quantum: 64,
+            send_batch_max: 128,
+            recv_batched: true,
         }
     }
 }
@@ -77,6 +93,26 @@ impl EngineConfig {
     /// Sets the RNG seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the per-upstream switching batch size (builder style).
+    pub fn with_switch_quantum(mut self, quantum: usize) -> Self {
+        self.switch_quantum = quantum.max(1);
+        self
+    }
+
+    /// Sets the sender-thread batch size (builder style); `1` means
+    /// per-message sends.
+    pub fn with_send_batch_max(mut self, max: usize) -> Self {
+        self.send_batch_max = max.max(1);
+        self
+    }
+
+    /// Enables or disables chunked (batched) receiver reads (builder
+    /// style); `false` means per-message reads.
+    pub fn with_recv_batched(mut self, batched: bool) -> Self {
+        self.recv_batched = batched;
         self
     }
 }

@@ -8,6 +8,11 @@ use ioverlay_api::{Context, Msg, Nanos, NodeId, TimerToken};
 #[derive(Debug, Default)]
 pub(crate) struct StagedEffects {
     pub sends: Vec<(Msg, NodeId)>,
+    /// Staged sends per destination, maintained incrementally so that
+    /// `Context::backlog` costs O(#destinations) instead of scanning
+    /// every staged send — a pump emitting a whole buffer's worth in one
+    /// callback would otherwise go quadratic.
+    pub send_counts: Vec<(NodeId, usize)>,
     pub observer_msgs: Vec<Msg>,
     pub timers: Vec<(Nanos, TimerToken)>,
     pub probes: Vec<NodeId>,
@@ -38,6 +43,15 @@ impl Context for EngineCtx<'_> {
 
     fn send(&mut self, msg: Msg, dest: NodeId) {
         self.staged.sends.push((msg, dest));
+        match self
+            .staged
+            .send_counts
+            .iter_mut()
+            .find(|(d, _)| *d == dest)
+        {
+            Some((_, n)) => *n += 1,
+            None => self.staged.send_counts.push((dest, 1)),
+        }
     }
 
     fn send_to_observer(&mut self, msg: Msg) {
@@ -51,10 +65,10 @@ impl Context for EngineCtx<'_> {
     fn backlog(&self, dest: NodeId) -> Option<usize> {
         let staged = self
             .staged
-            .sends
+            .send_counts
             .iter()
-            .filter(|(_, d)| *d == dest)
-            .count();
+            .find(|(d, _)| *d == dest)
+            .map_or(0, |(_, n)| *n);
         match self.backlogs.iter().find(|(d, _)| *d == dest) {
             Some((_, depth)) => Some(depth + staged),
             None if staged > 0 => Some(staged),

@@ -73,6 +73,12 @@ pub(crate) struct EngineState {
     pub probe_seq: u32,
     /// Rotates the blocked-fanout retry order (upstream fairness).
     pub retry_rotor: u64,
+    /// Forwarded sends collected per destination while a `pop_batch`'d
+    /// batch is being dispatched; flushed with one `push_batch` per
+    /// destination by [`EngineState::flush_send_stage`]. Only filled for
+    /// upstream-attributed dispatches (`from_upstream.is_some()`), so a
+    /// whole stage shares one upstream for blocked-bookkeeping.
+    pub send_stage: BTreeMap<NodeId, Vec<Msg>>,
 }
 
 impl EngineState {
@@ -113,6 +119,7 @@ impl EngineState {
             probes: HashMap::new(),
             probe_seq: 0,
             retry_rotor: 0,
+            send_stage: BTreeMap::new(),
         }
     }
 
@@ -154,11 +161,18 @@ impl EngineState {
     }
 
     fn apply_staged(&mut self, from_upstream: Option<NodeId>, staged: StagedEffects) {
+        // Sends are staged per destination and pushed into sender queues
+        // in one push_batch per flush; see `flush_send_stage`. Forwarded
+        // dispatches flush once per switch quantum, local dispatches
+        // flush at the end of this call (so a pump emitting hundreds of
+        // messages in one callback still pays one lock per destination).
+        // `send_batch_max == 1` pins local sends to the per-message path.
+        let stage_local = self.config.send_batch_max > 1;
         for (msg, dest) in staged.sends {
-            if !self.enqueue_send(dest, msg.clone(), from_upstream) {
-                if let Some(up) = from_upstream {
-                    self.blocked.entry(up).or_default().push((msg, dest));
-                }
+            if from_upstream.is_some() || stage_local {
+                self.send_stage.entry(dest).or_default().push(msg);
+            } else {
+                let _ = self.enqueue_send(dest, msg, None);
             }
         }
         for msg in staged.observer_msgs {
@@ -180,8 +194,18 @@ impl EngineState {
             let ping = Msg::new(MsgType::Ping, self.id, 0, seq, bytes::Bytes::new());
             let _ = self.enqueue_send(peer, ping, None);
         }
-        for peer in staged.closes {
-            self.close_downstream(peer, true);
+        if !staged.closes.is_empty() {
+            // Deliver anything staged toward a peer before tearing its
+            // link down, preserving send-then-close ordering.
+            if !self.send_stage.is_empty() {
+                self.flush_send_stage(from_upstream);
+            }
+            for peer in staged.closes {
+                self.close_downstream(peer, true);
+            }
+        }
+        if from_upstream.is_none() && !self.send_stage.is_empty() {
+            self.flush_send_stage(None);
         }
     }
 
@@ -247,9 +271,12 @@ impl EngineState {
                     let meter = meter.clone();
                     let clock = self.clock.clone();
                     let events = self.events_tx.clone();
+                    let max_batch = self.config.send_batch_max;
                     thread::Builder::new()
                         .name(format!("snd-{dest}"))
-                        .spawn(move || run_sender(dest, stream, queue, meter, chain, clock, events))
+                        .spawn(move || {
+                            run_sender(dest, stream, queue, meter, chain, clock, events, max_batch)
+                        })
                         .expect("spawn sender thread")
                 };
                 self.senders.insert(
@@ -311,6 +338,62 @@ impl EngineState {
         }
     }
 
+    /// Pushes everything staged by the last dispatch(es) into the sender
+    /// queues — one `push_batch` (one lock acquisition, one wakeup) per
+    /// destination. Forwarded leftovers (`up == Some(..)`) are recorded
+    /// as blocked on that upstream, exactly as a failed per-message
+    /// `try_push` used to be; locally originated leftovers (`up == None`)
+    /// park in the sender's unbounded `pending` list, exactly as
+    /// `enqueue_send` parks them.
+    fn flush_send_stage(&mut self, up: Option<NodeId>) {
+        while let Some((dest, mut msgs)) = self.send_stage.pop_first() {
+            if dest == self.id {
+                continue; // self-sends are consumed
+            }
+            if !self.senders.contains_key(&dest) && !self.open_sender(dest) {
+                continue; // connection failed; messages are consumed (lost)
+            }
+            // Remember which messages carry data *before* push_batch
+            // drains the accepted prefix out of the vec.
+            let data_apps: Vec<Option<AppId>> = msgs
+                .iter()
+                .map(|m| (m.ty() == MsgType::Data).then(|| m.app()))
+                .collect();
+            let sender = self.senders.get_mut(&dest).expect("just ensured");
+            // Local sends must not overtake messages already parked in
+            // `pending`, so they only push_batch when pending is empty.
+            let accepted = if up.is_none() && !sender.pending.is_empty() {
+                0
+            } else {
+                sender.queue.push_batch(&mut msgs)
+            };
+            match up {
+                Some(u) => {
+                    for app in data_apps[..accepted].iter().flatten() {
+                        self.app_downstreams.entry(*app).or_default().insert(dest);
+                    }
+                    if !msgs.is_empty() {
+                        self.blocked
+                            .entry(u)
+                            .or_default()
+                            .extend(msgs.into_iter().map(|m| (m, dest)));
+                    }
+                }
+                None => {
+                    // enqueue_send registers local data sends even when
+                    // they park (accepted, just deferred) — match it.
+                    for app in data_apps.iter().flatten() {
+                        self.app_downstreams.entry(*app).or_default().insert(dest);
+                    }
+                    if !msgs.is_empty() {
+                        let sender = self.senders.get_mut(&dest).expect("just ensured");
+                        sender.pending.extend(msgs);
+                    }
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // switch
     // ------------------------------------------------------------------
@@ -318,26 +401,38 @@ impl EngineState {
     /// One switching round: services receive buffers in WRR order until
     /// everything is blocked or drained, bounded by `budget` messages.
     /// Returns how many messages were switched.
+    ///
+    /// The fast path is batched: blocked fan-outs are retried once per
+    /// *round* (not once per message), each chosen upstream is drained a
+    /// quantum at a time through one `pop_batch`, and the staged sends
+    /// of the whole batch reach each sender queue via one `push_batch`.
     fn switch_round(&mut self, budget: usize) -> usize {
+        self.retry_blocked();
         let mut moved = 0;
         while moved < budget {
-            self.retry_blocked();
-            if let Some(msg) = self.local_inbox.pop_front() {
-                self.dispatch_to_algorithm(None, msg);
-                moved += 1;
+            let Some(msg) = self.local_inbox.pop_front() else {
+                break;
+            };
+            self.dispatch_to_algorithm(None, msg);
+            moved += 1;
+        }
+        let mut batch: Vec<Msg> = Vec::new();
+        while moved < budget {
+            let Some(up) = self.pick_upstream() else { break };
+            let quantum = self.config.switch_quantum.max(1).min(budget - moved);
+            let n = match self.receivers.get_mut(&up) {
+                Some(r) => r.queue.pop_batch(quantum, &mut batch),
+                None => 0,
+            };
+            if n == 0 {
                 continue;
             }
-            let Some(up) = self.pick_upstream() else { break };
-            let Some(msg) = self
-                .receivers
-                .get_mut(&up)
-                .and_then(|r| r.queue.try_pop())
-            else {
-                continue;
-            };
-            self.switched += 1;
-            moved += 1;
-            self.dispatch_to_algorithm(Some(up), msg);
+            self.switched += n as u64;
+            moved += n;
+            for msg in batch.drain(..) {
+                self.dispatch_to_algorithm(Some(up), msg);
+            }
+            self.flush_send_stage(Some(up));
         }
         moved
     }
@@ -707,7 +802,9 @@ fn handle_event(state: &mut EngineState, event: ControlEvent) {
         }
         ControlEvent::UpstreamFailed(peer) => state.handle_upstream_failed(peer),
         ControlEvent::DownstreamFailed(peer) => state.close_downstream(peer, true),
-        ControlEvent::DataAvailable => {}
+        // Pure wakeups: the switch round that follows event handling
+        // does the actual work (drain receive buffers / retry blocked).
+        ControlEvent::DataAvailable | ControlEvent::SendSpace => {}
         ControlEvent::StatusRequest(reply) => {
             let _ = reply.send(state.status_report());
         }
@@ -717,6 +814,13 @@ fn handle_event(state: &mut EngineState, event: ControlEvent) {
 
 /// Runs the listener thread: accepts persistent (hello-prefixed) and
 /// one-shot control connections on the node's publicized port.
+///
+/// The accept loop *blocks* rather than polling: a sleep-poll either
+/// burns CPU across dozens of virtualized nodes or adds its poll
+/// interval to every connection setup. Shutdown instead wakes the
+/// blocked `accept` with a self-connection (see
+/// [`crate::EngineNode::shutdown`]), after which the `running` flag —
+/// re-checked on every accept — ends the loop.
 #[allow(clippy::too_many_arguments)] // thread entry point: takes its full wiring
 pub(crate) fn run_listener(
     local: NodeId,
@@ -727,13 +831,15 @@ pub(crate) fn run_listener(
     clock: Arc<SystemClock>,
     events: Sender<ControlEvent>,
     running: Arc<AtomicBool>,
+    recv_batched: bool,
 ) {
-    listener
-        .set_nonblocking(true)
-        .expect("listener nonblocking");
     while running.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
+                if !running.load(Ordering::Relaxed) {
+                    // The shutdown wake, not a peer: drop it and exit.
+                    break;
+                }
                 let events = events.clone();
                 let clock = clock.clone();
                 let (down, total) = down_chain_template.clone();
@@ -749,13 +855,15 @@ pub(crate) fn run_listener(
                             total,
                             clock,
                             events,
+                            recv_batched,
                         );
                     })
                     .expect("spawn accept handler");
             }
-            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(10));
-            }
+            // Transient per-connection failures (e.g. the dialer hung up
+            // while queued) must not kill the listener.
+            Err(ref e) if e.kind() == std::io::ErrorKind::ConnectionAborted => {}
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => break,
         }
     }
@@ -771,6 +879,7 @@ fn handle_accepted(
     total_bucket: SharedBucket,
     clock: Arc<SystemClock>,
     events: Sender<ControlEvent>,
+    recv_batched: bool,
 ) {
     let _ = local;
     let _ = stream.set_nodelay(true);
@@ -802,7 +911,7 @@ fn handle_accepted(
         {
             return;
         }
-        run_receiver(peer, stream, queue, meter, chain, clock, events);
+        run_receiver(peer, stream, queue, meter, chain, clock, events, recv_batched);
     } else {
         // One-shot control session: forward every message until EOF.
         let _ = events.send(ControlEvent::Incoming(first));

@@ -53,6 +53,7 @@ impl EngineNode {
             let total = state.total_bucket.clone();
             let buffer_msgs = config.buffer_msgs;
             let window = config.measure_window;
+            let recv_batched = config.recv_batched;
             thread::Builder::new()
                 .name(format!("lsn-{id}"))
                 .spawn(move || {
@@ -65,6 +66,7 @@ impl EngineNode {
                         clock,
                         events,
                         running,
+                        recv_batched,
                     )
                 })?
         };
@@ -109,6 +111,12 @@ impl EngineNode {
     fn shutdown_inner(&mut self) {
         self.running.store(false, Ordering::Relaxed);
         let _ = self.events_tx.send(ControlEvent::Shutdown);
+        // The listener blocks in accept (no poll interval); a
+        // self-connection wakes it so it can observe `running == false`.
+        let _ = std::net::TcpStream::connect_timeout(
+            &self.id.to_socket_addr(),
+            Duration::from_millis(200),
+        );
         if let Some(t) = self.engine_thread.take() {
             let _ = t.join();
         }

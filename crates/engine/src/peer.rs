@@ -1,17 +1,42 @@
 //! Receiver and sender threads for persistent peer connections.
 
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
+use bytes::BytesMut;
 use crossbeam_channel::Sender;
 use ioverlay_api::{Msg, MsgType, NodeId};
-use ioverlay_message::{read_msg, write_msg};
+use ioverlay_message::{write_msg, Decoder};
 use ioverlay_queue::{CircularQueue, PopTimeout};
 use ioverlay_ratelimit::{BucketChain, Clock, SystemClock, ThroughputMeter};
 use parking_lot::Mutex;
+
+/// Socket read chunk size feeding the receiver's incremental decoder.
+const RECV_CHUNK: usize = 64 * 1024;
+
+/// Longest uninterrupted slice of a token-bucket reservation sleep.
+const RESERVE_SLICE: Duration = Duration::from_millis(10);
+
+/// Sleeps out a token-bucket reservation in ~10ms slices, re-checking
+/// between slices whether the engine closed the queue, so teardown is
+/// never stuck behind a multi-second bandwidth delay. Returns `false`
+/// if the queue closed before the reservation elapsed.
+fn sleep_reservation(delay_nanos: u64, queue: &CircularQueue<Msg>) -> bool {
+    let slice = RESERVE_SLICE.as_nanos() as u64;
+    let mut remaining = delay_nanos;
+    while remaining > 0 {
+        if queue.is_closed() {
+            return false;
+        }
+        let step = remaining.min(slice);
+        thread::sleep(Duration::from_nanos(step));
+        remaining -= step;
+    }
+    true
+}
 
 /// Internal events posted to the engine thread by socket threads — the
 /// paper's *"mechanism of passing application-layer messages across
@@ -34,6 +59,11 @@ pub(crate) enum ControlEvent {
     DownstreamFailed(NodeId),
     /// A receiver enqueued into an empty buffer; the engine should wake.
     DataAvailable,
+    /// A sender thread drained a previously *full* send buffer; the
+    /// engine should wake and retry blocked fan-outs (without this the
+    /// engine only notices freed space on its 5 ms fallback tick —
+    /// turning a saturated relay into stop-and-wait).
+    SendSpace,
     /// Reply-carrying status request from the local handle.
     StatusRequest(Sender<ioverlay_api::StatusReport>),
     /// Ask the engine to stop.
@@ -84,10 +114,90 @@ impl ReceiverLink {
     }
 }
 
-/// Runs a receiver thread: blocking reads from a persistent connection
-/// into the bounded receive buffer. Blocking on a full buffer is what
-/// stops the TCP window and propagates back pressure upstream.
+/// Runs a receiver thread: blocking chunked reads from a persistent
+/// connection, decoded incrementally (zero-copy) and pushed into the
+/// bounded receive buffer a batch at a time. Blocking on a full buffer
+/// is what stops the TCP window and propagates back pressure upstream.
+///
+/// `batched == false` selects the per-message path (one `read_msg`, one
+/// bucket reservation, one push per message) — the benchmark baseline.
+#[allow(clippy::too_many_arguments)] // thread entry point: takes its full wiring
 pub(crate) fn run_receiver(
+    peer: NodeId,
+    mut stream: TcpStream,
+    queue: CircularQueue<Msg>,
+    meter: Arc<Mutex<ThroughputMeter>>,
+    down_chain: BucketChain,
+    clock: Arc<SystemClock>,
+    events: Sender<ControlEvent>,
+    batched: bool,
+) {
+    if !batched {
+        run_receiver_per_message(peer, stream, queue, meter, down_chain, clock, events);
+        return;
+    }
+    let mut decoder = Decoder::new();
+    let mut chunk = vec![0u8; RECV_CHUNK];
+    let mut batch: Vec<Msg> = Vec::new();
+    'conn: loop {
+        let n = match stream.read(&mut chunk) {
+            // A clean EOF and a socket error both mean the upstream is
+            // gone (an EOF inside a message loses framing anyway).
+            Ok(0) | Err(_) => {
+                let _ = events.send(ControlEvent::UpstreamFailed(peer));
+                break;
+            }
+            Ok(n) => n,
+        };
+        decoder.feed(&chunk[..n]);
+        let mut bytes_total = 0u64;
+        loop {
+            match decoder.next_msg() {
+                Ok(Some(msg)) => {
+                    bytes_total += msg.wire_len() as u64;
+                    batch.push(msg);
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Malformed header: framing is lost for good.
+                    let _ = events.send(ControlEvent::UpstreamFailed(peer));
+                    break 'conn;
+                }
+            }
+        }
+        if batch.is_empty() {
+            continue; // mid-message: keep reading
+        }
+        // Downlink emulation: one reservation paces the whole batch,
+        // exactly like the paper's wrapped recv paces each message.
+        let delay = down_chain.reserve(bytes_total, clock.now());
+        if !sleep_reservation(delay, &queue) {
+            break; // engine closed the link
+        }
+        meter
+            .lock()
+            .record_batch(bytes_total, batch.len() as u64, clock.now());
+        let was_empty = queue.is_empty();
+        // Batch enqueue, falling back to a blocking push when full so
+        // back pressure still stalls the read loop (and the TCP window).
+        while !batch.is_empty() {
+            if queue.push_batch(&mut batch) == 0 {
+                let first = batch.remove(0);
+                if queue.push(first).is_err() {
+                    break 'conn; // engine closed the link
+                }
+            }
+        }
+        if was_empty {
+            let _ = events.send(ControlEvent::DataAvailable);
+        }
+    }
+}
+
+/// The pre-batching receiver loop: one blocking `read_msg`, one bucket
+/// reservation, one meter sample, and one queue push per message. Kept
+/// as the benchmark baseline (`EngineConfig::recv_batched == false`).
+fn run_receiver_per_message(
     peer: NodeId,
     stream: TcpStream,
     queue: CircularQueue<Msg>,
@@ -96,16 +206,14 @@ pub(crate) fn run_receiver(
     clock: Arc<SystemClock>,
     events: Sender<ControlEvent>,
 ) {
-    let mut reader = BufReader::new(stream);
+    let mut reader = io::BufReader::new(stream);
     loop {
-        match read_msg(&mut reader) {
+        match ioverlay_message::read_msg(&mut reader) {
             Ok(Some(msg)) => {
                 let bytes = msg.wire_len() as u64;
-                // Downlink emulation: pace the read exactly like the
-                // paper's wrapped recv.
                 let delay = down_chain.reserve(bytes, clock.now());
-                if delay > 0 {
-                    thread::sleep(Duration::from_nanos(delay));
+                if !sleep_reservation(delay, &queue) {
+                    break; // engine closed the link
                 }
                 meter.lock().record(bytes, clock.now());
                 let was_empty = queue.is_empty();
@@ -116,12 +224,7 @@ pub(crate) fn run_receiver(
                     let _ = events.send(ControlEvent::DataAvailable);
                 }
             }
-            Ok(None) => {
-                // Clean EOF: the peer closed the connection.
-                let _ = events.send(ControlEvent::UpstreamFailed(peer));
-                break;
-            }
-            Err(_) => {
+            Ok(None) | Err(_) => {
                 let _ = events.send(ControlEvent::UpstreamFailed(peer));
                 break;
             }
@@ -129,57 +232,63 @@ pub(crate) fn run_receiver(
     }
 }
 
-/// Runs a sender thread: pops from the bounded send buffer (sleeping when
-/// empty, woken by the engine thread via the queue's condvar), applies
-/// uplink emulation, and performs blocking writes.
+/// Runs a sender thread: pops a batch from the bounded send buffer
+/// (sleeping when empty, woken by the engine thread via the queue's
+/// condvar), applies uplink emulation once for the batch total, encodes
+/// every message into one reused buffer, and issues one blocking write.
+///
+/// Batches only form under backlog: an idle link takes the same path
+/// with a batch of one, so a lone message is encoded and written (hence
+/// flushed) immediately — the flush-on-idle latency guarantee.
+#[allow(clippy::too_many_arguments)] // thread entry point: takes its full wiring
 pub(crate) fn run_sender(
     peer: NodeId,
-    stream: TcpStream,
+    mut stream: TcpStream,
     queue: CircularQueue<Msg>,
     meter: Arc<Mutex<ThroughputMeter>>,
     up_chain: BucketChain,
     clock: Arc<SystemClock>,
     events: Sender<ControlEvent>,
+    max_batch: usize,
 ) {
-    let mut writer = BufWriter::new(stream);
+    let max_batch = max_batch.max(1);
+    let mut batch: Vec<Msg> = Vec::new();
+    let mut wire = BytesMut::new();
     loop {
         match queue.pop_timeout(Duration::from_millis(100)) {
-            PopTimeout::Item(msg) => {
-                let bytes = msg.wire_len() as u64;
-                let delay = up_chain.reserve(bytes, clock.now());
-                if delay > 0 {
-                    thread::sleep(Duration::from_nanos(delay));
+            PopTimeout::Item(first) => {
+                batch.push(first);
+                queue.pop_batch(max_batch - 1, &mut batch);
+                // Only this thread pops, so `len + popped >= capacity`
+                // exactly when the buffer was full before the pop — the
+                // engine may be parked on it with blocked fan-outs.
+                if queue.len() + batch.len() >= queue.capacity() {
+                    let _ = events.send(ControlEvent::SendSpace);
                 }
-                if write_msg(&mut writer, &msg).and_then(|()| flush_if_idle(&mut writer, &queue))
-                    .is_err()
-                {
+                let total: u64 = batch.iter().map(|m| m.wire_len() as u64).sum();
+                // Uplink emulation: one reservation for the batch.
+                let delay = up_chain.reserve(total, clock.now());
+                if !sleep_reservation(delay, &queue) {
+                    break; // closed mid-reservation: teardown in progress
+                }
+                wire.clear();
+                for msg in &batch {
+                    msg.encode_into(&mut wire);
+                }
+                if stream.write_all(&wire).is_err() {
                     let _ = events.send(ControlEvent::DownstreamFailed(peer));
                     break;
                 }
-                meter.lock().record(bytes, clock.now());
+                meter
+                    .lock()
+                    .record_batch(total, batch.len() as u64, clock.now());
+                batch.clear();
             }
-            PopTimeout::TimedOut => {
-                if writer.flush().is_err() {
-                    let _ = events.send(ControlEvent::DownstreamFailed(peer));
-                    break;
-                }
-            }
-            PopTimeout::Closed => {
-                let _ = writer.flush();
-                break;
-            }
+            // Writes are unbuffered (one write per batch), so there is
+            // nothing to flush on idle.
+            PopTimeout::TimedOut => {}
+            PopTimeout::Closed => break,
         }
-    }
-}
-
-/// Flushes the buffered writer only when no more messages are queued, so
-/// back-to-back traffic batches into large writes but a lone message is
-/// never left sitting in the buffer.
-fn flush_if_idle(writer: &mut BufWriter<TcpStream>, queue: &CircularQueue<Msg>) -> io::Result<()> {
-    if queue.is_empty() {
-        writer.flush()
-    } else {
-        Ok(())
     }
 }
 
@@ -199,6 +308,8 @@ pub(crate) fn connect_to_peer(local: NodeId, peer: NodeId) -> io::Result<TcpStre
 mod tests {
     use super::*;
     use crossbeam_channel::unbounded;
+    use ioverlay_message::read_msg;
+    use std::io::BufReader;
     use std::net::TcpListener;
 
     #[test]
@@ -241,6 +352,7 @@ mod tests {
             BucketChain::new(),
             Arc::new(SystemClock::new()),
             tx,
+            true,
         );
         writer.join().unwrap();
         // One data message arrived, then a failure event.
@@ -270,6 +382,7 @@ mod tests {
                 BucketChain::new(),
                 Arc::new(SystemClock::new()),
                 tx,
+                128,
             )
         });
         let msg = Msg::data(NodeId::loopback(1), 7, 3, vec![5u8; 100]);
@@ -280,5 +393,52 @@ mod tests {
         queue.close();
         sender.join().unwrap();
         assert_eq!(meter.lock().total_bytes(), msg.wire_len() as u64);
+    }
+
+    /// Batches must only form under backlog: a message queued to an
+    /// *idle* sender goes out immediately (batch of one), not after a
+    /// batching delay. Median over several sends keeps the assertion
+    /// robust against one slow scheduler wakeup.
+    #[test]
+    fn idle_sender_flushes_single_message_sub_millisecond() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let out = TcpStream::connect(addr).unwrap();
+        let (conn, _) = listener.accept().unwrap();
+        let queue = CircularQueue::with_capacity(64);
+        let meter = Arc::new(Mutex::new(ThroughputMeter::new(1_000_000_000)));
+        let (tx, _rx) = unbounded();
+        let q2 = queue.clone();
+        let sender = thread::spawn(move || {
+            run_sender(
+                NodeId::loopback(2),
+                out,
+                q2,
+                meter,
+                BucketChain::new(),
+                Arc::new(SystemClock::new()),
+                tx,
+                128,
+            )
+        });
+        let mut reader = BufReader::new(conn);
+        let mut latencies: Vec<Duration> = Vec::new();
+        for seq in 0..15u32 {
+            // The sender is idle between iterations (nothing queued).
+            let msg = Msg::data(NodeId::loopback(1), 7, seq, vec![5u8; 100]);
+            let sent = std::time::Instant::now();
+            queue.push(msg.clone()).unwrap();
+            let got = read_msg(&mut reader).unwrap().unwrap();
+            latencies.push(sent.elapsed());
+            assert_eq!(got, msg);
+        }
+        queue.close();
+        sender.join().unwrap();
+        latencies.sort();
+        let median = latencies[latencies.len() / 2];
+        assert!(
+            median < Duration::from_millis(1),
+            "idle single-message flush latency: median {median:?}, want < 1ms"
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! The message type: header plus zero-copy payload.
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 
 use crate::{DecodeError, Header, MsgType, NodeId, HEADER_LEN};
 
@@ -145,6 +145,15 @@ impl Msg {
         out
     }
 
+    /// Encodes the message by appending to a caller-provided buffer, so
+    /// a sender can pack a whole batch into one reused allocation — and
+    /// hence one socket write — without a per-message `Vec`.
+    pub fn encode_into(&self, out: &mut BytesMut) {
+        out.reserve(self.wire_len());
+        out.extend_from_slice(&self.header.encode());
+        out.extend_from_slice(&self.payload);
+    }
+
     /// Decodes a message from a buffer containing exactly one message.
     ///
     /// Use [`crate::Decoder`] to parse a byte *stream* that may hold
@@ -198,6 +207,18 @@ mod tests {
         let msg = Msg::control(MsgType::Boot, origin(), 0);
         assert_eq!(msg.wire_len(), HEADER_LEN);
         assert_eq!(Msg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_appends() {
+        let a = Msg::new(MsgType::Data, origin(), 5, 17, &b"first"[..]);
+        let b = Msg::control(MsgType::Boot, origin(), 0);
+        let mut buf = BytesMut::new();
+        a.encode_into(&mut buf);
+        b.encode_into(&mut buf);
+        let mut expect = a.encode();
+        expect.extend_from_slice(&b.encode());
+        assert_eq!(&buf[..], &expect[..]);
     }
 
     #[test]

@@ -236,6 +236,70 @@ impl<T> CircularQueue<T> {
         item
     }
 
+    /// Dequeues up to `max` items in one lock acquisition, appending
+    /// them to `out` in FIFO order. Never blocks; an empty queue yields
+    /// zero items. Returns how many items were moved.
+    ///
+    /// This is the batched-switching fast path: where a `try_pop` loop
+    /// pays one lock round-trip and one wakeup per message, a batch pop
+    /// pays them once per *batch*, which is what makes high-backlog
+    /// switching cheap.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut inner = self.shared.inner.lock();
+        let take = max.min(inner.items.len());
+        if take == 0 {
+            return 0;
+        }
+        out.extend(inner.items.drain(..take));
+        drop(inner);
+        // More than one slot freed can satisfy more than one blocked
+        // producer.
+        if take == 1 {
+            self.shared.not_full.notify_one();
+        } else {
+            self.shared.not_full.notify_all();
+        }
+        take
+    }
+
+    /// Enqueues as many items as currently fit, taken from the front of
+    /// `items`, in one lock acquisition. Accepted items are removed from
+    /// the vec (so leftovers stay in order for a retry); returns how
+    /// many were accepted. Never blocks. A closed queue accepts nothing
+    /// (check [`CircularQueue::is_closed`] to distinguish from full).
+    pub fn push_batch(&self, items: &mut Vec<T>) -> usize {
+        if items.is_empty() {
+            return 0;
+        }
+        let mut inner = self.shared.inner.lock();
+        if inner.closed {
+            return 0;
+        }
+        let space = self.shared.capacity - inner.items.len();
+        let take = space.min(items.len());
+        if take == 0 {
+            return 0;
+        }
+        inner.items.extend(items.drain(..take));
+        drop(inner);
+        if take == 1 {
+            self.shared.not_empty.notify_one();
+        } else {
+            self.shared.not_empty.notify_all();
+        }
+        take
+    }
+
+    /// Drains every currently buffered item into `out` (one lock
+    /// acquisition), preserving FIFO order. Returns how many items were
+    /// moved.
+    pub fn drain_into(&self, out: &mut Vec<T>) -> usize {
+        self.pop_batch(usize::MAX, out)
+    }
+
     /// Dequeues with a timeout.
     ///
     /// Used by sender threads that must wake periodically (for example to
@@ -467,5 +531,104 @@ mod tests {
         all.sort_unstable();
         let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
         assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn pop_batch_drains_fifo_up_to_max() {
+        let q = CircularQueue::with_capacity(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(3, &mut out), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(10, &mut out), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.pop_batch(10, &mut out), 0);
+        assert_eq!(q.pop_batch(0, &mut out), 0);
+    }
+
+    #[test]
+    fn push_batch_accepts_up_to_capacity_and_keeps_leftovers() {
+        let q = CircularQueue::with_capacity(3);
+        q.push(100).unwrap();
+        let mut items = vec![1, 2, 3, 4];
+        assert_eq!(q.push_batch(&mut items), 2);
+        assert_eq!(items, vec![3, 4], "leftovers stay, in order");
+        assert_eq!(q.pop(), Some(100));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        // Now there is room for the leftovers.
+        assert_eq!(q.push_batch(&mut items), 2);
+        assert!(items.is_empty());
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn push_batch_on_closed_queue_accepts_nothing() {
+        let q = CircularQueue::with_capacity(4);
+        q.close();
+        let mut items = vec![1, 2];
+        assert_eq!(q.push_batch(&mut items), 0);
+        assert_eq!(items, vec![1, 2]);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn drain_into_empties_the_queue() {
+        let q = CircularQueue::with_capacity(8);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(&mut out), 6);
+        assert_eq!(out, (0..6).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_wakes_blocked_producers() {
+        let q = CircularQueue::with_capacity(2);
+        q.push(0).unwrap();
+        q.push(1).unwrap();
+        let producers: Vec<_> = (0..2)
+            .map(|i| {
+                let q = q.clone();
+                thread::spawn(move || q.push(10 + i).unwrap())
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(50));
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(2, &mut out), 2);
+        assert_eq!(out, vec![0, 1]);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut rest = Vec::new();
+        q.drain_into(&mut rest);
+        rest.sort_unstable();
+        assert_eq!(rest, vec![10, 11]);
+    }
+
+    #[test]
+    fn push_batch_wakes_blocked_consumer() {
+        let q = CircularQueue::with_capacity(8);
+        let consumer = {
+            let q = q.clone();
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        thread::sleep(Duration::from_millis(50));
+        let mut items = vec![1, 2, 3];
+        assert_eq!(q.push_batch(&mut items), 3);
+        thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), vec![1, 2, 3]);
     }
 }

@@ -107,4 +107,119 @@ proptest! {
             }
         }
     }
+
+    /// Interleaved batch and single operations behave exactly like a
+    /// capacity-bounded VecDeque: FIFO order, strict capacity bound,
+    /// partial batch acceptance from the front, leftovers kept in order.
+    #[test]
+    fn batch_ops_match_reference_model(capacity in 1usize..16, ops in arb_batch_ops()) {
+        let q = CircularQueue::with_capacity(capacity);
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                BatchOp::Push(v) => {
+                    let accepted = q.try_push(v).is_ok();
+                    prop_assert_eq!(accepted, model.len() < capacity);
+                    if accepted {
+                        model.push_back(v);
+                    }
+                }
+                BatchOp::Pop => {
+                    prop_assert_eq!(q.try_pop(), model.pop_front());
+                }
+                BatchOp::PushBatch(items) => {
+                    let mut batch = items.clone();
+                    let accepted = q.push_batch(&mut batch);
+                    prop_assert_eq!(accepted, (capacity - model.len()).min(items.len()));
+                    prop_assert_eq!(&batch[..], &items[accepted..]);
+                    model.extend(items[..accepted].iter().copied());
+                }
+                BatchOp::PopBatch(max) => {
+                    let mut out = Vec::new();
+                    let n = q.pop_batch(max, &mut out);
+                    let expect: Vec<u16> =
+                        model.drain(..max.min(model.len())).collect();
+                    prop_assert_eq!(n, expect.len());
+                    prop_assert_eq!(out, expect);
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert!(q.len() <= capacity);
+            prop_assert_eq!(q.is_full(), model.len() == capacity);
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum BatchOp {
+    Push(u16),
+    Pop,
+    PushBatch(Vec<u16>),
+    PopBatch(usize),
+}
+
+fn arb_batch_ops() -> impl Strategy<Value = Vec<BatchOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u16>().prop_map(BatchOp::Push),
+            Just(BatchOp::Pop),
+            proptest::collection::vec(any::<u16>(), 0..24).prop_map(BatchOp::PushBatch),
+            (0usize..24).prop_map(BatchOp::PopBatch),
+        ],
+        0..256,
+    )
+}
+
+/// 100k messages through one producer and one consumer, both using the
+/// batch APIs with a blocking-op fallback — the exact shape of the
+/// batched socket threads. Everything must arrive exactly once, in order.
+#[test]
+fn stress_100k_messages_one_producer_one_consumer_batched() {
+    const N: usize = 100_000;
+    let q: CircularQueue<usize> = CircularQueue::with_capacity(64);
+    let producer = {
+        let q = q.clone();
+        std::thread::spawn(move || {
+            let mut next = 0usize;
+            let mut staged: Vec<usize> = Vec::new();
+            while next < N || !staged.is_empty() {
+                if staged.is_empty() {
+                    let take = (N - next).min(17);
+                    staged.extend(next..next + take);
+                    next += take;
+                }
+                if q.push_batch(&mut staged) == 0 {
+                    // Full: fall back to one blocking push for progress.
+                    let first = staged.remove(0);
+                    q.push(first).unwrap();
+                }
+            }
+        })
+    };
+    let consumer = {
+        let q = q.clone();
+        std::thread::spawn(move || {
+            let mut got = Vec::with_capacity(N);
+            let mut buf = Vec::new();
+            loop {
+                if q.pop_batch(23, &mut buf) == 0 {
+                    // Empty: fall back to one blocking pop, which also
+                    // detects the closed-and-drained end of stream.
+                    match q.pop() {
+                        Some(v) => got.push(v),
+                        None => break,
+                    }
+                } else {
+                    got.append(&mut buf);
+                }
+            }
+            got
+        })
+    };
+    producer.join().unwrap();
+    q.close();
+    let got = consumer.join().unwrap();
+    assert_eq!(got.len(), N);
+    assert!(got.iter().copied().eq(0..N), "items arrive exactly once, in order");
 }

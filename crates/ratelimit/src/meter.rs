@@ -53,11 +53,18 @@ impl ThroughputMeter {
 
     /// Records a transfer of `bytes` at time `now`.
     pub fn record(&mut self, bytes: u64, now: Nanos) {
+        self.record_batch(bytes, 1, now);
+    }
+
+    /// Records `msgs` messages totalling `bytes` at time `now` as one
+    /// sample — what a batched socket thread calls once per batch while
+    /// keeping the message count accurate.
+    pub fn record_batch(&mut self, bytes: u64, msgs: u64, now: Nanos) {
         self.evict(now);
         self.samples.push_back((now, bytes));
         self.window_bytes += bytes;
         self.total_bytes += bytes;
-        self.total_msgs += 1;
+        self.total_msgs += msgs;
         self.last_activity = Some(self.last_activity.map_or(now, |t| t.max(now)));
     }
 

@@ -104,9 +104,12 @@ fn federation_concludes_and_carries_data() {
 #[test]
 fn sflow_beats_random_on_end_to_end_bandwidth() {
     // Run several concurrent requirements; sFlow spreads load, random
-    // does not. Compare total sink goodput.
-    let run = |policy: Policy| -> f64 {
-        let (mut sim, ids) = build(policy, 16, 9);
+    // does not. Compare total sink goodput. sFlow's selection is
+    // deterministic, but random's goodput varies widely with the seed
+    // (a lucky draw can beat sFlow), so the comparison is against the
+    // mean of several random runs — the claim is about expectation.
+    let run = |policy: Policy, seed: u64| -> f64 {
+        let (mut sim, ids) = build(policy, 16, seed);
         sim.run_for(40 * SEC);
         // Launch six sessions from type-1 hosts (indices 0, 4, 8, ...).
         let now = sim.now();
@@ -124,11 +127,12 @@ fn sflow_beats_random_on_end_to_end_bandwidth() {
         }
         total
     };
-    let sflow = run(Policy::SFlow);
-    let random = run(Policy::Random);
+    let sflow = run(Policy::SFlow, 9);
+    let seeds = [9u64, 10, 11];
+    let random = seeds.iter().map(|&s| run(Policy::Random, s)).sum::<f64>() / seeds.len() as f64;
     assert!(
         sflow > random,
-        "sFlow total {sflow:.0} bytes should beat random {random:.0}"
+        "sFlow total {sflow:.0} bytes should beat mean random {random:.0}"
     );
 }
 
