@@ -78,6 +78,14 @@ pub trait Context {
     /// (gossip dissemination, randomized tree construction)
     /// reproducible.
     fn random_u64(&mut self) -> u64;
+
+    /// A point-in-time copy of the node's telemetry registry, for
+    /// algorithms that use local measurements (queue backlogs, stall
+    /// counts, batch-size distributions) as routing input. Runtimes
+    /// without telemetry return `None` (the default).
+    fn telemetry(&self) -> Option<crate::TelemetrySnapshot> {
+        None
+    }
 }
 
 /// An application-specific overlay algorithm.

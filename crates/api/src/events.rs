@@ -9,6 +9,7 @@
 
 use bytes::Bytes;
 use ioverlay_message::{DecodeError, NodeId};
+use ioverlay_telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Which side of a link an event refers to.
@@ -87,6 +88,70 @@ pub struct StatusReport {
     pub switched_msgs: u64,
     /// Algorithm-specific extension, from [`crate::Algorithm::status`].
     pub algorithm: serde_json::Value,
+    /// Node-local telemetry summary (`None` from nodes that predate the
+    /// telemetry subsystem or run with it disabled; absent fields decode
+    /// to `None`, keeping old reports readable).
+    pub telemetry: Option<TelemetrySnapshot>,
+}
+
+/// Payload of an addressed `Request` (status poll): carries which node
+/// the observer intends to poll, so a node can ignore misrouted
+/// requests. Empty-payload `Request`s remain valid (poll whoever
+/// receives it) for backward compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusRequestPayload {
+    /// The node whose status is requested.
+    pub target: NodeId,
+}
+
+impl StatusReport {
+    /// Renders this report as Prometheus text exposition lines,
+    /// appending to `out`.
+    ///
+    /// Per-link series carry `node` and `peer` labels; the embedded
+    /// [`TelemetrySnapshot`] (when present) is rendered with the same
+    /// `node` label via [`TelemetrySnapshot::render_prometheus`].
+    pub fn render_prometheus(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let node = self
+            .node
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        let labels = format!("node=\"{node}\"");
+        let _ = writeln!(out, "ioverlay_switched_msgs_total{{{labels}}} {}", self.switched_msgs);
+        let _ = writeln!(out, "ioverlay_upstream_links{{{labels}}} {}", self.upstreams.len());
+        let _ = writeln!(
+            out,
+            "ioverlay_downstream_links{{{labels}}} {}",
+            self.downstreams.len()
+        );
+        for (peer, len) in &self.recv_buffers {
+            let _ = writeln!(
+                out,
+                "ioverlay_recv_buffer_msgs{{{labels},peer=\"{peer}\"}} {len}"
+            );
+        }
+        for (peer, len) in &self.send_buffers {
+            let _ = writeln!(
+                out,
+                "ioverlay_send_buffer_msgs{{{labels},peer=\"{peer}\"}} {len}"
+            );
+        }
+        for (peer, kbps) in &self.link_kbps {
+            let _ = writeln!(out, "ioverlay_link_kbps{{{labels},peer=\"{peer}\"}} {kbps}");
+        }
+        if let Some(tel) = &self.telemetry {
+            tel.render_prometheus(out, &labels);
+        }
+    }
+
+    /// Convenience wrapper over [`Self::render_prometheus`] returning a
+    /// fresh string.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        self.render_prometheus(&mut out);
+        out
+    }
 }
 
 macro_rules! json_payload {
@@ -115,6 +180,7 @@ json_payload!(ThroughputPayload);
 json_payload!(BootReplyPayload);
 json_payload!(SetBandwidthPayload);
 json_payload!(StatusReport);
+json_payload!(StatusRequestPayload);
 
 #[cfg(test)]
 mod tests {
@@ -174,8 +240,49 @@ mod tests {
             link_kbps: vec![(NodeId::loopback(3), 400.0)],
             switched_msgs: 1234,
             algorithm: serde_json::json!({"stress": 2.0}),
+            telemetry: None,
         };
         assert_eq!(StatusReport::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn status_report_with_telemetry_roundtrips_and_renders() {
+        use ioverlay_telemetry::NodeTelemetry;
+        let tel = NodeTelemetry::new(true, 8);
+        tel.record_switch_batch(12, 34);
+        let p = StatusReport {
+            node: Some(NodeId::loopback(9100)),
+            link_kbps: vec![(NodeId::loopback(9101), 125.5)],
+            switched_msgs: 12,
+            telemetry: Some(tel.snapshot()),
+            ..StatusReport::default()
+        };
+        let decoded = StatusReport::decode(&p.encode()).unwrap();
+        assert_eq!(decoded, p);
+        let text = decoded.to_prometheus();
+        assert!(text.contains("ioverlay_switched_msgs_total{node=\"127.0.0.1:9100\"} 12"));
+        assert!(text.contains("ioverlay_link_kbps{node=\"127.0.0.1:9100\",peer=\"127.0.0.1:9101\"} 125.5"));
+        assert!(text.contains("ioverlay_switch_batch_msgs_bucket{node=\"127.0.0.1:9100\",le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn status_report_without_telemetry_field_still_decodes() {
+        // Reports serialized before the telemetry subsystem existed lack
+        // the field entirely; they must decode with `telemetry: None`.
+        let legacy = br#"{"node": null, "recv_buffers": [], "send_buffers": [],
+            "upstreams": [], "downstreams": [], "link_kbps": [],
+            "switched_msgs": 7, "algorithm": null}"#;
+        let report = StatusReport::decode(legacy).unwrap();
+        assert_eq!(report.switched_msgs, 7);
+        assert_eq!(report.telemetry, None);
+    }
+
+    #[test]
+    fn status_request_roundtrip() {
+        let p = StatusRequestPayload {
+            target: NodeId::loopback(4242),
+        };
+        assert_eq!(StatusRequestPayload::decode(&p.encode()).unwrap(), p);
     }
 
     #[test]

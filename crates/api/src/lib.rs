@@ -36,10 +36,17 @@ mod events;
 pub use algorithm::{Algorithm, Context, TimerToken};
 pub use events::{
     BandwidthScope, BootReplyPayload, LinkDirection, SetBandwidthPayload, StatusReport,
-    ThroughputPayload,
+    StatusRequestPayload, ThroughputPayload,
 };
 
 pub use ioverlay_message::{ControlParams, Msg, MsgType, NodeId};
+pub use ioverlay_telemetry::{
+    EventRecord, HistogramSnapshot, NodeTelemetry, TelemetryEvent, TelemetrySnapshot,
+};
+
+/// The node-local telemetry crate, re-exported so algorithms can depend
+/// on `ioverlay-api` alone.
+pub use ioverlay_telemetry as telemetry;
 
 /// Application (session) identifier, as carried in every message header.
 pub type AppId = u32;

@@ -7,6 +7,10 @@
 //! flushed with `push_batch`, and the sender thread's one-write-per-
 //! batch encode path. The baseline pins every batch size to one, which
 //! restores the seed's per-message behavior.
+//!
+//! The batched configuration runs twice — telemetry on and telemetry
+//! off — to measure the overhead of the relaxed-atomic recording sites
+//! on the hot path (the PR 2 acceptance gate: ≤ 5% msgs/sec).
 
 use std::thread;
 use std::time::Duration;
@@ -24,13 +28,21 @@ pub struct SwitchPoint {
 }
 
 /// Runs the 3-node relay chain for `measure_secs` and returns sink-side
-/// goodput. `per_message` pins all batch sizes to 1 (the baseline).
-pub fn run_chain(per_message: bool, msg_bytes: usize, measure_secs: u64) -> SwitchPoint {
+/// goodput. `per_message` pins all batch sizes to 1 (the baseline);
+/// `telemetry` toggles metric/event recording on every node.
+pub fn run_chain(
+    per_message: bool,
+    telemetry: bool,
+    msg_bytes: usize,
+    measure_secs: u64,
+) -> SwitchPoint {
     const APP: u32 = 1;
     let config = || {
         // Deep buffers keep the relay backlogged — the regime the batched
         // fast path is built for (batches only form under backlog).
-        let c = EngineConfig::default().with_buffer_msgs(4096);
+        let c = EngineConfig::default()
+            .with_buffer_msgs(4096)
+            .with_telemetry(telemetry);
         if per_message {
             c.with_switch_quantum(1)
                 .with_send_batch_max(1)
@@ -81,7 +93,7 @@ pub fn run_chain(per_message: bool, msg_bytes: usize, measure_secs: u64) -> Swit
     }
 }
 
-/// Runs both configurations, prints the comparison, and writes
+/// Runs all configurations, prints the comparison, and writes
 /// `BENCH_switch.json` into the current directory.
 pub fn run(measure_secs: u64) {
     banner(
@@ -89,14 +101,19 @@ pub fn run(measure_secs: u64) {
         "batched switching fast path vs per-message baseline (3-node relay chain)",
     );
     let msg_bytes = 256;
-    let baseline = run_chain(true, msg_bytes, measure_secs);
-    let batched = run_chain(false, msg_bytes, measure_secs);
-    let widths = [14, 14, 12];
+    let baseline = run_chain(true, true, msg_bytes, measure_secs);
+    let batched = run_chain(false, true, msg_bytes, measure_secs);
+    let batched_tel_off = run_chain(false, false, msg_bytes, measure_secs);
+    let widths = [16, 14, 12];
     println!(
         "{}",
         row(&["mode".into(), "msgs/sec".into(), "MB/sec".into()], &widths)
     );
-    for (name, p) in [("per-message", baseline), ("batched", batched)] {
+    for (name, p) in [
+        ("per-message", baseline),
+        ("batched", batched),
+        ("batched tel-off", batched_tel_off),
+    ] {
         println!(
             "{}",
             row(
@@ -114,7 +131,18 @@ pub fn run(measure_secs: u64) {
     } else {
         f64::INFINITY
     };
+    // Telemetry overhead: how much slower the telemetry-on chain is than
+    // the otherwise-identical telemetry-off chain, in percent of the
+    // telemetry-off rate. Negative values mean noise favored the
+    // telemetry-on run.
+    let telemetry_overhead_pct = if batched_tel_off.msgs_per_sec > 0.0 {
+        (batched_tel_off.msgs_per_sec - batched.msgs_per_sec) / batched_tel_off.msgs_per_sec
+            * 100.0
+    } else {
+        0.0
+    };
     println!("\nspeedup (msgs/sec): {speedup:.2}x");
+    println!("telemetry overhead: {telemetry_overhead_pct:.2}% msgs/sec");
 
     let report = serde_json::json!({
         "bench": "switch",
@@ -129,7 +157,12 @@ pub fn run(measure_secs: u64) {
             "msgs_per_sec": batched.msgs_per_sec,
             "mb_per_sec": batched.mb_per_sec,
         },
+        "telemetry_off": {
+            "msgs_per_sec": batched_tel_off.msgs_per_sec,
+            "mb_per_sec": batched_tel_off.mb_per_sec,
+        },
         "speedup_msgs_per_sec": speedup,
+        "telemetry_overhead_pct": telemetry_overhead_pct,
     });
     let text = serde_json::to_string_pretty(&report).expect("serialize report");
     match std::fs::write("BENCH_switch.json", &text) {

@@ -43,6 +43,13 @@ pub struct EngineConfig {
     /// chunks through the incremental decoder and enqueue whole batches.
     /// `false` restores per-message reads — the benchmark baseline.
     pub recv_batched: bool,
+    /// When `true` (default), the node records metrics and events into
+    /// its [`ioverlay_telemetry::NodeTelemetry`] registry. `false`
+    /// reduces every recording site to one predictable branch — the
+    /// `repro switch` overhead baseline.
+    pub telemetry: bool,
+    /// Capacity of the bounded telemetry event ring.
+    pub telemetry_events: usize,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +66,8 @@ impl Default for EngineConfig {
             switch_quantum: 64,
             send_batch_max: 128,
             recv_batched: true,
+            telemetry: true,
+            telemetry_events: ioverlay_telemetry::DEFAULT_EVENT_CAPACITY,
         }
     }
 }
@@ -115,6 +124,18 @@ impl EngineConfig {
         self.recv_batched = batched;
         self
     }
+
+    /// Enables or disables telemetry recording (builder style).
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Sets the telemetry event-ring capacity (builder style).
+    pub fn with_telemetry_events(mut self, capacity: usize) -> Self {
+        self.telemetry_events = capacity.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +164,16 @@ mod tests {
         assert_eq!(cfg.buffer_msgs, 10);
         assert!(cfg.bandwidth.is_unlimited());
         assert!(cfg.inactivity_timeout.is_none());
+        assert!(cfg.telemetry, "telemetry records by default");
+        assert!(cfg.telemetry_events >= 1);
+    }
+
+    #[test]
+    fn telemetry_builders() {
+        let cfg = EngineConfig::default()
+            .with_telemetry(false)
+            .with_telemetry_events(0);
+        assert!(!cfg.telemetry);
+        assert_eq!(cfg.telemetry_events, 1, "ring capacity floors at one");
     }
 }

@@ -1,6 +1,7 @@
 //! The engine-backed `Context` handed to algorithms.
 
 use ioverlay_api::{Context, Msg, Nanos, NodeId, TimerToken};
+use ioverlay_telemetry::{NodeTelemetry, TelemetrySnapshot};
 
 /// Effects staged by an algorithm during one callback; the engine thread
 /// applies them after the callback returns. This keeps the algorithm
@@ -29,6 +30,9 @@ pub(crate) struct EngineCtx<'a> {
     /// `(dest, depth)` snapshot of sender links taken before the callback.
     pub backlogs: &'a [(NodeId, usize)],
     pub rng: &'a mut rand::rngs::StdRng,
+    /// The node's live telemetry registry, exposed read-only to the
+    /// algorithm through [`Context::telemetry`].
+    pub tel: &'a NodeTelemetry,
     pub staged: StagedEffects,
 }
 
@@ -96,6 +100,10 @@ impl Context for EngineCtx<'_> {
         use rand::Rng;
         self.rng.gen()
     }
+
+    fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        self.tel.enabled().then(|| self.tel.snapshot())
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +117,8 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let dest = NodeId::loopback(2);
         let backlogs = vec![(dest, 3)];
+        let tel = NodeTelemetry::new(true, 8);
+        tel.record_switch_batch(5, 9);
         let mut ctx = EngineCtx {
             id: NodeId::loopback(1),
             now: 0,
@@ -116,8 +126,11 @@ mod tests {
             buffer_capacity: 10,
             backlogs: &backlogs,
             rng: &mut rng,
+            tel: &tel,
             staged: StagedEffects::default(),
         };
+        let snap = ctx.telemetry().expect("telemetry enabled");
+        assert_eq!(snap.counter("msgs_switched"), Some(5));
         assert_eq!(ctx.backlog(dest), Some(3));
         ctx.send(Msg::control(MsgType::Data, NodeId::loopback(1), 0), dest);
         assert_eq!(ctx.backlog(dest), Some(4));

@@ -11,9 +11,10 @@ use std::time::Duration;
 use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
 use ioverlay_api::{
     Algorithm, AppId, BandwidthScope, ControlParams, LinkDirection, Msg, MsgType, Nanos, NodeId,
-    SetBandwidthPayload, StatusReport, ThroughputPayload, TimerToken,
+    SetBandwidthPayload, StatusReport, StatusRequestPayload, ThroughputPayload, TimerToken,
 };
 use ioverlay_message::{read_msg, write_msg};
+use ioverlay_telemetry::{scrape, NodeTelemetry};
 use ioverlay_queue::{CircularQueue, WeightedRoundRobin};
 use ioverlay_ratelimit::{
     BucketChain, Clock, Rate, SharedBucket, SystemClock, ThroughputMeter, TokenBucket,
@@ -79,6 +80,9 @@ pub(crate) struct EngineState {
     /// upstream-attributed dispatches (`from_upstream.is_some()`), so a
     /// whole stage shares one upstream for blocked-bookkeeping.
     pub send_stage: BTreeMap<NodeId, Vec<Msg>>,
+    /// Node-local metrics registry, shared with every socket thread and
+    /// the control listener.
+    pub tel: Arc<NodeTelemetry>,
 }
 
 impl EngineState {
@@ -93,6 +97,7 @@ impl EngineState {
         let bw = config.bandwidth;
         let seed = config.seed ^ u64::from(id.port());
         let measure = config.measure_interval;
+        let tel = Arc::new(NodeTelemetry::new(config.telemetry, config.telemetry_events));
         Self {
             id,
             config,
@@ -120,6 +125,7 @@ impl EngineState {
             probe_seq: 0,
             retry_rotor: 0,
             send_stage: BTreeMap::new(),
+            tel,
         }
     }
 
@@ -151,6 +157,7 @@ impl EngineState {
                 buffer_capacity: self.config.buffer_msgs,
                 backlogs: &backlogs,
                 rng: &mut self.rng,
+                tel: &self.tel,
                 staged: StagedEffects::default(),
             };
             f(alg.as_mut(), &mut ctx);
@@ -272,10 +279,13 @@ impl EngineState {
                     let clock = self.clock.clone();
                     let events = self.events_tx.clone();
                     let max_batch = self.config.send_batch_max;
+                    let tel = self.tel.clone();
                     thread::Builder::new()
                         .name(format!("snd-{dest}"))
                         .spawn(move || {
-                            run_sender(dest, stream, queue, meter, chain, clock, events, max_batch)
+                            run_sender(
+                                dest, stream, queue, meter, chain, clock, events, max_batch, tel,
+                            )
                         })
                         .expect("spawn sender thread")
                 };
@@ -291,11 +301,13 @@ impl EngineState {
                 );
                 self.local_inbox
                     .push_back(Msg::control(MsgType::DownstreamJoined, dest, 0));
+                self.tel.record_connect(self.now(), dest, true);
                 true
             }
             Err(_) => {
                 self.local_inbox
                     .push_back(Msg::control(MsgType::NeighborFailed, dest, 0));
+                self.tel.record_connect_failed(self.now(), dest);
                 false
             }
         }
@@ -326,11 +338,16 @@ impl EngineState {
             let Some(sends) = self.blocked.remove(&up) else {
                 continue;
             };
+            let total = sends.len();
             let mut still = Vec::new();
             for (msg, dest) in sends {
                 if !self.enqueue_send(dest, msg.clone(), Some(up)) {
                     still.push((msg, dest));
                 }
+            }
+            let retried = (total - still.len()) as u64;
+            if retried > 0 && self.tel.enabled() {
+                self.tel.record_forward_retry(self.now(), up, retried);
             }
             if !still.is_empty() {
                 self.blocked.insert(up, still);
@@ -373,6 +390,10 @@ impl EngineState {
                         self.app_downstreams.entry(*app).or_default().insert(dest);
                     }
                     if !msgs.is_empty() {
+                        if self.tel.enabled() {
+                            self.tel
+                                .record_buffer_full(self.now(), dest, msgs.len() as u64);
+                        }
                         self.blocked
                             .entry(u)
                             .or_default()
@@ -407,6 +428,7 @@ impl EngineState {
     /// quantum at a time through one `pop_batch`, and the staged sends
     /// of the whole batch reach each sender queue via one `push_batch`.
     fn switch_round(&mut self, budget: usize) -> usize {
+        let round_start = if self.tel.enabled() { self.now() } else { 0 };
         self.retry_blocked();
         let mut moved = 0;
         while moved < budget {
@@ -420,19 +442,28 @@ impl EngineState {
         while moved < budget {
             let Some(up) = self.pick_upstream() else { break };
             let quantum = self.config.switch_quantum.max(1).min(budget - moved);
-            let n = match self.receivers.get_mut(&up) {
-                Some(r) => r.queue.pop_batch(quantum, &mut batch),
-                None => 0,
+            let (n, occupancy) = match self.receivers.get_mut(&up) {
+                // Occupancy is observed under the pop's own lock: the
+                // telemetry sample costs no extra queue round-trip.
+                Some(r) => r.queue.pop_batch_observed(quantum, &mut batch),
+                None => (0, 0),
             };
             if n == 0 {
                 continue;
             }
+            self.tel.record_switch_batch(n as u64, occupancy as u64);
             self.switched += n as u64;
             moved += n;
             for msg in batch.drain(..) {
                 self.dispatch_to_algorithm(Some(up), msg);
             }
             self.flush_send_stage(Some(up));
+        }
+        // Idle rounds (nothing moved) are wakeup noise, not switching
+        // work — keep them out of the latency histogram.
+        if moved > 0 && self.tel.enabled() {
+            self.tel
+                .record_switch_round(self.now().saturating_sub(round_start));
         }
         moved
     }
@@ -491,6 +522,15 @@ impl EngineState {
                 return;
             }
             MsgType::Request => {
+                // Addressed polls carry the intended target; one that was
+                // misrouted (or broadcast to the wrong node) must not
+                // trigger a reply on this node's behalf. Empty payloads
+                // stay valid: poll whoever receives the request.
+                if let Ok(req) = StatusRequestPayload::decode(msg.payload()) {
+                    if req.target != self.id {
+                        return;
+                    }
+                }
                 // The engine answers status requests itself (the report
                 // includes the algorithm's own status extension), then
                 // still shows the request to the algorithm.
@@ -543,6 +583,9 @@ impl EngineState {
         if !ups.is_empty() {
             return;
         }
+        if self.tel.enabled() {
+            self.tel.record_domino_teardown(self.now(), app);
+        }
         let downstreams: Vec<NodeId> = self
             .app_downstreams
             .remove(&app)
@@ -561,6 +604,9 @@ impl EngineState {
         link.close();
         self.wrr.remove(&peer);
         self.blocked.remove(&peer);
+        if self.tel.enabled() {
+            self.tel.record_disconnect(self.now(), peer);
+        }
         let mut broken_apps = Vec::new();
         for (app, ups) in self.app_upstreams.iter_mut() {
             if ups.remove(&peer) && ups.is_empty() {
@@ -569,6 +615,11 @@ impl EngineState {
         }
         self.local_inbox
             .push_back(Msg::control(MsgType::NeighborFailed, peer, 0));
+        if self.tel.enabled() {
+            for app in &broken_apps {
+                self.tel.record_domino_teardown(self.now(), *app);
+            }
+        }
         for app in broken_apps {
             let downstreams: Vec<NodeId> = self
                 .app_downstreams
@@ -587,6 +638,9 @@ impl EngineState {
     pub(crate) fn close_downstream(&mut self, peer: NodeId, notify_alg: bool) {
         if let Some(mut link) = self.senders.remove(&peer) {
             link.close();
+            if self.tel.enabled() {
+                self.tel.record_disconnect(self.now(), peer);
+            }
         }
         self.link_buckets.remove(&peer);
         for set in self.app_downstreams.values_mut() {
@@ -650,6 +704,14 @@ impl EngineState {
         for peer in dead_upstreams {
             self.handle_upstream_failed(peer);
         }
+        if self.tel.enabled() {
+            self.tel
+                .set_link_gauges(self.receivers.len() as u64, self.senders.len() as u64);
+            let recv_depth: usize = self.receivers.values().map(|r| r.queue.len()).sum();
+            let send_depth: usize = self.senders.values().map(|s| s.depth()).sum();
+            self.tel
+                .set_queue_gauges(recv_depth as u64, send_depth as u64);
+        }
         self.next_measure = now + self.config.measure_interval;
     }
 
@@ -694,6 +756,7 @@ impl EngineState {
                 .as_ref()
                 .map(|a| a.status())
                 .unwrap_or(serde_json::Value::Null),
+            telemetry: self.tel.enabled().then(|| self.tel.snapshot()),
         }
     }
 
@@ -796,6 +859,9 @@ fn handle_event(state: &mut EngineState, event: ControlEvent) {
                 },
             );
             state.wrr.set_weight(peer, 1);
+            if state.tel.enabled() {
+                state.tel.record_connect(state.clock.now(), peer, false);
+            }
             state
                 .local_inbox
                 .push_back(Msg::control(MsgType::UpstreamJoined, peer, 0));
@@ -804,7 +870,12 @@ fn handle_event(state: &mut EngineState, event: ControlEvent) {
         ControlEvent::DownstreamFailed(peer) => state.close_downstream(peer, true),
         // Pure wakeups: the switch round that follows event handling
         // does the actual work (drain receive buffers / retry blocked).
-        ControlEvent::DataAvailable | ControlEvent::SendSpace => {}
+        ControlEvent::DataAvailable => {}
+        ControlEvent::SendSpace => {
+            if state.tel.enabled() {
+                state.tel.record_sendspace_wakeup(state.clock.now());
+            }
+        }
         ControlEvent::StatusRequest(reply) => {
             let _ = reply.send(state.status_report());
         }
@@ -832,6 +903,7 @@ pub(crate) fn run_listener(
     events: Sender<ControlEvent>,
     running: Arc<AtomicBool>,
     recv_batched: bool,
+    tel: Arc<NodeTelemetry>,
 ) {
     while running.load(Ordering::Relaxed) {
         match listener.accept() {
@@ -843,6 +915,7 @@ pub(crate) fn run_listener(
                 let events = events.clone();
                 let clock = clock.clone();
                 let (down, total) = down_chain_template.clone();
+                let tel = tel.clone();
                 thread::Builder::new()
                     .name(format!("acc-{local}"))
                     .spawn(move || {
@@ -856,6 +929,7 @@ pub(crate) fn run_listener(
                             clock,
                             events,
                             recv_batched,
+                            tel,
                         );
                     })
                     .expect("spawn accept handler");
@@ -880,9 +954,17 @@ fn handle_accepted(
     clock: Arc<SystemClock>,
     events: Sender<ControlEvent>,
     recv_batched: bool,
+    tel: Arc<NodeTelemetry>,
 ) {
     let _ = local;
     let _ = stream.set_nodelay(true);
+    // A scrape client (curl, Prometheus) talks HTTP to the same control
+    // port peers dial with framed messages; sniff without consuming so
+    // framed connections proceed untouched.
+    if scrape::sniff_http_get(&stream) {
+        serve_node_scrape(&stream, &events);
+        return;
+    }
     // Peek at the first message without buffered read-ahead so the
     // receiver thread sees a clean stream afterwards.
     let first = match read_msg(&stream) {
@@ -911,7 +993,17 @@ fn handle_accepted(
         {
             return;
         }
-        run_receiver(peer, stream, queue, meter, chain, clock, events, recv_batched);
+        run_receiver(
+            peer,
+            stream,
+            queue,
+            meter,
+            chain,
+            clock,
+            events,
+            recv_batched,
+            tel,
+        );
     } else {
         // One-shot control session: forward every message until EOF.
         let _ = events.send(ControlEvent::Incoming(first));
@@ -920,6 +1012,45 @@ fn handle_accepted(
                 break;
             }
         }
+    }
+}
+
+/// Serves one HTTP scrape request on the node's control port.
+///
+/// The report comes from the engine thread via the same
+/// [`ControlEvent::StatusRequest`] reply channel the local handle uses,
+/// so a scrape sees exactly what the observer would: link state,
+/// per-link throughput, and the full telemetry snapshot.
+fn serve_node_scrape(stream: &TcpStream, events: &Sender<ControlEvent>) {
+    let Some(path) = scrape::read_request_path(stream) else {
+        return;
+    };
+    let report = (|| {
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        events.send(ControlEvent::StatusRequest(tx)).ok()?;
+        rx.recv_timeout(Duration::from_secs(2)).ok()
+    })();
+    let Some(report) = report else {
+        scrape::write_response(stream, 503, "text/plain", "engine unavailable\n");
+        return;
+    };
+    match path.as_str() {
+        "/metrics" => scrape::write_response(
+            stream,
+            200,
+            scrape::PROMETHEUS_CONTENT_TYPE,
+            &report.to_prometheus(),
+        ),
+        "/metrics.json" | "/status.json" => {
+            let body = serde_json::to_string_pretty(&report).unwrap_or_default();
+            scrape::write_response(stream, 200, scrape::JSON_CONTENT_TYPE, &body);
+        }
+        _ => scrape::write_response(
+            stream,
+            404,
+            "text/plain",
+            "paths: /metrics /metrics.json /status.json\n",
+        ),
     }
 }
 

@@ -54,6 +54,7 @@ impl EngineNode {
             let buffer_msgs = config.buffer_msgs;
             let window = config.measure_window;
             let recv_batched = config.recv_batched;
+            let tel = state.tel.clone();
             thread::Builder::new()
                 .name(format!("lsn-{id}"))
                 .spawn(move || {
@@ -67,6 +68,7 @@ impl EngineNode {
                         events,
                         running,
                         recv_batched,
+                        tel,
                     )
                 })?
         };

@@ -12,6 +12,7 @@ use ioverlay_api::{Msg, MsgType, NodeId};
 use ioverlay_message::{write_msg, Decoder};
 use ioverlay_queue::{CircularQueue, PopTimeout};
 use ioverlay_ratelimit::{BucketChain, Clock, SystemClock, ThroughputMeter};
+use ioverlay_telemetry::NodeTelemetry;
 use parking_lot::Mutex;
 
 /// Socket read chunk size feeding the receiver's incremental decoder.
@@ -131,9 +132,10 @@ pub(crate) fn run_receiver(
     clock: Arc<SystemClock>,
     events: Sender<ControlEvent>,
     batched: bool,
+    tel: Arc<NodeTelemetry>,
 ) {
     if !batched {
-        run_receiver_per_message(peer, stream, queue, meter, down_chain, clock, events);
+        run_receiver_per_message(peer, stream, queue, meter, down_chain, clock, events, tel);
         return;
     }
     let mut decoder = Decoder::new();
@@ -165,12 +167,17 @@ pub(crate) fn run_receiver(
                 }
             }
         }
+        tel.record_recv_chunk(n as u64);
         if batch.is_empty() {
             continue; // mid-message: keep reading
         }
+        tel.record_recv_msgs(batch.len() as u64);
         // Downlink emulation: one reservation paces the whole batch,
         // exactly like the paper's wrapped recv paces each message.
         let delay = down_chain.reserve(bytes_total, clock.now());
+        if delay > 0 {
+            tel.record_bucket_wait(delay);
+        }
         if !sleep_reservation(delay, &queue) {
             break; // engine closed the link
         }
@@ -197,6 +204,7 @@ pub(crate) fn run_receiver(
 /// The pre-batching receiver loop: one blocking `read_msg`, one bucket
 /// reservation, one meter sample, and one queue push per message. Kept
 /// as the benchmark baseline (`EngineConfig::recv_batched == false`).
+#[allow(clippy::too_many_arguments)] // thread entry point: takes its full wiring
 fn run_receiver_per_message(
     peer: NodeId,
     stream: TcpStream,
@@ -205,13 +213,19 @@ fn run_receiver_per_message(
     down_chain: BucketChain,
     clock: Arc<SystemClock>,
     events: Sender<ControlEvent>,
+    tel: Arc<NodeTelemetry>,
 ) {
     let mut reader = io::BufReader::new(stream);
     loop {
         match ioverlay_message::read_msg(&mut reader) {
             Ok(Some(msg)) => {
                 let bytes = msg.wire_len() as u64;
+                tel.record_recv_chunk(bytes);
+                tel.record_recv_msgs(1);
                 let delay = down_chain.reserve(bytes, clock.now());
+                if delay > 0 {
+                    tel.record_bucket_wait(delay);
+                }
                 if !sleep_reservation(delay, &queue) {
                     break; // engine closed the link
                 }
@@ -250,6 +264,7 @@ pub(crate) fn run_sender(
     clock: Arc<SystemClock>,
     events: Sender<ControlEvent>,
     max_batch: usize,
+    tel: Arc<NodeTelemetry>,
 ) {
     let max_batch = max_batch.max(1);
     let mut batch: Vec<Msg> = Vec::new();
@@ -268,6 +283,9 @@ pub(crate) fn run_sender(
                 let total: u64 = batch.iter().map(|m| m.wire_len() as u64).sum();
                 // Uplink emulation: one reservation for the batch.
                 let delay = up_chain.reserve(total, clock.now());
+                if delay > 0 {
+                    tel.record_bucket_wait(delay);
+                }
                 if !sleep_reservation(delay, &queue) {
                     break; // closed mid-reservation: teardown in progress
                 }
@@ -279,6 +297,7 @@ pub(crate) fn run_sender(
                     let _ = events.send(ControlEvent::DownstreamFailed(peer));
                     break;
                 }
+                tel.record_send_batch(batch.len() as u64, wire.len() as u64);
                 meter
                     .lock()
                     .record_batch(total, batch.len() as u64, clock.now());
@@ -344,6 +363,7 @@ mod tests {
         let meter = Arc::new(Mutex::new(ThroughputMeter::new(1_000_000_000)));
         let (tx, rx) = unbounded();
         let peer = NodeId::loopback(1);
+        let tel = Arc::new(NodeTelemetry::new(true, 16));
         run_receiver(
             peer,
             conn,
@@ -353,6 +373,7 @@ mod tests {
             Arc::new(SystemClock::new()),
             tx,
             true,
+            tel.clone(),
         );
         writer.join().unwrap();
         // One data message arrived, then a failure event.
@@ -360,6 +381,9 @@ mod tests {
         assert!(matches!(rx.try_recv(), Ok(ControlEvent::DataAvailable)));
         assert!(matches!(rx.try_recv(), Ok(ControlEvent::UpstreamFailed(p)) if p == peer));
         assert_eq!(meter.lock().total_msgs(), 1);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("msgs_received"), Some(1));
+        assert!(snap.counter("bytes_received").unwrap() > 0);
     }
 
     #[test]
@@ -373,6 +397,8 @@ mod tests {
         let (tx, _rx) = unbounded();
         let q2 = queue.clone();
         let m2 = meter.clone();
+        let tel = Arc::new(NodeTelemetry::new(true, 16));
+        let t2 = tel.clone();
         let sender = thread::spawn(move || {
             run_sender(
                 NodeId::loopback(2),
@@ -383,6 +409,7 @@ mod tests {
                 Arc::new(SystemClock::new()),
                 tx,
                 128,
+                t2,
             )
         });
         let msg = Msg::data(NodeId::loopback(1), 7, 3, vec![5u8; 100]);
@@ -393,6 +420,9 @@ mod tests {
         queue.close();
         sender.join().unwrap();
         assert_eq!(meter.lock().total_bytes(), msg.wire_len() as u64);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("msgs_sent"), Some(1));
+        assert_eq!(snap.counter("bytes_sent"), Some(msg.wire_len() as u64));
     }
 
     /// Batches must only form under backlog: a message queued to an
@@ -419,6 +449,7 @@ mod tests {
                 Arc::new(SystemClock::new()),
                 tx,
                 128,
+                Arc::new(NodeTelemetry::new(true, 16)),
             )
         });
         let mut reader = BufReader::new(conn);

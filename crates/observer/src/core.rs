@@ -2,12 +2,12 @@
 
 use std::collections::BTreeMap;
 
-use ioverlay_api::{BootReplyPayload, Msg, MsgType, Nanos, NodeId, StatusReport};
+use ioverlay_api::{BootReplyPayload, Msg, MsgType, Nanos, NodeId, StatusReport, StatusRequestPayload};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::trace::{TraceLog, TraceRecord};
+use crate::trace::{TraceLog, TraceRecord, DEFAULT_TRACE_CAPACITY};
 
 /// Observer tunables.
 #[derive(Debug, Clone)]
@@ -20,6 +20,9 @@ pub struct ObserverConfig {
     /// A node is considered dead if it has not been heard from for this
     /// long.
     pub liveness_timeout: Nanos,
+    /// Most trace records the observer retains; older records are
+    /// evicted and counted as dropped.
+    pub trace_capacity: usize,
 }
 
 impl Default for ObserverConfig {
@@ -28,6 +31,7 @@ impl Default for ObserverConfig {
             bootstrap_subset: 8,
             seed: 0,
             liveness_timeout: 30_000_000_000,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -47,6 +51,10 @@ pub struct NodeRecord {
 #[derive(Debug)]
 pub struct ObserverCore {
     config: ObserverConfig,
+    /// The observer's own overlay address, once its transport has bound
+    /// a port. Stamped as the origin of outgoing requests so nodes can
+    /// tell who is asking.
+    identity: Option<NodeId>,
     nodes: BTreeMap<NodeId, NodeRecord>,
     traces: TraceLog,
     rng: StdRng,
@@ -56,12 +64,25 @@ impl ObserverCore {
     /// Creates an observer with the given configuration.
     pub fn new(config: ObserverConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
+        let traces = TraceLog::with_capacity(config.trace_capacity);
         Self {
             config,
+            identity: None,
             nodes: BTreeMap::new(),
-            traces: TraceLog::new(),
+            traces,
             rng,
         }
+    }
+
+    /// Sets the observer's own overlay address (normally called by the
+    /// transport once it knows its bound port).
+    pub fn set_identity(&mut self, id: NodeId) {
+        self.identity = Some(id);
+    }
+
+    /// The observer's own overlay address, if the transport set one.
+    pub fn identity(&self) -> Option<NodeId> {
+        self.identity
     }
 
     /// Nodes currently considered alive at time `now`.
@@ -150,10 +171,20 @@ impl ObserverCore {
         }
     }
 
-    /// Builds the periodic status `request` for one node.
+    /// Builds the periodic status `request` for one node. The message
+    /// carries the observer's own identity as the origin (so the polled
+    /// node knows who is asking) and names `target` in the payload (so
+    /// a misdelivered request is ignored instead of answered by the
+    /// wrong node).
     pub fn status_request(&self, target: NodeId) -> Msg {
-        let _ = target;
-        Msg::control(MsgType::Request, NodeId::loopback(0), 0)
+        let origin = self.identity.unwrap_or_else(|| NodeId::loopback(0));
+        Msg::new(
+            MsgType::Request,
+            origin,
+            0,
+            0,
+            StatusRequestPayload { target }.encode(),
+        )
     }
 
     /// Serializes everything the observer currently knows — alive nodes,
@@ -177,6 +208,7 @@ impl ObserverCore {
                             .map(|(n, k)| serde_json::json!({"peer": n.to_string(), "kbps": k}))
                             .collect::<Vec<_>>(),
                         "algorithm": s.algorithm,
+                        "telemetry": s.telemetry.as_ref().map(telemetry_summary_json),
                     })),
                 })
             })
@@ -184,10 +216,49 @@ impl ObserverCore {
         serde_json::json!({
             "alive": alive.len(),
             "known": self.nodes.len(),
-            "traces": self.traces.records().len(),
+            "traces": self.traces.len(),
+            "traces_dropped": self.traces.dropped(),
             "nodes": nodes,
         })
     }
+}
+
+/// Compacts a node's [`TelemetrySnapshot`] for the dashboard: counters
+/// and gauges as objects, histograms reduced to count/sum/mean, events
+/// reduced to counts. The full per-event detail stays on the node's own
+/// scrape endpoint.
+///
+/// [`TelemetrySnapshot`]: ioverlay_api::TelemetrySnapshot
+fn telemetry_summary_json(tel: &ioverlay_api::TelemetrySnapshot) -> serde_json::Value {
+    let counters: Vec<serde_json::Value> = tel
+        .counters
+        .iter()
+        .map(|(name, v)| serde_json::json!({"name": name, "value": v}))
+        .collect();
+    let gauges: Vec<serde_json::Value> = tel
+        .gauges
+        .iter()
+        .map(|(name, v)| serde_json::json!({"name": name, "value": v}))
+        .collect();
+    let histograms: Vec<serde_json::Value> = tel
+        .histograms
+        .iter()
+        .map(|h| {
+            serde_json::json!({
+                "name": h.name,
+                "count": h.count,
+                "sum": h.sum,
+                "mean": h.mean(),
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "events": tel.events.len(),
+        "events_dropped": tel.events_dropped,
+    })
 }
 
 #[cfg(test)]
@@ -260,11 +331,48 @@ mod tests {
         let mut obs = ObserverCore::new(ObserverConfig::default());
         let msg = Msg::new(MsgType::Trace, n(3), 0, 0, &b"tree converged"[..]);
         obs.handle(&msg, 42);
-        let records = obs.traces().records();
+        let records = obs.traces().to_vec();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].node, n(3));
         assert_eq!(records[0].text, "tree converged");
         assert_eq!(records[0].at, 42);
+    }
+
+    #[test]
+    fn trace_log_is_bounded_and_reports_drops() {
+        let mut obs = ObserverCore::new(ObserverConfig {
+            trace_capacity: 2,
+            ..Default::default()
+        });
+        for i in 0..5u64 {
+            obs.handle(&Msg::new(MsgType::Trace, n(1), 0, 0, &b"x"[..]), i);
+        }
+        assert_eq!(obs.traces().len(), 2);
+        assert_eq!(obs.traces().dropped(), 3);
+        let snap = obs.snapshot_json(10);
+        assert_eq!(snap["traces"], 2);
+        assert_eq!(snap["traces_dropped"], 3);
+    }
+
+    #[test]
+    fn status_request_carries_identity_and_target() {
+        let mut obs = ObserverCore::new(ObserverConfig::default());
+        obs.set_identity(n(9000));
+        let target = n(42);
+        let req = obs.status_request(target);
+        assert_eq!(req.ty(), MsgType::Request);
+        assert_eq!(req.origin(), n(9000), "request stamped with observer identity");
+        let payload = StatusRequestPayload::decode(req.payload()).unwrap();
+        assert_eq!(payload.target, target, "request names its intended target");
+    }
+
+    #[test]
+    fn status_request_without_identity_still_names_target() {
+        let obs = ObserverCore::new(ObserverConfig::default());
+        let req = obs.status_request(n(7));
+        assert_eq!(req.origin(), NodeId::loopback(0), "placeholder origin pre-bind");
+        let payload = StatusRequestPayload::decode(req.payload()).unwrap();
+        assert_eq!(payload.target, n(7));
     }
 
     #[test]

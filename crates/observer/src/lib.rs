@@ -36,4 +36,4 @@ mod trace;
 
 pub use crate::core::{NodeRecord, ObserverConfig, ObserverCore};
 pub use server::ObserverServer;
-pub use trace::{TraceLog, TraceRecord};
+pub use trace::{TraceLog, TraceRecord, DEFAULT_TRACE_CAPACITY};

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
+use ioverlay_api::telemetry::scrape;
 use ioverlay_api::{Msg, MsgType, Nanos, NodeId, StatusReport};
 use ioverlay_message::{read_msg, write_msg};
 use ioverlay_ratelimit::{Clock, SystemClock};
@@ -50,7 +51,9 @@ impl ObserverServer {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         listener.set_nonblocking(true)?;
         let id = NodeId::loopback(listener.local_addr()?.port());
-        let core = Arc::new(Mutex::new(ObserverCore::new(config)));
+        let mut inner = ObserverCore::new(config);
+        inner.set_identity(id);
+        let core = Arc::new(Mutex::new(inner));
         let clock = Arc::new(SystemClock::new());
         let running = Arc::new(AtomicBool::new(true));
         let accept_thread = {
@@ -95,9 +98,9 @@ impl ObserverServer {
         self.core.lock().statuses()
     }
 
-    /// Copies of all collected trace records.
+    /// Copies of all retained trace records.
     pub fn traces(&self) -> Vec<crate::TraceRecord> {
-        self.core.lock().traces().records().to_vec()
+        self.core.lock().traces().to_vec()
     }
 
     /// One JSON value describing everything the observer knows (alive
@@ -170,8 +173,14 @@ fn accept_loop(
 }
 
 /// Serves one inbound connection: every received message goes through
-/// the core; replies (bootstrap) go back on the same connection.
+/// the core; replies (bootstrap) go back on the same connection. A
+/// connection whose first bytes spell `GET ` is served as a one-shot
+/// HTTP scrape instead.
 fn serve_connection(stream: TcpStream, core: Arc<Mutex<ObserverCore>>, clock: Arc<SystemClock>) {
+    if scrape::sniff_http_get(&stream) {
+        serve_observer_scrape(&stream, &core, &clock);
+        return;
+    }
     let mut writer = match stream.try_clone() {
         Ok(s) => BufWriter::new(s),
         Err(_) => return,
@@ -193,6 +202,66 @@ fn serve_connection(stream: TcpStream, core: Arc<Mutex<ObserverCore>>, clock: Ar
     }
 }
 
+/// Serves one HTTP scrape request against the observer's own port:
+/// `/metrics` exposes observer-level gauges plus every stored node
+/// status (including embedded telemetry) in Prometheus text format;
+/// `/snapshot` (or `/snapshot.json`) returns the dashboard JSON.
+fn serve_observer_scrape(
+    stream: &TcpStream,
+    core: &Arc<Mutex<ObserverCore>>,
+    clock: &Arc<SystemClock>,
+) {
+    let Some(path) = scrape::read_request_path(stream) else {
+        return;
+    };
+    let now = clock.now();
+    match path.as_str() {
+        "/metrics" => {
+            let body = {
+                let core = core.lock();
+                render_observer_prometheus(&core, now)
+            };
+            scrape::write_response(stream, 200, scrape::PROMETHEUS_CONTENT_TYPE, &body);
+        }
+        "/snapshot" | "/snapshot.json" | "/metrics.json" => {
+            let snapshot = { core.lock().snapshot_json(now) };
+            let body = serde_json::to_string_pretty(&snapshot).unwrap_or_default();
+            scrape::write_response(stream, 200, scrape::JSON_CONTENT_TYPE, &body);
+        }
+        _ => {
+            scrape::write_response(
+                stream,
+                404,
+                "text/plain",
+                "not found; try /metrics or /snapshot\n",
+            );
+        }
+    }
+}
+
+/// Renders the observer's own counters plus each node's latest
+/// [`StatusReport`] as one Prometheus text body.
+fn render_observer_prometheus(core: &ObserverCore, now: Nanos) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "ioverlay_observer_known_nodes {}", core.nodes().count());
+    let _ = writeln!(
+        out,
+        "ioverlay_observer_alive_nodes {}",
+        core.alive_nodes(now).len()
+    );
+    let _ = writeln!(out, "ioverlay_observer_trace_records {}", core.traces().len());
+    let _ = writeln!(
+        out,
+        "ioverlay_observer_traces_dropped_total {}",
+        core.traces().dropped()
+    );
+    for report in core.statuses() {
+        report.render_prometheus(&mut out);
+    }
+    out
+}
+
 /// Periodically asks every alive node for a status update.
 fn poll_loop(core: Arc<Mutex<ObserverCore>>, clock: Arc<SystemClock>, running: Arc<AtomicBool>) {
     const POLL_INTERVAL: Nanos = 1_000_000_000;
@@ -204,13 +273,14 @@ fn poll_loop(core: Arc<Mutex<ObserverCore>>, clock: Arc<SystemClock>, running: A
             continue;
         }
         next = now + POLL_INTERVAL;
-        let (nodes, request) = {
+        let requests: Vec<(NodeId, Msg)> = {
             let core = core.lock();
-            let nodes = core.alive_nodes(now);
-            let request = core.status_request(NodeId::loopback(0));
-            (nodes, request)
+            core.alive_nodes(now)
+                .into_iter()
+                .map(|node| (node, core.status_request(node)))
+                .collect()
         };
-        for node in nodes {
+        for (node, request) in requests {
             let _ = send_one_shot(node, &request);
         }
     }

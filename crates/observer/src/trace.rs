@@ -1,9 +1,13 @@
 //! Central trace collection.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, Write};
 
 use ioverlay_api::{Nanos, NodeId};
+
+/// Default capacity of the bounded trace ring.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
 /// One collected `trace` message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,25 +35,80 @@ impl fmt::Display for TraceRecord {
 /// The observer's trace log — the paper's *"centralized facility to
 /// collect and record debugging information, performance data and other
 /// traces"*.
-#[derive(Debug, Default)]
+///
+/// The log is a bounded ring: once `capacity` records are held, each
+/// push evicts the oldest record and bumps the [`dropped`] counter, so a
+/// chatty overlay cannot grow observer memory without bound. The counter
+/// is surfaced in the dashboard snapshot so operators can tell the
+/// window slid.
+///
+/// [`dropped`]: TraceLog::dropped
+#[derive(Debug)]
 pub struct TraceLog {
-    records: Vec<TraceRecord>,
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
 }
 
 impl TraceLog {
-    /// Creates an empty log.
+    /// Creates an empty log with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Appends a record.
-    pub fn push(&mut self, record: TraceRecord) {
-        self.records.push(record);
+    /// Creates an empty log holding at most `capacity` records
+    /// (floored at one).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            records: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
     }
 
-    /// All records, in arrival order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// Appends a record, evicting the oldest one when full.
+    pub fn push(&mut self, record: TraceRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Maximum number of retained records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many records were evicted to make room for newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Copies the retained records into a `Vec`, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceRecord> {
+        self.records.iter().cloned().collect()
     }
 
     /// Records from one node.
@@ -88,8 +147,31 @@ mod tests {
             node: NodeId::loopback(2),
             text: "b".into(),
         });
-        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.len(), 2);
         assert_eq!(log.for_node(NodeId::loopback(2)).count(), 1);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut log = TraceLog::with_capacity(2);
+        for i in 0..5u64 {
+            log.push(TraceRecord {
+                at: i,
+                node: NodeId::loopback(1),
+                text: format!("t{i}"),
+            });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let kept: Vec<_> = log.iter().map(|r| r.at).collect();
+        assert_eq!(kept, vec![3, 4], "oldest records evicted first");
+    }
+
+    #[test]
+    fn capacity_floors_at_one() {
+        let log = TraceLog::with_capacity(0);
+        assert_eq!(log.capacity(), 1);
     }
 
     #[test]

@@ -265,6 +265,27 @@ impl<T> CircularQueue<T> {
         take
     }
 
+    /// Like [`CircularQueue::pop_batch`], but also reports the queue
+    /// length *before* the pop, observed under the same lock
+    /// acquisition. Telemetry uses this to sample queue occupancy on
+    /// the switch fast path without a second lock round-trip.
+    pub fn pop_batch_observed(&self, max: usize, out: &mut Vec<T>) -> (usize, usize) {
+        let mut inner = self.shared.inner.lock();
+        let occupancy = inner.items.len();
+        let take = max.min(occupancy);
+        if take == 0 {
+            return (0, occupancy);
+        }
+        out.extend(inner.items.drain(..take));
+        drop(inner);
+        if take == 1 {
+            self.shared.not_full.notify_one();
+        } else {
+            self.shared.not_full.notify_all();
+        }
+        (take, occupancy)
+    }
+
     /// Enqueues as many items as currently fit, taken from the front of
     /// `items`, in one lock acquisition. Accepted items are removed from
     /// the vec (so leftovers stay in order for a retry); returns how
@@ -546,6 +567,19 @@ mod tests {
         assert_eq!(out, vec![0, 1, 2, 3, 4]);
         assert_eq!(q.pop_batch(10, &mut out), 0);
         assert_eq!(q.pop_batch(0, &mut out), 0);
+    }
+
+    #[test]
+    fn pop_batch_observed_reports_pre_pop_occupancy() {
+        let q = CircularQueue::with_capacity(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch_observed(3, &mut out), (3, 5));
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(q.pop_batch_observed(10, &mut out), (2, 2));
+        assert_eq!(q.pop_batch_observed(10, &mut out), (0, 0));
     }
 
     #[test]

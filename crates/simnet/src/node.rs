@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use ioverlay_api::{Algorithm, AppId, Context, Msg, Nanos, NodeId, TimerToken};
 use ioverlay_queue::WeightedRoundRobin;
 use ioverlay_ratelimit::{NodeBandwidth, SharedBucket};
+use ioverlay_telemetry::{NodeTelemetry, TelemetrySnapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -54,6 +55,10 @@ pub(crate) struct SimNode {
     /// Rotates the blocked-fanout retry order (fairness between
     /// upstreams competing for one freed sender slot).
     pub retry_rotor: u64,
+    /// Per-node telemetry registry, timestamped with the *virtual*
+    /// clock so simulated runs export the same metrics shape as real
+    /// engine nodes.
+    pub tel: NodeTelemetry,
 }
 
 impl SimNode {
@@ -120,6 +125,7 @@ impl SimNode {
             rng: StdRng::seed_from_u64(hasher_seed),
             switched: 0,
             retry_rotor: 0,
+            tel: NodeTelemetry::default(),
         }
     }
 }
@@ -198,6 +204,13 @@ impl Context for SimCtx<'_> {
 
     fn random_u64(&mut self) -> u64 {
         self.node.rng.gen()
+    }
+
+    fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        self.node
+            .tel
+            .enabled()
+            .then(|| self.node.tel.snapshot())
     }
 }
 

@@ -358,7 +358,7 @@ impl Sim {
     /// per-link throughput, and the algorithm's own status.
     pub fn status_report(&mut self, node_id: NodeId) -> Option<ioverlay_api::StatusReport> {
         let now = self.now;
-        let (recv, send, ups, downs, switched, alg_status) = {
+        let (recv, send, ups, downs, switched, alg_status, telemetry) = {
             let node = self.nodes.get(&node_id)?;
             let recv: Vec<(NodeId, usize)> = node
                 .recv_queues
@@ -377,7 +377,8 @@ impl Sim {
                 .as_ref()
                 .map(|a| a.status())
                 .unwrap_or(serde_json::Value::Null);
-            (recv, send, ups, downs, node.switched, alg_status)
+            let telemetry = node.tel.enabled().then(|| node.tel.snapshot());
+            (recv, send, ups, downs, node.switched, alg_status, telemetry)
         };
         let link_kbps: Vec<(NodeId, f64)> = downs
             .iter()
@@ -392,6 +393,7 @@ impl Sim {
             link_kbps,
             switched_msgs: switched,
             algorithm: alg_status,
+            telemetry,
         })
     }
 
@@ -484,6 +486,9 @@ impl Sim {
             }
         }
         if newly_joined {
+            if let Some(node) = self.nodes.get(&to) {
+                node.tel.record_connect(self.now, from, false);
+            }
             self.deliver_local(to, Msg::control(MsgType::UpstreamJoined, from, msg.app()));
         }
         let accepted = {
@@ -536,9 +541,15 @@ impl Sim {
             let msg = {
                 let node = self.nodes.get_mut(&node_id).expect("alive node");
                 node.switched += 1;
-                node.recv_queues
-                    .get_mut(&upstream)
-                    .and_then(|q| q.pop_front())
+                match node.recv_queues.get_mut(&upstream) {
+                    Some(q) => {
+                        let occupancy = q.len() as u64;
+                        let popped = q.pop_front();
+                        node.tel.record_switch_batch(1, occupancy);
+                        popped
+                    }
+                    None => None,
+                }
             };
             let Some(msg) = msg else { continue };
             // Freed receive space: accept one stalled in-network message.
@@ -590,10 +601,18 @@ impl Sim {
                 .collect()
         };
         for (upstream, sends) in blocked {
+            let total = sends.len();
             let mut still = Vec::new();
             for (msg, dest) in sends {
                 if !self.enqueue_send(node_id, dest, msg.clone(), Some(upstream)) {
                     still.push((msg, dest));
+                }
+            }
+            let retried = total - still.len();
+            if retried > 0 {
+                let now = self.now;
+                if let Some(node) = self.nodes.get_mut(&node_id) {
+                    node.tel.record_forward_retry(now, upstream, retried as u64);
                 }
             }
             if !still.is_empty() {
@@ -727,9 +746,11 @@ impl Sim {
         from_upstream: Option<NodeId>,
         staged: StagedEffects,
     ) {
+        let now = self.now;
         for (msg, dest) in staged.sends {
             if !self.enqueue_send(node_id, dest, msg.clone(), from_upstream) {
                 if let (Some(up), Some(node)) = (from_upstream, self.nodes.get_mut(&node_id)) {
+                    node.tel.record_buffer_full(now, dest, 1);
                     node.blocked.entry(up).or_default().push((msg, dest));
                 }
             }
@@ -832,6 +853,9 @@ impl Sim {
             // Unknown or dead destination: the connect fails and the
             // engine reports it, exactly like a refused TCP connection.
             self.metrics.record_lost(owner, dest, 1);
+            if let Some(node) = self.nodes.get(&owner) {
+                node.tel.record_connect_failed(self.now, dest);
+            }
             self.deliver_local(owner, Msg::control(MsgType::NeighborFailed, dest, msg.app()));
             return true;
         }
@@ -891,6 +915,7 @@ impl Sim {
             link.set_link_rate(Some(rate), self.now);
         }
         node.links.insert(dest, link);
+        node.tel.record_connect(self.now, dest, true);
     }
 
     /// Starts as many transmissions as the link's window allows.
@@ -935,6 +960,11 @@ impl Sim {
         }
         let downstreams: Vec<NodeId> = node.links.keys().copied().collect();
         let upstreams: Vec<NodeId> = node.recv_queues.keys().copied().collect();
+        let recv_depth: u64 = node.recv_queues.values().map(|q| q.len() as u64).sum();
+        let send_depth: u64 = node.links.values().map(|l| l.depth() as u64).sum();
+        node.tel
+            .set_link_gauges(upstreams.len() as u64, downstreams.len() as u64);
+        node.tel.set_queue_gauges(recv_depth, send_depth);
         let now = self.now;
         for peer in downstreams {
             let kbps = self.metrics.link_kbps(node_id, peer, now);
@@ -1042,6 +1072,10 @@ impl Sim {
                 if ups.remove(&gone) && ups.is_empty() {
                     broken.push(*app);
                 }
+            }
+            node.tel.record_disconnect(self.now, gone);
+            for app in &broken {
+                node.tel.record_domino_teardown(self.now, *app);
             }
             (was_upstream, lost, broken)
         };

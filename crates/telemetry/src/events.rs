@@ -1,0 +1,160 @@
+//! Bounded per-node structured event ring.
+//!
+//! Rare-but-diagnostic control-plane transitions (connects, buffer-full
+//! stalls, SendSpace wakeups, partial-forward retries, domino
+//! teardowns) are pushed as typed records with nanosecond timestamps.
+//! The ring is bounded: when full, the oldest record is evicted and a
+//! dropped counter advances, so sustained congestion can never grow
+//! memory without bound. Events are off the per-message fast path —
+//! they fire on state transitions, not per datum — so a short mutexed
+//! critical section (one `VecDeque` push) is acceptable here where it
+//! would not be in the metric counters.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ioverlay_message::NodeId;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Default number of records an [`EventRing`] retains.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// A structured engine event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// A link to `peer` was established (`outbound` = we dialed).
+    Connected {
+        /// The remote endpoint of the new link.
+        peer: NodeId,
+        /// True when this node initiated the connection.
+        outbound: bool,
+    },
+    /// An outbound dial to `peer` failed.
+    ConnectFailed {
+        /// The endpoint that could not be reached.
+        peer: NodeId,
+    },
+    /// A link to `peer` was torn down (close, failure, or shutdown).
+    Disconnected {
+        /// The remote endpoint of the removed link.
+        peer: NodeId,
+    },
+    /// A forward to `dest` found its send buffer full and was parked.
+    BufferFull {
+        /// The destination whose send buffer was full.
+        dest: NodeId,
+    },
+    /// A sender thread drained a full buffer and woke the switch.
+    SendSpaceWakeup,
+    /// A switch round retried messages parked for `upstream`.
+    PartialForwardRetry {
+        /// The upstream whose parked messages were retried.
+        upstream: NodeId,
+        /// How many parked messages the retry moved.
+        msgs: u64,
+    },
+    /// The last source of application `app` vanished and downstream
+    /// state was torn down (paper §: domino effect).
+    DominoTeardown {
+        /// The overlay application id being torn down.
+        app: u32,
+    },
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Nanosecond timestamp (engine monotonic clock, or virtual time
+    /// under the deterministic simulator).
+    pub at: u64,
+    /// The event itself.
+    pub event: TelemetryEvent,
+}
+
+/// Bounded drop-oldest ring of [`EventRecord`]s.
+#[derive(Debug)]
+pub struct EventRing {
+    capacity: usize,
+    dropped: AtomicU64,
+    records: Mutex<VecDeque<EventRecord>>,
+}
+
+impl EventRing {
+    /// Creates a ring retaining at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            dropped: AtomicU64::new(0),
+            records: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&self, at: u64, event: TelemetryEvent) {
+        let mut records = self.records.lock();
+        if records.len() == self.capacity {
+            records.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        records.push_back(EventRecord { at, event });
+    }
+
+    /// Number of records evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Maximum number of retained records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out the retained records, oldest first.
+    pub fn to_vec(&self) -> Vec<EventRecord> {
+        self.records.lock().iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let ring = EventRing::new(2);
+        for app in 0..5u32 {
+            ring.push(app as u64, TelemetryEvent::DominoTeardown { app });
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let records = ring.to_vec();
+        assert_eq!(records[0].at, 3);
+        assert_eq!(records[1].at, 4);
+    }
+
+    #[test]
+    fn event_roundtrips_through_serde() {
+        let record = EventRecord {
+            at: 42,
+            event: TelemetryEvent::PartialForwardRetry {
+                upstream: NodeId::loopback(9000),
+                msgs: 17,
+            },
+        };
+        let value = serde_json::to_value(&record);
+        let back: EventRecord = serde_json::from_value(&value).expect("deserialize");
+        assert_eq!(back, record);
+    }
+}

@@ -1,0 +1,370 @@
+//! Node-local telemetry for the iOverlay reproduction: a lock-free
+//! metrics registry plus a bounded structured event ring.
+//!
+//! The paper's engine "keeps track of the most detailed statistics
+//! related to its network environment and performance"; this crate is
+//! that statistics layer. A [`NodeTelemetry`] lives in an `Arc` shared
+//! by the engine thread, every sender/receiver thread, and the control
+//! listener. All recording sites use relaxed atomics (see
+//! [`metrics`]) so instrumentation rides the batched switch fast path
+//! without measurable cost, and every recorder is gated on a
+//! construction-time `enabled` flag so a disabled registry is a single
+//! predictable branch.
+//!
+//! Reads happen through [`NodeTelemetry::snapshot`], which copies the
+//! registry into a serializable [`TelemetrySnapshot`] — the same type
+//! that travels inside `StatusReport` to the observer, is rendered on
+//! the Prometheus/JSON scrape endpoints, and is exposed to the
+//! algorithm layer as routing input.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod metrics;
+pub mod scrape;
+pub mod snapshot;
+
+pub use events::{EventRecord, EventRing, TelemetryEvent, DEFAULT_EVENT_CAPACITY};
+pub use metrics::{
+    Counter, Gauge, Histogram, BATCH_BOUNDS_MSGS, LATENCY_BOUNDS_NANOS, SYSCALL_BOUNDS_BYTES,
+};
+pub use snapshot::{HistogramSnapshot, TelemetrySnapshot};
+
+use ioverlay_message::NodeId;
+
+/// Nanosecond timestamp (monotonic engine clock or virtual sim time).
+pub type Nanos = u64;
+
+/// The per-node telemetry registry.
+///
+/// Fields are fixed at construction — a static schema instead of a
+/// name-keyed map keeps the hot path free of hashing and allocation.
+/// Every `record_*` method is a no-op when the registry was built
+/// disabled, which is what the `repro switch` overhead benchmark
+/// measures against.
+#[derive(Debug)]
+pub struct NodeTelemetry {
+    enabled: bool,
+
+    // Counters.
+    msgs_switched: Counter,
+    msgs_sent: Counter,
+    bytes_sent: Counter,
+    msgs_received: Counter,
+    bytes_received: Counter,
+    sends_blocked: Counter,
+    blocked_retries: Counter,
+    connects_in: Counter,
+    connects_out: Counter,
+    connect_failures: Counter,
+    disconnects: Counter,
+    domino_teardowns: Counter,
+    sendspace_wakeups: Counter,
+
+    // Gauges.
+    upstreams: Gauge,
+    downstreams: Gauge,
+    recv_queue_msgs: Gauge,
+    send_queue_msgs: Gauge,
+
+    // Histograms.
+    switch_round_nanos: Histogram,
+    switch_batch_msgs: Histogram,
+    queue_occupancy_msgs: Histogram,
+    bucket_wait_nanos: Histogram,
+    send_batch_msgs: Histogram,
+    send_syscall_bytes: Histogram,
+    recv_batch_msgs: Histogram,
+    recv_syscall_bytes: Histogram,
+
+    events: EventRing,
+}
+
+impl NodeTelemetry {
+    /// Creates a registry. A disabled registry keeps every recorder a
+    /// cheap early-return; `event_capacity` bounds the event ring.
+    pub fn new(enabled: bool, event_capacity: usize) -> Self {
+        Self {
+            enabled,
+            msgs_switched: Counter::new(),
+            msgs_sent: Counter::new(),
+            bytes_sent: Counter::new(),
+            msgs_received: Counter::new(),
+            bytes_received: Counter::new(),
+            sends_blocked: Counter::new(),
+            blocked_retries: Counter::new(),
+            connects_in: Counter::new(),
+            connects_out: Counter::new(),
+            connect_failures: Counter::new(),
+            disconnects: Counter::new(),
+            domino_teardowns: Counter::new(),
+            sendspace_wakeups: Counter::new(),
+            upstreams: Gauge::new(),
+            downstreams: Gauge::new(),
+            recv_queue_msgs: Gauge::new(),
+            send_queue_msgs: Gauge::new(),
+            switch_round_nanos: Histogram::new(LATENCY_BOUNDS_NANOS),
+            switch_batch_msgs: Histogram::new(BATCH_BOUNDS_MSGS),
+            queue_occupancy_msgs: Histogram::new(BATCH_BOUNDS_MSGS),
+            bucket_wait_nanos: Histogram::new(LATENCY_BOUNDS_NANOS),
+            send_batch_msgs: Histogram::new(BATCH_BOUNDS_MSGS),
+            send_syscall_bytes: Histogram::new(SYSCALL_BOUNDS_BYTES),
+            recv_batch_msgs: Histogram::new(BATCH_BOUNDS_MSGS),
+            recv_syscall_bytes: Histogram::new(SYSCALL_BOUNDS_BYTES),
+            events: EventRing::new(event_capacity),
+        }
+    }
+
+    /// Whether recording is active.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// One switch round finished after `nanos` having moved messages.
+    #[inline]
+    pub fn record_switch_round(&self, nanos: Nanos) {
+        if self.enabled {
+            self.switch_round_nanos.record(nanos);
+        }
+    }
+
+    /// One `pop_batch` drained `msgs` messages from an upstream queue
+    /// that held `occupancy` messages beforehand.
+    #[inline]
+    pub fn record_switch_batch(&self, msgs: u64, occupancy: u64) {
+        if self.enabled {
+            self.msgs_switched.add(msgs);
+            self.switch_batch_msgs.record(msgs);
+            self.queue_occupancy_msgs.record(occupancy);
+        }
+    }
+
+    /// A sender thread wrote one batch of `msgs` messages as a single
+    /// `wire_bytes`-byte syscall.
+    #[inline]
+    pub fn record_send_batch(&self, msgs: u64, wire_bytes: u64) {
+        if self.enabled {
+            self.msgs_sent.add(msgs);
+            self.bytes_sent.add(wire_bytes);
+            self.send_batch_msgs.record(msgs);
+            self.send_syscall_bytes.record(wire_bytes);
+        }
+    }
+
+    /// A receiver thread read one `bytes`-byte chunk off the socket.
+    #[inline]
+    pub fn record_recv_chunk(&self, bytes: u64) {
+        if self.enabled {
+            self.bytes_received.add(bytes);
+            self.recv_syscall_bytes.record(bytes);
+        }
+    }
+
+    /// A receiver thread decoded `msgs` messages out of buffered reads.
+    #[inline]
+    pub fn record_recv_msgs(&self, msgs: u64) {
+        if self.enabled {
+            self.msgs_received.add(msgs);
+            self.recv_batch_msgs.record(msgs);
+        }
+    }
+
+    /// A token-bucket reservation imposed a `nanos` wait.
+    #[inline]
+    pub fn record_bucket_wait(&self, nanos: Nanos) {
+        if self.enabled {
+            self.bucket_wait_nanos.record(nanos);
+        }
+    }
+
+    /// `msgs` forwards found `dest`'s send buffer full and were parked.
+    #[inline]
+    pub fn record_buffer_full(&self, at: Nanos, dest: NodeId, msgs: u64) {
+        if self.enabled {
+            self.sends_blocked.add(msgs);
+            self.events.push(at, TelemetryEvent::BufferFull { dest });
+        }
+    }
+
+    /// A switch round re-forwarded `msgs` messages parked for
+    /// `upstream`.
+    #[inline]
+    pub fn record_forward_retry(&self, at: Nanos, upstream: NodeId, msgs: u64) {
+        if self.enabled {
+            self.blocked_retries.add(msgs);
+            self.events
+                .push(at, TelemetryEvent::PartialForwardRetry { upstream, msgs });
+        }
+    }
+
+    /// A link to `peer` came up (`outbound` = this node dialed).
+    pub fn record_connect(&self, at: Nanos, peer: NodeId, outbound: bool) {
+        if self.enabled {
+            if outbound {
+                self.connects_out.inc();
+            } else {
+                self.connects_in.inc();
+            }
+            self.events
+                .push(at, TelemetryEvent::Connected { peer, outbound });
+        }
+    }
+
+    /// An outbound dial to `peer` failed.
+    pub fn record_connect_failed(&self, at: Nanos, peer: NodeId) {
+        if self.enabled {
+            self.connect_failures.inc();
+            self.events.push(at, TelemetryEvent::ConnectFailed { peer });
+        }
+    }
+
+    /// A link to `peer` went down.
+    pub fn record_disconnect(&self, at: Nanos, peer: NodeId) {
+        if self.enabled {
+            self.disconnects.inc();
+            self.events.push(at, TelemetryEvent::Disconnected { peer });
+        }
+    }
+
+    /// Application `app`'s upstream chain collapsed (domino teardown).
+    pub fn record_domino_teardown(&self, at: Nanos, app: u32) {
+        if self.enabled {
+            self.domino_teardowns.inc();
+            self.events.push(at, TelemetryEvent::DominoTeardown { app });
+        }
+    }
+
+    /// A sender thread drained a full buffer and woke the switch.
+    pub fn record_sendspace_wakeup(&self, at: Nanos) {
+        if self.enabled {
+            self.sendspace_wakeups.inc();
+            self.events.push(at, TelemetryEvent::SendSpaceWakeup);
+        }
+    }
+
+    /// Updates the link-count gauges.
+    #[inline]
+    pub fn set_link_gauges(&self, upstreams: u64, downstreams: u64) {
+        if self.enabled {
+            self.upstreams.set(upstreams);
+            self.downstreams.set(downstreams);
+        }
+    }
+
+    /// Updates the aggregate queue-depth gauges.
+    #[inline]
+    pub fn set_queue_gauges(&self, recv_msgs: u64, send_msgs: u64) {
+        if self.enabled {
+            self.recv_queue_msgs.set(recv_msgs);
+            self.send_queue_msgs.set(send_msgs);
+        }
+    }
+
+    /// Copies the whole registry into a serializable snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let c = |name: &str, counter: &Counter| (name.to_string(), counter.get());
+        let g = |name: &str, gauge: &Gauge| (name.to_string(), gauge.get());
+        TelemetrySnapshot {
+            enabled: self.enabled,
+            counters: vec![
+                c("msgs_switched", &self.msgs_switched),
+                c("msgs_sent", &self.msgs_sent),
+                c("bytes_sent", &self.bytes_sent),
+                c("msgs_received", &self.msgs_received),
+                c("bytes_received", &self.bytes_received),
+                c("sends_blocked", &self.sends_blocked),
+                c("blocked_retries", &self.blocked_retries),
+                c("connects_in", &self.connects_in),
+                c("connects_out", &self.connects_out),
+                c("connect_failures", &self.connect_failures),
+                c("disconnects", &self.disconnects),
+                c("domino_teardowns", &self.domino_teardowns),
+                c("sendspace_wakeups", &self.sendspace_wakeups),
+            ],
+            gauges: vec![
+                g("upstreams", &self.upstreams),
+                g("downstreams", &self.downstreams),
+                g("recv_queue_msgs", &self.recv_queue_msgs),
+                g("send_queue_msgs", &self.send_queue_msgs),
+            ],
+            histograms: vec![
+                self.switch_round_nanos.snapshot("switch_round_nanos"),
+                self.switch_batch_msgs.snapshot("switch_batch_msgs"),
+                self.queue_occupancy_msgs.snapshot("queue_occupancy_msgs"),
+                self.bucket_wait_nanos.snapshot("bucket_wait_nanos"),
+                self.send_batch_msgs.snapshot("send_batch_msgs"),
+                self.send_syscall_bytes.snapshot("send_syscall_bytes"),
+                self.recv_batch_msgs.snapshot("recv_batch_msgs"),
+                self.recv_syscall_bytes.snapshot("recv_syscall_bytes"),
+            ],
+            events: self.events.to_vec(),
+            events_dropped: self.events.dropped(),
+        }
+    }
+}
+
+impl Default for NodeTelemetry {
+    fn default() -> Self {
+        Self::new(true, DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let tel = NodeTelemetry::new(false, 16);
+        tel.record_switch_batch(10, 100);
+        tel.record_send_batch(5, 1280);
+        tel.record_buffer_full(1, NodeId::loopback(1), 3);
+        tel.set_link_gauges(2, 2);
+        let snap = tel.snapshot();
+        assert!(!snap.enabled);
+        assert_eq!(snap.counter("msgs_switched"), Some(0));
+        assert_eq!(snap.counter("sends_blocked"), Some(0));
+        assert_eq!(snap.gauge("upstreams"), Some(0));
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn enabled_registry_snapshot_reflects_records() {
+        let tel = NodeTelemetry::new(true, 16);
+        tel.record_switch_round(5_000);
+        tel.record_switch_batch(32, 64);
+        tel.record_send_batch(32, 9_000);
+        tel.record_recv_chunk(4_096);
+        tel.record_recv_msgs(16);
+        tel.record_bucket_wait(100_000);
+        tel.record_buffer_full(10, NodeId::loopback(7), 4);
+        tel.record_forward_retry(20, NodeId::loopback(7), 4);
+        tel.record_connect(30, NodeId::loopback(8), true);
+        tel.record_disconnect(40, NodeId::loopback(8));
+        tel.record_domino_teardown(50, 3);
+        tel.record_sendspace_wakeup(60);
+        tel.set_link_gauges(1, 2);
+        tel.set_queue_gauges(10, 20);
+
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("msgs_switched"), Some(32));
+        assert_eq!(snap.counter("msgs_sent"), Some(32));
+        assert_eq!(snap.counter("bytes_sent"), Some(9_000));
+        assert_eq!(snap.counter("bytes_received"), Some(4_096));
+        assert_eq!(snap.counter("msgs_received"), Some(16));
+        assert_eq!(snap.counter("sends_blocked"), Some(4));
+        assert_eq!(snap.counter("blocked_retries"), Some(4));
+        assert_eq!(snap.counter("connects_out"), Some(1));
+        assert_eq!(snap.counter("disconnects"), Some(1));
+        assert_eq!(snap.counter("domino_teardowns"), Some(1));
+        assert_eq!(snap.counter("sendspace_wakeups"), Some(1));
+        assert_eq!(snap.gauge("downstreams"), Some(2));
+        assert_eq!(snap.gauge("send_queue_msgs"), Some(20));
+        assert_eq!(snap.histogram("switch_round_nanos").unwrap().count, 1);
+        assert_eq!(snap.histogram("queue_occupancy_msgs").unwrap().sum, 64);
+        assert_eq!(snap.events.len(), 6);
+        assert_eq!(snap.events_dropped, 0);
+    }
+}

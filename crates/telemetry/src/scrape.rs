@@ -1,0 +1,149 @@
+//! Minimal HTTP/1.1 plumbing for scrape endpoints.
+//!
+//! Engine nodes and the observer speak a length-framed binary protocol
+//! on their listen ports; a scrape client (curl, Prometheus) instead
+//! opens the same port and sends `GET ...`. These helpers let a
+//! listener sniff the first bytes without consuming them, parse the
+//! request line, and write a one-shot response — just enough HTTP for
+//! `curl`/Prometheus, deliberately not a web server.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Returns true when the connection's first bytes are an HTTP `GET `
+/// request line rather than a framed message, peeking (not consuming)
+/// so a framed connection can still be read normally afterwards.
+///
+/// Retries briefly while fewer than four bytes have arrived; a peer
+/// that sent a shorter matching prefix and then stalled is treated as
+/// non-HTTP after ~50 ms (framed readers will then fail cleanly).
+pub fn sniff_http_get(stream: &TcpStream) -> bool {
+    let mut probe = [0u8; 4];
+    for _ in 0..50 {
+        match stream.peek(&mut probe) {
+            Ok(0) | Err(_) => return false,
+            Ok(n) if n >= 4 => return &probe == b"GET ",
+            Ok(n) => {
+                if probe[..n] != b"GET "[..n] {
+                    return false;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+    false
+}
+
+/// Reads the request line and headers of an HTTP request, returning the
+/// request path (e.g. `/metrics`). Returns `None` on any malformed or
+/// timed-out request.
+pub fn read_request_path(stream: &TcpStream) -> Option<String> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let path = line.split_whitespace().nth(1)?.to_string();
+    // Drain headers up to the blank line so the client never sees a
+    // reset while still writing.
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {}
+            Err(_) => return None,
+        }
+    }
+    Some(path)
+}
+
+/// Writes a one-shot `HTTP/1.1` response and closes the write side.
+pub fn write_response(mut stream: &TcpStream, status: u32, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        _ => "Service Unavailable",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+}
+
+/// Content type for Prometheus text exposition bodies.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+/// Content type for JSON snapshot bodies.
+pub const JSON_CONTENT_TYPE: &str = "application/json";
+
+/// Client-side helper (tests, examples): performs `GET path` against
+/// `addr` and returns `(status, body)`.
+pub fn http_get(addr: std::net::SocketAddr, path: &str) -> std::io::Result<(u32, String)> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    {
+        let mut w = &stream;
+        w.write_all(format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes())?;
+        w.flush()?;
+    }
+    let mut response = String::new();
+    let mut reader = BufReader::new(&stream);
+    reader.read_to_string(&mut response)?;
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    #[test]
+    fn sniff_and_respond_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (conn, _) = listener.accept().unwrap();
+            assert!(sniff_http_get(&conn));
+            let path = read_request_path(&conn).unwrap();
+            assert_eq!(path, "/metrics");
+            write_response(&conn, 200, PROMETHEUS_CONTENT_TYPE, "ioverlay_up 1\n");
+        });
+        let (status, body) = http_get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ioverlay_up 1\n");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn sniff_rejects_binary_prefix() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&[0x00, 0x01, 0x02, 0x03, 0x04]).unwrap();
+            s
+        });
+        let (conn, _) = listener.accept().unwrap();
+        let _keepalive = client.join().unwrap();
+        assert!(!sniff_http_get(&conn));
+        // The sniff must not consume the framed bytes.
+        let mut first = [0u8; 5];
+        let mut r = &conn;
+        r.read_exact(&mut first).unwrap();
+        assert_eq!(first, [0x00, 0x01, 0x02, 0x03, 0x04]);
+    }
+}

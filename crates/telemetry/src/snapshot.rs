@@ -1,0 +1,183 @@
+//! Owned, serializable views of a node's telemetry, plus
+//! Prometheus-text rendering.
+//!
+//! Snapshot types use only concrete field types (`Vec<(String, u64)>`,
+//! nested structs) so they travel through the vendored serde derive and
+//! across the wire inside `StatusReport` unchanged.
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::EventRecord;
+
+/// Owned copy of one [`crate::Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name (snake_case, no prefix).
+    pub name: String,
+    /// Inclusive upper bounds per bucket.
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts; one extra trailing overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded sample values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of one node's full telemetry registry.
+///
+/// Produced by [`crate::NodeTelemetry::snapshot`], carried inside
+/// `StatusReport`, surfaced by the observer dashboard, and readable by
+/// the algorithm layer through `Context::telemetry` as routing input
+/// (e.g. queue-backlog-driven forwarding).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// False when recording was disabled (all values are zero).
+    pub enabled: bool,
+    /// Monotonic counters as `(name, value)` pairs.
+    pub counters: Vec<(String, u64)>,
+    /// Instantaneous gauges as `(name, value)` pairs.
+    pub gauges: Vec<(String, u64)>,
+    /// All registered histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Recent structured events, oldest first.
+    pub events: Vec<EventRecord>,
+    /// Events evicted from the bounded ring so far.
+    pub events_dropped: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    ///
+    /// `labels` is a pre-rendered label set (e.g. `node="1.2.3.4:9"`)
+    /// attached to every series; pass `""` for none. Counters become
+    /// `ioverlay_<name>_total`, gauges `ioverlay_<name>`, histograms the
+    /// conventional `_bucket`/`_sum`/`_count` triplet with cumulative
+    /// `le` buckets.
+    pub fn render_prometheus(&self, out: &mut String, labels: &str) {
+        use std::fmt::Write as _;
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "ioverlay_{name}_total{{{labels}}} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "ioverlay_{name}{{{labels}}} {value}");
+        }
+        let sep = if labels.is_empty() { "" } else { "," };
+        for h in &self.histograms {
+            let name = &h.name;
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "ioverlay_{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "ioverlay_{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+                h.count
+            );
+            let _ = writeln!(out, "ioverlay_{name}_sum{{{labels}}} {}", h.sum);
+            let _ = writeln!(out, "ioverlay_{name}_count{{{labels}}} {}", h.count);
+        }
+        let _ = writeln!(
+            out,
+            "ioverlay_events_dropped_total{{{labels}}} {}",
+            self.events_dropped
+        );
+    }
+
+    /// Convenience wrapper over [`Self::render_prometheus`] returning a
+    /// fresh string.
+    pub fn to_prometheus(&self, labels: &str) -> String {
+        let mut out = String::new();
+        self.render_prometheus(&mut out, labels);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            enabled: true,
+            counters: vec![("msgs_switched".into(), 10)],
+            gauges: vec![("upstreams".into(), 2)],
+            histograms: vec![HistogramSnapshot {
+                name: "switch_batch_msgs".into(),
+                bounds: vec![1, 4],
+                counts: vec![3, 2, 1],
+                count: 6,
+                sum: 20,
+            }],
+            events: Vec::new(),
+            events_dropped: 5,
+        }
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let s = sample();
+        assert_eq!(s.counter("msgs_switched"), Some(10));
+        assert_eq!(s.gauge("upstreams"), Some(2));
+        assert_eq!(s.counter("missing"), None);
+        let h = s.histogram("switch_batch_msgs").expect("histogram");
+        assert!((h.mean() - 20.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative() {
+        let text = sample().to_prometheus("node=\"127.0.0.1:9\"");
+        assert!(text.contains("ioverlay_msgs_switched_total{node=\"127.0.0.1:9\"} 10"));
+        assert!(text.contains("ioverlay_upstreams{node=\"127.0.0.1:9\"} 2"));
+        assert!(text.contains("le=\"1\"} 3"));
+        assert!(text.contains("le=\"4\"} 5"));
+        assert!(text.contains("le=\"+Inf\"} 6"));
+        assert!(text.contains("ioverlay_switch_batch_msgs_sum{node=\"127.0.0.1:9\"} 20"));
+        assert!(text.contains("ioverlay_events_dropped_total{node=\"127.0.0.1:9\"} 5"));
+    }
+
+    #[test]
+    fn prometheus_rendering_without_labels() {
+        let text = sample().to_prometheus("");
+        assert!(text.contains("ioverlay_msgs_switched_total{} 10"));
+        assert!(text.contains("ioverlay_switch_batch_msgs_bucket{le=\"+Inf\"} 6"));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_serde() {
+        let s = sample();
+        let value = serde_json::to_value(&s);
+        let back: TelemetrySnapshot = serde_json::from_value(&value).expect("deserialize");
+        assert_eq!(back, s);
+    }
+}

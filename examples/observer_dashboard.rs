@@ -2,7 +2,15 @@
 //!
 //! Spawns a small overlay with `LocalCluster`, lets the observer collect
 //! bootstrap requests and status reports over real TCP, then prints the
-//! JSON snapshot and the Graphviz topology the paper's GUI rendered.
+//! JSON snapshot and the Graphviz topology the paper's GUI rendered —
+//! and finishes by scraping the same data over HTTP, the way Prometheus
+//! (or plain `curl`) would:
+//!
+//! ```text
+//! curl http://<observer>/metrics     # Prometheus text, all nodes
+//! curl http://<observer>/snapshot    # dashboard JSON
+//! curl http://<node>/metrics         # one node's own report
+//! ```
 //!
 //! Run with: `cargo run --example observer_dashboard`
 
@@ -10,6 +18,7 @@ use std::thread;
 use std::time::Duration;
 
 use ioverlay::algorithms::{SinkApp, SourceApp, SourceMode, StaticForwarder};
+use ioverlay::api::telemetry::scrape::http_get;
 use ioverlay::api::Algorithm;
 use ioverlay::cluster::LocalCluster;
 use ioverlay::engine::EngineConfig;
@@ -54,6 +63,22 @@ fn main() -> std::io::Result<()> {
 
     println!("\n== observed topology (Graphviz DOT) ==");
     println!("{}", cluster.topology_dot());
+
+    // The same data is scrapeable over HTTP on the very ports that
+    // otherwise speak the framed binary protocol.
+    println!("\n== observer /metrics (Prometheus text, first 20 lines) ==");
+    let (status, body) = http_get(cluster.observer_id().to_socket_addr(), "/metrics")?;
+    println!("HTTP {status}");
+    for line in body.lines().take(20) {
+        println!("{line}");
+    }
+
+    println!("\n== relay {left} /metrics (its own counters, first 10 lines) ==");
+    let (status, body) = http_get(left.to_socket_addr(), "/metrics")?;
+    println!("HTTP {status}");
+    for line in body.lines().take(10) {
+        println!("{line}");
+    }
 
     cluster.shutdown();
     Ok(())

@@ -1,0 +1,131 @@
+//! Integration: HTTP scrape endpoints on a live overlay.
+//!
+//! Boots a 3-node chain (source → relay → sink) against a real
+//! observer, then scrapes metrics two ways: from the observer's TCP
+//! port (aggregated, every node's status) and from one node's own
+//! listen port (that node's report). Both ports otherwise speak the
+//! length-framed binary protocol — the scrape path sniffs `GET ` and
+//! answers one-shot HTTP without disturbing framed peers.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ioverlay::algorithms::{SinkApp, SourceApp, SourceMode, StaticForwarder};
+use ioverlay::api::telemetry::scrape::http_get;
+use ioverlay::engine::{EngineConfig, EngineNode};
+use ioverlay::observer::{ObserverConfig, ObserverServer};
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    cond()
+}
+
+#[test]
+fn observer_and_node_scrape_endpoints_serve_metrics() {
+    const APP: u32 = 1;
+    let observer = ObserverServer::spawn(ObserverConfig::default(), 0).unwrap();
+    let cfg = || EngineConfig::default().with_observer(observer.id());
+
+    let sink = EngineNode::spawn(cfg(), Box::new(SinkApp::new())).unwrap();
+    let relay = EngineNode::spawn(
+        cfg(),
+        Box::new(StaticForwarder::new().route(APP, vec![sink.id()])),
+    )
+    .unwrap();
+    let source = EngineNode::spawn(
+        cfg(),
+        Box::new(SourceApp::new(APP, vec![relay.id()], 1024, SourceMode::BackToBack).deployed()),
+    )
+    .unwrap();
+
+    // Wait until the observer's polling collected a relay report that
+    // shows traffic (per-link series only exist once links are up).
+    assert!(
+        wait_until(Duration::from_secs(15), || {
+            observer.statuses().iter().any(|s| {
+                s.node == Some(relay.id())
+                    && s.downstreams.contains(&sink.id())
+                    && s.switched_msgs > 0
+            })
+        }),
+        "relay status with traffic never reached the observer"
+    );
+
+    // --- Observer scrape: Prometheus text ---
+    let (status, body) = http_get(observer.id().to_socket_addr(), "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("ioverlay_observer_known_nodes"),
+        "observer-level series missing:\n{body}"
+    );
+    assert!(
+        body.contains("ioverlay_switched_msgs_total"),
+        "per-node counter missing:\n{body}"
+    );
+    assert!(
+        body.contains("ioverlay_switch_round_nanos_bucket"),
+        "switch-round histogram missing:\n{body}"
+    );
+    let relay_label = format!("node=\"{}\"", relay.id());
+    assert!(
+        body.contains(&relay_label),
+        "no series labelled for the relay:\n{body}"
+    );
+    assert!(
+        body.lines().any(|l| l.starts_with("ioverlay_link_kbps") && l.contains("peer=\"")),
+        "per-link series missing:\n{body}"
+    );
+    // Every non-comment line must parse as `name{labels} value`.
+    for line in body.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "unparseable metric line: {line}"
+        );
+    }
+
+    // --- Observer scrape: JSON snapshot ---
+    let (status, body) = http_get(observer.id().to_socket_addr(), "/snapshot").unwrap();
+    assert_eq!(status, 200);
+    let snap: serde_json::Value = serde_json::from_str(&body).expect("snapshot JSON parses");
+    assert!(snap["known"].as_u64().unwrap_or(0) >= 3);
+    assert!(snap["traces_dropped"].as_u64().is_some());
+    let nodes = snap["nodes"].as_array().expect("nodes array");
+    assert!(
+        nodes.iter().any(|n| {
+            !n["status"]["telemetry"].is_null() && n["status"]["telemetry"]["counters"].as_array().is_some()
+        }),
+        "no node carried a telemetry summary:\n{body}"
+    );
+
+    // --- Node scrape: the relay's own listen port ---
+    let (status, body) = http_get(relay.id().to_socket_addr(), "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("ioverlay_switched_msgs_total") && body.contains(&relay_label),
+        "relay self-scrape missing its counters:\n{body}"
+    );
+    let (status, body) = http_get(relay.id().to_socket_addr(), "/metrics.json").unwrap();
+    assert_eq!(status, 200);
+    let report: serde_json::Value = serde_json::from_str(&body).expect("node JSON parses");
+    assert!(
+        report["telemetry"]["counters"].as_array().is_some(),
+        "node JSON lacks telemetry:\n{body}"
+    );
+
+    // Unknown paths 404 without killing the listener.
+    let (status, _) = http_get(relay.id().to_socket_addr(), "/nope").unwrap();
+    assert_eq!(status, 404);
+    assert!(relay.status().is_some(), "framed port still serves after scrapes");
+
+    source.shutdown();
+    relay.shutdown();
+    sink.shutdown();
+    observer.shutdown();
+}
