@@ -23,7 +23,7 @@ fn bench_codec(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(wire.len() as u64));
     group.bench_function("encode-5k", |b| b.iter(|| std::hint::black_box(msg.encode())));
     group.bench_function("decode-5k", |b| {
-        b.iter(|| Msg::decode(std::hint::black_box(&wire)).unwrap())
+        b.iter(|| Msg::decode(std::hint::black_box(&wire)).unwrap());
     });
     group.bench_function("stream-decode-5k", |b| {
         b.iter_batched(
@@ -33,7 +33,7 @@ fn bench_codec(c: &mut Criterion) {
                 dec.next_msg().unwrap().unwrap()
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     group.finish();
 }
@@ -50,7 +50,7 @@ fn bench_batching(c: &mut Criterion) {
                 q.try_push(i).unwrap();
             }
             while q.try_pop().is_some() {}
-        })
+        });
     });
     group.bench_function("queue-64-batched", |b| {
         let q = CircularQueue::with_capacity(64);
@@ -61,7 +61,7 @@ fn bench_batching(c: &mut Criterion) {
             q.push_batch(&mut staged);
             q.pop_batch(64, &mut out);
             out.clear();
-        })
+        });
     });
     let msgs: Vec<Msg> = (0..64)
         .map(|i| Msg::data(NodeId::loopback(1), 1, i, vec![7u8; 1024]))
@@ -75,7 +75,7 @@ fn bench_batching(c: &mut Criterion) {
                 n += std::hint::black_box(m.encode()).len();
             }
             n
-        })
+        });
     });
     group.bench_function("encode-64x1k-into-reused", |b| {
         let mut wire = bytes::BytesMut::new();
@@ -85,7 +85,7 @@ fn bench_batching(c: &mut Criterion) {
                 m.encode_into(&mut wire);
             }
             wire.len()
-        })
+        });
     });
     group.finish();
 }
@@ -97,14 +97,14 @@ fn bench_queue(c: &mut Criterion) {
         b.iter(|| {
             q.try_push(1u64).unwrap();
             q.try_pop().unwrap()
-        })
+        });
     });
     group.bench_function("wrr-next-8", |b| {
         let mut wrr = WeightedRoundRobin::new();
         for i in 0..8u32 {
             wrr.set_weight(i, 1 + i % 3);
         }
-        b.iter(|| *wrr.next().unwrap())
+        b.iter(|| *wrr.next().unwrap());
     });
     group.finish();
 }
@@ -114,7 +114,7 @@ fn bench_gf256(c: &mut Criterion) {
     group.bench_function("mul", |b| {
         let x = Gf256::new(0x57);
         let y = Gf256::new(0x13);
-        b.iter(|| std::hint::black_box(x) * std::hint::black_box(y))
+        b.iter(|| std::hint::black_box(x) * std::hint::black_box(y));
     });
     let a = CodedPacket::source(0, 2, vec![1u8; 5 * 1024]);
     let bpkt = CodedPacket::source(1, 2, vec![2u8; 5 * 1024]);
@@ -126,7 +126,7 @@ fn bench_gf256(c: &mut Criterion) {
                 (Gf256::ONE, std::hint::black_box(&bpkt)),
             ])
             .unwrap()
-        })
+        });
     });
     group.bench_function("decode-generation-8x1k", |b| {
         let enc = GfEncoder::new((0..8).map(|i| vec![i as u8; 1024]).collect()).unwrap();
@@ -138,7 +138,7 @@ fn bench_gf256(c: &mut Criterion) {
                 dec.push(p.clone());
             }
             dec.rank()
-        })
+        });
     });
     group.finish();
 }
@@ -150,7 +150,7 @@ fn bench_token_bucket(c: &mut Criterion) {
         b.iter(|| {
             now += 1_000;
             bucket.reserve(5 * 1024, now)
-        })
+        });
     });
 }
 
@@ -178,7 +178,7 @@ fn bench_simnet_chain(c: &mut Criterion) {
             );
             sim.run_for(10_000_000_000);
             sim.metrics().received_msgs(ids[7], 1)
-        })
+        });
     });
     group.finish();
 }
@@ -221,7 +221,7 @@ fn bench_engine_pair(c: &mut Criterion) {
                 sink.shutdown();
             },
             BatchSize::PerIteration,
-        )
+        );
     });
     group.finish();
 }

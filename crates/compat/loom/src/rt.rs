@@ -1,0 +1,735 @@
+//! The model-checking runtime: a cooperative scheduler that serializes
+//! model threads onto one running token and explores interleavings by
+//! making every scheduling choice with a deterministic per-iteration
+//! RNG (shuttle-style randomized exploration rather than loom's
+//! exhaustive DPOR — far simpler, no dependencies, and in practice it
+//! finds the same lost-wakeup and ordering bugs within a few hundred
+//! seeded iterations).
+//!
+//! Weak memory is modeled at the atomic-cell level: every atomic keeps
+//! its full store history, every thread keeps a *view* (the oldest
+//! store index it may still legally read per atomic), and only
+//! release/acquire edges (including mutex unlock→lock edges and
+//! spawn/join edges) merge views across threads. A `Relaxed` load is
+//! therefore allowed to return any sufficiently recent *stale* value,
+//! which is exactly what x86 hardware will never show you and exactly
+//! what makes missing-`Acquire` bugs reproducible in tests.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Per-atomic store-index floor, per thread: `view[atomic] = i` means
+/// the thread can no longer observe stores older than index `i`.
+pub(crate) type View = HashMap<usize, usize>;
+
+fn join_views(into: &mut View, from: &View) {
+    for (&id, &idx) in from {
+        let e = into.entry(id).or_insert(0);
+        if *e < idx {
+            *e = idx;
+        }
+    }
+}
+
+/// xorshift64* — tiny, deterministic, good enough for schedule choice.
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point and decorrelate small seeds.
+        Self(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Run {
+    /// Eligible to be handed the token.
+    Runnable,
+    /// Currently holds the token (exactly one thread at a time).
+    Running,
+    /// Waiting on a mutex / condvar / join; not schedulable until the
+    /// owning primitive moves it back to `Runnable`.
+    Blocked(&'static str),
+    Finished,
+}
+
+/// One OS thread's park handle: it sleeps here whenever it does not
+/// hold the token.
+struct Park {
+    lock: StdMutex<bool>,
+    cv: StdCondvar,
+}
+
+impl Park {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            lock: StdMutex::new(false),
+            cv: StdCondvar::new(),
+        })
+    }
+
+    fn wake(&self) {
+        let mut flag = recover(self.lock.lock());
+        *flag = true;
+        self.cv.notify_one();
+    }
+
+    fn park(&self) {
+        let mut flag = recover(self.lock.lock());
+        while !*flag {
+            flag = recover(self.cv.wait(flag));
+        }
+        *flag = false;
+    }
+}
+
+fn recover<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct ThreadSlot {
+    state: Run,
+    view: View,
+    park: Arc<Park>,
+    /// Threads blocked in `join` on this one.
+    joiners: Vec<usize>,
+}
+
+pub(crate) struct Store {
+    value: u64,
+    /// The storing thread's view at store time, for Release stores (and
+    /// carried along release sequences through RMWs). `None` for plain
+    /// Relaxed stores — reading one synchronizes nothing.
+    release_view: Option<View>,
+}
+
+struct AtomicSlot {
+    stores: Vec<Store>,
+}
+
+struct MutexSlot {
+    owner: Option<usize>,
+    waiters: Vec<usize>,
+    /// Accumulated release view of every unlock; joined into the next
+    /// locker. This models the C11 guarantee that a mutex release
+    /// synchronizes-with the next acquire, so `Relaxed` atomics written
+    /// under a lock are visible to readers of the same lock.
+    view: View,
+}
+
+struct CondvarSlot {
+    waiters: Vec<usize>,
+}
+
+struct State {
+    threads: Vec<ThreadSlot>,
+    rng: Rng,
+    aborted: Option<String>,
+    mutexes: Vec<MutexSlot>,
+    condvars: Vec<CondvarSlot>,
+    atomics: Vec<AtomicSlot>,
+}
+
+/// One model iteration's scheduler. Shared (via `Arc`) by every model
+/// thread and by every primitive created during the iteration.
+pub struct Scheduler {
+    state: StdMutex<State>,
+    pub(crate) seed: u64,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Scheduler>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The scheduler + thread id of the calling model thread, if any.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(v: Option<(Arc<Scheduler>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+impl Scheduler {
+    pub(crate) fn new(seed: u64) -> Self {
+        let state = State {
+            threads: vec![ThreadSlot {
+                state: Run::Running,
+                view: View::new(),
+                park: Park::new(),
+                joiners: Vec::new(),
+            }],
+            rng: Rng::new(seed),
+            aborted: None,
+            mutexes: Vec::new(),
+            condvars: Vec::new(),
+            atomics: Vec::new(),
+        };
+        Self {
+            state: StdMutex::new(state),
+            seed,
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, State> {
+        recover(self.state.lock())
+    }
+
+    fn check_abort(st: &State) {
+        if let Some(msg) = &st.aborted {
+            panic!("{}", msg.clone());
+        }
+    }
+
+    /// Abort the whole iteration (deadlock or a panicked thread): every
+    /// parked thread is woken so it can observe `aborted` and unwind.
+    fn abort(st: &mut State, msg: String) {
+        if st.aborted.is_none() {
+            st.aborted = Some(msg);
+        }
+        for t in &st.threads {
+            t.park.wake();
+        }
+    }
+
+    /// Core context switch: move `me` into `to`, pick the next runnable
+    /// thread at random, hand it the token, and (unless `me` finished)
+    /// park until the token comes back.
+    fn switch(&self, me: usize, to: Run) {
+        let finished = to == Run::Finished;
+        let park_me = {
+            let mut st = self.lock();
+            Self::check_abort(&st);
+            st.threads[me].state = to;
+            let runnable: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state == Run::Runnable)
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                let unfinished = st
+                    .threads
+                    .iter()
+                    .filter(|t| t.state != Run::Finished)
+                    .count();
+                if unfinished == 0 {
+                    return; // iteration complete
+                }
+                let detail: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| format!("thread {i}: {:?}", t.state))
+                    .collect();
+                let msg = format!(
+                    "loom-compat: DEADLOCK — every live thread is blocked \
+                     (seed {}): {}",
+                    self.seed,
+                    detail.join(", ")
+                );
+                Self::abort(&mut st, msg.clone());
+                drop(st);
+                panic!("{msg}");
+            }
+            let next = runnable[st.rng.below(runnable.len())];
+            if next == me {
+                st.threads[me].state = Run::Running;
+                return;
+            }
+            st.threads[next].state = Run::Running;
+            let park_next = st.threads[next].park.clone();
+            let park_me = st.threads[me].park.clone();
+            drop(st);
+            park_next.wake();
+            if finished {
+                return;
+            }
+            park_me
+        };
+        park_me.park();
+        let st = self.lock();
+        Self::check_abort(&st);
+    }
+
+    /// A plain preemption point: every observable operation calls this
+    /// first, which is what lets the scheduler interleave threads.
+    pub(crate) fn preempt(self: &Arc<Self>, me: usize) {
+        self.switch(me, Run::Runnable);
+    }
+
+    // ------------------------------------------------------------------
+    // threads
+    // ------------------------------------------------------------------
+
+    /// Registers a child thread (runnable, inheriting the parent's view
+    /// — thread creation is a release/acquire edge in C11).
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut st = self.lock();
+        let view = st.threads[parent].view.clone();
+        st.threads.push(ThreadSlot {
+            state: Run::Runnable,
+            view,
+            park: Park::new(),
+            joiners: Vec::new(),
+        });
+        st.threads.len() - 1
+    }
+
+    /// First park of a freshly spawned OS thread: it must not run until
+    /// the scheduler picks it.
+    pub(crate) fn initial_park(&self, me: usize) {
+        let park = {
+            let st = self.lock();
+            st.threads[me].park.clone()
+        };
+        park.park();
+        let st = self.lock();
+        Self::check_abort(&st);
+    }
+
+    /// Marks `me` finished, wakes joiners, and hands the token on.
+    pub(crate) fn finish(&self, me: usize) {
+        {
+            let mut st = self.lock();
+            let joiners = std::mem::take(&mut st.threads[me].joiners);
+            for j in joiners {
+                st.threads[j].state = Run::Runnable;
+            }
+        }
+        self.switch(me, Run::Finished);
+    }
+
+    /// Records a panic on a model thread and aborts the iteration so
+    /// every other thread unwinds instead of hanging.
+    pub(crate) fn thread_panicked(&self, me: usize, what: &str) {
+        let mut st = self.lock();
+        st.threads[me].state = Run::Finished;
+        let joiners = std::mem::take(&mut st.threads[me].joiners);
+        for j in joiners {
+            st.threads[j].state = Run::Runnable;
+        }
+        let msg = format!(
+            "loom-compat: model thread {me} panicked (seed {}): {what}",
+            self.seed
+        );
+        Self::abort(&mut st, msg);
+    }
+
+    /// Blocks until `target` finishes, then joins its final view
+    /// (thread join is a release/acquire edge).
+    pub(crate) fn join_wait(self: &Arc<Self>, me: usize, target: usize) {
+        loop {
+            {
+                let mut st = self.lock();
+                Self::check_abort(&st);
+                if st.threads[target].state == Run::Finished {
+                    let v = st.threads[target].view.clone();
+                    join_views(&mut st.threads[me].view, &v);
+                    return;
+                }
+                st.threads[target].joiners.push(me);
+            }
+            self.switch(me, Run::Blocked("join"));
+        }
+    }
+
+    /// Drives remaining threads after the model closure returned on the
+    /// main thread; detects the deadlock where main is done but workers
+    /// can never finish.
+    pub(crate) fn run_to_completion(self: &Arc<Self>, me: usize) {
+        loop {
+            {
+                let mut st = self.lock();
+                Self::check_abort(&st);
+                let others_live = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .any(|(i, t)| i != me && t.state != Run::Finished);
+                if !others_live {
+                    return;
+                }
+                let others_runnable = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .any(|(i, t)| i != me && t.state == Run::Runnable);
+                if !others_runnable {
+                    let msg = format!(
+                        "loom-compat: DEADLOCK at model end — live threads \
+                         are all blocked (seed {})",
+                        self.seed
+                    );
+                    Self::abort(&mut st, msg.clone());
+                    drop(st);
+                    panic!("{msg}");
+                }
+            }
+            self.switch(me, Run::Runnable);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // mutexes & condvars
+    // ------------------------------------------------------------------
+
+    pub(crate) fn mutex_new(&self) -> usize {
+        let mut st = self.lock();
+        st.mutexes.push(MutexSlot {
+            owner: None,
+            waiters: Vec::new(),
+            view: View::new(),
+        });
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn mutex_lock(self: &Arc<Self>, me: usize, mid: usize) {
+        self.preempt(me);
+        loop {
+            {
+                let mut st = self.lock();
+                Self::check_abort(&st);
+                if st.mutexes[mid].owner.is_none() {
+                    st.mutexes[mid].owner = Some(me);
+                    let mview = st.mutexes[mid].view.clone();
+                    join_views(&mut st.threads[me].view, &mview);
+                    return;
+                }
+                st.mutexes[mid].waiters.push(me);
+            }
+            self.switch(me, Run::Blocked("mutex"));
+        }
+    }
+
+    pub(crate) fn mutex_try_lock(self: &Arc<Self>, me: usize, mid: usize) -> bool {
+        self.preempt(me);
+        let mut st = self.lock();
+        Self::check_abort(&st);
+        if st.mutexes[mid].owner.is_none() {
+            st.mutexes[mid].owner = Some(me);
+            let mview = st.mutexes[mid].view.clone();
+            join_views(&mut st.threads[me].view, &mview);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn mutex_unlock(self: &Arc<Self>, me: usize, mid: usize) {
+        {
+            let mut st = self.lock();
+            debug_assert_eq!(st.mutexes[mid].owner, Some(me), "unlock by non-owner");
+            st.mutexes[mid].owner = None;
+            let tview = st.threads[me].view.clone();
+            join_views(&mut st.mutexes[mid].view, &tview);
+            let waiters = std::mem::take(&mut st.mutexes[mid].waiters);
+            for w in waiters {
+                st.threads[w].state = Run::Runnable;
+            }
+        }
+        self.preempt(me);
+    }
+
+    pub(crate) fn condvar_new(&self) -> usize {
+        let mut st = self.lock();
+        st.condvars.push(CondvarSlot {
+            waiters: Vec::new(),
+        });
+        st.condvars.len() - 1
+    }
+
+    /// Atomically: register as a waiter, release the mutex, sleep. On
+    /// wakeup (a notify — *not* a notify that happened before we began
+    /// waiting; that is the lost-wakeup semantics being modeled),
+    /// re-acquire the mutex before returning.
+    pub(crate) fn condvar_wait(self: &Arc<Self>, me: usize, cvid: usize, mid: usize) {
+        {
+            let mut st = self.lock();
+            Self::check_abort(&st);
+            st.condvars[cvid].waiters.push(me);
+            debug_assert_eq!(st.mutexes[mid].owner, Some(me), "wait without lock");
+            st.mutexes[mid].owner = None;
+            let tview = st.threads[me].view.clone();
+            join_views(&mut st.mutexes[mid].view, &tview);
+            let waiters = std::mem::take(&mut st.mutexes[mid].waiters);
+            for w in waiters {
+                st.threads[w].state = Run::Runnable;
+            }
+        }
+        self.switch(me, Run::Blocked("condvar"));
+        self.mutex_lock(me, mid);
+    }
+
+    pub(crate) fn condvar_notify(self: &Arc<Self>, me: usize, cvid: usize, all: bool) {
+        {
+            let mut st = self.lock();
+            Self::check_abort(&st);
+            if all {
+                let waiters = std::mem::take(&mut st.condvars[cvid].waiters);
+                for w in waiters {
+                    st.threads[w].state = Run::Runnable;
+                }
+            } else if !st.condvars[cvid].waiters.is_empty() {
+                let i = {
+                    let n = st.condvars[cvid].waiters.len();
+                    st.rng.below(n)
+                };
+                let w = st.condvars[cvid].waiters.swap_remove(i);
+                st.threads[w].state = Run::Runnable;
+            }
+        }
+        self.preempt(me);
+    }
+
+    // ------------------------------------------------------------------
+    // atomics (weak-memory modeled)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn atomic_new(&self, me: usize, init: u64) -> usize {
+        let mut st = self.lock();
+        st.atomics.push(AtomicSlot {
+            stores: vec![Store {
+                value: init,
+                release_view: None,
+            }],
+        });
+        let id = st.atomics.len() - 1;
+        st.threads[me].view.insert(id, 0);
+        id
+    }
+
+    pub(crate) fn atomic_load(self: &Arc<Self>, me: usize, id: usize, order: Order) -> u64 {
+        self.preempt(me);
+        let mut st = self.lock();
+        Self::check_abort(&st);
+        let floor = *st.threads[me].view.get(&id).unwrap_or(&0);
+        let latest = st.atomics[id].stores.len() - 1;
+        // SeqCst loads read the latest store (a sound approximation of
+        // the single total order); weaker loads may read any store the
+        // thread's view still permits.
+        let idx = if order == Order::SeqCst {
+            latest
+        } else {
+            floor + st.rng.below(latest - floor + 1)
+        };
+        let value = st.atomics[id].stores[idx].value;
+        if order.acquires() {
+            if let Some(rv) = st.atomics[id].stores[idx].release_view.clone() {
+                join_views(&mut st.threads[me].view, &rv);
+            }
+        }
+        st.threads[me].view.insert(id, idx);
+        value
+    }
+
+    pub(crate) fn atomic_store(self: &Arc<Self>, me: usize, id: usize, value: u64, order: Order) {
+        self.preempt(me);
+        let mut st = self.lock();
+        Self::check_abort(&st);
+        let new_idx = st.atomics[id].stores.len();
+        let release_view = if order.releases() {
+            let mut v = st.threads[me].view.clone();
+            v.insert(id, new_idx);
+            Some(v)
+        } else {
+            None
+        };
+        st.atomics[id].stores.push(Store {
+            value,
+            release_view,
+        });
+        st.threads[me].view.insert(id, new_idx);
+    }
+
+    /// Like `mutex_unlock` but callable while the thread is unwinding
+    /// from a model panic: releases the lock state and wakes waiters
+    /// without yielding (a yield would re-panic inside `Drop`).
+    pub(crate) fn mutex_unlock_quiet(&self, me: usize, mid: usize) {
+        let mut st = self.lock();
+        if st.mutexes[mid].owner == Some(me) {
+            st.mutexes[mid].owner = None;
+            let tview = st.threads[me].view.clone();
+            join_views(&mut st.mutexes[mid].view, &tview);
+            let waiters = std::mem::take(&mut st.mutexes[mid].waiters);
+            for w in waiters {
+                st.threads[w].state = Run::Runnable;
+            }
+        }
+    }
+
+    /// Read-modify-write: always reads the latest store (C11 guarantees
+    /// RMWs read the last value in modification order) and continues the
+    /// release sequence of whatever it read.
+    pub(crate) fn atomic_rmw<F>(
+        self: &Arc<Self>,
+        me: usize,
+        id: usize,
+        order: Order,
+        f: F,
+    ) -> (u64, u64)
+    where
+        F: FnOnce(u64) -> u64,
+    {
+        self.preempt(me);
+        let mut st = self.lock();
+        Self::check_abort(&st);
+        let latest = st.atomics[id].stores.len() - 1;
+        let old = st.atomics[id].stores[latest].value;
+        if order.acquires() {
+            if let Some(rv) = st.atomics[id].stores[latest].release_view.clone() {
+                join_views(&mut st.threads[me].view, &rv);
+            }
+        }
+        let new_idx = latest + 1;
+        // Continue the release sequence: keep the read store's release
+        // view, merging our own if this RMW itself releases.
+        let mut release_view = st.atomics[id].stores[latest].release_view.clone();
+        if order.releases() {
+            let mut v = st.threads[me].view.clone();
+            v.insert(id, new_idx);
+            match &mut release_view {
+                Some(p) => join_views(p, &v),
+                None => release_view = Some(v),
+            }
+        }
+        let new = f(old);
+        st.atomics[id].stores.push(Store {
+            value: new,
+            release_view,
+        });
+        st.threads[me].view.insert(id, new_idx);
+        (old, new)
+    }
+
+    /// Compare-exchange: reads the latest store; on match behaves like
+    /// an RMW at `success` ordering, otherwise like a load at `failure`
+    /// ordering.
+    pub(crate) fn atomic_cas(
+        self: &Arc<Self>,
+        me: usize,
+        id: usize,
+        expected: u64,
+        new: u64,
+        success: Order,
+        failure: Order,
+    ) -> Result<u64, u64> {
+        self.preempt(me);
+        let mut st = self.lock();
+        Self::check_abort(&st);
+        let latest = st.atomics[id].stores.len() - 1;
+        let old = st.atomics[id].stores[latest].value;
+        if old == expected {
+            if success.acquires() {
+                if let Some(rv) = st.atomics[id].stores[latest].release_view.clone() {
+                    join_views(&mut st.threads[me].view, &rv);
+                }
+            }
+            let new_idx = latest + 1;
+            let mut release_view = st.atomics[id].stores[latest].release_view.clone();
+            if success.releases() {
+                let mut v = st.threads[me].view.clone();
+                v.insert(id, new_idx);
+                match &mut release_view {
+                    Some(p) => join_views(p, &v),
+                    None => release_view = Some(v),
+                }
+            }
+            st.atomics[id].stores.push(Store {
+                value: new,
+                release_view,
+            });
+            st.threads[me].view.insert(id, new_idx);
+            Ok(old)
+        } else {
+            if failure.acquires() {
+                if let Some(rv) = st.atomics[id].stores[latest].release_view.clone() {
+                    join_views(&mut st.threads[me].view, &rv);
+                }
+            }
+            st.threads[me].view.insert(id, latest);
+            Err(old)
+        }
+    }
+}
+
+/// The orderings the shim distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Order {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl Order {
+    fn acquires(self) -> bool {
+        matches!(self, Order::Acquire | Order::AcqRel | Order::SeqCst)
+    }
+
+    fn releases(self) -> bool {
+        matches!(self, Order::Release | Order::AcqRel | Order::SeqCst)
+    }
+}
+
+// ----------------------------------------------------------------------
+// model entry point
+// ----------------------------------------------------------------------
+
+/// Serializes concurrent `model()` calls (the test harness runs tests
+/// in parallel threads; model iterations must not interleave).
+static MODEL_LOCK: StdMutex<()> = StdMutex::new(());
+
+/// Default number of seeded iterations explored per model.
+pub const DEFAULT_ITERS: u64 = 300;
+
+fn iterations() -> u64 {
+    std::env::var("LOOM_COMPAT_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ITERS)
+}
+
+/// Explores `f` under many deterministic schedules. Panics (with the
+/// failing seed on stderr) as soon as one iteration fails — assertion,
+/// deadlock, or a panic on any model thread.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _serial = recover(MODEL_LOCK.lock());
+    let iters = iterations();
+    for seed in 0..iters {
+        let sched = Arc::new(Scheduler::new(seed));
+        set_current(Some((sched.clone(), 0)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f();
+            sched.run_to_completion(0);
+        }));
+        set_current(None);
+        if let Err(payload) = result {
+            eprintln!(
+                "loom-compat: model failed at seed {seed}/{iters} \
+                 (rerun deterministically with LOOM_COMPAT_ITERS={})",
+                seed + 1
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! `loom::sync` — drop-in replacements for the workspace's sync
+//! primitives (`parking_lot`-flavored `Mutex`/`Condvar` plus
+//! `std::sync::atomic` types).
+//!
+//! Every primitive is dual-mode: constructed *inside* a `loom::model`
+//! closure it registers with the active scheduler and every operation
+//! becomes a modeled yield point; constructed outside a model (doctests,
+//! plain unit tests compiled with the `loom` feature on) it falls back
+//! to the real `std::sync` primitives so ordinary tests keep working.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::Condvar as StdCondvar;
+use std::sync::Mutex as StdMutex;
+use std::sync::MutexGuard as StdMutexGuard;
+
+pub use std::sync::Arc;
+
+use crate::rt;
+
+fn recover<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// ----------------------------------------------------------------------
+// Mutex
+// ----------------------------------------------------------------------
+
+enum MxRepr {
+    Model {
+        sched: Arc<rt::Scheduler>,
+        mid: usize,
+    },
+    Std(StdMutex<()>),
+}
+
+/// Mutex with the `parking_lot` compat API (`lock()` returns the guard
+/// directly; poisoning is recovered, not propagated).
+pub struct Mutex<T> {
+    repr: MxRepr,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: access to `data` is guarded either by the model scheduler's
+// ownership protocol or by the fallback std mutex.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        let repr = match rt::current() {
+            Some((sched, _me)) => {
+                let mid = sched.mutex_new();
+                MxRepr::Model { sched, mid }
+            }
+            None => MxRepr::Std(StdMutex::new(())),
+        };
+        Self {
+            repr,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match &self.repr {
+            MxRepr::Model { sched, mid } => {
+                let (_, me) = rt::current().expect("model mutex locked outside loom::model");
+                sched.mutex_lock(me, *mid);
+                MutexGuard {
+                    mx: self,
+                    std: None,
+                }
+            }
+            MxRepr::Std(m) => MutexGuard {
+                mx: self,
+                std: Some(recover(m.lock())),
+            },
+        }
+    }
+
+    /// Like `lock`, but also reports whether the guard was recovered
+    /// from a poisoned state (a prior holder panicked). Model mutexes
+    /// never poison — the model aborts on any thread panic instead.
+    pub fn lock_checked(&self) -> (MutexGuard<'_, T>, bool) {
+        match &self.repr {
+            MxRepr::Model { .. } => (self.lock(), false),
+            MxRepr::Std(m) => match m.lock() {
+                Ok(g) => (
+                    MutexGuard {
+                        mx: self,
+                        std: Some(g),
+                    },
+                    false,
+                ),
+                Err(poisoned) => {
+                    m.clear_poison();
+                    (
+                        MutexGuard {
+                            mx: self,
+                            std: Some(poisoned.into_inner()),
+                        },
+                        true,
+                    )
+                }
+            },
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match &self.repr {
+            MxRepr::Model { sched, mid } => {
+                let (_, me) = rt::current().expect("model mutex locked outside loom::model");
+                if sched.mutex_try_lock(me, *mid) {
+                    Some(MutexGuard {
+                        mx: self,
+                        std: None,
+                    })
+                } else {
+                    None
+                }
+            }
+            MxRepr::Std(m) => match m.try_lock() {
+                Ok(g) => Some(MutexGuard {
+                    mx: self,
+                    std: Some(g),
+                }),
+                Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                    mx: self,
+                    std: Some(p.into_inner()),
+                }),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Mutex { .. }")
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    mx: &'a Mutex<T>,
+    std: Option<StdMutexGuard<'a, ()>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the (model or std) lock.
+        unsafe { &*self.mx.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard holds the (model or std) lock exclusively.
+        unsafe { &mut *self.mx.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.std.is_none() {
+            if let MxRepr::Model { sched, mid } = &self.mx.repr {
+                if let Some((_, me)) = rt::current() {
+                    if std::thread::panicking() {
+                        // Unwinding from a model failure: release the
+                        // lock without yielding so we don't panic
+                        // inside Drop.
+                        sched.mutex_unlock_quiet(me, *mid);
+                    } else {
+                        sched.mutex_unlock(me, *mid);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Condvar
+// ----------------------------------------------------------------------
+
+enum CvRepr {
+    Model {
+        sched: Arc<rt::Scheduler>,
+        cvid: usize,
+    },
+    Std(StdCondvar),
+}
+
+/// Condvar with the `parking_lot` compat API (`wait(&mut guard)`).
+pub struct Condvar {
+    repr: CvRepr,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        let repr = match rt::current() {
+            Some((sched, _)) => {
+                let cvid = sched.condvar_new();
+                CvRepr::Model { sched, cvid }
+            }
+            None => CvRepr::Std(StdCondvar::new()),
+        };
+        Self { repr }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        match &self.repr {
+            CvRepr::Model { sched, cvid } => {
+                let MxRepr::Model { mid, .. } = &guard.mx.repr else {
+                    panic!("loom Condvar paired with a non-model Mutex");
+                };
+                let (_, me) = rt::current().expect("model condvar used outside loom::model");
+                sched.condvar_wait(me, *cvid, *mid);
+            }
+            CvRepr::Std(cv) => {
+                let g = guard
+                    .std
+                    .take()
+                    .expect("std-mode Condvar paired with a model Mutex");
+                guard.std = Some(recover(cv.wait(g)));
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match &self.repr {
+            CvRepr::Model { sched, cvid } => {
+                let (_, me) = rt::current().expect("model condvar used outside loom::model");
+                sched.condvar_notify(me, *cvid, false);
+            }
+            CvRepr::Std(cv) => cv.notify_one(),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match &self.repr {
+            CvRepr::Model { sched, cvid } => {
+                let (_, me) = rt::current().expect("model condvar used outside loom::model");
+                sched.condvar_notify(me, *cvid, true);
+            }
+            CvRepr::Std(cv) => cv.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}
+
+// ----------------------------------------------------------------------
+// atomics
+// ----------------------------------------------------------------------
+
+pub mod atomic {
+    use super::Arc;
+    use crate::rt;
+
+    /// Memory orderings, mirroring `std::sync::atomic::Ordering`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Ordering {
+        Relaxed,
+        Release,
+        Acquire,
+        AcqRel,
+        SeqCst,
+    }
+
+    impl Ordering {
+        fn to_rt(self) -> rt::Order {
+            match self {
+                Ordering::Relaxed => rt::Order::Relaxed,
+                Ordering::Release => rt::Order::Release,
+                Ordering::Acquire => rt::Order::Acquire,
+                Ordering::AcqRel => rt::Order::AcqRel,
+                Ordering::SeqCst => rt::Order::SeqCst,
+            }
+        }
+
+        fn to_std(self) -> std::sync::atomic::Ordering {
+            match self {
+                Ordering::Relaxed => std::sync::atomic::Ordering::Relaxed,
+                Ordering::Release => std::sync::atomic::Ordering::Release,
+                Ordering::Acquire => std::sync::atomic::Ordering::Acquire,
+                Ordering::AcqRel => std::sync::atomic::Ordering::AcqRel,
+                Ordering::SeqCst => std::sync::atomic::Ordering::SeqCst,
+            }
+        }
+
+        fn load_std(self) -> std::sync::atomic::Ordering {
+            match self {
+                Ordering::Release => std::sync::atomic::Ordering::Relaxed,
+                Ordering::AcqRel => std::sync::atomic::Ordering::Acquire,
+                other => other.to_std(),
+            }
+        }
+
+        fn store_std(self) -> std::sync::atomic::Ordering {
+            match self {
+                Ordering::Acquire => std::sync::atomic::Ordering::Relaxed,
+                Ordering::AcqRel => std::sync::atomic::Ordering::Release,
+                other => other.to_std(),
+            }
+        }
+    }
+
+    enum Repr {
+        Model {
+            sched: Arc<rt::Scheduler>,
+            id: usize,
+        },
+        Std(std::sync::atomic::AtomicU64),
+    }
+
+    impl Repr {
+        fn new(init: u64) -> Self {
+            match rt::current() {
+                Some((sched, me)) => {
+                    let id = sched.atomic_new(me, init);
+                    Repr::Model { sched, id }
+                }
+                None => Repr::Std(std::sync::atomic::AtomicU64::new(init)),
+            }
+        }
+
+        fn load(&self, order: Ordering) -> u64 {
+            match self {
+                Repr::Model { sched, id } => {
+                    let (_, me) = rt::current().expect("model atomic used outside loom::model");
+                    sched.atomic_load(me, *id, order.to_rt())
+                }
+                Repr::Std(a) => a.load(order.load_std()),
+            }
+        }
+
+        fn store(&self, value: u64, order: Ordering) {
+            match self {
+                Repr::Model { sched, id } => {
+                    let (_, me) = rt::current().expect("model atomic used outside loom::model");
+                    sched.atomic_store(me, *id, value, order.to_rt());
+                }
+                Repr::Std(a) => a.store(value, order.store_std()),
+            }
+        }
+
+        fn rmw(&self, order: Ordering, f: impl Fn(u64) -> u64) -> u64 {
+            match self {
+                Repr::Model { sched, id } => {
+                    let (_, me) = rt::current().expect("model atomic used outside loom::model");
+                    sched.atomic_rmw(me, *id, order.to_rt(), f).0
+                }
+                Repr::Std(a) => {
+                    // Emulate via CAS loop so one code path serves every
+                    // RMW flavor.
+                    let mut cur = a.load(std::sync::atomic::Ordering::Relaxed);
+                    loop {
+                        match a.compare_exchange_weak(
+                            cur,
+                            f(cur),
+                            order.to_std(),
+                            std::sync::atomic::Ordering::Relaxed,
+                        ) {
+                            Ok(prev) => return prev,
+                            Err(prev) => cur = prev,
+                        }
+                    }
+                }
+            }
+        }
+
+        fn cas(
+            &self,
+            expected: u64,
+            new: u64,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<u64, u64> {
+            match self {
+                Repr::Model { sched, id } => {
+                    let (_, me) = rt::current().expect("model atomic used outside loom::model");
+                    sched.atomic_cas(me, *id, expected, new, success.to_rt(), failure.to_rt())
+                }
+                Repr::Std(a) => {
+                    a.compare_exchange(expected, new, success.to_std(), failure.load_std())
+                }
+            }
+        }
+
+        fn unsync_load(&mut self) -> u64 {
+            match self {
+                Repr::Model { .. } => self.load(Ordering::SeqCst),
+                Repr::Std(a) => *a.get_mut(),
+            }
+        }
+    }
+
+    macro_rules! int_atomic {
+        ($name:ident, $ty:ty) => {
+            pub struct $name {
+                repr: Repr,
+            }
+
+            impl $name {
+                pub fn new(value: $ty) -> Self {
+                    Self {
+                        repr: Repr::new(value as u64),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $ty {
+                    self.repr.load(order) as $ty
+                }
+
+                pub fn store(&self, value: $ty, order: Ordering) {
+                    self.repr.store(value as u64, order);
+                }
+
+                pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                    self.repr.rmw(order, |_| value as u64) as $ty
+                }
+
+                pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                    self.repr
+                        .rmw(order, |cur| (cur as $ty).wrapping_add(value) as u64)
+                        as $ty
+                }
+
+                pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                    self.repr
+                        .rmw(order, |cur| (cur as $ty).wrapping_sub(value) as u64)
+                        as $ty
+                }
+
+                pub fn fetch_max(&self, value: $ty, order: Ordering) -> $ty {
+                    self.repr
+                        .rmw(order, |cur| (cur as $ty).max(value) as u64)
+                        as $ty
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.repr
+                        .cas(current as u64, new as u64, success, failure)
+                        .map(|v| v as $ty)
+                        .map_err(|v| v as $ty)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn get_mut(&mut self) -> Cell<$ty> {
+                    Cell {
+                        value: self.repr.unsync_load() as $ty,
+                    }
+                }
+
+                pub fn into_inner(mut self) -> $ty {
+                    self.repr.unsync_load() as $ty
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(0)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    write!(f, concat!(stringify!($name), "(..)"))
+                }
+            }
+        };
+    }
+
+    /// Stand-in for the `&mut T` that std's `get_mut` returns — the
+    /// model keeps values in the scheduler, so only a copy is exposed.
+    pub struct Cell<T> {
+        value: T,
+    }
+
+    impl<T: Copy> Cell<T> {
+        pub fn get(&self) -> T {
+            self.value
+        }
+    }
+
+    int_atomic!(AtomicU64, u64);
+    int_atomic!(AtomicUsize, usize);
+    int_atomic!(AtomicU32, u32);
+
+    pub struct AtomicBool {
+        repr: Repr,
+    }
+
+    impl AtomicBool {
+        pub fn new(value: bool) -> Self {
+            Self {
+                repr: Repr::new(u64::from(value)),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            self.repr.load(order) != 0
+        }
+
+        pub fn store(&self, value: bool, order: Ordering) {
+            self.repr.store(u64::from(value), order);
+        }
+
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            self.repr.rmw(order, |_| u64::from(value)) != 0
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            self.repr
+                .cas(u64::from(current), u64::from(new), success, failure)
+                .map(|v| v != 0)
+                .map_err(|v| v != 0)
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("AtomicBool(..)")
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! `loom::thread` — modeled `spawn`/`join`/`yield_now`. Inside a
+//! `loom::model` closure, spawned closures run on real OS threads but
+//! only when the scheduler hands them the token; outside a model this
+//! delegates straight to `std::thread`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::rt;
+
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    model: Option<(Arc<rt::Scheduler>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((sched, target)) = &self.model {
+            let (_, me) = rt::current().expect("model JoinHandle joined outside loom::model");
+            sched.join_wait(me, *target);
+        }
+        self.inner.join()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        Some((sched, parent)) => {
+            let tid = sched.register_thread(parent);
+            let child_sched = sched.clone();
+            let inner = std::thread::spawn(move || {
+                rt::set_current(Some((child_sched.clone(), tid)));
+                child_sched.initial_park(tid);
+                let result = catch_unwind(AssertUnwindSafe(f));
+                match result {
+                    Ok(value) => {
+                        child_sched.finish(tid);
+                        rt::set_current(None);
+                        value
+                    }
+                    Err(payload) => {
+                        child_sched.thread_panicked(tid, &panic_message(payload.as_ref()));
+                        rt::set_current(None);
+                        resume_unwind(payload);
+                    }
+                }
+            });
+            // Spawning is itself a scheduling point: the child may run
+            // before the parent's next step.
+            sched.preempt(parent);
+            JoinHandle {
+                inner,
+                model: Some((sched, tid)),
+            }
+        }
+        None => JoinHandle {
+            inner: std::thread::spawn(f),
+            model: None,
+        },
+    }
+}
+
+pub fn yield_now() {
+    match rt::current() {
+        Some((sched, me)) => sched.preempt(me),
+        None => std::thread::yield_now(),
+    }
+}

@@ -44,6 +44,25 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard { guard: Some(guard) }
     }
 
+    /// Acquires the lock like [`Mutex::lock`], additionally reporting
+    /// whether the guard was recovered from a poisoned state (a prior
+    /// holder panicked mid-critical-section). The poison flag is
+    /// cleared so each poisoning incident is reported exactly once.
+    pub fn lock_checked(&self) -> (MutexGuard<'_, T>, bool) {
+        match self.inner.lock() {
+            Ok(guard) => (MutexGuard { guard: Some(guard) }, false),
+            Err(poisoned) => {
+                self.inner.clear_poison();
+                (
+                    MutexGuard {
+                        guard: Some(poisoned.into_inner()),
+                    },
+                    true,
+                )
+            }
+        }
+    }
+
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
@@ -55,11 +74,13 @@ impl<T: ?Sized> Mutex<T> {
         }
     }
 
-    /// Returns a mutable reference to the underlying data.
+    /// Returns a mutable reference to the underlying data. Like
+    /// parking_lot (and unlike `std`), a poisoned mutex is recovered
+    /// rather than panicking — `&mut self` proves exclusive access.
     pub fn get_mut(&mut self) -> &mut T {
         self.inner
             .get_mut()
-            .unwrap_or_else(|e| panic!("poisoned mutex: {e}"))
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }
 
@@ -257,6 +278,35 @@ mod tests {
         *lock.lock() = true;
         cv.notify_one();
         t.join().unwrap();
+    }
+
+    #[test]
+    fn lock_checked_reports_poison_once() {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = m.clone();
+        let t = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the mutex");
+        });
+        assert!(t.join().is_err());
+        let (g, recovered) = m.lock_checked();
+        assert!(recovered, "first lock after the panic sees the poison");
+        drop(g);
+        let (_g, recovered) = m.lock_checked();
+        assert!(!recovered, "poison is cleared after recovery");
+    }
+
+    #[test]
+    fn get_mut_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(5u32));
+        let m2 = m.clone();
+        let t = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the mutex");
+        });
+        assert!(t.join().is_err());
+        let mut m = Arc::into_inner(m).expect("sole owner");
+        assert_eq!(*m.get_mut(), 5);
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub(crate) struct EngineState {
     /// Node-local metrics registry, shared with every socket thread and
     /// the control listener.
     pub tel: Arc<NodeTelemetry>,
+    /// Total queue poison recoveries already reported to telemetry;
+    /// `measure_tick` emits the delta as a structured event.
+    pub poison_reported: u64,
 }
 
 impl EngineState {
@@ -125,6 +128,7 @@ impl EngineState {
             probe_seq: 0,
             retry_rotor: 0,
             send_stage: BTreeMap::new(),
+            poison_reported: 0,
             tel,
         }
     }
@@ -234,7 +238,12 @@ impl EngineState {
         }
         let is_data = msg.ty() == MsgType::Data;
         let app = msg.app();
-        let sender = self.senders.get_mut(&dest).expect("just ensured");
+        let Some(sender) = self.senders.get_mut(&dest) else {
+            // open_sender just inserted the link, so this is
+            // unreachable; treat it like a failed dial (message
+            // consumed) rather than panicking the engine thread.
+            return true;
+        };
         let accepted = if from_upstream.is_some() {
             sender.queue.try_push(msg).is_ok()
         } else {
@@ -269,10 +278,10 @@ impl EngineState {
                 chain.push(self.up_bucket.clone());
                 chain.push(self.total_bucket.clone());
                 self.link_buckets.insert(dest, link_bucket);
-                let thread = {
-                    let stream = match stream.try_clone() {
-                        Ok(s) => s,
-                        Err(_) => return false,
+                let spawned = {
+                    let Ok(stream) = stream.try_clone() else {
+                        self.link_buckets.remove(&dest);
+                        return false;
                     };
                     let queue = queue.clone();
                     let meter = meter.clone();
@@ -285,9 +294,18 @@ impl EngineState {
                         .spawn(move || {
                             run_sender(
                                 dest, stream, queue, meter, chain, clock, events, max_batch, tel,
-                            )
+                            );
                         })
-                        .expect("spawn sender thread")
+                };
+                let Ok(thread) = spawned else {
+                    // Thread-resource exhaustion is a failure signal
+                    // like a failed dial, not a reason to panic the
+                    // engine: undo the link and notify the algorithm.
+                    self.link_buckets.remove(&dest);
+                    self.local_inbox
+                        .push_back(Msg::control(MsgType::NeighborFailed, dest, 0));
+                    self.tel.record_connect_failed(self.now(), dest);
+                    return false;
                 };
                 self.senders.insert(
                     dest,
@@ -376,7 +394,11 @@ impl EngineState {
                 .iter()
                 .map(|m| (m.ty() == MsgType::Data).then(|| m.app()))
                 .collect();
-            let sender = self.senders.get_mut(&dest).expect("just ensured");
+            let Some(sender) = self.senders.get_mut(&dest) else {
+                // open_sender just inserted the link (unreachable in
+                // practice); consume the batch like a failed dial.
+                continue;
+            };
             // Local sends must not overtake messages already parked in
             // `pending`, so they only push_batch when pending is empty.
             let accepted = if up.is_none() && !sender.pending.is_empty() {
@@ -407,8 +429,9 @@ impl EngineState {
                         self.app_downstreams.entry(*app).or_default().insert(dest);
                     }
                     if !msgs.is_empty() {
-                        let sender = self.senders.get_mut(&dest).expect("just ensured");
-                        sender.pending.extend(msgs);
+                        if let Some(sender) = self.senders.get_mut(&dest) {
+                            sender.pending.extend(msgs);
+                        }
                     }
                 }
             }
@@ -711,6 +734,17 @@ impl EngineState {
             let send_depth: usize = self.senders.values().map(|s| s.depth()).sum();
             self.tel
                 .set_queue_gauges(recv_depth as u64, send_depth as u64);
+            let poisoned: u64 = self
+                .receivers
+                .values()
+                .map(|r| r.queue.poison_recoveries())
+                .chain(self.senders.values().map(|s| s.queue.poison_recoveries()))
+                .sum();
+            if poisoned > self.poison_reported {
+                self.tel
+                    .record_queue_poison_recoveries(now, poisoned - self.poison_reported);
+                self.poison_reported = poisoned;
+            }
         }
         self.next_measure = now + self.config.measure_interval;
     }
@@ -905,10 +939,10 @@ pub(crate) fn run_listener(
     recv_batched: bool,
     tel: Arc<NodeTelemetry>,
 ) {
-    while running.load(Ordering::Relaxed) {
+    while running.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
-                if !running.load(Ordering::Relaxed) {
+                if !running.load(Ordering::Acquire) {
                     // The shutdown wake, not a peer: drop it and exit.
                     break;
                 }
@@ -916,7 +950,7 @@ pub(crate) fn run_listener(
                 let clock = clock.clone();
                 let (down, total) = down_chain_template.clone();
                 let tel = tel.clone();
-                thread::Builder::new()
+                let spawned = thread::Builder::new()
                     .name(format!("acc-{local}"))
                     .spawn(move || {
                         handle_accepted(
@@ -931,8 +965,12 @@ pub(crate) fn run_listener(
                             recv_batched,
                             tel,
                         );
-                    })
-                    .expect("spawn accept handler");
+                    });
+                // On spawn failure (thread-resource exhaustion) the
+                // accepted stream is dropped (moved into the dead
+                // closure), so the peer observes a close — its failure
+                // detector handles it. The listener itself stays up.
+                drop(spawned);
             }
             // Transient per-connection failures (e.g. the dialer hung up
             // while queued) must not kill the listener.
@@ -967,9 +1005,8 @@ fn handle_accepted(
     }
     // Peek at the first message without buffered read-ahead so the
     // receiver thread sees a clean stream afterwards.
-    let first = match read_msg(&stream) {
-        Ok(Some(msg)) => msg,
-        _ => return,
+    let Ok(Some(first)) = read_msg(&stream) else {
+        return;
     };
     if first.ty() == MsgType::Hello {
         let peer = first.origin();
@@ -978,9 +1015,8 @@ fn handle_accepted(
         let mut chain = BucketChain::new();
         chain.push(down_bucket);
         chain.push(total_bucket);
-        let reg_stream = match stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => return,
+        let Ok(reg_stream) = stream.try_clone() else {
+            return;
         };
         if events
             .send(ControlEvent::UpstreamOpened {

@@ -69,7 +69,7 @@ impl EngineNode {
                         running,
                         recv_batched,
                         tel,
-                    )
+                    );
                 })?
         };
         let engine_thread = thread::Builder::new()
@@ -111,7 +111,7 @@ impl EngineNode {
     }
 
     fn shutdown_inner(&mut self) {
-        self.running.store(false, Ordering::Relaxed);
+        self.running.store(false, Ordering::Release);
         let _ = self.events_tx.send(ControlEvent::Shutdown);
         // The listener blocks in accept (no poll interval); a
         // self-connection wakes it so it can observe `running == false`.

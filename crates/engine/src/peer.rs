@@ -410,7 +410,7 @@ mod tests {
                 tx,
                 128,
                 t2,
-            )
+            );
         });
         let msg = Msg::data(NodeId::loopback(1), 7, 3, vec![5u8; 100]);
         queue.push(msg.clone()).unwrap();
@@ -450,7 +450,7 @@ mod tests {
                 tx,
                 128,
                 Arc::new(NodeTelemetry::new(true, 16)),
-            )
+            );
         });
         let mut reader = BufReader::new(conn);
         let mut latencies: Vec<Duration> = Vec::new();

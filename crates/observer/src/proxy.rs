@@ -76,7 +76,7 @@ impl Proxy {
 
     /// Messages relayed upstream so far.
     pub fn relayed(&self) -> u64 {
-        self.relayed.load(Ordering::Relaxed)
+        self.relayed.load(Ordering::Acquire)
     }
 
     /// Stops the proxy.
@@ -85,7 +85,7 @@ impl Proxy {
     }
 
     fn shutdown_inner(&mut self) {
-        self.running.store(false, Ordering::Relaxed);
+        self.running.store(false, Ordering::Release);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -102,7 +102,7 @@ impl Drop for Proxy {
 }
 
 fn accept_loop(listener: TcpListener, tx: Sender<Msg>, running: Arc<AtomicBool>) {
-    while running.load(Ordering::Relaxed) {
+    while running.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let tx = tx.clone();
@@ -133,7 +133,7 @@ fn relay_loop(
     relayed: Arc<AtomicU64>,
 ) {
     let mut upstream: Option<BufWriter<TcpStream>> = None;
-    while running.load(Ordering::Relaxed) {
+    while running.load(Ordering::Acquire) {
         let msg = match rx.recv_timeout(Duration::from_millis(100)) {
             Ok(msg) => msg,
             Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
@@ -161,7 +161,7 @@ fn relay_loop(
         if write_msg(&mut *w, &msg).and_then(|()| w.flush()).is_err() {
             upstream = None;
         } else {
-            relayed.fetch_add(1, Ordering::Relaxed);
+            relayed.fetch_add(1, Ordering::AcqRel);
         }
     }
 }

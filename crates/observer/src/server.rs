@@ -125,7 +125,7 @@ impl ObserverServer {
     }
 
     fn shutdown_inner(&mut self) {
-        self.running.store(false, Ordering::Relaxed);
+        self.running.store(false, Ordering::Release);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -155,7 +155,7 @@ fn accept_loop(
     clock: Arc<SystemClock>,
     running: Arc<AtomicBool>,
 ) {
-    while running.load(Ordering::Relaxed) {
+    while running.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let core = core.clone();
@@ -266,7 +266,7 @@ fn render_observer_prometheus(core: &ObserverCore, now: Nanos) -> String {
 fn poll_loop(core: Arc<Mutex<ObserverCore>>, clock: Arc<SystemClock>, running: Arc<AtomicBool>) {
     const POLL_INTERVAL: Nanos = 1_000_000_000;
     let mut next = POLL_INTERVAL;
-    while running.load(Ordering::Relaxed) {
+    while running.load(Ordering::Acquire) {
         thread::sleep(Duration::from_millis(50));
         let now = clock.now();
         if now < next {

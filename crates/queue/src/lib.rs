@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod ring;
+mod sync;
 mod wrr;
 
 pub use ring::{CircularQueue, PopTimeout, PushError, TryPushError};

@@ -1,0 +1,22 @@
+//! Sync-primitive shim: the single place this crate is allowed to name
+//! a sync implementation.
+//!
+//! Normal builds use `std::sync::Arc` + the workspace `parking_lot`
+//! compat primitives. Under `--features loom` every primitive comes
+//! from the loom model checker instead, so the loom tests in
+//! `tests/loom.rs` can exhaustively explore interleavings and weak
+//! memory orderings. Production code imports from `crate::sync` only —
+//! `cargo xtask lint` rejects direct `std::sync` imports elsewhere in
+//! this crate so the shim cannot silently rot.
+
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::atomic;
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+#[cfg(not(feature = "loom"))]
+pub(crate) use parking_lot::{Condvar, Mutex, MutexGuard};
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::sync::atomic;
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::sync::Arc;

@@ -1,0 +1,257 @@
+//! loom models for the `CircularQueue` protocols.
+//!
+//! Run with `cargo test -p ioverlay-queue --features loom`. Each model
+//! is explored under `LOOM_COMPAT_ITERS` randomized-deterministic
+//! schedules (see `crates/compat/loom`); on failure the seed is printed
+//! for an exact replay.
+//!
+//! The two `#[should_panic]` models are deliberate-bug demonstrators:
+//! they keep proving, on every CI run, that the checker would catch the
+//! corresponding real bug (a lost SendSpace wakeup / a missed close
+//! wakeup) if it were ever reintroduced.
+
+#![cfg(feature = "loom")]
+
+use ioverlay_queue::{CircularQueue, TryPushError};
+use loom::thread;
+
+/// SPSC with blocking push/pop through a tight (capacity-2) buffer:
+/// every message arrives exactly once, in FIFO order, under every
+/// schedule. This is the receiver-thread → engine-thread handoff.
+#[test]
+fn spsc_blocking_conservation() {
+    loom::model(|| {
+        let q = CircularQueue::with_capacity(2);
+        let producer = {
+            let q = q.clone();
+            thread::spawn(move || {
+                for i in 0..4u32 {
+                    q.push(i).unwrap();
+                }
+            })
+        };
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            got.push(q.pop().unwrap());
+        }
+        producer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3], "lost, duplicated or reordered");
+    });
+}
+
+/// Two producers, one consumer, capacity 1 (maximum contention): no
+/// message is lost or duplicated and each producer's order survives.
+#[test]
+fn mpsc_conservation_under_contention() {
+    loom::model(|| {
+        let q = CircularQueue::with_capacity(1);
+        let producers: Vec<_> = [[1u32, 2], [11, 12]]
+            .into_iter()
+            .map(|msgs| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for m in msgs {
+                        q.push(m).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let mut got = Vec::new();
+        while got.len() < 4 {
+            got.push(q.pop().unwrap());
+            q.pop_batch(8, &mut got);
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        let p0: Vec<_> = got.iter().copied().filter(|&v| v < 10).collect();
+        let p1: Vec<_> = got.iter().copied().filter(|&v| v >= 10).collect();
+        assert_eq!(p0, vec![1, 2], "producer 0 order violated");
+        assert_eq!(p1, vec![11, 12], "producer 1 order violated");
+    });
+}
+
+/// Batched producer (`push_batch` with leftover retry) against a
+/// batched consumer (`pop_batch` + `drain_into`): conservation and
+/// FIFO order hold across partial batch acceptance.
+#[test]
+fn batch_paths_conserve_and_order() {
+    loom::model(|| {
+        let q = CircularQueue::with_capacity(2);
+        let producer = {
+            let q = q.clone();
+            thread::spawn(move || {
+                let mut pending = vec![1u32, 2, 3, 4];
+                while !pending.is_empty() {
+                    if q.push_batch(&mut pending) == 0 {
+                        thread::yield_now();
+                    }
+                }
+            })
+        };
+        let mut got = Vec::new();
+        while got.len() < 4 {
+            if q.pop_batch(2, &mut got) == 0 {
+                q.drain_into(&mut got);
+                thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(got, vec![1, 2, 3, 4], "batch paths lost or reordered");
+    });
+}
+
+/// `pop_batch_observed` samples occupancy under the same lock as the
+/// pop: the reported pair must always be internally consistent
+/// (`take == min(max, occupancy)`, `occupancy <= capacity`), which is
+/// what makes the telemetry occupancy histogram trustworthy.
+#[test]
+fn observed_occupancy_is_consistent() {
+    loom::model(|| {
+        let q = CircularQueue::with_capacity(2);
+        let producer = {
+            let q = q.clone();
+            thread::spawn(move || {
+                for i in 0..3u32 {
+                    q.push(i).unwrap();
+                }
+            })
+        };
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            let before = got.len();
+            let (take, occupancy) = q.pop_batch_observed(2, &mut got);
+            assert!(occupancy <= q.capacity(), "occupancy above capacity");
+            assert_eq!(take, occupancy.min(2), "take inconsistent with occupancy");
+            assert_eq!(got.len() - before, take, "take inconsistent with output");
+            if take == 0 {
+                thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2]);
+    });
+}
+
+/// Shutdown racing an in-flight push: whatever the interleaving, the
+/// item is in the drained output if and only if the push reported
+/// success. (Graceful teardown must not drop accepted messages, and
+/// must not conjure rejected ones.)
+#[test]
+fn shutdown_vs_inflight_push() {
+    loom::model(|| {
+        let q = CircularQueue::with_capacity(1);
+        let pusher = {
+            let q = q.clone();
+            thread::spawn(move || q.push(7u32).is_ok())
+        };
+        let closer = {
+            let q = q.clone();
+            thread::spawn(move || q.close())
+        };
+        let accepted = pusher.join().unwrap();
+        closer.join().unwrap();
+        let mut drained = Vec::new();
+        while let Some(v) = q.pop() {
+            drained.push(v);
+        }
+        if accepted {
+            assert_eq!(drained, vec![7], "accepted item lost on shutdown");
+        } else {
+            assert!(drained.is_empty(), "rejected item appeared anyway");
+        }
+    });
+}
+
+/// `close()` must wake a consumer already blocked in `pop()` — the
+/// domino-teardown path. A missed `notify_all` here would strand sender
+/// threads forever; the model proves there is no such interleaving.
+#[test]
+fn close_always_wakes_blocked_consumer() {
+    loom::model(|| {
+        let q = CircularQueue::<u8>::with_capacity(1);
+        let consumer = {
+            let q = q.clone();
+            thread::spawn(move || q.pop())
+        };
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    });
+}
+
+/// The SendSpace wakeup protocol from `crates/engine` (PR 1), reduced
+/// to its synchronization skeleton. The engine thread forwards N
+/// messages through a capacity-1 sender buffer with `try_push`; on
+/// `Full` it parks until a control event arrives (the real engine
+/// blocks in `crossbeam` `recv`). The sender thread drains the buffer
+/// and — this is the fix under test — emits a SendSpace event whenever
+/// it drained a buffer that was full. Because the control channel is a
+/// queue, a signal sent before the engine parks is *not* lost.
+fn sendspace_protocol(signal_on_drain: bool) {
+    const N: u32 = 3;
+    let data = CircularQueue::with_capacity(1);
+    // Stand-in for the unbounded crossbeam control channel.
+    let events = CircularQueue::with_capacity(8);
+    let engine = {
+        let data = data.clone();
+        let events = events.clone();
+        thread::spawn(move || {
+            for msg in 0..N {
+                loop {
+                    match data.try_push(msg) {
+                        Ok(()) => break,
+                        Err(TryPushError::Full(_)) => {
+                            // Parked engine: only a SendSpace event
+                            // resumes it (no timeout fallback — that
+                            // would be the stop-and-wait this protocol
+                            // eliminated).
+                            events.pop().expect("control channel closed");
+                        }
+                        Err(TryPushError::Closed(_)) => unreachable!("never closed"),
+                    }
+                }
+            }
+        })
+    };
+    let sender = {
+        let data = data.clone();
+        let events = events.clone();
+        thread::spawn(move || {
+            let mut received = 0;
+            let mut batch = Vec::new();
+            while received < N {
+                batch.clear();
+                batch.push(data.pop().expect("engine still pushing"));
+                data.pop_batch(8, &mut batch);
+                received += batch.len() as u32;
+                // Mirrors run_sender: a drain that (together with what
+                // is still buffered) touched capacity frees space some
+                // parked engine may be waiting for.
+                if data.len() + batch.len() >= data.capacity() && signal_on_drain {
+                    events.try_push(()).expect("control channel overflow");
+                }
+            }
+        })
+    };
+    engine.join().unwrap();
+    sender.join().unwrap();
+}
+
+/// With the SendSpace signal in place there is NO interleaving in which
+/// the parked engine misses the wakeup: the model completes under every
+/// schedule.
+#[test]
+fn sendspace_wakeup_never_lost() {
+    loom::model(|| sendspace_protocol(true));
+}
+
+/// Reverting the fix (sender drains a full buffer but never signals)
+/// deadlocks the engine ⇄ sender pair, and the model proves it by
+/// reporting the stuck interleaving. This is the acceptance-criterion
+/// demonstrator: if `run_sender` ever stops emitting SendSpace, the
+/// positive model above hangs exactly like this one.
+#[test]
+#[should_panic(expected = "DEADLOCK")]
+fn sendspace_without_signal_deadlocks() {
+    loom::model(|| sendspace_protocol(false));
+}

@@ -223,3 +223,103 @@ fn stress_100k_messages_one_producer_one_consumer_batched() {
     assert_eq!(got.len(), N);
     assert!(got.iter().copied().eq(0..N), "items arrive exactly once, in order");
 }
+
+// ---------------------------------------------------------------------
+// WRR fairness properties (paper: "switches ... in a weighted
+// round-robin fashion, with dynamically tunable weights")
+// ---------------------------------------------------------------------
+
+fn arb_weights() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(1u32..=8, 1..7)
+}
+
+proptest! {
+    /// Smooth-WRR fairness: at *any* prefix of the selection sequence,
+    /// every key's service count is within ±1 of its ideal
+    /// proportional share `n * w / total` — not just at full-cycle
+    /// boundaries. This is the property that makes receiver servicing
+    /// burst-free.
+    #[test]
+    fn service_counts_track_weights_within_one(weights in arb_weights(), rounds in 1usize..200) {
+        let mut wrr = WeightedRoundRobin::new();
+        for (k, &w) in weights.iter().enumerate() {
+            wrr.set_weight(k, w);
+        }
+        let total: f64 = weights.iter().map(|&w| f64::from(w)).sum();
+        let mut counts = vec![0usize; weights.len()];
+        for n in 1..=rounds {
+            let k = *wrr.next().unwrap();
+            counts[k] += 1;
+            for (key, &count) in counts.iter().enumerate() {
+                let ideal = (n as f64) * f64::from(weights[key]) / total;
+                prop_assert!(
+                    (count as f64 - ideal).abs() <= 1.0,
+                    "after {} rounds key {} (weight {}) served {} times, ideal {:.2} (weights {:?})",
+                    n, key, weights[key], count, ideal, &weights
+                );
+            }
+        }
+    }
+
+    /// Full cycles are exactly proportional: over `cycles * total`
+    /// selections each key is served exactly `cycles * weight` times.
+    #[test]
+    fn full_cycles_are_exactly_proportional(weights in arb_weights(), cycles in 1usize..4) {
+        let mut wrr = WeightedRoundRobin::new();
+        for (k, &w) in weights.iter().enumerate() {
+            wrr.set_weight(k, w);
+        }
+        let total: usize = weights.iter().map(|&w| w as usize).sum();
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..cycles * total {
+            counts[*wrr.next().unwrap()] += 1;
+        }
+        for (key, &count) in counts.iter().enumerate() {
+            prop_assert_eq!(count, cycles * weights[key] as usize);
+        }
+    }
+
+    /// Zero-weight keys stay registered but are never serviced, however
+    /// they are interleaved with live keys — the engine parks upstreams
+    /// by retuning their weight to zero rather than removing them.
+    #[test]
+    fn zero_weight_keys_are_never_serviced(weights in arb_weights(), rounds in 1usize..100) {
+        let mut wrr = WeightedRoundRobin::new();
+        // Even keys get the generated weights, odd keys are parked.
+        for (k, &w) in weights.iter().enumerate() {
+            wrr.set_weight(2 * k, w);
+            wrr.set_weight(2 * k + 1, 0);
+        }
+        for _ in 0..rounds {
+            let k = *wrr.next().unwrap();
+            prop_assert!(k % 2 == 0, "parked key {} was serviced", k);
+        }
+        prop_assert_eq!(wrr.len(), 2 * weights.len());
+    }
+
+    /// Emptying the upstream set mid-stream: after serving arbitrarily
+    /// many rounds, removing every key (or parking them all at weight
+    /// zero) makes the scheduler yield `None` immediately, and
+    /// re-adding a key revives it.
+    #[test]
+    fn emptied_scheduler_yields_none_and_revives(weights in arb_weights(), rounds in 0usize..50, park_flag in 0u32..2) {
+        let park = park_flag == 1;
+        let mut wrr = WeightedRoundRobin::new();
+        for (k, &w) in weights.iter().enumerate() {
+            wrr.set_weight(k, w);
+        }
+        for _ in 0..rounds {
+            let _ = wrr.next();
+        }
+        for k in 0..weights.len() {
+            if park {
+                wrr.set_weight(k, 0);
+            } else {
+                assert!(wrr.remove(&k));
+            }
+        }
+        prop_assert_eq!(wrr.next().copied(), None);
+        wrr.set_weight(usize::MAX, 3);
+        prop_assert_eq!(wrr.next().copied(), Some(usize::MAX));
+    }
+}

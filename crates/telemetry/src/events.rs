@@ -9,12 +9,41 @@
 //! they fire on state transitions, not per datum — so a short mutexed
 //! critical section (one `VecDeque` push) is acceptable here where it
 //! would not be in the metric counters.
+//!
+//! # Memory-ordering argument
+//!
+//! The ring has two pieces of state written by `push`: the mutexed
+//! `records` deque and the `dropped` eviction counter. The loom models
+//! in `tests/loom.rs` pin down exactly which orderings each reader
+//! needs:
+//!
+//! * **Readers holding the `records` lock** need nothing extra: a mutex
+//!   release synchronizes-with the next acquire, so every `dropped`
+//!   increment performed inside an earlier critical section is visible
+//!   — even a `Relaxed` one would be.
+//! * **The lock-free `dropped()` accessor** (Prometheus scrape path)
+//!   pairs an `Acquire` load with the `Release` increment in `push`.
+//!   A scraper that observes eviction N therefore also observes
+//!   everything that happened-before that eviction (in particular the
+//!   pushes that caused it). With `Relaxed` on both sides the counter
+//!   value itself would still be eventually exact — RMWs never lose
+//!   updates — but it would be temporally untethered from every other
+//!   observation the scraper makes.
+//! * **The `(records, dropped)` pair must be read under one lock
+//!   acquisition** ([`EventRing::consistent_view`]). Reading
+//!   `to_vec()` and then `dropped()` as two steps tears the pair:
+//!   evictions that land between the two reads inflate `dropped`
+//!   relative to the copied records, so `dropped + newest_seq`-style
+//!   accounting overcounts. The loom model
+//!   `torn_snapshot_overcounts_dropped` demonstrates that failure
+//!   against the torn pattern; `NodeTelemetry::snapshot` uses
+//!   `consistent_view` for exactly this reason.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 use ioverlay_message::NodeId;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Default number of records an [`EventRing`] retains.
@@ -60,6 +89,12 @@ pub enum TelemetryEvent {
         /// The overlay application id being torn down.
         app: u32,
     },
+    /// A queue lock was found poisoned (a holder panicked) and was
+    /// recovered instead of propagating the panic.
+    QueuePoisonRecovered {
+        /// How many new recoveries this event covers.
+        count: u64,
+    },
 }
 
 /// One timestamped event.
@@ -96,14 +131,17 @@ impl EventRing {
         let mut records = self.records.lock();
         if records.len() == self.capacity {
             records.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            // Release: pairs with the Acquire in `dropped()` so a
+            // lock-free scraper that sees this eviction also sees the
+            // pushes that caused it (see module comment).
+            self.dropped.fetch_add(1, Ordering::Release);
         }
         records.push_back(EventRecord { at, event });
     }
 
     /// Number of records evicted so far.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.dropped.load(Ordering::Acquire)
     }
 
     /// Maximum number of retained records.
@@ -124,6 +162,19 @@ impl EventRing {
     /// Copies out the retained records, oldest first.
     pub fn to_vec(&self) -> Vec<EventRecord> {
         self.records.lock().iter().cloned().collect()
+    }
+
+    /// Copies out the retained records together with the eviction count
+    /// observed under the *same* lock acquisition, so the pair is
+    /// mutually consistent: every event pushed before the snapshot is
+    /// either in the returned records or counted in `dropped`, and
+    /// `dropped` includes no eviction that the records do not reflect.
+    /// Snapshots must use this instead of `to_vec()` + `dropped()`,
+    /// which can tear (see module comment).
+    pub fn consistent_view(&self) -> (Vec<EventRecord>, u64) {
+        let records = self.records.lock();
+        let dropped = self.dropped.load(Ordering::Acquire);
+        (records.iter().cloned().collect(), dropped)
     }
 }
 

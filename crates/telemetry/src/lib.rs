@@ -25,6 +25,8 @@ pub mod metrics;
 pub mod scrape;
 pub mod snapshot;
 
+mod sync;
+
 pub use events::{EventRecord, EventRing, TelemetryEvent, DEFAULT_EVENT_CAPACITY};
 pub use metrics::{
     Counter, Gauge, Histogram, BATCH_BOUNDS_MSGS, LATENCY_BOUNDS_NANOS, SYSCALL_BOUNDS_BYTES,
@@ -61,6 +63,7 @@ pub struct NodeTelemetry {
     disconnects: Counter,
     domino_teardowns: Counter,
     sendspace_wakeups: Counter,
+    queue_poison_recoveries: Counter,
 
     // Gauges.
     upstreams: Gauge,
@@ -100,6 +103,7 @@ impl NodeTelemetry {
             disconnects: Counter::new(),
             domino_teardowns: Counter::new(),
             sendspace_wakeups: Counter::new(),
+            queue_poison_recoveries: Counter::new(),
             upstreams: Gauge::new(),
             downstreams: Gauge::new(),
             recv_queue_msgs: Gauge::new(),
@@ -244,6 +248,18 @@ impl NodeTelemetry {
         }
     }
 
+    /// `count` queue locks were found poisoned by a panicking holder and
+    /// recovered (see `CircularQueue::poison_recoveries`). Surfaced as a
+    /// structured event, like a buffer-full report, so operators see a
+    /// worker panic even when the node keeps running.
+    pub fn record_queue_poison_recoveries(&self, at: Nanos, count: u64) {
+        if self.enabled && count > 0 {
+            self.queue_poison_recoveries.add(count);
+            self.events
+                .push(at, TelemetryEvent::QueuePoisonRecovered { count });
+        }
+    }
+
     /// Updates the link-count gauges.
     #[inline]
     pub fn set_link_gauges(&self, upstreams: u64, downstreams: u64) {
@@ -266,6 +282,10 @@ impl NodeTelemetry {
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let c = |name: &str, counter: &Counter| (name.to_string(), counter.get());
         let g = |name: &str, gauge: &Gauge| (name.to_string(), gauge.get());
+        // One lock acquisition for the (records, dropped) pair — the
+        // two-step to_vec()/dropped() read tears under concurrent
+        // eviction (see the events module comment and loom model).
+        let (events_view, events_dropped) = self.events.consistent_view();
         TelemetrySnapshot {
             enabled: self.enabled,
             counters: vec![
@@ -282,6 +302,7 @@ impl NodeTelemetry {
                 c("disconnects", &self.disconnects),
                 c("domino_teardowns", &self.domino_teardowns),
                 c("sendspace_wakeups", &self.sendspace_wakeups),
+                c("queue_poison_recoveries", &self.queue_poison_recoveries),
             ],
             gauges: vec![
                 g("upstreams", &self.upstreams),
@@ -299,8 +320,8 @@ impl NodeTelemetry {
                 self.recv_batch_msgs.snapshot("recv_batch_msgs"),
                 self.recv_syscall_bytes.snapshot("recv_syscall_bytes"),
             ],
-            events: self.events.to_vec(),
-            events_dropped: self.events.dropped(),
+            events: events_view,
+            events_dropped,
         }
     }
 }

@@ -7,7 +7,7 @@
 //! relaxed ordering keeps a recording site down to one uncontended
 //! atomic RMW (~1 ns) and never stalls the batched switch fast path.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use crate::snapshot::HistogramSnapshot;
 
@@ -17,7 +17,15 @@ pub struct Counter(AtomicU64);
 
 impl Counter {
     /// Creates a counter at zero.
+    #[cfg(not(feature = "loom"))]
     pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Creates a counter at zero (non-const: loom atomics register with
+    /// the active model at construction time).
+    #[cfg(feature = "loom")]
+    pub fn new() -> Self {
         Self(AtomicU64::new(0))
     }
 
@@ -46,7 +54,15 @@ pub struct Gauge(AtomicU64);
 
 impl Gauge {
     /// Creates a gauge at zero.
+    #[cfg(not(feature = "loom"))]
     pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Creates a gauge at zero (non-const: loom atomics register with
+    /// the active model at construction time).
+    #[cfg(feature = "loom")]
+    pub fn new() -> Self {
         Self(AtomicU64::new(0))
     }
 

@@ -28,6 +28,8 @@ pub fn sniff_http_get(stream: &TcpStream) -> bool {
                 if probe[..n] != b"GET "[..n] {
                     return false;
                 }
+                // xtask-lint: allow(wall-clock) — real-socket HTTP sniff
+                // retry; never driven by the simnet virtual clock.
                 std::thread::sleep(Duration::from_millis(1));
             }
         }

@@ -1,0 +1,19 @@
+//! Sync-primitive shim: the single place this crate is allowed to name
+//! a sync implementation.
+//!
+//! Normal builds use the workspace `parking_lot` compat mutex and
+//! `std::sync` atomics. Under `--features loom` every primitive comes
+//! from the loom model checker, so `tests/loom.rs` can explore the
+//! event ring and counter protocols under weak memory. Production code
+//! imports from `crate::sync` only — `cargo xtask lint` rejects direct
+//! `std::sync` imports elsewhere in this crate.
+
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::atomic;
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::Mutex;
+
+#[cfg(not(feature = "loom"))]
+pub(crate) use parking_lot::Mutex;
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::sync::atomic;

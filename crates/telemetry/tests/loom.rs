@@ -1,0 +1,165 @@
+//! loom models for the telemetry registry's lock-free pieces: the
+//! drop-oldest event ring and the relaxed-atomic counters.
+//!
+//! Run with `cargo test -p ioverlay-telemetry --features loom`. The
+//! `#[should_panic]` model is the acceptance-criterion demonstrator for
+//! the event-ring fix: it reads the `(records, dropped)` pair the way
+//! `NodeTelemetry::snapshot` did *before* `EventRing::consistent_view`
+//! existed, and the model finds the interleaving where that pair tears.
+
+#![cfg(feature = "loom")]
+
+use ioverlay_telemetry::events::{EventRing, TelemetryEvent};
+use ioverlay_telemetry::metrics::Counter;
+use loom::sync::atomic::{AtomicBool, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+fn ev(app: u32) -> TelemetryEvent {
+    TelemetryEvent::DominoTeardown { app }
+}
+
+/// Conservation: with two writers racing into a capacity-1 ring, every
+/// push is accounted for — retained or counted dropped — under every
+/// interleaving, and the dropped counter never undercounts.
+#[test]
+fn event_ring_conserves_pushes() {
+    loom::model(|| {
+        let ring = Arc::new(EventRing::new(1));
+        let writers: Vec<_> = (0..2u32)
+            .map(|w| {
+                let ring = ring.clone();
+                thread::spawn(move || {
+                    for i in 0..2u64 {
+                        ring.push(i, ev(w));
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let (records, dropped) = ring.consistent_view();
+        assert_eq!(
+            records.len() as u64 + dropped,
+            4,
+            "pushes lost or double-counted"
+        );
+    });
+}
+
+/// The paired read: `consistent_view` samples records and the dropped
+/// counter under one lock acquisition, so with a single writer pushing
+/// sequence numbers the identity `dropped + len == newest_seq + 1`
+/// holds *mid-flight*, at every observation point.
+#[test]
+fn consistent_view_pairing_is_exact() {
+    loom::model(|| {
+        let ring = Arc::new(EventRing::new(2));
+        let writer = {
+            let ring = ring.clone();
+            thread::spawn(move || {
+                for seq in 0..4u64 {
+                    ring.push(seq, ev(0));
+                }
+            })
+        };
+        for _ in 0..2 {
+            let (records, dropped) = ring.consistent_view();
+            if let Some(newest) = records.last() {
+                assert_eq!(
+                    dropped + records.len() as u64,
+                    newest.at + 1,
+                    "(records, dropped) pair tore"
+                );
+            } else {
+                assert_eq!(dropped, 0, "dropped events while nothing was pushed");
+            }
+        }
+        writer.join().unwrap();
+    });
+}
+
+/// The torn read this fix removed: `to_vec()` then `dropped()` as two
+/// separate steps. An eviction landing between the two reads inflates
+/// `dropped` relative to the copied records, breaking the same identity
+/// — and the model finds that interleaving. If `NodeTelemetry::snapshot`
+/// ever regresses to the two-step read, the paired model above is
+/// exactly what it would violate.
+#[test]
+#[should_panic(expected = "pair tore")]
+fn torn_snapshot_overcounts_dropped() {
+    loom::model(|| {
+        let ring = Arc::new(EventRing::new(2));
+        let writer = {
+            let ring = ring.clone();
+            thread::spawn(move || {
+                for seq in 0..4u64 {
+                    ring.push(seq, ev(0));
+                }
+            })
+        };
+        for _ in 0..2 {
+            // BUG (deliberate): two lock acquisitions — evictions can
+            // land in between.
+            let records = ring.to_vec();
+            let dropped = ring.dropped();
+            if let Some(newest) = records.last() {
+                assert_eq!(
+                    dropped + records.len() as u64,
+                    newest.at + 1,
+                    "(records, dropped) pair tore"
+                );
+            }
+        }
+        writer.join().unwrap();
+    });
+}
+
+/// Relaxed counter increments are RMWs: no update is ever lost, even
+/// with two recording threads racing, and the join edge publishes the
+/// final value to the reader.
+#[test]
+fn counter_increments_never_lost() {
+    loom::model(|| {
+        let counter = Arc::new(Counter::new());
+        let recorders: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = counter.clone();
+                thread::spawn(move || {
+                    for _ in 0..3 {
+                        counter.inc();
+                    }
+                })
+            })
+            .collect();
+        for r in recorders {
+            r.join().unwrap();
+        }
+        assert_eq!(counter.get(), 6, "relaxed increment lost");
+    });
+}
+
+/// Why Relaxed counters are sound for scrapers: readers never look at a
+/// counter in isolation — they reach it through some release/acquire
+/// edge (a snapshot lock, a shutdown flag, a thread join). The model
+/// shows a Release-published flag makes the Relaxed counter value
+/// visible; the counter itself needs nothing stronger.
+#[test]
+fn counter_visible_through_release_edge() {
+    loom::model(|| {
+        let counter = Arc::new(Counter::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let (counter, done) = (counter.clone(), done.clone());
+            thread::spawn(move || {
+                counter.add(5);
+                done.store(true, Ordering::Release);
+            })
+        };
+        if done.load(Ordering::Acquire) {
+            assert_eq!(counter.get(), 5, "counter invisible after acquire edge");
+        }
+        writer.join().unwrap();
+    });
+}

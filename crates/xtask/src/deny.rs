@@ -1,0 +1,300 @@
+//! Offline dependency-policy check (`cargo xtask deny`).
+//!
+//! The container has no registry access, so the real `cargo-deny` binary
+//! cannot be installed; this module re-implements the slice of its policy
+//! surface this workspace needs, driven by the checked-in `deny.toml`:
+//!
+//! * **sources** — every package in `Cargo.lock` must be path-local (no
+//!   `source =` line) unless its registry/git origin is explicitly allowed.
+//!   With vendored compat shims the allow lists are empty: a registry
+//!   dependency sneaking into the graph fails CI.
+//! * **bans** — packages named in `[bans] deny` must not appear in the
+//!   graph at all, under any source.
+//! * **licenses** — every workspace crate's `license` field (including
+//!   `license.workspace = true` inheritance) must be in `[licenses] allow`.
+//!
+//! The parser handles exactly the TOML subset `deny.toml` and `Cargo.lock`
+//! use: `[section]` / `[[section]]` headers and `key = "str"` /
+//! `key = ["a", "b"]` pairs. Keep `deny.toml` in that subset.
+
+use std::path::Path;
+
+/// A policy violation, printable as a diagnostic.
+#[derive(Debug)]
+pub struct DenyViolation {
+    /// Which policy area failed: `sources`, `bans`, or `licenses`.
+    pub check: &'static str,
+    /// Description including the offending package/license.
+    pub msg: String,
+}
+
+impl std::fmt::Display for DenyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "error[deny:{}]: {}", self.check, self.msg)
+    }
+}
+
+/// The parsed `deny.toml` policy.
+#[derive(Debug, Default)]
+pub struct Policy {
+    banned: Vec<String>,
+    allow_registry: Vec<String>,
+    allow_git: Vec<String>,
+    allow_licenses: Vec<String>,
+}
+
+/// One `[[package]]` stanza from `Cargo.lock`.
+#[derive(Debug)]
+struct LockPackage {
+    name: String,
+    source: Option<String>,
+}
+
+/// Strips a trailing `#`-style TOML comment outside of strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `key = "value"` → value, or `key = ["a", "b"]` → items.
+fn parse_strings(rhs: &str) -> Vec<String> {
+    rhs.split('"')
+        .skip(1)
+        .step_by(2)
+        .map(|s| s.to_string())
+        .collect()
+}
+
+impl Policy {
+    /// Parses the `deny.toml` subset described in the module docs.
+    pub fn parse(toml: &str) -> Policy {
+        let mut policy = Policy::default();
+        let mut section = String::new();
+        for raw in toml.lines() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                section = line.trim_matches(['[', ']']).to_string();
+                continue;
+            }
+            let Some((key, rhs)) = line.split_once('=') else {
+                continue;
+            };
+            let (key, values) = (key.trim(), parse_strings(rhs));
+            match (section.as_str(), key) {
+                ("bans", "deny") => policy.banned = values,
+                ("sources", "allow-registry") => policy.allow_registry = values,
+                ("sources", "allow-git") => policy.allow_git = values,
+                ("licenses", "allow") => policy.allow_licenses = values,
+                _ => {}
+            }
+        }
+        policy
+    }
+}
+
+fn parse_lock(lock: &str) -> Vec<LockPackage> {
+    let mut packages = Vec::new();
+    let mut current: Option<LockPackage> = None;
+    for raw in lock.lines() {
+        let line = raw.trim();
+        if line == "[[package]]" {
+            if let Some(done) = current.take() {
+                packages.push(done);
+            }
+            current = Some(LockPackage {
+                name: String::new(),
+                source: None,
+            });
+        } else if let Some(pkg) = current.as_mut() {
+            if let Some(rhs) = line.strip_prefix("name = ") {
+                pkg.name = rhs.trim_matches('"').to_string();
+            } else if let Some(rhs) = line.strip_prefix("source = ") {
+                pkg.source = Some(rhs.trim_matches('"').to_string());
+            }
+        }
+    }
+    packages.extend(current);
+    packages
+}
+
+/// Runs all three checks against a workspace root containing `deny.toml`,
+/// `Cargo.lock`, and `crates/`.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<DenyViolation>> {
+    let policy = Policy::parse(&std::fs::read_to_string(root.join("deny.toml"))?);
+    let lock = std::fs::read_to_string(root.join("Cargo.lock"))?;
+    let mut violations = check_lock(&policy, &lock);
+    violations.extend(check_licenses(&policy, root)?);
+    Ok(violations)
+}
+
+/// Source + ban checks over a `Cargo.lock` body (pure, for self-tests).
+pub fn check_lock(policy: &Policy, lock: &str) -> Vec<DenyViolation> {
+    let mut out = Vec::new();
+    for pkg in parse_lock(&lock.replace("\r\n", "\n")) {
+        if policy.banned.iter().any(|b| b == &pkg.name) {
+            out.push(DenyViolation {
+                check: "bans",
+                msg: format!("banned package `{}` is in the dependency graph", pkg.name),
+            });
+        }
+        if let Some(source) = &pkg.source {
+            let allowed = if source.starts_with("git+") {
+                policy.allow_git.iter().any(|a| source.contains(a.as_str()))
+            } else {
+                policy
+                    .allow_registry
+                    .iter()
+                    .any(|a| source.contains(a.as_str()))
+            };
+            if !allowed {
+                out.push(DenyViolation {
+                    check: "sources",
+                    msg: format!(
+                        "package `{}` comes from non-allowed source `{source}` \
+                         (this workspace vendors all deps under crates/compat)",
+                        pkg.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// License check over every crate manifest under `crates/`.
+fn check_licenses(policy: &Policy, root: &Path) -> std::io::Result<Vec<DenyViolation>> {
+    let workspace_license = manifest_license(&std::fs::read_to_string(root.join("Cargo.toml"))?);
+    let mut out = Vec::new();
+    let mut manifests = Vec::new();
+    collect_manifests(&root.join("crates"), &mut manifests)?;
+    manifests.sort();
+    for path in manifests {
+        let body = std::fs::read_to_string(&path)?;
+        let license = if body.contains("license.workspace = true") {
+            workspace_license.clone()
+        } else {
+            manifest_license(&body)
+        };
+        let rel = path.strip_prefix(root).unwrap_or(&path).display();
+        match license {
+            Some(license) if policy.allow_licenses.iter().any(|a| a == &license) => {}
+            Some(license) => out.push(DenyViolation {
+                check: "licenses",
+                msg: format!("{rel}: license `{license}` not in the allow list"),
+            }),
+            None => out.push(DenyViolation {
+                check: "licenses",
+                msg: format!("{rel}: no license declared"),
+            }),
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts `license = "..."` from a manifest (either table).
+fn manifest_license(toml: &str) -> Option<String> {
+    for raw in toml.lines() {
+        let line = strip_comment(raw).trim();
+        if let Some(rhs) = line.strip_prefix("license = ") {
+            return Some(rhs.trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+fn collect_manifests(
+    dir: &Path,
+    out: &mut Vec<std::path::PathBuf>,
+) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            if path.file_name().map(|n| n.to_string_lossy().to_string()).as_deref() == Some("target")
+            {
+                continue;
+            }
+            collect_manifests(&path, out)?;
+        } else if path.file_name().and_then(|n| n.to_str()) == Some("Cargo.toml") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLICY: &str = r#"
+[bans]
+deny = ["openssl"]
+
+[sources]
+allow-registry = []
+allow-git = []
+
+[licenses]
+allow = ["MIT OR Apache-2.0"]
+"#;
+
+    #[test]
+    fn registry_source_is_rejected_when_allow_list_is_empty() {
+        let policy = Policy::parse(POLICY);
+        let lock = "[[package]]\nname = \"sneaky\"\nversion = \"1.0.0\"\n\
+                    source = \"registry+https://github.com/rust-lang/crates.io-index\"\n";
+        let v = check_lock(&policy, lock);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "sources");
+        assert!(v[0].to_string().contains("sneaky"));
+    }
+
+    #[test]
+    fn banned_package_is_rejected_even_as_path_dep() {
+        let policy = Policy::parse(POLICY);
+        let lock = "[[package]]\nname = \"openssl\"\nversion = \"0.10.0\"\n";
+        let v = check_lock(&policy, lock);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "bans");
+    }
+
+    #[test]
+    fn path_local_packages_pass() {
+        let policy = Policy::parse(POLICY);
+        let lock = "[[package]]\nname = \"ioverlay-queue\"\nversion = \"0.1.0\"\n\n\
+                    [[package]]\nname = \"parking_lot\"\nversion = \"0.1.0\"\n";
+        assert!(check_lock(&policy, lock).is_empty());
+    }
+
+    // Same check CI runs: the live workspace satisfies the policy.
+    #[test]
+    fn current_workspace_satisfies_policy() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .expect("xtask lives at <root>/crates/xtask")
+            .to_path_buf();
+        let violations = check_workspace(&root).expect("read policy + lock");
+        assert!(
+            violations.is_empty(),
+            "dependency policy violations:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! The invariant lint rules (`cargo xtask lint`).
+//!
+//! Each rule encodes a cross-cutting correctness invariant of this
+//! workspace that rustc/clippy cannot express:
+//!
+//! * **R1 `relaxed-ordering`** — `Ordering::Relaxed` is only permitted in
+//!   `crates/telemetry` (whose counters carry a documented ordering
+//!   argument, see `crates/telemetry/src/events.rs`) and in the vendored
+//!   compat shims. Everywhere else a Relaxed access is presumed to be an
+//!   unproven publication and must be Acquire/Release or stronger.
+//! * **R2 `panic-path`** — no `.unwrap()` / `.expect(` in the engine's
+//!   switch loop (`crates/engine/src/{engine,peer}.rs`): a panic there
+//!   poisons queue mutexes and takes down the whole node. Error paths must
+//!   degrade (drop the link, surface a telemetry event).
+//! * **R3 `wall-clock`** — simnet-reachable crates must not call
+//!   `std::thread::sleep` or `Instant::now`: simulated time comes from the
+//!   ratelimit clock abstraction (`crates/ratelimit/src/clock.rs`).
+//!   Individually justified real-time uses carry a
+//!   `// xtask-lint: allow(wall-clock) — reason` waiver comment.
+//! * **R4 `std-sync`** — crates with a loom `sync` shim (`queue`,
+//!   `telemetry`) must route every sync primitive through their
+//!   `src/sync.rs` module; a direct `std::sync` path elsewhere would
+//!   silently escape the model checker.
+//!
+//! All rules skip `#[cfg(test)]` items, `tests/` and `benches/`
+//! directories: test code may sleep, unwrap, and race however it likes.
+
+use crate::scan::{mask_source, test_line_flags};
+
+/// One lint finding, pointing at a file:line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id, e.g. `relaxed-ordering`.
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the invariant broken.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "error[{}]: {}\n  --> {}:{}",
+            self.rule, self.msg, self.file, self.line
+        )
+    }
+}
+
+/// Crates whose code can run under the simnet virtual clock; wall-clock
+/// calls there would diverge real and simulated time (rule R3).
+const SIMNET_REACHABLE: &[&str] = &[
+    "crates/message/",
+    "crates/api/",
+    "crates/ratelimit/",
+    "crates/queue/",
+    "crates/telemetry/",
+    "crates/simnet/",
+];
+
+/// The one sanctioned wall-clock site: the clock abstraction itself.
+const CLOCK_ABSTRACTION: &str = "crates/ratelimit/src/clock.rs";
+
+/// Crates with a loom `sync` shim module (rule R4).
+const LOOM_SHIMMED: &[&str] = &["crates/queue/", "crates/telemetry/"];
+
+/// Engine files where panics take the whole node down (rule R2).
+const PANIC_FREE_FILES: &[&str] = &["crates/engine/src/engine.rs", "crates/engine/src/peer.rs"];
+
+/// The waiver marker recognized by R3. Must appear in a comment on the
+/// violating line or one of the three lines above it, followed by a reason.
+const WALL_CLOCK_WAIVER: &str = "xtask-lint: allow(wall-clock)";
+
+/// Paths exempt from every rule: vendored shims (they *implement* the
+/// primitives the rules guard), integration tests, benches, and xtask
+/// itself (whose rule tables and tests spell out the banned patterns).
+fn path_exempt(rel: &str) -> bool {
+    rel.starts_with("crates/compat/")
+        || rel.starts_with("crates/xtask/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+}
+
+/// Lints one file's source, given its workspace-relative path. Pure so the
+/// self-tests can feed deliberate violations without touching the tree.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
+    let rel = rel.replace('\\', "/");
+    if path_exempt(&rel) || !rel.ends_with(".rs") {
+        return Vec::new();
+    }
+    let masked = mask_source(src);
+    let in_test = test_line_flags(&masked);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+
+    for (idx, line) in masked.lines().enumerate() {
+        if in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let lineno = idx + 1;
+
+        // R1: Relaxed ordering outside the telemetry crate.
+        if line.contains("Ordering::Relaxed") && !rel.starts_with("crates/telemetry/") {
+            out.push(Violation {
+                rule: "relaxed-ordering",
+                file: rel.clone(),
+                line: lineno,
+                msg: "Ordering::Relaxed outside crates/telemetry; use Acquire/Release \
+                      or move the documented-Relaxed pattern into telemetry"
+                    .into(),
+            });
+        }
+
+        // R2: panic paths in the engine switch loop.
+        if PANIC_FREE_FILES.contains(&rel.as_str())
+            && (line.contains(".unwrap()") || line.contains(".expect("))
+        {
+            out.push(Violation {
+                rule: "panic-path",
+                file: rel.clone(),
+                line: lineno,
+                msg: "unwrap()/expect() in the engine switch loop; a panic here poisons \
+                      queue locks — degrade instead (drop link, emit telemetry event)"
+                    .into(),
+            });
+        }
+
+        // R3: wall-clock time in simnet-reachable crates.
+        if SIMNET_REACHABLE.iter().any(|c| rel.starts_with(c))
+            && rel != CLOCK_ABSTRACTION
+            && (line.contains("thread::sleep") || line.contains("Instant::now"))
+            && !has_waiver(&raw_lines, idx)
+        {
+            out.push(Violation {
+                rule: "wall-clock",
+                file: rel.clone(),
+                line: lineno,
+                msg: format!(
+                    "wall-clock call in a simnet-reachable crate; route time through \
+                     {CLOCK_ABSTRACTION} or add `// {WALL_CLOCK_WAIVER} — reason`"
+                ),
+            });
+        }
+
+        // R4: std::sync bypassing the loom shim.
+        if LOOM_SHIMMED.iter().any(|c| rel.starts_with(c))
+            && !rel.ends_with("/src/sync.rs")
+            && line.contains("std::sync")
+        {
+            out.push(Violation {
+                rule: "std-sync",
+                file: rel.clone(),
+                line: lineno,
+                msg: "direct std::sync use in a loom-shimmed crate; import via the \
+                      crate's `sync` module so the loom models cover it"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+/// R3 waiver: the marker comment on the flagged line or within the three
+/// lines above it (waivers are prose comments, so they are looked up in
+/// the *unmasked* source).
+fn has_waiver(raw_lines: &[&str], idx: usize) -> bool {
+    let lo = idx.saturating_sub(3);
+    raw_lines[lo..=idx.min(raw_lines.len().saturating_sub(1))]
+        .iter()
+        .any(|l| l.contains(WALL_CLOCK_WAIVER))
+}
+
+/// Walks the workspace's `crates/` tree and lints every Rust file.
+/// Returns all violations, sorted by path then line.
+pub fn lint_workspace(root: &std::path::Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        out.extend(lint_source(&rel, &src));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(
+    dir: &std::path::Path,
+    out: &mut Vec<std::path::PathBuf>,
+) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+        if path.is_dir() {
+            if name.as_deref() == Some("target") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The acceptance-criterion self-test: a deliberate violation is
+    // rejected with a file:line diagnostic.
+    #[test]
+    fn deliberate_relaxed_violation_is_rejected_with_location() {
+        let src = "use std::sync::atomic::Ordering;\n\
+                   fn f(a: &std::sync::atomic::AtomicU64) {\n\
+                   \x20   a.load(Ordering::Relaxed);\n\
+                   }\n";
+        let v = lint_source("crates/engine/src/handle.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "relaxed-ordering");
+        assert_eq!(v[0].file, "crates/engine/src/handle.rs");
+        assert_eq!(v[0].line, 3);
+        let rendered = v[0].to_string();
+        assert!(
+            rendered.contains("crates/engine/src/handle.rs:3"),
+            "diagnostic must carry file:line, got: {rendered}"
+        );
+    }
+
+    #[test]
+    fn relaxed_is_allowed_in_telemetry_and_in_comments() {
+        let src = "// discussing Ordering::Relaxed is fine\n\
+                   a.load(Ordering::Relaxed);\n";
+        assert!(lint_source("crates/telemetry/src/metrics.rs", src).is_empty());
+        let commented = "// a.load(Ordering::Relaxed)\nlet s = \"Ordering::Relaxed\";\n";
+        assert!(lint_source("crates/queue/src/ring.rs", commented).is_empty());
+    }
+
+    #[test]
+    fn relaxed_in_cfg_test_module_is_exempt() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   fn t(a: &A) { a.load(Ordering::Relaxed); }\n\
+                   }\n";
+        assert!(lint_source("crates/engine/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_engine_switch_loop_is_rejected() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = lint_source("crates/engine/src/engine.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "panic-path");
+        assert_eq!(v[0].line, 1);
+        // The same code elsewhere is fine.
+        assert!(lint_source("crates/engine/src/handle.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_needs_a_waiver_in_simnet_reachable_crates() {
+        let bare = "fn f() { std::thread::sleep(d); }\n";
+        let v = lint_source("crates/queue/src/ring.rs", bare);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "wall-clock");
+
+        let waived = "// xtask-lint: allow(wall-clock) — real socket retry\n\
+                      fn f() { std::thread::sleep(d); }\n";
+        assert!(lint_source("crates/queue/src/ring.rs", waived).is_empty());
+
+        // The clock abstraction itself is the sanctioned site.
+        let clock = "fn now() -> Instant { Instant::now() }\n";
+        assert!(lint_source("crates/ratelimit/src/clock.rs", clock).is_empty());
+        // Engine is not simnet-reachable; real sleeps are its business.
+        assert!(lint_source("crates/engine/src/peer.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn std_sync_in_loom_shimmed_crate_is_rejected_outside_shim() {
+        let src = "use std::sync::Mutex;\n";
+        let v = lint_source("crates/queue/src/ring.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "std-sync");
+        assert!(lint_source("crates/queue/src/sync.rs", src).is_empty());
+        assert!(lint_source("crates/engine/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tests_and_compat_paths_are_fully_exempt() {
+        let src = "a.load(Ordering::Relaxed); x.unwrap(); std::thread::sleep(d);\n";
+        assert!(lint_source("crates/queue/tests/loom.rs", src).is_empty());
+        assert!(lint_source("crates/compat/loom/src/rt.rs", src).is_empty());
+    }
+
+    // The live tree must be clean — this is the same check CI runs.
+    #[test]
+    fn current_workspace_is_clean() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .expect("xtask lives at <root>/crates/xtask")
+            .to_path_buf();
+        let violations = lint_workspace(&root).expect("walk workspace");
+        assert!(
+            violations.is_empty(),
+            "workspace has lint violations:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

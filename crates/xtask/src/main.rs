@@ -1,0 +1,78 @@
+//! Workspace automation (`cargo xtask <command>`), following the
+//! [xtask pattern]: a plain workspace binary, no extra tooling to install.
+//!
+//! Commands:
+//!
+//! * `cargo xtask lint` — the invariant lint pass (see [`lint`] for the
+//!   rules). Exits non-zero with `file:line` diagnostics on violation.
+//! * `cargo xtask deny` — offline dependency-policy check against
+//!   `deny.toml` (see [`deny`]). The real `cargo-deny` needs registry
+//!   access this environment doesn't have; this covers the same surface
+//!   for a fully vendored workspace.
+//!
+//! Both run in CI as gating jobs (`.github/workflows/ci.yml`).
+//!
+//! [xtask pattern]: https://github.com/matklad/cargo-xtask
+
+mod deny;
+mod lint;
+mod scan;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // xtask always lives at <root>/crates/xtask.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let command = std::env::args().nth(1).unwrap_or_default();
+    let root = workspace_root();
+    match command.as_str() {
+        "lint" => match lint::lint_workspace(&root) {
+            Ok(violations) if violations.is_empty() => {
+                println!("xtask lint: ok");
+                ExitCode::SUCCESS
+            }
+            Ok(violations) => {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("xtask lint: failed to read workspace: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "deny" => match deny::check_workspace(&root) {
+            Ok(violations) if violations.is_empty() => {
+                println!("xtask deny: ok");
+                ExitCode::SUCCESS
+            }
+            Ok(violations) => {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("xtask deny: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("xtask deny: failed to read policy or lockfile: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: cargo xtask <lint|deny>");
+            eprintln!("  lint  invariant lint pass (orderings, panic paths, wall-clock, std::sync)");
+            eprintln!("  deny  offline dependency policy check against deny.toml");
+            ExitCode::FAILURE
+        }
+    }
+}

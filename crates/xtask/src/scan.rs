@@ -1,0 +1,292 @@
+//! Lexical Rust source scanning for the invariant lints.
+//!
+//! The lints match *code*, not prose: a rule like "no `Ordering::Relaxed`
+//! outside `crates/telemetry`" must not fire on a doc comment that merely
+//! discusses `Relaxed`. Full parsing (`syn`) is unavailable offline, so this
+//! module does the next-best thing — a character-level lexer that blanks out
+//! comments and string/char literals while preserving byte offsets and line
+//! structure, plus a brace-matching pass that marks every line living inside
+//! a `#[cfg(test)]` item. Rules then run plain substring matches against the
+//! masked text and consult the per-line test flags.
+
+/// Returns `src` with the *contents* of comments and string/char literals
+/// replaced by spaces. Newlines are kept (even inside block comments and
+/// multi-line strings) so line numbers in the masked text match the
+/// original exactly.
+pub fn mask_source(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    // Emits `b` unless it is being masked; newlines always survive.
+    fn put(out: &mut Vec<u8>, b: u8, masked: bool) {
+        if b == b'\n' || !masked {
+            out.push(b);
+        } else {
+            out.push(b' ');
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                // Line comment: mask to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    put(&mut out, bytes[i], true);
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1;
+                put(&mut out, bytes[i], true);
+                put(&mut out, bytes[i + 1], true);
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        put(&mut out, bytes[i], true);
+                        put(&mut out, bytes[i + 1], true);
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        put(&mut out, bytes[i], true);
+                        put(&mut out, bytes[i + 1], true);
+                        i += 2;
+                    } else {
+                        put(&mut out, bytes[i], true);
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                // Ordinary string literal (a leading `b` was already copied
+                // through as plain code, which is fine).
+                out.push(b'"');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        put(&mut out, bytes[i], true);
+                        put(&mut out, bytes[i + 1], true);
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        out.push(b'"');
+                        i += 1;
+                        break;
+                    } else {
+                        put(&mut out, bytes[i], true);
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if is_raw_string_start(bytes, i) => {
+                // Raw string r"..." / r#"..."# (optionally with a `b` prefix
+                // handled a byte earlier as plain code).
+                out.push(b'r');
+                i += 1;
+                let mut hashes = 0;
+                while i < bytes.len() && bytes[i] == b'#' {
+                    out.push(b'#');
+                    hashes += 1;
+                    i += 1;
+                }
+                out.push(b'"');
+                i += 1; // opening quote
+                'raw: while i < bytes.len() {
+                    if bytes[i] == b'"' {
+                        // A closing quote must be followed by `hashes` #s.
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if bytes.get(i + 1 + k) != Some(&b'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            out.push(b'"');
+                            out.extend(std::iter::repeat_n(b'#', hashes));
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    put(&mut out, bytes[i], true);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Either a char literal ('a', '\n') or a lifetime ('a). A
+                // char literal closes with a quote within a few bytes; a
+                // lifetime never closes.
+                if is_char_literal(bytes, i) {
+                    out.push(b'\'');
+                    i += 1;
+                    while i < bytes.len() {
+                        if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                            put(&mut out, bytes[i], true);
+                            put(&mut out, bytes[i + 1], true);
+                            i += 2;
+                        } else if bytes[i] == b'\'' {
+                            out.push(b'\'');
+                            i += 1;
+                            break;
+                        } else {
+                            put(&mut out, bytes[i], true);
+                            i += 1;
+                        }
+                    }
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    // Masking only ever replaces bytes with ASCII spaces inside literal or
+    // comment contents, so the result is still valid UTF-8.
+    String::from_utf8(out).expect("masking preserves UTF-8")
+}
+
+/// `r"` or `r#...#"` at `i` (the `r` itself).
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    if bytes[i] != b'r' {
+        return false;
+    }
+    // Don't treat identifiers ending in `r` (e.g. `var"`, impossible, or
+    // `for`) as raw strings: require a non-ident char before the `r`.
+    if i > 0 {
+        let p = bytes[i - 1];
+        if p.is_ascii_alphanumeric() || p == b'_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Distinguishes `'a'` / `'\n'` (char literal) from `'a` (lifetime).
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+/// For each line of (masked) source, whether the line is inside a
+/// `#[cfg(test)]` item — the attribute line itself, the braced body, and
+/// everything nested within. Lint rules skip flagged lines: test code may
+/// sleep, unwrap, and use any ordering it likes.
+pub fn test_line_flags(masked: &str) -> Vec<bool> {
+    let lines: Vec<&str> = masked.lines().collect();
+    let mut flags = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // Brace depths at which a #[cfg(test)] item opened; while non-empty we
+    // are inside test-only code.
+    let mut test_stack: Vec<i64> = Vec::new();
+    // Saw #[cfg(test)] and are waiting for the item's opening brace.
+    let mut pending = false;
+
+    for (ln, line) in lines.iter().enumerate() {
+        if line.contains("cfg(test") {
+            pending = true;
+            flags[ln] = true;
+        }
+        if pending || !test_stack.is_empty() {
+            flags[ln] = true;
+        }
+        for b in line.bytes() {
+            match b {
+                b'{' => {
+                    depth += 1;
+                    if pending {
+                        test_stack.push(depth);
+                        pending = false;
+                    }
+                }
+                b'}' => {
+                    if test_stack.last() == Some(&depth) {
+                        test_stack.pop();
+                    }
+                    depth -= 1;
+                }
+                // `#[cfg(test)] use …;` / `mod tests;` — the attribute
+                // covered a single braceless item, not a region.
+                b';' => pending = false,
+                _ => {}
+            }
+        }
+        if !test_stack.is_empty() {
+            flags[ln] = true;
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let masked = mask_source("let x = 1; // Ordering::Relaxed\n/* thread::sleep */ let y = 2;");
+        assert!(!masked.contains("Relaxed"));
+        assert!(!masked.contains("sleep"));
+        assert!(masked.contains("let x = 1;"));
+        assert!(masked.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn masks_nested_block_comments_and_keeps_lines() {
+        let src = "a\n/* outer /* inner */ still comment */\nb";
+        let masked = mask_source(src);
+        assert_eq!(masked.lines().count(), 3);
+        assert!(!masked.contains("still"));
+        assert!(masked.ends_with('b'));
+    }
+
+    #[test]
+    fn masks_strings_including_raw_and_escapes() {
+        let src = r##"let a = "Instant::now()"; let b = r#"unwrap()"#; let c = "q\"uote";"##;
+        let masked = mask_source(src);
+        assert!(!masked.contains("Instant"));
+        assert!(!masked.contains("unwrap"));
+        assert!(!masked.contains("uote"));
+        assert!(masked.contains("let b = r#\""));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x.trim() }";
+        let masked = mask_source(src);
+        assert_eq!(masked, src);
+    }
+
+    #[test]
+    fn char_literals_are_masked() {
+        let masked = mask_source("let q = '\"'; let n = '\\n'; Ordering::Relaxed;");
+        assert!(masked.contains("Ordering::Relaxed"));
+        assert!(!masked.contains('\"'));
+    }
+
+    #[test]
+    fn cfg_test_module_lines_are_flagged() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { sleep(); }\n}\nfn prod2() {}\n";
+        let flags = test_line_flags(&mask_source(src));
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_does_not_swallow_the_file() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn prod() {}\n";
+        let flags = test_line_flags(&mask_source(src));
+        assert!(!flags[2], "code after a braceless cfg(test) item flagged");
+    }
+}
