@@ -19,6 +19,7 @@
 //!   generation and counts *effective* (decoded, distinct) bytes.
 
 use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
 
 use ioverlay_api::{Algorithm, AppId, Context, Msg, MsgType, NodeId};
 use ioverlay_gf256::{CodedPacket, Decoder, Gf256};
@@ -27,6 +28,15 @@ use crate::base::IAlgorithmBase;
 
 /// Generation size used by the Fig. 8 scenario: two streams.
 pub const GENERATION: usize = 2;
+
+/// Generations a relay holds while waiting for a generation's partner
+/// stream. The two streams of Fig. 8 take different paths (one direct,
+/// one through the helper), so their arrival skew at the coder is the
+/// whole queueing gap between the paths — engine buffers plus kernel
+/// TCP buffers on every hop, thousands of messages at small payload
+/// sizes. The window must exceed that skew or the coder evicts every
+/// held packet before its partner arrives and emits nothing at all.
+const HOLD_GENERATIONS: usize = 16 * 1024;
 
 /// Encodes a coded packet into a data message payload:
 /// `[gen: u32][k: u8][coeffs: k bytes][payload]`.
@@ -165,6 +175,9 @@ pub struct CodingRelay {
     stream_routes: Option<BTreeMap<usize, Vec<NodeId>>>,
     /// Held packets, per generation.
     held: BTreeMap<u32, Vec<CodedPacket>>,
+    /// Reusable output packet: `combine_into` writes here, so steady
+    /// state emits combinations without allocating.
+    scratch: CodedPacket,
     emitted: u64,
 }
 
@@ -177,6 +190,7 @@ impl CodingRelay {
             code_inputs: None,
             stream_routes: None,
             held: BTreeMap::new(),
+            scratch: CodedPacket::default(),
             emitted: 0,
         }
     }
@@ -191,6 +205,7 @@ impl CodingRelay {
             code_inputs: None,
             stream_routes: Some(routes.into_iter().collect()),
             held: BTreeMap::new(),
+            scratch: CodedPacket::default(),
             emitted: 0,
         }
     }
@@ -205,6 +220,7 @@ impl CodingRelay {
             code_inputs: Some(inputs),
             stream_routes: None,
             held: BTreeMap::new(),
+            scratch: CodedPacket::default(),
             emitted: 0,
         }
     }
@@ -263,18 +279,24 @@ impl Algorithm for CodingRelay {
                     let packets = self.held.remove(&gen).expect("just inserted");
                     let inputs: Vec<(Gf256, &CodedPacket)> =
                         packets.iter().map(|p| (Gf256::ONE, p)).collect();
-                    if let Ok(combined) = CodedPacket::combine(&inputs) {
+                    let started = Instant::now();
+                    let combined = CodedPacket::combine_into(&inputs, &mut self.scratch);
+                    let encode_nanos = started.elapsed().as_nanos() as u64;
+                    if combined.is_ok() {
                         self.emitted += 1;
                         let out =
-                            encode_coded_msg(ctx.local_id(), msg.app(), gen, &combined);
+                            encode_coded_msg(ctx.local_id(), msg.app(), gen, &self.scratch);
                         for dest in self.downstreams.clone() {
                             ctx.send(out.clone(), dest);
                         }
                     }
+                    if let Some(tel) = ctx.telemetry_registry() {
+                        tel.record_coding_encode(encode_nanos);
+                    }
                 }
                 // Bound the hold buffer: drop generations that are too
                 // far behind (their partner stream stalled or was lost).
-                while self.held.len() > 1024 {
+                while self.held.len() > HOLD_GENERATIONS {
                     let oldest = *self.held.keys().next().expect("non-empty");
                     self.held.remove(&oldest);
                 }
@@ -379,7 +401,7 @@ impl Algorithm for MergingRelay {
                 ctx.send(out.clone(), dest);
             }
         }
-        while self.held.len() > 1024 {
+        while self.held.len() > HOLD_GENERATIONS {
             let oldest = *self.held.keys().next().expect("non-empty");
             self.held.remove(&oldest);
         }
@@ -473,19 +495,25 @@ impl Algorithm for DecodingSink {
             .decoders
             .entry(gen)
             .or_insert_with(|| Decoder::new(GENERATION));
-        decoder.push(packet);
-        if decoder.is_complete() {
+        let started = Instant::now();
+        let innovative = decoder.push(packet);
+        let decode_nanos = started.elapsed().as_nanos() as u64;
+        let complete = decoder.is_complete();
+        if let Some(tel) = ctx.telemetry_registry() {
+            tel.record_coding_decode(decode_nanos, innovative);
+        }
+        if complete {
             for i in 0..GENERATION {
                 self.note_recovered(gen, i, payload_len);
             }
             self.decoders.remove(&gen);
         }
         // Bound memory on long runs.
-        if self.decoders.len() > 4096 {
+        if self.decoders.len() > HOLD_GENERATIONS {
             let oldest = *self.decoders.keys().min().expect("non-empty");
             self.decoders.remove(&oldest);
         }
-        if self.recovered.len() > 8192 {
+        if self.recovered.len() > 2 * HOLD_GENERATIONS {
             let oldest = *self.recovered.keys().min().expect("non-empty");
             self.recovered.remove(&oldest);
         }
@@ -670,6 +698,68 @@ mod tests {
         payload.extend_from_slice(b"short");
         let parts = MergingRelay::split(&payload);
         assert_eq!(parts, vec![b"abc".to_vec()]);
+    }
+
+    #[test]
+    fn coding_telemetry_records_encode_and_decode() {
+        struct TelCtx {
+            tel: ioverlay_api::NodeTelemetry,
+            sent: Vec<(Msg, NodeId)>,
+        }
+        impl Context for TelCtx {
+            fn local_id(&self) -> NodeId {
+                NodeId::loopback(1)
+            }
+            fn now(&self) -> Nanos {
+                0
+            }
+            fn send(&mut self, msg: Msg, dest: NodeId) {
+                self.sent.push((msg, dest));
+            }
+            fn send_to_observer(&mut self, _m: Msg) {}
+            fn set_timer(&mut self, _d: Nanos, _t: TimerToken) {}
+            fn backlog(&self, _dest: NodeId) -> Option<usize> {
+                None
+            }
+            fn buffer_capacity(&self) -> usize {
+                4
+            }
+            fn probe_rtt(&mut self, _p: NodeId) {}
+            fn close_link(&mut self, _p: NodeId) {}
+            fn observer(&self) -> Option<NodeId> {
+                None
+            }
+            fn random_u64(&mut self) -> u64 {
+                0
+            }
+            fn telemetry_registry(&self) -> Option<&ioverlay_api::NodeTelemetry> {
+                Some(&self.tel)
+            }
+        }
+        let mut ctx = TelCtx {
+            tel: ioverlay_api::NodeTelemetry::new(true, 16),
+            sent: Vec::new(),
+        };
+
+        let mut relay = CodingRelay::coder(vec![NodeId::loopback(5)], 2);
+        relay.on_message(&mut ctx, coded(0, 0, 16));
+        relay.on_message(&mut ctx, coded(0, 1, 16));
+        assert_eq!(relay.emitted(), 1);
+        let snap = ctx.tel.snapshot();
+        assert_eq!(
+            snap.histogram("coding_encode_nanos").unwrap().count,
+            1,
+            "one combine timed"
+        );
+
+        let mut sink = DecodingSink::new();
+        sink.on_message(&mut ctx, coded(3, 0, 16));
+        sink.on_message(&mut ctx, coded(3, 0, 16)); // duplicate
+        sink.on_message(&mut ctx, coded(3, 1, 16));
+        let snap = ctx.tel.snapshot();
+        assert_eq!(snap.histogram("coding_decode_nanos").unwrap().count, 3);
+        assert_eq!(snap.counter("coding_innovative"), Some(2));
+        assert_eq!(snap.counter("coding_duplicate"), Some(1));
     }
 
     #[test]

@@ -86,6 +86,16 @@ pub trait Context {
     fn telemetry(&self) -> Option<crate::TelemetrySnapshot> {
         None
     }
+
+    /// The node's live telemetry registry, for algorithms that *record*
+    /// metrics (coding encode/decode timings, innovative-packet counts)
+    /// rather than read them. Unlike [`Context::telemetry`] this hands
+    /// out the recording side, so the per-sample cost is one relaxed
+    /// atomic instead of a full snapshot copy. Runtimes without
+    /// telemetry return `None` (the default).
+    fn telemetry_registry(&self) -> Option<&crate::NodeTelemetry> {
+        None
+    }
 }
 
 /// An application-specific overlay algorithm.

@@ -10,6 +10,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 
 use ioverlay::algorithms::{SinkApp, SourceApp, SourceMode, StaticForwarder};
 use ioverlay::api::NodeId;
+use ioverlay::gf256::kernels;
 use ioverlay::gf256::{CodedPacket, Decoder as GfDecoder, Encoder as GfEncoder, Gf256};
 use ioverlay::message::{Decoder, Msg};
 use ioverlay::queue::{CircularQueue, WeightedRoundRobin};
@@ -116,6 +117,24 @@ fn bench_gf256(c: &mut Criterion) {
         let y = Gf256::new(0x13);
         b.iter(|| std::hint::black_box(x) * std::hint::black_box(y));
     });
+    // The three mulacc tiers on a payload-sized slice. "dispatched" is
+    // what hot code calls; on a SIMD host it is the vtbl/pshufb tier.
+    let coeff = Gf256::new(0x57);
+    let src = vec![0x5Au8; 4096];
+    let mut dst = vec![0xC3u8; 4096];
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("mulacc-4k-scalar", |b| {
+        b.iter(|| kernels::scalar::mulacc_slice(coeff, &src, &mut dst));
+    });
+    group.bench_function("mulacc-4k-safe", |b| {
+        b.iter(|| kernels::mulacc_slice_baseline(coeff, &src, &mut dst));
+    });
+    group.bench_function("mulacc-4k-dispatched", |b| {
+        b.iter(|| kernels::mulacc_slice(coeff, &src, &mut dst));
+    });
+    group.bench_function("xor-4k", |b| {
+        b.iter(|| kernels::xor_slice(&src, &mut dst));
+    });
     let a = CodedPacket::source(0, 2, vec![1u8; 5 * 1024]);
     let bpkt = CodedPacket::source(1, 2, vec![2u8; 5 * 1024]);
     group.throughput(Throughput::Bytes(5 * 1024));
@@ -128,9 +147,23 @@ fn bench_gf256(c: &mut Criterion) {
             .unwrap()
         });
     });
+    group.bench_function("combine-into-a-plus-b-5k", |b| {
+        let mut out = CodedPacket::default();
+        b.iter(|| {
+            CodedPacket::combine_into(
+                &[
+                    (Gf256::ONE, std::hint::black_box(&a)),
+                    (Gf256::ONE, std::hint::black_box(&bpkt)),
+                ],
+                &mut out,
+            )
+            .unwrap();
+        });
+    });
     group.bench_function("decode-generation-8x1k", |b| {
         let enc = GfEncoder::new((0..8).map(|i| vec![i as u8; 1024]).collect()).unwrap();
-        let mut rng = rand::rngs::mock::StepRng::new(1, 0x9E3779B97F4A7C15);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x10_5EED);
         let packets: Vec<CodedPacket> = (0..8).map(|_| enc.random_packet(&mut rng)).collect();
         b.iter(|| {
             let mut dec = GfDecoder::new(8);

@@ -1,0 +1,355 @@
+//! GF(2⁸) coding-kernel benchmark: scalar reference vs safe bit-sliced
+//! kernel vs runtime-dispatched SIMD, plus the coded-relay end-to-end
+//! rate, emitted as `BENCH_gf256.json`.
+//!
+//! Four layers, innermost first:
+//!
+//! 1. **Kernels** — `mulacc_slice` / `mul_slice` MB/s at payload sizes
+//!    from 1 KiB to 64 KiB, for each implementation tier. The CI gate
+//!    requires the *safe* kernel alone to be ≥ 4× the scalar per-byte
+//!    reference — no `unsafe` involved, just autovectorization, so the
+//!    bench job builds with `-C target-cpu=native` to give the
+//!    vectorizer the host's full register width.
+//! 2. **Combine** — `CodedPacket::combine` (allocating per call) vs
+//!    `combine_into` (buffer reuse), the coding relay's hold-path op.
+//! 3. **Decode** — full-generation progressive Gaussian elimination.
+//! 4. **Relay** — the Fig. 8 butterfly over real loopback TCP: split
+//!    source → helper + coder → decoding sink, reported as decoded
+//!    generations and effective MB/s at the sink.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ioverlay::algorithms::coding::{CodingRelay, DecodingSink, SplitSource};
+use ioverlay::engine::{EngineConfig, EngineNode};
+use ioverlay::gf256::kernels;
+use ioverlay::gf256::{CodedPacket, Decoder, Encoder, Gf256};
+use rand::SeedableRng;
+
+use crate::util::{banner, row};
+
+/// Payload sizes for the kernel sweep.
+const SIZES: &[(& str, usize)] = &[
+    ("1KiB", 1 << 10),
+    ("4KiB", 1 << 12),
+    ("16KiB", 1 << 14),
+    ("64KiB", 1 << 16),
+];
+
+/// Measures `f` for roughly `measure`, returning the peak MB/s across
+/// 32-call batches given `bytes_per_iter` bytes processed per call. The
+/// clock is checked once per batch so tiny kernels aren't dominated by
+/// `Instant`, and the peak (not the window average) is reported so a
+/// noisy neighbour stealing half the window on a shared CI host can't
+/// drag a tier below its real throughput.
+fn mb_per_sec(bytes_per_iter: usize, measure: Duration, mut f: impl FnMut()) -> f64 {
+    for _ in 0..8 {
+        f();
+    }
+    let start = Instant::now();
+    let mut best = 0.0f64;
+    loop {
+        let batch = Instant::now();
+        for _ in 0..32 {
+            f();
+        }
+        let rate = 32.0 * (bytes_per_iter as f64) / (1024.0 * 1024.0)
+            / batch.elapsed().as_secs_f64();
+        best = best.max(rate);
+        if start.elapsed() >= measure {
+            break;
+        }
+    }
+    best
+}
+
+fn pattern(len: usize, salt: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31) ^ salt)
+        .collect()
+}
+
+/// One size point of the kernel sweep: MB/s per tier.
+#[derive(Debug, Clone)]
+pub struct KernelPoint {
+    pub scalar_mb_s: f64,
+    pub baseline_mb_s: f64,
+    /// `None` when the host has no SIMD backend (or the feature is off).
+    pub simd_mb_s: Option<f64>,
+}
+
+fn sweep_mulacc(len: usize, measure: Duration) -> KernelPoint {
+    let c = Gf256::new(0x57);
+    let src = pattern(len, 0x5A);
+    let mut dst = pattern(len, 0xC3);
+    let scalar = mb_per_sec(len, measure, || {
+        kernels::scalar::mulacc_slice(c, &src, &mut dst);
+    });
+    let baseline = mb_per_sec(len, measure, || {
+        kernels::mulacc_slice_baseline(c, &src, &mut dst);
+    });
+    let simd = simd_mulacc_rate(c, &src, &mut dst, measure);
+    KernelPoint {
+        scalar_mb_s: scalar,
+        baseline_mb_s: baseline,
+        simd_mb_s: simd,
+    }
+}
+
+fn simd_mulacc_rate(
+    c: Gf256,
+    src: &[u8],
+    dst: &mut [u8],
+    measure: Duration,
+) -> Option<f64> {
+    if kernels::active_backend() == "baseline" {
+        return None;
+    }
+    let len = src.len();
+    Some(mb_per_sec(len, measure, || {
+        assert!(kernels::mulacc_slice_simd(c, src, dst));
+    }))
+}
+
+fn sweep_mul(len: usize, measure: Duration) -> KernelPoint {
+    let c = Gf256::new(0x57);
+    let src = pattern(len, 0x5A);
+    let mut dst = vec![0u8; len];
+    let scalar = mb_per_sec(len, measure, || {
+        kernels::scalar::mul_slice(c, &src, &mut dst);
+    });
+    let baseline = mb_per_sec(len, measure, || {
+        kernels::mul_slice_baseline(c, &src, &mut dst);
+    });
+    // The dispatched entry point IS the SIMD tier when a backend exists.
+    let simd = (kernels::active_backend() != "baseline").then(|| {
+        mb_per_sec(len, measure, || {
+            kernels::mul_slice(c, &src, &mut dst);
+        })
+    });
+    KernelPoint {
+        scalar_mb_s: scalar,
+        baseline_mb_s: baseline,
+        simd_mb_s: simd,
+    }
+}
+
+/// Runs the 4-node coded butterfly (Fig. 8 core) on real loopback TCP:
+/// S splits streams *a*/*b*; helper A forwards *a* to both the coder and
+/// the sink; coder D combines *a + b*; sink F decodes. Returns
+/// (decoded generations/sec, effective MB/s) at the sink.
+pub fn run_relay(msg_bytes: usize, measure_secs: u64) -> (f64, f64) {
+    const APP: u32 = 1;
+    let config = || {
+        EngineConfig::default()
+            .with_buffer_msgs(1024)
+            .with_telemetry(true)
+    };
+    let sink = EngineNode::spawn(config(), Box::new(DecodingSink::new())).expect("spawn sink");
+    let coder =
+        EngineNode::spawn(config(), Box::new(CodingRelay::coder(vec![sink.id()], 2)))
+            .expect("spawn coder");
+    let helper = EngineNode::spawn(
+        config(),
+        Box::new(CodingRelay::forwarder(vec![coder.id(), sink.id()])),
+    )
+    .expect("spawn helper");
+    let source = EngineNode::spawn(
+        config(),
+        Box::new(SplitSource::new(APP, helper.id(), coder.id(), msg_bytes)),
+    )
+    .expect("spawn source");
+
+    let sink_counters = || -> (u64, u64) {
+        sink.status()
+            .map(|s| {
+                (
+                    s.algorithm
+                        .get("complete_generations")
+                        .and_then(|v| v.as_u64())
+                        .unwrap_or(0),
+                    s.algorithm
+                        .get("effective_bytes")
+                        .and_then(|v| v.as_u64())
+                        .unwrap_or(0),
+                )
+            })
+            .unwrap_or((0, 0))
+    };
+    thread::sleep(Duration::from_millis(1_000));
+    let (gens0, bytes0) = sink_counters();
+    thread::sleep(Duration::from_secs(measure_secs));
+    let (gens1, bytes1) = sink_counters();
+
+    source.shutdown();
+    helper.shutdown();
+    coder.shutdown();
+    sink.shutdown();
+
+    (
+        gens1.saturating_sub(gens0) as f64 / measure_secs as f64,
+        bytes1.saturating_sub(bytes0) as f64 / (1024.0 * 1024.0) / measure_secs as f64,
+    )
+}
+
+/// Runs the whole suite, prints the comparison, and writes
+/// `BENCH_gf256.json`. `measure_secs` scales both the kernel windows
+/// and the end-to-end relay window (1 = quick mode for CI).
+pub fn run(measure_secs: u64) {
+    banner(
+        "coding",
+        "GF(256) bulk kernels: scalar reference vs safe kernel vs SIMD",
+    );
+    let backend = kernels::active_backend();
+    println!("dispatched backend: {backend}\n");
+    let window = Duration::from_millis(120 * measure_secs);
+
+    let widths = [10, 12, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "op".into(),
+                "size".into(),
+                "scalar".into(),
+                "safe".into(),
+                "speedup".into(),
+            ],
+            &widths
+        )
+    );
+    let mut mulacc_points = Vec::new();
+    let mut mul_points = Vec::new();
+    for &(name, len) in SIZES {
+        let p = sweep_mulacc(len, window);
+        println!(
+            "{}{}",
+            row(
+                &[
+                    "mulacc".into(),
+                    name.into(),
+                    format!("{:.0}", p.scalar_mb_s),
+                    format!("{:.0}", p.baseline_mb_s),
+                    format!("{:.1}x", p.baseline_mb_s / p.scalar_mb_s),
+                ],
+                &widths
+            ),
+            p.simd_mb_s
+                .map(|s| format!("  simd {s:.0} MB/s"))
+                .unwrap_or_default()
+        );
+        mulacc_points.push((name, p));
+
+        let p = sweep_mul(len, window);
+        println!(
+            "{}{}",
+            row(
+                &[
+                    "mul".into(),
+                    name.into(),
+                    format!("{:.0}", p.scalar_mb_s),
+                    format!("{:.0}", p.baseline_mb_s),
+                    format!("{:.1}x", p.baseline_mb_s / p.scalar_mb_s),
+                ],
+                &widths
+            ),
+            p.simd_mb_s
+                .map(|s| format!("  simd {s:.0} MB/s"))
+                .unwrap_or_default()
+        );
+        mul_points.push((name, p));
+    }
+
+    // Combine: per-call allocation vs buffer reuse, at the relay's
+    // working size.
+    let payload = 4096;
+    let a = CodedPacket::source(0, 2, pattern(payload, 1));
+    let b = CodedPacket::source(1, 2, pattern(payload, 2));
+    let inputs = [(Gf256::ONE, &a), (Gf256::ONE, &b)];
+    let combine_alloc = mb_per_sec(2 * payload, window, || {
+        std::hint::black_box(CodedPacket::combine(&inputs).unwrap());
+    });
+    let mut scratch = CodedPacket::default();
+    let combine_into = mb_per_sec(2 * payload, window, || {
+        CodedPacket::combine_into(&inputs, &mut scratch).unwrap();
+    });
+    println!("\ncombine 2x4KiB: alloc {combine_alloc:.0} MB/s, reuse {combine_into:.0} MB/s");
+
+    // Decode: one full generation of progressive elimination.
+    let gen_size = 16;
+    let enc = Encoder::new((0..gen_size).map(|i| pattern(payload, i as u8)).collect())
+        .expect("encoder");
+    // A proper PRNG matters here: random GF(256) coefficient vectors
+    // are full-rank with overwhelming probability, but a degenerate
+    // sequence (e.g. a counting mock RNG) stalls below full rank. Keep
+    // drawing until a trial decoder confirms the set completes.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x10_5EED);
+    let mut packets: Vec<CodedPacket> = Vec::with_capacity(gen_size);
+    let mut trial = Decoder::new(gen_size);
+    while !trial.is_complete() {
+        let p = enc.random_packet(&mut rng);
+        trial.push(p.clone());
+        packets.push(p);
+    }
+    let decode = mb_per_sec(gen_size * payload, window, || {
+        let mut dec = Decoder::new(gen_size);
+        for p in &packets {
+            dec.push(p.clone());
+        }
+        assert!(dec.is_complete());
+    });
+    println!("decode 16x4KiB generation: {decode:.0} MB/s");
+
+    // End-to-end: the Fig. 8 butterfly over loopback TCP.
+    let msg_bytes = 1024;
+    let (gens_per_sec, eff_mb_s) = run_relay(msg_bytes, measure_secs);
+    println!(
+        "coded relay (4 nodes, {msg_bytes} B msgs): \
+         {gens_per_sec:.0} generations/sec, {eff_mb_s:.1} effective MB/s"
+    );
+
+    let kernel_json = |points: &[(&str, KernelPoint)]| {
+        let mut map = serde_json::Map::new();
+        for (name, p) in points {
+            let mut o = serde_json::Map::new();
+            o.insert("scalar_mb_s".to_string(), serde_json::to_value(&p.scalar_mb_s));
+            o.insert(
+                "baseline_mb_s".to_string(),
+                serde_json::to_value(&p.baseline_mb_s),
+            );
+            if let Some(s) = p.simd_mb_s {
+                o.insert("simd_mb_s".to_string(), serde_json::to_value(&s));
+            }
+            map.insert((*name).to_string(), serde_json::Value::Object(o));
+        }
+        serde_json::Value::Object(map)
+    };
+    let report = serde_json::json!({
+        "bench": "gf256",
+        "backend": backend,
+        "measure_secs": measure_secs,
+        "mulacc": kernel_json(&mulacc_points),
+        "mul": kernel_json(&mul_points),
+        "combine": {
+            "payload_bytes": payload,
+            "alloc_mb_s": combine_alloc,
+            "into_reuse_mb_s": combine_into,
+        },
+        "decode": {
+            "generation": gen_size,
+            "payload_bytes": payload,
+            "mb_s": decode,
+        },
+        "relay": {
+            "nodes": 4,
+            "msg_bytes": msg_bytes,
+            "generations_per_sec": gens_per_sec,
+            "effective_mb_per_sec": eff_mb_s,
+        },
+    });
+    let text = serde_json::to_string_pretty(&report).expect("serialize report");
+    match std::fs::write("BENCH_gf256.json", &text) {
+        Ok(()) => println!("wrote BENCH_gf256.json"),
+        Err(e) => eprintln!("could not write BENCH_gf256.json: {e}"),
+    }
+}

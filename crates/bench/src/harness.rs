@@ -13,6 +13,7 @@
 //! printed here side by side with the paper's values.
 
 pub mod ablation;
+pub mod coding_bench;
 pub mod extensions;
 pub mod federation_exp;
 pub mod fig5;

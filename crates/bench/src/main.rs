@@ -8,12 +8,12 @@
 //! repro quick            # one fast experiment per family
 //! ```
 //!
-//! Experiments: `fig5 switch fig6a fig6b fig6c fig6d fig7a fig7b fig8
-//! table3 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
-//! footprint`.
+//! Experiments: `fig5 switch coding fig6a fig6b fig6c fig6d fig7a fig7b
+//! fig8 table3 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18
+//! fig19 footprint`.
 
 use ioverlay_bench::{
-    ablation, extensions, federation_exp, fig5, fig8, seven, switch_bench, tree_exp,
+    ablation, coding_bench, extensions, federation_exp, fig5, fig8, seven, switch_bench, tree_exp,
 };
 
 fn run_one(id: &str) -> bool {
@@ -26,6 +26,8 @@ fn run_one(id: &str) -> bool {
         }
         "switch" => switch_bench::run(3),
         "switch-quick" => switch_bench::run(1),
+        "coding" => coding_bench::run(3),
+        "coding-quick" => coding_bench::run(1),
         "fig6a" => seven::fig6a(),
         "fig6b" => seven::fig6b(),
         "fig6c" => seven::fig6c(),
@@ -60,7 +62,7 @@ fn run_one(id: &str) -> bool {
 }
 
 const ALL: &[&str] = &[
-    "fig5", "switch", "fig6a", "fig6b", "fig6c", "fig6d", "fig7a", "fig7b", "fig8", "table3", "fig9",
+    "fig5", "switch", "coding", "fig6a", "fig6b", "fig6c", "fig6d", "fig7a", "fig7b", "fig8", "table3", "fig9",
     "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "footprint",
     "ablation-buffers", "ablation-gossip", "ablation-detect", "ablation-wrr",
     "ext-dht", "ext-churn",

@@ -104,6 +104,10 @@ impl Context for EngineCtx<'_> {
     fn telemetry(&self) -> Option<TelemetrySnapshot> {
         self.tel.enabled().then(|| self.tel.snapshot())
     }
+
+    fn telemetry_registry(&self) -> Option<&NodeTelemetry> {
+        self.tel.enabled().then_some(self.tel)
+    }
 }
 
 #[cfg(test)]

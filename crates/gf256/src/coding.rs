@@ -5,7 +5,9 @@ use std::fmt;
 
 use rand::Rng;
 
-use crate::field::mul_acc;
+use crate::kernels::{
+    mul_slice_in_place, mul_slice_in_place_gf, mulacc_slice, mulacc_slice_gf,
+};
 use crate::{Gf256, Matrix};
 
 /// Errors arising in coding operations.
@@ -46,7 +48,7 @@ impl Error for CodingError {}
 /// Carries the coefficient vector alongside the combined payload, as in
 /// practical network-coding systems; the coefficients are what let a
 /// receiver decode without any out-of-band coordination.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CodedPacket {
     coeffs: Vec<Gf256>,
     data: Vec<u8>,
@@ -98,6 +100,29 @@ impl CodedPacket {
     /// [`CodingError::ShapeMismatch`] if inputs disagree on generation
     /// size or payload length.
     pub fn combine(inputs: &[(Gf256, &CodedPacket)]) -> Result<CodedPacket, CodingError> {
+        let mut out = CodedPacket::default();
+        Self::combine_into(inputs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`CodedPacket::combine`] into a caller-owned packet, reusing its
+    /// coefficient and payload buffers.
+    ///
+    /// A coding relay emits one combined packet per generation; with
+    /// this variant it keeps a single scratch packet alive and never
+    /// allocates on the hold path (the buffers are resized once, on the
+    /// first generation). On error `out` is left cleared, never holding
+    /// a partial combination.
+    ///
+    /// # Errors
+    ///
+    /// As [`CodedPacket::combine`].
+    pub fn combine_into(
+        inputs: &[(Gf256, &CodedPacket)],
+        out: &mut CodedPacket,
+    ) -> Result<(), CodingError> {
+        out.coeffs.clear();
+        out.data.clear();
         let (_, first) = inputs.first().ok_or(CodingError::NoInputs)?;
         let gen = first.generation();
         let len = first.data.len();
@@ -107,15 +132,13 @@ impl CodedPacket {
         {
             return Err(CodingError::ShapeMismatch);
         }
-        let mut coeffs = vec![Gf256::ZERO; gen];
-        let mut data = vec![0u8; len];
+        out.coeffs.resize(gen, Gf256::ZERO);
+        out.data.resize(len, 0);
         for (scalar, packet) in inputs {
-            for (c, pc) in coeffs.iter_mut().zip(&packet.coeffs) {
-                *c += *scalar * *pc;
-            }
-            mul_acc(&mut data, &packet.data, *scalar);
+            mulacc_slice_gf(*scalar, &packet.coeffs, &mut out.coeffs);
+            mulacc_slice(*scalar, &packet.data, &mut out.data);
         }
-        Ok(CodedPacket { coeffs, data })
+        Ok(())
     }
 }
 
@@ -192,27 +215,59 @@ impl Encoder {
     /// [`CodingError::ShapeMismatch`] if `coeffs.len()` differs from the
     /// generation size.
     pub fn packet_with(&self, coeffs: &[Gf256]) -> Result<CodedPacket, CodingError> {
+        let mut out = CodedPacket::default();
+        self.packet_with_into(coeffs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Encoder::packet_with`] into a caller-owned packet, reusing its
+    /// buffers across emissions.
+    ///
+    /// Because the encoder's sources are unit vectors, the output
+    /// coefficient vector is exactly `coeffs`; the payload is the
+    /// matching linear combination, accumulated with the bulk kernels.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::ShapeMismatch`] if `coeffs.len()` differs from the
+    /// generation size.
+    pub fn packet_with_into(
+        &self,
+        coeffs: &[Gf256],
+        out: &mut CodedPacket,
+    ) -> Result<(), CodingError> {
+        out.coeffs.clear();
+        out.data.clear();
         if coeffs.len() != self.generation() {
             return Err(CodingError::ShapeMismatch);
         }
-        let inputs: Vec<(Gf256, &CodedPacket)> = coeffs
-            .iter()
-            .copied()
-            .zip(self.sources.iter())
-            .collect();
-        CodedPacket::combine(&inputs)
+        out.coeffs.extend_from_slice(coeffs);
+        out.data.resize(self.sources[0].data.len(), 0);
+        for (c, source) in coeffs.iter().zip(&self.sources) {
+            mulacc_slice(*c, &source.data, &mut out.data);
+        }
+        Ok(())
     }
 
     /// Emits a random linear combination (RLNC).
     pub fn random_packet<R: Rng + ?Sized>(&self, rng: &mut R) -> CodedPacket {
+        let mut out = CodedPacket::default();
+        self.random_packet_into(rng, &mut out);
+        out
+    }
+
+    /// [`Encoder::random_packet`] into a caller-owned packet, reusing its
+    /// buffers across emissions.
+    pub fn random_packet_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut CodedPacket) {
+        let mut coeffs = vec![Gf256::ZERO; self.generation()];
         loop {
-            let coeffs: Vec<Gf256> = (0..self.generation())
-                .map(|_| Gf256::new(rng.gen()))
-                .collect();
+            for c in coeffs.iter_mut() {
+                *c = Gf256::new(rng.gen());
+            }
             if coeffs.iter().any(|c| !c.is_zero()) {
-                return self
-                    .packet_with(&coeffs)
+                self.packet_with_into(&coeffs, out)
                     .expect("coeff length matches generation");
+                return;
             }
         }
     }
@@ -227,8 +282,23 @@ impl Encoder {
 #[derive(Debug, Clone)]
 pub struct Decoder {
     generation: usize,
-    /// Row-reduced coefficient rows paired with their payloads.
-    rows: Vec<(Vec<Gf256>, Vec<u8>)>,
+    /// Reduced rows, sorted by `lead` ascending. Invariant (RREF): each
+    /// row's leading coefficient is `1`, and every *other* row has `0`
+    /// at that lead column.
+    rows: Vec<DecoderRow>,
+}
+
+/// One reduced row of the decoder's coefficient matrix.
+///
+/// The leading (first non-zero) column index is stored instead of
+/// rescanned, so elimination against existing rows is a direct indexed
+/// load per row rather than a `position()` walk over the whole
+/// coefficient vector.
+#[derive(Debug, Clone)]
+struct DecoderRow {
+    lead: usize,
+    coeffs: Vec<Gf256>,
+    data: Vec<u8>,
 }
 
 impl Decoder {
@@ -261,56 +331,58 @@ impl Decoder {
     /// discarded, which models a receiver simply ignoring useless
     /// arrivals.
     pub fn push(&mut self, packet: CodedPacket) -> bool {
+        let rank_before = self.rank();
         if packet.generation() != self.generation || self.is_complete() {
             return false;
         }
-        if let Some((expect_len, _)) = self.rows.first().map(|(_, d)| (d.len(), ())) {
+        if let Some(expect_len) = self.rows.first().map(|r| r.data.len()) {
             if packet.data.len() != expect_len {
                 return false;
             }
         }
         let mut coeffs = packet.coeffs;
         let mut data = packet.data;
-        // Reduce against existing rows (forward elimination).
-        for (row_coeffs, row_data) in &self.rows {
-            let lead = row_coeffs
-                .iter()
-                .position(|c| !c.is_zero())
-                .expect("stored rows are non-zero");
-            let factor = coeffs[lead];
+        // Forward elimination against the stored rows. The rows are in
+        // RREF, so each stored row is zero at every *other* stored lead:
+        // eliminating with one row never reintroduces a coefficient at a
+        // lead that was already cleared, and each step is a single
+        // indexed load plus two bulk axpys — no rescans.
+        for row in &self.rows {
+            let factor = coeffs[row.lead];
             if !factor.is_zero() {
-                for (c, rc) in coeffs.iter_mut().zip(row_coeffs) {
-                    *c += factor * *rc;
-                }
-                mul_acc(&mut data, row_data, factor);
+                mulacc_slice_gf(factor, &row.coeffs, &mut coeffs);
+                mulacc_slice(factor, &row.data, &mut data);
             }
         }
         let Some(lead) = coeffs.iter().position(|c| !c.is_zero()) else {
+            debug_assert_eq!(self.rank(), rank_before, "rejected packet changed rank");
             return false; // not innovative
         };
-        // Normalize the new row to a unit leading coefficient.
+        // Normalize the new row to a unit leading coefficient, in place.
         let inv = coeffs[lead].inv();
-        for c in coeffs.iter_mut() {
-            *c *= inv;
-        }
-        let mut scaled = vec![0u8; data.len()];
-        mul_acc(&mut scaled, &data, inv);
-        let data = scaled;
+        mul_slice_in_place_gf(inv, &mut coeffs);
+        mul_slice_in_place(inv, &mut data);
         // Back-substitute the new row into the existing ones.
-        for (row_coeffs, row_data) in self.rows.iter_mut() {
-            let factor = row_coeffs[lead];
+        for row in self.rows.iter_mut() {
+            let factor = row.coeffs[lead];
             if !factor.is_zero() {
-                for (rc, c) in row_coeffs.iter_mut().zip(&coeffs) {
-                    *rc += factor * *c;
-                }
-                mul_acc(row_data, &data, factor);
+                mulacc_slice_gf(factor, &coeffs, &mut row.coeffs);
+                mulacc_slice(factor, &data, &mut row.data);
             }
         }
-        self.rows.push((coeffs, data));
-        // Keep rows ordered by leading position for readability.
-        self.rows.sort_by_key(|(c, _)| {
-            c.iter().position(|x| !x.is_zero()).unwrap_or(usize::MAX)
-        });
+        // Insert sorted by lead; forward elimination zeroed every stored
+        // lead in `coeffs`, so `lead` is distinct from all stored leads.
+        let pos = self.rows.partition_point(|r| r.lead < lead);
+        self.rows.insert(pos, DecoderRow { lead, coeffs, data });
+        debug_assert_eq!(
+            self.rank(),
+            rank_before + 1,
+            "innovative packet must raise rank by exactly one"
+        );
+        debug_assert!(
+            self.rows.windows(2).all(|w| w[0].lead < w[1].lead),
+            "stored leads must stay strictly increasing"
+        );
         true
     }
 
@@ -330,10 +402,10 @@ impl Decoder {
         // After full rank with reduced rows, the coefficient matrix is a
         // permutation-free identity (rows sorted by leading position).
         debug_assert!(Matrix::from_rows(
-            &self.rows.iter().map(|(c, _)| c.as_slice()).collect::<Vec<_>>()
+            &self.rows.iter().map(|r| r.coeffs.as_slice()).collect::<Vec<_>>()
         )
         .is_identity());
-        Ok(self.rows.iter().map(|(_, d)| d.clone()).collect())
+        Ok(self.rows.iter().map(|r| r.data.clone()).collect())
     }
 }
 

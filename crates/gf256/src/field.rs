@@ -235,33 +235,32 @@ impl Product for Gf256 {
     }
 }
 
-/// Multiplies a byte slice by a scalar and accumulates it into `acc`:
-/// `acc[i] += scalar * src[i]` over GF(2⁸).
-///
-/// This is the inner loop of every network-coding combine; it is provided
-/// as a free function so packet-level code avoids per-byte `Gf256`
-/// wrapping.
-///
-/// # Panics
-///
-/// Panics if the slices have different lengths.
-pub(crate) fn mul_acc(acc: &mut [u8], src: &[u8], scalar: Gf256) {
-    assert_eq!(acc.len(), src.len(), "mul_acc length mismatch");
-    if scalar.is_zero() {
-        return;
+/// Raw byte-level product for the bulk kernels (`kernels` module): keeps
+/// the log/antilog tables private to this module while letting the
+/// kernels compute odd tail bytes and nibble tables.
+#[inline]
+pub(crate) fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
     }
-    if scalar == Gf256::ONE {
-        for (a, s) in acc.iter_mut().zip(src) {
-            *a ^= s;
-        }
-        return;
+    TABLES.exp[TABLES.log[a as usize] as usize + TABLES.log[b as usize] as usize]
+}
+
+/// Builds the full 256-byte product row for one coefficient:
+/// `row[x] = c * x`. One build costs 255 table pairs and turns every
+/// subsequent per-byte multiply into a single L1 lookup — the right
+/// shape for the kernels' random-access uses (in-place scaling, the
+/// short `Gf256`-typed coefficient vectors).
+pub(crate) fn product_row(c: u8) -> [u8; 256] {
+    let mut row = [0u8; 256];
+    if c == 0 {
+        return row;
     }
-    let log_s = TABLES.log[scalar.0 as usize] as usize;
-    for (a, s) in acc.iter_mut().zip(src) {
-        if *s != 0 {
-            *a ^= TABLES.exp[log_s + TABLES.log[*s as usize] as usize];
-        }
+    let log_c = TABLES.log[c as usize] as usize;
+    for (x, r) in row.iter_mut().enumerate().skip(1) {
+        *r = TABLES.exp[log_c + TABLES.log[x] as usize];
     }
+    row
 }
 
 #[cfg(test)]
@@ -333,22 +332,15 @@ mod tests {
     }
 
     #[test]
-    fn mul_acc_matches_scalar_math() {
-        let src = [1u8, 0x57, 0, 0xFF];
-        let scalar = Gf256::new(0x13);
-        let mut acc = [9u8, 9, 9, 9];
-        mul_acc(&mut acc, &src, scalar);
-        for i in 0..src.len() {
-            let expect = Gf256::new(9) + Gf256::new(src[i]) * scalar;
-            assert_eq!(acc[i], expect.value());
+    fn gf_mul_and_product_row_match_operators() {
+        for c in [0u8, 1, 2, 0x13, 0x57, 0xFF] {
+            let row = product_row(c);
+            for x in 0..=255u8 {
+                let expect = (Gf256::new(c) * Gf256::new(x)).value();
+                assert_eq!(gf_mul(c, x), expect);
+                assert_eq!(row[x as usize], expect);
+            }
         }
-    }
-
-    #[test]
-    fn mul_acc_zero_scalar_is_noop() {
-        let mut acc = [1u8, 2, 3];
-        mul_acc(&mut acc, &[9, 9, 9], Gf256::ZERO);
-        assert_eq!(acc, [1, 2, 3]);
     }
 
     #[test]

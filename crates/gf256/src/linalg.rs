@@ -7,6 +7,7 @@
 use std::fmt;
 use std::ops::{Index, IndexMut, Mul};
 
+use crate::kernels::{mul_slice_in_place_gf, mulacc_slice_gf};
 use crate::Gf256;
 
 /// A dense row-major matrix over GF(2⁸).
@@ -214,27 +215,52 @@ impl Matrix {
         Some((0..n).map(|r| aug[(r, n)]).collect())
     }
 
+    /// Borrows row `r` mutably.
+    fn row_mut(&mut self, r: usize) -> &mut [Gf256] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrows rows `a` (mutable) and `b` (shared) simultaneously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    fn rows_pair_mut(&mut self, a: usize, b: usize) -> (&mut [Gf256], &[Gf256]) {
+        assert_ne!(a, b, "rows_pair_mut requires distinct rows");
+        let cols = self.cols;
+        if a < b {
+            let (head, tail) = self.data.split_at_mut(b * cols);
+            (
+                &mut head[a * cols..(a + 1) * cols],
+                &tail[..cols],
+            )
+        } else {
+            let (head, tail) = self.data.split_at_mut(a * cols);
+            (
+                &mut tail[..cols],
+                &head[b * cols..(b + 1) * cols],
+            )
+        }
+    }
+
     fn swap_rows(&mut self, a: usize, b: usize) {
         if a == b {
             return;
         }
-        for c in 0..self.cols {
-            self.data.swap(a * self.cols + c, b * self.cols + c);
-        }
+        let cols = self.cols;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * cols);
+        head[lo * cols..(lo + 1) * cols].swap_with_slice(&mut tail[..cols]);
     }
 
     fn scale_row(&mut self, r: usize, factor: Gf256) {
-        for c in 0..self.cols {
-            self[(r, c)] *= factor;
-        }
+        mul_slice_in_place_gf(factor, self.row_mut(r));
     }
 
     /// `row[dst] -= factor * row[src]` (same as `+=` in characteristic 2).
     fn add_scaled_row(&mut self, dst: usize, src: usize, factor: Gf256) {
-        for c in 0..self.cols {
-            let v = self[(src, c)] * factor;
-            self[(dst, c)] += v;
-        }
+        let (d, s) = self.rows_pair_mut(dst, src);
+        mulacc_slice_gf(factor, s, d);
     }
 }
 
@@ -268,10 +294,7 @@ impl Mul for &Matrix {
                 if lhs.is_zero() {
                     continue;
                 }
-                for c in 0..rhs.cols {
-                    let v = lhs * rhs[(k, c)];
-                    out[(r, c)] += v;
-                }
+                mulacc_slice_gf(lhs, rhs.row(k), out.row_mut(r));
             }
         }
         out

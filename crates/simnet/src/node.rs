@@ -212,6 +212,10 @@ impl Context for SimCtx<'_> {
             .enabled()
             .then(|| self.node.tel.snapshot())
     }
+
+    fn telemetry_registry(&self) -> Option<&NodeTelemetry> {
+        self.node.tel.enabled().then_some(&self.node.tel)
+    }
 }
 
 #[cfg(test)]

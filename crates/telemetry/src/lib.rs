@@ -64,6 +64,8 @@ pub struct NodeTelemetry {
     domino_teardowns: Counter,
     sendspace_wakeups: Counter,
     queue_poison_recoveries: Counter,
+    coding_innovative: Counter,
+    coding_duplicate: Counter,
 
     // Gauges.
     upstreams: Gauge,
@@ -80,6 +82,8 @@ pub struct NodeTelemetry {
     send_syscall_bytes: Histogram,
     recv_batch_msgs: Histogram,
     recv_syscall_bytes: Histogram,
+    coding_encode_nanos: Histogram,
+    coding_decode_nanos: Histogram,
 
     events: EventRing,
 }
@@ -104,6 +108,8 @@ impl NodeTelemetry {
             domino_teardowns: Counter::new(),
             sendspace_wakeups: Counter::new(),
             queue_poison_recoveries: Counter::new(),
+            coding_innovative: Counter::new(),
+            coding_duplicate: Counter::new(),
             upstreams: Gauge::new(),
             downstreams: Gauge::new(),
             recv_queue_msgs: Gauge::new(),
@@ -116,6 +122,8 @@ impl NodeTelemetry {
             send_syscall_bytes: Histogram::new(SYSCALL_BOUNDS_BYTES),
             recv_batch_msgs: Histogram::new(BATCH_BOUNDS_MSGS),
             recv_syscall_bytes: Histogram::new(SYSCALL_BOUNDS_BYTES),
+            coding_encode_nanos: Histogram::new(LATENCY_BOUNDS_NANOS),
+            coding_decode_nanos: Histogram::new(LATENCY_BOUNDS_NANOS),
             events: EventRing::new(event_capacity),
         }
     }
@@ -260,6 +268,29 @@ impl NodeTelemetry {
         }
     }
 
+    /// A coding node combined held packets into one coded emission in
+    /// `nanos` (the GF(2⁸) `combine` walk over the hold buffer).
+    #[inline]
+    pub fn record_coding_encode(&self, nanos: Nanos) {
+        if self.enabled {
+            self.coding_encode_nanos.record(nanos);
+        }
+    }
+
+    /// A decoding sink pushed one packet through Gaussian elimination
+    /// in `nanos`; `innovative` says whether it raised the rank.
+    #[inline]
+    pub fn record_coding_decode(&self, nanos: Nanos, innovative: bool) {
+        if self.enabled {
+            self.coding_decode_nanos.record(nanos);
+            if innovative {
+                self.coding_innovative.inc();
+            } else {
+                self.coding_duplicate.inc();
+            }
+        }
+    }
+
     /// Updates the link-count gauges.
     #[inline]
     pub fn set_link_gauges(&self, upstreams: u64, downstreams: u64) {
@@ -303,6 +334,8 @@ impl NodeTelemetry {
                 c("domino_teardowns", &self.domino_teardowns),
                 c("sendspace_wakeups", &self.sendspace_wakeups),
                 c("queue_poison_recoveries", &self.queue_poison_recoveries),
+                c("coding_innovative", &self.coding_innovative),
+                c("coding_duplicate", &self.coding_duplicate),
             ],
             gauges: vec![
                 g("upstreams", &self.upstreams),
@@ -319,6 +352,8 @@ impl NodeTelemetry {
                 self.send_syscall_bytes.snapshot("send_syscall_bytes"),
                 self.recv_batch_msgs.snapshot("recv_batch_msgs"),
                 self.recv_syscall_bytes.snapshot("recv_syscall_bytes"),
+                self.coding_encode_nanos.snapshot("coding_encode_nanos"),
+                self.coding_decode_nanos.snapshot("coding_decode_nanos"),
             ],
             events: events_view,
             events_dropped,
@@ -366,6 +401,9 @@ mod tests {
         tel.record_disconnect(40, NodeId::loopback(8));
         tel.record_domino_teardown(50, 3);
         tel.record_sendspace_wakeup(60);
+        tel.record_coding_encode(2_500);
+        tel.record_coding_decode(7_000, true);
+        tel.record_coding_decode(1_200, false);
         tel.set_link_gauges(1, 2);
         tel.set_queue_gauges(10, 20);
 
@@ -383,8 +421,12 @@ mod tests {
         assert_eq!(snap.counter("sendspace_wakeups"), Some(1));
         assert_eq!(snap.gauge("downstreams"), Some(2));
         assert_eq!(snap.gauge("send_queue_msgs"), Some(20));
+        assert_eq!(snap.counter("coding_innovative"), Some(1));
+        assert_eq!(snap.counter("coding_duplicate"), Some(1));
         assert_eq!(snap.histogram("switch_round_nanos").unwrap().count, 1);
         assert_eq!(snap.histogram("queue_occupancy_msgs").unwrap().sum, 64);
+        assert_eq!(snap.histogram("coding_encode_nanos").unwrap().count, 1);
+        assert_eq!(snap.histogram("coding_decode_nanos").unwrap().sum, 8_200);
         assert_eq!(snap.events.len(), 6);
         assert_eq!(snap.events_dropped, 0);
     }

@@ -21,6 +21,13 @@
 //!   `telemetry`) must route every sync primitive through their
 //!   `src/sync.rs` module; a direct `std::sync` path elsewhere would
 //!   silently escape the model checker.
+//! * **R5 `scoped-unsafe`** — the workspace denies `unsafe_code`; the
+//!   single sanctioned exception is `crates/gf256/src/simd.rs` (the
+//!   SIMD kernel backends), which must carry the
+//!   `xtask-lint: allow(unsafe-code)` waiver comment justifying its
+//!   `#![allow(unsafe_code)]`. Any `unsafe` token or `allow(unsafe_code)`
+//!   escape hatch anywhere else is rejected — widening the waiver set
+//!   requires editing the rule table here, which is the review point.
 //!
 //! All rules skip `#[cfg(test)]` items, `tests/` and `benches/`
 //! directories: test code may sleep, unwrap, and race however it likes.
@@ -74,6 +81,14 @@ const PANIC_FREE_FILES: &[&str] = &["crates/engine/src/engine.rs", "crates/engin
 /// violating line or one of the three lines above it, followed by a reason.
 const WALL_CLOCK_WAIVER: &str = "xtask-lint: allow(wall-clock)";
 
+/// The only files allowed to contain `unsafe` (rule R5). Each must carry
+/// [`UNSAFE_WAIVER`] in a comment; extending this list is the deliberate
+/// review point for any new unsafe surface.
+const UNSAFE_WAIVED_FILES: &[&str] = &["crates/gf256/src/simd.rs"];
+
+/// The waiver marker an unsafe-waived file must carry (rule R5).
+const UNSAFE_WAIVER: &str = "xtask-lint: allow(unsafe-code)";
+
 /// Paths exempt from every rule: vendored shims (they *implement* the
 /// primitives the rules guard), integration tests, benches, and xtask
 /// itself (whose rule tables and tests spell out the banned patterns).
@@ -96,6 +111,20 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
     let in_test = test_line_flags(&masked);
     let raw_lines: Vec<&str> = src.lines().collect();
     let mut out = Vec::new();
+
+    // R5 (file level): a waived file must document why it is waived.
+    let unsafe_waived = UNSAFE_WAIVED_FILES.contains(&rel.as_str());
+    if unsafe_waived && !src.contains(UNSAFE_WAIVER) {
+        out.push(Violation {
+            rule: "scoped-unsafe",
+            file: rel.clone(),
+            line: 1,
+            msg: format!(
+                "unsafe-waived file is missing its `// {UNSAFE_WAIVER} — reason` \
+                 waiver comment"
+            ),
+        });
+    }
 
     for (idx, line) in masked.lines().enumerate() {
         if in_test.get(idx).copied().unwrap_or(false) {
@@ -146,6 +175,37 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
             });
         }
 
+        // R5: unsafe code outside the waived SIMD module. The workspace
+        // lint table already denies `unsafe_code`, but an inner
+        // `allow(unsafe_code)` silently overrides it — this catches both
+        // the keyword and the escape hatch. `forbid(unsafe_code)` /
+        // `deny(unsafe_code)` mention the lint name, not the keyword,
+        // and don't match.
+        if !unsafe_waived {
+            if contains_word(line, "unsafe") {
+                out.push(Violation {
+                    rule: "scoped-unsafe",
+                    file: rel.clone(),
+                    line: lineno,
+                    msg: "`unsafe` outside the waived SIMD module \
+                          (crates/gf256/src/simd.rs); keep unsafe scoped there or \
+                          extend UNSAFE_WAIVED_FILES with a waiver comment"
+                        .into(),
+                });
+            }
+            if line.contains("allow(unsafe_code)") {
+                out.push(Violation {
+                    rule: "scoped-unsafe",
+                    file: rel.clone(),
+                    line: lineno,
+                    msg: "allow(unsafe_code) outside the waived SIMD module silently \
+                          overrides the workspace-wide deny; only \
+                          crates/gf256/src/simd.rs may waive it"
+                        .into(),
+                });
+            }
+        }
+
         // R4: std::sync bypassing the loom shim.
         if LOOM_SHIMMED.iter().any(|c| rel.starts_with(c))
             && !rel.ends_with("/src/sync.rs")
@@ -162,6 +222,25 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
         }
     }
     out
+}
+
+/// Whole-word match: `word` not flanked by identifier characters. Keeps
+/// R5 from tripping on `unsafe_code` inside `forbid(unsafe_code)`.
+fn contains_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let i = start + pos;
+        let ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+        let before_ok = i == 0 || !ident(bytes[i - 1]);
+        let j = i + word.len();
+        let after_ok = j >= bytes.len() || !ident(bytes[j]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = j;
+    }
+    false
 }
 
 /// R3 waiver: the marker comment on the flagged line or within the three
@@ -295,6 +374,54 @@ mod tests {
         assert_eq!(v[0].rule, "std-sync");
         assert!(lint_source("crates/queue/src/sync.rs", src).is_empty());
         assert!(lint_source("crates/engine/src/engine.rs", src).is_empty());
+    }
+
+    // The acceptance-criterion self-test for R5: a deliberate unsafe
+    // block outside the waived module is rejected with a file:line
+    // diagnostic.
+    #[test]
+    fn deliberate_unsafe_outside_waived_module_is_rejected() {
+        let src = "fn f(p: *const u8) -> u8 {\n\
+                   \x20   unsafe { *p }\n\
+                   }\n";
+        let v = lint_source("crates/queue/src/ring.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "scoped-unsafe");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].to_string().contains("crates/queue/src/ring.rs:2"));
+    }
+
+    #[test]
+    fn allow_unsafe_code_outside_waived_module_is_rejected() {
+        let src = "#![allow(unsafe_code)]\n";
+        let v = lint_source("crates/engine/src/handle.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "scoped-unsafe");
+        // The lint-table *names* are not the keyword: deny/forbid stay legal.
+        assert!(lint_source("crates/engine/src/handle.rs", "#![forbid(unsafe_code)]\n").is_empty());
+        assert!(lint_source("crates/engine/src/handle.rs", "#![deny(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn waived_simd_module_needs_its_waiver_comment() {
+        let with_marker = "// xtask-lint: allow(unsafe-code) — intrinsics behind runtime detection\n\
+                           #![allow(unsafe_code)]\n\
+                           pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert!(lint_source("crates/gf256/src/simd.rs", with_marker).is_empty());
+
+        let without_marker = "#![allow(unsafe_code)]\nfn f() { unsafe {} }\n";
+        let v = lint_source("crates/gf256/src/simd.rs", without_marker);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "scoped-unsafe");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn unsafe_in_comments_and_strings_does_not_trip_r5() {
+        let src = "// this code is unsafe to refactor\n\
+                   let s = \"unsafe\";\n";
+        // Comments are masked; string literals are masked too.
+        assert!(lint_source("crates/queue/src/ring.rs", src).is_empty());
     }
 
     #[test]
