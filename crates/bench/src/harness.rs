@@ -18,6 +18,7 @@ pub mod extensions;
 pub mod federation_exp;
 pub mod fig5;
 pub mod fig8;
+pub mod scaling;
 pub mod seven;
 pub mod switch_bench;
 pub mod tree_exp;

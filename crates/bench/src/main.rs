@@ -13,7 +13,8 @@
 //! fig19 footprint`.
 
 use ioverlay_bench::{
-    ablation, coding_bench, extensions, federation_exp, fig5, fig8, seven, switch_bench, tree_exp,
+    ablation, coding_bench, extensions, federation_exp, fig5, fig8, scaling, seven, switch_bench,
+    tree_exp,
 };
 
 fn run_one(id: &str) -> bool {
@@ -24,8 +25,10 @@ fn run_one(id: &str) -> bool {
         "fig5-quick" => {
             fig5::run(1);
         }
-        "switch" => switch_bench::run(3),
-        "switch-quick" => switch_bench::run(1),
+        "switch" => switch_bench::run(3, &[100, 1_000, 10_000]),
+        "switch-quick" => switch_bench::run(1, &[100, 1_000]),
+        // Telemetry-overhead gate only: skips the link-scaling sweep.
+        "switch-overhead" => switch_bench::run(1, &[]),
         "coding" => coding_bench::run(3),
         "coding-quick" => coding_bench::run(1),
         "fig6a" => seven::fig6a(),
@@ -56,6 +59,36 @@ fn run_one(id: &str) -> bool {
         "ablation-wrr" => ablation::wrr(),
         "ext-dht" => extensions::dht_scaling(),
         "ext-churn" => extensions::churn(),
+        // Dev probe: one 3-node chain run, e.g. `chain-reactor-5` or
+        // `chain-batched` (trailing number = measure secs).
+        other if other.starts_with("chain-") => {
+            let mut parts = other.splitn(3, '-').skip(1);
+            let mode = match parts.next() {
+                Some("batched") => switch_bench::ChainMode::Batched,
+                Some("reactor") => switch_bench::ChainMode::Reactor,
+                Some("permsg") => switch_bench::ChainMode::PerMessage,
+                _ => return false,
+            };
+            let secs: u64 = parts.next().and_then(|v| v.parse().ok()).unwrap_or(3);
+            let p = switch_bench::run_chain(mode, true, 256, secs);
+            println!("{other}: {:.0} msgs/sec, {:.1} MB/sec", p.msgs_per_sec, p.mb_per_sec);
+        }
+        // Dev probe: one scaling point, e.g. `scale-reactor-1000` or
+        // `scale-blocking-100-30` (trailing number = measure secs).
+        other if other.starts_with("scale-") => {
+            let mut parts = other.splitn(4, '-').skip(1);
+            let backend = parts.next().unwrap_or("");
+            let links: usize = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+            let secs: u64 = parts.next().and_then(|v| v.parse().ok()).unwrap_or(5);
+            if !matches!(backend, "reactor" | "blocking") || links == 0 {
+                return false;
+            }
+            let p = scaling::run_point(backend == "reactor", links, 256, secs);
+            println!(
+                "{backend} {links}: {:.0} msgs/sec, {} node threads, {:.1} MB RSS ({} up)",
+                p.msgs_per_sec, p.node_threads, p.rss_mb, p.links_up
+            );
+        }
         _ => return false,
     }
     true
@@ -80,6 +113,15 @@ const QUICK: &[&str] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Loadgen child-process mode for the scaling sweep (internal; see
+    // `scaling::run_loadgen`).
+    if args.first().map(String::as_str) == Some("scale-loadgen") {
+        if !scaling::run_loadgen(&args[1..]) {
+            eprintln!("usage: repro scale-loadgen <addr> <links> <msg_bytes>");
+            std::process::exit(2);
+        }
+        return;
+    }
     if args.is_empty() {
         eprintln!("usage: repro <experiment|all|quick> [...]");
         eprintln!("experiments: {}", ALL.join(" "));

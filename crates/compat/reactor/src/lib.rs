@@ -1,0 +1,449 @@
+//! A minimal mio-style readiness reactor, vendored like the other
+//! compat shims so the workspace builds with no registry access.
+//!
+//! The engine's sharded switch core (`crates/engine/src/shard.rs`)
+//! multiplexes every link of a shard onto one OS thread; this crate is
+//! the readiness layer underneath it:
+//!
+//! * [`Poll`] — one readiness selector (epoll on Linux, kqueue on
+//!   macOS), blocking in `poll` until a registered source is ready, a
+//!   timeout elapses, or a [`Waker`] fires;
+//! * [`Registry`] — cheaply cloneable registration handle:
+//!   `register` / `reregister` / `deregister` a raw fd under a
+//!   [`Token`] with an [`Interest`] set, from any thread (the kernel
+//!   selector objects are thread-safe);
+//! * [`Events`] + [`Event`] — the readiness batch a `poll` call fills;
+//! * [`Waker`] — a cross-thread wakeup (eventfd on Linux, `EVFILT_USER`
+//!   on kqueue) that makes a concurrent or future `poll` return with
+//!   the waker's token. This is how queue hooks and registration
+//!   commands interrupt a blocked shard.
+//!
+//! Sockets are registered **level-triggered**: a readable socket keeps
+//! reporting readable until drained, so a shard that services only part
+//! of a batch (quantum scheduling) is re-notified instead of hanging.
+//! The one exception is the waker, registered edge-style so it needs no
+//! drain on every wakeup.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use reactor::{Events, Interest, Poll, Token};
+//! use std::net::TcpStream;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let poll = Poll::new()?;
+//! let stream = TcpStream::connect("127.0.0.1:9000")?;
+//! stream.set_nonblocking(true)?;
+//! poll.registry().register(&stream, Token(1), Interest::READABLE)?;
+//! let mut events = Events::with_capacity(64);
+//! poll.poll(&mut events, None)?;
+//! for ev in events.iter() {
+//!     assert_eq!(ev.token(), Token(1));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io;
+use std::os::fd::AsRawFd;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[cfg(target_os = "linux")]
+#[path = "sys_epoll.rs"]
+mod sys;
+
+#[cfg(any(target_os = "macos", target_os = "ios", target_os = "freebsd"))]
+#[path = "sys_kqueue.rs"]
+mod sys;
+
+#[cfg(not(any(
+    target_os = "linux",
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd"
+)))]
+compile_error!("reactor compat shim supports epoll (Linux) and kqueue (macOS/FreeBSD) only");
+
+pub mod rlimit;
+
+/// Opaque per-registration identifier, echoed back in every [`Event`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Token(pub usize);
+
+/// Readiness interest set for one registration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interested in read readiness.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interested in write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+    /// No readiness interest; the registration stays parked (errors and
+    /// hangups are still delivered by the kernel).
+    pub const NONE: Interest = Interest(0);
+
+    /// Whether the set contains read interest.
+    pub fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Whether the set contains write interest.
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One readiness notification.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    error: bool,
+    hangup: bool,
+}
+
+impl Event {
+    /// The token the ready source was registered under.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Read readiness (includes pending EOF — a read will not block).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Write readiness.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// An error condition is pending on the source; the next I/O call
+    /// surfaces the concrete `io::Error`.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+
+    /// The peer closed the connection (hangup / read-closed).
+    pub fn is_hangup(&self) -> bool {
+        self.hangup
+    }
+}
+
+/// Buffer of readiness notifications filled by [`Poll::poll`].
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// Creates a buffer receiving at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        let capacity = capacity.max(1);
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Whether the last poll returned no events (pure timeout).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Number of events from the last poll.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    pub(crate) fn push(&mut self, ev: Event) {
+        self.inner.push(ev);
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Cloneable registration handle onto a [`Poll`]'s selector.
+///
+/// Registration from a thread other than the polling one is safe: the
+/// kernel object is shared, and a concurrent `poll` observes the new
+/// registration on its next readiness scan.
+#[derive(Clone)]
+pub struct Registry {
+    sel: Arc<sys::Selector>,
+}
+
+impl Registry {
+    /// Registers `source` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// Any selector error; registering the same fd twice is an error
+    /// (use [`Registry::reregister`]).
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.sel.register(source.as_raw_fd(), token, interest)
+    }
+
+    /// Changes the token and/or interest of an existing registration.
+    ///
+    /// # Errors
+    ///
+    /// Any selector error, including "not registered".
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.sel.reregister(source.as_raw_fd(), token, interest)
+    }
+
+    /// Removes an existing registration. Deregistering an fd that was
+    /// never registered (or was already deregistered — the teardown
+    /// race) returns an error the caller may ignore.
+    ///
+    /// # Errors
+    ///
+    /// Any selector error, including "not registered".
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.sel.deregister(source.as_raw_fd())
+    }
+}
+
+/// A readiness selector.
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a selector.
+    ///
+    /// # Errors
+    ///
+    /// Any error creating the kernel selector object.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry {
+                sel: Arc::new(sys::Selector::new()?),
+            },
+        })
+    }
+
+    /// The registration handle (clone it to register from elsewhere).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready, `timeout`
+    /// elapses (`None` blocks indefinitely), or a [`Waker`] fires;
+    /// fills `events` with what is ready. A spurious return with zero
+    /// events is possible and must be tolerated by callers.
+    ///
+    /// # Errors
+    ///
+    /// Any selector error. `EINTR` is retried internally.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        self.registry.sel.poll(events, timeout)
+    }
+}
+
+/// Cross-thread wakeup for a [`Poll`] blocked (or about to block) in
+/// [`Poll::poll`]: `wake()` makes it return with an event carrying the
+/// waker's token. Wakes are sticky — a wake issued while the poller is
+/// busy is delivered on its next `poll` call, never lost — and
+/// coalescing several wakes into one event is allowed.
+pub struct Waker {
+    inner: sys::WakerImpl,
+}
+
+impl Waker {
+    /// Creates a waker registered on `registry` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Any error creating or registering the wakeup object.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        Ok(Waker {
+            inner: sys::WakerImpl::new(&registry.sel, token)?,
+        })
+    }
+
+    /// Wakes the associated [`Poll`]. Safe from any thread; never
+    /// blocks.
+    pub fn wake(&self) {
+        self.inner.wake();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn interest_bit_algebra() {
+        let rw = Interest::READABLE | Interest::WRITABLE;
+        assert!(rw.is_readable() && rw.is_writable());
+        assert!(!Interest::NONE.is_readable() && !Interest::NONE.is_writable());
+        assert!(Interest::READABLE.is_readable() && !Interest::READABLE.is_writable());
+    }
+
+    #[test]
+    fn readable_socket_reports_its_token() {
+        let poll = Poll::new().unwrap();
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&b, Token(7), Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        // Nothing to read yet: a short poll times out empty.
+        poll.poll(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty(), "no data, no event");
+        a.write_all(b"ping").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(2))).unwrap();
+        let ev = events.iter().next().expect("readable event");
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+    }
+
+    #[test]
+    fn level_triggered_readable_persists_until_drained() {
+        let poll = Poll::new().unwrap();
+        let (mut a, mut b) = pair();
+        b.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&b, Token(1), Interest::READABLE)
+            .unwrap();
+        a.write_all(b"data").unwrap();
+        let mut events = Events::with_capacity(8);
+        for _ in 0..2 {
+            // Not draining the socket: the event must re-fire.
+            poll.poll(&mut events, Some(Duration::from_secs(2))).unwrap();
+            assert!(events.iter().any(|e| e.token() == Token(1) && e.is_readable()));
+        }
+        let mut buf = [0u8; 16];
+        let n = b.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"data");
+        poll.poll(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty(), "drained socket stops reporting");
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll_and_tolerates_spurious_wakes() {
+        let poll = Poll::new().unwrap();
+        let waker = Arc::new(Waker::new(poll.registry(), Token(0)).unwrap());
+        let w2 = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            w2.wake();
+        });
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(0)));
+        t.join().unwrap();
+        // A wake with no work behind it (spurious from the consumer's
+        // perspective): the next poll must simply time out empty.
+        poll.poll(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty());
+        // Wake issued while nobody is polling is not lost.
+        waker.wake();
+        waker.wake(); // coalesced
+        poll.poll(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(0)));
+    }
+
+    #[test]
+    fn reregister_switches_interest_and_token() {
+        let poll = Poll::new().unwrap();
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&b, Token(1), Interest::NONE)
+            .unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty(), "parked registration reports nothing");
+        poll.registry()
+            .reregister(&b, Token(2), Interest::READABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(2))).unwrap();
+        let ev = events.iter().next().expect("event after reregister");
+        assert_eq!(ev.token(), Token(2));
+    }
+
+    #[test]
+    fn deregistered_source_reports_nothing_and_double_deregister_errors() {
+        let poll = Poll::new().unwrap();
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&b, Token(3), Interest::READABLE)
+            .unwrap();
+        poll.registry().deregister(&b).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty());
+        // The teardown race: a second deregister errors but must not
+        // panic or corrupt the selector.
+        assert!(poll.registry().deregister(&b).is_err());
+        poll.registry()
+            .register(&b, Token(4), Interest::READABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(4)));
+    }
+
+    #[test]
+    fn writable_reports_then_clears_when_kernel_buffer_fills() {
+        let poll = Poll::new().unwrap();
+        let (a, _b) = pair();
+        a.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&a, Token(9), Interest::WRITABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert!(
+            events.iter().any(|e| e.token() == Token(9) && e.is_writable()),
+            "fresh socket is writable"
+        );
+    }
+}

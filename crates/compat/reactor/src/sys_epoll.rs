@@ -1,0 +1,211 @@
+//! Linux epoll backend.
+//!
+//! Raw `extern "C"` bindings to the handful of syscall wrappers we need
+//! (the C library is always linked; vendoring `libc` for six functions
+//! would be overkill for a compat shim). Registrations are
+//! level-triggered; the waker's eventfd is the one edge-triggered
+//! registration so `wake()` needs no matching drain.
+
+use crate::{Event, Events, Interest, Token};
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const EPOLL_CLOEXEC: i32 = 0x80000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+const EFD_NONBLOCK: i32 = 0x800;
+const EFD_CLOEXEC: i32 = 0x80000;
+
+const EINTR: i32 = 4;
+
+// Kernel ABI: epoll_event is packed on x86-64 (12 bytes), naturally
+// aligned elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    u64: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+fn last_errno() -> io::Error {
+    io::Error::last_os_error()
+}
+
+fn interest_bits(interest: Interest) -> u32 {
+    let mut bits = EPOLLRDHUP;
+    if interest.is_readable() {
+        bits |= EPOLLIN;
+    }
+    if interest.is_writable() {
+        bits |= EPOLLOUT;
+    }
+    bits
+}
+
+pub(crate) struct Selector {
+    epfd: RawFd,
+}
+
+// SAFETY: the epoll fd is a kernel object; epoll_ctl/epoll_wait on the
+// same fd from multiple threads is documented as thread-safe.
+unsafe impl Send for Selector {}
+unsafe impl Sync for Selector {}
+
+impl Selector {
+    pub(crate) fn new() -> io::Result<Selector> {
+        // SAFETY: plain syscall, no pointers involved.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(last_errno());
+        }
+        Ok(Selector { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: usize) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            u64: token as u64,
+        };
+        // SAFETY: `ev` is a live, properly laid-out epoll_event for the
+        // duration of the call; the kernel copies it before returning.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(last_errno());
+        }
+        Ok(())
+    }
+
+    pub(crate) fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest_bits(interest), token.0)
+    }
+
+    fn register_edge(&self, fd: RawFd, token: Token) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, EPOLLIN | EPOLLET, token.0)
+    }
+
+    pub(crate) fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest_bits(interest), token.0)
+    }
+
+    pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        // Pre-2.6.9 kernels demanded a non-null event for DEL; pass one
+        // unconditionally, it is ignored.
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    pub(crate) fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let cap = events.capacity();
+        let mut buf = vec![EpollEvent { events: 0, u64: 0 }; cap];
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+        };
+        loop {
+            // SAFETY: `buf` holds `cap` writable epoll_event slots and
+            // outlives the call; the kernel writes at most `cap` of them.
+            let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), cap as i32, timeout_ms) };
+            if n < 0 {
+                let err = last_errno();
+                if err.raw_os_error() == Some(EINTR) {
+                    continue;
+                }
+                return Err(err);
+            }
+            for slot in buf.iter().take(n as usize) {
+                let bits = slot.events;
+                events.push(Event {
+                    token: Token(slot.u64 as usize),
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & EPOLLERR != 0,
+                    hangup: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            return Ok(());
+        }
+    }
+}
+
+impl Drop for Selector {
+    fn drop(&mut self) {
+        // SAFETY: closing an fd we own exactly once.
+        unsafe { close(self.epfd) };
+    }
+}
+
+pub(crate) struct WakerImpl {
+    efd: RawFd,
+    // Keeps the selector (and thus the registration) alive as long as
+    // the waker exists.
+    _sel: Arc<Selector>,
+    // Cheap coalescing: skip the syscall when a wake is already pending
+    // and unconsumed. Relaxed-adjacent ordering is fine — a lost CAS
+    // just means one extra harmless eventfd write.
+    pending: AtomicBool,
+}
+
+unsafe impl Send for WakerImpl {}
+unsafe impl Sync for WakerImpl {}
+
+impl WakerImpl {
+    pub(crate) fn new(sel: &Arc<Selector>, token: Token) -> io::Result<WakerImpl> {
+        // SAFETY: plain syscall, no pointers involved.
+        let efd = unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) };
+        if efd < 0 {
+            return Err(last_errno());
+        }
+        if let Err(e) = sel.register_edge(efd, token) {
+            // SAFETY: closing the fd we just created.
+            unsafe { close(efd) };
+            return Err(e);
+        }
+        Ok(WakerImpl {
+            efd,
+            _sel: Arc::clone(sel),
+            pending: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn wake(&self) {
+        if self.pending.swap(true, Ordering::AcqRel) {
+            return; // a wake is already in flight
+        }
+        let one: u64 = 1;
+        // SAFETY: writing 8 bytes from a live u64 to an eventfd we own.
+        // EAGAIN (counter saturated) still leaves the poll readable, so
+        // the failure mode is benign and ignored.
+        unsafe { write(self.efd, &one as *const u64 as *const u8, 8) };
+        self.pending.store(false, Ordering::Release);
+    }
+}
+
+impl Drop for WakerImpl {
+    fn drop(&mut self) {
+        let _ = self._sel.deregister(self.efd);
+        // SAFETY: closing an fd we own exactly once.
+        unsafe { close(self.efd) };
+    }
+}

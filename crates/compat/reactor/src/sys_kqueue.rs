@@ -1,0 +1,240 @@
+//! kqueue backend (macOS / FreeBSD).
+//!
+//! Mirrors the epoll backend's semantics: level-triggered socket
+//! registrations, and an `EVFILT_USER` kevent as the waker (the BSD
+//! analogue of an edge-triggered eventfd — no drain required, the
+//! `EV_CLEAR` flag resets it on delivery).
+
+use crate::{Event, Events, Interest, Token};
+use std::io;
+use std::os::fd::RawFd;
+use std::ptr;
+use std::sync::Arc;
+use std::time::Duration;
+
+const EVFILT_READ: i16 = -1;
+const EVFILT_WRITE: i16 = -2;
+const EVFILT_USER: i16 = -10;
+
+const EV_ADD: u16 = 0x0001;
+const EV_DELETE: u16 = 0x0002;
+const EV_CLEAR: u16 = 0x0020;
+const EV_EOF: u16 = 0x8000;
+const EV_ERROR: u16 = 0x4000;
+
+const NOTE_TRIGGER: u32 = 0x0100_0000;
+
+const EINTR: i32 = 4;
+
+// The waker's kevent identifier: chosen to never collide with an fd.
+const WAKER_IDENT: usize = usize::MAX;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct KEvent {
+    ident: usize,
+    filter: i16,
+    flags: u16,
+    fflags: u32,
+    data: isize,
+    udata: *mut std::ffi::c_void,
+}
+
+#[repr(C)]
+struct Timespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+extern "C" {
+    fn kqueue() -> i32;
+    fn kevent(
+        kq: i32,
+        changelist: *const KEvent,
+        nchanges: i32,
+        eventlist: *mut KEvent,
+        nevents: i32,
+        timeout: *const Timespec,
+    ) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+fn last_errno() -> io::Error {
+    io::Error::last_os_error()
+}
+
+pub(crate) struct Selector {
+    kq: RawFd,
+}
+
+// SAFETY: kevent on a shared kqueue fd is thread-safe per the BSD docs.
+unsafe impl Send for Selector {}
+unsafe impl Sync for Selector {}
+
+impl Selector {
+    pub(crate) fn new() -> io::Result<Selector> {
+        // SAFETY: plain syscall, no pointers involved.
+        let kq = unsafe { kqueue() };
+        if kq < 0 {
+            return Err(last_errno());
+        }
+        Ok(Selector { kq })
+    }
+
+    fn change(&self, changes: &[KEvent]) -> io::Result<()> {
+        // SAFETY: `changes` is a live slice of properly laid-out kevents;
+        // with nevents == 0 the kernel writes nothing back.
+        let rc = unsafe {
+            kevent(
+                self.kq,
+                changes.as_ptr(),
+                changes.len() as i32,
+                ptr::null_mut(),
+                0,
+                ptr::null(),
+            )
+        };
+        if rc < 0 {
+            return Err(last_errno());
+        }
+        Ok(())
+    }
+
+    fn ev(ident: usize, filter: i16, flags: u16, fflags: u32, token: usize) -> KEvent {
+        KEvent {
+            ident,
+            filter,
+            flags,
+            fflags,
+            data: 0,
+            udata: token as *mut std::ffi::c_void,
+        }
+    }
+
+    pub(crate) fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        // kqueue has no single-shot "already registered" error for
+        // EV_ADD (it updates in place), so registering twice silently
+        // reregisters — acceptable divergence for a compat shim.
+        self.apply(fd, token, interest)
+    }
+
+    pub(crate) fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        // Drop both filters first so interest removal takes effect, then
+        // add back what is wanted.
+        let _ = self.deregister(fd);
+        self.apply(fd, token, interest)
+    }
+
+    fn apply(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        if interest.is_readable() {
+            self.change(&[Self::ev(fd as usize, EVFILT_READ, EV_ADD, 0, token.0)])?;
+        }
+        if interest.is_writable() {
+            self.change(&[Self::ev(fd as usize, EVFILT_WRITE, EV_ADD, 0, token.0)])?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let r = self.change(&[Self::ev(fd as usize, EVFILT_READ, EV_DELETE, 0, 0)]);
+        let w = self.change(&[Self::ev(fd as usize, EVFILT_WRITE, EV_DELETE, 0, 0)]);
+        // Success if either filter existed.
+        if r.is_err() && w.is_err() {
+            return r;
+        }
+        Ok(())
+    }
+
+    fn register_user(&self, token: Token) -> io::Result<()> {
+        self.change(&[Self::ev(
+            WAKER_IDENT,
+            EVFILT_USER,
+            EV_ADD | EV_CLEAR,
+            0,
+            token.0,
+        )])
+    }
+
+    fn trigger_user(&self) -> io::Result<()> {
+        self.change(&[Self::ev(WAKER_IDENT, EVFILT_USER, 0, NOTE_TRIGGER, 0)])
+    }
+
+    pub(crate) fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let cap = events.capacity();
+        let mut buf = vec![
+            KEvent {
+                ident: 0,
+                filter: 0,
+                flags: 0,
+                fflags: 0,
+                data: 0,
+                udata: ptr::null_mut(),
+            };
+            cap
+        ];
+        let ts;
+        let ts_ptr = match timeout {
+            None => ptr::null(),
+            Some(d) => {
+                ts = Timespec {
+                    tv_sec: d.as_secs() as i64,
+                    tv_nsec: d.subsec_nanos() as i64,
+                };
+                &ts as *const Timespec
+            }
+        };
+        loop {
+            // SAFETY: `buf` holds `cap` writable kevent slots and
+            // outlives the call; the kernel writes at most `cap`.
+            let n = unsafe { kevent(self.kq, ptr::null(), 0, buf.as_mut_ptr(), cap as i32, ts_ptr) };
+            if n < 0 {
+                let err = last_errno();
+                if err.raw_os_error() == Some(EINTR) {
+                    continue;
+                }
+                return Err(err);
+            }
+            for slot in buf.iter().take(n as usize) {
+                let token = Token(slot.udata as usize);
+                let eof = slot.flags & EV_EOF != 0;
+                let error = slot.flags & EV_ERROR != 0;
+                events.push(Event {
+                    token,
+                    readable: slot.filter == EVFILT_READ || slot.filter == EVFILT_USER || eof,
+                    writable: slot.filter == EVFILT_WRITE,
+                    error,
+                    hangup: eof,
+                });
+            }
+            return Ok(());
+        }
+    }
+}
+
+impl Drop for Selector {
+    fn drop(&mut self) {
+        // SAFETY: closing an fd we own exactly once.
+        unsafe { close(self.kq) };
+    }
+}
+
+pub(crate) struct WakerImpl {
+    sel: Arc<Selector>,
+}
+
+unsafe impl Send for WakerImpl {}
+unsafe impl Sync for WakerImpl {}
+
+impl WakerImpl {
+    pub(crate) fn new(sel: &Arc<Selector>, token: Token) -> io::Result<WakerImpl> {
+        sel.register_user(token)?;
+        Ok(WakerImpl {
+            sel: Arc::clone(sel),
+        })
+    }
+
+    pub(crate) fn wake(&self) {
+        let _ = self.sel.trigger_user();
+    }
+}

@@ -3,6 +3,21 @@
 use ioverlay_api::{Nanos, NodeId};
 use ioverlay_ratelimit::NodeBandwidth;
 
+/// Which I/O architecture carries this node's persistent links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoBackend {
+    /// The paper's thread-per-link design: one blocking receiver thread
+    /// per upstream and one blocking sender thread per downstream.
+    /// Default, so Fig. 5–7 repro numbers stay directly comparable.
+    #[default]
+    Blocking,
+    /// The sharded readiness core: links are hashed onto a small pool
+    /// of shard workers, each multiplexing its sockets through one
+    /// epoll/kqueue reactor with non-blocking vectored writes. Thread
+    /// count is O(shards), not O(links).
+    Reactor,
+}
+
 /// Configuration for one [`crate::EngineNode`].
 ///
 /// The defaults mirror the paper's experimental setup: 10-message
@@ -50,6 +65,11 @@ pub struct EngineConfig {
     pub telemetry: bool,
     /// Capacity of the bounded telemetry event ring.
     pub telemetry_events: usize,
+    /// I/O architecture for persistent links (see [`IoBackend`]).
+    pub io_backend: IoBackend,
+    /// Shard-worker count for [`IoBackend::Reactor`]; ignored by the
+    /// blocking backend. Floors at one.
+    pub reactor_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -68,8 +88,21 @@ impl Default for EngineConfig {
             recv_batched: true,
             telemetry: true,
             telemetry_events: ioverlay_telemetry::DEFAULT_EVENT_CAPACITY,
+            io_backend: IoBackend::Blocking,
+            reactor_shards: default_reactor_shards(),
         }
     }
+}
+
+/// Default shard count: one worker per available core, capped at four —
+/// a single-core host gets one shard (every extra shard there is pure
+/// cross-thread handoff overhead), larger hosts spread links over up to
+/// four.
+fn default_reactor_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 4)
 }
 
 impl EngineConfig {
@@ -136,6 +169,19 @@ impl EngineConfig {
         self.telemetry_events = capacity.max(1);
         self
     }
+
+    /// Selects the I/O backend (builder style).
+    pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
+        self.io_backend = backend;
+        self
+    }
+
+    /// Sets the reactor shard-worker count (builder style); floors at
+    /// one, ignored by the blocking backend.
+    pub fn with_reactor_shards(mut self, shards: usize) -> Self {
+        self.reactor_shards = shards.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +212,21 @@ mod tests {
         assert!(cfg.inactivity_timeout.is_none());
         assert!(cfg.telemetry, "telemetry records by default");
         assert!(cfg.telemetry_events >= 1);
+        assert_eq!(
+            cfg.io_backend,
+            IoBackend::Blocking,
+            "blocking stays the default so repro numbers are comparable"
+        );
+        assert!(cfg.reactor_shards >= 1);
+    }
+
+    #[test]
+    fn reactor_builders() {
+        let cfg = EngineConfig::default()
+            .with_io_backend(IoBackend::Reactor)
+            .with_reactor_shards(0);
+        assert_eq!(cfg.io_backend, IoBackend::Reactor);
+        assert_eq!(cfg.reactor_shards, 1, "shard count floors at one");
     }
 
     #[test]

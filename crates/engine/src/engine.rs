@@ -23,11 +23,12 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, IoBackend};
 use crate::ctx::{EngineCtx, StagedEffects};
 use crate::peer::{
     connect_to_peer, run_receiver, run_sender, ControlEvent, ReceiverLink, SenderLink,
 };
+use crate::shard::{LinkDir, ShardPool};
 
 /// Rate standing in for "unlimited".
 fn unlimited_rate() -> Rate {
@@ -86,6 +87,10 @@ pub(crate) struct EngineState {
     /// Total queue poison recoveries already reported to telemetry;
     /// `measure_tick` emits the delta as a structured event.
     pub poison_reported: u64,
+    /// Shard-worker pool carrying socket I/O under
+    /// [`IoBackend::Reactor`]; `None` on the blocking backend (and when
+    /// reactor setup failed, which falls back to blocking I/O).
+    pub pool: Option<ShardPool>,
 }
 
 impl EngineState {
@@ -130,6 +135,32 @@ impl EngineState {
             send_stage: BTreeMap::new(),
             poison_reported: 0,
             tel,
+            pool: None,
+        }
+    }
+
+    /// Spins up the reactor shard pool when the config asks for it.
+    /// Separate from `new` so unit tests (and the blocking backend) pay
+    /// nothing; a setup failure logs through telemetry and leaves the
+    /// node on blocking I/O rather than dead.
+    pub(crate) fn init_io_backend(&mut self) {
+        if self.config.io_backend != IoBackend::Reactor {
+            return;
+        }
+        match ShardPool::new(
+            self.config.reactor_shards,
+            self.clock.clone(),
+            self.events_tx.clone(),
+            self.tel.clone(),
+            self.config.send_batch_max,
+        ) {
+            Ok(pool) => {
+                self.tel.set_reactor_shards(pool.shards() as u64);
+                self.pool = Some(pool);
+            }
+            Err(_) => {
+                self.tel.set_reactor_shards(0);
+            }
         }
     }
 
@@ -278,6 +309,40 @@ impl EngineState {
                 chain.push(self.up_bucket.clone());
                 chain.push(self.total_bucket.clone());
                 self.link_buckets.insert(dest, link_bucket);
+                if let Some(pool) = self.pool.clone() {
+                    // Reactor backend: the link's socket joins a shard
+                    // instead of getting a dedicated sender thread.
+                    let shard_stream = stream
+                        .try_clone()
+                        .and_then(|s| s.set_nonblocking(true).map(|()| s));
+                    let Ok(shard_stream) = shard_stream else {
+                        self.link_buckets.remove(&dest);
+                        self.local_inbox
+                            .push_back(Msg::control(MsgType::NeighborFailed, dest, 0));
+                        self.tel.record_connect_failed(self.now(), dest);
+                        return false;
+                    };
+                    pool.add_sender(dest, shard_stream, queue.clone(), meter.clone(), chain);
+                    // The shard clone is the link's only long-lived fd;
+                    // dropping the dial handle keeps reactor links at
+                    // one descriptor each (teardown goes through
+                    // `ShardPool::remove`, not a socket shutdown).
+                    drop(stream);
+                    self.senders.insert(
+                        dest,
+                        SenderLink {
+                            queue,
+                            pending: VecDeque::new(),
+                            meter,
+                            stream: None,
+                            thread: None,
+                        },
+                    );
+                    self.local_inbox
+                        .push_back(Msg::control(MsgType::DownstreamJoined, dest, 0));
+                    self.tel.record_connect(self.now(), dest, true);
+                    return true;
+                }
                 let spawned = {
                     let Ok(stream) = stream.try_clone() else {
                         self.link_buckets.remove(&dest);
@@ -313,7 +378,7 @@ impl EngineState {
                         queue,
                         pending: VecDeque::new(),
                         meter,
-                        stream,
+                        stream: Some(stream),
                         thread: Some(thread),
                     },
                 );
@@ -625,6 +690,9 @@ impl EngineState {
             return;
         };
         link.close();
+        if let Some(pool) = &self.pool {
+            pool.remove(peer, LinkDir::Recv);
+        }
         self.wrr.remove(&peer);
         self.blocked.remove(&peer);
         if self.tel.enabled() {
@@ -661,6 +729,9 @@ impl EngineState {
     pub(crate) fn close_downstream(&mut self, peer: NodeId, notify_alg: bool) {
         if let Some(mut link) = self.senders.remove(&peer) {
             link.close();
+            if let Some(pool) = &self.pool {
+                pool.remove(peer, LinkDir::Send);
+            }
             if self.tel.enabled() {
                 self.tel.record_disconnect(self.now(), peer);
             }
@@ -871,7 +942,13 @@ pub(crate) fn run_engine(mut state: EngineState, events_rx: Receiver<ControlEven
     for peer in upstreams {
         if let Some(mut link) = state.receivers.remove(&peer) {
             link.close();
+            if let Some(pool) = &state.pool {
+                pool.remove(peer, LinkDir::Recv);
+            }
         }
+    }
+    if let Some(pool) = state.pool.take() {
+        pool.shutdown();
     }
 }
 
@@ -938,6 +1015,7 @@ pub(crate) fn run_listener(
     running: Arc<AtomicBool>,
     recv_batched: bool,
     tel: Arc<NodeTelemetry>,
+    pool: Option<ShardPool>,
 ) {
     while running.load(Ordering::Acquire) {
         match listener.accept() {
@@ -950,6 +1028,7 @@ pub(crate) fn run_listener(
                 let clock = clock.clone();
                 let (down, total) = down_chain_template.clone();
                 let tel = tel.clone();
+                let pool = pool.clone();
                 let spawned = thread::Builder::new()
                     .name(format!("acc-{local}"))
                     .spawn(move || {
@@ -964,6 +1043,7 @@ pub(crate) fn run_listener(
                             events,
                             recv_batched,
                             tel,
+                            pool,
                         );
                     });
                 // On spawn failure (thread-resource exhaustion) the
@@ -993,6 +1073,7 @@ fn handle_accepted(
     events: Sender<ControlEvent>,
     recv_batched: bool,
     tel: Arc<NodeTelemetry>,
+    pool: Option<ShardPool>,
 ) {
     let _ = local;
     let _ = stream.set_nodelay(true);
@@ -1015,8 +1096,17 @@ fn handle_accepted(
         let mut chain = BucketChain::new();
         chain.push(down_bucket);
         chain.push(total_bucket);
-        let Ok(reg_stream) = stream.try_clone() else {
-            return;
+        // The blocking backend keeps a dup'd handle engine-side so
+        // teardown can shut the socket down under the blocked receiver
+        // thread; a shard-owned socket needs no second fd (the pool
+        // drops it on `remove`), halving per-link fd cost at scale.
+        let reg_stream = if pool.is_some() {
+            None
+        } else {
+            match stream.try_clone() {
+                Ok(s) => Some(s),
+                Err(_) => return,
+            }
         };
         if events
             .send(ControlEvent::UpstreamOpened {
@@ -1027,6 +1117,13 @@ fn handle_accepted(
             })
             .is_err()
         {
+            return;
+        }
+        if let Some(pool) = pool {
+            // Reactor backend: the socket joins its shard and this
+            // accept thread exits immediately — upstream I/O costs no
+            // standing thread.
+            pool.add_receiver(peer, stream, queue, meter, chain);
             return;
         }
         run_receiver(

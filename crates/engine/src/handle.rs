@@ -43,7 +43,8 @@ impl EngineNode {
         let port = listener.local_addr()?.port();
         let id = NodeId::loopback(port);
         let (events_tx, events_rx) = unbounded();
-        let state = EngineState::new(id, config.clone(), algorithm, events_tx.clone());
+        let mut state = EngineState::new(id, config.clone(), algorithm, events_tx.clone());
+        state.init_io_backend();
         let running = Arc::new(AtomicBool::new(true));
         let listener_thread = {
             let clock = state.clock.clone();
@@ -55,6 +56,7 @@ impl EngineNode {
             let window = config.measure_window;
             let recv_batched = config.recv_batched;
             let tel = state.tel.clone();
+            let pool = state.pool.clone();
             thread::Builder::new()
                 .name(format!("lsn-{id}"))
                 .spawn(move || {
@@ -69,6 +71,7 @@ impl EngineNode {
                         running,
                         recv_batched,
                         tel,
+                        pool,
                     );
                 })?
         };

@@ -59,6 +59,7 @@ mod ctx;
 mod engine;
 mod handle;
 mod peer;
+mod shard;
 
-pub use config::EngineConfig;
+pub use config::{EngineConfig, IoBackend};
 pub use handle::EngineNode;

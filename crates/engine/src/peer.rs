@@ -52,7 +52,11 @@ pub(crate) enum ControlEvent {
         peer: NodeId,
         queue: CircularQueue<Msg>,
         meter: Arc<Mutex<ThroughputMeter>>,
-        stream: TcpStream,
+        /// Engine-held handle used to shut the socket down on teardown.
+        /// `None` on the reactor backend: the shard owns the only fd
+        /// (halving per-link fd cost), and teardown goes through
+        /// `ShardPool::remove` instead of a socket shutdown.
+        stream: Option<TcpStream>,
     },
     /// A receiver thread saw its socket die.
     UpstreamFailed(NodeId),
@@ -79,7 +83,8 @@ pub(crate) struct SenderLink {
     /// [`ioverlay_api::Context::backlog`], which includes this.
     pub pending: std::collections::VecDeque<Msg>,
     pub meter: Arc<Mutex<ThroughputMeter>>,
-    pub stream: TcpStream,
+    /// `None` on the reactor backend (the shard owns the only fd).
+    pub stream: Option<TcpStream>,
     pub thread: Option<JoinHandle<()>>,
 }
 
@@ -90,10 +95,13 @@ impl SenderLink {
     }
 
     /// Closes the link: the queue drains, the sender thread exits, and
-    /// the socket shuts down.
+    /// the socket shuts down (the shutdown unblocks a sender thread
+    /// parked in `write_all`; shard-owned links close via the pool).
     pub fn close(&mut self) {
         self.queue.close();
-        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(stream) = &self.stream {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -104,14 +112,17 @@ impl SenderLink {
 pub(crate) struct ReceiverLink {
     pub queue: CircularQueue<Msg>,
     pub meter: Arc<Mutex<ThroughputMeter>>,
-    pub stream: TcpStream,
+    /// `None` on the reactor backend (the shard owns the only fd).
+    pub stream: Option<TcpStream>,
 }
 
 impl ReceiverLink {
     /// Closes the link; the receiver thread exits on the socket error.
     pub fn close(&mut self) {
         self.queue.close();
-        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(stream) = &self.stream {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
     }
 }
 
@@ -337,13 +348,17 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let local = NodeId::loopback(4242);
         let peer = NodeId::loopback(addr.port());
-        let dialer = thread::spawn(move || connect_to_peer(local, peer).unwrap());
+        // The thread returns the dial Result instead of unwrapping it:
+        // a failure must surface as this test's assertion below, not as
+        // an opaque cross-thread panic at join.
+        let dialer = thread::spawn(move || connect_to_peer(local, peer));
         let (conn, _) = listener.accept().unwrap();
         let mut reader = BufReader::new(conn);
         let msg = read_msg(&mut reader).unwrap().unwrap();
         assert_eq!(msg.ty(), MsgType::Hello);
         assert_eq!(msg.origin(), local);
-        dialer.join().unwrap();
+        let dialed = dialer.join().expect("dialer thread panicked");
+        assert!(dialed.is_ok(), "dial failed: {:?}", dialed.err());
     }
 
     #[test]

@@ -34,5 +34,5 @@ mod ring;
 mod sync;
 mod wrr;
 
-pub use ring::{CircularQueue, PopTimeout, PushError, TryPushError};
+pub use ring::{CircularQueue, PopTimeout, PushError, TryPushError, WakeHook};
 pub use wrr::WeightedRoundRobin;

@@ -6,8 +6,12 @@ use std::fmt;
 #[cfg(not(feature = "loom"))]
 use std::time::Duration;
 
-use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// A wakeup callback attached to a queue transition edge. See
+/// [`CircularQueue::set_data_hook`].
+pub type WakeHook = Arc<dyn Fn() + Send + Sync>;
 
 /// Error returned by blocking [`CircularQueue::push`] when the queue has
 /// been closed.
@@ -72,6 +76,26 @@ struct Shared<T> {
     /// poisoned state (a peer thread panicked inside the critical
     /// section). See [`CircularQueue::poison_recoveries`].
     poison_recoveries: AtomicU64,
+    /// Fast-path gate: set when any wake hook is installed, so the
+    /// overwhelmingly common hook-free queues (blocking backend) never
+    /// touch the `hooks` mutex on a transition edge.
+    has_hooks: AtomicBool,
+    hooks: Mutex<Hooks>,
+}
+
+#[derive(Default)]
+struct Hooks {
+    data: Option<WakeHook>,
+    space: Option<WakeHook>,
+}
+
+impl fmt::Debug for Hooks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hooks")
+            .field("data", &self.data.is_some())
+            .field("space", &self.space.is_some())
+            .finish()
+    }
 }
 
 #[derive(Debug)]
@@ -129,7 +153,72 @@ impl<T> CircularQueue<T> {
                 not_full: Condvar::new(),
                 capacity,
                 poison_recoveries: AtomicU64::new(0),
+                has_hooks: AtomicBool::new(false),
+                hooks: Mutex::new(Hooks::default()),
             }),
+        }
+    }
+
+    /// Installs (or with `None` removes) the *data* wake hook, invoked
+    /// — outside the buffer lock — after a push transitions the queue
+    /// from empty to non-empty, and on [`CircularQueue::close`].
+    ///
+    /// This is the reactor backend's mailbox wakeup: a shard parks its
+    /// sender mailboxes on a readiness [`Waker`](https://docs.rs/mio)
+    /// -style nudge instead of a dedicated blocked thread. The hook
+    /// must be cheap and must not block.
+    ///
+    /// Race discipline (mirrors condvar registration): installing a
+    /// hook does **not** retroactively signal for items already queued.
+    /// A consumer must install the hook first, *then* check
+    /// [`CircularQueue::len`] once — otherwise a push that happened
+    /// between "drain" and "install" is a lost wakeup. The loom model
+    /// `shard_mailbox_wakeup` in `tests/loom.rs` checks exactly this
+    /// protocol.
+    pub fn set_data_hook(&self, hook: Option<WakeHook>) {
+        let mut hooks = self.shared.hooks.lock();
+        hooks.data = hook;
+        let any = hooks.data.is_some() || hooks.space.is_some();
+        self.shared.has_hooks.store(any, Ordering::Release);
+    }
+
+    /// Installs (or removes) the *space* wake hook, invoked — outside
+    /// the buffer lock — after a pop transitions the queue from full to
+    /// non-full, and on [`CircularQueue::close`]. The reactor backend
+    /// uses it to resume a read-paused link once its ingress mailbox
+    /// frees up (the readiness analogue of the `SendSpace` event).
+    ///
+    /// Same registration race discipline as
+    /// [`CircularQueue::set_data_hook`], with `is_full` as the
+    /// post-install check.
+    pub fn set_space_hook(&self, hook: Option<WakeHook>) {
+        let mut hooks = self.shared.hooks.lock();
+        hooks.space = hook;
+        let any = hooks.data.is_some() || hooks.space.is_some();
+        self.shared.has_hooks.store(any, Ordering::Release);
+    }
+
+    /// Clones the data hook out of the registry if any hook is set.
+    /// Called only on the empty→non-empty edge, after the buffer lock
+    /// is dropped, so hook-free queues pay one atomic load.
+    fn fire_data_hook(&self) {
+        if !self.shared.has_hooks.load(Ordering::Acquire) {
+            return;
+        }
+        let hook = self.shared.hooks.lock().data.clone();
+        if let Some(hook) = hook {
+            hook();
+        }
+    }
+
+    /// Space-edge twin of [`CircularQueue::fire_data_hook`].
+    fn fire_space_hook(&self) {
+        if !self.shared.has_hooks.load(Ordering::Acquire) {
+            return;
+        }
+        let hook = self.shared.hooks.lock().space.clone();
+        if let Some(hook) = hook {
+            hook();
         }
     }
 
@@ -197,9 +286,13 @@ impl<T> CircularQueue<T> {
                 return Err(PushError(item));
             }
             if inner.items.len() < self.shared.capacity {
+                let was_empty = inner.items.is_empty();
                 inner.items.push_back(item);
                 drop(inner);
                 self.shared.not_empty.notify_one();
+                if was_empty {
+                    self.fire_data_hook();
+                }
                 return Ok(());
             }
             self.shared.not_full.wait(&mut inner);
@@ -225,9 +318,13 @@ impl<T> CircularQueue<T> {
         if inner.items.len() >= self.shared.capacity {
             return Err(TryPushError::Full(item));
         }
+        let was_empty = inner.items.is_empty();
         inner.items.push_back(item);
         drop(inner);
         self.shared.not_empty.notify_one();
+        if was_empty {
+            self.fire_data_hook();
+        }
         Ok(())
     }
 
@@ -241,9 +338,13 @@ impl<T> CircularQueue<T> {
     pub fn pop(&self) -> Option<T> {
         let mut inner = self.lock_inner();
         loop {
+            let was_full = inner.items.len() == self.shared.capacity;
             if let Some(item) = inner.items.pop_front() {
                 drop(inner);
                 self.shared.not_full.notify_one();
+                if was_full {
+                    self.fire_space_hook();
+                }
                 return Some(item);
             }
             if inner.closed {
@@ -256,10 +357,14 @@ impl<T> CircularQueue<T> {
     /// Attempts to dequeue without blocking. Returns `None` if empty.
     pub fn try_pop(&self) -> Option<T> {
         let mut inner = self.lock_inner();
+        let was_full = inner.items.len() == self.shared.capacity;
         let item = inner.items.pop_front();
         if item.is_some() {
             drop(inner);
             self.shared.not_full.notify_one();
+            if was_full {
+                self.fire_space_hook();
+            }
         }
         item
     }
@@ -277,6 +382,7 @@ impl<T> CircularQueue<T> {
             return 0;
         }
         let mut inner = self.lock_inner();
+        let was_full = inner.items.len() == self.shared.capacity;
         let take = max.min(inner.items.len());
         if take == 0 {
             return 0;
@@ -289,6 +395,9 @@ impl<T> CircularQueue<T> {
             self.shared.not_full.notify_one();
         } else {
             self.shared.not_full.notify_all();
+        }
+        if was_full {
+            self.fire_space_hook();
         }
         take
     }
@@ -311,6 +420,9 @@ impl<T> CircularQueue<T> {
         } else {
             self.shared.not_full.notify_all();
         }
+        if occupancy == self.shared.capacity {
+            self.fire_space_hook();
+        }
         (take, occupancy)
     }
 
@@ -327,6 +439,7 @@ impl<T> CircularQueue<T> {
         if inner.closed {
             return 0;
         }
+        let was_empty = inner.items.is_empty();
         let space = self.shared.capacity - inner.items.len();
         let take = space.min(items.len());
         if take == 0 {
@@ -338,6 +451,9 @@ impl<T> CircularQueue<T> {
             self.shared.not_empty.notify_one();
         } else {
             self.shared.not_empty.notify_all();
+        }
+        if was_empty {
+            self.fire_data_hook();
         }
         take
     }
@@ -364,9 +480,13 @@ impl<T> CircularQueue<T> {
         let deadline = std::time::Instant::now() + timeout;
         let mut inner = self.lock_inner();
         loop {
+            let was_full = inner.items.len() == self.shared.capacity;
             if let Some(item) = inner.items.pop_front() {
                 drop(inner);
                 self.shared.not_full.notify_one();
+                if was_full {
+                    self.fire_space_hook();
+                }
                 return PopTimeout::Item(item);
             }
             if inner.closed {
@@ -378,10 +498,14 @@ impl<T> CircularQueue<T> {
                 .wait_until(&mut inner, deadline)
                 .timed_out()
             {
+                let was_full = inner.items.len() == self.shared.capacity;
                 return match inner.items.pop_front() {
                     Some(item) => {
                         drop(inner);
                         self.shared.not_full.notify_one();
+                        if was_full {
+                            self.fire_space_hook();
+                        }
                         PopTimeout::Item(item)
                     }
                     None if inner.closed => PopTimeout::Closed,
@@ -402,6 +526,10 @@ impl<T> CircularQueue<T> {
         drop(inner);
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
+        // Hooked consumers/producers are parked in a reactor, not on the
+        // condvars — nudge both so they observe the close promptly.
+        self.fire_data_hook();
+        self.fire_space_hook();
     }
 
     /// Discards all buffered items, returning how many were dropped.
@@ -413,6 +541,9 @@ impl<T> CircularQueue<T> {
         inner.items.clear();
         drop(inner);
         self.shared.not_full.notify_all();
+        if n == self.shared.capacity {
+            self.fire_space_hook();
+        }
         n
     }
 }
@@ -609,6 +740,84 @@ mod tests {
         all.sort_unstable();
         let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
         assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn data_hook_fires_only_on_empty_to_nonempty_edge() {
+        let q = CircularQueue::with_capacity(4);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        q.set_data_hook(Some(Arc::new(move || {
+            h.fetch_add(1, Ordering::AcqRel);
+        })));
+        q.push(1).unwrap(); // empty -> nonempty: fires
+        q.push(2).unwrap(); // nonempty: silent
+        q.try_push(3).unwrap(); // nonempty: silent
+        assert_eq!(hits.load(Ordering::Acquire), 1);
+        let mut out = Vec::new();
+        q.drain_into(&mut out);
+        let mut batch = vec![7, 8];
+        q.push_batch(&mut batch); // empty -> nonempty again: fires
+        assert_eq!(hits.load(Ordering::Acquire), 2);
+        q.set_data_hook(None);
+        q.drain_into(&mut out);
+        q.push(9).unwrap(); // hook removed: silent
+        assert_eq!(hits.load(Ordering::Acquire), 2);
+    }
+
+    #[test]
+    fn space_hook_fires_only_on_full_to_nonfull_edge() {
+        let q = CircularQueue::with_capacity(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        q.set_space_hook(Some(Arc::new(move || {
+            h.fetch_add(1, Ordering::AcqRel);
+        })));
+        q.push(1).unwrap();
+        assert_eq!(q.try_pop(), Some(1)); // not full: silent
+        assert_eq!(hits.load(Ordering::Acquire), 0);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.try_pop(), Some(1)); // full -> nonfull: fires
+        assert_eq!(hits.load(Ordering::Acquire), 1);
+        assert_eq!(q.try_pop(), Some(2)); // silent
+        assert_eq!(hits.load(Ordering::Acquire), 1);
+        q.push(3).unwrap();
+        q.push(4).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(2, &mut out), 2); // full -> nonfull: fires
+        assert_eq!(hits.load(Ordering::Acquire), 2);
+    }
+
+    #[test]
+    fn close_fires_both_hooks() {
+        let q = CircularQueue::<u8>::with_capacity(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h1 = Arc::clone(&hits);
+        let h2 = Arc::clone(&hits);
+        q.set_data_hook(Some(Arc::new(move || {
+            h1.fetch_add(1, Ordering::AcqRel);
+        })));
+        q.set_space_hook(Some(Arc::new(move || {
+            h2.fetch_add(1, Ordering::AcqRel);
+        })));
+        q.close();
+        assert_eq!(hits.load(Ordering::Acquire), 2);
+    }
+
+    #[test]
+    fn hook_install_then_len_check_closes_the_race_window() {
+        // The registration protocol the shard relies on: items pushed
+        // before the hook existed are found by the post-install check.
+        let q = CircularQueue::with_capacity(4);
+        q.push(1).unwrap(); // pre-hook push: no hook to fire
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        q.set_data_hook(Some(Arc::new(move || {
+            h.fetch_add(1, Ordering::AcqRel);
+        })));
+        assert_eq!(hits.load(Ordering::Acquire), 0, "no retroactive signal");
+        assert!(!q.is_empty(), "post-install check finds the early item");
     }
 
     #[test]

@@ -237,12 +237,100 @@ fn sendspace_protocol(signal_on_drain: bool) {
     sender.join().unwrap();
 }
 
+/// The shard-mailbox wakeup protocol from the reactor backend
+/// (`crates/engine/src/shard.rs`), reduced to its synchronization
+/// skeleton — the readiness-era sibling of [`sendspace_protocol`].
+///
+/// The engine thread pushes messages into a per-link sender mailbox;
+/// the shard worker is parked in `Poll::poll` and is nudged by the
+/// queue's *data hook*, which fires on the empty→non-empty edge and
+/// pokes a **sticky** waker (an eventfd: a wake issued while the shard
+/// is busy is latched and consumed by its next poll, never dropped).
+/// Here the waker is modeled as a capacity-1 queue: `try_push(())` with
+/// `Full` ignored is `wake()` (coalescing), blocking `pop()` is the
+/// parked poll.
+///
+/// The protocol has exactly one subtle rule, documented on
+/// `CircularQueue::set_data_hook`: the hook only fires on the edge, so
+/// the consumer must *install the hook first, then check the mailbox
+/// once* before parking. `install_before_use` toggles that rule; the
+/// demonstrator below shows the lost wakeup when it is broken.
+fn shard_mailbox_protocol(install_before_use: bool) {
+    use loom::sync::Arc;
+    const N: u32 = 3;
+    let mailbox = CircularQueue::with_capacity(2);
+    // Sticky wake latch standing in for the reactor's eventfd waker.
+    let waker = CircularQueue::with_capacity(1);
+
+    let install = |mailbox: &CircularQueue<u32>, waker: &CircularQueue<()>| {
+        let w = waker.clone();
+        mailbox.set_data_hook(Some(Arc::new(move || {
+            // wake(): latch a token; an already-latched waker coalesces.
+            let _ = w.try_push(());
+        })));
+    };
+    if install_before_use {
+        install(&mailbox, &waker);
+    }
+
+    let producer = {
+        let mailbox = mailbox.clone();
+        thread::spawn(move || {
+            for i in 0..N {
+                mailbox.push(i).unwrap();
+            }
+        })
+    };
+
+    // Shard worker: drain the mailbox; when it runs dry, park on the
+    // waker (the poll call). The broken ordering installs the hook only
+    // after observing the mailbox empty — a push landing in that window
+    // fires no hook, so the shard parks on a waker nobody will ever
+    // poke.
+    let mut got = Vec::new();
+    while (got.len() as u32) < N {
+        if mailbox.pop_batch(8, &mut got) == 0 {
+            if !install_before_use {
+                install(&mailbox, &waker);
+                if !mailbox.is_empty() {
+                    // Post-install check — but performed only from the
+                    // second park onward in this broken variant, the
+                    // first park already raced.
+                }
+            }
+            waker.pop().expect("waker closed");
+        }
+    }
+    producer.join().unwrap();
+    assert_eq!(got, vec![0, 1, 2], "mailbox lost or reordered");
+}
+
 /// With the SendSpace signal in place there is NO interleaving in which
 /// the parked engine misses the wakeup: the model completes under every
 /// schedule.
 #[test]
 fn sendspace_wakeup_never_lost() {
     loom::model(|| sendspace_protocol(true));
+}
+
+/// Install-hook-then-check ordering plus a sticky waker: no
+/// interleaving loses the shard wakeup — the reactor-backend analogue
+/// of [`sendspace_wakeup_never_lost`].
+#[test]
+fn shard_mailbox_wakeup_never_lost() {
+    loom::model(|| shard_mailbox_protocol(true));
+}
+
+/// Breaking the ordering (hook installed only after the mailbox is
+/// seen empty) reintroduces the lost wakeup: the producer's pushes land
+/// before any hook exists, the shard parks forever, and the model
+/// reports the stuck interleaving. If `shard.rs` ever reorders its
+/// registration sequence, the positive model above hangs exactly like
+/// this.
+#[test]
+#[should_panic(expected = "DEADLOCK")]
+fn shard_mailbox_install_after_check_deadlocks() {
+    loom::model(|| shard_mailbox_protocol(false));
 }
 
 /// Reverting the fix (sender drains a full buffer but never signals)

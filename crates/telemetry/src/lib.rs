@@ -66,12 +66,15 @@ pub struct NodeTelemetry {
     queue_poison_recoveries: Counter,
     coding_innovative: Counter,
     coding_duplicate: Counter,
+    reactor_wakeups: Counter,
+    reactor_partial_writes: Counter,
 
     // Gauges.
     upstreams: Gauge,
     downstreams: Gauge,
     recv_queue_msgs: Gauge,
     send_queue_msgs: Gauge,
+    reactor_shards: Gauge,
 
     // Histograms.
     switch_round_nanos: Histogram,
@@ -84,6 +87,7 @@ pub struct NodeTelemetry {
     recv_syscall_bytes: Histogram,
     coding_encode_nanos: Histogram,
     coding_decode_nanos: Histogram,
+    shard_ingress_occupancy_msgs: Histogram,
 
     events: EventRing,
 }
@@ -110,10 +114,14 @@ impl NodeTelemetry {
             queue_poison_recoveries: Counter::new(),
             coding_innovative: Counter::new(),
             coding_duplicate: Counter::new(),
+            reactor_wakeups: Counter::new(),
+            reactor_partial_writes: Counter::new(),
             upstreams: Gauge::new(),
             downstreams: Gauge::new(),
             recv_queue_msgs: Gauge::new(),
             send_queue_msgs: Gauge::new(),
+            reactor_shards: Gauge::new(),
+            shard_ingress_occupancy_msgs: Histogram::new(BATCH_BOUNDS_MSGS),
             switch_round_nanos: Histogram::new(LATENCY_BOUNDS_NANOS),
             switch_batch_msgs: Histogram::new(BATCH_BOUNDS_MSGS),
             queue_occupancy_msgs: Histogram::new(BATCH_BOUNDS_MSGS),
@@ -268,6 +276,42 @@ impl NodeTelemetry {
         }
     }
 
+    /// A shard worker's `poll` returned with at least one readiness
+    /// event (reactor backend).
+    #[inline]
+    pub fn record_reactor_wakeup(&self) {
+        if self.enabled {
+            self.reactor_wakeups.inc();
+        }
+    }
+
+    /// A shard's non-blocking write stopped at `WOULDBLOCK` with bytes
+    /// still staged; the link is parked on write readiness.
+    #[inline]
+    pub fn record_reactor_partial_write(&self) {
+        if self.enabled {
+            self.reactor_partial_writes.inc();
+        }
+    }
+
+    /// A shard enqueued into a receive mailbox that now holds
+    /// `occupancy` messages (post-push sample of shard-side ingress
+    /// pressure).
+    #[inline]
+    pub fn record_shard_ingress_occupancy(&self, occupancy: u64) {
+        if self.enabled {
+            self.shard_ingress_occupancy_msgs.record(occupancy);
+        }
+    }
+
+    /// Publishes the reactor shard count (0 on the blocking backend).
+    #[inline]
+    pub fn set_reactor_shards(&self, shards: u64) {
+        if self.enabled {
+            self.reactor_shards.set(shards);
+        }
+    }
+
     /// A coding node combined held packets into one coded emission in
     /// `nanos` (the GF(2⁸) `combine` walk over the hold buffer).
     #[inline]
@@ -336,12 +380,15 @@ impl NodeTelemetry {
                 c("queue_poison_recoveries", &self.queue_poison_recoveries),
                 c("coding_innovative", &self.coding_innovative),
                 c("coding_duplicate", &self.coding_duplicate),
+                c("reactor_wakeups", &self.reactor_wakeups),
+                c("reactor_partial_writes", &self.reactor_partial_writes),
             ],
             gauges: vec![
                 g("upstreams", &self.upstreams),
                 g("downstreams", &self.downstreams),
                 g("recv_queue_msgs", &self.recv_queue_msgs),
                 g("send_queue_msgs", &self.send_queue_msgs),
+                g("reactor_shards", &self.reactor_shards),
             ],
             histograms: vec![
                 self.switch_round_nanos.snapshot("switch_round_nanos"),
@@ -354,6 +401,8 @@ impl NodeTelemetry {
                 self.recv_syscall_bytes.snapshot("recv_syscall_bytes"),
                 self.coding_encode_nanos.snapshot("coding_encode_nanos"),
                 self.coding_decode_nanos.snapshot("coding_decode_nanos"),
+                self.shard_ingress_occupancy_msgs
+                    .snapshot("shard_ingress_occupancy_msgs"),
             ],
             events: events_view,
             events_dropped,
@@ -429,5 +478,31 @@ mod tests {
         assert_eq!(snap.histogram("coding_decode_nanos").unwrap().sum, 8_200);
         assert_eq!(snap.events.len(), 6);
         assert_eq!(snap.events_dropped, 0);
+    }
+
+    #[test]
+    fn reactor_metrics_record_and_snapshot() {
+        let tel = NodeTelemetry::new(true, 16);
+        tel.record_reactor_wakeup();
+        tel.record_reactor_wakeup();
+        tel.record_reactor_partial_write();
+        tel.record_shard_ingress_occupancy(5);
+        tel.record_shard_ingress_occupancy(9);
+        tel.set_reactor_shards(4);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("reactor_wakeups"), Some(2));
+        assert_eq!(snap.counter("reactor_partial_writes"), Some(1));
+        assert_eq!(snap.gauge("reactor_shards"), Some(4));
+        let h = snap.histogram("shard_ingress_occupancy_msgs").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 14);
+
+        let off = NodeTelemetry::new(false, 16);
+        off.record_reactor_wakeup();
+        off.record_reactor_partial_write();
+        off.set_reactor_shards(4);
+        let snap = off.snapshot();
+        assert_eq!(snap.counter("reactor_wakeups"), Some(0));
+        assert_eq!(snap.gauge("reactor_shards"), Some(0));
     }
 }

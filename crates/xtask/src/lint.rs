@@ -9,8 +9,10 @@
 //!   compat shims. Everywhere else a Relaxed access is presumed to be an
 //!   unproven publication and must be Acquire/Release or stronger.
 //! * **R2 `panic-path`** — no `.unwrap()` / `.expect(` in the engine's
-//!   switch loop (`crates/engine/src/{engine,peer}.rs`): a panic there
-//!   poisons queue mutexes and takes down the whole node. Error paths must
+//!   switch loop, socket threads, or shard workers
+//!   (`crates/engine/src/{engine,peer,shard}.rs`): a panic there
+//!   poisons queue mutexes and takes down the whole node (a shard panic
+//!   takes every link hashed onto that shard). Error paths must
 //!   degrade (drop the link, surface a telemetry event).
 //! * **R3 `wall-clock`** — simnet-reachable crates must not call
 //!   `std::thread::sleep` or `Instant::now`: simulated time comes from the
@@ -74,8 +76,15 @@ const CLOCK_ABSTRACTION: &str = "crates/ratelimit/src/clock.rs";
 /// Crates with a loom `sync` shim module (rule R4).
 const LOOM_SHIMMED: &[&str] = &["crates/queue/", "crates/telemetry/"];
 
-/// Engine files where panics take the whole node down (rule R2).
-const PANIC_FREE_FILES: &[&str] = &["crates/engine/src/engine.rs", "crates/engine/src/peer.rs"];
+/// Engine files where panics take the whole node down (rule R2): the
+/// switch loop, the blocking dialer/receiver/sender threads, and the
+/// reactor shard workers (a panicking shard strands every link hashed
+/// onto it, not just one).
+const PANIC_FREE_FILES: &[&str] = &[
+    "crates/engine/src/engine.rs",
+    "crates/engine/src/peer.rs",
+    "crates/engine/src/shard.rs",
+];
 
 /// The waiver marker recognized by R3. Must appear in a comment on the
 /// violating line or one of the three lines above it, followed by a reason.
@@ -346,6 +355,18 @@ mod tests {
         assert_eq!(v[0].line, 1);
         // The same code elsewhere is fine.
         assert!(lint_source("crates/engine/src/handle.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_socket_threads_and_shard_workers_is_rejected() {
+        // R2 covers the dialer/receiver/sender thread file and the
+        // reactor shard workers, not just the switch loop.
+        let src = "fn f(x: Result<u32, ()>) -> u32 { x.expect(\"boom\") }\n";
+        for file in ["crates/engine/src/peer.rs", "crates/engine/src/shard.rs"] {
+            let v = lint_source(file, src);
+            assert_eq!(v.len(), 1, "{file} must be panic-free");
+            assert_eq!(v[0].rule, "panic-path");
+        }
     }
 
     #[test]
