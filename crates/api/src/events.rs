@@ -9,7 +9,7 @@
 
 use bytes::Bytes;
 use ioverlay_message::{DecodeError, NodeId};
-use ioverlay_telemetry::TelemetrySnapshot;
+use ioverlay_telemetry::{SpanBatch, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 
 /// Which side of a link an event refers to.
@@ -92,6 +92,10 @@ pub struct StatusReport {
     /// telemetry subsystem or run with it disabled; absent fields decode
     /// to `None`, keeping old reports readable).
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Trace spans recorded since the last report (`None` from nodes
+    /// that predate tracing or run with sampling off; absent fields
+    /// decode to `None` like `telemetry`).
+    pub spans: Option<SpanBatch>,
 }
 
 /// Payload of an addressed `Request` (status poll): carries which node
@@ -241,8 +245,35 @@ mod tests {
             switched_msgs: 1234,
             algorithm: serde_json::json!({"stress": 2.0}),
             telemetry: None,
+            spans: None,
         };
         assert_eq!(StatusReport::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn status_report_with_spans_roundtrips() {
+        use ioverlay_telemetry::{SpanBatch, SpanEvent, SpanStage};
+        let p = StatusReport {
+            node: Some(NodeId::loopback(9100)),
+            spans: Some(SpanBatch {
+                wall_anchor: 1_700_000_000_000_000_000,
+                dropped: 0,
+                spans: vec![SpanEvent {
+                    idx: 0,
+                    trace_id: 77,
+                    parent_span: 0,
+                    span_id: 5,
+                    node: NodeId::loopback(9100),
+                    peer: Some(NodeId::loopback(9101)),
+                    stage: SpanStage::Switch,
+                    start: 10,
+                    end: 40,
+                }],
+            }),
+            ..StatusReport::default()
+        };
+        let decoded = StatusReport::decode(&p.encode()).unwrap();
+        assert_eq!(decoded, p);
     }
 
     #[test]
@@ -275,6 +306,7 @@ mod tests {
         let report = StatusReport::decode(legacy).unwrap();
         assert_eq!(report.switched_msgs, 7);
         assert_eq!(report.telemetry, None);
+        assert_eq!(report.spans, None);
     }
 
     #[test]

@@ -39,9 +39,10 @@ pub use events::{
     StatusRequestPayload, ThroughputPayload,
 };
 
-pub use ioverlay_message::{ControlParams, Msg, MsgType, NodeId};
+pub use ioverlay_message::{ControlParams, Msg, MsgType, NodeId, TraceContext};
 pub use ioverlay_telemetry::{
-    EventRecord, HistogramSnapshot, NodeTelemetry, TelemetryEvent, TelemetrySnapshot,
+    EventRecord, HistogramSnapshot, NodeTelemetry, SpanBatch, SpanEvent, SpanStage,
+    TelemetryEvent, TelemetrySnapshot,
 };
 
 /// The node-local telemetry crate, re-exported so algorithms can depend

@@ -11,10 +11,12 @@
 //! keeps the batched settings but carries the sockets on shard workers
 //! ([`IoBackend::Reactor`]) instead of thread-per-link.
 //!
-//! The batched configuration runs twice — telemetry on and telemetry
-//! off — to measure the overhead of the relaxed-atomic recording sites
-//! on the hot path (the PR 2 acceptance gate: ≤ 5% msgs/sec). Every
-//! gated comparison point is the **median of three runs**, and the
+//! The batched configuration runs three ways — telemetry on, telemetry
+//! off, and telemetry on with distributed tracing sampled at
+//! 1/[`TRACE_SAMPLE`] — to measure the overhead of the relaxed-atomic
+//! recording sites (the PR 2 acceptance gate: ≤ 5% msgs/sec) and of
+//! trace sampling + span recording (the tracing gate, same budget).
+//! Every gated comparison point is the **median of three runs**, and the
 //! gated modes run in **interleaved rounds**: with a short measure
 //! window, single runs were noisy enough (±5%) to trip the gate on
 //! scheduler luck alone, and host throughput drifts in multi-second
@@ -52,11 +54,19 @@ pub enum ChainMode {
     Reactor,
 }
 
+/// Sampling rate for the trace-overhead comparison: every 64th message
+/// starts a distributed trace, the kind of rate an operator would leave
+/// on in production (a saturated chain still mints >1k traces/sec).
+pub const TRACE_SAMPLE: u32 = 64;
+
 /// Runs the 3-node relay chain for `measure_secs` and returns sink-side
-/// goodput. `telemetry` toggles metric/event recording on every node.
+/// goodput. `telemetry` toggles metric/event recording on every node;
+/// `trace_sample` > 0 additionally samples distributed traces at that
+/// rate on every node.
 pub fn run_chain(
     mode: ChainMode,
     telemetry: bool,
+    trace_sample: u32,
     msg_bytes: usize,
     measure_secs: u64,
 ) -> SwitchPoint {
@@ -66,7 +76,8 @@ pub fn run_chain(
         // fast path is built for (batches only form under backlog).
         let c = EngineConfig::default()
             .with_buffer_msgs(4096)
-            .with_telemetry(telemetry);
+            .with_telemetry(telemetry)
+            .with_trace_sample(trace_sample);
         match mode {
             ChainMode::PerMessage => c
                 .with_switch_quantum(1)
@@ -135,21 +146,30 @@ pub fn run(measure_secs: u64, sweep: &[usize]) {
         "batched switching fast path vs per-message baseline (3-node relay chain)",
     );
     let msg_bytes = 256;
-    let baseline = run_chain(ChainMode::PerMessage, true, msg_bytes, measure_secs);
-    // The three gated configurations run in interleaved rounds rather
-    // than three back-to-back runs per mode: host throughput drifts in
+    let baseline = run_chain(ChainMode::PerMessage, true, 0, msg_bytes, measure_secs);
+    // The gated configurations run in interleaved rounds rather than
+    // three back-to-back runs per mode: host throughput drifts in
     // multi-second "eras", and consecutive runs would let one era land
     // entirely on one mode and skew the gated *ratios*. Interleaving
     // gives every mode the same era mix; the medians then compare like
     // with like.
-    let (mut batched_runs, mut tel_off_runs, mut reactor_runs) = (vec![], vec![], vec![]);
+    let (mut batched_runs, mut tel_off_runs, mut traced_runs, mut reactor_runs) =
+        (vec![], vec![], vec![], vec![]);
     for _ in 0..3 {
-        batched_runs.push(run_chain(ChainMode::Batched, true, msg_bytes, measure_secs));
-        tel_off_runs.push(run_chain(ChainMode::Batched, false, msg_bytes, measure_secs));
-        reactor_runs.push(run_chain(ChainMode::Reactor, true, msg_bytes, measure_secs));
+        batched_runs.push(run_chain(ChainMode::Batched, true, 0, msg_bytes, measure_secs));
+        tel_off_runs.push(run_chain(ChainMode::Batched, false, 0, msg_bytes, measure_secs));
+        traced_runs.push(run_chain(
+            ChainMode::Batched,
+            true,
+            TRACE_SAMPLE,
+            msg_bytes,
+            measure_secs,
+        ));
+        reactor_runs.push(run_chain(ChainMode::Reactor, true, 0, msg_bytes, measure_secs));
     }
     let batched = median(batched_runs);
     let batched_tel_off = median(tel_off_runs);
+    let traced = median(traced_runs);
     let reactor = median(reactor_runs);
     let widths = [16, 14, 12];
     println!(
@@ -160,6 +180,7 @@ pub fn run(measure_secs: u64, sweep: &[usize]) {
         ("per-message", baseline),
         ("batched", batched),
         ("batched tel-off", batched_tel_off),
+        ("batched traced", traced),
         ("reactor", reactor),
     ] {
         println!(
@@ -189,8 +210,18 @@ pub fn run(measure_secs: u64, sweep: &[usize]) {
     } else {
         0.0
     };
+    // Tracing overhead: the traced chain (telemetry on + sampling every
+    // TRACE_SAMPLE-th message) against the otherwise-identical untraced
+    // telemetry-on chain, isolating the cost of the context check on
+    // every message plus span recording on sampled ones.
+    let trace_overhead_pct = if batched.msgs_per_sec > 0.0 {
+        (batched.msgs_per_sec - traced.msgs_per_sec) / batched.msgs_per_sec * 100.0
+    } else {
+        0.0
+    };
     println!("\nspeedup (msgs/sec): {speedup:.2}x");
     println!("telemetry overhead: {telemetry_overhead_pct:.2}% msgs/sec");
+    println!("trace overhead (1/{TRACE_SAMPLE} sampling): {trace_overhead_pct:.2}% msgs/sec");
     println!(
         "reactor vs batched blocking: {:.2}x",
         reactor.msgs_per_sec / batched.msgs_per_sec.max(1.0)
@@ -239,12 +270,18 @@ pub fn run(measure_secs: u64, sweep: &[usize]) {
             "msgs_per_sec": batched_tel_off.msgs_per_sec,
             "mb_per_sec": batched_tel_off.mb_per_sec,
         },
+        "traced": {
+            "msgs_per_sec": traced.msgs_per_sec,
+            "mb_per_sec": traced.mb_per_sec,
+        },
         "reactor": {
             "msgs_per_sec": reactor.msgs_per_sec,
             "mb_per_sec": reactor.mb_per_sec,
         },
         "speedup_msgs_per_sec": speedup,
         "telemetry_overhead_pct": telemetry_overhead_pct,
+        "trace_sample": TRACE_SAMPLE,
+        "trace_overhead_pct": trace_overhead_pct,
         "scaling": scaling_points,
     });
     let text = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -65,6 +65,11 @@ pub struct EngineConfig {
     pub telemetry: bool,
     /// Capacity of the bounded telemetry event ring.
     pub telemetry_events: usize,
+    /// Distributed-tracing sample rate: every `trace_sample`-th locally
+    /// originated `Data` message is traced hop by hop (its header grows
+    /// by the trace extension and every hop records pipeline spans).
+    /// `0` (default) disables tracing entirely.
+    pub trace_sample: u32,
     /// I/O architecture for persistent links (see [`IoBackend`]).
     pub io_backend: IoBackend,
     /// Shard-worker count for [`IoBackend::Reactor`]; ignored by the
@@ -88,6 +93,7 @@ impl Default for EngineConfig {
             recv_batched: true,
             telemetry: true,
             telemetry_events: ioverlay_telemetry::DEFAULT_EVENT_CAPACITY,
+            trace_sample: 0,
             io_backend: IoBackend::Blocking,
             reactor_shards: default_reactor_shards(),
         }
@@ -170,6 +176,13 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the tracing sample rate (builder style): every `n`-th
+    /// locally originated data message is traced; `0` disables tracing.
+    pub fn with_trace_sample(mut self, n: u32) -> Self {
+        self.trace_sample = n;
+        self
+    }
+
     /// Selects the I/O backend (builder style).
     pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
         self.io_backend = backend;
@@ -212,6 +225,7 @@ mod tests {
         assert!(cfg.inactivity_timeout.is_none());
         assert!(cfg.telemetry, "telemetry records by default");
         assert!(cfg.telemetry_events >= 1);
+        assert_eq!(cfg.trace_sample, 0, "tracing is opt-in");
         assert_eq!(
             cfg.io_backend,
             IoBackend::Blocking,
@@ -236,5 +250,11 @@ mod tests {
             .with_telemetry_events(0);
         assert!(!cfg.telemetry);
         assert_eq!(cfg.telemetry_events, 1, "ring capacity floors at one");
+    }
+
+    #[test]
+    fn trace_sample_builder() {
+        let cfg = EngineConfig::default().with_trace_sample(8);
+        assert_eq!(cfg.trace_sample, 8);
     }
 }

@@ -14,7 +14,7 @@ use ioverlay_api::{
     SetBandwidthPayload, StatusReport, StatusRequestPayload, ThroughputPayload, TimerToken,
 };
 use ioverlay_message::{read_msg, write_msg};
-use ioverlay_telemetry::{scrape, NodeTelemetry};
+use ioverlay_telemetry::{scrape, NodeTelemetry, SpanBatch, SpanStage};
 use ioverlay_queue::{CircularQueue, WeightedRoundRobin};
 use ioverlay_ratelimit::{
     BucketChain, Clock, Rate, SharedBucket, SystemClock, ThroughputMeter, TokenBucket,
@@ -84,6 +84,12 @@ pub(crate) struct EngineState {
     /// Node-local metrics registry, shared with every socket thread and
     /// the control listener.
     pub tel: Arc<NodeTelemetry>,
+    /// Locally originated `Data` messages seen by the tracing sampler;
+    /// every `config.trace_sample`-th one starts a trace.
+    pub trace_count: u64,
+    /// Span-ring high-watermark: spans with `idx` below this were
+    /// already piggybacked to the observer on a previous status report.
+    pub spans_reported: u64,
     /// Total queue poison recoveries already reported to telemetry;
     /// `measure_tick` emits the delta as a structured event.
     pub poison_reported: u64,
@@ -135,6 +141,8 @@ impl EngineState {
             send_stage: BTreeMap::new(),
             poison_reported: 0,
             tel,
+            trace_count: 0,
+            spans_reported: 0,
             pool: None,
         }
     }
@@ -148,6 +156,7 @@ impl EngineState {
             return;
         }
         match ShardPool::new(
+            self.id,
             self.config.reactor_shards,
             self.clock.clone(),
             self.events_tx.clone(),
@@ -210,7 +219,24 @@ impl EngineState {
         // messages in one callback still pays one lock per destination).
         // `send_batch_max == 1` pins local sends to the per-message path.
         let stage_local = self.config.send_batch_max > 1;
-        for (msg, dest) in staged.sends {
+        for (mut msg, dest) in staged.sends {
+            // Tracing sampler: every `trace_sample`-th locally
+            // originated data message starts a trace here, at the one
+            // point all source sends funnel through.
+            if from_upstream.is_none()
+                && self.config.trace_sample > 0
+                && msg.ty() == MsgType::Data
+                && msg.trace().is_none()
+            {
+                self.trace_count += 1;
+                if self
+                    .trace_count
+                    .is_multiple_of(u64::from(self.config.trace_sample))
+                {
+                    let now = self.now();
+                    self.tel.start_trace(self.id, &mut msg, now);
+                }
+            }
             if from_upstream.is_some() || stage_local {
                 self.send_stage.entry(dest).or_default().push(msg);
             } else {
@@ -354,11 +380,13 @@ impl EngineState {
                     let events = self.events_tx.clone();
                     let max_batch = self.config.send_batch_max;
                     let tel = self.tel.clone();
+                    let local = self.id;
                     thread::Builder::new()
                         .name(format!("snd-{dest}"))
                         .spawn(move || {
                             run_sender(
-                                dest, stream, queue, meter, chain, clock, events, max_batch, tel,
+                                local, dest, stream, queue, meter, chain, clock, events,
+                                max_batch, tel,
                             );
                         })
                 };
@@ -543,7 +571,27 @@ impl EngineState {
             self.switched += n as u64;
             moved += n;
             for msg in batch.drain(..) {
+                // Sampled messages get a `Switch` span around their
+                // dispatch; the hop span id rides in the carried context
+                // (rewritten by the receiver's `Recv` span).
+                let traced = msg
+                    .trace()
+                    .filter(ioverlay_api::TraceContext::is_sampled)
+                    .map(|c| (c.trace_id, c.parent_span));
+                let start = if traced.is_some() { self.now() } else { 0 };
                 self.dispatch_to_algorithm(Some(up), msg);
+                if let Some((trace_id, span_id)) = traced {
+                    let end = self.now();
+                    self.tel.record_hop_span(
+                        self.id,
+                        Some(up),
+                        trace_id,
+                        span_id,
+                        SpanStage::Switch,
+                        start,
+                        end,
+                    );
+                }
             }
             self.flush_send_stage(Some(up));
         }
@@ -623,7 +671,10 @@ impl EngineState {
                 // includes the algorithm's own status extension), then
                 // still shows the request to the algorithm.
                 if let Some(observer) = self.config.observer {
-                    let report = self.status_report();
+                    let mut report = self.status_report();
+                    // Observer-bound reports piggyback only the spans
+                    // recorded since the last one (watermark advances).
+                    report.spans = self.span_batch(true);
                     let status =
                         Msg::new(MsgType::Status, self.id, 0, 0, report.encode());
                     let _ = self.enqueue_send(observer, status, None);
@@ -862,7 +913,31 @@ impl EngineState {
                 .map(|a| a.status())
                 .unwrap_or(serde_json::Value::Null),
             telemetry: self.tel.enabled().then(|| self.tel.snapshot()),
+            spans: self.span_batch(false),
         }
+    }
+
+    /// Builds the exported span batch. With `advance` the batch carries
+    /// only spans above the piggyback watermark and moves it — used for
+    /// observer-bound reports, so each span travels once; local status
+    /// reads and HTTP scrapes get the full ring and leave the watermark
+    /// alone (the observer dedups by `(node, idx)` regardless).
+    pub(crate) fn span_batch(&mut self, advance: bool) -> Option<SpanBatch> {
+        if !self.tel.enabled() {
+            return None;
+        }
+        let (mut spans, dropped) = self.tel.spans().consistent_view();
+        if advance {
+            spans.retain(|s| s.idx >= self.spans_reported);
+            if let Some(last) = spans.last() {
+                self.spans_reported = last.idx + 1;
+            }
+        }
+        Some(SpanBatch {
+            wall_anchor: self.clock.wall_anchor_nanos(),
+            dropped,
+            spans,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -1075,13 +1150,12 @@ fn handle_accepted(
     tel: Arc<NodeTelemetry>,
     pool: Option<ShardPool>,
 ) {
-    let _ = local;
     let _ = stream.set_nodelay(true);
     // A scrape client (curl, Prometheus) talks HTTP to the same control
     // port peers dial with framed messages; sniff without consuming so
     // framed connections proceed untouched.
     if scrape::sniff_http_get(&stream) {
-        serve_node_scrape(&stream, &events);
+        serve_node_scrape(&stream, &events, &clock, &tel);
         return;
     }
     // Peek at the first message without buffered read-ahead so the
@@ -1127,6 +1201,7 @@ fn handle_accepted(
             return;
         }
         run_receiver(
+            local,
             peer,
             stream,
             queue,
@@ -1154,10 +1229,39 @@ fn handle_accepted(
 /// [`ControlEvent::StatusRequest`] reply channel the local handle uses,
 /// so a scrape sees exactly what the observer would: link state,
 /// per-link throughput, and the full telemetry snapshot.
-fn serve_node_scrape(stream: &TcpStream, events: &Sender<ControlEvent>) {
+fn serve_node_scrape(
+    stream: &TcpStream,
+    events: &Sender<ControlEvent>,
+    clock: &SystemClock,
+    tel: &NodeTelemetry,
+) {
     let Some(path) = scrape::read_request_path(stream) else {
         return;
     };
+    match path.as_str() {
+        // Liveness and traces answer straight from this thread's shared
+        // handles — no engine round-trip, so a busy (or wedged) engine
+        // never delays them; the report-backed endpoints below double as
+        // the readiness signal.
+        "/healthz" => {
+            let uptime = clock.now() / ioverlay_ratelimit::NANOS_PER_SEC;
+            let body = format!("ok uptime_seconds={uptime}\n");
+            scrape::write_response(stream, 200, "text/plain", &body);
+            return;
+        }
+        "/traces" => {
+            let (spans, dropped) = tel.spans().consistent_view();
+            let batch = SpanBatch {
+                wall_anchor: clock.wall_anchor_nanos(),
+                dropped,
+                spans,
+            };
+            let body = serde_json::to_string_pretty(&batch).unwrap_or_default();
+            scrape::write_response(stream, 200, scrape::JSON_CONTENT_TYPE, &body);
+            return;
+        }
+        _ => {}
+    }
     let report = (|| {
         let (tx, rx) = crossbeam_channel::bounded(1);
         events.send(ControlEvent::StatusRequest(tx)).ok()?;
@@ -1182,7 +1286,7 @@ fn serve_node_scrape(stream: &TcpStream, events: &Sender<ControlEvent>) {
             stream,
             404,
             "text/plain",
-            "paths: /metrics /metrics.json /status.json\n",
+            "paths: /metrics /metrics.json /status.json /traces /healthz\n",
         ),
     }
 }

@@ -12,8 +12,24 @@ use ioverlay_api::{Msg, MsgType, NodeId};
 use ioverlay_message::{write_msg, Decoder};
 use ioverlay_queue::{CircularQueue, PopTimeout};
 use ioverlay_ratelimit::{BucketChain, Clock, SystemClock, ThroughputMeter};
-use ioverlay_telemetry::NodeTelemetry;
+use ioverlay_telemetry::{NodeTelemetry, SpanStage};
 use parking_lot::Mutex;
+
+/// Collects the `(trace_id, hop span id)` pairs of the sampled messages
+/// in a sender batch (empty almost always; tracing is opt-in sampled).
+pub(crate) fn traced_in_batch(batch: &[Msg], tel: &NodeTelemetry) -> Vec<(u64, u64)> {
+    if !tel.enabled() {
+        return Vec::new();
+    }
+    batch
+        .iter()
+        .filter_map(|m| {
+            m.trace()
+                .filter(ioverlay_message::TraceContext::is_sampled)
+                .map(|c| (c.trace_id, c.parent_span))
+        })
+        .collect()
+}
 
 /// Socket read chunk size feeding the receiver's incremental decoder.
 const RECV_CHUNK: usize = 64 * 1024;
@@ -135,6 +151,7 @@ impl ReceiverLink {
 /// bucket reservation, one push per message) — the benchmark baseline.
 #[allow(clippy::too_many_arguments)] // thread entry point: takes its full wiring
 pub(crate) fn run_receiver(
+    local: NodeId,
     peer: NodeId,
     mut stream: TcpStream,
     queue: CircularQueue<Msg>,
@@ -146,7 +163,9 @@ pub(crate) fn run_receiver(
     tel: Arc<NodeTelemetry>,
 ) {
     if !batched {
-        run_receiver_per_message(peer, stream, queue, meter, down_chain, clock, events, tel);
+        run_receiver_per_message(
+            local, peer, stream, queue, meter, down_chain, clock, events, tel,
+        );
         return;
     }
     let mut decoder = Decoder::new();
@@ -162,12 +181,18 @@ pub(crate) fn run_receiver(
             }
             Ok(n) => n,
         };
+        // Start of the recv/decode window for any sampled message in
+        // this chunk (the blocking read above is network wait, not
+        // processing time).
+        let recv_start = if tel.enabled() { clock.now() } else { 0 };
         decoder.feed(&chunk[..n]);
         let mut bytes_total = 0u64;
+        let mut traced = false;
         loop {
             match decoder.next_msg() {
                 Ok(Some(msg)) => {
                     bytes_total += msg.wire_len() as u64;
+                    traced |= msg.trace().is_some();
                     batch.push(msg);
                 }
                 Ok(None) => break,
@@ -183,11 +208,31 @@ pub(crate) fn run_receiver(
             continue; // mid-message: keep reading
         }
         tel.record_recv_msgs(batch.len() as u64);
+        if traced {
+            let recv_end = clock.now();
+            for msg in &mut batch {
+                tel.record_recv_span(local, peer, msg, recv_start, recv_end);
+            }
+        }
         // Downlink emulation: one reservation paces the whole batch,
         // exactly like the paper's wrapped recv paces each message.
-        let delay = down_chain.reserve(bytes_total, clock.now());
+        let wait_start = clock.now();
+        let delay = down_chain.reserve(bytes_total, wait_start);
         if delay > 0 {
             tel.record_bucket_wait(delay);
+            if traced {
+                for (trace_id, span_id) in traced_in_batch(&batch, &tel) {
+                    tel.record_hop_span(
+                        local,
+                        Some(peer),
+                        trace_id,
+                        span_id,
+                        SpanStage::BucketWait,
+                        wait_start,
+                        wait_start + delay,
+                    );
+                }
+            }
         }
         if !sleep_reservation(delay, &queue) {
             break; // engine closed the link
@@ -217,6 +262,7 @@ pub(crate) fn run_receiver(
 /// as the benchmark baseline (`EngineConfig::recv_batched == false`).
 #[allow(clippy::too_many_arguments)] // thread entry point: takes its full wiring
 fn run_receiver_per_message(
+    local: NodeId,
     peer: NodeId,
     stream: TcpStream,
     queue: CircularQueue<Msg>,
@@ -229,13 +275,31 @@ fn run_receiver_per_message(
     let mut reader = io::BufReader::new(stream);
     loop {
         match ioverlay_message::read_msg(&mut reader) {
-            Ok(Some(msg)) => {
+            Ok(Some(mut msg)) => {
                 let bytes = msg.wire_len() as u64;
                 tel.record_recv_chunk(bytes);
                 tel.record_recv_msgs(1);
-                let delay = down_chain.reserve(bytes, clock.now());
+                if msg.trace().is_some() {
+                    let t = clock.now();
+                    tel.record_recv_span(local, peer, &mut msg, t, t);
+                }
+                let wait_start = clock.now();
+                let delay = down_chain.reserve(bytes, wait_start);
                 if delay > 0 {
                     tel.record_bucket_wait(delay);
+                    if let Some(ctx) =
+                        msg.trace().filter(ioverlay_message::TraceContext::is_sampled)
+                    {
+                        tel.record_hop_span(
+                            local,
+                            Some(peer),
+                            ctx.trace_id,
+                            ctx.parent_span,
+                            SpanStage::BucketWait,
+                            wait_start,
+                            wait_start + delay,
+                        );
+                    }
                 }
                 if !sleep_reservation(delay, &queue) {
                     break; // engine closed the link
@@ -267,6 +331,7 @@ fn run_receiver_per_message(
 /// flushed) immediately — the flush-on-idle latency guarantee.
 #[allow(clippy::too_many_arguments)] // thread entry point: takes its full wiring
 pub(crate) fn run_sender(
+    local: NodeId,
     peer: NodeId,
     mut stream: TcpStream,
     queue: CircularQueue<Msg>,
@@ -291,22 +356,67 @@ pub(crate) fn run_sender(
                 if queue.len() + batch.len() >= queue.capacity() {
                     let _ = events.send(ControlEvent::SendSpace);
                 }
+                // Sampled messages in the batch share this pop's
+                // bucket-wait/serialize/write windows (a batch is one
+                // reservation and one write for all of them).
+                let traced = traced_in_batch(&batch, &tel);
                 let total: u64 = batch.iter().map(|m| m.wire_len() as u64).sum();
                 // Uplink emulation: one reservation for the batch.
-                let delay = up_chain.reserve(total, clock.now());
+                let wait_start = clock.now();
+                let delay = up_chain.reserve(total, wait_start);
                 if delay > 0 {
                     tel.record_bucket_wait(delay);
+                    for &(trace_id, span_id) in &traced {
+                        tel.record_hop_span(
+                            local,
+                            Some(peer),
+                            trace_id,
+                            span_id,
+                            SpanStage::BucketWait,
+                            wait_start,
+                            wait_start + delay,
+                        );
+                    }
                 }
                 if !sleep_reservation(delay, &queue) {
                     break; // closed mid-reservation: teardown in progress
                 }
+                let ser_start = if traced.is_empty() { 0 } else { clock.now() };
                 wire.clear();
                 for msg in &batch {
                     msg.encode_into(&mut wire);
                 }
+                let write_start = if traced.is_empty() { 0 } else { clock.now() };
+                if !traced.is_empty() {
+                    for &(trace_id, span_id) in &traced {
+                        tel.record_hop_span(
+                            local,
+                            Some(peer),
+                            trace_id,
+                            span_id,
+                            SpanStage::Serialize,
+                            ser_start,
+                            write_start,
+                        );
+                    }
+                }
                 if stream.write_all(&wire).is_err() {
                     let _ = events.send(ControlEvent::DownstreamFailed(peer));
                     break;
+                }
+                if !traced.is_empty() {
+                    let write_end = clock.now();
+                    for &(trace_id, span_id) in &traced {
+                        tel.record_hop_span(
+                            local,
+                            Some(peer),
+                            trace_id,
+                            span_id,
+                            SpanStage::Write,
+                            write_start,
+                            write_end,
+                        );
+                    }
                 }
                 tel.record_send_batch(batch.len() as u64, wire.len() as u64);
                 meter
@@ -380,6 +490,7 @@ mod tests {
         let peer = NodeId::loopback(1);
         let tel = Arc::new(NodeTelemetry::new(true, 16));
         run_receiver(
+            NodeId::loopback(9_100),
             peer,
             conn,
             queue.clone(),
@@ -416,6 +527,7 @@ mod tests {
         let t2 = tel.clone();
         let sender = thread::spawn(move || {
             run_sender(
+                NodeId::loopback(9_100),
                 NodeId::loopback(2),
                 out,
                 q2,
@@ -456,6 +568,7 @@ mod tests {
         let q2 = queue.clone();
         let sender = thread::spawn(move || {
             run_sender(
+                NodeId::loopback(9_100),
                 NodeId::loopback(2),
                 out,
                 q2,

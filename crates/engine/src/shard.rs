@@ -51,11 +51,11 @@ use ioverlay_api::{Msg, Nanos, NodeId};
 use ioverlay_message::Decoder;
 use ioverlay_queue::{CircularQueue, WeightedRoundRobin};
 use ioverlay_ratelimit::{BucketChain, Clock, SystemClock, ThroughputMeter};
-use ioverlay_telemetry::NodeTelemetry;
+use ioverlay_telemetry::{NodeTelemetry, SpanStage};
 use parking_lot::Mutex;
 use reactor::{Events, Interest, Poll, Token, Waker};
 
-use crate::peer::ControlEvent;
+use crate::peer::{traced_in_batch, ControlEvent};
 
 /// Token of each shard's waker; link tokens start above it.
 const WAKER_TOKEN: Token = Token(0);
@@ -140,6 +140,7 @@ impl ShardPool {
     /// Any error creating a selector/waker or spawning a worker thread;
     /// partially spawned workers are shut down before returning.
     pub(crate) fn new(
+        local: NodeId,
         shards: usize,
         clock: Arc<SystemClock>,
         events: Sender<ControlEvent>,
@@ -165,6 +166,7 @@ impl ShardPool {
                 events: events.clone(),
                 clock: Arc::clone(&clock),
                 tel: Arc::clone(&tel),
+                local,
                 send_batch_max: send_batch_max.max(1),
                 links: HashMap::new(),
                 by_peer: HashMap::new(),
@@ -295,6 +297,9 @@ impl ShardPool {
 struct Chunk {
     buf: bytes::Bytes,
     msgs: u64,
+    /// `(trace_id, span_id)` of each sampled message in the chunk; its
+    /// `Write` span is recorded when the last byte leaves the socket.
+    traced: Vec<(u64, u64)>,
 }
 
 enum RecvState {
@@ -348,6 +353,8 @@ struct Shard {
     events: Sender<ControlEvent>,
     clock: Arc<SystemClock>,
     tel: Arc<NodeTelemetry>,
+    /// This node's id, stamped into recorded trace spans.
+    local: NodeId,
     send_batch_max: usize,
     links: HashMap<Token, Link>,
     by_peer: HashMap<(NodeId, LinkDir), Token>,
@@ -662,12 +669,17 @@ impl Shard {
             }
             Ok(n) => n,
         };
+        // Recv/decode window start for sampled messages in this chunk
+        // (mirrors the blocking receiver's placement after the read).
+        let recv_start = if self.tel.enabled() { self.clock.now() } else { 0 };
         link.decoder.feed(&self.chunk[..n]);
         let mut bytes_total = 0u64;
+        let mut traced = false;
         loop {
             match link.decoder.next_msg() {
                 Ok(Some(msg)) => {
                     bytes_total += msg.wire_len() as u64;
+                    traced |= msg.trace().is_some();
                     link.batch.push(msg);
                 }
                 Ok(None) => break,
@@ -684,6 +696,15 @@ impl Shard {
         }
         self.tel.record_recv_msgs(link.batch.len() as u64);
         let now = self.clock.now();
+        if traced {
+            // Every message here is freshly decoded (the Reading-state
+            // gate above keeps held Paced/Blocked batches out), so each
+            // sampled one gets exactly one Recv span + context rewrite.
+            for msg in &mut link.batch {
+                self.tel
+                    .record_recv_span(self.local, link.peer, msg, recv_start, now);
+            }
+        }
         // Downlink emulation: one reservation paces the whole batch
         // (the blocking receiver sleeps here; a shard sets a timer).
         let delay = link.chain.reserve(bytes_total, now);
@@ -692,6 +713,19 @@ impl Shard {
             .record_batch(bytes_total, link.batch.len() as u64, now);
         if delay > 0 {
             self.tel.record_bucket_wait(delay);
+            if traced {
+                for (trace_id, span_id) in traced_in_batch(&link.batch, &self.tel) {
+                    self.tel.record_hop_span(
+                        self.local,
+                        Some(link.peer),
+                        trace_id,
+                        span_id,
+                        SpanStage::BucketWait,
+                        now,
+                        now + delay,
+                    );
+                }
+            }
             link.state = RecvState::Paced;
             let _ = self
                 .poll
@@ -769,6 +803,8 @@ impl Shard {
                         // parked on it with blocked fan-outs.
                         let _ = self.events.send(ControlEvent::SendSpace);
                     }
+                    let traced = traced_in_batch(&batch, &self.tel);
+                    let ser_start = if traced.is_empty() { 0 } else { self.clock.now() };
                     let total: u64 = batch.iter().map(|m| m.wire_len() as u64).sum();
                     // Exact-size buffer: the chunk is frozen and handed
                     // to the out queue, so (unlike the blocking sender's
@@ -778,10 +814,25 @@ impl Shard {
                     for msg in &batch {
                         msg.encode_into(&mut wire);
                     }
+                    if !traced.is_empty() {
+                        let ser_end = self.clock.now();
+                        for &(trace_id, span_id) in &traced {
+                            self.tel.record_hop_span(
+                                self.local,
+                                Some(link.peer),
+                                trace_id,
+                                span_id,
+                                SpanStage::Serialize,
+                                ser_start,
+                                ser_end,
+                            );
+                        }
+                    }
                     link.out_bytes += wire.len();
                     link.out.push_back(Chunk {
                         buf: wire.freeze(),
                         msgs: n as u64,
+                        traced,
                     });
                     // Uplink emulation: one reservation per batch. The
                     // delay gates the write, like the blocking sender's
@@ -789,6 +840,19 @@ impl Shard {
                     let delay = link.chain.reserve(total, now);
                     if delay > 0 {
                         self.tel.record_bucket_wait(delay);
+                        if let Some(chunk) = link.out.back() {
+                            for &(trace_id, span_id) in &chunk.traced {
+                                self.tel.record_hop_span(
+                                    self.local,
+                                    Some(link.peer),
+                                    trace_id,
+                                    span_id,
+                                    SpanStage::BucketWait,
+                                    now,
+                                    now + delay,
+                                );
+                            }
+                        }
                         link.paced_until = Some(now + delay);
                         let deadline = now + delay;
                         let _ = link; // release the borrow for arm_timer
@@ -819,6 +883,11 @@ impl Shard {
                 let start = if i == 0 { link.out_off } else { 0 };
                 slices.push(IoSlice::new(&chunk.buf[start..]));
             }
+            let write_start = if link.out.iter().any(|c| !c.traced.is_empty()) {
+                self.clock.now()
+            } else {
+                0
+            };
             match link.stream.write_vectored(&slices) {
                 Ok(mut n) => {
                     let now = self.clock.now();
@@ -827,11 +896,22 @@ impl Shard {
                         let remaining = front.buf.len() - link.out_off;
                         if n >= remaining {
                             n -= remaining;
-                            link.out_bytes -= front.buf.len();
-                            let (bytes, msgs) = (front.buf.len() as u64, front.msgs);
+                            let Some(chunk) = link.out.pop_front() else { break };
+                            link.out_bytes -= chunk.buf.len();
+                            let (bytes, msgs) = (chunk.buf.len() as u64, chunk.msgs);
                             self.tel.record_send_batch(msgs, bytes);
                             link.meter.lock().record_batch(bytes, msgs, now);
-                            link.out.pop_front();
+                            for &(trace_id, span_id) in &chunk.traced {
+                                self.tel.record_hop_span(
+                                    self.local,
+                                    Some(link.peer),
+                                    trace_id,
+                                    span_id,
+                                    SpanStage::Write,
+                                    write_start,
+                                    now,
+                                );
+                            }
                             link.out_off = 0;
                         } else {
                             link.out_off += n;

@@ -79,14 +79,8 @@ impl Decoder {
             return Ok(None);
         }
         self.buf.advance(HEADER_LEN);
-        let payload = self.buf.split_to(declared).freeze();
-        Ok(Some(Msg::new(
-            header.ty(),
-            header.origin(),
-            header.app(),
-            header.seq(),
-            payload,
-        )))
+        let region = self.buf.split_to(declared).freeze();
+        Msg::from_wire_parts(header, region).map(Some)
     }
 }
 
@@ -100,7 +94,8 @@ impl Decoder {
 /// Propagates any I/O error from the underlying writer. Note that a `&mut
 /// W` can be passed for any `W: Write`.
 pub fn write_msg<W: Write>(mut w: W, msg: &Msg) -> io::Result<()> {
-    w.write_all(&msg.header().encode())?;
+    let (prefix, len) = msg.encode_prefix();
+    w.write_all(&prefix[..len])?;
     w.write_all(msg.payload())?;
     Ok(())
 }
@@ -144,15 +139,11 @@ pub fn read_msg<R: Read>(mut r: R) -> io::Result<Option<Msg>> {
             },
         ));
     }
-    let mut payload = vec![0u8; declared];
-    r.read_exact(&mut payload)?;
-    Ok(Some(Msg::new(
-        header.ty(),
-        header.origin(),
-        header.app(),
-        header.seq(),
-        payload,
-    )))
+    let mut region = vec![0u8; declared];
+    r.read_exact(&mut region)?;
+    Msg::from_wire_parts(header, region.into())
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@ mod header;
 mod msg;
 mod node_id;
 mod params;
+mod trace;
 mod types;
 
 pub use codec::{read_msg, write_msg, Decoder};
@@ -54,4 +55,5 @@ pub use header::{Header, HEADER_LEN};
 pub use msg::Msg;
 pub use node_id::NodeId;
 pub use params::ControlParams;
+pub use trace::{TraceContext, TRACE_EXT_WIRE_LEN};
 pub use types::MsgType;

@@ -2,6 +2,7 @@
 
 use bytes::{Bytes, BytesMut};
 
+use crate::trace::{self, TraceContext, EXT_FLAG, TRACE_EXT_WIRE_LEN};
 use crate::{DecodeError, Header, MsgType, NodeId, HEADER_LEN};
 
 /// Default upper bound on payload size accepted by decoders (16 MiB).
@@ -33,6 +34,11 @@ pub(crate) const MAX_PAYLOAD: usize = 16 << 20;
 pub struct Msg {
     header: Header,
     payload: Bytes,
+    /// Sampled tracing state, carried on the wire in an optional header
+    /// extension (see [`crate::TraceContext`]). `None` for untraced
+    /// messages — the common case — whose wire image is byte-identical
+    /// to the pre-extension format.
+    trace: Option<TraceContext>,
 }
 
 impl Msg {
@@ -52,6 +58,7 @@ impl Msg {
         Self {
             header: Header::new(ty, origin, app, seq, len),
             payload,
+            trace: None,
         }
     }
 
@@ -100,9 +107,33 @@ impl Msg {
         &self.payload
     }
 
-    /// Total size of the message on the wire (header plus payload).
+    /// The attached trace context, if this message is being traced.
+    pub fn trace(&self) -> Option<TraceContext> {
+        self.trace
+    }
+
+    /// Attaches, rewrites, or clears the trace context. Receivers use
+    /// this to rewrite `parent_span` to their own span id before the
+    /// message is forwarded.
+    pub fn set_trace(&mut self, trace: Option<TraceContext>) {
+        self.trace = trace;
+    }
+
+    /// Builder-style [`Msg::set_trace`].
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Total size of the message on the wire: header, the trace
+    /// extension region when a context is attached, and the payload.
     pub fn wire_len(&self) -> usize {
-        HEADER_LEN + self.payload.len()
+        let ext = if self.trace.is_some() {
+            TRACE_EXT_WIRE_LEN
+        } else {
+            0
+        };
+        HEADER_LEN + ext + self.payload.len()
     }
 
     /// Returns a copy of this message with a different type but the same
@@ -120,6 +151,7 @@ impl Msg {
                 self.header.payload_len(),
             ),
             payload: self.payload.clone(),
+            trace: self.trace,
         }
     }
 
@@ -134,13 +166,48 @@ impl Msg {
                 self.header.payload_len(),
             ),
             payload: self.payload.clone(),
+            trace: self.trace,
+        }
+    }
+
+    /// Encodes the wire bytes that precede the payload: the 24-byte
+    /// header, plus the trace extension region (with the type word's
+    /// extension bit set and `payload_len` grown to cover it) when a
+    /// trace context is attached. Returns the buffer and the number of
+    /// valid bytes in it.
+    pub(crate) fn encode_prefix(&self) -> ([u8; HEADER_LEN + TRACE_EXT_WIRE_LEN], usize) {
+        let mut out = [0u8; HEADER_LEN + TRACE_EXT_WIRE_LEN];
+        match self.trace {
+            None => {
+                out[..HEADER_LEN].copy_from_slice(&self.header.encode());
+                (out, HEADER_LEN)
+            }
+            Some(ctx) => {
+                let ext = ctx.encode_ext();
+                let declared = u32::try_from(ext.len() + self.payload.len())
+                    .expect("payload fits in u32");
+                let header = Header::new(
+                    self.header.ty(),
+                    self.header.origin(),
+                    self.header.app(),
+                    self.header.seq(),
+                    declared,
+                );
+                let mut head = header.encode();
+                let word = u32::from_be_bytes([head[0], head[1], head[2], head[3]]) | EXT_FLAG;
+                head[0..4].copy_from_slice(&word.to_be_bytes());
+                out[..HEADER_LEN].copy_from_slice(&head);
+                out[HEADER_LEN..HEADER_LEN + ext.len()].copy_from_slice(&ext);
+                (out, HEADER_LEN + ext.len())
+            }
         }
     }
 
     /// Encodes the message into a freshly allocated wire buffer.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
-        out.extend_from_slice(&self.header.encode());
+        let (prefix, len) = self.encode_prefix();
+        out.extend_from_slice(&prefix[..len]);
         out.extend_from_slice(&self.payload);
         out
     }
@@ -150,7 +217,8 @@ impl Msg {
     /// hence one socket write — without a per-message `Vec`.
     pub fn encode_into(&self, out: &mut BytesMut) {
         out.reserve(self.wire_len());
-        out.extend_from_slice(&self.header.encode());
+        let (prefix, len) = self.encode_prefix();
+        out.extend_from_slice(&prefix[..len]);
         out.extend_from_slice(&self.payload);
     }
 
@@ -180,10 +248,42 @@ impl Msg {
                 available,
             });
         }
-        Ok(Self {
+        Self::from_wire_parts(
             header,
-            payload: Bytes::copy_from_slice(&buf[HEADER_LEN..HEADER_LEN + declared]),
-        })
+            Bytes::copy_from_slice(&buf[HEADER_LEN..HEADER_LEN + declared]),
+        )
+    }
+
+    /// Builds a message from a decoded header and the (zero-copy) bytes
+    /// of its declared payload area, extracting the trace extension
+    /// region when the type word carries the extension flag.
+    ///
+    /// `region` must be exactly `header.payload_len()` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidPayload`] when the extension flag
+    /// is set but the extension region is malformed.
+    pub(crate) fn from_wire_parts(header: Header, region: Bytes) -> Result<Self, DecodeError> {
+        let flagged = match header.ty() {
+            MsgType::Custom(word) => trace::ext_type_word(word),
+            _ => None,
+        };
+        match flagged {
+            None => Ok(Self {
+                header,
+                payload: region,
+                trace: None,
+            }),
+            Some(word) => {
+                let (ctx, consumed) = TraceContext::decode_ext(&region)?;
+                let payload = region.slice(consumed..region.len());
+                let ty = MsgType::from_wire(word & !EXT_FLAG);
+                let mut msg = Self::new(ty, header.origin(), header.app(), header.seq(), payload);
+                msg.trace = ctx;
+                Ok(msg)
+            }
+        }
     }
 }
 
@@ -265,5 +365,50 @@ mod tests {
     fn msg_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Msg>();
+    }
+
+    #[test]
+    fn traced_message_roundtrips_with_context() {
+        let ctx = TraceContext::sampled(0x1234_5678_9ABC_DEF0, 77);
+        let msg = Msg::data(origin(), 3, 9, &b"traced payload"[..]).with_trace(ctx);
+        assert_eq!(msg.wire_len(), HEADER_LEN + TRACE_EXT_WIRE_LEN + 14);
+        let back = Msg::decode(&msg.encode()).unwrap();
+        assert_eq!(back.trace(), Some(ctx));
+        assert_eq!(back.ty(), MsgType::Data);
+        assert_eq!(back.payload(), msg.payload());
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn traced_wire_image_reads_as_opaque_custom_for_legacy_headers() {
+        // A decoder that predates the extension sees the flagged type
+        // word as an unknown Custom type with an opaque payload — the
+        // framing (payload_len covers ext + payload) keeps it in sync.
+        let msg = Msg::data(origin(), 1, 2, &b"data"[..]).with_trace(TraceContext::sampled(5, 0));
+        let wire = msg.encode();
+        let header = Header::decode(&wire).unwrap();
+        assert!(matches!(header.ty(), MsgType::Custom(w) if w & 0x8000_0000 != 0));
+        assert_eq!(header.payload_len() as usize, TRACE_EXT_WIRE_LEN + 4);
+        assert_eq!(wire.len(), HEADER_LEN + header.payload_len() as usize);
+    }
+
+    #[test]
+    fn clearing_trace_restores_plain_wire_image() {
+        let plain = Msg::data(origin(), 1, 2, &b"data"[..]);
+        let mut traced = plain.clone().with_trace(TraceContext::sampled(5, 6));
+        traced.set_trace(None);
+        assert_eq!(traced.encode(), plain.encode());
+    }
+
+    #[test]
+    fn malformed_extension_region_is_rejected() {
+        let msg = Msg::data(origin(), 1, 2, &b"data"[..]).with_trace(TraceContext::sampled(5, 6));
+        let mut wire = msg.encode();
+        // Corrupt the ext length prefix to overrun the declared payload.
+        wire[HEADER_LEN..HEADER_LEN + 2].copy_from_slice(&u16::MAX.to_be_bytes());
+        assert!(matches!(
+            Msg::decode(&wire),
+            Err(DecodeError::InvalidPayload(_))
+        ));
     }
 }

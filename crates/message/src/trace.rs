@@ -1,0 +1,193 @@
+//! Optional per-message trace context, carried in a wire-compatible
+//! header extension.
+//!
+//! The fixed 24-byte [`crate::Header`] has no spare field, so the trace
+//! context rides in an *extension region* signalled by the reserved top
+//! bit of the type word:
+//!
+//! ```text
+//! type word bit 31 set  =>  payload area starts with an extension region
+//!
+//! +---------------------------+
+//! | ext TLV bytes     (2, BE) |   length of the TLV bytes that follow
+//! | kind=0x01 len=17  (2)     |   trace TLV header
+//! | trace id          (8, BE) |
+//! | parent span id    (8, BE) |
+//! | flags             (1)     |
+//! +---------------------------+
+//! |     payload (variable)    |
+//! +---------------------------+
+//! ```
+//!
+//! The header's `payload_len` covers the extension region *plus* the true
+//! payload, so framing is unchanged: a decoder that predates this
+//! extension sees a `Custom` type word (bit 31 lands outside the
+//! well-known table) and an opaque payload, and skips the message
+//! cleanly without losing stream sync. Unknown TLV kinds are skipped by
+//! their length byte, leaving room for future extensions.
+
+use crate::DecodeError;
+
+/// Reserved top bit of the wire type word: set when an extension region
+/// precedes the payload. Custom message types must stay below this bit.
+pub(crate) const EXT_FLAG: u32 = 0x8000_0000;
+
+/// TLV kind of the trace-context extension.
+pub(crate) const TRACE_TLV_KIND: u8 = 0x01;
+
+/// Body length of the trace TLV: trace id + parent span + flags.
+pub(crate) const TRACE_TLV_LEN: u8 = 17;
+
+/// Wire footprint of an extension region carrying only the trace TLV.
+pub const TRACE_EXT_WIRE_LEN: usize = 2 + 2 + TRACE_TLV_LEN as usize;
+
+/// Sampled tracing state attached to a message in flight.
+///
+/// `trace_id` names the end-to-end trace (stable across hops);
+/// `parent_span` is the span id of the hop that last forwarded the
+/// message, rewritten at each receiver so child spans link upward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct TraceContext {
+    /// End-to-end trace identifier, minted at the originating node.
+    pub trace_id: u64,
+    /// Span id of the sending hop (0 at the origin).
+    pub parent_span: u64,
+    /// Bit flags; see [`TraceContext::FLAG_SAMPLED`].
+    pub flags: u8,
+}
+
+impl TraceContext {
+    /// The message is part of a sampled trace and hops should record
+    /// spans for it.
+    pub const FLAG_SAMPLED: u8 = 0x01;
+
+    /// A sampled context rooted at `trace_id` with the given parent.
+    pub fn sampled(trace_id: u64, parent_span: u64) -> Self {
+        Self {
+            trace_id,
+            parent_span,
+            flags: Self::FLAG_SAMPLED,
+        }
+    }
+
+    /// Whether the sampled flag is set.
+    pub fn is_sampled(&self) -> bool {
+        self.flags & Self::FLAG_SAMPLED != 0
+    }
+
+    /// Encodes the full extension region (length prefix + trace TLV).
+    pub(crate) fn encode_ext(&self) -> [u8; TRACE_EXT_WIRE_LEN] {
+        let mut out = [0u8; TRACE_EXT_WIRE_LEN];
+        out[0..2].copy_from_slice(&(2 + u16::from(TRACE_TLV_LEN)).to_be_bytes());
+        out[2] = TRACE_TLV_KIND;
+        out[3] = TRACE_TLV_LEN;
+        out[4..12].copy_from_slice(&self.trace_id.to_be_bytes());
+        out[12..20].copy_from_slice(&self.parent_span.to_be_bytes());
+        out[20] = self.flags;
+        out
+    }
+
+    /// Parses an extension region from the start of the payload area.
+    ///
+    /// Returns the trace context (if a trace TLV was present) and the
+    /// number of bytes the region consumed; the true payload follows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidPayload`] when the region is
+    /// truncated or a TLV overruns the declared region length.
+    pub(crate) fn decode_ext(region: &[u8]) -> Result<(Option<Self>, usize), DecodeError> {
+        if region.len() < 2 {
+            return Err(DecodeError::InvalidPayload("truncated header extension"));
+        }
+        let tlv_len = usize::from(u16::from_be_bytes([region[0], region[1]]));
+        let total = 2 + tlv_len;
+        if region.len() < total {
+            return Err(DecodeError::InvalidPayload("truncated header extension"));
+        }
+        let mut ctx = None;
+        let mut off = 2;
+        while off < total {
+            if total - off < 2 {
+                return Err(DecodeError::InvalidPayload("malformed extension TLV"));
+            }
+            let kind = region[off];
+            let len = usize::from(region[off + 1]);
+            off += 2;
+            if off + len > total {
+                return Err(DecodeError::InvalidPayload("extension TLV overruns region"));
+            }
+            if kind == TRACE_TLV_KIND && len == usize::from(TRACE_TLV_LEN) {
+                let body = &region[off..off + len];
+                ctx = Some(Self {
+                    trace_id: u64::from_be_bytes(body[0..8].try_into().expect("8-byte slice")),
+                    parent_span: u64::from_be_bytes(body[8..16].try_into().expect("8-byte slice")),
+                    flags: body[16],
+                });
+            }
+            // Unknown kinds are skipped by length: future extensions
+            // must stay decodable by this version.
+            off += len;
+        }
+        Ok((ctx, total))
+    }
+}
+
+/// If `word` carries the extension flag, returns it; `None` for plain
+/// type words.
+pub(crate) fn ext_type_word(word: u32) -> Option<u32> {
+    (word & EXT_FLAG != 0).then_some(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext_region_roundtrip() {
+        let ctx = TraceContext::sampled(0xDEAD_BEEF_0BAD_F00D, 42);
+        let wire = ctx.encode_ext();
+        let (back, consumed) = TraceContext::decode_ext(&wire).unwrap();
+        assert_eq!(consumed, TRACE_EXT_WIRE_LEN);
+        assert_eq!(back, Some(ctx));
+    }
+
+    #[test]
+    fn unknown_tlv_kinds_are_skipped() {
+        // Region: unknown TLV (kind 0x7F, 3 bytes) then the trace TLV.
+        let ctx = TraceContext::sampled(7, 9);
+        let trace = ctx.encode_ext();
+        let tlvs_len = 2 + 3 + 2 + usize::from(TRACE_TLV_LEN);
+        let mut region = Vec::new();
+        region.extend_from_slice(&u16::try_from(tlvs_len).unwrap().to_be_bytes());
+        region.extend_from_slice(&[0x7F, 3, 1, 2, 3]);
+        region.extend_from_slice(&trace[2..]);
+        region.extend_from_slice(b"payload follows");
+        let (back, consumed) = TraceContext::decode_ext(&region).unwrap();
+        assert_eq!(back, Some(ctx));
+        assert_eq!(consumed, 2 + tlvs_len);
+    }
+
+    #[test]
+    fn truncated_region_is_rejected() {
+        let wire = TraceContext::sampled(1, 2).encode_ext();
+        for cut in 1..wire.len() {
+            assert!(TraceContext::decode_ext(&wire[..wire.len() - cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn overrunning_tlv_is_rejected() {
+        // Declares 4 TLV bytes but the TLV claims a 200-byte body.
+        let region = [0u8, 4, TRACE_TLV_KIND, 200, 0, 0];
+        assert!(TraceContext::decode_ext(&region).is_err());
+    }
+
+    #[test]
+    fn region_without_trace_tlv_yields_none() {
+        let region = [0u8, 4, 0x7F, 2, 9, 9];
+        let (ctx, consumed) = TraceContext::decode_ext(&region).unwrap();
+        assert_eq!(ctx, None);
+        assert_eq!(consumed, 6);
+    }
+}

@@ -1,6 +1,8 @@
 //! Property-based tests for the message wire format.
 
-use ioverlay_message::{Decoder, Msg, MsgType, NodeId};
+use ioverlay_message::{
+    Decoder, Header, Msg, MsgType, NodeId, TraceContext, HEADER_LEN, TRACE_EXT_WIRE_LEN,
+};
 use proptest::prelude::*;
 
 fn arb_msg_type() -> impl Strategy<Value = MsgType> {
@@ -91,4 +93,85 @@ proptest! {
     fn msg_type_wire_roundtrip(ty in arb_msg_type()) {
         prop_assert_eq!(MsgType::from_wire(ty.to_wire()), ty);
     }
+
+    /// A message carrying a trace-context header extension roundtrips
+    /// with its context, type, and payload intact.
+    #[test]
+    fn traced_message_roundtrip(msg in arb_msg(), ctx in arb_trace()) {
+        let traced = msg.clone().with_trace(ctx);
+        let back = Msg::decode(&traced.encode()).unwrap();
+        prop_assert_eq!(back.trace(), Some(ctx));
+        prop_assert_eq!(back, traced);
+    }
+
+    /// Forward compatibility: a decoder that predates the extension —
+    /// modeled by reading only the fixed [`Header`] and skipping the
+    /// declared payload — stays framed across any mix of traced and
+    /// plain messages, and sees traced ones as opaque `Custom` types.
+    #[test]
+    fn legacy_header_skip_stays_framed(
+        entries in proptest::collection::vec((arb_msg(), any::<bool>(), arb_trace()), 1..8),
+    ) {
+        let mut wire = Vec::new();
+        for (msg, traced, ctx) in &entries {
+            let m = if *traced { msg.clone().with_trace(*ctx) } else { msg.clone() };
+            wire.extend_from_slice(&m.encode());
+        }
+        let mut off = 0;
+        for (msg, traced, _) in &entries {
+            let header = Header::decode(&wire[off..]).unwrap();
+            if *traced {
+                prop_assert!(
+                    matches!(header.ty(), MsgType::Custom(w) if w & 0x8000_0000 != 0),
+                    "legacy decode of a traced message must land outside the known table"
+                );
+                prop_assert_eq!(
+                    header.payload_len() as usize,
+                    TRACE_EXT_WIRE_LEN + msg.payload().len()
+                );
+            } else {
+                prop_assert_eq!(header.ty(), msg.ty());
+            }
+            // The legacy skip: header + declared payload.
+            off += HEADER_LEN + header.payload_len() as usize;
+        }
+        prop_assert_eq!(off, wire.len());
+    }
+
+    /// The streaming decoder reconstructs traced/plain mixes under
+    /// arbitrary chunking, preserving each message's trace context.
+    #[test]
+    fn stream_roundtrip_with_traced_messages(
+        entries in proptest::collection::vec((arb_msg(), any::<bool>(), arb_trace()), 0..6),
+        chunk_sizes in proptest::collection::vec(1usize..97, 1..32),
+    ) {
+        let msgs: Vec<Msg> = entries
+            .iter()
+            .map(|(m, traced, ctx)| {
+                if *traced { m.clone().with_trace(*ctx) } else { m.clone() }
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&m.encode());
+        }
+        let mut dec = Decoder::new();
+        let mut out = Vec::new();
+        let mut offset = 0;
+        let mut chunk_iter = chunk_sizes.iter().cycle();
+        while offset < wire.len() {
+            let take = (*chunk_iter.next().unwrap()).min(wire.len() - offset);
+            dec.feed(&wire[offset..offset + take]);
+            offset += take;
+            while let Some(m) = dec.next_msg().unwrap() {
+                out.push(m);
+            }
+        }
+        prop_assert_eq!(out, msgs);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+}
+
+fn arb_trace() -> impl Strategy<Value = TraceContext> {
+    (any::<u64>(), any::<u64>()).prop_map(|(t, p)| TraceContext::sampled(t, p))
 }

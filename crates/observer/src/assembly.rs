@@ -1,0 +1,699 @@
+//! Observer-side trace assembly: span batches in, trace trees out.
+//!
+//! Nodes export [`SpanEvent`]s two ways — piggybacked on StatusReports
+//! and via their `/traces` scrape endpoint — and both paths may replay
+//! spans the observer already holds (the piggyback advances a node-side
+//! watermark, scrapes do not). [`TraceStore::ingest`] therefore dedups
+//! by `(node, idx)`: each node assigns ring indices monotonically, so a
+//! per-node high-watermark drops replays exactly.
+//!
+//! Assembly groups spans by `(trace_id, span_id)` into *hops* (every
+//! stage a message crossed at one node shares the hop's span id) and
+//! links hops through the `Recv` span's parent pointer, which carries
+//! the upstream hop's span id across the wire. The result is a tree per
+//! trace id: the root is the originating hop (`Origin`, parent 0), the
+//! children of a hop are the hops its fan-out reached. From the tree the
+//! store derives the per-hop latency breakdown (including the queue wait
+//! between receive and switch, which no stage measures directly), the
+//! critical path to the latest-finishing leaf, and per-link latency
+//! percentiles across traces.
+//!
+//! Timestamps are node-monotonic; each batch carries the node's
+//! `wall_anchor` (unix nanos at monotonic 0), and every derived view
+//! works on `anchor + t` so hops from different nodes share a timeline.
+//! The simulator's virtual clock anchors at 0 and is already shared.
+
+use std::collections::{HashMap, VecDeque};
+
+use ioverlay_api::{NodeId, SpanBatch, SpanEvent, SpanStage};
+
+/// Default number of distinct traces the store retains.
+pub const DEFAULT_TRACE_TREE_CAPACITY: usize = 256;
+
+/// One stage window of a hop, on the shared (wall-anchored) timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageView {
+    /// Which pipeline stage.
+    pub stage: SpanStage,
+    /// Window start, unix nanoseconds (virtual nanoseconds under simnet).
+    pub start: u64,
+    /// Window end, same timeline.
+    pub end: u64,
+}
+
+/// Everything one node did to one traced message: the stages it crossed
+/// there, plus the derived queue wait.
+#[derive(Debug, Clone)]
+pub struct HopView {
+    /// The hop's span id (shared by all its stages).
+    pub span_id: u64,
+    /// Span id of the upstream hop (0 at the origin).
+    pub parent_span: u64,
+    /// The node that recorded the hop.
+    pub node: NodeId,
+    /// The upstream peer the message arrived from, if this hop received
+    /// it off the wire.
+    pub from: Option<NodeId>,
+    /// Stage windows, ordered by start time.
+    pub stages: Vec<StageView>,
+    /// Receive-buffer wait derived from the gap between the end of
+    /// `Recv`/`Origin` and the start of the next recorded stage — the
+    /// queue time no stage measures directly.
+    pub queue_wait: u64,
+    /// Earliest stage start at this hop.
+    pub start: u64,
+    /// Latest stage end at this hop.
+    pub end: u64,
+}
+
+/// A fully or partially assembled trace: one tree of hops.
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    /// The trace id every hop shares.
+    pub trace_id: u64,
+    /// Whether the tree is fully assembled: exactly one origin hop and
+    /// every other hop's parent pointer resolves to a known hop.
+    pub complete: bool,
+    /// Hops in breadth-first order from the root (orphans, if any, at
+    /// the end).
+    pub hops: Vec<HopView>,
+    /// Span ids from the root to the latest-finishing leaf.
+    pub critical_path: Vec<u64>,
+    /// Wall-clock width of the whole trace: latest end − earliest start.
+    pub e2e_latency: u64,
+    /// The e2e latency re-derived by summing the critical path's hop
+    /// windows, queue waits, and inter-hop link gaps — equals
+    /// `e2e_latency` when the accounting is airtight, so the difference
+    /// is a direct measure of unattributed time.
+    pub accounted_latency: u64,
+}
+
+/// Latency percentiles for one directed overlay link, sampled across
+/// every assembled trace that crossed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Sending side.
+    pub from: NodeId,
+    /// Receiving side.
+    pub to: NodeId,
+    /// Number of traced crossings.
+    pub count: usize,
+    /// Median crossing latency (write end → recv start), nanoseconds.
+    pub p50: u64,
+    /// 99th-percentile crossing latency, nanoseconds.
+    pub p99: u64,
+}
+
+/// Bounded store of trace spans with `(node, idx)` dedup (see module
+/// docs). Oldest traces are evicted once `max_traces` distinct ids are
+/// held.
+#[derive(Debug)]
+pub struct TraceStore {
+    max_traces: usize,
+    /// Next-unseen ring index per node.
+    watermarks: HashMap<NodeId, u64>,
+    /// Latest wall anchor per node.
+    anchors: HashMap<NodeId, u64>,
+    /// Latest ring-eviction count per node (spans lost before export).
+    ring_dropped: HashMap<NodeId, u64>,
+    traces: HashMap<u64, Vec<SpanEvent>>,
+    /// Trace ids in first-seen order (eviction order).
+    order: VecDeque<u64>,
+    evicted_traces: u64,
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_TREE_CAPACITY)
+    }
+}
+
+impl TraceStore {
+    /// Creates a store retaining at most `max_traces` distinct traces
+    /// (floored at one).
+    pub fn with_capacity(max_traces: usize) -> Self {
+        Self {
+            max_traces: max_traces.max(1),
+            watermarks: HashMap::new(),
+            anchors: HashMap::new(),
+            ring_dropped: HashMap::new(),
+            traces: HashMap::new(),
+            order: VecDeque::new(),
+            evicted_traces: 0,
+        }
+    }
+
+    /// Ingests one span batch from `node`, skipping spans already seen
+    /// (ring indices below the node's watermark).
+    pub fn ingest(&mut self, node: NodeId, batch: &SpanBatch) {
+        self.anchors.insert(node, batch.wall_anchor);
+        self.ring_dropped.insert(node, batch.dropped);
+        for span in &batch.spans {
+            let mark = self.watermarks.entry(node).or_insert(0);
+            if span.idx < *mark {
+                continue;
+            }
+            *mark = span.idx + 1;
+            if !self.traces.contains_key(&span.trace_id) {
+                if self.order.len() >= self.max_traces {
+                    if let Some(old) = self.order.pop_front() {
+                        self.traces.remove(&old);
+                        self.evicted_traces += 1;
+                    }
+                }
+                self.order.push_back(span.trace_id);
+                self.traces.insert(span.trace_id, Vec::new());
+            }
+            if let Some(spans) = self.traces.get_mut(&span.trace_id) {
+                spans.push(span.clone());
+            }
+        }
+    }
+
+    /// Number of distinct traces currently held.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the store holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Total spans held across all traces.
+    pub fn span_count(&self) -> usize {
+        self.traces.values().map(Vec::len).sum()
+    }
+
+    /// Traces evicted to stay within capacity.
+    pub fn evicted(&self) -> u64 {
+        self.evicted_traces
+    }
+
+    fn anchor(&self, node: NodeId) -> u64 {
+        self.anchors.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Assembles every held trace into a tree (see module docs), in
+    /// first-seen order.
+    pub fn assemble(&self) -> Vec<TraceTree> {
+        self.order
+            .iter()
+            .filter_map(|id| {
+                let spans = self.traces.get(id)?;
+                Some(self.assemble_one(*id, spans))
+            })
+            .collect()
+    }
+
+    /// Assembles the tree for one trace id, if held.
+    pub fn assemble_trace(&self, trace_id: u64) -> Option<TraceTree> {
+        self.traces
+            .get(&trace_id)
+            .map(|spans| self.assemble_one(trace_id, spans))
+    }
+
+    fn assemble_one(&self, trace_id: u64, spans: &[SpanEvent]) -> TraceTree {
+        // Group stages into hops by span id.
+        let mut hops: HashMap<u64, HopView> = HashMap::new();
+        let mut hop_order: Vec<u64> = Vec::new();
+        for s in spans {
+            let anchor = self.anchor(s.node);
+            let (start, end) = (anchor + s.start, anchor + s.end);
+            let hop = hops.entry(s.span_id).or_insert_with(|| {
+                hop_order.push(s.span_id);
+                HopView {
+                    span_id: s.span_id,
+                    parent_span: 0,
+                    node: s.node,
+                    from: None,
+                    stages: Vec::new(),
+                    queue_wait: 0,
+                    start,
+                    end,
+                }
+            });
+            // The hop's parent pointer lives on its Recv span (intra-hop
+            // stages record parent 0); Origin roots stay at 0.
+            if s.stage == SpanStage::Recv {
+                hop.parent_span = s.parent_span;
+                hop.from = s.peer;
+            }
+            hop.stages.push(StageView {
+                stage: s.stage,
+                start,
+                end,
+            });
+            hop.start = hop.start.min(start);
+            hop.end = hop.end.max(end);
+        }
+        for hop in hops.values_mut() {
+            hop.stages.sort_by_key(|s| (s.start, s.end));
+            hop.queue_wait = queue_wait(&hop.stages);
+        }
+
+        // Root + reachability: the tree is complete when exactly one hop
+        // has no parent and every other hop's parent is present.
+        let roots: Vec<u64> = hop_order
+            .iter()
+            .copied()
+            .filter(|id| {
+                let p = hops[id].parent_span;
+                p == 0 || !hops.contains_key(&p)
+            })
+            .collect();
+        let orphans = roots
+            .iter()
+            .filter(|id| hops[id].parent_span != 0)
+            .count();
+        let complete = roots.len() == 1 && orphans == 0;
+
+        // Breadth-first order from each root (stable: hop_order drives
+        // sibling order).
+        let mut children: HashMap<u64, Vec<u64>> = HashMap::new();
+        for id in &hop_order {
+            let p = hops[id].parent_span;
+            if p != 0 && hops.contains_key(&p) {
+                children.entry(p).or_default().push(*id);
+            }
+        }
+        let mut ordered: Vec<u64> = Vec::with_capacity(hop_order.len());
+        let mut queue: VecDeque<u64> = roots.iter().copied().collect();
+        while let Some(id) = queue.pop_front() {
+            ordered.push(id);
+            if let Some(kids) = children.get(&id) {
+                queue.extend(kids.iter().copied());
+            }
+        }
+
+        // Critical path: walk parents up from the latest-finishing hop.
+        let mut critical_path = Vec::new();
+        if let Some(&leaf) = ordered.iter().max_by_key(|id| hops[id].end) {
+            let mut cur = leaf;
+            loop {
+                critical_path.push(cur);
+                let p = hops[&cur].parent_span;
+                if p == 0 || !hops.contains_key(&p) || critical_path.len() > hops.len() {
+                    break;
+                }
+                cur = p;
+            }
+            critical_path.reverse();
+        }
+
+        let first = ordered.iter().map(|id| hops[id].start).min().unwrap_or(0);
+        let last = ordered.iter().map(|id| hops[id].end).max().unwrap_or(0);
+        let e2e_latency = last.saturating_sub(first);
+
+        // Re-derive the e2e latency from the critical path's parts: hop
+        // windows plus the link gaps between consecutive hops.
+        let mut accounted = 0u64;
+        for (i, id) in critical_path.iter().enumerate() {
+            let hop = &hops[id];
+            accounted += hop.end.saturating_sub(hop.start);
+            if i > 0 {
+                let prev = &hops[&critical_path[i - 1]];
+                accounted += hop.start.saturating_sub(prev.end);
+            }
+        }
+
+        TraceTree {
+            trace_id,
+            complete,
+            hops: ordered.into_iter().filter_map(|id| hops.remove(&id)).collect(),
+            critical_path,
+            e2e_latency,
+            accounted_latency: accounted,
+        }
+    }
+
+    /// Per-link latency percentiles across every held trace: a sample is
+    /// the gap between a hop's last send-side stage end and the child
+    /// hop's receive start.
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        let mut samples: HashMap<(NodeId, NodeId), Vec<u64>> = HashMap::new();
+        for tree in self.assemble() {
+            let by_id: HashMap<u64, &HopView> =
+                tree.hops.iter().map(|h| (h.span_id, h)).collect();
+            for hop in &tree.hops {
+                if hop.parent_span == 0 {
+                    continue;
+                }
+                let Some(parent) = by_id.get(&hop.parent_span) else {
+                    continue;
+                };
+                let recv_start = hop
+                    .stages
+                    .iter()
+                    .find(|s| s.stage == SpanStage::Recv)
+                    .map_or(hop.start, |s| s.start);
+                let sent_end = parent
+                    .stages
+                    .iter()
+                    .filter(|s| s.stage == SpanStage::Write)
+                    .map(|s| s.end)
+                    .max()
+                    .unwrap_or(parent.end);
+                samples
+                    .entry((parent.node, hop.node))
+                    .or_default()
+                    .push(recv_start.saturating_sub(sent_end));
+            }
+        }
+        let mut out: Vec<LinkStats> = samples
+            .into_iter()
+            .map(|((from, to), mut v)| {
+                v.sort_unstable();
+                LinkStats {
+                    from,
+                    to,
+                    count: v.len(),
+                    p50: percentile(&v, 50),
+                    p99: percentile(&v, 99),
+                }
+            })
+            .collect();
+        out.sort_by_key(|s| (s.from, s.to));
+        out
+    }
+
+    /// The whole store as one JSON value: assembled trees, per-link
+    /// percentiles, and bookkeeping counters.
+    pub fn to_json(&self) -> serde_json::Value {
+        let traces: Vec<serde_json::Value> = self
+            .assemble()
+            .iter()
+            .map(|tree| {
+                let hops: Vec<serde_json::Value> = tree
+                    .hops
+                    .iter()
+                    .map(|h| {
+                        let stages: Vec<serde_json::Value> = h
+                            .stages
+                            .iter()
+                            .map(|s| {
+                                serde_json::json!({
+                                    "stage": s.stage.name(),
+                                    "start": s.start,
+                                    "duration": s.end.saturating_sub(s.start),
+                                })
+                            })
+                            .collect();
+                        serde_json::json!({
+                            "span_id": h.span_id,
+                            "parent_span": h.parent_span,
+                            "node": h.node.to_string(),
+                            "from": h.from.map(|n| n.to_string()),
+                            "queue_wait": h.queue_wait,
+                            "start": h.start,
+                            "end": h.end,
+                            "stages": stages,
+                        })
+                    })
+                    .collect();
+                serde_json::json!({
+                    "trace_id": format!("{:016x}", tree.trace_id),
+                    "complete": tree.complete,
+                    "e2e_latency": tree.e2e_latency,
+                    "accounted_latency": tree.accounted_latency,
+                    "critical_path": tree.critical_path,
+                    "hops": hops,
+                })
+            })
+            .collect();
+        let links: Vec<serde_json::Value> = self
+            .link_stats()
+            .iter()
+            .map(|l| {
+                serde_json::json!({
+                    "from": l.from.to_string(),
+                    "to": l.to.to_string(),
+                    "count": l.count,
+                    "p50": l.p50,
+                    "p99": l.p99,
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "traces": traces,
+            "links": links,
+            "evicted_traces": self.evicted_traces,
+            "ring_dropped": self.ring_dropped.values().sum::<u64>(),
+        })
+    }
+
+    /// The whole store in Chrome trace-event format (load the output in
+    /// Perfetto / `chrome://tracing`): one complete (`ph: "X"`) event
+    /// per stage window, grouped by trace (pid) and node (tid).
+    pub fn to_chrome_json(&self) -> serde_json::Value {
+        let mut events: Vec<serde_json::Value> = Vec::new();
+        for tree in self.assemble() {
+            // Viewers want small integer pids; keep the full id in args.
+            let pid = (tree.trace_id & 0x7fff_ffff) as i64;
+            events.push(serde_json::json!({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": format!("trace {:016x}", tree.trace_id)},
+            }));
+            for hop in &tree.hops {
+                let tid =
+                    ((u64::from(u32::from(hop.node.ip())) << 16) | u64::from(hop.node.port()))
+                        as i64
+                        & 0x7fff_ffff;
+                events.push(serde_json::json!({
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": hop.node.to_string()},
+                }));
+                for s in &hop.stages {
+                    events.push(serde_json::json!({
+                        "name": s.stage.name(),
+                        "ph": "X",
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": s.start as f64 / 1_000.0,
+                        "dur": s.end.saturating_sub(s.start) as f64 / 1_000.0,
+                        "args": {
+                            "trace_id": format!("{:016x}", tree.trace_id),
+                            "span_id": hop.span_id,
+                            "parent_span": hop.parent_span,
+                            "node": hop.node.to_string(),
+                        },
+                    }));
+                }
+            }
+        }
+        serde_json::json!({ "traceEvents": events })
+    }
+}
+
+/// The receive-to-next-stage gap at one hop: time the message sat in the
+/// receive buffer waiting for its switch round.
+fn queue_wait(stages: &[StageView]) -> u64 {
+    let Some(arrived) = stages
+        .iter()
+        .find(|s| matches!(s.stage, SpanStage::Recv | SpanStage::Origin))
+    else {
+        return 0;
+    };
+    let Some(next) = stages
+        .iter()
+        .filter(|s| !matches!(s.stage, SpanStage::Recv | SpanStage::Origin))
+        .map(|s| s.start)
+        .min()
+    else {
+        return 0;
+    };
+    next.saturating_sub(arrived.end)
+}
+
+/// Nearest-rank percentile of a sorted slice (`p` in 0..=100).
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len()).div_ceil(100).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(port: u16) -> NodeId {
+        NodeId::loopback(port)
+    }
+
+    #[allow(clippy::too_many_arguments)] // test fixture: spells out the full span
+    fn span(
+        idx: u64,
+        trace: u64,
+        parent: u64,
+        span_id: u64,
+        node: NodeId,
+        stage: SpanStage,
+        start: u64,
+        end: u64,
+    ) -> SpanEvent {
+        SpanEvent {
+            idx,
+            trace_id: trace,
+            parent_span: parent,
+            span_id,
+            node,
+            peer: None,
+            stage,
+            start,
+            end,
+        }
+    }
+
+    /// A two-hop trace: origin at node 1 (span 10), receive + switch at
+    /// node 2 (span 20).
+    fn two_hop_batches() -> (SpanBatch, SpanBatch) {
+        let src = SpanBatch {
+            wall_anchor: 0,
+            dropped: 0,
+            spans: vec![
+                span(0, 7, 0, 10, n(1), SpanStage::Origin, 100, 100),
+                span(1, 7, 0, 10, n(1), SpanStage::Serialize, 110, 120),
+                span(2, 7, 0, 10, n(1), SpanStage::Write, 120, 130),
+            ],
+        };
+        let mut recv = span(0, 7, 10, 20, n(2), SpanStage::Recv, 200, 210);
+        recv.peer = Some(n(1));
+        let sink = SpanBatch {
+            wall_anchor: 0,
+            dropped: 0,
+            spans: vec![recv, span(1, 7, 0, 20, n(2), SpanStage::Switch, 250, 260)],
+        };
+        (src, sink)
+    }
+
+    #[test]
+    fn assembles_complete_two_hop_tree() {
+        let mut store = TraceStore::default();
+        let (src, sink) = two_hop_batches();
+        store.ingest(n(1), &src);
+        store.ingest(n(2), &sink);
+        let trees = store.assemble();
+        assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        assert!(tree.complete, "one root, parents resolve");
+        assert_eq!(tree.hops.len(), 2);
+        assert_eq!(tree.critical_path, vec![10, 20]);
+        assert_eq!(tree.e2e_latency, 160, "origin start 100 → switch end 260");
+        assert_eq!(
+            tree.accounted_latency, tree.e2e_latency,
+            "hop windows + link gap account for the full latency"
+        );
+        let sink_hop = tree.hops.iter().find(|h| h.node == n(2)).unwrap();
+        assert_eq!(sink_hop.queue_wait, 40, "recv end 210 → switch start 250");
+        assert_eq!(sink_hop.from, Some(n(1)));
+    }
+
+    #[test]
+    fn incomplete_without_the_origin_hop() {
+        let mut store = TraceStore::default();
+        let (_, sink) = two_hop_batches();
+        store.ingest(n(2), &sink);
+        let tree = store.assemble_trace(7).unwrap();
+        assert!(!tree.complete, "parent hop missing");
+        assert_eq!(tree.hops.len(), 1);
+    }
+
+    #[test]
+    fn dedups_replayed_spans_by_node_and_idx() {
+        let mut store = TraceStore::default();
+        let (src, _) = two_hop_batches();
+        store.ingest(n(1), &src);
+        store.ingest(n(1), &src); // full-ring scrape replays everything
+        assert_eq!(store.span_count(), 3, "replays dropped by watermark");
+    }
+
+    #[test]
+    fn wall_anchor_places_nodes_on_shared_timeline() {
+        let mut store = TraceStore::default();
+        let (mut src, mut sink) = two_hop_batches();
+        src.wall_anchor = 1_000_000;
+        sink.wall_anchor = 2_000_000;
+        store.ingest(n(1), &src);
+        store.ingest(n(2), &sink);
+        let tree = store.assemble_trace(7).unwrap();
+        let root = tree.hops.iter().find(|h| h.node == n(1)).unwrap();
+        assert_eq!(root.start, 1_000_100);
+        let sink_hop = tree.hops.iter().find(|h| h.node == n(2)).unwrap();
+        assert_eq!(sink_hop.start, 2_000_200);
+    }
+
+    #[test]
+    fn link_stats_report_percentiles() {
+        let mut store = TraceStore::default();
+        let (src, sink) = two_hop_batches();
+        store.ingest(n(1), &src);
+        store.ingest(n(2), &sink);
+        let stats = store.link_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].from, n(1));
+        assert_eq!(stats[0].to, n(2));
+        assert_eq!(stats[0].count, 1);
+        assert_eq!(stats[0].p50, 70, "write end 130 → recv start 200");
+        assert_eq!(stats[0].p99, 70);
+    }
+
+    #[test]
+    fn eviction_is_bounded_and_counted() {
+        let mut store = TraceStore::with_capacity(2);
+        for t in 1..=4u64 {
+            let batch = SpanBatch {
+                wall_anchor: 0,
+                dropped: 0,
+                spans: vec![span(t, t, 0, t * 10, n(1), SpanStage::Origin, t, t)],
+            };
+            store.ingest(n(1), &batch);
+        }
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evicted(), 2);
+    }
+
+    #[test]
+    fn chrome_export_is_loadable_shape() {
+        let mut store = TraceStore::default();
+        let (src, sink) = two_hop_batches();
+        store.ingest(n(1), &src);
+        store.ingest(n(2), &sink);
+        let chrome = store.to_chrome_json();
+        let events = chrome["traceEvents"].as_array().expect("event array");
+        let complete: Vec<&serde_json::Value> = events
+            .iter()
+            .filter(|e| e["ph"] == "X")
+            .collect();
+        assert_eq!(complete.len(), 5, "one X event per stage window");
+        for e in complete {
+            assert!(e["name"].as_str().is_some());
+            assert!(e["ts"].as_f64().is_some());
+            assert!(e["dur"].as_f64().is_some());
+            assert!(e["pid"].as_i64().is_some());
+            assert!(e["tid"].as_i64().is_some());
+        }
+        assert!(
+            events.iter().any(|e| e["ph"] == "M"),
+            "metadata names the processes"
+        );
+    }
+
+    #[test]
+    fn json_export_carries_breakdown() {
+        let mut store = TraceStore::default();
+        let (src, sink) = two_hop_batches();
+        store.ingest(n(1), &src);
+        store.ingest(n(2), &sink);
+        let json = store.to_json();
+        assert_eq!(json["traces"][0]["complete"], true);
+        assert_eq!(json["traces"][0]["e2e_latency"], 160);
+        assert_eq!(json["links"][0]["p50"], 70);
+    }
+}

@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::assembly::{TraceStore, DEFAULT_TRACE_TREE_CAPACITY};
 use crate::trace::{TraceLog, TraceRecord, DEFAULT_TRACE_CAPACITY};
 
 /// Observer tunables.
@@ -23,6 +24,8 @@ pub struct ObserverConfig {
     /// Most trace records the observer retains; older records are
     /// evicted and counted as dropped.
     pub trace_capacity: usize,
+    /// Most distinct message traces (span trees) the observer retains.
+    pub trace_tree_capacity: usize,
 }
 
 impl Default for ObserverConfig {
@@ -32,6 +35,7 @@ impl Default for ObserverConfig {
             seed: 0,
             liveness_timeout: 30_000_000_000,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            trace_tree_capacity: DEFAULT_TRACE_TREE_CAPACITY,
         }
     }
 }
@@ -57,6 +61,7 @@ pub struct ObserverCore {
     identity: Option<NodeId>,
     nodes: BTreeMap<NodeId, NodeRecord>,
     traces: TraceLog,
+    spans: TraceStore,
     rng: StdRng,
 }
 
@@ -65,11 +70,13 @@ impl ObserverCore {
     pub fn new(config: ObserverConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
         let traces = TraceLog::with_capacity(config.trace_capacity);
+        let spans = TraceStore::with_capacity(config.trace_tree_capacity);
         Self {
             config,
             identity: None,
             nodes: BTreeMap::new(),
             traces,
+            spans,
             rng,
         }
     }
@@ -107,6 +114,23 @@ impl ObserverCore {
     /// The collected trace log.
     pub fn traces(&self) -> &TraceLog {
         &self.traces
+    }
+
+    /// Mutable access to the trace log (wall-anchor setup, offline
+    /// merges).
+    pub fn traces_mut(&mut self) -> &mut TraceLog {
+        &mut self.traces
+    }
+
+    /// The assembled message-span store.
+    pub fn trace_store(&self) -> &TraceStore {
+        &self.spans
+    }
+
+    /// Mutable access to the span store (out-of-band ingestion, e.g.
+    /// from a node's `/traces` scrape).
+    pub fn trace_store_mut(&mut self) -> &mut TraceStore {
+        &mut self.spans
     }
 
     /// Latest status reports, for topology export.
@@ -148,6 +172,9 @@ impl ObserverCore {
             MsgType::Status => {
                 if let Ok(report) = StatusReport::decode(msg.payload()) {
                     let key = report.node.unwrap_or(from);
+                    if let Some(batch) = &report.spans {
+                        self.spans.ingest(key, batch);
+                    }
                     self.nodes
                         .entry(key)
                         .or_insert(NodeRecord {
@@ -218,6 +245,8 @@ impl ObserverCore {
             "known": self.nodes.len(),
             "traces": self.traces.len(),
             "traces_dropped": self.traces.dropped(),
+            "trace_trees": self.spans.len(),
+            "trace_spans": self.spans.span_count(),
             "nodes": nodes,
         })
     }

@@ -14,6 +14,10 @@
 //!   runtime ([`commands`]);
 //! * **traces** — collect `trace` messages into a central log
 //!   ([`TraceLog`]);
+//! * **trace assembly** — fold the message spans piggybacked on status
+//!   reports into per-trace hop trees with latency breakdowns and
+//!   critical paths ([`TraceStore`]), exported as JSON and Chrome
+//!   trace-event (Perfetto) files;
 //! * **visualization** — export the observed topology as Graphviz DOT
 //!   ([`dot`]), substituting for the GUI's world-map view;
 //! * **proxy** — a relay that multiplexes many node connections into a
@@ -27,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod assembly;
 pub mod commands;
 mod core;
 pub mod dot;
@@ -35,5 +40,6 @@ mod server;
 mod trace;
 
 pub use crate::core::{NodeRecord, ObserverConfig, ObserverCore};
+pub use assembly::{LinkStats, TraceStore, TraceTree, DEFAULT_TRACE_TREE_CAPACITY};
 pub use server::ObserverServer;
 pub use trace::{TraceLog, TraceRecord, DEFAULT_TRACE_CAPACITY};

@@ -53,8 +53,11 @@ impl ObserverServer {
         let id = NodeId::loopback(listener.local_addr()?.port());
         let mut inner = ObserverCore::new(config);
         inner.set_identity(id);
-        let core = Arc::new(Mutex::new(inner));
         let clock = Arc::new(SystemClock::new());
+        // Control traces share the span clock model: monotonic arrival
+        // times plus this anchor place them on the unix timeline.
+        inner.traces_mut().set_wall_anchor(clock.wall_anchor_nanos());
+        let core = Arc::new(Mutex::new(inner));
         let running = Arc::new(AtomicBool::new(true));
         let accept_thread = {
             let core = core.clone();
@@ -108,6 +111,23 @@ impl ObserverServer {
     pub fn snapshot_json(&self) -> serde_json::Value {
         let now = self.clock.now();
         self.core.lock().snapshot_json(now)
+    }
+
+    /// The assembled message traces (trees, critical paths, per-link
+    /// percentiles) as one JSON value — the `/traces` endpoint's body.
+    pub fn traces_json(&self) -> serde_json::Value {
+        self.core.lock().trace_store().to_json()
+    }
+
+    /// The assembled message traces in Chrome trace-event format
+    /// (Perfetto-loadable) — the `/traces.chrome` endpoint's body.
+    pub fn chrome_trace_json(&self) -> serde_json::Value {
+        self.core.lock().trace_store().to_chrome_json()
+    }
+
+    /// Assembled trace trees, for programmatic inspection.
+    pub fn trace_trees(&self) -> Vec<crate::TraceTree> {
+        self.core.lock().trace_store().assemble()
     }
 
     /// Sends a control command to a node over a one-shot connection.
@@ -228,12 +248,29 @@ fn serve_observer_scrape(
             let body = serde_json::to_string_pretty(&snapshot).unwrap_or_default();
             scrape::write_response(stream, 200, scrape::JSON_CONTENT_TYPE, &body);
         }
+        "/traces" | "/traces.json" => {
+            let traces = { core.lock().trace_store().to_json() };
+            let body = serde_json::to_string_pretty(&traces).unwrap_or_default();
+            scrape::write_response(stream, 200, scrape::JSON_CONTENT_TYPE, &body);
+        }
+        "/traces.chrome" => {
+            // Perfetto-loadable Chrome trace-event file; compact, since
+            // tools consume it rather than humans.
+            let chrome = { core.lock().trace_store().to_chrome_json() };
+            let body = serde_json::to_string(&chrome).unwrap_or_default();
+            scrape::write_response(stream, 200, scrape::JSON_CONTENT_TYPE, &body);
+        }
+        "/healthz" => {
+            let uptime = now / 1_000_000_000;
+            let body = format!("ok uptime_seconds={uptime}\n");
+            scrape::write_response(stream, 200, "text/plain", &body);
+        }
         _ => {
             scrape::write_response(
                 stream,
                 404,
                 "text/plain",
-                "not found; try /metrics or /snapshot\n",
+                "not found; try /metrics, /snapshot, /traces, /traces.chrome or /healthz\n",
             );
         }
     }

@@ -48,6 +48,10 @@ pub struct TraceLog {
     records: VecDeque<TraceRecord>,
     capacity: usize,
     dropped: u64,
+    /// Unix nanoseconds at the observer's monotonic instant 0 — the
+    /// same clock model message spans use (`wall_anchor + at` is unix
+    /// time), so control traces and message traces merge offline.
+    wall_anchor: u64,
 }
 
 impl Default for TraceLog {
@@ -69,7 +73,20 @@ impl TraceLog {
             records: VecDeque::new(),
             capacity: capacity.max(1),
             dropped: 0,
+            wall_anchor: 0,
         }
+    }
+
+    /// Sets the wall anchor: unix nanoseconds corresponding to record
+    /// time 0 (normally the transport's `SystemClock` anchor).
+    pub fn set_wall_anchor(&mut self, anchor: u64) {
+        self.wall_anchor = anchor;
+    }
+
+    /// The wall anchor (0 when the transport never set one — virtual
+    /// clocks are already a shared timeline).
+    pub fn wall_anchor(&self) -> u64 {
+        self.wall_anchor
     }
 
     /// Appends a record, evicting the oldest one when full.
@@ -128,6 +145,27 @@ impl TraceLog {
         }
         Ok(())
     }
+
+    /// Writes the whole log as JSON Lines, one object per record, each
+    /// carrying both the monotonic arrival time and the wall-anchored
+    /// unix time — the format message-span exports share, so the two
+    /// streams can be merged and sorted offline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn dump_jsonl<W: Write>(&self, mut w: W) -> io::Result<()> {
+        for r in &self.records {
+            let line = serde_json::json!({
+                "at": r.at,
+                "unix_nanos": self.wall_anchor + r.at,
+                "node": r.node.to_string(),
+                "text": r.text,
+            });
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +210,26 @@ mod tests {
     fn capacity_floors_at_one() {
         let log = TraceLog::with_capacity(0);
         assert_eq!(log.capacity(), 1);
+    }
+
+    #[test]
+    fn jsonl_dump_carries_wall_anchored_times() {
+        let mut log = TraceLog::new();
+        log.set_wall_anchor(1_000_000_000);
+        log.push(TraceRecord {
+            at: 500,
+            node: NodeId::loopback(3),
+            text: "joined".into(),
+        });
+        let mut out = Vec::new();
+        log.dump_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let line: serde_json::Value =
+            serde_json::from_str(text.trim()).expect("each line is a JSON object");
+        assert_eq!(line["at"], 500);
+        assert_eq!(line["unix_nanos"], 1_000_000_500u64);
+        assert_eq!(line["node"], "127.0.0.1:3");
+        assert_eq!(line["text"], "joined");
     }
 
     #[test]

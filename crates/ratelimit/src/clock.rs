@@ -26,14 +26,32 @@ pub trait Clock: Send + Sync {
 #[derive(Debug, Clone)]
 pub struct SystemClock {
     epoch: Instant,
+    wall_anchor: Nanos,
 }
 
 impl SystemClock {
     /// Creates a clock whose epoch is "now".
     pub fn new() -> Self {
+        // Capture the wall time of the monotonic epoch once, so
+        // monotonic readings can be placed on a shared cross-node
+        // timeline (`wall_anchor + now()` is unix nanoseconds). This is
+        // the one sanctioned wall-clock read; everything downstream
+        // stays on the monotonic `Clock` trait.
+        let wall_anchor = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
         Self {
             epoch: Instant::now(),
+            wall_anchor,
         }
+    }
+
+    /// Unix nanoseconds corresponding to this clock's monotonic zero:
+    /// `wall_anchor_nanos() + now()` places a monotonic reading on the
+    /// wall-clock timeline shared by every node (up to NTP skew).
+    pub fn wall_anchor_nanos(&self) -> Nanos {
+        self.wall_anchor
     }
 }
 
@@ -108,6 +126,17 @@ mod tests {
         let a = clock.now();
         let b = clock.now();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn wall_anchor_is_fixed_at_construction() {
+        let clock = SystemClock::new();
+        let anchor = clock.wall_anchor_nanos();
+        // Plausibly after 2020-01-01 and stable across reads.
+        assert!(anchor > 1_577_836_800 * NANOS_PER_SEC);
+        assert_eq!(clock.wall_anchor_nanos(), anchor);
+        // Clones share the same anchor (same epoch).
+        assert_eq!(clock.clone().wall_anchor_nanos(), anchor);
     }
 
     #[test]

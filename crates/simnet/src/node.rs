@@ -55,6 +55,8 @@ pub(crate) struct SimNode {
     /// Rotates the blocked-fanout retry order (fairness between
     /// upstreams competing for one freed sender slot).
     pub retry_rotor: u64,
+    /// Locally originated data messages seen by the trace sampler.
+    pub trace_count: u64,
     /// Per-node telemetry registry, timestamped with the *virtual*
     /// clock so simulated runs export the same metrics shape as real
     /// engine nodes.
@@ -125,6 +127,7 @@ impl SimNode {
             rng: StdRng::seed_from_u64(hasher_seed),
             switched: 0,
             retry_rotor: 0,
+            trace_count: 0,
             tel: NodeTelemetry::default(),
         }
     }

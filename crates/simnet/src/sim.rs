@@ -44,6 +44,10 @@ pub struct SimConfig {
     /// Maximum messages a node switches per `Process` event before
     /// yielding.
     pub process_batch: usize,
+    /// Distributed-tracing sample rate: every `trace_sample`-th locally
+    /// originated data message is traced hop by hop. `0` (default)
+    /// disables tracing.
+    pub trace_sample: u32,
 }
 
 impl Default for SimConfig {
@@ -57,6 +61,7 @@ impl Default for SimConfig {
             measure_window: 4 * SEC,
             failure_detect_delay: 200_000_000, // 200 ms
             process_batch: 4096,
+            trace_sample: 0,
         }
     }
 }
@@ -112,6 +117,13 @@ impl SimBuilder {
     /// Sets the QoS measurement interval in milliseconds.
     pub fn measure_interval_ms(mut self, ms: u64) -> Self {
         self.config.measure_interval = ms * 1_000_000;
+        self
+    }
+
+    /// Sets the tracing sample rate: every `n`-th locally originated
+    /// data message is traced; `0` disables tracing.
+    pub fn trace_sample(mut self, n: u32) -> Self {
+        self.config.trace_sample = n;
         self
     }
 
@@ -358,7 +370,7 @@ impl Sim {
     /// per-link throughput, and the algorithm's own status.
     pub fn status_report(&mut self, node_id: NodeId) -> Option<ioverlay_api::StatusReport> {
         let now = self.now;
-        let (recv, send, ups, downs, switched, alg_status, telemetry) = {
+        let (recv, send, ups, downs, switched, alg_status, telemetry, spans) = {
             let node = self.nodes.get(&node_id)?;
             let recv: Vec<(NodeId, usize)> = node
                 .recv_queues
@@ -378,7 +390,26 @@ impl Sim {
                 .map(|a| a.status())
                 .unwrap_or(serde_json::Value::Null);
             let telemetry = node.tel.enabled().then(|| node.tel.snapshot());
-            (recv, send, ups, downs, node.switched, alg_status, telemetry)
+            // Virtual time has no wall anchor; the observer treats the
+            // timestamps as relative, which is exactly what they are.
+            let spans = node.tel.enabled().then(|| {
+                let (spans, dropped) = node.tel.spans().consistent_view();
+                ioverlay_telemetry::SpanBatch {
+                    wall_anchor: 0,
+                    dropped,
+                    spans,
+                }
+            });
+            (
+                recv,
+                send,
+                ups,
+                downs,
+                node.switched,
+                alg_status,
+                telemetry,
+                spans,
+            )
         };
         let link_kbps: Vec<(NodeId, f64)> = downs
             .iter()
@@ -394,6 +425,7 @@ impl Sim {
             switched_msgs: switched,
             algorithm: alg_status,
             telemetry,
+            spans,
         })
     }
 
@@ -491,11 +523,16 @@ impl Sim {
             }
             self.deliver_local(to, Msg::control(MsgType::UpstreamJoined, from, msg.app()));
         }
+        let now = self.now;
         let accepted = {
             let node = self.nodes.get_mut(&to).expect("receiver exists");
             let q = node.recv_queues.get_mut(&from).expect("just ensured");
             if q.len() < node.recv_cap {
-                q.push_back(msg.clone());
+                let mut msg = msg.clone();
+                // Virtual receive is instantaneous: a zero-width span
+                // anchors the hop and rewrites the carried context.
+                node.tel.record_recv_span(to, from, &mut msg, now, now);
+                q.push_back(msg);
                 true
             } else {
                 false
@@ -539,6 +576,7 @@ impl Sim {
                 break;
             };
             let msg = {
+                let now = self.now;
                 let node = self.nodes.get_mut(&node_id).expect("alive node");
                 node.switched += 1;
                 match node.recv_queues.get_mut(&upstream) {
@@ -546,6 +584,21 @@ impl Sim {
                         let occupancy = q.len() as u64;
                         let popped = q.pop_front();
                         node.tel.record_switch_batch(1, occupancy);
+                        if let Some(c) = popped
+                            .as_ref()
+                            .and_then(|m| m.trace())
+                            .filter(ioverlay_api::TraceContext::is_sampled)
+                        {
+                            node.tel.record_hop_span(
+                                node_id,
+                                Some(upstream),
+                                c.trace_id,
+                                c.parent_span,
+                                ioverlay_telemetry::SpanStage::Switch,
+                                now,
+                                now,
+                            );
+                        }
                         popped
                     }
                     None => None,
@@ -635,9 +688,11 @@ impl Sim {
             .get_mut(&upstream)
             .and_then(|n| n.links.get_mut(&node_id))
             .and_then(|l| l.stalled.pop_front());
-        let Some(msg) = msg else { return };
+        let Some(mut msg) = msg else { return };
         let bytes = msg.wire_len() as u64;
+        let now = self.now;
         let node = self.nodes.get_mut(&node_id).expect("receiver exists");
+        node.tel.record_recv_span(node_id, upstream, &mut msg, now, now);
         node.recv_queues
             .entry(upstream)
             .or_default()
@@ -747,7 +802,22 @@ impl Sim {
         staged: StagedEffects,
     ) {
         let now = self.now;
-        for (msg, dest) in staged.sends {
+        for (mut msg, dest) in staged.sends {
+            // Trace sampling happens at the origin: every Nth locally
+            // originated data message gets a trace context (mirrors the
+            // engine's `apply_staged`).
+            if from_upstream.is_none()
+                && self.config.trace_sample > 0
+                && msg.ty() == MsgType::Data
+                && msg.trace().is_none()
+            {
+                if let Some(node) = self.nodes.get_mut(&node_id) {
+                    node.trace_count += 1;
+                    if node.trace_count % u64::from(self.config.trace_sample) == 0 {
+                        node.tel.start_trace(node_id, &mut msg, now);
+                    }
+                }
+            }
             if !self.enqueue_send(node_id, dest, msg.clone(), from_upstream) {
                 if let (Some(up), Some(node)) = (from_upstream, self.nodes.get_mut(&node_id)) {
                     node.tel.record_buffer_full(now, dest, 1);
@@ -933,6 +1003,43 @@ impl Sim {
             let delay = link.chain.reserve(bytes, self.now);
             link.outstanding += 1;
             let latency = link.latency;
+            if let Some(c) = msg.trace().filter(ioverlay_api::TraceContext::is_sampled) {
+                let now = self.now;
+                if let Some(node) = self.nodes.get(&from) {
+                    // Same stage sequence as a real sender thread:
+                    // serialize (instantaneous in the model), an optional
+                    // token-bucket wait, then the socket write.
+                    node.tel.record_hop_span(
+                        from,
+                        Some(to),
+                        c.trace_id,
+                        c.parent_span,
+                        ioverlay_telemetry::SpanStage::Serialize,
+                        now,
+                        now,
+                    );
+                    if delay > 0 {
+                        node.tel.record_hop_span(
+                            from,
+                            Some(to),
+                            c.trace_id,
+                            c.parent_span,
+                            ioverlay_telemetry::SpanStage::BucketWait,
+                            now,
+                            now + delay,
+                        );
+                    }
+                    node.tel.record_hop_span(
+                        from,
+                        Some(to),
+                        c.trace_id,
+                        c.parent_span,
+                        ioverlay_telemetry::SpanStage::Write,
+                        now + delay,
+                        now + delay,
+                    );
+                }
+            }
             self.events.schedule(
                 self.now + delay + latency,
                 Event::Arrival { from, to, msg },

@@ -24,6 +24,7 @@ pub mod events;
 pub mod metrics;
 pub mod scrape;
 pub mod snapshot;
+pub mod spans;
 
 mod sync;
 
@@ -32,7 +33,9 @@ pub use metrics::{
     Counter, Gauge, Histogram, BATCH_BOUNDS_MSGS, LATENCY_BOUNDS_NANOS, SYSCALL_BOUNDS_BYTES,
 };
 pub use snapshot::{HistogramSnapshot, TelemetrySnapshot};
+pub use spans::{SpanBatch, SpanEvent, SpanRing, SpanStage, DEFAULT_SPAN_CAPACITY};
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use ioverlay_message::NodeId;
 
 /// Nanosecond timestamp (monotonic engine clock or virtual sim time).
@@ -90,6 +93,10 @@ pub struct NodeTelemetry {
     shard_ingress_occupancy_msgs: Histogram,
 
     events: EventRing,
+
+    // Tracing: sampled-message spans plus the hop-local span-id counter.
+    spans: SpanRing,
+    span_counter: AtomicU64,
 }
 
 impl NodeTelemetry {
@@ -133,6 +140,8 @@ impl NodeTelemetry {
             coding_encode_nanos: Histogram::new(LATENCY_BOUNDS_NANOS),
             coding_decode_nanos: Histogram::new(LATENCY_BOUNDS_NANOS),
             events: EventRing::new(event_capacity),
+            spans: SpanRing::new(DEFAULT_SPAN_CAPACITY),
+            span_counter: AtomicU64::new(0),
         }
     }
 
@@ -140,6 +149,133 @@ impl NodeTelemetry {
     #[inline]
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Records one trace span. Callers only reach this for sampled
+    /// messages; the additional `enabled` gate keeps "telemetry off =>
+    /// nothing recorded" true for tracing too.
+    #[inline]
+    pub fn record_span(&self, span: SpanEvent) {
+        if self.enabled {
+            self.spans.push(span);
+        }
+    }
+
+    /// Mints the next span id for a message hop at `node` (unique per
+    /// `(node, local counter)` pair; see [`spans::derive_span_id`]).
+    #[inline]
+    pub fn mint_span_id(&self, node: NodeId) -> u64 {
+        // Relaxed: the counter only needs uniqueness, not ordering
+        // against other state.
+        let n = self.span_counter.fetch_add(1, Ordering::Relaxed);
+        spans::derive_span_id(node, n)
+    }
+
+    /// Read access to the span ring (StatusReport piggyback and the
+    /// `/traces` scrape endpoint).
+    pub fn spans(&self) -> &SpanRing {
+        &self.spans
+    }
+
+    /// Starts a trace on a locally originated message: derives the
+    /// deterministic trace id from the message's immutable identity,
+    /// mints this hop's span id, records the zero-width `Origin` span at
+    /// `now`, and attaches a sampled context (parent = this hop's span,
+    /// so the wire carries the correct parent to the next hop). Returns
+    /// the minted span id, or `None` when recording is disabled.
+    pub fn start_trace(
+        &self,
+        local: NodeId,
+        msg: &mut ioverlay_message::Msg,
+        now: Nanos,
+    ) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        let trace_id = spans::derive_trace_id(msg.origin(), msg.app(), msg.seq());
+        let span_id = self.mint_span_id(local);
+        self.spans.push(SpanEvent {
+            idx: 0,
+            trace_id,
+            parent_span: 0,
+            span_id,
+            node: local,
+            peer: None,
+            stage: SpanStage::Origin,
+            start: now,
+            end: now,
+        });
+        msg.set_trace(Some(ioverlay_message::TraceContext::sampled(
+            trace_id, span_id,
+        )));
+        Some(span_id)
+    }
+
+    /// Records the `Recv` span for a sampled message arriving from
+    /// `peer` and rewrites the carried context in place so every later
+    /// stage at this hop — and the next hop's wire image — sees this
+    /// hop's freshly minted span id as parent. Returns the hop span id,
+    /// or `None` for unsampled messages / disabled recording.
+    pub fn record_recv_span(
+        &self,
+        local: NodeId,
+        peer: NodeId,
+        msg: &mut ioverlay_message::Msg,
+        start: Nanos,
+        end: Nanos,
+    ) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        let ctx = msg.trace().filter(ioverlay_message::TraceContext::is_sampled)?;
+        let span_id = self.mint_span_id(local);
+        self.spans.push(SpanEvent {
+            idx: 0,
+            trace_id: ctx.trace_id,
+            parent_span: ctx.parent_span,
+            span_id,
+            node: local,
+            peer: Some(peer),
+            stage: SpanStage::Recv,
+            start,
+            end,
+        });
+        msg.set_trace(Some(ioverlay_message::TraceContext {
+            parent_span: span_id,
+            ..ctx
+        }));
+        Some(span_id)
+    }
+
+    /// Records an intra-hop stage window (`Switch`, `Serialize`,
+    /// `BucketWait`, `Write`) for a message whose hop span id was
+    /// already minted at `Origin`/`Recv`. Hop linkage comes from those
+    /// spans, so `parent_span` stays 0 here.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // takes a span record's full field set
+    pub fn record_hop_span(
+        &self,
+        local: NodeId,
+        peer: Option<NodeId>,
+        trace_id: u64,
+        span_id: u64,
+        stage: SpanStage,
+        start: Nanos,
+        end: Nanos,
+    ) {
+        if self.enabled {
+            self.spans.push(SpanEvent {
+                idx: 0,
+                trace_id,
+                parent_span: 0,
+                span_id,
+                node: local,
+                peer,
+                stage,
+                start,
+                end,
+            });
+        }
     }
 
     /// One switch round finished after `nanos` having moved messages.

@@ -11,12 +11,27 @@
 
 use ioverlay_telemetry::events::{EventRing, TelemetryEvent};
 use ioverlay_telemetry::metrics::Counter;
+use ioverlay_telemetry::spans::{SpanEvent, SpanRing, SpanStage};
 use loom::sync::atomic::{AtomicBool, Ordering};
 use loom::sync::Arc;
 use loom::thread;
 
 fn ev(app: u32) -> TelemetryEvent {
     TelemetryEvent::DominoTeardown { app }
+}
+
+fn sp(trace: u64) -> SpanEvent {
+    SpanEvent {
+        idx: 0,
+        trace_id: trace,
+        parent_span: 0,
+        span_id: 1,
+        node: ioverlay_message::NodeId::loopback(9000),
+        peer: None,
+        stage: SpanStage::Recv,
+        start: 0,
+        end: 1,
+    }
 }
 
 /// Conservation: with two writers racing into a capacity-1 ring, every
@@ -45,6 +60,44 @@ fn event_ring_conserves_pushes() {
             4,
             "pushes lost or double-counted"
         );
+    });
+}
+
+/// Span-ring conservation: the tracing ring clones the event ring's
+/// design, and must satisfy the same invariant — two writers racing
+/// into a capacity-1 ring never lose or double-count a push, and the
+/// ring's own `idx` assignment stays dense: the number of minted
+/// indices equals retained + dropped under every interleaving.
+#[test]
+fn span_ring_conserves_pushes() {
+    loom::model(|| {
+        let ring = Arc::new(SpanRing::new(1));
+        let writers: Vec<_> = (0..2u64)
+            .map(|w| {
+                let ring = ring.clone();
+                thread::spawn(move || {
+                    for i in 0..2u64 {
+                        ring.push(sp(w * 2 + i));
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let (records, dropped) = ring.consistent_view();
+        assert_eq!(
+            records.len() as u64 + dropped,
+            4,
+            "span pushes lost or double-counted"
+        );
+        if let Some(newest) = records.last() {
+            assert_eq!(
+                dropped + records.len() as u64,
+                newest.idx + 1,
+                "span idx assignment left a gap"
+            );
+        }
     });
 }
 

@@ -7,15 +7,23 @@
 //! (or plain `curl`) would:
 //!
 //! ```text
-//! curl http://<observer>/metrics     # Prometheus text, all nodes
-//! curl http://<observer>/snapshot    # dashboard JSON
-//! curl http://<node>/metrics         # one node's own report
+//! curl http://<observer>/metrics        # Prometheus text, all nodes
+//! curl http://<observer>/snapshot       # dashboard JSON
+//! curl http://<observer>/traces         # assembled trace trees (JSON)
+//! curl http://<observer>/traces.chrome  # Perfetto/chrome://tracing file
+//! curl http://<node>/metrics            # one node's own report
 //! ```
+//!
+//! With tracing sampled (`with_trace_sample`), the observer also folds
+//! the per-hop spans piggybacked on status reports into trace trees and
+//! prints a live trace table: per-hop stage breakdowns, queue waits, and
+//! the critical path. Save `/traces.chrome` to a file and load it at
+//! <https://ui.perfetto.dev> to see the same trees on a timeline.
 //!
 //! Run with: `cargo run --example observer_dashboard`
 
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ioverlay::algorithms::{SinkApp, SourceApp, SourceMode, StaticForwarder};
 use ioverlay::api::telemetry::scrape::http_get;
@@ -28,22 +36,23 @@ const APP: u32 = 1;
 
 fn main() -> std::io::Result<()> {
     let mut cluster = LocalCluster::new()?;
+    // Every 4th locally-originated message starts a distributed trace.
+    let cfg = || EngineConfig::default().with_trace_sample(4);
     // A diamond: source -> {left, right} -> sink.
-    let sink = cluster.spawn(EngineConfig::default(), Box::new(SinkApp::new()))?;
+    let sink = cluster.spawn(cfg(), Box::new(SinkApp::new()))?;
     let left = cluster.spawn(
-        EngineConfig::default(),
+        cfg(),
         Box::new(StaticForwarder::new().route(APP, vec![sink])),
     )?;
     let right = cluster.spawn(
-        EngineConfig::default(),
+        cfg(),
         Box::new(StaticForwarder::new().route(APP, vec![sink])),
     )?;
     let source_alg: Box<dyn Algorithm> = Box::new(
         SourceApp::new(APP, vec![left, right], 4096, SourceMode::BackToBack).deployed(),
     );
     let source = cluster.spawn(
-        EngineConfig::default()
-            .with_bandwidth(NodeBandwidth::total_only(Rate::kbps(300))),
+        cfg().with_bandwidth(NodeBandwidth::total_only(Rate::kbps(300))),
         source_alg,
     )?;
     println!(
@@ -79,6 +88,66 @@ fn main() -> std::io::Result<()> {
     for line in body.lines().take(10) {
         println!("{line}");
     }
+
+    // The live trace table: spans ride the 1 Hz status polls, so give
+    // assembly a few more rounds if no tree is complete yet.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline
+        && !cluster.observer().trace_trees().iter().any(|t| t.complete)
+    {
+        thread::sleep(Duration::from_millis(200));
+    }
+    println!("\n== assembled message traces ==");
+    let trees = cluster.observer().trace_trees();
+    println!(
+        "{} trace(s) held; showing up to 3 complete trees",
+        trees.len()
+    );
+    for tree in trees.iter().filter(|t| t.complete).take(3) {
+        println!(
+            "trace {:016x}: {} hop(s), e2e {:.3} ms, accounted {:.3} ms",
+            tree.trace_id,
+            tree.hops.len(),
+            tree.e2e_latency as f64 / 1e6,
+            tree.accounted_latency as f64 / 1e6,
+        );
+        for hop in &tree.hops {
+            let stages: Vec<String> = hop
+                .stages
+                .iter()
+                .map(|s| format!("{} {:.1}µs", s.stage.name(), (s.end - s.start) as f64 / 1e3))
+                .collect();
+            let on_path = tree.critical_path.contains(&hop.span_id);
+            println!(
+                "  {} hop at {}: {} (queue wait {:.1}µs)",
+                if on_path { "*" } else { " " },
+                hop.node,
+                stages.join(", "),
+                hop.queue_wait as f64 / 1e3,
+            );
+        }
+    }
+
+    // Per-link latency percentiles come with the same export.
+    let traces_json = cluster.observer().traces_json();
+    if let Some(links) = traces_json["links"].as_array() {
+        println!("\n== per-link latency (across all traces) ==");
+        for l in links {
+            println!(
+                "  {} -> {}: {} crossing(s), p50 {:.1}µs, p99 {:.1}µs",
+                l["from"].as_str().unwrap_or("?"),
+                l["to"].as_str().unwrap_or("?"),
+                l["count"].as_u64().unwrap_or(0),
+                l["p50"].as_f64().unwrap_or(0.0) / 1e3,
+                l["p99"].as_f64().unwrap_or(0.0) / 1e3,
+            );
+        }
+    }
+
+    println!(
+        "\nTimeline view: curl http://{}/traces.chrome > trace.json and load it at https://ui.perfetto.dev",
+        cluster.observer_id()
+    );
 
     cluster.shutdown();
     Ok(())
