@@ -1,0 +1,253 @@
+//! Instrumented wrappers: compiled when checking is active (debug
+//! builds or `--features check`). API mirrors the `passthrough` module
+//! exactly; consumers see one surface.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::graph::{self, ClassId};
+use crate::LockClass;
+
+pub use crate::graph::check_blocking;
+pub use parking_lot::WaitTimeoutResult;
+
+/// Lock-order-checked mutex (see crate docs).
+pub struct Mutex<T: ?Sized> {
+    id: ClassId,
+    inner: parking_lot::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releases the class on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    id: ClassId,
+    // The compat parking_lot guard, visible to Condvar::wait below.
+    inner: parking_lot::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex belonging to `class`.
+    pub fn new(class: &'static LockClass, value: T) -> Self {
+        Self {
+            id: graph::register(class),
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock. Panics (before blocking) if the acquisition
+    /// nests the class or closes an ordering cycle.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        graph::pre_acquire(self.id);
+        let inner = self.inner.lock();
+        graph::post_acquire(self.id);
+        MutexGuard { id: self.id, inner }
+    }
+
+    /// Like [`Mutex::lock`], additionally reporting whether the guard
+    /// was recovered from a poisoned state (reported exactly once).
+    pub fn lock_checked(&self) -> (MutexGuard<'_, T>, bool) {
+        graph::pre_acquire(self.id);
+        let (inner, recovered) = self.inner.lock_checked();
+        graph::post_acquire(self.id);
+        (MutexGuard { id: self.id, inner }, recovered)
+    }
+
+    /// Attempts to acquire without blocking. A successful `try_lock`
+    /// still records (and checks) ordering edges: even though it cannot
+    /// deadlock by itself, an inverted try-order usually shadows a
+    /// blocking inversion elsewhere.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        graph::pre_acquire(self.id);
+        let inner = self.inner.try_lock()?;
+        graph::post_acquire(self.id);
+        Some(MutexGuard { id: self.id, inner })
+    }
+
+    /// Returns a mutable reference to the underlying data (no lock,
+    /// no instrumentation: `&mut self` proves exclusive access).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Bypass instrumentation: Debug must never panic a clean tree.
+        fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Must never panic: runs during unwinds (poisoning tests).
+        graph::on_release(self.id);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Condition variable aware of the guard's lock class: the class is
+/// released for the duration of the wait and re-acquired (with edge
+/// re-checking against locks still held) when the wait returns.
+#[derive(Default)]
+pub struct Condvar {
+    inner: parking_lot::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: parking_lot::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the guard's lock while parked.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        graph::on_release(guard.id);
+        self.inner.wait(&mut guard.inner);
+        graph::pre_acquire(guard.id);
+        graph::post_acquire(guard.id);
+    }
+
+    /// Blocks until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        graph::on_release(guard.id);
+        let res = self.inner.wait_until(&mut guard.inner, deadline);
+        graph::pre_acquire(guard.id);
+        graph::post_acquire(guard.id);
+        res
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        self.wait_until(guard, Instant::now() + timeout)
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+/// Lock-order-checked reader-writer lock. Both read and write
+/// acquisitions count as acquiring the class (conservative: read-read
+/// same-class nesting is rejected like any other nesting).
+pub struct RwLock<T: ?Sized> {
+    id: ClassId,
+    inner: parking_lot::RwLock<T>,
+}
+
+/// Shared read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    id: ClassId,
+    inner: parking_lot::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    id: ClassId,
+    inner: parking_lot::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a reader-writer lock belonging to `class`.
+    pub fn new(class: &'static LockClass, value: T) -> Self {
+        Self {
+            id: graph::register(class),
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        graph::pre_acquire(self.id);
+        let inner = self.inner.read();
+        graph::post_acquire(self.id);
+        RwLockReadGuard { id: self.id, inner }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        graph::pre_acquire(self.id);
+        let inner = self.inner.write();
+        graph::post_acquire(self.id);
+        RwLockWriteGuard { id: self.id, inner }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        graph::on_release(self.id);
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        graph::on_release(self.id);
+    }
+}

@@ -1,0 +1,98 @@
+//! Central lock-class table for the workspace.
+//!
+//! Every lock constructed through the lockdep shims names one of these
+//! classes. `cargo xtask lint` rule R7 (`lock-class-declared`) parses
+//! this file to validate constructor sites, and rule R6
+//! (`no-blocking-in-shard`) uses the `fields` of `shard_safe` classes
+//! to decide which `.lock()` receivers are legal inside the reactor
+//! shard event loop.
+//!
+//! Ordering discipline (see DESIGN.md §12): the codebase holds at most
+//! ONE instrumented lock at a time — every guard is a statement
+//! temporary or is dropped before the next acquisition, wake hooks and
+//! condvar notifies fire after release, and one-shot sends happen after
+//! the core guard is dropped. The lockdep graph therefore stays
+//! edge-free in production paths; any edge that ever appears is new
+//! coupling that must be justified here and in DESIGN.md.
+//!
+//! Entries must be `static` (never `const`): class identity is the
+//! address of the static.
+
+use crate::LockClass;
+
+/// Bounded MPSC ring state in `crates/queue/src/ring.rs`.
+pub static QUEUE_RING: LockClass = LockClass {
+    name: "queue.ring",
+    fields: &["inner"],
+    shard_safe: true,
+    doc: "leaf lock; condvar notifies and wake hooks fire only after release",
+};
+
+/// Wake-hook registry in `crates/queue/src/ring.rs`.
+pub static QUEUE_HOOKS: LockClass = LockClass {
+    name: "queue.hooks",
+    fields: &["hooks"],
+    shard_safe: true,
+    doc: "hook closures are cloned out under the guard and invoked unlocked",
+};
+
+/// Bounded drop-oldest event ring in `crates/telemetry/src/events.rs`.
+pub static TELEMETRY_EVENTS: LockClass = LockClass {
+    name: "telemetry.events",
+    fields: &["records"],
+    shard_safe: true,
+    doc: "leaf lock; record/consistent_view are short copy-only sections",
+};
+
+/// Bounded drop-oldest span ring in `crates/telemetry/src/spans.rs`.
+pub static TELEMETRY_SPANS: LockClass = LockClass {
+    name: "telemetry.spans",
+    fields: &["records"],
+    shard_safe: true,
+    doc: "leaf lock; hop-span push/drain are short copy-only sections",
+};
+
+/// Per-link throughput meter shared between engine threads and shard
+/// workers (`crates/engine/src/engine.rs`, `peer.rs`, `shard.rs`).
+pub static ENGINE_METER: LockClass = LockClass {
+    name: "engine.meter",
+    fields: &["meter"],
+    shard_safe: true,
+    doc: "guards are statement temporaries around record/snapshot calls",
+};
+
+/// Reactor shard mailbox token lists in `crates/engine/src/shard.rs`.
+pub static ENGINE_SHARD_SIGNAL: LockClass = LockClass {
+    name: "engine.shard_signal",
+    fields: &["dirty_send", "resume_recv"],
+    shard_safe: true,
+    doc: "push-then-wake from producers; shard drains via mem::take temporaries",
+};
+
+/// Shard join handles in `crates/engine/src/shard.rs`.
+pub static ENGINE_SHARD_THREADS: LockClass = LockClass {
+    name: "engine.shard_threads",
+    fields: &["threads"],
+    shard_safe: false,
+    doc: "engine/teardown threads only; held across join, never on shards",
+};
+
+/// Observer core state in `crates/observer/src/server.rs`.
+pub static OBSERVER_CORE: LockClass = LockClass {
+    name: "observer.core",
+    fields: &["core"],
+    shard_safe: false,
+    doc: "drop before any connect/one-shot send (poll loop collects then sends)",
+};
+
+/// All registered classes, for diagnostics and doc generation.
+pub static ALL: &[&LockClass] = &[
+    &QUEUE_RING,
+    &QUEUE_HOOKS,
+    &TELEMETRY_EVENTS,
+    &TELEMETRY_SPANS,
+    &ENGINE_METER,
+    &ENGINE_SHARD_SIGNAL,
+    &ENGINE_SHARD_THREADS,
+    &OBSERVER_CORE,
+];

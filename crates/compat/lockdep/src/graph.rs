@@ -1,0 +1,331 @@
+//! Lock-acquisition-order graph: the runtime core of the mini-lockdep.
+//!
+//! [`Graph`] is a pure data structure (no globals, no I/O) so the loom
+//! models in `tests/loom_graph.rs` can drive it directly and explore
+//! concurrent edge insertion exhaustively. The process-global runtime —
+//! class registry, per-thread held stacks, per-thread edge caches —
+//! lives in this module's statics and thread-locals.
+//!
+//! Hot-path cost when checking is active: one thread-local `HashSet`
+//! probe per (held, acquired) pair. The global graph mutex is only
+//! taken on a cache miss, i.e. the first time a thread establishes a
+//! given ordering; backtraces are only captured when the edge is new
+//! process-wide.
+
+use std::backtrace::Backtrace;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+use crate::LockClass;
+
+/// Numeric id assigned to a [`LockClass`] on first registration.
+pub type ClassId = u16;
+
+/// Outcome of [`Graph::add_edge`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum AddEdge {
+    /// Edge already present; graph unchanged.
+    Known,
+    /// New edge inserted; graph remains acyclic.
+    Added,
+    /// Inserting `from -> to` would close a cycle: a `to -> .. -> from`
+    /// path already exists and is returned as its edge list. The graph
+    /// is left unchanged (it stays acyclic), so detection is repeatable.
+    Cycle(Vec<(ClassId, ClassId)>),
+}
+
+/// Where an ordering edge was first established.
+struct EdgeInfo {
+    /// Formatted acquisition backtrace captured at first occurrence.
+    stack: String,
+}
+
+/// Directed acquisition-order graph over lock-class ids.
+#[derive(Default)]
+pub struct Graph {
+    edges: HashMap<(ClassId, ClassId), EdgeInfo>,
+    adj: HashMap<ClassId, Vec<ClassId>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that a lock of class `to` was acquired while a lock of
+    /// class `from` was held. `stack` is invoked only when the edge is
+    /// new (backtrace capture is expensive).
+    pub fn add_edge(
+        &mut self,
+        from: ClassId,
+        to: ClassId,
+        stack: impl FnOnce() -> String,
+    ) -> AddEdge {
+        if self.edges.contains_key(&(from, to)) {
+            return AddEdge::Known;
+        }
+        if let Some(path) = self.path(to, from) {
+            return AddEdge::Cycle(path);
+        }
+        self.edges.insert((from, to), EdgeInfo { stack: stack() });
+        self.adj.entry(from).or_default().push(to);
+        AddEdge::Added
+    }
+
+    /// The stored first-acquisition stack for an existing edge.
+    pub fn edge_stack(&self, from: ClassId, to: ClassId) -> Option<&str> {
+        self.edges.get(&(from, to)).map(|e| e.stack.as_str())
+    }
+
+    /// Number of distinct ordering edges recorded.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterative DFS: a path `start -> .. -> goal` as an edge list.
+    fn path(&self, start: ClassId, goal: ClassId) -> Option<Vec<(ClassId, ClassId)>> {
+        if start == goal {
+            return Some(Vec::new());
+        }
+        let mut parent: HashMap<ClassId, ClassId> = HashMap::new();
+        let mut seen: HashSet<ClassId> = HashSet::new();
+        seen.insert(start);
+        let mut stack = vec![start];
+        while let Some(node) = stack.pop() {
+            for &next in self.adj.get(&node).into_iter().flatten() {
+                if !seen.insert(next) {
+                    continue;
+                }
+                parent.insert(next, node);
+                if next == goal {
+                    let mut edges = Vec::new();
+                    let mut cur = goal;
+                    while cur != start {
+                        let p = *parent.get(&cur).expect("parent recorded during DFS");
+                        edges.push((p, cur));
+                        cur = p;
+                    }
+                    edges.reverse();
+                    return Some(edges);
+                }
+                stack.push(next);
+            }
+        }
+        None
+    }
+}
+
+/// Class registry + graph behind one global mutex (cold path only).
+struct Runtime {
+    ids: HashMap<usize, ClassId>,
+    names: Vec<&'static LockClass>,
+    graph: Graph,
+}
+
+fn runtime() -> &'static parking_lot::Mutex<Runtime> {
+    static RT: OnceLock<parking_lot::Mutex<Runtime>> = OnceLock::new();
+    RT.get_or_init(|| {
+        parking_lot::Mutex::new(Runtime {
+            ids: HashMap::new(),
+            names: Vec::new(),
+            graph: Graph::new(),
+        })
+    })
+}
+
+thread_local! {
+    /// Lock classes currently held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<ClassId>> = const { RefCell::new(Vec::new()) };
+    /// Orderings this thread has already pushed to the global graph.
+    static KNOWN_EDGES: RefCell<HashSet<(ClassId, ClassId)>> =
+        RefCell::new(HashSet::new());
+}
+
+/// Assigns (or looks up) the id for a class, keyed by static address.
+pub(crate) fn register(class: &'static LockClass) -> ClassId {
+    let key = std::ptr::from_ref(class) as usize;
+    let mut rt = runtime().lock();
+    if let Some(&id) = rt.ids.get(&key) {
+        return id;
+    }
+    let id = ClassId::try_from(rt.names.len()).expect("fewer than 65536 lock classes");
+    rt.ids.insert(key, id);
+    rt.names.push(class);
+    id
+}
+
+fn class_name(rt: &Runtime, id: ClassId) -> &'static str {
+    rt.names
+        .get(id as usize)
+        .map_or("<unregistered>", |c| c.name)
+}
+
+/// Called before blocking on a lock of class `id`: panics on same-class
+/// nesting or on an acquisition that would close an ordering cycle.
+pub(crate) fn pre_acquire(id: ClassId) {
+    let held = HELD.with(|h| h.borrow().clone());
+    if held.contains(&id) {
+        let rt = runtime().lock();
+        let name = class_name(&rt, id);
+        drop(rt);
+        panic!(
+            "lockdep: same-class nesting — acquiring lock class `{name}` while a lock of \
+             that class is already held by this thread\ncurrent acquisition stack:\n{}",
+            Backtrace::force_capture()
+        );
+    }
+    for &from in &held {
+        note_edge(from, id);
+    }
+}
+
+/// Called after the lock of class `id` is actually acquired.
+pub(crate) fn post_acquire(id: ClassId) {
+    HELD.with(|h| h.borrow_mut().push(id));
+}
+
+/// Called when a guard of class `id` is dropped (or released for a
+/// condvar wait). Never panics: it runs from `Drop` during unwinds.
+pub(crate) fn on_release(id: ClassId) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&x| x == id) {
+            held.remove(pos);
+        }
+    });
+}
+
+fn note_edge(from: ClassId, to: ClassId) {
+    let cached = KNOWN_EDGES.with(|c| c.borrow().contains(&(from, to)));
+    if cached {
+        return;
+    }
+    let mut rt = runtime().lock();
+    match rt
+        .graph
+        .add_edge(from, to, || Backtrace::force_capture().to_string())
+    {
+        AddEdge::Known | AddEdge::Added => {
+            drop(rt);
+            KNOWN_EDGES.with(|c| {
+                c.borrow_mut().insert((from, to));
+            });
+        }
+        AddEdge::Cycle(path) => {
+            let mut report = String::new();
+            let _ = writeln!(
+                report,
+                "lockdep: lock-order cycle — acquiring `{}` while holding `{}` inverts the \
+                 established order",
+                class_name(&rt, to),
+                class_name(&rt, from),
+            );
+            let _ = writeln!(
+                report,
+                "new edge `{}` -> `{}` acquired at:\n{}",
+                class_name(&rt, from),
+                class_name(&rt, to),
+                Backtrace::force_capture()
+            );
+            let _ = writeln!(report, "conflicting established path:");
+            for &(a, b) in &path {
+                let stack = rt.graph.edge_stack(a, b).unwrap_or("<stack unavailable>");
+                let _ = writeln!(
+                    report,
+                    "  edge `{}` -> `{}` first acquired at:\n{stack}",
+                    class_name(&rt, a),
+                    class_name(&rt, b),
+                );
+            }
+            drop(rt);
+            panic!("{report}");
+        }
+    }
+}
+
+/// Asserts that the calling thread holds no instrumented lock.
+///
+/// Call this immediately before a blocking operation (connect, accept,
+/// sleep, join, blocking send). Compiles to a no-op in passthrough
+/// builds via the `passthrough` module's stub.
+pub fn check_blocking(label: &str) {
+    let held = HELD.with(|h| h.borrow().clone());
+    if held.is_empty() {
+        return;
+    }
+    let rt = runtime().lock();
+    let names: Vec<&str> = held.iter().map(|&id| class_name(&rt, id)).collect();
+    drop(rt);
+    panic!(
+        "lockdep: blocking call `{label}` with instrumented lock(s) held: {names:?}\n\
+         call stack:\n{}",
+        Backtrace::force_capture()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_transitions() {
+        let mut g = Graph::new();
+        assert_eq!(g.add_edge(0, 1, String::new), AddEdge::Added);
+        assert_eq!(g.add_edge(0, 1, String::new), AddEdge::Known);
+        assert_eq!(g.add_edge(1, 2, String::new), AddEdge::Added);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn direct_cycle_detected_and_graph_unchanged() {
+        let mut g = Graph::new();
+        assert_eq!(g.add_edge(0, 1, String::new), AddEdge::Added);
+        match g.add_edge(1, 0, String::new) {
+            AddEdge::Cycle(path) => assert_eq!(path, vec![(0, 1)]),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+        assert_eq!(g.edge_count(), 1, "rejected edge must not be inserted");
+        // Detection is repeatable because the graph stayed acyclic.
+        assert!(matches!(g.add_edge(1, 0, String::new), AddEdge::Cycle(_)));
+    }
+
+    #[test]
+    fn transitive_cycle_reports_full_path() {
+        let mut g = Graph::new();
+        g.add_edge(0, 1, String::new);
+        g.add_edge(1, 2, String::new);
+        g.add_edge(2, 3, String::new);
+        match g.add_edge(3, 0, String::new) {
+            AddEdge::Cycle(path) => assert_eq!(path, vec![(0, 1), (1, 2), (2, 3)]),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stack_closure_runs_only_for_new_edges() {
+        let mut g = Graph::new();
+        let mut calls = 0;
+        g.add_edge(0, 1, || {
+            calls += 1;
+            String::new()
+        });
+        g.add_edge(0, 1, || {
+            calls += 1;
+            String::new()
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn diamond_is_acyclic() {
+        let mut g = Graph::new();
+        assert_eq!(g.add_edge(0, 1, String::new), AddEdge::Added);
+        assert_eq!(g.add_edge(0, 2, String::new), AddEdge::Added);
+        assert_eq!(g.add_edge(1, 3, String::new), AddEdge::Added);
+        assert_eq!(g.add_edge(2, 3, String::new), AddEdge::Added);
+        assert!(matches!(g.add_edge(3, 0, String::new), AddEdge::Cycle(_)));
+    }
+}

@@ -1,0 +1,92 @@
+//! Mini-lockdep: instrumented lock wrappers for the ioverlay workspace.
+//!
+//! Every `Mutex`/`RwLock`/`Condvar` in the `engine`, `observer`, `queue`,
+//! and `telemetry` crates is constructed through this crate (their
+//! `src/sync.rs` shims re-export these types; `cargo xtask lint` rules
+//! R4/R7 enforce it). Each constructor names a static [`LockClass`] from
+//! [`classes`].
+//!
+//! When checking is active — any build with `debug_assertions`, or any
+//! build with the `check` feature — acquisitions record a process-global
+//! lock-acquisition-order graph keyed by class id:
+//!
+//! * Acquiring class `B` while holding class `A` inserts the edge
+//!   `A -> B`. If the reverse path already exists the acquisition is a
+//!   potential deadlock; the wrapper panics at first occurrence and
+//!   prints the acquisition stack stored for every edge on the cycle
+//!   plus the current stack.
+//! * Acquiring a lock of a class already held by the same thread panics
+//!   (same-class nesting is banned workspace-wide; two mutexes of one
+//!   class taken together can deadlock against a peer thread doing the
+//!   same in the opposite order, and the class graph cannot see it).
+//! * [`check_blocking`] panics when called with any instrumented lock
+//!   held. Blocking call sites (connect, one-shot sends, loop sleeps)
+//!   call it so "never block while holding a lock" is enforced, not
+//!   just documented.
+//!
+//! In release builds without `check`, every wrapper is an `#[inline]`
+//! passthrough over the workspace `parking_lot` compat types: no class
+//! registry, no thread-locals, no graph — zero cost.
+//!
+//! The graph itself ([`graph::Graph`]) is a pure data structure so the
+//! loom models in `tests/loom_graph.rs` can exhaustively check its
+//! behaviour under concurrent edge insertion.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A statically-declared lock class.
+///
+/// Classes are identified by the *address* of the static, so every
+/// class must be a `static` (never `const`, which would lose pointer
+/// identity). The canonical table lives in [`classes`]; tests may
+/// declare their own locals.
+#[derive(Debug)]
+pub struct LockClass {
+    /// Stable dotted name, e.g. `"engine.shard_signal"`. Used in
+    /// diagnostics and in DESIGN.md §12.
+    pub name: &'static str,
+    /// Struct field names guarded by this class. Consumed by
+    /// `cargo xtask lint` rule R6 to decide which `.lock()` receivers
+    /// are legal inside reactor shard event-loop code.
+    pub fields: &'static [&'static str],
+    /// Whether this lock may be taken on a reactor shard event-loop
+    /// thread (short, bounded critical sections only).
+    pub shard_safe: bool,
+    /// One-line usage/ordering note.
+    pub doc: &'static str,
+}
+
+impl fmt::Display for LockClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+pub mod classes;
+
+#[cfg(any(feature = "check", debug_assertions))]
+pub mod graph;
+
+#[cfg(any(feature = "check", debug_assertions))]
+mod active;
+#[cfg(any(feature = "check", debug_assertions))]
+pub use active::{
+    check_blocking, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+#[cfg(not(any(feature = "check", debug_assertions)))]
+mod passthrough;
+#[cfg(not(any(feature = "check", debug_assertions)))]
+pub use passthrough::{
+    check_blocking, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+pub use parking_lot::WaitTimeoutResult;
+
+/// Whether lock-order checking is compiled in for this build.
+#[inline(always)]
+pub const fn checking_enabled() -> bool {
+    cfg!(any(feature = "check", debug_assertions))
+}

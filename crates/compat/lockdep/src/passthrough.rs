@@ -1,0 +1,103 @@
+//! Zero-cost release-mode passthrough: plain `parking_lot` compat
+//! primitives; class arguments are ignored and no state is kept. API
+//! mirrors the `active` module exactly.
+
+use std::fmt;
+
+use crate::LockClass;
+
+/// Guards are the raw compat guards — no wrapper, no drop hook.
+pub type MutexGuard<'a, T> = parking_lot::MutexGuard<'a, T>;
+/// Condvar needs no class bookkeeping without checking.
+pub type Condvar = parking_lot::Condvar;
+/// Shared read guard.
+pub type RwLockReadGuard<'a, T> = parking_lot::RwLockReadGuard<'a, T>;
+/// Exclusive write guard.
+pub type RwLockWriteGuard<'a, T> = parking_lot::RwLockWriteGuard<'a, T>;
+
+/// Uninstrumented mutex; `new` still takes the class so call sites are
+/// identical in both modes.
+pub struct Mutex<T: ?Sized> {
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex (class ignored in passthrough builds).
+    #[inline]
+    pub fn new(_class: &'static LockClass, value: T) -> Self {
+        Self {
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock()
+    }
+
+    /// Acquires the lock, reporting poison recovery (exactly once).
+    #[inline]
+    pub fn lock_checked(&self) -> (MutexGuard<'_, T>, bool) {
+        self.inner.lock_checked()
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    #[inline]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.inner.try_lock()
+    }
+
+    /// Returns a mutable reference to the underlying data.
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+/// Uninstrumented reader-writer lock; `new` still takes the class.
+pub struct RwLock<T: ?Sized> {
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a reader-writer lock (class ignored in passthrough).
+    #[inline]
+    pub fn new(_class: &'static LockClass, value: T) -> Self {
+        Self {
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read()
+    }
+
+    /// Acquires exclusive write access.
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write()
+    }
+}
+
+/// No-op in passthrough builds.
+#[inline(always)]
+pub fn check_blocking(_label: &str) {}

@@ -1,0 +1,169 @@
+//! Behavioural tests for the instrumented wrappers. Each test uses its
+//! own static lock classes: classes are identified by static address,
+//! so tests sharing a process cannot pollute each other's orderings
+//! (and a detected cycle never mutates the graph anyway).
+#![cfg(any(feature = "check", debug_assertions))]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lockdep::{check_blocking, Condvar, LockClass, Mutex};
+
+macro_rules! class {
+    ($name:ident, $label:expr) => {
+        static $name: LockClass = LockClass {
+            name: $label,
+            fields: &[],
+            shard_safe: false,
+            doc: "test-local class",
+        };
+    };
+}
+
+#[test]
+fn consistent_order_is_clean() {
+    class!(OUTER, "test.consistent.outer");
+    class!(INNER, "test.consistent.inner");
+    let outer = Mutex::new(&OUTER, 0u32);
+    let inner = Mutex::new(&INNER, 0u32);
+    for _ in 0..3 {
+        let mut o = outer.lock();
+        let mut i = inner.lock();
+        *o += 1;
+        *i += 1;
+    }
+    // Taking the inner lock alone is also fine.
+    assert_eq!(*inner.lock(), 3);
+}
+
+#[test]
+#[should_panic(expected = "lock-order cycle")]
+fn inversion_panics_with_both_stacks() {
+    class!(A, "test.inversion.a");
+    class!(B, "test.inversion.b");
+    let a = Mutex::new(&A, ());
+    let b = Mutex::new(&B, ());
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    // Opposite order: closes the cycle, must panic before deadlocking.
+    let _gb = b.lock();
+    let _ga = a.lock();
+}
+
+#[test]
+#[should_panic(expected = "same-class nesting")]
+fn same_class_nesting_panics() {
+    class!(C, "test.nesting.c");
+    let first = Mutex::new(&C, ());
+    let second = Mutex::new(&C, ());
+    let _g1 = first.lock();
+    let _g2 = second.lock();
+}
+
+#[test]
+#[should_panic(expected = "blocking call")]
+fn blocking_with_lock_held_panics() {
+    class!(D, "test.blocking.d");
+    let m = Mutex::new(&D, ());
+    let _g = m.lock();
+    check_blocking("test blocking op");
+}
+
+#[test]
+fn blocking_without_locks_is_clean() {
+    class!(E, "test.blocking_clean.e");
+    let m = Mutex::new(&E, ());
+    drop(m.lock());
+    check_blocking("test blocking op");
+}
+
+#[test]
+fn condvar_wait_releases_and_reacquires_class() {
+    class!(F, "test.condvar.f");
+    let pair = Arc::new((Mutex::new(&F, false), Condvar::new()));
+    let p2 = pair.clone();
+    let t = std::thread::spawn(move || {
+        let (lock, cv) = &*p2;
+        let mut started = lock.lock();
+        while !*started {
+            cv.wait(&mut started);
+        }
+        // The guard is live again after the wait; dropping it must
+        // leave the thread's held-set empty.
+        drop(started);
+        check_blocking("after condvar wait");
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    let (lock, cv) = &*pair;
+    *lock.lock() = true;
+    cv.notify_one();
+    t.join().expect("waiter exits cleanly");
+}
+
+#[test]
+fn wait_for_times_out_and_restores_class() {
+    class!(G, "test.condvar_timeout.g");
+    let m = Mutex::new(&G, ());
+    let cv = Condvar::new();
+    let mut g = m.lock();
+    let res = cv.wait_for(&mut g, Duration::from_millis(10));
+    assert!(res.timed_out());
+    drop(g);
+    check_blocking("after timed wait");
+}
+
+#[test]
+fn poison_recovery_is_reported_once() {
+    class!(H, "test.poison.h");
+    let m = Arc::new(Mutex::new(&H, 7u32));
+    let m2 = m.clone();
+    let t = std::thread::spawn(move || {
+        let _g = m2.lock();
+        panic!("poison the mutex");
+    });
+    assert!(t.join().is_err());
+    let (g, recovered) = m.lock_checked();
+    assert!(recovered, "first lock after the panic sees the poison");
+    assert_eq!(*g, 7);
+    drop(g);
+    let (_g, recovered) = m.lock_checked();
+    assert!(!recovered, "poison is cleared after recovery");
+}
+
+#[test]
+fn try_lock_contended_returns_none_and_holds_no_class() {
+    class!(I, "test.trylock.i");
+    let m = Arc::new(Mutex::new(&I, ()));
+    let g = m.lock();
+    let m2 = m.clone();
+    std::thread::spawn(move || {
+        assert!(m2.try_lock().is_none());
+        // The failed try_lock must not leave the class marked held.
+        check_blocking("after failed try_lock");
+    })
+    .join()
+    .expect("try_lock thread exits cleanly");
+    drop(g);
+    assert!(m.try_lock().is_some());
+}
+
+#[test]
+fn contended_lock_blocks_then_acquires() {
+    class!(J, "test.contended.j");
+    let m = Arc::new(Mutex::new(&J, 0u32));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let m = m.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..1000 {
+                *m.lock() += 1;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("incrementer exits cleanly");
+    }
+    assert_eq!(*m.lock(), 4000);
+}

@@ -3,8 +3,8 @@
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, VecDeque};
 use std::io::{BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
@@ -19,7 +19,7 @@ use ioverlay_queue::{CircularQueue, WeightedRoundRobin};
 use ioverlay_ratelimit::{
     BucketChain, Clock, Rate, SharedBucket, SystemClock, ThroughputMeter, TokenBucket,
 };
-use parking_lot::Mutex;
+use crate::sync::{check_blocking, classes, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -326,7 +326,9 @@ impl EngineState {
         match connect_to_peer(self.id, dest) {
             Ok(stream) => {
                 let queue = CircularQueue::with_capacity(self.config.buffer_msgs);
-                let meter = Arc::new(Mutex::new(ThroughputMeter::new(
+                let meter = Arc::new(Mutex::new(
+                    &classes::ENGINE_METER,
+                    ThroughputMeter::new(
                     self.config.measure_window,
                 )));
                 let link_bucket = make_bucket(None, self.now());
@@ -949,6 +951,7 @@ impl EngineState {
             return;
         };
         let boot = Msg::control(MsgType::Boot, self.id, 0);
+        check_blocking("observer bootstrap dial");
         let reply = (|| -> std::io::Result<Option<Msg>> {
             let stream = TcpStream::connect_timeout(
                 &observer.to_socket_addr(),
@@ -1166,7 +1169,10 @@ fn handle_accepted(
     if first.ty() == MsgType::Hello {
         let peer = first.origin();
         let queue = CircularQueue::with_capacity(buffer_msgs);
-        let meter = Arc::new(Mutex::new(ThroughputMeter::new(measure_window)));
+        let meter = Arc::new(Mutex::new(
+            &classes::ENGINE_METER,
+            ThroughputMeter::new(measure_window),
+        ));
         let mut chain = BucketChain::new();
         chain.push(down_bucket);
         chain.push(total_bucket);
@@ -1296,6 +1302,14 @@ mod tests {
     use super::*;
     use crossbeam_channel::unbounded;
 
+    /// Test-local lock class for the recorder's seen-message list.
+    static TEST_RECORDER: lockdep::LockClass = lockdep::LockClass {
+        name: "engine.test_recorder",
+        fields: &["seen"],
+        shard_safe: false,
+        doc: "test-only",
+    };
+
     /// Records every message it is handed.
     struct Recorder {
         seen: std::sync::Arc<Mutex<Vec<Msg>>>,
@@ -1323,7 +1337,7 @@ mod tests {
 
     fn state() -> (EngineState, std::sync::Arc<Mutex<Vec<Msg>>>) {
         let (tx, _rx) = unbounded();
-        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let seen = std::sync::Arc::new(Mutex::new(&TEST_RECORDER, Vec::new()));
         let alg = Recorder { seen: seen.clone() };
         let state = EngineState::new(
             NodeId::loopback(9_999),

@@ -2,8 +2,8 @@
 
 use std::io;
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -114,6 +114,7 @@ impl EngineNode {
     }
 
     fn shutdown_inner(&mut self) {
+        crate::sync::check_blocking("engine shutdown (self-connect wake + thread join)");
         self.running.store(false, Ordering::Release);
         let _ = self.events_tx.send(ControlEvent::Shutdown);
         // The listener blocks in accept (no poll interval); a

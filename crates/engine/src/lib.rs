@@ -60,6 +60,7 @@ mod engine;
 mod handle;
 mod peer;
 mod shard;
+mod sync;
 
 pub use config::{EngineConfig, IoBackend};
 pub use handle::EngineNode;

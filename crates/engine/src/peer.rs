@@ -2,7 +2,7 @@
 
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{Shutdown, TcpStream};
-use std::sync::Arc;
+use crate::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -13,7 +13,7 @@ use ioverlay_message::{write_msg, Decoder};
 use ioverlay_queue::{CircularQueue, PopTimeout};
 use ioverlay_ratelimit::{BucketChain, Clock, SystemClock, ThroughputMeter};
 use ioverlay_telemetry::{NodeTelemetry, SpanStage};
-use parking_lot::Mutex;
+use crate::sync::{check_blocking, Mutex};
 
 /// Collects the `(trace_id, hop span id)` pairs of the sampled messages
 /// in a sender batch (empty almost always; tracing is opt-in sampled).
@@ -435,6 +435,7 @@ pub(crate) fn run_sender(
 /// Dials a peer and performs the `hello` handshake that registers this
 /// node as an upstream of `peer`.
 pub(crate) fn connect_to_peer(local: NodeId, peer: NodeId) -> io::Result<TcpStream> {
+    check_blocking("peer dial");
     let stream = TcpStream::connect_timeout(&peer.to_socket_addr(), Duration::from_secs(2))?;
     stream.set_nodelay(true)?;
     let hello = Msg::control(MsgType::Hello, local, 0);
@@ -447,6 +448,7 @@ pub(crate) fn connect_to_peer(local: NodeId, peer: NodeId) -> io::Result<TcpStre
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::classes;
     use crossbeam_channel::unbounded;
     use ioverlay_message::read_msg;
     use std::io::BufReader;
@@ -485,7 +487,9 @@ mod tests {
         });
         let (conn, _) = listener.accept().unwrap();
         let queue = CircularQueue::with_capacity(4);
-        let meter = Arc::new(Mutex::new(ThroughputMeter::new(1_000_000_000)));
+        let meter = Arc::new(Mutex::new(
+            &classes::ENGINE_METER,
+            ThroughputMeter::new(1_000_000_000)));
         let (tx, rx) = unbounded();
         let peer = NodeId::loopback(1);
         let tel = Arc::new(NodeTelemetry::new(true, 16));
@@ -519,7 +523,9 @@ mod tests {
         let out = TcpStream::connect(addr).unwrap();
         let (conn, _) = listener.accept().unwrap();
         let queue = CircularQueue::with_capacity(4);
-        let meter = Arc::new(Mutex::new(ThroughputMeter::new(1_000_000_000)));
+        let meter = Arc::new(Mutex::new(
+            &classes::ENGINE_METER,
+            ThroughputMeter::new(1_000_000_000)));
         let (tx, _rx) = unbounded();
         let q2 = queue.clone();
         let m2 = meter.clone();
@@ -563,7 +569,9 @@ mod tests {
         let out = TcpStream::connect(addr).unwrap();
         let (conn, _) = listener.accept().unwrap();
         let queue = CircularQueue::with_capacity(64);
-        let meter = Arc::new(Mutex::new(ThroughputMeter::new(1_000_000_000)));
+        let meter = Arc::new(Mutex::new(
+            &classes::ENGINE_METER,
+            ThroughputMeter::new(1_000_000_000)));
         let (tx, _rx) = unbounded();
         let q2 = queue.clone();
         let sender = thread::spawn(move || {

@@ -41,7 +41,7 @@
 use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::TcpStream;
-use std::sync::Arc;
+use crate::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -52,10 +52,10 @@ use ioverlay_message::Decoder;
 use ioverlay_queue::{CircularQueue, WeightedRoundRobin};
 use ioverlay_ratelimit::{BucketChain, Clock, SystemClock, ThroughputMeter};
 use ioverlay_telemetry::{NodeTelemetry, SpanStage};
-use parking_lot::Mutex;
 use reactor::{Events, Interest, Poll, Token, Waker};
 
 use crate::peer::{traced_in_batch, ControlEvent};
+use crate::sync::{check_blocking, classes, Mutex};
 
 /// Token of each shard's waker; link tokens start above it.
 const WAKER_TOKEN: Token = Token(0);
@@ -155,8 +155,8 @@ impl ShardPool {
             let waker = Waker::new(poll.registry(), WAKER_TOKEN)?;
             let signal = Arc::new(ShardSignal {
                 waker,
-                dirty_send: Mutex::new(Vec::new()),
-                resume_recv: Mutex::new(Vec::new()),
+                dirty_send: Mutex::new(&classes::ENGINE_SHARD_SIGNAL, Vec::new()),
+                resume_recv: Mutex::new(&classes::ENGINE_SHARD_SIGNAL, Vec::new()),
             });
             let (cmd_tx, cmd_rx) = crossbeam_channel::unbounded();
             let shard = Shard {
@@ -192,7 +192,7 @@ impl ShardPool {
                     let partial = ShardPool {
                         inner: Arc::new(PoolInner {
                             shards: handles,
-                            threads: Mutex::new(threads),
+                            threads: Mutex::new(&classes::ENGINE_SHARD_THREADS, threads),
                         }),
                     };
                     partial.shutdown();
@@ -203,7 +203,7 @@ impl ShardPool {
         Ok(ShardPool {
             inner: Arc::new(PoolInner {
                 shards: handles,
-                threads: Mutex::new(threads),
+                threads: Mutex::new(&classes::ENGINE_SHARD_THREADS, threads),
             }),
         })
     }
@@ -284,8 +284,13 @@ impl ShardPool {
                 shard.signal.waker.wake();
             }
         }
-        let mut threads = self.inner.threads.lock();
-        for t in threads.drain(..) {
+        // Drain the handles out under the lock, then join unlocked: a
+        // join can block for as long as a shard takes to observe the
+        // shutdown command, and no instrumented lock may be held across
+        // a blocking call (lockdep enforces this in debug builds).
+        let joinable: Vec<JoinHandle<()>> = self.inner.threads.lock().drain(..).collect();
+        check_blocking("shard thread join");
+        for t in joinable {
             let _ = t.join();
         }
     }

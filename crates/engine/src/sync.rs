@@ -1,0 +1,16 @@
+//! Sync-primitive shim: the single place this crate is allowed to name
+//! a sync implementation.
+//!
+//! Every lock routes through the workspace `lockdep` wrappers
+//! (instrumented lock-order checking in debug builds, zero-cost
+//! passthrough over the `parking_lot` compat in release — see
+//! `crates/compat/lockdep`). Constructors name a static lock class from
+//! [`classes`]; `cargo xtask lint` rule R7 enforces it, and rule R4
+//! rejects direct `std::sync`/`parking_lot` imports elsewhere in this
+//! crate. [`check_blocking`] marks the blocking call sites (dial,
+//! accept-loop sleeps, joins) so "never block holding a lock" is
+//! enforced at runtime in debug builds, not just documented.
+
+pub(crate) use lockdep::{check_blocking, classes, Mutex};
+pub(crate) use std::sync::atomic;
+pub(crate) use std::sync::Arc;

@@ -1,0 +1,59 @@
+//! Revert demonstrator for the mini-lockdep runtime: re-introduces the
+//! lock-order hazard the shard teardown path is written to avoid, and
+//! proves lockdep rejects it at first occurrence.
+//!
+//! The guarded discipline (DESIGN.md §12): `ShardPool::shutdown` drains
+//! the join handles out from under the `engine.shard_threads` lock and
+//! joins them *unlocked*, while shard signal mailboxes
+//! (`engine.shard_signal`) are only ever touched as statement
+//! temporaries. If teardown instead held the thread-list lock while
+//! poking a shard mailbox, and a shard (or its wake-hook caller)
+//! touched the thread list while holding its mailbox lock, the two
+//! orders would invert — a real deadlock once both sides run
+//! concurrently. This test performs exactly that inversion with
+//! test-local classes standing in for the two real ones, entirely
+//! single-threaded and deterministic: lockdep must panic (printing both
+//! acquisition stacks) *before* any thread can actually deadlock.
+//!
+//! Only meaningful when checking is compiled in; release builds compile
+//! the wrappers to passthrough and skip this test.
+#![cfg(debug_assertions)]
+
+use lockdep::{LockClass, Mutex};
+
+/// Stand-in for `engine.shard_threads` (the teardown side).
+static TEARDOWN_THREADS: LockClass = LockClass {
+    name: "engine_test.teardown_threads",
+    fields: &["threads"],
+    shard_safe: false,
+    doc: "inversion-demo stand-in for engine.shard_threads",
+};
+
+/// Stand-in for `engine.shard_signal` (the mailbox side).
+static SHARD_MAILBOX: LockClass = LockClass {
+    name: "engine_test.shard_mailbox",
+    fields: &["dirty_send", "resume_recv"],
+    shard_safe: true,
+    doc: "inversion-demo stand-in for engine.shard_signal",
+};
+
+#[test]
+#[should_panic(expected = "lock-order cycle")]
+fn shard_mailbox_teardown_inversion_is_rejected() {
+    let threads: Mutex<Vec<u32>> = Mutex::new(&TEARDOWN_THREADS, Vec::new());
+    let mailbox: Mutex<Vec<u32>> = Mutex::new(&SHARD_MAILBOX, Vec::new());
+
+    // Shard side establishes mailbox -> threads (e.g. a wake hook that
+    // inspected the pool under its own mailbox lock).
+    {
+        let _mb = mailbox.lock();
+        let _th = threads.lock();
+    }
+
+    // Teardown side then takes threads -> mailbox: holding the thread
+    // list while nudging a shard mailbox. This closes the cycle; with
+    // real threads on both sides it deadlocks, so lockdep must panic
+    // here, before the acquisition blocks.
+    let _th = threads.lock();
+    let _mb = mailbox.lock();
+}

@@ -37,6 +37,7 @@ mod core;
 pub mod dot;
 pub mod proxy;
 mod server;
+mod sync;
 mod trace;
 
 pub use crate::core::{NodeRecord, ObserverConfig, ObserverCore};

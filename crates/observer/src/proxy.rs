@@ -15,8 +15,8 @@
 
 use std::io::{self, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 

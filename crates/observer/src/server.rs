@@ -2,8 +2,8 @@
 
 use std::io::{self, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -11,7 +11,7 @@ use ioverlay_api::telemetry::scrape;
 use ioverlay_api::{Msg, MsgType, Nanos, NodeId, StatusReport};
 use ioverlay_message::{read_msg, write_msg};
 use ioverlay_ratelimit::{Clock, SystemClock};
-use parking_lot::Mutex;
+use crate::sync::{check_blocking, classes, Mutex};
 
 use crate::core::{ObserverConfig, ObserverCore};
 
@@ -57,7 +57,7 @@ impl ObserverServer {
         // Control traces share the span clock model: monotonic arrival
         // times plus this anchor place them on the unix timeline.
         inner.traces_mut().set_wall_anchor(clock.wall_anchor_nanos());
-        let core = Arc::new(Mutex::new(inner));
+        let core = Arc::new(Mutex::new(&classes::OBSERVER_CORE, inner));
         let running = Arc::new(AtomicBool::new(true));
         let accept_thread = {
             let core = core.clone();
@@ -163,6 +163,7 @@ impl Drop for ObserverServer {
 
 /// Writes one message to `node` over a fresh connection.
 fn send_one_shot(node: NodeId, msg: &Msg) -> io::Result<()> {
+    check_blocking("observer one-shot send");
     let stream = TcpStream::connect_timeout(&node.to_socket_addr(), Duration::from_secs(2))?;
     let mut w = BufWriter::new(stream);
     write_msg(&mut w, msg)?;
@@ -185,6 +186,7 @@ fn accept_loop(
                     .spawn(move || serve_connection(stream, core, clock));
             }
             Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                check_blocking("observer accept-loop sleep");
                 thread::sleep(Duration::from_millis(10));
             }
             Err(_) => break,
@@ -304,6 +306,7 @@ fn poll_loop(core: Arc<Mutex<ObserverCore>>, clock: Arc<SystemClock>, running: A
     const POLL_INTERVAL: Nanos = 1_000_000_000;
     let mut next = POLL_INTERVAL;
     while running.load(Ordering::Acquire) {
+        check_blocking("observer poll-loop sleep");
         thread::sleep(Duration::from_millis(50));
         let now = clock.now();
         if now < next {

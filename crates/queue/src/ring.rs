@@ -7,7 +7,7 @@ use std::fmt;
 use std::time::Duration;
 
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use crate::sync::{Arc, Condvar, Mutex, MutexGuard};
+use crate::sync::{self, Arc, Condvar, Mutex, MutexGuard};
 
 /// A wakeup callback attached to a queue transition edge. See
 /// [`CircularQueue::set_data_hook`].
@@ -145,16 +145,19 @@ impl<T> CircularQueue<T> {
         assert!(capacity > 0, "circular queue capacity must be non-zero");
         Self {
             shared: Arc::new(Shared {
-                inner: Mutex::new(Inner {
-                    items: VecDeque::with_capacity(capacity),
-                    closed: false,
-                }),
+                inner: Mutex::new(
+                    &sync::classes::QUEUE_RING,
+                    Inner {
+                        items: VecDeque::with_capacity(capacity),
+                        closed: false,
+                    },
+                ),
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
                 capacity,
                 poison_recoveries: AtomicU64::new(0),
                 has_hooks: AtomicBool::new(false),
-                hooks: Mutex::new(Hooks::default()),
+                hooks: Mutex::new(&sync::classes::QUEUE_HOOKS, Hooks::default()),
             }),
         }
     }

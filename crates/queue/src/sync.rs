@@ -1,21 +1,61 @@
 //! Sync-primitive shim: the single place this crate is allowed to name
 //! a sync implementation.
 //!
-//! Normal builds use `std::sync::Arc` + the workspace `parking_lot`
-//! compat primitives. Under `--features loom` every primitive comes
-//! from the loom model checker instead, so the loom tests in
-//! `tests/loom.rs` can exhaustively explore interleavings and weak
-//! memory orderings. Production code imports from `crate::sync` only —
-//! `cargo xtask lint` rejects direct `std::sync` imports elsewhere in
-//! this crate so the shim cannot silently rot.
+//! Normal builds route every lock through the workspace `lockdep`
+//! wrappers (instrumented lock-order checking in debug builds, zero
+//! cost passthrough over the `parking_lot` compat in release — see
+//! `crates/compat/lockdep`). Every constructor names a static lock
+//! class from [`classes`]; `cargo xtask lint` rule R7 enforces it.
+//!
+//! Under `--features loom` every primitive comes from the loom model
+//! checker instead, so the loom tests in `tests/loom.rs` can
+//! exhaustively explore interleavings and weak memory orderings; the
+//! class argument is accepted and ignored so call sites are identical.
+//! Production code imports from `crate::sync` only — `cargo xtask lint`
+//! rule R4 rejects direct `std::sync`/`parking_lot` imports elsewhere
+//! in this crate so the shim cannot silently rot.
+
+pub(crate) use lockdep::classes;
 
 #[cfg(feature = "loom")]
 pub(crate) use loom::sync::atomic;
 #[cfg(feature = "loom")]
-pub(crate) use loom::sync::{Arc, Condvar, Mutex, MutexGuard};
+pub(crate) use loom::sync::{Arc, Condvar, MutexGuard};
+
+/// Loom-mode adapter: same class-taking constructor as the lockdep
+/// `Mutex`, backed by the loom model mutex (which has its own deadlock
+/// detection inside `loom::model`).
+#[cfg(feature = "loom")]
+pub(crate) struct Mutex<T> {
+    inner: loom::sync::Mutex<T>,
+}
+
+#[cfg(feature = "loom")]
+impl<T> Mutex<T> {
+    pub(crate) fn new(_class: &'static lockdep::LockClass, value: T) -> Self {
+        Self {
+            inner: loom::sync::Mutex::new(value),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock()
+    }
+
+    pub(crate) fn lock_checked(&self) -> (MutexGuard<'_, T>, bool) {
+        self.inner.lock_checked()
+    }
+}
+
+#[cfg(feature = "loom")]
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.inner, f)
+    }
+}
 
 #[cfg(not(feature = "loom"))]
-pub(crate) use parking_lot::{Condvar, Mutex, MutexGuard};
+pub(crate) use lockdep::{Condvar, Mutex, MutexGuard};
 #[cfg(not(feature = "loom"))]
 pub(crate) use std::sync::atomic;
 #[cfg(not(feature = "loom"))]

@@ -42,7 +42,7 @@
 use std::collections::VecDeque;
 
 use crate::sync::atomic::{AtomicU64, Ordering};
-use crate::sync::Mutex;
+use crate::sync::{self, Mutex};
 use ioverlay_message::NodeId;
 use serde::{Deserialize, Serialize};
 
@@ -122,7 +122,10 @@ impl EventRing {
         Self {
             capacity,
             dropped: AtomicU64::new(0),
-            records: Mutex::new(VecDeque::with_capacity(capacity)),
+            records: Mutex::new(
+                &sync::classes::TELEMETRY_EVENTS,
+                VecDeque::with_capacity(capacity),
+            ),
         }
     }
 

@@ -22,7 +22,7 @@
 use std::collections::VecDeque;
 
 use crate::sync::atomic::{AtomicU64, Ordering};
-use crate::sync::Mutex;
+use crate::sync::{self, Mutex};
 use ioverlay_message::NodeId;
 use serde::{Deserialize, Serialize};
 
@@ -121,7 +121,10 @@ impl SpanRing {
             capacity,
             dropped: AtomicU64::new(0),
             next_idx: AtomicU64::new(0),
-            records: Mutex::new(VecDeque::with_capacity(capacity)),
+            records: Mutex::new(
+                &sync::classes::TELEMETRY_SPANS,
+                VecDeque::with_capacity(capacity),
+            ),
         }
     }
 

@@ -1,19 +1,54 @@
 //! Sync-primitive shim: the single place this crate is allowed to name
 //! a sync implementation.
 //!
-//! Normal builds use the workspace `parking_lot` compat mutex and
-//! `std::sync` atomics. Under `--features loom` every primitive comes
-//! from the loom model checker, so `tests/loom.rs` can explore the
-//! event ring and counter protocols under weak memory. Production code
-//! imports from `crate::sync` only — `cargo xtask lint` rejects direct
-//! `std::sync` imports elsewhere in this crate.
+//! Normal builds route every lock through the workspace `lockdep`
+//! wrappers (instrumented lock-order checking in debug builds, zero
+//! cost passthrough over the `parking_lot` compat in release — see
+//! `crates/compat/lockdep`). Every constructor names a static lock
+//! class from [`classes`]; `cargo xtask lint` rule R7 enforces it.
+//!
+//! Under `--features loom` every primitive comes from the loom model
+//! checker, so `tests/loom.rs` can explore the event ring and counter
+//! protocols under weak memory; the class argument is accepted and
+//! ignored so call sites are identical. Production code imports from
+//! `crate::sync` only — `cargo xtask lint` rule R4 rejects direct
+//! `std::sync`/`parking_lot` imports elsewhere in this crate.
+
+pub(crate) use lockdep::classes;
 
 #[cfg(feature = "loom")]
 pub(crate) use loom::sync::atomic;
 #[cfg(feature = "loom")]
-pub(crate) use loom::sync::Mutex;
+pub(crate) use loom::sync::MutexGuard;
+
+/// Loom-mode adapter: same class-taking constructor as the lockdep
+/// `Mutex`, backed by the loom model mutex.
+#[cfg(feature = "loom")]
+pub(crate) struct Mutex<T> {
+    inner: loom::sync::Mutex<T>,
+}
+
+#[cfg(feature = "loom")]
+impl<T> Mutex<T> {
+    pub(crate) fn new(_class: &'static lockdep::LockClass, value: T) -> Self {
+        Self {
+            inner: loom::sync::Mutex::new(value),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock()
+    }
+}
+
+#[cfg(feature = "loom")]
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.inner, f)
+    }
+}
 
 #[cfg(not(feature = "loom"))]
-pub(crate) use parking_lot::Mutex;
+pub(crate) use lockdep::Mutex;
 #[cfg(not(feature = "loom"))]
 pub(crate) use std::sync::atomic;

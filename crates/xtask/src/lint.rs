@@ -10,19 +10,25 @@
 //!   unproven publication and must be Acquire/Release or stronger.
 //! * **R2 `panic-path`** — no `.unwrap()` / `.expect(` in the engine's
 //!   switch loop, socket threads, or shard workers
-//!   (`crates/engine/src/{engine,peer,shard}.rs`): a panic there
-//!   poisons queue mutexes and takes down the whole node (a shard panic
-//!   takes every link hashed onto that shard). Error paths must
-//!   degrade (drop the link, surface a telemetry event).
+//!   (`crates/engine/src/{engine,peer,shard}.rs`) or the observer's
+//!   trace-assembly store (`crates/observer/src/assembly.rs`): a panic
+//!   there poisons queue mutexes and takes down the whole node (a shard
+//!   panic takes every link hashed onto that shard). On top of the
+//!   whole-file set, the rule applies *scope-aware* to the observer's
+//!   request-handler functions in `server.rs` (see [`PANIC_FREE_FNS`]) —
+//!   a panic in a handler kills the scrape plane while the spawn-time
+//!   control surface in the same file may still fail loudly. Error
+//!   paths must degrade (drop the link, surface a telemetry event).
 //! * **R3 `wall-clock`** — simnet-reachable crates must not call
 //!   `std::thread::sleep` or `Instant::now`: simulated time comes from the
 //!   ratelimit clock abstraction (`crates/ratelimit/src/clock.rs`).
 //!   Individually justified real-time uses carry a
 //!   `// xtask-lint: allow(wall-clock) — reason` waiver comment.
-//! * **R4 `std-sync`** — crates with a loom `sync` shim (`queue`,
-//!   `telemetry`) must route every sync primitive through their
-//!   `src/sync.rs` module; a direct `std::sync` path elsewhere would
-//!   silently escape the model checker.
+//! * **R4 `std-sync`** — crates with a `src/sync.rs` shim (`queue`,
+//!   `telemetry`, `engine`, `observer`) must route every sync primitive
+//!   through that module; a direct `std::sync` or `parking_lot` path
+//!   elsewhere would silently escape both the loom model checker and
+//!   the lockdep lock-order instrumentation.
 //! * **R5 `scoped-unsafe`** — the workspace denies `unsafe_code`; the
 //!   single sanctioned exception is `crates/gf256/src/simd.rs` (the
 //!   SIMD kernel backends), which must carry the
@@ -30,11 +36,28 @@
 //!   `#![allow(unsafe_code)]`. Any `unsafe` token or `allow(unsafe_code)`
 //!   escape hatch anywhere else is rejected — widening the waiver set
 //!   requires editing the rule table here, which is the review point.
+//! * **R6 `no-blocking-in-shard`** — scope-aware: inside the `impl
+//!   Shard` blocks of `crates/engine/src/shard.rs` (code that runs on a
+//!   reactor event-loop thread multiplexing many links), no call that
+//!   can park the thread — sleeps, connects, accepts, joins, blocking
+//!   channel receives — and no `.lock()` of a mutex whose lock class is
+//!   not marked `shard_safe` in the lockdep class registry. A shard that
+//!   blocks stalls every link hashed onto it; the runtime counterpart is
+//!   `lockdep::check_blocking`.
+//! * **R7 `lock-class-declared`** — in sync-shimmed crates, every
+//!   `Mutex::new(` / `RwLock::new(` outside `src/sync.rs` must name a
+//!   lock class declared in `crates/compat/lockdep/src/classes.rs`
+//!   (`&classes::NAME`) as its first argument. The registry (compiled
+//!   into xtask, so the two can never skew) is the single review point
+//!   for adding a lock, and gives lockdep its stable class identities.
 //!
 //! All rules skip `#[cfg(test)]` items, `tests/` and `benches/`
 //! directories: test code may sleep, unwrap, and race however it likes.
+//! R6/R7 lean on the structural scope pass in [`crate::scan`]; the rest
+//! are lexical.
 
-use crate::scan::{mask_source, test_line_flags};
+use crate::scan::{mask_source, scope_tree, test_line_flags, Scope, ScopeKind, ScopeTree};
+use std::collections::BTreeSet;
 
 /// One lint finding, pointing at a file:line.
 #[derive(Debug, PartialEq, Eq)]
@@ -73,17 +96,64 @@ const SIMNET_REACHABLE: &[&str] = &[
 /// The one sanctioned wall-clock site: the clock abstraction itself.
 const CLOCK_ABSTRACTION: &str = "crates/ratelimit/src/clock.rs";
 
-/// Crates with a loom `sync` shim module (rule R4).
-const LOOM_SHIMMED: &[&str] = &["crates/queue/", "crates/telemetry/"];
+/// Crates with a `src/sync.rs` shim module (rules R4/R7): queue and
+/// telemetry gate loom behind theirs; all four route locks through the
+/// lockdep wrappers.
+const SYNC_SHIMMED: &[&str] = &[
+    "crates/queue/",
+    "crates/telemetry/",
+    "crates/engine/",
+    "crates/observer/",
+];
 
-/// Engine files where panics take the whole node down (rule R2): the
-/// switch loop, the blocking dialer/receiver/sender threads, and the
-/// reactor shard workers (a panicking shard strands every link hashed
-/// onto it, not just one).
+/// Files where panics take the whole node down (rule R2): the switch
+/// loop, the blocking dialer/receiver/sender threads, the reactor shard
+/// workers (a panicking shard strands every link hashed onto it, not
+/// just one), and the observer's trace-assembly store (fed by every
+/// node's spans; a panic there kills the collection plane).
 const PANIC_FREE_FILES: &[&str] = &[
     "crates/engine/src/engine.rs",
     "crates/engine/src/peer.rs",
     "crates/engine/src/shard.rs",
+    "crates/observer/src/assembly.rs",
+];
+
+/// Rule R2, scope-aware: files where only the listed *functions* must
+/// be panic-free. `server.rs` mixes the request/scrape path (these
+/// functions, running on accept/poll threads where a panic silently
+/// kills the scrape plane) with spawn-time control-surface methods that
+/// are allowed to fail loudly in the caller's thread.
+const PANIC_FREE_FNS: &[(&str, &[&str])] = &[(
+    "crates/observer/src/server.rs",
+    &[
+        "send_one_shot",
+        "accept_loop",
+        "serve_connection",
+        "serve_observer_scrape",
+        "render_observer_prometheus",
+        "poll_loop",
+    ],
+)];
+
+/// Rule R6: `(file, impl target)` pairs whose methods run on reactor
+/// shard event-loop threads. The target is matched whole-word against
+/// structural impl headers, so `impl Shard` and `impl Drop for Shard`
+/// are covered while `impl ShardPool` (caller-side control surface,
+/// where joining on shutdown is correct) is not.
+const SHARD_LOOP_SCOPES: &[(&str, &str)] = &[("crates/engine/src/shard.rs", "Shard")];
+
+/// Rule R6: call fragments that can park the calling thread.
+const SHARD_BLOCKING_PATTERNS: &[&str] = &[
+    "thread::sleep",
+    ".accept(",
+    "::connect(",
+    "::connect_timeout(",
+    ".connect(",
+    ".connect_timeout(",
+    ".join()",
+    ".recv()",
+    ".recv_timeout(",
+    ".wait(",
 ];
 
 /// The waiver marker recognized by R3. Must appear in a comment on the
@@ -97,6 +167,75 @@ const UNSAFE_WAIVED_FILES: &[&str] = &["crates/gf256/src/simd.rs"];
 
 /// The waiver marker an unsafe-waived file must carry (rule R5).
 const UNSAFE_WAIVER: &str = "xtask-lint: allow(unsafe-code)";
+
+/// The lock-class registry source, compiled into the xtask binary so
+/// the linter and the runtime can never disagree about what is
+/// declared (cargo rebuilds xtask whenever the registry changes).
+const LOCK_CLASSES_SRC: &str = include_str!("../../compat/lockdep/src/classes.rs");
+
+/// The lock-class registry as the linter sees it (rules R6/R7), parsed
+/// from `crates/compat/lockdep/src/classes.rs`.
+pub struct ClassTable {
+    /// Names declared as `pub static NAME: LockClass`.
+    pub declared: BTreeSet<String>,
+    /// Union of the `fields` lists of classes with `shard_safe: true` —
+    /// the only fields a shard event-loop method may `.lock()`.
+    pub shard_safe_fields: BTreeSet<String>,
+}
+
+impl ClassTable {
+    /// Parses `pub static NAME: LockClass = LockClass { ... };` items.
+    /// The registry file is plain data by construction (lockdep's own
+    /// docs require it), so field extraction can be textual: each body
+    /// runs to the next `};`.
+    pub fn parse(src: &str) -> ClassTable {
+        let mut declared = BTreeSet::new();
+        let mut shard_safe_fields = BTreeSet::new();
+        let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+        let mut search = 0;
+        while let Some(pos) = src[search..].find("pub static ") {
+            let name_start = search + pos + "pub static ".len();
+            let name: String = src[name_start..].chars().take_while(|c| is_ident(*c)).collect();
+            search = name_start + name.len();
+            let rest = src[search..].trim_start();
+            let Some(rest) = rest.strip_prefix(':') else { continue };
+            // `pub static ALL: &[&LockClass]` is the index, not a class.
+            if !rest.trim_start().starts_with("LockClass") || name.is_empty() {
+                continue;
+            }
+            declared.insert(name);
+            let Some(body_open) = src[search..].find('{') else { continue };
+            let body_start = search + body_open + 1;
+            let Some(body_len) = src[body_start..].find("};") else { continue };
+            let body = &src[body_start..body_start + body_len];
+            search = body_start + body_len;
+            if !body.contains("shard_safe: true") {
+                continue;
+            }
+            // fields: &["a", "b"],
+            let Some(fields_at) = body.find("fields:") else { continue };
+            let fields = &body[fields_at..];
+            let list_end = fields.find(']').unwrap_or(fields.len());
+            let mut chars = fields[..list_end].chars();
+            while chars.any(|c| c == '"') {
+                let field: String = chars.by_ref().take_while(|c| *c != '"').collect();
+                if !field.is_empty() {
+                    shard_safe_fields.insert(field);
+                }
+            }
+        }
+        ClassTable {
+            declared,
+            shard_safe_fields,
+        }
+    }
+}
+
+/// The compiled-in registry, parsed once.
+fn class_table() -> &'static ClassTable {
+    static TABLE: std::sync::OnceLock<ClassTable> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| ClassTable::parse(LOCK_CLASSES_SRC))
+}
 
 /// Paths exempt from every rule: vendored shims (they *implement* the
 /// primitives the rules guard), integration tests, benches, and xtask
@@ -118,6 +257,7 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
     }
     let masked = mask_source(src);
     let in_test = test_line_flags(&masked);
+    let scopes = scope_tree(&masked);
     let raw_lines: Vec<&str> = src.lines().collect();
     let mut out = Vec::new();
 
@@ -215,22 +355,221 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
             }
         }
 
-        // R4: std::sync bypassing the loom shim.
-        if LOOM_SHIMMED.iter().any(|c| rel.starts_with(c))
+        // R4: std::sync / parking_lot bypassing the crate's sync shim.
+        if SYNC_SHIMMED.iter().any(|c| rel.starts_with(c))
             && !rel.ends_with("/src/sync.rs")
-            && line.contains("std::sync")
+            && (line.contains("std::sync") || contains_word(line, "parking_lot"))
         {
             out.push(Violation {
                 rule: "std-sync",
                 file: rel.clone(),
                 line: lineno,
-                msg: "direct std::sync use in a loom-shimmed crate; import via the \
-                      crate's `sync` module so the loom models cover it"
+                msg: "direct std::sync/parking_lot use in a sync-shimmed crate; import \
+                      via the crate's `sync` module so loom models and lockdep \
+                      instrumentation cover it"
                     .into(),
             });
         }
+
+        // R2, scope-aware: panic paths in listed handler functions.
+        if let Some((_, fns)) = PANIC_FREE_FNS.iter().find(|(f, _)| *f == rel.as_str()) {
+            if (line.contains(".unwrap()") || line.contains(".expect("))
+                && scopes
+                    .innermost(lineno, ScopeKind::Fn)
+                    .is_some_and(|f| fns.contains(&f.name.as_str()) && !test_attred(f))
+            {
+                out.push(Violation {
+                    rule: "panic-path",
+                    file: rel.clone(),
+                    line: lineno,
+                    msg: "unwrap()/expect() in an observer request handler; a panic \
+                          here silently kills the scrape plane — degrade to an error \
+                          response instead"
+                        .into(),
+                });
+            }
+        }
+
+        // R6: blocking calls on a shard event-loop thread.
+        if let Some((_, target)) = SHARD_LOOP_SCOPES.iter().find(|(f, _)| *f == rel.as_str()) {
+            if in_shard_scope(&scopes, lineno, target) {
+                for pat in SHARD_BLOCKING_PATTERNS {
+                    if line.contains(pat) {
+                        out.push(Violation {
+                            rule: "no-blocking-in-shard",
+                            file: rel.clone(),
+                            line: lineno,
+                            msg: format!(
+                                "`{pat}` inside `impl {target}` runs on a reactor \
+                                 event-loop thread and can park it, stalling every \
+                                 link hashed onto the shard; move the blocking work \
+                                 to a control-surface method or a dedicated thread"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // R6, lock half (positional: method chains wrap `.lock()` onto its
+    // own line): every mutex a shard method locks must belong to a
+    // shard_safe lock class.
+    if let Some((_, target)) = SHARD_LOOP_SCOPES.iter().find(|(f, _)| *f == rel.as_str()) {
+        let mut search = 0;
+        while let Some(pos) = masked[search..].find(".lock()") {
+            let at = search + pos;
+            search = at + ".lock()".len();
+            let lineno = line_of(&masked, at);
+            if in_test.get(lineno - 1).copied().unwrap_or(false)
+                || !in_shard_scope(&scopes, lineno, target)
+            {
+                continue;
+            }
+            let field = receiver_field(&masked, at);
+            let safe = field
+                .as_deref()
+                .is_some_and(|f| class_table().shard_safe_fields.contains(f));
+            if !safe {
+                let who = field
+                    .map(|f| format!("`.lock()` on field `{f}`"))
+                    .unwrap_or_else(|| "`.lock()` on an unrecognized receiver".into());
+                out.push(Violation {
+                    rule: "no-blocking-in-shard",
+                    file: rel.clone(),
+                    line: lineno,
+                    msg: format!(
+                        "{who} inside `impl {target}`: its lock class is not marked \
+                         shard_safe in crates/compat/lockdep/src/classes.rs — a \
+                         contended acquisition parks the event loop; mark the class \
+                         shard_safe (with justification) or move the access off-shard"
+                    ),
+                });
+            }
+        }
+    }
+
+    // R7: shimmed lock constructors must name a declared lock class.
+    if SYNC_SHIMMED.iter().any(|c| rel.starts_with(c)) && !rel.ends_with("/src/sync.rs") {
+        for pat in ["Mutex::new(", "RwLock::new("] {
+            let mut search = 0;
+            while let Some(pos) = masked[search..].find(pat) {
+                let at = search + pos;
+                search = at + pat.len();
+                // Whole-word: `ShardMutex::new(` is someone else's type.
+                if at > 0 {
+                    let b = masked.as_bytes()[at - 1];
+                    if b.is_ascii_alphanumeric() || b == b'_' {
+                        continue;
+                    }
+                }
+                let lineno = line_of(&masked, at);
+                if in_test.get(lineno - 1).copied().unwrap_or(false) {
+                    continue;
+                }
+                let args = &masked[at + pat.len()..];
+                let end = args
+                    .char_indices()
+                    .find(|(_, c)| *c == ',' || *c == ')')
+                    .map(|(i, _)| i)
+                    .unwrap_or_else(|| args.len().min(200));
+                match parse_class_ref(&args[..end]) {
+                    Some(ident) if class_table().declared.contains(&ident) => {}
+                    Some(ident) => out.push(Violation {
+                        rule: "lock-class-declared",
+                        file: rel.clone(),
+                        line: lineno,
+                        msg: format!(
+                            "lock constructor names `classes::{ident}`, which is not \
+                             declared in crates/compat/lockdep/src/classes.rs; add \
+                             the class to the registry (the review point for new \
+                             locks)"
+                        ),
+                    }),
+                    None => out.push(Violation {
+                        rule: "lock-class-declared",
+                        file: rel.clone(),
+                        line: lineno,
+                        msg: "lock constructor in a sync-shimmed crate must pass \
+                              `&classes::NAME` (a class declared in \
+                              crates/compat/lockdep/src/classes.rs) as its first \
+                              argument so lockdep can key its order graph"
+                            .into(),
+                    }),
+                }
+            }
+        }
     }
     out
+}
+
+/// 1-based line number of byte offset `at`.
+fn line_of(masked: &str, at: usize) -> usize {
+    masked[..at].bytes().filter(|b| *b == b'\n').count() + 1
+}
+
+/// Whether `line` is inside an impl block whose target names `target`
+/// as a whole word (`impl Shard`, `impl Drop for Shard` — but not
+/// `impl ShardPool`), excluding test-attributed functions.
+fn in_shard_scope(scopes: &ScopeTree, line: usize, target: &str) -> bool {
+    scopes
+        .innermost(line, ScopeKind::Impl)
+        .is_some_and(|s| contains_word(&s.name, target))
+        && !scopes.innermost(line, ScopeKind::Fn).is_some_and(test_attred)
+}
+
+/// Defense in depth for the scope-aware rules: a bare `#[test]` fn
+/// outside a `#[cfg(test)]` module evades the lexical line flags, but
+/// not its captured attributes.
+fn test_attred(scope: &Scope) -> bool {
+    scope
+        .attrs
+        .iter()
+        .any(|a| a == "#[test]" || a.contains("cfg(test"))
+}
+
+/// Walks back from the `.` of a `.lock()` call over a (possibly
+/// line-wrapped) field chain and returns the final field name:
+/// `self.signal.dirty_send.lock()` → `dirty_send`. Returns `None` for
+/// computed receivers like `(expr).lock()`.
+fn receiver_field(masked: &str, dot: usize) -> Option<String> {
+    let bytes = masked.as_bytes();
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let mut j = dot;
+    while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    let end = j;
+    while j > 0 && is_ident(bytes[j - 1]) {
+        j -= 1;
+    }
+    if j == end {
+        return None;
+    }
+    let field = &masked[j..end];
+    if field.starts_with(|c: char| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(field.to_string())
+}
+
+/// Parses a `&classes::NAME` first argument (optionally via the crate
+/// shim or the lockdep crate: `&sync::classes::X`, `&lockdep::classes::X`).
+fn parse_class_ref(arg: &str) -> Option<String> {
+    let s = arg.trim().strip_prefix('&')?.trim_start();
+    let s = s.strip_prefix("crate::").unwrap_or(s);
+    let s = s.strip_prefix("sync::").unwrap_or(s);
+    let s = s.strip_prefix("lockdep::").unwrap_or(s);
+    let s = s.strip_prefix("classes::")?;
+    let ident: String = s
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if ident.is_empty() {
+        None
+    } else {
+        Some(ident)
+    }
 }
 
 /// Whole-word match: `word` not flanked by identifier characters. Keeps
@@ -311,8 +650,8 @@ mod tests {
     // rejected with a file:line diagnostic.
     #[test]
     fn deliberate_relaxed_violation_is_rejected_with_location() {
-        let src = "use std::sync::atomic::Ordering;\n\
-                   fn f(a: &std::sync::atomic::AtomicU64) {\n\
+        let src = "use core::sync::atomic::Ordering;\n\
+                   fn f(a: &core::sync::atomic::AtomicU64) {\n\
                    \x20   a.load(Ordering::Relaxed);\n\
                    }\n";
         let v = lint_source("crates/engine/src/handle.rs", src);
@@ -388,13 +727,198 @@ mod tests {
     }
 
     #[test]
-    fn std_sync_in_loom_shimmed_crate_is_rejected_outside_shim() {
+    fn std_sync_in_shimmed_crate_is_rejected_outside_shim() {
         let src = "use std::sync::Mutex;\n";
-        let v = lint_source("crates/queue/src/ring.rs", src);
+        for file in ["crates/queue/src/ring.rs", "crates/engine/src/handle.rs"] {
+            let v = lint_source(file, src);
+            assert_eq!(v.len(), 1, "{file} must route sync through its shim");
+            assert_eq!(v[0].rule, "std-sync");
+        }
+        assert!(lint_source("crates/queue/src/sync.rs", src).is_empty());
+        // The message crate has no shim; std::sync is its business.
+        assert!(lint_source("crates/message/src/codec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn parking_lot_in_shimmed_crate_is_rejected_outside_shim() {
+        let src = "use parking_lot::Mutex;\n";
+        let v = lint_source("crates/observer/src/server.rs", src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "std-sync");
-        assert!(lint_source("crates/queue/src/sync.rs", src).is_empty());
-        assert!(lint_source("crates/engine/src/engine.rs", src).is_empty());
+        assert!(lint_source("crates/observer/src/sync.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_observer_request_handler_is_rejected_scope_aware() {
+        // Same file, two functions: only the listed handler is covered.
+        let src = "\
+fn serve_connection(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+fn spawn_helper(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+";
+        let v = lint_source("crates/observer/src/server.rs", src);
+        assert_eq!(v.len(), 1, "only the handler fn is panic-free: {v:?}");
+        assert_eq!(v[0].rule, "panic-path");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_in_observer_assembly_is_rejected() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = lint_source("crates/observer/src/assembly.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "panic-path");
+    }
+
+    // The acceptance-criterion self-test for R6: a deliberate blocking
+    // call inside `impl Shard` is rejected; the same call on the
+    // control surface (`impl ShardPool`) is not.
+    #[test]
+    fn deliberate_sleep_in_shard_impl_is_rejected() {
+        let src = "\
+impl Shard {
+    fn run(&mut self) {
+        std::thread::sleep(d);
+    }
+}
+impl ShardPool {
+    fn shutdown(&self) {
+        std::thread::sleep(d);
+    }
+}
+";
+        let v = lint_source("crates/engine/src/shard.rs", src);
+        assert_eq!(v.len(), 1, "only the shard-side sleep is banned: {v:?}");
+        assert_eq!(v[0].rule, "no-blocking-in-shard");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].to_string().contains("crates/engine/src/shard.rs:3"));
+    }
+
+    #[test]
+    fn blocking_joins_and_recvs_in_shard_impl_are_rejected() {
+        let src = "\
+impl Shard {
+    fn bad(&mut self, h: JoinHandle<()>, rx: Receiver<u8>) {
+        let _ = h.join();
+        let _ = rx.recv();
+        let _ = rx.try_recv();
+    }
+}
+";
+        let v = lint_source("crates/engine/src/shard.rs", src);
+        assert_eq!(v.len(), 2, "join+recv banned, try_recv fine: {v:?}");
+        assert!(v.iter().all(|x| x.rule == "no-blocking-in-shard"));
+        assert_eq!((v[0].line, v[1].line), (3, 4));
+    }
+
+    #[test]
+    fn shard_lock_on_non_shard_safe_class_is_rejected() {
+        // `meter` belongs to a shard_safe class; `threads` does not.
+        // The second `.lock()` wraps onto its own line, which the
+        // positional receiver walk must follow.
+        let src = "\
+impl Shard {
+    fn touch(&mut self, link: &Link) {
+        link.meter.lock().record(1);
+        let n = self.pool.threads
+            .lock()
+            .len();
+    }
+}
+";
+        let v = lint_source("crates/engine/src/shard.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-blocking-in-shard");
+        assert_eq!(v[0].line, 5);
+        assert!(v[0].msg.contains("`threads`"));
+    }
+
+    #[test]
+    fn bare_test_attributed_fn_in_shard_impl_is_exempt() {
+        // A `#[test]` fn outside a cfg(test) module evades the lexical
+        // line flags; the captured attributes still exempt it.
+        let src = "\
+impl Shard {
+    #[test]
+    fn exercises_blocking() {
+        std::thread::sleep(d);
+    }
+}
+";
+        assert!(lint_source("crates/engine/src/shard.rs", src).is_empty());
+    }
+
+    #[test]
+    fn shard_lock_on_computed_receiver_is_rejected() {
+        let src = "\
+impl Shard {
+    fn touch(&mut self) {
+        (self.pick()).lock().poke();
+    }
+}
+";
+        let v = lint_source("crates/engine/src/shard.rs", src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("unrecognized receiver"));
+    }
+
+    // The acceptance-criterion self-test for R7: a shimmed lock
+    // constructor that skips the class registry is rejected.
+    #[test]
+    fn lock_constructor_without_declared_class_is_rejected() {
+        let bare = "fn f() { let m = Mutex::new(Hooks::default()); }\n";
+        let v = lint_source("crates/queue/src/ring.rs", bare);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "lock-class-declared");
+
+        let undeclared = "fn f() { let m = Mutex::new(&classes::NOT_A_CLASS, 0u32); }\n";
+        let v = lint_source("crates/queue/src/ring.rs", undeclared);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("NOT_A_CLASS"));
+
+        // Declared classes pass, through any of the sanctioned paths,
+        // including a first argument wrapped onto the next line.
+        for good in [
+            "fn f() { let m = Mutex::new(&classes::QUEUE_RING, 0u32); }\n",
+            "fn f() { let m = Mutex::new(&sync::classes::QUEUE_RING, 0u32); }\n",
+            "fn f() { let m = Mutex::new(\n    &lockdep::classes::QUEUE_RING,\n    0u32,\n); }\n",
+        ] {
+            assert!(lint_source("crates/queue/src/ring.rs", good).is_empty(), "{good}");
+        }
+
+        // The shim itself constructs the underlying primitive.
+        assert!(lint_source("crates/queue/src/sync.rs", bare).is_empty());
+        // Unshimmed crates are not covered.
+        assert!(lint_source("crates/message/src/codec.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn class_table_parses_the_compiled_in_registry() {
+        let t = ClassTable::parse(LOCK_CLASSES_SRC);
+        for name in [
+            "QUEUE_RING",
+            "QUEUE_HOOKS",
+            "TELEMETRY_EVENTS",
+            "TELEMETRY_SPANS",
+            "ENGINE_METER",
+            "ENGINE_SHARD_SIGNAL",
+            "ENGINE_SHARD_THREADS",
+            "OBSERVER_CORE",
+        ] {
+            assert!(t.declared.contains(name), "registry must declare {name}");
+        }
+        // The `ALL` index is not a class.
+        assert!(!t.declared.contains("ALL"));
+        // shard_safe fields include the signal mailboxes and meters but
+        // never the pool's join-handle list.
+        for field in ["inner", "hooks", "meter", "dirty_send", "resume_recv", "records"] {
+            assert!(t.shard_safe_fields.contains(field), "{field} must be shard-safe");
+        }
+        assert!(!t.shard_safe_fields.contains("threads"));
+        assert!(!t.shard_safe_fields.contains("core"));
     }
 
     // The acceptance-criterion self-test for R5: a deliberate unsafe

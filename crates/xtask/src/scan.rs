@@ -1,13 +1,22 @@
-//! Lexical Rust source scanning for the invariant lints.
+//! Lexical *and structural* Rust source scanning for the invariant lints.
 //!
 //! The lints match *code*, not prose: a rule like "no `Ordering::Relaxed`
 //! outside `crates/telemetry`" must not fire on a doc comment that merely
 //! discusses `Relaxed`. Full parsing (`syn`) is unavailable offline, so this
-//! module does the next-best thing — a character-level lexer that blanks out
-//! comments and string/char literals while preserving byte offsets and line
-//! structure, plus a brace-matching pass that marks every line living inside
-//! a `#[cfg(test)]` item. Rules then run plain substring matches against the
-//! masked text and consult the per-line test flags.
+//! module does the next-best thing in two layers:
+//!
+//! 1. **Lexical** — a character-level lexer ([`mask_source`]) that blanks
+//!    out comments and string/char literals while preserving byte offsets
+//!    and line structure, plus a brace-matching pass ([`test_line_flags`])
+//!    that marks every line living inside a `#[cfg(test)]` item. Rules run
+//!    plain substring matches against the masked text and consult the
+//!    per-line test flags.
+//! 2. **Structural** — a brace-matched scope pass ([`scope_tree`]) over the
+//!    masked text that recovers `fn`/`impl`/`mod` boundaries with their
+//!    names and captured `#[...]` attributes. Scope-aware rules (R6
+//!    `no-blocking-in-shard`, the R2 handler-function extension) can then
+//!    answer "is this line inside `impl Shard`?" or "which function does
+//!    this `.lock()` live in?" — questions a purely lexical scanner cannot.
 
 /// Returns `src` with the *contents* of comments and string/char literals
 /// replaced by spaces. Newlines are kept (even inside block comments and
@@ -230,6 +239,262 @@ pub fn test_line_flags(masked: &str) -> Vec<bool> {
     flags
 }
 
+/// The kind of a brace-matched scope recovered by [`scope_tree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// A function body: `fn name(..) { .. }`.
+    Fn,
+    /// An inherent or trait impl block: `impl Type { .. }`,
+    /// `impl Trait for Type { .. }`.
+    Impl,
+    /// An inline module: `mod name { .. }`.
+    Mod,
+    /// Anything else with braces: structs, enums, traits, `match` arms,
+    /// closures, blocks, struct literals.
+    Other,
+}
+
+/// One brace-matched scope: the span between a `{` and its matching `}`
+/// (inclusive, in 1-based lines), classified from the header text that
+/// preceded the `{`.
+#[derive(Debug)]
+pub struct Scope {
+    /// What the header declares.
+    pub kind: ScopeKind,
+    /// `Fn`: the function name. `Impl`: the header after `impl` with
+    /// leading generics stripped (e.g. `Shard`, `Drop for Shard`).
+    /// `Mod`: the module name. `Other`: empty.
+    pub name: String,
+    /// `#[...]`/`#![...]` attributes captured from the header,
+    /// whitespace-collapsed (literal contents are masked).
+    pub attrs: Vec<String>,
+    /// 1-based line of the opening `{`.
+    pub start_line: usize,
+    /// 1-based line of the matching `}` (last line for unclosed scopes).
+    pub end_line: usize,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+}
+
+/// All scopes of a masked source file, queryable by line.
+pub struct ScopeTree {
+    scopes: Vec<Scope>,
+}
+
+impl ScopeTree {
+    /// Scopes containing `line` (1-based), outermost first.
+    pub fn enclosing(&self, line: usize) -> Vec<&Scope> {
+        let mut v: Vec<&Scope> = self
+            .scopes
+            .iter()
+            .filter(|s| s.start_line <= line && line <= s.end_line)
+            .collect();
+        v.sort_by_key(|s| s.depth);
+        v
+    }
+
+    /// The innermost scope of `kind` containing `line`, if any.
+    pub fn innermost(&self, line: usize, kind: ScopeKind) -> Option<&Scope> {
+        self.enclosing(line).into_iter().rev().find(|s| s.kind == kind)
+    }
+}
+
+/// Builds the scope tree of a **masked** source file (run
+/// [`mask_source`] first: masking removes braces in strings/comments
+/// that would otherwise desynchronize the matcher).
+pub fn scope_tree(masked: &str) -> ScopeTree {
+    let mut completed: Vec<Scope> = Vec::new();
+    let mut open: Vec<Scope> = Vec::new();
+    // Header text accumulated since the last `{`, `}`, or `;` — the
+    // declaration that owns the next `{`.
+    let mut header = String::new();
+    let mut line = 1usize;
+    for ch in masked.chars() {
+        match ch {
+            '\n' => {
+                line += 1;
+                header.push(' ');
+            }
+            '{' => {
+                open.push(classify_header(&header, line, open.len()));
+                header.clear();
+            }
+            '}' => {
+                if let Some(mut s) = open.pop() {
+                    s.end_line = line;
+                    completed.push(s);
+                }
+                header.clear();
+            }
+            ';' => header.clear(),
+            _ => header.push(ch),
+        }
+    }
+    for mut s in open.drain(..) {
+        s.end_line = line;
+        completed.push(s);
+    }
+    completed.sort_by_key(|s| (s.start_line, s.depth));
+    ScopeTree { scopes: completed }
+}
+
+/// Classifies a scope header: splits off attributes, then keys on the
+/// first `fn`/`impl`/`mod` keyword.
+fn classify_header(header: &str, start_line: usize, depth: usize) -> Scope {
+    let (attrs, rest) = split_attrs(header);
+    let (kind, name) = if let Some(name) = fn_name(&rest) {
+        (ScopeKind::Fn, name)
+    } else if let Some(name) = impl_target(&rest) {
+        (ScopeKind::Impl, name)
+    } else if let Some(name) = mod_name(&rest) {
+        (ScopeKind::Mod, name)
+    } else {
+        (ScopeKind::Other, String::new())
+    };
+    Scope {
+        kind,
+        name,
+        attrs,
+        start_line,
+        end_line: start_line,
+        depth,
+    }
+}
+
+/// Extracts `#[...]` / `#![...]` attribute spans from a header,
+/// returning `(attributes, header-without-attributes)`.
+fn split_attrs(header: &str) -> (Vec<String>, String) {
+    let bytes = header.as_bytes();
+    let mut attrs = Vec::new();
+    let mut rest = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let open = if bytes[i] == b'#' && bytes.get(i + 1) == Some(&b'[') {
+            Some(i + 1)
+        } else if bytes[i] == b'#' && bytes.get(i + 1) == Some(&b'!') && bytes.get(i + 2) == Some(&b'[') {
+            Some(i + 2)
+        } else {
+            None
+        };
+        if let Some(bracket) = open {
+            // Bracket-match to the closing `]` (attrs can nest brackets).
+            let mut depth = 0usize;
+            let mut j = bracket;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j < bytes.len() {
+                attrs.push(collapse_ws(&header[i..=j]));
+                i = j + 1;
+                continue;
+            }
+        }
+        rest.push(bytes[i] as char);
+        i += 1;
+    }
+    (attrs, rest)
+}
+
+/// Collapses runs of whitespace to single spaces and trims.
+fn collapse_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Byte offset just past the first *whole-word* `word` in `s`.
+fn find_keyword(s: &str, word: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let mut start = 0;
+    while let Some(pos) = s[start..].find(word) {
+        let i = start + pos;
+        let j = i + word.len();
+        let before_ok = i == 0 || !ident(bytes[i - 1]);
+        let after_ok = j >= bytes.len() || !ident(bytes[j]);
+        if before_ok && after_ok {
+            return Some(j);
+        }
+        start = j;
+    }
+    None
+}
+
+/// The declared function name, if the header is a `fn` item. `fn(..)`
+/// pointer types (no name after the keyword) do not count.
+fn fn_name(header: &str) -> Option<String> {
+    let mut search = 0;
+    while let Some(after) = find_keyword(&header[search..], "fn") {
+        let after = search + after;
+        let rest = header[after..].trim_start();
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() && !name.starts_with(|c: char| c.is_ascii_digit()) {
+            return Some(name);
+        }
+        search = after;
+    }
+    None
+}
+
+/// The impl target, if the header is an `impl` item: the text after
+/// `impl` with leading generic parameters stripped.
+fn impl_target(header: &str) -> Option<String> {
+    let after = find_keyword(header, "impl")?;
+    let mut rest = header[after..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('<') {
+        // Skip `<...>` generics (angle depth; `<<`/`>>` never appear in
+        // a generic parameter list header).
+        let mut depth = 1usize;
+        let mut consumed = 0;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        consumed = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = stripped[consumed..].trim_start();
+    }
+    let name = collapse_ws(rest);
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// The module name, if the header is an inline `mod` item.
+fn mod_name(header: &str) -> Option<String> {
+    let after = find_keyword(header, "mod")?;
+    let name: String = header[after..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +553,112 @@ mod tests {
         let src = "#[cfg(test)]\nuse helper::thing;\nfn prod() {}\n";
         let flags = test_line_flags(&mask_source(src));
         assert!(!flags[2], "code after a braceless cfg(test) item flagged");
+    }
+
+    #[test]
+    fn scope_tree_classifies_fn_impl_mod() {
+        let src = "\
+mod inner {
+    struct S;
+    impl S {
+        fn method(&self) {
+            let x = 1;
+        }
+    }
+}
+fn free() {}
+";
+        let tree = scope_tree(&mask_source(src));
+        let m = tree.innermost(5, ScopeKind::Mod).expect("mod scope");
+        assert_eq!(m.name, "inner");
+        let i = tree.innermost(5, ScopeKind::Impl).expect("impl scope");
+        assert_eq!(i.name, "S");
+        let f = tree.innermost(5, ScopeKind::Fn).expect("fn scope");
+        assert_eq!(f.name, "method");
+        assert_eq!(tree.innermost(9, ScopeKind::Fn).expect("free fn").name, "free");
+        assert!(tree.innermost(9, ScopeKind::Impl).is_none());
+    }
+
+    #[test]
+    fn scope_tree_strips_impl_generics_and_keeps_trait_impls() {
+        let src = "\
+impl<T: Clone> Wrapper<T> {
+    fn a(&self) { body(); }
+}
+impl Drop for Shard {
+    fn drop(&mut self) { body(); }
+}
+";
+        let tree = scope_tree(&mask_source(src));
+        assert_eq!(tree.innermost(2, ScopeKind::Impl).expect("impl").name, "Wrapper<T>");
+        assert_eq!(
+            tree.innermost(5, ScopeKind::Impl).expect("trait impl").name,
+            "Drop for Shard"
+        );
+    }
+
+    #[test]
+    fn scope_tree_closures_and_blocks_are_not_fns() {
+        let src = "\
+fn outer() {
+    let c = |x: u32| {
+        x + 1
+    };
+    let v = if cond { 1 } else { 2 };
+}
+";
+        let tree = scope_tree(&mask_source(src));
+        // Line 3 (the closure body) still resolves to the *enclosing* fn.
+        let f = tree.innermost(3, ScopeKind::Fn).expect("fn");
+        assert_eq!(f.name, "outer");
+        // The closure scope itself is Other.
+        let inner = tree.enclosing(3);
+        assert_eq!(inner.last().expect("closure scope").kind, ScopeKind::Other);
+    }
+
+    #[test]
+    fn scope_tree_captures_attributes_across_lines() {
+        let src = "\
+#[test]
+#[should_panic(expected = \"boom\")]
+fn explodes() {
+    body();
+}
+";
+        let tree = scope_tree(&mask_source(src));
+        let f = tree.innermost(4, ScopeKind::Fn).expect("fn");
+        assert_eq!(f.name, "explodes");
+        assert_eq!(f.attrs.len(), 2);
+        assert_eq!(f.attrs[0], "#[test]");
+        assert!(f.attrs[1].starts_with("#[should_panic"));
+    }
+
+    #[test]
+    fn scope_tree_multiline_signature_and_fn_pointer_args() {
+        let src = "\
+fn takes_callback(
+    cb: fn(u32) -> u32,
+    n: u32,
+) -> u32 {
+    cb(n)
+}
+";
+        let tree = scope_tree(&mask_source(src));
+        let f = tree.innermost(5, ScopeKind::Fn).expect("fn");
+        assert_eq!(f.name, "takes_callback", "fn-pointer arg stole the name");
+    }
+
+    #[test]
+    fn scope_tree_braces_in_strings_do_not_desync() {
+        let src = "\
+fn a() {
+    let s = \"{{{\";
+}
+fn b() {
+    body();
+}
+";
+        let tree = scope_tree(&mask_source(src));
+        assert_eq!(tree.innermost(5, ScopeKind::Fn).expect("fn").name, "b");
     }
 }

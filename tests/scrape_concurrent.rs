@@ -1,0 +1,160 @@
+//! Integration: concurrent HTTP scrapes against a single node port.
+//!
+//! A node's listen port multiplexes the length-framed overlay protocol
+//! with one-shot HTTP scrapes (`GET ` sniffing). Dashboards, liveness
+//! probes, and trace pollers all scrape independently, so several HTTP
+//! clients routinely hit the same port at once — while framed peers
+//! keep switching traffic through it. This test hammers one relay port
+//! with parallel `/healthz` + `/traces` + `/metrics` scrapers and
+//! checks every response is well-formed (no cross-connection bleed, no
+//! dropped scrape) and the framed plane stays up throughout.
+//!
+//! The observer's scrape port is exercised the same way at the end:
+//! its request handlers share `ObserverCore` behind one lockdep-classed
+//! mutex (`observer.core`), so this doubles as a contention smoke test
+//! for that class.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ioverlay::algorithms::{SinkApp, SourceApp, SourceMode, StaticForwarder};
+use ioverlay::api::telemetry::scrape::http_get;
+use ioverlay::engine::{EngineConfig, EngineNode};
+use ioverlay::observer::{ObserverConfig, ObserverServer};
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    cond()
+}
+
+/// Scrapes `path` from `addr` `rounds` times, validating each response
+/// with `check`; returns an error string naming the first failure.
+fn hammer(
+    addr: std::net::SocketAddr,
+    path: &str,
+    rounds: usize,
+    check: impl Fn(&str) -> bool,
+) -> Result<(), String> {
+    for round in 0..rounds {
+        let (status, body) = http_get(addr, path)
+            .map_err(|e| format!("{path} round {round}: transport error: {e}"))?;
+        if status != 200 {
+            return Err(format!("{path} round {round}: status {status}"));
+        }
+        if !check(&body) {
+            return Err(format!("{path} round {round}: malformed body:\n{body}"));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn concurrent_scrapes_on_one_node_port_stay_isolated() {
+    const APP: u32 = 1;
+    const ROUNDS: usize = 12;
+
+    let observer = ObserverServer::spawn(ObserverConfig::default(), 0).unwrap();
+    let cfg = || {
+        EngineConfig::default()
+            .with_observer(observer.id())
+            .with_trace_sample(1)
+    };
+
+    let sink = EngineNode::spawn(cfg(), Box::new(SinkApp::new())).unwrap();
+    let relay = EngineNode::spawn(
+        cfg(),
+        Box::new(StaticForwarder::new().route(APP, vec![sink.id()])),
+    )
+    .unwrap();
+    let source = EngineNode::spawn(
+        cfg(),
+        Box::new(SourceApp::new(APP, vec![relay.id()], 1024, SourceMode::BackToBack).deployed()),
+    )
+    .unwrap();
+
+    // Traffic must be flowing before the hammering starts, so /metrics
+    // and /traces have real content to disagree about.
+    assert!(
+        wait_until(Duration::from_secs(15), || {
+            relay.status().is_some_and(|s| s.switched_msgs > 0)
+        }),
+        "relay never switched traffic"
+    );
+
+    let relay_addr = relay.id().to_socket_addr();
+    let relay_label = format!("node=\"{}\"", relay.id());
+
+    // Two scraper threads per endpoint, all against the one relay port,
+    // racing each other and the framed peers.
+    let outcomes: Vec<Result<(), String>> = thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let label = relay_label.clone();
+            handles.push(s.spawn(move || {
+                hammer(relay_addr, "/metrics", ROUNDS, |body| {
+                    body.contains("ioverlay_switched_msgs_total") && body.contains(&label)
+                })
+            }));
+            handles.push(s.spawn(move || {
+                hammer(relay_addr, "/healthz", ROUNDS, |body| body.starts_with("ok"))
+            }));
+            handles.push(s.spawn(move || {
+                hammer(relay_addr, "/traces", ROUNDS, |body| {
+                    serde_json::from_str::<serde_json::Value>(body)
+                        .is_ok_and(|v| v["spans"].as_array().is_some() || v.as_array().is_some())
+                })
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for outcome in &outcomes {
+        assert!(outcome.is_ok(), "node-port scrape failed: {outcomes:?}");
+    }
+
+    // The framed plane survived the scrape storm.
+    assert!(
+        relay.status().is_some_and(|s| s.switched_msgs > 0),
+        "framed port wedged after concurrent scrapes"
+    );
+
+    // Same treatment for the observer port, whose handlers contend on
+    // the single `observer.core` mutex.
+    let obs_addr = observer.id().to_socket_addr();
+    let outcomes: Vec<Result<(), String>> = thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            handles.push(s.spawn(move || {
+                hammer(obs_addr, "/metrics", ROUNDS, |body| {
+                    body.contains("ioverlay_observer_known_nodes")
+                })
+            }));
+            handles.push(s.spawn(move || {
+                hammer(obs_addr, "/healthz", ROUNDS, |body| body.starts_with("ok"))
+            }));
+            handles.push(s.spawn(move || {
+                hammer(obs_addr, "/traces", ROUNDS, |body| {
+                    serde_json::from_str::<serde_json::Value>(body).is_ok()
+                })
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for outcome in &outcomes {
+        assert!(outcome.is_ok(), "observer scrape failed: {outcomes:?}");
+    }
+    assert!(
+        !observer.alive_nodes().is_empty(),
+        "observer lost its nodes during the scrape storm"
+    );
+
+    source.shutdown();
+    relay.shutdown();
+    sink.shutdown();
+    observer.shutdown();
+}
