@@ -9,7 +9,7 @@
 
 use bytes::Bytes;
 use ioverlay_message::{DecodeError, NodeId};
-use ioverlay_telemetry::{SpanBatch, TelemetrySnapshot};
+use ioverlay_telemetry::{FlowsSnapshot, SeriesBatch, SpanBatch, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 
 /// Which side of a link an event refers to.
@@ -96,6 +96,12 @@ pub struct StatusReport {
     /// that predate tracing or run with sampling off; absent fields
     /// decode to `None` like `telemetry`).
     pub spans: Option<SpanBatch>,
+    /// Series windows closed since the last report (`None` from nodes
+    /// that predate the health plane; absent fields decode to `None`).
+    pub series: Option<SeriesBatch>,
+    /// Top-k flow sketch state (`None` from nodes that predate flow
+    /// accounting; absent fields decode to `None`).
+    pub flows: Option<FlowsSnapshot>,
 }
 
 /// Payload of an addressed `Request` (status poll): carries which node
@@ -246,6 +252,8 @@ mod tests {
             algorithm: serde_json::json!({"stress": 2.0}),
             telemetry: None,
             spans: None,
+            series: None,
+            flows: None,
         };
         assert_eq!(StatusReport::decode(&p.encode()).unwrap(), p);
     }

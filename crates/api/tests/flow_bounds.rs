@@ -1,0 +1,102 @@
+//! Property-based accuracy bounds for the top-k space-saving flow
+//! sketch (`ioverlay_telemetry::flows`), checked against an exact
+//! reference table:
+//!
+//! * the sketch only overestimates: for every tracked flow,
+//!   `true <= count <= true + err`;
+//! * every stored error is bounded by `total / k`;
+//! * every heavy hitter (true weight > `total / k`) is tracked.
+
+use ioverlay_api::telemetry::{FlowKey, FlowSketch};
+use ioverlay_api::NodeId;
+use proptest::prelude::*;
+
+/// A small key universe so streams actually collide: collisions are
+/// where the eviction/error-inheritance logic does its work.
+fn arb_key() -> impl Strategy<Value = FlowKey> {
+    (0u16..12, 0u16..4, 0u32..3).prop_map(|(src, dst, kind)| FlowKey {
+        src: NodeId::loopback(9000 + src),
+        dst: NodeId::loopback(9100 + dst),
+        kind,
+    })
+}
+
+/// A stream of `(key, msgs)` observations, skewed so a few keys
+/// dominate (heavy hitters exist to be found).
+fn arb_stream() -> impl Strategy<Value = Vec<(FlowKey, u64)>> {
+    collection::vec((arb_key(), 1u64..50), 1..200)
+}
+
+fn true_count(exact: &[(FlowKey, u64)], key: FlowKey) -> u64 {
+    exact
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|&(_, n)| n)
+        .unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replaying any stream through the sketch keeps every entry inside
+    /// the space-saving error envelope.
+    #[test]
+    fn counts_overestimate_within_error_bound(
+        stream in arb_stream(),
+        k in 1usize..16,
+        batch in 1usize..8,
+    ) {
+        let sketch = FlowSketch::new(k);
+        // Mix the two recording paths: chunks go through record_batch,
+        // the same way the engine flushes staged sends.
+        for chunk in stream.chunks(batch) {
+            let items: Vec<(FlowKey, u64, u64)> =
+                chunk.iter().map(|&(key, n)| (key, n, n * 100)).collect();
+            sketch.record_batch(&items);
+        }
+        let exact = FlowSketch::exact_counts(&stream);
+        let total: u64 = exact.iter().map(|&(_, n)| n).sum();
+
+        let snap = sketch.snapshot();
+        prop_assert_eq!(snap.total, total);
+        prop_assert!(snap.entries.len() <= k);
+
+        let bound = total / k as u64;
+        for entry in &snap.entries {
+            let truth = true_count(&exact, entry.key);
+            // Overestimate only, by at most the stored error.
+            prop_assert!(entry.count >= truth,
+                "undercount for {:?}: {} < {}", entry.key, entry.count, truth);
+            prop_assert!(entry.count - truth <= entry.err,
+                "error underdeclared for {:?}: off by {}, err {}",
+                entry.key, entry.count - truth, entry.err);
+            // The classical space-saving bound on the error itself.
+            prop_assert!(entry.err <= bound,
+                "err {} exceeds total/k = {}", entry.err, bound);
+        }
+    }
+
+    /// Any flow whose true weight exceeds `total / k` survives in the
+    /// sketch, no matter the arrival order.
+    #[test]
+    fn heavy_hitters_are_always_tracked(
+        stream in arb_stream(),
+        k in 1usize..16,
+    ) {
+        let sketch = FlowSketch::new(k);
+        for &(key, n) in &stream {
+            sketch.record(key, n, 0);
+        }
+        let exact = FlowSketch::exact_counts(&stream);
+        let total: u64 = exact.iter().map(|&(_, n)| n).sum();
+        let bound = total / k as u64;
+
+        let snap = sketch.snapshot();
+        for &(key, truth) in &exact {
+            if truth > bound {
+                prop_assert!(snap.entries.iter().any(|e| e.key == key),
+                    "heavy hitter {:?} (weight {} > {}) evicted", key, truth, bound);
+            }
+        }
+    }
+}

@@ -70,7 +70,7 @@ fn run_one(id: &str) -> bool {
                 _ => return false,
             };
             let secs: u64 = parts.next().and_then(|v| v.parse().ok()).unwrap_or(3);
-            let p = switch_bench::run_chain(mode, true, 0, 256, secs);
+            let p = switch_bench::run_chain(mode, true, true, 0, 256, secs);
             println!("{other}: {:.0} msgs/sec, {:.1} MB/sec", p.msgs_per_sec, p.mb_per_sec);
         }
         // Dev probe: one scaling point, e.g. `scale-reactor-1000` or

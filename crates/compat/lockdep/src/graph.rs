@@ -266,6 +266,22 @@ pub fn check_blocking(label: &str) {
     );
 }
 
+/// Names of the lock classes currently held by the calling thread, in
+/// acquisition order.
+///
+/// Diagnostic introspection for the flight recorder: a crash dump that
+/// says which instrumented locks the panicking thread held narrows a
+/// wedge or deadlock report to a class pair. Returns an empty vector in
+/// passthrough builds (see the stub in `passthrough.rs`).
+pub fn held_class_names() -> Vec<&'static str> {
+    let held = HELD.with(|h| h.borrow().clone());
+    if held.is_empty() {
+        return Vec::new();
+    }
+    let rt = runtime().lock();
+    held.iter().map(|&id| class_name(&rt, id)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -75,12 +75,15 @@ mod active;
 pub use active::{
     check_blocking, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
 };
+#[cfg(any(feature = "check", debug_assertions))]
+pub use graph::held_class_names;
 
 #[cfg(not(any(feature = "check", debug_assertions)))]
 mod passthrough;
 #[cfg(not(any(feature = "check", debug_assertions)))]
 pub use passthrough::{
-    check_blocking, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    check_blocking, held_class_names, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard,
+    RwLockWriteGuard,
 };
 
 pub use parking_lot::WaitTimeoutResult;

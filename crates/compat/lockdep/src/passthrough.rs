@@ -101,3 +101,9 @@ impl<T: ?Sized> RwLock<T> {
 /// No-op in passthrough builds.
 #[inline(always)]
 pub fn check_blocking(_label: &str) {}
+
+/// No held-lock bookkeeping in passthrough builds: always empty.
+#[inline(always)]
+pub fn held_class_names() -> Vec<&'static str> {
+    Vec::new()
+}

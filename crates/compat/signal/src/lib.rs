@@ -1,0 +1,131 @@
+//! Minimal async-signal-safe SIGUSR1 latch for the flight recorder.
+//!
+//! A flight-recorder dump must be triggerable on a *wedged* process, so
+//! the trigger is a POSIX signal. Signal handlers may only touch
+//! async-signal-safe state: the handler here does exactly one atomic
+//! increment of a process-global generation counter and returns. Any
+//! thread that wants to react (the engine measure tick) polls
+//! [`generation`] and compares it against the last value it saw; each
+//! observer keeps its own last-seen generation, so several engine nodes
+//! in one process all notice the same signal.
+//!
+//! This is the workspace's only `signal(2)` binding. It lives under
+//! `crates/compat/` — the sanctioned home for `unsafe` platform shims —
+//! and compiles to inert stubs on non-unix targets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global dump-request generation, bumped once per SIGUSR1.
+static USR1_GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Current dump-request generation. Starts at 0; each delivered SIGUSR1
+/// (or [`trigger`] call) increments it by one.
+#[inline]
+pub fn generation() -> u64 {
+    USR1_GENERATION.load(Ordering::SeqCst)
+}
+
+/// Bumps the generation without going through the kernel — the same
+/// effect a delivered SIGUSR1 has. Used by the panic hook (a panicking
+/// thread should not depend on signal delivery) and by tests on
+/// platforms without `raise(2)`.
+#[inline]
+pub fn trigger() {
+    USR1_GENERATION.fetch_add(1, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use core::ffi::c_int;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[cfg(target_os = "macos")]
+    const SIGUSR1: c_int = 30;
+    #[cfg(not(target_os = "macos"))]
+    const SIGUSR1: c_int = 10;
+
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" {
+        // Return type is declared pointer-sized (not a fn pointer) so
+        // the SIG_ERR sentinel can be compared without manufacturing an
+        // invalid function pointer.
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+        fn raise(signum: c_int) -> c_int;
+    }
+
+    extern "C" fn on_usr1(_sig: c_int) {
+        // The only async-signal-safe thing this crate ever does in
+        // handler context: one lock-free atomic RMW. No allocation, no
+        // locks, no I/O.
+        super::USR1_GENERATION.fetch_add(1, Ordering::SeqCst);
+    }
+
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    /// Registers the SIGUSR1 handler once per process. Returns whether a
+    /// handler is installed after the call.
+    pub fn install() -> bool {
+        if INSTALLED.load(Ordering::SeqCst) {
+            return true;
+        }
+        // Benign race: double registration installs the same handler
+        // twice, which is idempotent.
+        let ok = unsafe { signal(SIGUSR1, on_usr1) } != SIG_ERR;
+        if ok {
+            INSTALLED.store(true, Ordering::SeqCst);
+        }
+        ok
+    }
+
+    /// Sends SIGUSR1 to the current process (test helper: exercises the
+    /// real kernel delivery path, not just [`super::trigger`]).
+    pub fn raise_usr1() {
+        unsafe {
+            raise(SIGUSR1);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal support off unix: reports not-installed so callers can
+    /// fall back to [`super::trigger`]-only operation.
+    pub fn install() -> bool {
+        false
+    }
+
+    /// No-op off unix.
+    pub fn raise_usr1() {}
+}
+
+pub use imp::{install, raise_usr1};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_bumps_generation() {
+        let before = generation();
+        trigger();
+        assert_eq!(generation(), before + 1);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn real_signal_bumps_generation() {
+        assert!(install());
+        let before = generation();
+        raise_usr1();
+        // Delivery to the current thread via raise(2) is synchronous on
+        // return, but give a slow kernel a moment anyway.
+        for _ in 0..100 {
+            if generation() > before {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("SIGUSR1 was not delivered within 100ms");
+    }
+}

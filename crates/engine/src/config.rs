@@ -75,6 +75,18 @@ pub struct EngineConfig {
     /// Shard-worker count for [`IoBackend::Reactor`]; ignored by the
     /// blocking backend. Floors at one.
     pub reactor_shards: usize,
+    /// When `true` (default), the node maintains the health plane on
+    /// top of base telemetry: per-window series sampling on the measure
+    /// tick and top-k flow accounting on the switch path. `false` keeps
+    /// base telemetry but skips both — the `repro switch`
+    /// `health_overhead_pct` baseline. Moot when `telemetry` is off.
+    pub health: bool,
+    /// Directory for flight-recorder dumps. When set (directly or via
+    /// the `IOVERLAY_FLIGHT_DIR` environment variable at spawn), the
+    /// node installs a process-wide panic hook and SIGUSR1 handler that
+    /// dump retained telemetry as JSONL black boxes into this
+    /// directory. `None` (default) disables the recorder.
+    pub flight_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -96,6 +108,8 @@ impl Default for EngineConfig {
             trace_sample: 0,
             io_backend: IoBackend::Blocking,
             reactor_shards: default_reactor_shards(),
+            health: true,
+            flight_dir: None,
         }
     }
 }
@@ -195,6 +209,27 @@ impl EngineConfig {
         self.reactor_shards = shards.max(1);
         self
     }
+
+    /// Enables or disables the health plane (series sampling and flow
+    /// accounting) on top of base telemetry (builder style).
+    pub fn with_health(mut self, enabled: bool) -> Self {
+        self.health = enabled;
+        self
+    }
+
+    /// Sets the measure-tick interval (builder style); floors at 1 ms
+    /// so a zero interval cannot spin the engine loop. Tests shorten
+    /// this to close series windows quickly.
+    pub fn with_measure_interval(mut self, interval: Nanos) -> Self {
+        self.measure_interval = interval.max(1_000_000);
+        self
+    }
+
+    /// Sets the flight-recorder dump directory (builder style).
+    pub fn with_flight_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.flight_dir = Some(dir.into());
+        self
+    }
 }
 
 #[cfg(test)]
@@ -256,5 +291,22 @@ mod tests {
     fn trace_sample_builder() {
         let cfg = EngineConfig::default().with_trace_sample(8);
         assert_eq!(cfg.trace_sample, 8);
+    }
+
+    #[test]
+    fn health_plane_builders() {
+        let cfg = EngineConfig::default();
+        assert!(cfg.health, "health plane records by default");
+        assert!(cfg.flight_dir.is_none(), "flight recorder is opt-in");
+        let cfg = cfg
+            .with_health(false)
+            .with_measure_interval(0)
+            .with_flight_dir("/tmp/flight");
+        assert!(!cfg.health);
+        assert_eq!(cfg.measure_interval, 1_000_000, "interval floors at 1ms");
+        assert_eq!(
+            cfg.flight_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/flight"))
+        );
     }
 }

@@ -14,7 +14,7 @@ use ioverlay_api::{
     SetBandwidthPayload, StatusReport, StatusRequestPayload, ThroughputPayload, TimerToken,
 };
 use ioverlay_message::{read_msg, write_msg};
-use ioverlay_telemetry::{scrape, NodeTelemetry, SpanBatch, SpanStage};
+use ioverlay_telemetry::{scrape, NodeTelemetry, SeriesBatch, SpanBatch, SpanStage};
 use ioverlay_queue::{CircularQueue, WeightedRoundRobin};
 use ioverlay_ratelimit::{
     BucketChain, Clock, Rate, SharedBucket, SystemClock, ThroughputMeter, TokenBucket,
@@ -90,6 +90,16 @@ pub(crate) struct EngineState {
     /// Span-ring high-watermark: spans with `idx` below this were
     /// already piggybacked to the observer on a previous status report.
     pub spans_reported: u64,
+    /// Series-ring high-watermark: windows with `idx` below this were
+    /// already piggybacked to the observer on a previous status report.
+    pub series_reported: u64,
+    /// Reusable scratch for per-destination flow aggregation in
+    /// [`EngineState::flush_send_stage`]; lives here so the hot path
+    /// allocates only on growth.
+    pub flow_stage: Vec<(ioverlay_telemetry::FlowKey, u64, u64)>,
+    /// Flight-recorder registration (panic + SIGUSR1 dumps), present
+    /// only when a dump directory is configured.
+    pub flight: Option<crate::flight::FlightHandle>,
     /// Total queue poison recoveries already reported to telemetry;
     /// `measure_tick` emits the delta as a structured event.
     pub poison_reported: u64,
@@ -143,6 +153,9 @@ impl EngineState {
             tel,
             trace_count: 0,
             spans_reported: 0,
+            series_reported: 0,
+            flow_stage: Vec::new(),
+            flight: None,
             pool: None,
         }
     }
@@ -483,6 +496,29 @@ impl EngineState {
             if !self.senders.contains_key(&dest) && !self.open_sender(dest) {
                 continue; // connection failed; messages are consumed (lost)
             }
+            // Flow accounting happens at the stage flush: the whole
+            // batch is walked once here, and blocked leftovers retry
+            // through `try_push` (never back through this path), so
+            // every message is counted exactly once.
+            if self.config.health && self.tel.enabled() {
+                self.flow_stage.clear();
+                for m in &msgs {
+                    let key = ioverlay_telemetry::FlowKey {
+                        src: m.origin(),
+                        dst: dest,
+                        kind: m.ty().to_wire(),
+                    };
+                    let bytes = m.wire_len() as u64;
+                    match self.flow_stage.iter_mut().find(|(k, _, _)| *k == key) {
+                        Some((_, n, b)) => {
+                            *n += 1;
+                            *b += bytes;
+                        }
+                        None => self.flow_stage.push((key, 1, bytes)),
+                    }
+                }
+                self.tel.record_flow_batch(&self.flow_stage);
+            }
             // Remember which messages carry data *before* push_batch
             // drains the accepted prefix out of the vec.
             let data_apps: Vec<Option<AppId>> = msgs
@@ -675,8 +711,10 @@ impl EngineState {
                 if let Some(observer) = self.config.observer {
                     let mut report = self.status_report();
                     // Observer-bound reports piggyback only the spans
-                    // recorded since the last one (watermark advances).
+                    // and series windows recorded since the last one
+                    // (watermarks advance).
                     report.spans = self.span_batch(true);
+                    report.series = self.series_batch(true);
                     let status =
                         Msg::new(MsgType::Status, self.id, 0, 0, report.encode());
                     let _ = self.enqueue_send(observer, status, None);
@@ -869,6 +907,14 @@ impl EngineState {
                     .record_queue_poison_recoveries(now, poisoned - self.poison_reported);
                 self.poison_reported = poisoned;
             }
+            // Close a series window on every tick, after the gauges so
+            // the high-water marks are at least this tick's depths.
+            if self.config.health {
+                self.tel.sample_series(now);
+            }
+        }
+        if let Some(flight) = self.flight.as_mut() {
+            crate::flight::poll_sigusr1(flight);
         }
         self.next_measure = now + self.config.measure_interval;
     }
@@ -916,6 +962,9 @@ impl EngineState {
                 .unwrap_or(serde_json::Value::Null),
             telemetry: self.tel.enabled().then(|| self.tel.snapshot()),
             spans: self.span_batch(false),
+            series: self.series_batch(false),
+            flows: (self.tel.enabled() && self.config.health)
+                .then(|| self.tel.flows().snapshot()),
         }
     }
 
@@ -940,6 +989,26 @@ impl EngineState {
             dropped,
             spans,
         })
+    }
+
+    /// Builds the exported series batch, mirroring [`Self::span_batch`]:
+    /// `advance` carries only windows above the piggyback watermark and
+    /// moves it (observer-bound reports); scrapes and local status reads
+    /// get the whole ring and leave the watermark alone.
+    pub(crate) fn series_batch(&mut self, advance: bool) -> Option<SeriesBatch> {
+        if !self.tel.enabled() || !self.config.health {
+            return None;
+        }
+        let windows = if advance {
+            let windows = self.tel.series().windows_since(self.series_reported);
+            if let Some(last) = windows.last() {
+                self.series_reported = last.idx + 1;
+            }
+            windows
+        } else {
+            self.tel.series().snapshot()
+        };
+        Some(SeriesBatch { windows })
     }
 
     // ------------------------------------------------------------------
@@ -971,6 +1040,19 @@ impl EngineState {
 
 /// Runs the engine thread until termination; returns after teardown.
 pub(crate) fn run_engine(mut state: EngineState, events_rx: Receiver<ControlEvent>) {
+    // Flight recorder: explicit config wins, else the environment opts
+    // the whole process in (handy for CI e2e jobs dumping on failure).
+    let flight_dir = state.config.flight_dir.clone().or_else(|| {
+        std::env::var_os("IOVERLAY_FLIGHT_DIR").map(std::path::PathBuf::from)
+    });
+    if let Some(dir) = flight_dir {
+        state.flight = Some(crate::flight::register(
+            state.id.to_string(),
+            dir,
+            state.tel.clone(),
+            state.clock.clone(),
+        ));
+    }
     state.bootstrap();
     state.run_algorithm(None, |alg, ctx| alg.on_start(ctx));
     while state.running {
@@ -1027,6 +1109,9 @@ pub(crate) fn run_engine(mut state: EngineState, events_rx: Receiver<ControlEven
     }
     if let Some(pool) = state.pool.take() {
         pool.shutdown();
+    }
+    if let Some(flight) = state.flight.take() {
+        crate::flight::unregister(&flight);
     }
 }
 
@@ -1158,7 +1243,9 @@ fn handle_accepted(
     // port peers dial with framed messages; sniff without consuming so
     // framed connections proceed untouched.
     if scrape::sniff_http_get(&stream) {
-        serve_node_scrape(&stream, &events, &clock, &tel);
+        let io_backend = if pool.is_some() { "reactor" } else { "blocking" };
+        let shards = pool.as_ref().map(|p| p.shards() as u64).unwrap_or(0);
+        serve_node_scrape(&stream, &events, &clock, &tel, io_backend, shards);
         return;
     }
     // Peek at the first message without buffered read-ahead so the
@@ -1240,19 +1327,34 @@ fn serve_node_scrape(
     events: &Sender<ControlEvent>,
     clock: &SystemClock,
     tel: &NodeTelemetry,
+    io_backend: &str,
+    shards: u64,
 ) {
     let Some(path) = scrape::read_request_path(stream) else {
         return;
     };
     match path.as_str() {
-        // Liveness and traces answer straight from this thread's shared
-        // handles — no engine round-trip, so a busy (or wedged) engine
-        // never delays them; the report-backed endpoints below double as
-        // the readiness signal.
+        // Liveness, traces, series, and flows answer straight from this
+        // thread's shared handles — no engine round-trip, so a busy (or
+        // wedged) engine never delays them; the report-backed endpoints
+        // below double as the readiness signal.
         "/healthz" => {
             let uptime = clock.now() / ioverlay_ratelimit::NANOS_PER_SEC;
-            let body = format!("ok uptime_seconds={uptime}\n");
+            let body = scrape::healthz_body(uptime, io_backend, shards);
             scrape::write_response(stream, 200, "text/plain", &body);
+            return;
+        }
+        "/series" | "/series.json" => {
+            let batch = SeriesBatch {
+                windows: tel.series().snapshot(),
+            };
+            let body = serde_json::to_string_pretty(&batch).unwrap_or_default();
+            scrape::write_response(stream, 200, scrape::JSON_CONTENT_TYPE, &body);
+            return;
+        }
+        "/flows" | "/flows.json" => {
+            let body = serde_json::to_string_pretty(&tel.flows().snapshot()).unwrap_or_default();
+            scrape::write_response(stream, 200, scrape::JSON_CONTENT_TYPE, &body);
             return;
         }
         "/traces" => {
@@ -1292,7 +1394,7 @@ fn serve_node_scrape(
             stream,
             404,
             "text/plain",
-            "paths: /metrics /metrics.json /status.json /traces /healthz\n",
+            "paths: /metrics /metrics.json /status.json /traces /series /flows /healthz\n",
         ),
     }
 }

@@ -1,0 +1,198 @@
+//! Flight-recorder triggers: the process-wide panic hook and SIGUSR1
+//! polling that turn [`ioverlay_telemetry::flight`]'s dump writer into
+//! a black box for live nodes.
+//!
+//! Every engine node with a configured dump directory registers here at
+//! startup (both I/O backends go through `run_engine`, so both are
+//! covered) and unregisters at teardown. Two triggers fire dumps:
+//!
+//! * **Panic**: the first registration chains a `std::panic` hook that
+//!   dumps *every* registered node, then defers to the previous hook.
+//!   The hook runs on the panicking thread, so the dump's
+//!   `held_lock_classes` names any instrumented lock the crash was
+//!   holding.
+//! * **SIGUSR1**: the `signal` compat shim bumps a process-global
+//!   generation counter from the (async-signal-safe) handler; each
+//!   engine compares it against its last-seen generation on the measure
+//!   tick and dumps itself when it moved. Polling keeps all dump I/O on
+//!   ordinary engine threads — nothing heavier than one atomic load
+//!   happens in signal context.
+
+use std::path::PathBuf;
+
+use ioverlay_ratelimit::{Clock, SystemClock};
+use ioverlay_telemetry::flight::{dump, FlightContext};
+use ioverlay_telemetry::NodeTelemetry;
+
+use crate::sync::{classes, Arc, Mutex, OnceLock};
+
+/// One registered node: everything a dump needs, cloneable so the hook
+/// copies registrations out and writes files with the registry lock
+/// released.
+#[derive(Clone)]
+struct Registration {
+    label: String,
+    dir: PathBuf,
+    tel: Arc<NodeTelemetry>,
+    clock: Arc<SystemClock>,
+}
+
+/// Slot-keyed table so unregistration is O(1) and never shifts other
+/// nodes' handles.
+fn registry() -> &'static Mutex<Vec<Option<Registration>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Option<Registration>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(&classes::ENGINE_FLIGHT, Vec::new()))
+}
+
+fn install_panic_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            dump_all("panic");
+            previous(info);
+        }));
+    });
+}
+
+/// Dumps every registered node. Dump failures are swallowed: a broken
+/// disk must not turn a panic into an abort, and a SIGUSR1 dump is
+/// best-effort by design.
+fn dump_all(reason: &str) {
+    let regs: Vec<Registration> = {
+        let registry = registry().lock();
+        registry.iter().flatten().cloned().collect()
+    };
+    for reg in regs {
+        let ctx = FlightContext {
+            node: reg.label.clone(),
+            reason: reason.to_string(),
+            at: reg.clock.now(),
+            wall_anchor: reg.clock.wall_anchor_nanos(),
+        };
+        let _ = dump(&reg.dir, &ctx, &reg.tel);
+    }
+}
+
+/// A live registration; `unregister` with the returned handle at
+/// teardown so a long-lived test process does not accumulate dead
+/// `Arc<NodeTelemetry>`s.
+pub(crate) struct FlightHandle {
+    slot: usize,
+    /// SIGUSR1 generation already handled for this node.
+    last_generation: u64,
+}
+
+/// Registers a node for flight dumps, installing the panic hook and
+/// signal handler on first use. Returns the handle the measure tick
+/// polls.
+pub(crate) fn register(
+    label: String,
+    dir: PathBuf,
+    tel: Arc<NodeTelemetry>,
+    clock: Arc<SystemClock>,
+) -> FlightHandle {
+    install_panic_hook();
+    signal::install();
+    let reg = Registration {
+        label,
+        dir,
+        tel,
+        clock,
+    };
+    let mut registry = registry().lock();
+    let slot = match registry.iter().position(Option::is_none) {
+        Some(free) => {
+            registry[free] = Some(reg);
+            free
+        }
+        None => {
+            registry.push(Some(reg));
+            registry.len() - 1
+        }
+    };
+    FlightHandle {
+        slot,
+        // Signals delivered before this node existed are not its
+        // business; only generations after registration trigger a dump.
+        last_generation: signal::generation(),
+    }
+}
+
+/// Drops a registration at engine teardown.
+pub(crate) fn unregister(handle: &FlightHandle) {
+    let mut registry = registry().lock();
+    if let Some(slot) = registry.get_mut(handle.slot) {
+        *slot = None;
+    }
+}
+
+/// Measure-tick poll: dumps this node once per SIGUSR1 generation
+/// observed since the last poll.
+pub(crate) fn poll_sigusr1(handle: &mut FlightHandle) {
+    let generation = signal::generation();
+    if generation == handle.last_generation {
+        return;
+    }
+    handle.last_generation = generation;
+    let reg = {
+        let registry = registry().lock();
+        registry.get(handle.slot).and_then(Clone::clone)
+    };
+    let Some(reg) = reg else {
+        return;
+    };
+    let ctx = FlightContext {
+        node: reg.label.clone(),
+        reason: "sigusr1".to_string(),
+        at: reg.clock.now(),
+        wall_anchor: reg.clock.wall_anchor_nanos(),
+    };
+    let _ = dump(&reg.dir, &ctx, &reg.tel);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_poll_dump_unregister_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ioverlay-flight-{}", std::process::id()));
+        let tel = Arc::new(NodeTelemetry::new(true, 16));
+        tel.record_switch_batch(8, 2);
+        tel.sample_series(1_000);
+        let clock = Arc::new(SystemClock::new());
+        let mut handle = register("test-node-7".to_string(), dir.clone(), tel, clock);
+
+        // No generation movement: no dump.
+        poll_sigusr1(&mut handle);
+
+        signal::trigger();
+        poll_sigusr1(&mut handle);
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dump dir exists")
+            .flatten()
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with("flight-test-node-7-sigusr1")
+            })
+            .collect();
+        assert_eq!(dumps.len(), 1, "one dump per generation");
+
+        unregister(&handle);
+        signal::trigger();
+        poll_sigusr1(&mut handle);
+        let after: usize = std::fs::read_dir(&dir)
+            .expect("dump dir exists")
+            .flatten()
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with("flight-test-node-7")
+            })
+            .count();
+        assert_eq!(after, 1, "unregistered nodes no longer dump");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

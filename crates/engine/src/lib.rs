@@ -57,6 +57,7 @@
 mod config;
 mod ctx;
 mod engine;
+mod flight;
 mod handle;
 mod peer;
 mod shard;

@@ -14,3 +14,4 @@
 pub(crate) use lockdep::{check_blocking, classes, Mutex};
 pub(crate) use std::sync::atomic;
 pub(crate) use std::sync::Arc;
+pub(crate) use std::sync::OnceLock;

@@ -1,14 +1,21 @@
 //! The transport-free observer state machine.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
+use ioverlay_api::telemetry::SeriesWindow;
 use ioverlay_api::{BootReplyPayload, Msg, MsgType, Nanos, NodeId, StatusReport, StatusRequestPayload};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::assembly::{TraceStore, DEFAULT_TRACE_TREE_CAPACITY};
+use crate::health::{self, HealthState};
 use crate::trace::{TraceLog, TraceRecord, DEFAULT_TRACE_CAPACITY};
+
+/// Series windows retained per node for health evaluation; the
+/// evaluator needs only [`health::EVAL_WINDOWS`], the rest serve the
+/// `/series` endpoint's cluster view.
+const SERIES_HISTORY: usize = 64;
 
 /// Observer tunables.
 #[derive(Debug, Clone)]
@@ -47,6 +54,25 @@ pub struct NodeRecord {
     pub last_heard: Nanos,
     /// The latest status report, if any.
     pub status: Option<StatusReport>,
+    /// Recent series windows piggybacked on status reports, oldest
+    /// first, deduplicated by window index.
+    pub series: VecDeque<SeriesWindow>,
+    /// Latest health verdict (see [`crate::health`]).
+    pub health: HealthState,
+    /// Reason codes behind `health`; empty iff healthy.
+    pub health_reasons: Vec<&'static str>,
+}
+
+impl NodeRecord {
+    fn new(now: Nanos) -> Self {
+        Self {
+            last_heard: now,
+            status: None,
+            series: VecDeque::new(),
+            health: HealthState::Healthy,
+            health_reasons: Vec::new(),
+        }
+    }
 }
 
 /// The observer's state machine: feed it every message that arrives from
@@ -145,10 +171,10 @@ impl ObserverCore {
     /// reply to send back to the originating node, if any.
     pub fn handle(&mut self, msg: &Msg, now: Nanos) -> Option<Msg> {
         let from = msg.origin();
-        let record = self.nodes.entry(from).or_insert(NodeRecord {
-            last_heard: now,
-            status: None,
-        });
+        let record = self
+            .nodes
+            .entry(from)
+            .or_insert_with(|| NodeRecord::new(now));
         record.last_heard = now;
         match msg.ty() {
             MsgType::Boot => {
@@ -175,13 +201,23 @@ impl ObserverCore {
                     if let Some(batch) = &report.spans {
                         self.spans.ingest(key, batch);
                     }
-                    self.nodes
+                    let record = self
+                        .nodes
                         .entry(key)
-                        .or_insert(NodeRecord {
-                            last_heard: now,
-                            status: None,
-                        })
-                        .status = Some(report);
+                        .or_insert_with(|| NodeRecord::new(now));
+                    if let Some(batch) = &report.series {
+                        // Dedup by window index: scrapes and full-ring
+                        // reports may replay windows already ingested.
+                        let next = record.series.back().map_or(0, |w| w.idx + 1);
+                        for window in batch.windows.iter().filter(|w| w.idx >= next) {
+                            if record.series.len() == SERIES_HISTORY {
+                                record.series.pop_front();
+                            }
+                            record.series.push_back(*window);
+                        }
+                    }
+                    record.status = Some(report);
+                    self.refresh_health(key, now);
                 }
                 None
             }
@@ -196,6 +232,145 @@ impl ObserverCore {
             }
             _ => None,
         }
+    }
+
+    /// The cluster series view — every node's retained windows, oldest
+    /// first — as one JSON value: the observer's `/series` body.
+    pub fn series_json(&self) -> serde_json::Value {
+        let nodes: Vec<serde_json::Value> = self
+            .nodes
+            .iter()
+            .map(|(id, record)| {
+                let windows: Vec<SeriesWindow> = record.series.iter().copied().collect();
+                serde_json::json!({
+                    "node": id.to_string(),
+                    "windows": windows,
+                })
+            })
+            .collect();
+        serde_json::json!({ "nodes": nodes })
+    }
+
+    /// The cluster flow view — every node's latest reported sketch — as
+    /// one JSON value: the observer's `/flows` body.
+    pub fn flows_json(&self) -> serde_json::Value {
+        let nodes: Vec<serde_json::Value> = self
+            .nodes
+            .iter()
+            .filter_map(|(id, record)| {
+                let flows = record.status.as_ref()?.flows.as_ref()?;
+                Some(serde_json::json!({
+                    "node": id.to_string(),
+                    "flows": flows,
+                }))
+            })
+            .collect();
+        serde_json::json!({ "nodes": nodes })
+    }
+
+    /// Re-evaluates one node's health and logs a trace record on every
+    /// state transition, so the central trace log doubles as a health
+    /// event history.
+    fn refresh_health(&mut self, node: NodeId, now: Nanos) {
+        let Some(record) = self.nodes.get_mut(&node) else {
+            return;
+        };
+        let age = now.saturating_sub(record.last_heard);
+        let windows: Vec<SeriesWindow> = record.series.iter().copied().collect();
+        let (state, reasons) =
+            health::evaluate(&windows, age, self.config.liveness_timeout);
+        if state != record.health {
+            let why = if reasons.is_empty() {
+                "ok".to_string()
+            } else {
+                reasons.join(",")
+            };
+            let text = format!("health: {} -> {} ({why})", record.health, state);
+            record.health = state;
+            record.health_reasons = reasons;
+            self.traces.push(TraceRecord { at: now, node, text });
+        } else {
+            record.health_reasons = reasons;
+        }
+    }
+
+    /// Re-evaluates every known node's health at time `now`. Transports
+    /// call this periodically so silence transitions (which no incoming
+    /// report can trigger) still land in the trace log.
+    pub fn evaluate_health(&mut self, now: Nanos) {
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        for id in ids {
+            self.refresh_health(id, now);
+        }
+    }
+
+    /// Per-node and per-link health verdicts as one JSON value — the
+    /// `/health.json` endpoint body. Evaluation happens at read time, so
+    /// the view reflects silence even if no report has arrived since.
+    pub fn health_json(&self, now: Nanos) -> serde_json::Value {
+        let mut states: BTreeMap<NodeId, (HealthState, Vec<&'static str>)> = BTreeMap::new();
+        for (&id, record) in &self.nodes {
+            let age = now.saturating_sub(record.last_heard);
+            let windows: Vec<SeriesWindow> = record.series.iter().copied().collect();
+            states.insert(
+                id,
+                health::evaluate(&windows, age, self.config.liveness_timeout),
+            );
+        }
+        let nodes: Vec<serde_json::Value> = self
+            .nodes
+            .iter()
+            .map(|(id, record)| {
+                let (state, reasons) = &states[id];
+                serde_json::json!({
+                    "node": id.to_string(),
+                    "state": state.as_str(),
+                    "reasons": reasons,
+                    "windows": record.series.len(),
+                    "last_heard_secs_ago":
+                        (now.saturating_sub(record.last_heard)) as f64 / 1e9,
+                })
+            })
+            .collect();
+        // Links inherit trouble from their endpoints: a silent far end
+        // is the classic "is it the node or the path" ambiguity, flagged
+        // as `neighbor_silent`; a degraded/stalled destination projects
+        // its reasons onto every link feeding it (backpressure travels
+        // upstream).
+        let mut links: Vec<serde_json::Value> = Vec::new();
+        for (&src, record) in &self.nodes {
+            let Some(status) = &record.status else {
+                continue;
+            };
+            for &dst in &status.downstreams {
+                // Nodes list their poll link back to the observer as a
+                // downstream; the observer is not an overlay hop and
+                // never reports series, so judging that link would cry
+                // `neighbor_silent` forever. Skip it.
+                if Some(dst) == self.identity {
+                    continue;
+                }
+                let src_silent = states[&src].0 == HealthState::Silent;
+                let dst_state = states.get(&dst);
+                let (state, reasons): (HealthState, Vec<&'static str>) = match dst_state {
+                    _ if src_silent => {
+                        (HealthState::Silent, vec![health::reasons::NEIGHBOR_SILENT])
+                    }
+                    None | Some((HealthState::Silent, _)) => {
+                        (HealthState::Degraded, vec![health::reasons::NEIGHBOR_SILENT])
+                    }
+                    Some((s, r)) if *s != HealthState::Healthy => (*s, r.clone()),
+                    Some(_) => (HealthState::Healthy, Vec::new()),
+                };
+                links.push(serde_json::json!({
+                    "src": src.to_string(),
+                    "dst": dst.to_string(),
+                    "state": state.as_str(),
+                    "reasons": reasons,
+                }));
+            }
+        }
+        serde_json::json!({ "nodes": nodes, "links": links })
     }
 
     /// Builds the periodic status `request` for one node. The message
@@ -227,6 +402,11 @@ impl ObserverCore {
                     "node": id.to_string(),
                     "alive": alive.contains(id),
                     "last_heard_secs_ago": (now.saturating_sub(record.last_heard)) as f64 / 1e9,
+                    "health": serde_json::json!({
+                        "state": record.health.as_str(),
+                        "reasons": record.health_reasons,
+                    }),
+                    "series_windows": record.series.len(),
                     "status": record.status.as_ref().map(|s| serde_json::json!({
                         "upstreams": s.upstreams.iter().map(|n| n.to_string()).collect::<Vec<_>>(),
                         "downstreams": s.downstreams.iter().map(|n| n.to_string()).collect::<Vec<_>>(),
@@ -236,6 +416,7 @@ impl ObserverCore {
                             .collect::<Vec<_>>(),
                         "algorithm": s.algorithm,
                         "telemetry": s.telemetry.as_ref().map(telemetry_summary_json),
+                        "flows": s.flows.as_ref().map(flows_summary_json),
                     })),
                 })
             })
@@ -258,6 +439,35 @@ impl ObserverCore {
 /// scrape endpoint.
 ///
 /// [`TelemetrySnapshot`]: ioverlay_api::TelemetrySnapshot
+/// Compacts a node's [`FlowsSnapshot`] for the dashboard: the total and
+/// the five heaviest flows. The full sketch stays on the node's own
+/// `/flows` endpoint.
+///
+/// [`FlowsSnapshot`]: ioverlay_api::telemetry::FlowsSnapshot
+fn flows_summary_json(flows: &ioverlay_api::telemetry::FlowsSnapshot) -> serde_json::Value {
+    let top: Vec<serde_json::Value> = flows
+        .entries
+        .iter()
+        .take(5)
+        .map(|e| {
+            serde_json::json!({
+                "src": e.key.src.to_string(),
+                "dst": e.key.dst.to_string(),
+                "kind": e.key.kind,
+                "count": e.count,
+                "err": e.err,
+                "bytes": e.bytes,
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "total": flows.total,
+        "tracked": flows.entries.len(),
+        "k": flows.k,
+        "top": top,
+    })
+}
+
 fn telemetry_summary_json(tel: &ioverlay_api::TelemetrySnapshot) -> serde_json::Value {
     let counters: Vec<serde_json::Value> = tel
         .counters
@@ -423,6 +633,32 @@ mod tests {
         assert_eq!(node["alive"], true);
         assert_eq!(node["status"]["switched_msgs"], 9);
         assert_eq!(node["status"]["downstreams"][0], "127.0.0.1:2");
+    }
+
+    #[test]
+    fn observer_poll_link_is_not_judged() {
+        let mut obs = ObserverCore::new(ObserverConfig::default());
+        obs.set_identity(n(9000));
+        let report = StatusReport {
+            node: Some(n(1)),
+            // Nodes report their observer poll connection as a
+            // downstream alongside real overlay links.
+            downstreams: vec![n(9000), n(2)],
+            ..Default::default()
+        };
+        obs.handle(&Msg::new(MsgType::Status, n(1), 0, 0, report.encode()), 0);
+        let health = obs.health_json(0);
+        let links = health["links"].as_array().unwrap();
+        assert!(
+            links.iter().all(|l| l["dst"].as_str() != Some("127.0.0.1:9000")),
+            "observer poll link leaked into health: {health}"
+        );
+        assert!(
+            links
+                .iter()
+                .any(|l| l["dst"].as_str() == Some("127.0.0.1:2")),
+            "real overlay link missing from health: {health}"
+        );
     }
 
     #[test]

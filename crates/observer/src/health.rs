@@ -1,0 +1,306 @@
+//! Observer-side health evaluation over reported series windows.
+//!
+//! Nodes export *facts* (windowed deltas of their own counters, see
+//! `ioverlay_telemetry::series`); turning facts into *states* is the
+//! observer's job, because only the observer sees every node and can
+//! compare what a node claims against whether it reports at all. The
+//! evaluator here is a pure function from the last few series windows
+//! (plus report recency) to a [`HealthState`] with machine-readable
+//! [reason codes](reasons), so the same rules run identically against
+//! the TCP observer, the simulator harness, and unit tests.
+//!
+//! States escalate: `Healthy` → `Degraded` (making progress, but a
+//! pathology is visible) → `Stalled` (buffered work, no progress) →
+//! `Silent` (no reports at all). Every non-healthy verdict carries at
+//! least one reason code.
+
+use ioverlay_api::telemetry::SeriesWindow;
+use ioverlay_api::{Nanos, NodeId};
+
+/// How many consecutive windows a pathology must span before the
+/// evaluator flags it — one noisy window is weather, three are climate.
+pub const EVAL_WINDOWS: usize = 3;
+
+/// Machine-readable reason codes attached to non-healthy states.
+pub mod reasons {
+    /// Queue high-water marks rose (or stayed pinned with blocked
+    /// sends) across every evaluated window: a downstream is not
+    /// draining, backpressure is building.
+    pub const QUEUE_GROWTH: &str = "queue_growth";
+    /// The node spent most of each window waiting on token buckets: the
+    /// configured bandwidth is the bottleneck.
+    pub const BUCKET_SATURATED: &str = "bucket_saturated";
+    /// Bytes arrive but no messages decode from them: a peer is
+    /// writing garbage or a framing bug is eating the stream.
+    pub const DECODE_STALL: &str = "decode_stall";
+    /// The node has not reported within the silence threshold.
+    pub const NEIGHBOR_SILENT: &str = "neighbor_silent";
+}
+
+/// Health verdict for one node or link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// No pathology visible in the evaluated windows.
+    Healthy,
+    /// Progressing, but a pathology (growth, saturation, decode stall)
+    /// is sustained.
+    Degraded,
+    /// Work is buffered and nothing is being switched.
+    Stalled,
+    /// No report within the silence threshold.
+    Silent,
+}
+
+impl HealthState {
+    /// Stable lowercase label for JSON and dashboards.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Stalled => "stalled",
+            HealthState::Silent => "silent",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One node's verdict with its evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeHealth {
+    /// The node judged.
+    pub node: NodeId,
+    /// The verdict.
+    pub state: HealthState,
+    /// Reason codes (from [`reasons`]); empty iff `Healthy`.
+    pub reasons: Vec<&'static str>,
+}
+
+/// Evaluates one node from its recent windows and report recency.
+///
+/// `last_heard_age` is how long ago the observer last heard *anything*
+/// from the node; `silent_after` is the threshold beyond which the node
+/// is declared [`HealthState::Silent`]. Fewer than [`EVAL_WINDOWS`]
+/// windows cannot convict: a node that is merely young stays `Healthy`.
+pub fn evaluate(
+    windows: &[SeriesWindow],
+    last_heard_age: Nanos,
+    silent_after: Nanos,
+) -> (HealthState, Vec<&'static str>) {
+    if last_heard_age >= silent_after {
+        return (HealthState::Silent, vec![reasons::NEIGHBOR_SILENT]);
+    }
+    let Some(recent) = windows.len().checked_sub(EVAL_WINDOWS).map(|s| &windows[s..]) else {
+        return (HealthState::Healthy, Vec::new());
+    };
+
+    let mut codes = Vec::new();
+    if queue_growth(recent) {
+        codes.push(reasons::QUEUE_GROWTH);
+    }
+    if bucket_saturated(recent) {
+        codes.push(reasons::BUCKET_SATURATED);
+    }
+    if decode_stall(recent) {
+        codes.push(reasons::DECODE_STALL);
+    }
+
+    // No progress of any kind — neither relayed nor locally-originated
+    // traffic moved — while work sat buffered. A shaped source that
+    // switches nothing but still sends is merely degraded.
+    let stalled = recent
+        .iter()
+        .all(|w| w.msgs_switched == 0 && w.msgs_sent == 0)
+        && recent
+            .iter()
+            .all(|w| w.recv_queue_hwm > 0 || w.send_queue_hwm > 0);
+    if stalled {
+        // A stall with no more specific evidence is still queue growth
+        // at its limit: the buffered work is the queue that grew.
+        if codes.is_empty() {
+            codes.push(reasons::QUEUE_GROWTH);
+        }
+        return (HealthState::Stalled, codes);
+    }
+    if codes.is_empty() {
+        (HealthState::Healthy, codes)
+    } else {
+        (HealthState::Degraded, codes)
+    }
+}
+
+/// Backpressure building: a queue high-water mark above zero in every
+/// window that either never falls and ends higher than it started, or
+/// stays pinned while sends are actively blocking. Requiring depth in
+/// *every* window keeps a single-window spike from convicting.
+fn queue_growth(recent: &[SeriesWindow]) -> bool {
+    let side = |hwm: fn(&SeriesWindow) -> u64| {
+        if !recent.iter().all(|w| hwm(w) > 0) {
+            return false;
+        }
+        let monotone = recent.windows(2).all(|p| hwm(&p[1]) >= hwm(&p[0]));
+        let grew = monotone
+            && hwm(recent.last().expect("non-empty")) > hwm(recent.first().expect("non-empty"));
+        let pinned = recent.iter().any(|w| w.sends_blocked > 0);
+        grew || pinned
+    };
+    side(|w| w.send_queue_hwm) || side(|w| w.recv_queue_hwm)
+}
+
+/// Token buckets dominating each window: the per-window bucket-wait
+/// total covers at least 80% of the window's span.
+fn bucket_saturated(recent: &[SeriesWindow]) -> bool {
+    recent.iter().all(|w| {
+        let span = w.end.saturating_sub(w.start);
+        span > 0 && w.bucket_wait_nanos >= span / 5 * 4
+    })
+}
+
+/// Bytes flow in, messages do not come out — in every window.
+fn decode_stall(recent: &[SeriesWindow]) -> bool {
+    recent
+        .iter()
+        .all(|w| w.bytes_received > 0 && w.msgs_received == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win(idx: u64, f: impl FnOnce(&mut SeriesWindow)) -> SeriesWindow {
+        let mut w = SeriesWindow {
+            idx,
+            start: idx * 1_000,
+            end: (idx + 1) * 1_000,
+            msgs_switched: 10,
+            msgs_received: 10,
+            bytes_received: 1_000,
+            ..SeriesWindow::default()
+        };
+        f(&mut w);
+        w
+    }
+
+    #[test]
+    fn young_nodes_are_healthy() {
+        let (state, codes) = evaluate(&[win(0, |_| {})], 0, 1_000_000);
+        assert_eq!(state, HealthState::Healthy);
+        assert!(codes.is_empty());
+    }
+
+    #[test]
+    fn silence_beats_everything() {
+        let windows: Vec<_> = (0..3).map(|i| win(i, |_| {})).collect();
+        let (state, codes) = evaluate(&windows, 2_000_000, 1_000_000);
+        assert_eq!(state, HealthState::Silent);
+        assert_eq!(codes, vec![reasons::NEIGHBOR_SILENT]);
+    }
+
+    #[test]
+    fn growing_send_queue_degrades_with_queue_growth() {
+        let windows: Vec<_> = (0..3)
+            .map(|i| win(i, |w| w.send_queue_hwm = (i + 1) * 4))
+            .collect();
+        let (state, codes) = evaluate(&windows, 0, u64::MAX);
+        assert_eq!(state, HealthState::Degraded);
+        assert_eq!(codes, vec![reasons::QUEUE_GROWTH]);
+    }
+
+    #[test]
+    fn pinned_queue_with_blocked_sends_degrades() {
+        let windows: Vec<_> = (0..3)
+            .map(|i| {
+                win(i, |w| {
+                    w.send_queue_hwm = 10; // full, not growing
+                    w.sends_blocked = 5;
+                })
+            })
+            .collect();
+        let (state, codes) = evaluate(&windows, 0, u64::MAX);
+        assert_eq!(state, HealthState::Degraded);
+        assert_eq!(codes, vec![reasons::QUEUE_GROWTH]);
+    }
+
+    #[test]
+    fn no_progress_with_buffered_work_is_stalled() {
+        let windows: Vec<_> = (0..3)
+            .map(|i| {
+                win(i, |w| {
+                    w.msgs_switched = 0;
+                    w.send_queue_hwm = 10;
+                })
+            })
+            .collect();
+        let (state, codes) = evaluate(&windows, 0, u64::MAX);
+        assert_eq!(state, HealthState::Stalled);
+        assert!(codes.contains(&reasons::QUEUE_GROWTH));
+    }
+
+    #[test]
+    fn shaped_source_is_degraded_not_stalled() {
+        // A source switches nothing (it originates), but it *is* making
+        // progress: its sends move. Pinned by a token bucket it reads
+        // degraded with the bucket reason, never stalled.
+        let windows: Vec<_> = (0..3)
+            .map(|i| {
+                win(i, |w| {
+                    w.msgs_switched = 0;
+                    w.msgs_sent = 40;
+                    w.send_queue_hwm = 8;
+                    w.bucket_wait_nanos = 900;
+                })
+            })
+            .collect();
+        let (state, codes) = evaluate(&windows, 0, u64::MAX);
+        assert_eq!(state, HealthState::Degraded);
+        assert_eq!(codes, vec![reasons::BUCKET_SATURATED]);
+    }
+
+    #[test]
+    fn idle_node_is_healthy_not_stalled() {
+        let windows: Vec<_> = (0..3)
+            .map(|i| {
+                win(i, |w| {
+                    w.msgs_switched = 0;
+                    w.msgs_received = 0;
+                    w.bytes_received = 0;
+                })
+            })
+            .collect();
+        let (state, _) = evaluate(&windows, 0, u64::MAX);
+        assert_eq!(state, HealthState::Healthy, "empty queues = idle, not stalled");
+    }
+
+    #[test]
+    fn bucket_wait_covering_windows_degrades() {
+        let windows: Vec<_> = (0..3)
+            .map(|i| win(i, |w| w.bucket_wait_nanos = 900))
+            .collect();
+        let (state, codes) = evaluate(&windows, 0, u64::MAX);
+        assert_eq!(state, HealthState::Degraded);
+        assert_eq!(codes, vec![reasons::BUCKET_SATURATED]);
+    }
+
+    #[test]
+    fn bytes_without_messages_is_a_decode_stall() {
+        let windows: Vec<_> = (0..3)
+            .map(|i| win(i, |w| w.msgs_received = 0))
+            .collect();
+        let (state, codes) = evaluate(&windows, 0, u64::MAX);
+        assert_eq!(state, HealthState::Degraded);
+        assert_eq!(codes, vec![reasons::DECODE_STALL]);
+    }
+
+    #[test]
+    fn one_bad_window_is_not_enough() {
+        let mut windows: Vec<_> = (0..3).map(|i| win(i, |_| {})).collect();
+        windows[2].send_queue_hwm = 50;
+        windows[2].sends_blocked = 5;
+        let (state, _) = evaluate(&windows, 0, u64::MAX);
+        assert_eq!(state, HealthState::Healthy, "single-window spikes are ignored");
+    }
+}

@@ -35,12 +35,14 @@ pub mod assembly;
 pub mod commands;
 mod core;
 pub mod dot;
+pub mod health;
 pub mod proxy;
 mod server;
 mod sync;
 mod trace;
 
 pub use crate::core::{NodeRecord, ObserverConfig, ObserverCore};
+pub use health::{HealthState, NodeHealth};
 pub use assembly::{LinkStats, TraceStore, TraceTree, DEFAULT_TRACE_TREE_CAPACITY};
 pub use server::ObserverServer;
 pub use trace::{TraceLog, TraceRecord, DEFAULT_TRACE_CAPACITY};

@@ -119,6 +119,23 @@ impl ObserverServer {
         self.core.lock().trace_store().to_json()
     }
 
+    /// Per-node and per-link health verdicts — the `/health.json`
+    /// endpoint's body.
+    pub fn health_json(&self) -> serde_json::Value {
+        let now = self.clock.now();
+        self.core.lock().health_json(now)
+    }
+
+    /// The cluster series view — the observer `/series` endpoint's body.
+    pub fn series_json(&self) -> serde_json::Value {
+        self.core.lock().series_json()
+    }
+
+    /// The cluster flow view — the observer `/flows` endpoint's body.
+    pub fn flows_json(&self) -> serde_json::Value {
+        self.core.lock().flows_json()
+    }
+
     /// The assembled message traces in Chrome trace-event format
     /// (Perfetto-loadable) — the `/traces.chrome` endpoint's body.
     pub fn chrome_trace_json(&self) -> serde_json::Value {
@@ -262,9 +279,24 @@ fn serve_observer_scrape(
             let body = serde_json::to_string(&chrome).unwrap_or_default();
             scrape::write_response(stream, 200, scrape::JSON_CONTENT_TYPE, &body);
         }
+        "/health" | "/health.json" => {
+            let health = { core.lock().health_json(now) };
+            let body = serde_json::to_string_pretty(&health).unwrap_or_default();
+            scrape::write_response(stream, 200, scrape::JSON_CONTENT_TYPE, &body);
+        }
+        "/series" | "/series.json" => {
+            let series = { core.lock().series_json() };
+            let body = serde_json::to_string_pretty(&series).unwrap_or_default();
+            scrape::write_response(stream, 200, scrape::JSON_CONTENT_TYPE, &body);
+        }
+        "/flows" | "/flows.json" => {
+            let flows = { core.lock().flows_json() };
+            let body = serde_json::to_string_pretty(&flows).unwrap_or_default();
+            scrape::write_response(stream, 200, scrape::JSON_CONTENT_TYPE, &body);
+        }
         "/healthz" => {
             let uptime = now / 1_000_000_000;
-            let body = format!("ok uptime_seconds={uptime}\n");
+            let body = scrape::healthz_body(uptime, "observer", 0);
             scrape::write_response(stream, 200, "text/plain", &body);
         }
         _ => {
@@ -272,7 +304,7 @@ fn serve_observer_scrape(
                 stream,
                 404,
                 "text/plain",
-                "not found; try /metrics, /snapshot, /traces, /traces.chrome or /healthz\n",
+                "not found; try /metrics, /snapshot, /traces, /traces.chrome, /health.json, /series, /flows or /healthz\n",
             );
         }
     }
@@ -314,7 +346,10 @@ fn poll_loop(core: Arc<Mutex<ObserverCore>>, clock: Arc<SystemClock>, running: A
         }
         next = now + POLL_INTERVAL;
         let requests: Vec<(NodeId, Msg)> = {
-            let core = core.lock();
+            let mut core = core.lock();
+            // Health re-evaluation rides the poll tick so silence
+            // transitions land in the trace log without any report.
+            core.evaluate_health(now);
             core.alive_nodes(now)
                 .into_iter()
                 .map(|node| (node, core.status_request(node)))

@@ -370,7 +370,7 @@ impl Sim {
     /// per-link throughput, and the algorithm's own status.
     pub fn status_report(&mut self, node_id: NodeId) -> Option<ioverlay_api::StatusReport> {
         let now = self.now;
-        let (recv, send, ups, downs, switched, alg_status, telemetry, spans) = {
+        let (recv, send, ups, downs, switched, alg_status, telemetry, spans, series, flows) = {
             let node = self.nodes.get(&node_id)?;
             let recv: Vec<(NodeId, usize)> = node
                 .recv_queues
@@ -400,6 +400,12 @@ impl Sim {
                     spans,
                 }
             });
+            // The sim is single-threaded, so reports always carry the
+            // full ring — there is no piggyback watermark to advance.
+            let series = node.tel.enabled().then(|| ioverlay_telemetry::SeriesBatch {
+                windows: node.tel.series().snapshot(),
+            });
+            let flows = node.tel.enabled().then(|| node.tel.flows().snapshot());
             (
                 recv,
                 send,
@@ -409,6 +415,8 @@ impl Sim {
                 alg_status,
                 telemetry,
                 spans,
+                series,
+                flows,
             )
         };
         let link_kbps: Vec<(NodeId, f64)> = downs
@@ -426,6 +434,8 @@ impl Sim {
             algorithm: alg_status,
             telemetry,
             spans,
+            series,
+            flows,
         })
     }
 
@@ -944,6 +954,7 @@ impl Sim {
         let is_data = msg.ty() == MsgType::Data;
         let app = msg.app();
         let ty = msg.ty();
+        let origin = msg.origin();
         let bytes = msg.wire_len() as u64;
         let pushed = {
             let node = self.nodes.get_mut(&owner).expect("owner exists");
@@ -962,6 +973,11 @@ impl Sim {
                 }
             }
             self.metrics.record_sent(owner, ty, bytes, self.now);
+            // Flow accounting mirrors the engine's stage flush: keyed by
+            // the message's origin, this hop's destination, and kind.
+            if let Some(node) = self.nodes.get(&owner) {
+                node.tel.record_flow(origin, dest, ty.to_wire(), 1, bytes);
+            }
             self.kick_link(owner, dest);
         }
         pushed
@@ -1072,6 +1088,9 @@ impl Sim {
         node.tel
             .set_link_gauges(upstreams.len() as u64, downstreams.len() as u64);
         node.tel.set_queue_gauges(recv_depth, send_depth);
+        // Close a series window on the virtual tick, after the gauges so
+        // the high-water marks are at least this tick's depths.
+        node.tel.sample_series(self.now);
         let now = self.now;
         for peer in downstreams {
             let kbps = self.metrics.link_kbps(node_id, peer, now);

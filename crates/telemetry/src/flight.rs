@@ -1,0 +1,155 @@
+//! Flight-recorder dump writer: the node's black box.
+//!
+//! A crashed or wedged node takes its diagnosis with it unless someone
+//! writes it down on the way out. This module serializes everything a
+//! [`crate::NodeTelemetry`] retains — counters/gauges/histograms, the
+//! event ring, the span ring, the series windows, the flow sketch —
+//! plus the lock classes held by the *dumping* thread (a panic hook
+//! runs on the panicking thread, so a lock-related crash names its
+//! lock) into one JSONL file: a `meta` line followed by one line per
+//! record, so a truncated dump is still parseable line-by-line.
+//!
+//! This module only writes; *when* to write is the engine's decision
+//! (panic hook and SIGUSR1 generation polling live in
+//! `crates/engine/src/flight.rs`).
+
+use std::fs;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use crate::{Nanos, NodeTelemetry};
+
+/// Everything about the dump that the registry does not know itself.
+#[derive(Debug, Clone)]
+pub struct FlightContext {
+    /// Node label (typically the `NodeId` display form).
+    pub node: String,
+    /// Why the dump was taken: `"panic"` or `"sigusr1"`.
+    pub reason: String,
+    /// Dump instant on the node's sampling clock, nanoseconds.
+    pub at: Nanos,
+    /// Unix-nanos anchor for the node's monotonic clock (0 in simnet),
+    /// so offline tooling can place `at` on the wall timeline.
+    pub wall_anchor: u64,
+}
+
+fn write_line<T: Serialize>(
+    out: &mut impl Write,
+    kind: &'static str,
+    record: &T,
+) -> io::Result<()> {
+    // Tag each line with its kind. Non-object records (none today) are
+    // wrapped instead of tagged so the line stays self-describing.
+    let value = match serde_json::to_value(record) {
+        serde_json::Value::Object(mut map) => {
+            map.insert("kind".to_string(), serde_json::Value::String(kind.to_string()));
+            serde_json::Value::Object(map)
+        }
+        other => serde_json::json!({ "kind": kind, "record": other }),
+    };
+    let line = serde_json::to_string(&value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    out.write_all(line.as_bytes())?;
+    out.write_all(b"\n")
+}
+
+/// File name for a dump: label is sanitized, and the monotonic `at`
+/// plus the process id make concurrent dumps from one test run unique
+/// without touching the wall clock.
+fn dump_file_name(ctx: &FlightContext) -> String {
+    let label: String = ctx
+        .node
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    format!(
+        "flight-{label}-{reason}-{pid}-{at}.jsonl",
+        reason = ctx.reason,
+        pid = std::process::id(),
+        at = ctx.at
+    )
+}
+
+/// Writes one flight-recorder dump for `tel` into `dir` (created if
+/// missing) and returns the dump path.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; callers on crash paths ignore it
+/// (a failing dump must never turn a panic into an abort).
+pub fn dump(dir: &Path, ctx: &FlightContext, tel: &NodeTelemetry) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(dump_file_name(ctx));
+    let file = fs::File::create(&path)?;
+    let mut out = BufWriter::new(file);
+
+    let meta = serde_json::json!({
+        "kind": "meta",
+        "node": ctx.node,
+        "reason": ctx.reason,
+        "at": ctx.at,
+        "wall_anchor": ctx.wall_anchor,
+        "version": env!("CARGO_PKG_VERSION"),
+        "lockdep_checking": lockdep::checking_enabled(),
+        "held_lock_classes": lockdep::held_class_names(),
+    });
+    let line = serde_json::to_string(&meta)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    out.write_all(line.as_bytes())?;
+    out.write_all(b"\n")?;
+
+    // One snapshot line carries counters, gauges, histograms, and the
+    // event ring view (snapshot() already reads events consistently).
+    let snapshot = tel.snapshot();
+    write_line(&mut out, "snapshot", &snapshot)?;
+
+    let (spans, span_drops) = tel.spans().consistent_view();
+    for span in &spans {
+        write_line(&mut out, "span", span)?;
+    }
+    write_line(&mut out, "span_drops", &serde_json::json!({ "dropped": span_drops }))?;
+
+    for window in tel.series().snapshot() {
+        write_line(&mut out, "series", &window)?;
+    }
+    write_line(&mut out, "flows", &tel.flows().snapshot())?;
+
+    out.flush()?;
+    Ok(path)
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+    use ioverlay_message::NodeId;
+
+    #[test]
+    fn dump_writes_parseable_jsonl() {
+        let tel = NodeTelemetry::new(true, 16);
+        tel.record_switch_batch(32, 4);
+        tel.record_send_batch(32, 9000);
+        tel.record_flow(NodeId::loopback(1), NodeId::loopback(2), 0, 32, 9000);
+        tel.sample_series(1_000_000_000);
+        let dir = std::env::temp_dir().join(format!("ioverlay-flight-test-{}", std::process::id()));
+        let ctx = FlightContext {
+            node: "127.0.0.1:9999".to_string(),
+            reason: "sigusr1".to_string(),
+            at: 1_500_000_000,
+            wall_anchor: 0,
+        };
+        let path = dump(&dir, &ctx, &tel).expect("dump succeeds");
+        let body = fs::read_to_string(&path).expect("dump readable");
+        let mut kinds = Vec::new();
+        for line in body.lines() {
+            let value: serde_json::Value = serde_json::from_str(line).expect("line is JSON");
+            kinds.push(value["kind"].as_str().expect("kind field").to_string());
+        }
+        assert_eq!(kinds.first().map(String::as_str), Some("meta"));
+        assert!(kinds.iter().any(|k| k == "snapshot"));
+        assert!(kinds.iter().any(|k| k == "series"));
+        assert!(kinds.iter().any(|k| k == "flows"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

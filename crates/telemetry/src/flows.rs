@@ -1,0 +1,233 @@
+//! Top-k flow accounting: a space-saving (Misra-Gries–style) sketch.
+//!
+//! "Which flows are eating this link?" cannot be answered from totals
+//! alone, and keeping an exact per-flow table is unbounded state on a
+//! switch that relays for arbitrarily many `(src, dst, kind)` triples.
+//! The space-saving sketch keeps exactly `k` counters: a recorded key
+//! increments its counter if present; otherwise it *replaces* the
+//! minimum counter, inheriting its count as the new entry's error bound.
+//!
+//! Guarantees (standard for space-saving, proptest-checked in
+//! `crates/api/tests/flow_bounds.rs`):
+//! * every stored count overestimates the true count by at most its
+//!   stored `err`, and `err <= total / k`;
+//! * any flow whose true weight exceeds `total / k` is present.
+//!
+//! Recording is batched: the engine stages messages per destination and
+//! records one batch per flush, so the sketch lock is taken once per
+//! syscall-sized batch, not once per message.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use ioverlay_message::NodeId;
+
+use crate::sync::{classes, Mutex};
+
+/// Default number of tracked flows per node.
+pub const DEFAULT_FLOW_CAPACITY: usize = 32;
+
+/// A flow identity: origin node, destination link, and message kind
+/// (the `MsgType` wire code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// The node that originated the messages.
+    pub src: NodeId,
+    /// The link (destination neighbor) the messages were switched to.
+    pub dst: NodeId,
+    /// Message kind, as its wire code (`MsgType::to_wire`).
+    pub kind: u32,
+}
+
+/// One tracked flow: an overestimating count plus its error bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowEntry {
+    /// The flow identity.
+    pub key: FlowKey,
+    /// Estimated message count; overestimates by at most `err`.
+    pub count: u64,
+    /// Error inherited from the entry this one evicted (0 if the flow
+    /// was tracked from its first message).
+    pub err: u64,
+    /// Wire bytes attributed since this entry (re)entered the sketch.
+    pub bytes: u64,
+}
+
+/// Serializable sketch state: the `/flows` endpoint body and the
+/// `StatusReport.flows` piggyback.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowsSnapshot {
+    /// Sketch width (maximum tracked flows).
+    pub k: usize,
+    /// Total recorded message weight (all flows, tracked or not).
+    pub total: u64,
+    /// Tracked flows, heaviest first.
+    pub entries: Vec<FlowEntry>,
+}
+
+#[derive(Debug, Default)]
+struct FlowState {
+    entries: Vec<FlowEntry>,
+    total: u64,
+}
+
+/// A bounded space-saving sketch over [`FlowKey`]s.
+#[derive(Debug)]
+pub struct FlowSketch {
+    k: usize,
+    entries: Mutex<FlowState>,
+}
+
+impl FlowSketch {
+    /// Creates a sketch tracking at most `k` flows (clamped to ≥ 1).
+    pub fn new(k: usize) -> Self {
+        Self {
+            k: k.max(1),
+            entries: Mutex::new(&classes::TELEMETRY_FLOWS, FlowState::default()),
+        }
+    }
+
+    /// Records `msgs` messages / `bytes` wire bytes for one flow.
+    pub fn record(&self, key: FlowKey, msgs: u64, bytes: u64) {
+        self.record_batch(&[(key, msgs, bytes)]);
+    }
+
+    /// Records a batch of `(key, msgs, bytes)` observations under one
+    /// lock acquisition (the per-flush fast path).
+    pub fn record_batch(&self, items: &[(FlowKey, u64, u64)]) {
+        if items.is_empty() {
+            return;
+        }
+        let mut state = self.entries.lock();
+        for &(key, msgs, bytes) in items {
+            if msgs == 0 {
+                continue;
+            }
+            state.total += msgs;
+            if let Some(entry) = state.entries.iter_mut().find(|e| e.key == key) {
+                entry.count += msgs;
+                entry.bytes += bytes;
+            } else if state.entries.len() < self.k {
+                state.entries.push(FlowEntry {
+                    key,
+                    count: msgs,
+                    err: 0,
+                    bytes,
+                });
+            } else {
+                // Replace the minimum: the new entry's count inherits
+                // the floor (the evicted flow could have been this one
+                // all along), and the floor becomes its error bound.
+                let min = state
+                    .entries
+                    .iter_mut()
+                    .min_by_key(|e| e.count)
+                    .expect("sketch with k >= 1 has a minimum entry");
+                *min = FlowEntry {
+                    key,
+                    count: min.count + msgs,
+                    err: min.count,
+                    bytes,
+                };
+            }
+        }
+    }
+
+    /// Copies the sketch into a serializable snapshot, heaviest first.
+    pub fn snapshot(&self) -> FlowsSnapshot {
+        let state = self.entries.lock();
+        let total = state.total;
+        let mut entries = state.entries.clone();
+        drop(state);
+        entries.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+        FlowsSnapshot {
+            k: self.k,
+            total,
+            entries,
+        }
+    }
+
+    /// Total recorded message weight.
+    pub fn total(&self) -> u64 {
+        self.entries.lock().total
+    }
+
+    /// Exact reference accounting for tests: replays `stream` through an
+    /// unbounded table, returning true per-key counts.
+    pub fn exact_counts(stream: &[(FlowKey, u64)]) -> Vec<(FlowKey, u64)> {
+        let mut table: VecDeque<(FlowKey, u64)> = VecDeque::new();
+        for &(key, msgs) in stream {
+            if let Some(slot) = table.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 += msgs;
+            } else {
+                table.push_back((key, msgs));
+            }
+        }
+        table.into_iter().collect()
+    }
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+
+    fn key(src: u16, dst: u16, kind: u32) -> FlowKey {
+        FlowKey {
+            src: NodeId::loopback(src),
+            dst: NodeId::loopback(dst),
+            kind,
+        }
+    }
+
+    #[test]
+    fn tracked_flows_count_exactly_below_capacity() {
+        let sketch = FlowSketch::new(4);
+        sketch.record(key(1, 2, 0), 10, 1000);
+        sketch.record(key(1, 3, 0), 5, 500);
+        sketch.record(key(1, 2, 0), 3, 300);
+        let snap = sketch.snapshot();
+        assert_eq!(snap.total, 18);
+        assert_eq!(snap.entries.len(), 2);
+        assert_eq!(snap.entries[0].key, key(1, 2, 0));
+        assert_eq!(snap.entries[0].count, 13);
+        assert_eq!(snap.entries[0].err, 0);
+        assert_eq!(snap.entries[0].bytes, 1300);
+    }
+
+    #[test]
+    fn eviction_inherits_minimum_as_error() {
+        let sketch = FlowSketch::new(2);
+        sketch.record(key(1, 2, 0), 10, 0);
+        sketch.record(key(1, 3, 0), 4, 0);
+        // Sketch is full; a third key replaces the minimum (count 4).
+        sketch.record(key(1, 4, 0), 1, 0);
+        let snap = sketch.snapshot();
+        assert_eq!(snap.entries.len(), 2);
+        let newcomer = snap
+            .entries
+            .iter()
+            .find(|e| e.key == key(1, 4, 0))
+            .expect("newcomer tracked");
+        assert_eq!(newcomer.count, 5);
+        assert_eq!(newcomer.err, 4);
+        // The heavy flow is untouched.
+        assert_eq!(snap.entries[0].key, key(1, 2, 0));
+        assert_eq!(snap.entries[0].count, 10);
+    }
+
+    #[test]
+    fn heavy_hitter_survives_churn() {
+        let sketch = FlowSketch::new(4);
+        for round in 0..100u16 {
+            sketch.record(key(9, 9, 0), 10, 0); // heavy: weight 1000
+            sketch.record(key(round, 1, 0), 1, 0); // 100 one-shot flows
+        }
+        let snap = sketch.snapshot();
+        assert_eq!(snap.total, 1100);
+        assert_eq!(snap.entries[0].key, key(9, 9, 0));
+        // Overestimate only: count >= true weight, error within bound.
+        assert!(snap.entries[0].count >= 1000);
+        assert!(snap.entries[0].err <= snap.total / 4);
+    }
+}

@@ -21,16 +21,24 @@
 #![warn(missing_docs)]
 
 pub mod events;
+#[cfg(not(feature = "loom"))]
+pub mod flight;
+pub mod flows;
 pub mod metrics;
 pub mod scrape;
+pub mod series;
 pub mod snapshot;
 pub mod spans;
 
 mod sync;
 
 pub use events::{EventRecord, EventRing, TelemetryEvent, DEFAULT_EVENT_CAPACITY};
+pub use flows::{FlowEntry, FlowKey, FlowSketch, FlowsSnapshot, DEFAULT_FLOW_CAPACITY};
 pub use metrics::{
     Counter, Gauge, Histogram, BATCH_BOUNDS_MSGS, LATENCY_BOUNDS_NANOS, SYSCALL_BOUNDS_BYTES,
+};
+pub use series::{
+    SeriesBatch, SeriesRing, SeriesTotals, SeriesWindow, DEFAULT_SERIES_CAPACITY,
 };
 pub use snapshot::{HistogramSnapshot, TelemetrySnapshot};
 pub use spans::{SpanBatch, SpanEvent, SpanRing, SpanStage, DEFAULT_SPAN_CAPACITY};
@@ -97,6 +105,13 @@ pub struct NodeTelemetry {
     // Tracing: sampled-message spans plus the hop-local span-id counter.
     spans: SpanRing,
     span_counter: AtomicU64,
+
+    // Health plane: windowed delta history, window-local queue-depth
+    // high-water marks (reset at each sample), and the top-k flow sketch.
+    series: SeriesRing,
+    recv_queue_hwm: AtomicU64,
+    send_queue_hwm: AtomicU64,
+    flows: FlowSketch,
 }
 
 impl NodeTelemetry {
@@ -142,6 +157,10 @@ impl NodeTelemetry {
             events: EventRing::new(event_capacity),
             spans: SpanRing::new(DEFAULT_SPAN_CAPACITY),
             span_counter: AtomicU64::new(0),
+            series: SeriesRing::new(DEFAULT_SERIES_CAPACITY),
+            recv_queue_hwm: AtomicU64::new(0),
+            send_queue_hwm: AtomicU64::new(0),
+            flows: FlowSketch::new(DEFAULT_FLOW_CAPACITY),
         }
     }
 
@@ -294,6 +313,9 @@ impl NodeTelemetry {
             self.msgs_switched.add(msgs);
             self.switch_batch_msgs.record(msgs);
             self.queue_occupancy_msgs.record(occupancy);
+            // Per-batch occupancy feeds the window high-water mark so a
+            // burst that drains before the measure tick still shows up.
+            self.recv_queue_hwm.fetch_max(occupancy, Ordering::Relaxed);
         }
     }
 
@@ -486,7 +508,65 @@ impl NodeTelemetry {
         if self.enabled {
             self.recv_queue_msgs.set(recv_msgs);
             self.send_queue_msgs.set(send_msgs);
+            self.recv_queue_hwm.fetch_max(recv_msgs, Ordering::Relaxed);
+            self.send_queue_hwm.fetch_max(send_msgs, Ordering::Relaxed);
         }
+    }
+
+    /// Closes the current series window at `now`: reads the cumulative
+    /// counters, swaps out the window-local queue high-water marks, and
+    /// pushes the delta window into the series ring. Called once per
+    /// measure tick (engine monotonic clock or simnet virtual clock).
+    pub fn sample_series(&self, now: Nanos) {
+        if !self.enabled {
+            return;
+        }
+        let totals = SeriesTotals {
+            msgs_switched: self.msgs_switched.get(),
+            msgs_sent: self.msgs_sent.get(),
+            bytes_sent: self.bytes_sent.get(),
+            msgs_received: self.msgs_received.get(),
+            bytes_received: self.bytes_received.get(),
+            sends_blocked: self.sends_blocked.get(),
+            bucket_wait_nanos: self.bucket_wait_nanos.sum(),
+            partial_writes: self.reactor_partial_writes.get(),
+            poison_recoveries: self.queue_poison_recoveries.get(),
+            event_drops: self.events.dropped(),
+            span_drops: self.spans.dropped(),
+        };
+        let recv_hwm = self.recv_queue_hwm.swap(0, Ordering::Relaxed);
+        let send_hwm = self.send_queue_hwm.swap(0, Ordering::Relaxed);
+        self.series.sample(now, totals, recv_hwm, send_hwm);
+    }
+
+    /// Read access to the series ring (StatusReport piggyback, the
+    /// `/series` scrape endpoint, and the flight recorder).
+    pub fn series(&self) -> &SeriesRing {
+        &self.series
+    }
+
+    /// Records one flow observation: `msgs` messages totalling `bytes`
+    /// wire bytes from origin `src` switched onto the link to `dst`.
+    #[inline]
+    pub fn record_flow(&self, src: NodeId, dst: NodeId, kind: u32, msgs: u64, bytes: u64) {
+        if self.enabled {
+            self.flows.record(FlowKey { src, dst, kind }, msgs, bytes);
+        }
+    }
+
+    /// Records a pre-staged batch of flow observations under one sketch
+    /// lock acquisition (`(key, msgs, bytes)` per flow).
+    #[inline]
+    pub fn record_flow_batch(&self, items: &[(FlowKey, u64, u64)]) {
+        if self.enabled {
+            self.flows.record_batch(items);
+        }
+    }
+
+    /// Read access to the flow sketch (the `/flows` endpoint, the
+    /// StatusReport piggyback, and the flight recorder).
+    pub fn flows(&self) -> &FlowSketch {
+        &self.flows
     }
 
     /// Copies the whole registry into a serializable snapshot.

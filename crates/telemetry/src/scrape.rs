@@ -77,6 +77,18 @@ pub fn write_response(mut stream: &TcpStream, status: u32, content_type: &str, b
     let _ = stream.shutdown(std::net::Shutdown::Write);
 }
 
+/// The shared `/healthz` body, served identically by engine nodes and
+/// the observer (one responder instead of two copy-pasted handlers):
+/// liveness plus enough build/runtime identity to tell *what* answered
+/// — crate version, io backend (`blocking`, `reactor`, `simnet`,
+/// `observer`), and reactor shard count (0 off the reactor backend).
+pub fn healthz_body(uptime_secs: u64, io_backend: &str, shards: u64) -> String {
+    format!(
+        "ok uptime_seconds={uptime_secs} version={version} io_backend={io_backend} shards={shards}\n",
+        version = env!("CARGO_PKG_VERSION")
+    )
+}
+
 /// Content type for Prometheus text exposition bodies.
 pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 /// Content type for JSON snapshot bodies.

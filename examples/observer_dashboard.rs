@@ -11,7 +11,11 @@
 //! curl http://<observer>/snapshot       # dashboard JSON
 //! curl http://<observer>/traces         # assembled trace trees (JSON)
 //! curl http://<observer>/traces.chrome  # Perfetto/chrome://tracing file
+//! curl http://<observer>/health.json    # per-node/per-link health verdicts
+//! curl http://<observer>/series         # cluster series windows
 //! curl http://<node>/metrics            # one node's own report
+//! curl http://<node>/series             # one node's windowed time-series
+//! curl http://<node>/flows              # one node's top-k flow sketch
 //! ```
 //!
 //! With tracing sampled (`with_trace_sample`), the observer also folds
@@ -72,6 +76,38 @@ fn main() -> std::io::Result<()> {
 
     println!("\n== observed topology (Graphviz DOT) ==");
     println!("{}", cluster.topology_dot());
+
+    // The health plane: per-node and per-link verdicts evaluated from
+    // the series windows riding the status polls (same data as
+    // `curl http://<observer>/health.json`).
+    println!("\n== cluster health ==");
+    let health = cluster.observer().health_json();
+    if let Some(nodes) = health["nodes"].as_array() {
+        println!("{:<22} {:<10} {:<8} reasons", "node", "state", "windows");
+        for n in nodes {
+            let reasons: Vec<&str> = n["reasons"]
+                .as_array()
+                .map(|r| r.iter().filter_map(|v| v.as_str()).collect())
+                .unwrap_or_default();
+            println!(
+                "{:<22} {:<10} {:<8} {}",
+                n["node"].as_str().unwrap_or("?"),
+                n["state"].as_str().unwrap_or("?"),
+                n["windows"].as_u64().unwrap_or(0),
+                if reasons.is_empty() { "-".to_string() } else { reasons.join(",") },
+            );
+        }
+    }
+    if let Some(links) = health["links"].as_array() {
+        for l in links {
+            println!(
+                "link {} -> {}: {}",
+                l["src"].as_str().unwrap_or("?"),
+                l["dst"].as_str().unwrap_or("?"),
+                l["state"].as_str().unwrap_or("?"),
+            );
+        }
+    }
 
     // The same data is scrapeable over HTTP on the very ports that
     // otherwise speak the framed binary protocol.

@@ -1,0 +1,325 @@
+//! Integration: the cluster health plane end to end.
+//!
+//! Two properties ride these tests:
+//!
+//! * **Shape identity** — the series windows and health verdicts a
+//!   consumer sees are byte-shape identical whether they come from a
+//!   blocking-backend node, a reactor-backend node, or the simulator's
+//!   virtual clock. Dashboards parse one schema.
+//! * **Stall detection** — a 3-node chain whose downstream reader
+//!   pauses (drains a trickle, far slower than the source floods) is
+//!   flagged `degraded` with reason `queue_growth` by the observer,
+//!   from nothing but the series windows riding status polls.
+
+use std::collections::BTreeSet;
+use std::io::Read;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ioverlay::algorithms::{SinkApp, SourceApp, SourceMode, StaticForwarder};
+use ioverlay::api::telemetry::scrape::http_get;
+use ioverlay::api::{Msg, MsgType, NodeId};
+use ioverlay::engine::{EngineConfig, EngineNode, IoBackend};
+use ioverlay::observer::{ObserverConfig, ObserverCore, ObserverServer};
+use ioverlay::simnet::{NodeBandwidth, Rate, SimBuilder};
+
+const APP: u32 = 1;
+const SEC: u64 = 1_000_000_000;
+/// Fast measure ticks so three convicting windows land well inside the
+/// test timeout.
+const WINDOW: u64 = 100_000_000;
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    cond()
+}
+
+fn keys(v: &serde_json::Value) -> BTreeSet<String> {
+    v.as_object()
+        .map(|m| m.iter().map(|(k, _)| k.clone()).collect())
+        .unwrap_or_default()
+}
+
+/// A paused downstream reader: accepts the relay's link, then drains a
+/// 2 KiB trickle every 80 ms — orders of magnitude slower than the
+/// source floods — so the relay's send queue pins at capacity (blocked
+/// sends every window) while the relay itself keeps switching.
+struct PausedReader {
+    id: NodeId,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl PausedReader {
+    fn spawn() -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind impostor");
+        let id = NodeId::loopback(listener.local_addr().expect("impostor addr").port());
+        listener
+            .set_nonblocking(true)
+            .expect("impostor nonblocking");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let thread = thread::spawn(move || {
+            let mut conns = Vec::new();
+            let mut buf = [0u8; 2048];
+            while !stop_flag.load(Ordering::Relaxed) {
+                while let Ok((conn, _)) = listener.accept() {
+                    let _ = conn.set_nonblocking(true);
+                    conns.push(conn);
+                }
+                for conn in &mut conns {
+                    let _ = conn.read(&mut buf);
+                }
+                thread::sleep(Duration::from_millis(80));
+            }
+            // Dropping the sockets resets the connections, unblocking
+            // any sender mid-write so engine shutdown can join it.
+        });
+        Self {
+            id,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Finds one node's entry in a `/health.json` body.
+fn node_entry(health: &serde_json::Value, node: NodeId) -> Option<serde_json::Value> {
+    health["nodes"]
+        .as_array()?
+        .iter()
+        .find(|n| n["node"].as_str() == Some(&node.to_string()))
+        .cloned()
+}
+
+/// A conviction for backpressure: `degraded` while still progressing,
+/// escalating to `stalled` once nothing switches — either way the
+/// reason code is `queue_growth`.
+fn entry_flags_queue_growth(entry: &serde_json::Value) -> bool {
+    matches!(entry["state"].as_str(), Some("degraded") | Some("stalled"))
+        && entry["reasons"]
+            .as_array()
+            .is_some_and(|r| r.iter().any(|v| v.as_str() == Some("queue_growth")))
+}
+
+/// Boots source → relay → paused-reader on the given backend and waits
+/// for the observer to convict the relay.
+fn stall_is_flagged(backend: IoBackend) {
+    let reader = PausedReader::spawn();
+    let observer = ObserverServer::spawn(ObserverConfig::default(), 0).unwrap();
+    let cfg = || {
+        EngineConfig::default()
+            .with_observer(observer.id())
+            .with_measure_interval(WINDOW)
+            .with_buffer_msgs(8)
+            .with_io_backend(backend)
+    };
+    let relay = EngineNode::spawn(
+        cfg(),
+        Box::new(StaticForwarder::new().route(APP, vec![reader.id])),
+    )
+    .unwrap();
+    let source = EngineNode::spawn(
+        cfg(),
+        Box::new(SourceApp::new(APP, vec![relay.id()], 512, SourceMode::BackToBack).deployed()),
+    )
+    .unwrap();
+
+    // The observer convicts from three consecutive pinned-queue windows
+    // riding the 1 Hz status polls.
+    let verdict = wait_until(Duration::from_secs(20), || {
+        node_entry(&observer.health_json(), relay.id())
+            .is_some_and(|e| entry_flags_queue_growth(&e))
+    });
+    let health = observer.health_json();
+    assert!(
+        verdict,
+        "relay never flagged degraded/queue_growth: {health}"
+    );
+
+    // The state transition landed in the observer trace log, so the
+    // health history survives the next evaluation.
+    assert!(
+        observer
+            .traces()
+            .iter()
+            .any(|t| t.node == relay.id()
+                && t.text.starts_with("health:")
+                && t.text.contains("queue_growth")),
+        "no health transition trace for the relay: {:?}",
+        observer.traces()
+    );
+
+    // The troubled link inherits the endpoint's verdict.
+    let link_degraded = health["links"].as_array().is_some_and(|links| {
+        links.iter().any(|l| {
+            l["src"].as_str() == Some(&relay.id().to_string())
+                && l["state"].as_str() != Some("healthy")
+        })
+    });
+    assert!(link_degraded, "relay's outbound link stayed healthy: {health}");
+
+    reader.stop();
+    source.shutdown();
+    relay.shutdown();
+    observer.shutdown();
+}
+
+#[test]
+fn paused_reader_flags_relay_degraded_blocking() {
+    stall_is_flagged(IoBackend::Blocking);
+}
+
+#[test]
+fn paused_reader_flags_relay_degraded_reactor() {
+    stall_is_flagged(IoBackend::Reactor);
+}
+
+/// The same stall under the simulator: the sink's bandwidth cap drains
+/// the relay's downstream link far slower than the source floods, so
+/// the relay's send buffer pins. The sim's status reports feed the very
+/// same `ObserverCore` the TCP observer runs, and it convicts
+/// identically.
+#[test]
+fn paused_reader_flags_relay_degraded_simnet() {
+    let (src, relay, sink) = (
+        NodeId::loopback(9301),
+        NodeId::loopback(9302),
+        NodeId::loopback(9303),
+    );
+    let mut sim = SimBuilder::new(7)
+        .buffer_msgs(8)
+        .measure_interval_ms(100)
+        .build();
+    sim.add_node(
+        sink,
+        NodeBandwidth::total_only(Rate::kbps(20)),
+        Box::new(SinkApp::new()),
+    );
+    sim.add_node(
+        relay,
+        NodeBandwidth::unlimited(),
+        Box::new(StaticForwarder::new().route(APP, vec![sink])),
+    );
+    sim.add_node(
+        src,
+        NodeBandwidth::unlimited(),
+        Box::new(SourceApp::new(APP, vec![relay], 1024, SourceMode::BackToBack).deployed()),
+    );
+    sim.run_for(3 * SEC);
+
+    let mut core = ObserverCore::new(ObserverConfig::default());
+    let now = sim.now();
+    for node in [src, relay, sink] {
+        let report = sim.status_report(node).expect("sim node reports");
+        core.handle(&Msg::new(MsgType::Status, node, 0, 0, report.encode()), now);
+    }
+    let health = core.health_json(now);
+    let entry = node_entry(&health, relay).expect("relay known to observer core");
+    assert!(
+        entry_flags_queue_growth(&entry),
+        "sim relay not convicted for queue_growth: {health}"
+    );
+}
+
+/// `/series` windows and `/health.json` node entries expose the same
+/// JSON shape no matter which backend produced them.
+#[test]
+fn series_and_health_shapes_are_backend_identical() {
+    // One engine chain per backend, scraped over real HTTP.
+    let mut window_shapes = Vec::new();
+    let mut health_shapes = Vec::new();
+    for backend in [IoBackend::Blocking, IoBackend::Reactor] {
+        let observer = ObserverServer::spawn(ObserverConfig::default(), 0).unwrap();
+        let cfg = || {
+            EngineConfig::default()
+                .with_observer(observer.id())
+                .with_measure_interval(WINDOW)
+                .with_io_backend(backend)
+        };
+        let sink = EngineNode::spawn(cfg(), Box::new(SinkApp::new())).unwrap();
+        let source = EngineNode::spawn(
+            cfg(),
+            Box::new(SourceApp::new(APP, vec![sink.id()], 512, SourceMode::BackToBack).deployed()),
+        )
+        .unwrap();
+
+        assert!(
+            wait_until(Duration::from_secs(10), || {
+                http_get(sink.id().to_socket_addr(), "/series").is_ok_and(|(status, body)| {
+                    status == 200
+                        && serde_json::from_str::<serde_json::Value>(&body).is_ok_and(|v| {
+                            v["windows"].as_array().is_some_and(|w| !w.is_empty())
+                        })
+                })
+            }),
+            "{backend:?} node never served a series window"
+        );
+        let (_, body) = http_get(sink.id().to_socket_addr(), "/series").unwrap();
+        let series: serde_json::Value = serde_json::from_str(&body).unwrap();
+        window_shapes.push(keys(&series["windows"][0]));
+
+        // Health entries appear as soon as the observer knows the node.
+        assert!(
+            wait_until(Duration::from_secs(10), || {
+                node_entry(&observer.health_json(), sink.id()).is_some()
+            }),
+            "{backend:?} observer never learned the sink"
+        );
+        let (status, body) = http_get(observer.id().to_socket_addr(), "/health.json").unwrap();
+        assert_eq!(status, 200);
+        let health: serde_json::Value = serde_json::from_str(&body).unwrap();
+        health_shapes.push(keys(&node_entry(&health, sink.id()).unwrap()));
+
+        source.shutdown();
+        sink.shutdown();
+        observer.shutdown();
+    }
+
+    // The simulator's virtual-clock windows, via the status report.
+    let (a, b) = (NodeId::loopback(9311), NodeId::loopback(9312));
+    let mut sim = SimBuilder::new(3).measure_interval_ms(100).build();
+    sim.add_node(b, NodeBandwidth::unlimited(), Box::new(SinkApp::new()));
+    sim.add_node(
+        a,
+        NodeBandwidth::unlimited(),
+        Box::new(SourceApp::new(APP, vec![b], 512, SourceMode::BackToBack).deployed()),
+    );
+    sim.run_for(SEC);
+    let report = sim.status_report(b).expect("sim report");
+    let series = report.series.as_ref().expect("sim series sampled");
+    assert!(!series.windows.is_empty(), "sim sampled no windows");
+    let sim_window = serde_json::to_value(&series.windows[0]);
+    window_shapes.push(keys(&sim_window));
+
+    let mut core = ObserverCore::new(ObserverConfig::default());
+    let now = sim.now();
+    core.handle(&Msg::new(MsgType::Status, b, 0, 0, report.encode()), now);
+    let health = core.health_json(now);
+    health_shapes.push(keys(&node_entry(&health, b).expect("sim node entry")));
+
+    assert!(
+        window_shapes.windows(2).all(|p| p[0] == p[1]),
+        "series window shapes diverge: {window_shapes:?}"
+    );
+    assert!(
+        health_shapes.windows(2).all(|p| p[0] == p[1]),
+        "health entry shapes diverge: {health_shapes:?}"
+    );
+}
