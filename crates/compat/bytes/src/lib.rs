@@ -29,10 +29,15 @@ pub trait Buf {
 /// A cheaply cloneable, immutable, reference-counted byte buffer.
 ///
 /// Clones share the backing allocation: cloning is a reference-count
-/// bump, never a deep copy.
+/// bump, never a deep copy. The backing store is `Arc<Vec<u8>>` rather
+/// than `Arc<[u8]>` so that `From<Vec<u8>>` (and therefore
+/// `BytesMut::freeze`) moves the vector behind the refcount without
+/// copying a single payload byte — `Arc::<[u8]>::from(vec)` would
+/// reallocate and copy, which on a message hot path is a second full
+/// pass over every payload.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -187,7 +192,8 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Self {
-            data: Arc::from(v),
+            // Moves the vector behind the refcount; no byte copy.
+            data: Arc::new(v),
             start: 0,
             end: len,
         }
@@ -308,6 +314,26 @@ impl BytesMut {
         self.start = 0;
     }
 
+    /// Resizes the unread portion to `new_len` bytes, filling any new
+    /// tail with `value` (matches the real crate's `resize`). Growing
+    /// in place lets callers read from a socket directly into the
+    /// buffer tail and then [`BytesMut::truncate`] to what arrived.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        if new_len <= self.len() {
+            self.truncate(new_len);
+        } else {
+            self.buf.resize(self.start + new_len, value);
+        }
+    }
+
+    /// Shortens the unread portion to `len` bytes; no-op when already
+    /// shorter (matches the real crate's `truncate`).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.buf.truncate(self.start + len);
+        }
+    }
+
     /// Splits off and returns the first `at` unread bytes.
     pub fn split_to(&mut self, at: usize) -> BytesMut {
         assert!(at <= self.len());
@@ -414,6 +440,22 @@ mod tests {
         let payload = m.split_to(7).freeze();
         assert_eq!(&payload[..], b"payload");
         assert_eq!(&m[..], b"rest");
+    }
+
+    #[test]
+    fn resize_and_truncate_track_the_unread_portion() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"abcdef");
+        m.advance(2); // unread: "cdef"
+        m.resize(6, 0);
+        assert_eq!(&m[..], b"cdef\0\0");
+        m[4] = b'x';
+        m.truncate(5);
+        assert_eq!(&m[..], b"cdefx");
+        m.resize(2, 0);
+        assert_eq!(&m[..], b"cd");
+        m.truncate(10); // longer than len: no-op
+        assert_eq!(&m[..], b"cd");
     }
 
     #[test]

@@ -66,6 +66,7 @@ mod sys;
 compile_error!("reactor compat shim supports epoll (Linux) and kqueue (macOS/FreeBSD) only");
 
 pub mod rlimit;
+pub mod sockopt;
 
 /// Opaque per-registration identifier, echoed back in every [`Event`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]

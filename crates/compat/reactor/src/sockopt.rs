@@ -1,0 +1,88 @@
+//! Socket buffer sizing (`SO_SNDBUF` / `SO_RCVBUF`).
+//!
+//! Lives in this crate because it is the workspace's one syscall shim:
+//! `std::net` exposes no setsockopt, and the raw `extern "C"` binding
+//! belongs next to the epoll/kqueue ones rather than in the
+//! `#![forbid(unsafe_code)]` engine.
+//!
+//! Why cap socket buffers at all: on loopback, TCP autotuning grows a
+//! connection's kernel buffers to tens of megabytes. For protocols that
+//! correlate messages across two paths (e.g. a coding node holding
+//! packets of one stream until the partner generation arrives on the
+//! other), the in-flight skew between paths is bounded by the buffering
+//! between them — with default autotuning that is tens of thousands of
+//! messages of hold-state churning through cold caches. An explicit cap
+//! keeps the pipeline deep enough to batch well but shallow enough that
+//! hold maps stay small and hot.
+
+use std::io;
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+
+#[cfg(target_os = "linux")]
+const SOL_SOCKET: i32 = 1;
+#[cfg(target_os = "linux")]
+const SO_SNDBUF: i32 = 7;
+#[cfg(target_os = "linux")]
+const SO_RCVBUF: i32 = 8;
+
+#[cfg(not(target_os = "linux"))]
+const SOL_SOCKET: i32 = 0xffff;
+#[cfg(not(target_os = "linux"))]
+const SO_SNDBUF: i32 = 0x1001;
+#[cfg(not(target_os = "linux"))]
+const SO_RCVBUF: i32 = 0x1002;
+
+extern "C" {
+    fn setsockopt(
+        fd: i32,
+        level: i32,
+        optname: i32,
+        optval: *const core::ffi::c_void,
+        optlen: u32,
+    ) -> i32;
+}
+
+fn set_opt(fd: i32, optname: i32, value: i32) -> io::Result<()> {
+    // SAFETY: `value` is a live, properly aligned i32 for the duration
+    // of the call; the kernel copies it before returning.
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            optname,
+            &value as *const i32 as *const core::ffi::c_void,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Caps both kernel buffers of `stream` at `bytes` each, disabling
+/// receive-buffer autotuning for the connection. (Linux doubles the
+/// requested value for bookkeeping overhead; the cap on payload bytes
+/// is still proportional to `bytes`.)
+pub fn set_socket_buffers(stream: &TcpStream, bytes: usize) -> io::Result<()> {
+    let value = i32::try_from(bytes).unwrap_or(i32::MAX).max(4096);
+    let fd = stream.as_raw_fd();
+    set_opt(fd, SO_SNDBUF, value)?;
+    set_opt(fd, SO_RCVBUF, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn caps_apply_to_a_live_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        set_socket_buffers(&stream, 64 * 1024).unwrap();
+        // The kernel may round the value; success of the syscall is the
+        // contract under test, not the exact resulting size.
+    }
+}

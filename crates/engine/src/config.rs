@@ -58,6 +58,13 @@ pub struct EngineConfig {
     /// chunks through the incremental decoder and enqueue whole batches.
     /// `false` restores per-message reads — the benchmark baseline.
     pub recv_batched: bool,
+    /// When `true` (default), both I/O backends use the vectored wire
+    /// path: senders gather each batch's `(header, payload)` segments
+    /// into one `writev` without copying payloads into a staging
+    /// buffer, and receivers `readv` large payloads straight into the
+    /// buffer the decoded message will reference. `false` restores the
+    /// copying encode-buffer path — the benchmark baseline.
+    pub wire_vectored: bool,
     /// When `true` (default), the node records metrics and events into
     /// its [`ioverlay_telemetry::NodeTelemetry`] registry. `false`
     /// reduces every recording site to one predictable branch — the
@@ -81,6 +88,19 @@ pub struct EngineConfig {
     /// base telemetry but skips both — the `repro switch`
     /// `health_overhead_pct` baseline. Moot when `telemetry` is off.
     pub health: bool,
+    /// If set, caps each persistent data link's kernel socket buffers
+    /// (`SO_SNDBUF`/`SO_RCVBUF`) at this many bytes, on both the dialing
+    /// and the accepting side, disabling receive autotuning for the
+    /// connection. `None` (default) keeps the OS autotuned sizes.
+    ///
+    /// Protocols that correlate messages across two paths (a coding
+    /// node pairing packets from a direct stream with packets routed
+    /// through a helper) hold state proportional to the buffering
+    /// between those paths; on loopback, autotuning grows that to tens
+    /// of thousands of in-flight messages. A cap of a few hundred
+    /// kilobytes keeps batching intact while the hold maps stay small
+    /// enough to be cache-resident.
+    pub socket_buf_bytes: Option<usize>,
     /// Directory for flight-recorder dumps. When set (directly or via
     /// the `IOVERLAY_FLIGHT_DIR` environment variable at spawn), the
     /// node installs a process-wide panic hook and SIGUSR1 handler that
@@ -103,12 +123,14 @@ impl Default for EngineConfig {
             switch_quantum: 64,
             send_batch_max: 128,
             recv_batched: true,
+            wire_vectored: true,
             telemetry: true,
             telemetry_events: ioverlay_telemetry::DEFAULT_EVENT_CAPACITY,
             trace_sample: 0,
             io_backend: IoBackend::Blocking,
             reactor_shards: default_reactor_shards(),
             health: true,
+            socket_buf_bytes: None,
             flight_dir: None,
         }
     }
@@ -178,6 +200,13 @@ impl EngineConfig {
         self
     }
 
+    /// Enables or disables the vectored wire path (builder style);
+    /// `false` restores the copying encode-buffer path.
+    pub fn with_wire_vectored(mut self, vectored: bool) -> Self {
+        self.wire_vectored = vectored;
+        self
+    }
+
     /// Enables or disables telemetry recording (builder style).
     pub fn with_telemetry(mut self, enabled: bool) -> Self {
         self.telemetry = enabled;
@@ -225,6 +254,13 @@ impl EngineConfig {
         self
     }
 
+    /// Caps each data link's kernel socket buffers (builder style);
+    /// floors at 4 KiB. See [`EngineConfig::socket_buf_bytes`].
+    pub fn with_socket_buf_bytes(mut self, bytes: usize) -> Self {
+        self.socket_buf_bytes = Some(bytes.max(4096));
+        self
+    }
+
     /// Sets the flight-recorder dump directory (builder style).
     pub fn with_flight_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.flight_dir = Some(dir.into());
@@ -258,6 +294,7 @@ mod tests {
         assert_eq!(cfg.buffer_msgs, 10);
         assert!(cfg.bandwidth.is_unlimited());
         assert!(cfg.inactivity_timeout.is_none());
+        assert!(cfg.wire_vectored, "vectored wire path is the default");
         assert!(cfg.telemetry, "telemetry records by default");
         assert!(cfg.telemetry_events >= 1);
         assert_eq!(cfg.trace_sample, 0, "tracing is opt-in");
@@ -288,9 +325,25 @@ mod tests {
     }
 
     #[test]
+    fn wire_vectored_builder() {
+        let cfg = EngineConfig::default().with_wire_vectored(false);
+        assert!(!cfg.wire_vectored);
+    }
+
+    #[test]
     fn trace_sample_builder() {
         let cfg = EngineConfig::default().with_trace_sample(8);
         assert_eq!(cfg.trace_sample, 8);
+    }
+
+    #[test]
+    fn socket_buf_builder() {
+        let cfg = EngineConfig::default();
+        assert!(cfg.socket_buf_bytes.is_none(), "autotuned by default");
+        let cfg = cfg.with_socket_buf_bytes(0);
+        assert_eq!(cfg.socket_buf_bytes, Some(4096), "cap floors at 4 KiB");
+        let cfg = cfg.with_socket_buf_bytes(256 * 1024);
+        assert_eq!(cfg.socket_buf_bytes, Some(256 * 1024));
     }
 
     #[test]

@@ -175,6 +175,7 @@ impl EngineState {
             self.events_tx.clone(),
             self.tel.clone(),
             self.config.send_batch_max,
+            self.config.wire_vectored,
         ) {
             Ok(pool) => {
                 self.tel.set_reactor_shards(pool.shards() as u64);
@@ -336,7 +337,7 @@ impl EngineState {
     /// Dials `dest` and spawns its sender thread. On failure, notifies
     /// the algorithm with `NeighborFailed` and returns `false`.
     fn open_sender(&mut self, dest: NodeId) -> bool {
-        match connect_to_peer(self.id, dest) {
+        match connect_to_peer(self.id, dest, self.config.socket_buf_bytes) {
             Ok(stream) => {
                 let queue = CircularQueue::with_capacity(self.config.buffer_msgs);
                 let meter = Arc::new(Mutex::new(
@@ -394,6 +395,7 @@ impl EngineState {
                     let clock = self.clock.clone();
                     let events = self.events_tx.clone();
                     let max_batch = self.config.send_batch_max;
+                    let vectored = self.config.wire_vectored;
                     let tel = self.tel.clone();
                     let local = self.id;
                     thread::Builder::new()
@@ -401,7 +403,7 @@ impl EngineState {
                         .spawn(move || {
                             run_sender(
                                 local, dest, stream, queue, meter, chain, clock, events,
-                                max_batch, tel,
+                                max_batch, vectored, tel,
                             );
                         })
                 };
@@ -1177,6 +1179,8 @@ pub(crate) fn run_listener(
     events: Sender<ControlEvent>,
     running: Arc<AtomicBool>,
     recv_batched: bool,
+    wire_vectored: bool,
+    socket_buf: Option<usize>,
     tel: Arc<NodeTelemetry>,
     pool: Option<ShardPool>,
 ) {
@@ -1205,6 +1209,8 @@ pub(crate) fn run_listener(
                             clock,
                             events,
                             recv_batched,
+                            wire_vectored,
+                            socket_buf,
                             tel,
                             pool,
                         );
@@ -1235,10 +1241,17 @@ fn handle_accepted(
     clock: Arc<SystemClock>,
     events: Sender<ControlEvent>,
     recv_batched: bool,
+    wire_vectored: bool,
+    socket_buf: Option<usize>,
     tel: Arc<NodeTelemetry>,
     pool: Option<ShardPool>,
 ) {
     let _ = stream.set_nodelay(true);
+    if let Some(bytes) = socket_buf {
+        // Best effort: an uncapped link still works, just with
+        // autotuned (potentially huge) kernel buffers.
+        let _ = reactor::sockopt::set_socket_buffers(&stream, bytes);
+    }
     // A scrape client (curl, Prometheus) talks HTTP to the same control
     // port peers dial with framed messages; sniff without consuming so
     // framed connections proceed untouched.
@@ -1303,6 +1316,7 @@ fn handle_accepted(
             clock,
             events,
             recv_batched,
+            wire_vectored,
             tel,
         );
     } else {

@@ -55,6 +55,8 @@ impl EngineNode {
             let buffer_msgs = config.buffer_msgs;
             let window = config.measure_window;
             let recv_batched = config.recv_batched;
+            let wire_vectored = config.wire_vectored;
+            let socket_buf = config.socket_buf_bytes;
             let tel = state.tel.clone();
             let pool = state.pool.clone();
             thread::Builder::new()
@@ -70,6 +72,8 @@ impl EngineNode {
                         events,
                         running,
                         recv_batched,
+                        wire_vectored,
+                        socket_buf,
                         tel,
                         pool,
                     );

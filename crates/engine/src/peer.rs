@@ -6,10 +6,9 @@ use crate::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use bytes::BytesMut;
 use crossbeam_channel::Sender;
 use ioverlay_api::{Msg, MsgType, NodeId};
-use ioverlay_message::{write_msg, Decoder};
+use ioverlay_message::{write_msg, Decoder, WireBatch};
 use ioverlay_queue::{CircularQueue, PopTimeout};
 use ioverlay_ratelimit::{BucketChain, Clock, SystemClock, ThroughputMeter};
 use ioverlay_telemetry::{NodeTelemetry, SpanStage};
@@ -149,6 +148,8 @@ impl ReceiverLink {
 ///
 /// `batched == false` selects the per-message path (one `read_msg`, one
 /// bucket reservation, one push per message) — the benchmark baseline.
+/// `vectored` selects `readv` into split payload/stream buffers over
+/// chunk reads plus a decoder-internal copy.
 #[allow(clippy::too_many_arguments)] // thread entry point: takes its full wiring
 pub(crate) fn run_receiver(
     local: NodeId,
@@ -160,6 +161,7 @@ pub(crate) fn run_receiver(
     clock: Arc<SystemClock>,
     events: Sender<ControlEvent>,
     batched: bool,
+    vectored: bool,
     tel: Arc<NodeTelemetry>,
 ) {
     if !batched {
@@ -169,10 +171,19 @@ pub(crate) fn run_receiver(
         return;
     }
     let mut decoder = Decoder::new();
-    let mut chunk = vec![0u8; RECV_CHUNK];
+    let mut chunk = if vectored {
+        Vec::new()
+    } else {
+        vec![0u8; RECV_CHUNK]
+    };
     let mut batch: Vec<Msg> = Vec::new();
     'conn: loop {
-        let n = match stream.read(&mut chunk) {
+        let read = if vectored {
+            decoder.read_from(&mut stream, RECV_CHUNK)
+        } else {
+            stream.read(&mut chunk)
+        };
+        let n = match read {
             // A clean EOF and a socket error both mean the upstream is
             // gone (an EOF inside a message loses framing anyway).
             Ok(0) | Err(_) => {
@@ -185,7 +196,9 @@ pub(crate) fn run_receiver(
         // this chunk (the blocking read above is network wait, not
         // processing time).
         let recv_start = if tel.enabled() { clock.now() } else { 0 };
-        decoder.feed(&chunk[..n]);
+        if !vectored {
+            decoder.feed(&chunk[..n]);
+        }
         let mut bytes_total = 0u64;
         let mut traced = false;
         loop {
@@ -323,8 +336,11 @@ fn run_receiver_per_message(
 
 /// Runs a sender thread: pops a batch from the bounded send buffer
 /// (sleeping when empty, woken by the engine thread via the queue's
-/// condvar), applies uplink emulation once for the batch total, encodes
-/// every message into one reused buffer, and issues one blocking write.
+/// condvar), applies uplink emulation once for the batch total, stages
+/// every message into one reused [`WireBatch`], and flushes it with
+/// blocking (vectored) writes. On the vectored path each payload goes
+/// from the message's own buffer to the kernel — the staging copy of
+/// the contiguous path disappears.
 ///
 /// Batches only form under backlog: an idle link takes the same path
 /// with a batch of one, so a lone message is encoded and written (hence
@@ -340,11 +356,12 @@ pub(crate) fn run_sender(
     clock: Arc<SystemClock>,
     events: Sender<ControlEvent>,
     max_batch: usize,
+    vectored: bool,
     tel: Arc<NodeTelemetry>,
 ) {
     let max_batch = max_batch.max(1);
     let mut batch: Vec<Msg> = Vec::new();
-    let mut wire = BytesMut::new();
+    let mut wire = WireBatch::new(vectored);
     loop {
         match queue.pop_timeout(Duration::from_millis(100)) {
             PopTimeout::Item(first) => {
@@ -384,7 +401,7 @@ pub(crate) fn run_sender(
                 let ser_start = if traced.is_empty() { 0 } else { clock.now() };
                 wire.clear();
                 for msg in &batch {
-                    msg.encode_into(&mut wire);
+                    wire.push(msg);
                 }
                 let write_start = if traced.is_empty() { 0 } else { clock.now() };
                 if !traced.is_empty() {
@@ -400,7 +417,7 @@ pub(crate) fn run_sender(
                         );
                     }
                 }
-                if stream.write_all(&wire).is_err() {
+                if wire.write_to(&mut stream).is_err() {
                     let _ = events.send(ControlEvent::DownstreamFailed(peer));
                     break;
                 }
@@ -418,7 +435,7 @@ pub(crate) fn run_sender(
                         );
                     }
                 }
-                tel.record_send_batch(batch.len() as u64, wire.len() as u64);
+                tel.record_send_batch(batch.len() as u64, wire.wire_bytes() as u64);
                 meter
                     .lock()
                     .record_batch(total, batch.len() as u64, clock.now());
@@ -434,10 +451,18 @@ pub(crate) fn run_sender(
 
 /// Dials a peer and performs the `hello` handshake that registers this
 /// node as an upstream of `peer`.
-pub(crate) fn connect_to_peer(local: NodeId, peer: NodeId) -> io::Result<TcpStream> {
+pub(crate) fn connect_to_peer(
+    local: NodeId,
+    peer: NodeId,
+    socket_buf: Option<usize>,
+) -> io::Result<TcpStream> {
     check_blocking("peer dial");
     let stream = TcpStream::connect_timeout(&peer.to_socket_addr(), Duration::from_secs(2))?;
     stream.set_nodelay(true)?;
+    if let Some(bytes) = socket_buf {
+        // Best effort, mirroring the accept side.
+        let _ = reactor::sockopt::set_socket_buffers(&stream, bytes);
+    }
     let hello = Msg::control(MsgType::Hello, local, 0);
     let mut w = BufWriter::new(stream.try_clone()?);
     write_msg(&mut w, &hello)?;
@@ -463,7 +488,7 @@ mod tests {
         // The thread returns the dial Result instead of unwrapping it:
         // a failure must surface as this test's assertion below, not as
         // an opaque cross-thread panic at join.
-        let dialer = thread::spawn(move || connect_to_peer(local, peer));
+        let dialer = thread::spawn(move || connect_to_peer(local, peer, Some(64 * 1024)));
         let (conn, _) = listener.accept().unwrap();
         let mut reader = BufReader::new(conn);
         let msg = read_msg(&mut reader).unwrap().unwrap();
@@ -502,6 +527,7 @@ mod tests {
             BucketChain::new(),
             Arc::new(SystemClock::new()),
             tx,
+            true,
             true,
             tel.clone(),
         );
@@ -542,6 +568,7 @@ mod tests {
                 Arc::new(SystemClock::new()),
                 tx,
                 128,
+                true,
                 t2,
             );
         });
@@ -585,6 +612,7 @@ mod tests {
                 Arc::new(SystemClock::new()),
                 tx,
                 128,
+                true,
                 Arc::new(NodeTelemetry::new(true, 16)),
             );
         });

@@ -39,16 +39,15 @@
 //! hook-fires-before-park interleaving is never lost.
 
 use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
-use std::io::{ErrorKind, IoSlice, Read, Write};
+use std::io::{ErrorKind, Read};
 use std::net::TcpStream;
 use crate::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use bytes::BytesMut;
 use crossbeam_channel::{Receiver, Sender, TryRecvError};
 use ioverlay_api::{Msg, Nanos, NodeId};
-use ioverlay_message::Decoder;
+use ioverlay_message::{Decoder, WireBatch};
 use ioverlay_queue::{CircularQueue, WeightedRoundRobin};
 use ioverlay_ratelimit::{BucketChain, Clock, SystemClock, ThroughputMeter};
 use ioverlay_telemetry::{NodeTelemetry, SpanStage};
@@ -68,9 +67,6 @@ const RECV_CHUNK: usize = 64 * 1024;
 /// cost is bounded and back pressure reaches the engine's blocked
 /// bookkeeping.
 const OUT_HIGH_WATER: usize = 1 << 20;
-
-/// Most chunks offered to one vectored write.
-const MAX_IOSLICES: usize = 64;
 
 /// Idle poll timeout; an upper bound only — wakers, readiness, and
 /// timers all interrupt it.
@@ -146,6 +142,7 @@ impl ShardPool {
         events: Sender<ControlEvent>,
         tel: Arc<NodeTelemetry>,
         send_batch_max: usize,
+        wire_vectored: bool,
     ) -> std::io::Result<ShardPool> {
         let shards = shards.max(1);
         let mut handles = Vec::with_capacity(shards);
@@ -168,6 +165,7 @@ impl ShardPool {
                 tel: Arc::clone(&tel),
                 local,
                 send_batch_max: send_batch_max.max(1),
+                wire_vectored,
                 links: HashMap::new(),
                 by_peer: HashMap::new(),
                 wrr: WeightedRoundRobin::new(),
@@ -175,7 +173,13 @@ impl ShardPool {
                 timers: BinaryHeap::new(),
                 timer_seq: 0,
                 next_token: WAKER_TOKEN.0 + 1,
-                chunk: vec![0u8; RECV_CHUNK],
+                // The read scratch only backs the non-vectored path;
+                // `read_available` reads into the decoder's own buffers.
+                chunk: if wire_vectored {
+                    Vec::new()
+                } else {
+                    vec![0u8; RECV_CHUNK]
+                },
             };
             let spawned = std::thread::Builder::new()
                 .name(format!("shard-{idx}"))
@@ -296,11 +300,14 @@ impl ShardPool {
     }
 }
 
-/// One staged egress chunk: a batch of messages encoded into one
-/// contiguous buffer (its meter/telemetry sample is recorded when the
-/// last byte leaves the socket).
+/// One staged egress chunk: a batch of messages staged as a
+/// [`WireBatch`] gather list — prefixes plus reference-counted payload
+/// buffers on the vectored path, one contiguous encode otherwise. Its
+/// meter/telemetry sample is recorded when the last byte leaves the
+/// socket; the batch's internal cursor carries partial-write state.
 struct Chunk {
-    buf: bytes::Bytes,
+    batch: WireBatch,
+    bytes: u64,
     msgs: u64,
     /// `(trace_id, span_id)` of each sampled message in the chunk; its
     /// `Write` span is recorded when the last byte leaves the socket.
@@ -334,10 +341,9 @@ struct SendLink {
     queue: CircularQueue<Msg>,
     meter: Arc<Mutex<ThroughputMeter>>,
     chain: BucketChain,
-    /// Encoded-but-unwritten chunks; the front may be partially written
-    /// (`out_off` bytes already gone).
+    /// Staged-but-unwritten chunks; the front may be partially written
+    /// (its `WireBatch` cursor marks the resume point).
     out: VecDeque<Chunk>,
-    out_off: usize,
     out_bytes: usize,
     /// Bandwidth-emulation gate: no write before this instant.
     paced_until: Option<Nanos>,
@@ -361,6 +367,8 @@ struct Shard {
     /// This node's id, stamped into recorded trace spans.
     local: NodeId,
     send_batch_max: usize,
+    /// Vectored wire path on (gather-list writes, split-buffer reads).
+    wire_vectored: bool,
     links: HashMap<Token, Link>,
     by_peer: HashMap<(NodeId, LinkDir), Token>,
     /// Round-robin rotor over this shard's receive links.
@@ -504,7 +512,6 @@ impl Shard {
                         meter,
                         chain,
                         out: VecDeque::new(),
-                        out_off: 0,
                         out_bytes: 0,
                         paced_until: None,
                         want_writable: false,
@@ -658,7 +665,16 @@ impl Shard {
         if !matches!(link.state, RecvState::Reading) {
             return; // pacing/backpressure owns this link right now
         }
-        let n = match link.stream.read(&mut self.chunk) {
+        // Vectored path: drain the non-blocking socket straight into
+        // the decoder's buffers with no zeroed receive window (large
+        // payloads fill their own exact-size buffer in place);
+        // baseline: chunk read plus feed copy.
+        let read = if self.wire_vectored {
+            link.decoder.read_available(&mut link.stream, RECV_CHUNK)
+        } else {
+            link.stream.read(&mut self.chunk)
+        };
+        let n = match read {
             Ok(0) => {
                 self.fail_link(token);
                 return;
@@ -677,7 +693,9 @@ impl Shard {
         // Recv/decode window start for sampled messages in this chunk
         // (mirrors the blocking receiver's placement after the read).
         let recv_start = if self.tel.enabled() { self.clock.now() } else { 0 };
-        link.decoder.feed(&self.chunk[..n]);
+        if !self.wire_vectored {
+            link.decoder.feed(&self.chunk[..n]);
+        }
         let mut bytes_total = 0u64;
         let mut traced = false;
         loop {
@@ -811,13 +829,13 @@ impl Shard {
                     let traced = traced_in_batch(&batch, &self.tel);
                     let ser_start = if traced.is_empty() { 0 } else { self.clock.now() };
                     let total: u64 = batch.iter().map(|m| m.wire_len() as u64).sum();
-                    // Exact-size buffer: the chunk is frozen and handed
-                    // to the out queue, so (unlike the blocking sender's
-                    // reused `wire`) it cannot amortize growth — size it
-                    // once instead.
-                    let mut wire = BytesMut::with_capacity(total as usize);
+                    // Stage the batch as a gather list: on the vectored
+                    // path each payload is held by reference count and
+                    // goes straight to `writev`, never copied into a
+                    // contiguous encode buffer.
+                    let mut wire = WireBatch::new(self.wire_vectored);
                     for msg in &batch {
-                        msg.encode_into(&mut wire);
+                        wire.push(msg);
                     }
                     if !traced.is_empty() {
                         let ser_end = self.clock.now();
@@ -833,9 +851,10 @@ impl Shard {
                             );
                         }
                     }
-                    link.out_bytes += wire.len();
+                    link.out_bytes += wire.wire_bytes();
                     link.out.push_back(Chunk {
-                        buf: wire.freeze(),
+                        batch: wire,
+                        bytes: total,
                         msgs: n as u64,
                         traced,
                     });
@@ -881,52 +900,40 @@ impl Shard {
                 }
                 return;
             }
-            // Vectored write over the staged chunks, the front offset
-            // by what a previous partial write already pushed out.
-            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(link.out.len().min(MAX_IOSLICES));
-            for (i, chunk) in link.out.iter().take(MAX_IOSLICES).enumerate() {
-                let start = if i == 0 { link.out_off } else { 0 };
-                slices.push(IoSlice::new(&chunk.buf[start..]));
-            }
-            let write_start = if link.out.iter().any(|c| !c.traced.is_empty()) {
+            // Flush the front chunk's gather list; its `WireBatch`
+            // cursor resumes from the exact byte a previous partial
+            // write reached, and `Interrupted` is retried inside.
+            let write_start = if link.out.front().is_some_and(|c| !c.traced.is_empty()) {
                 self.clock.now()
             } else {
                 0
             };
-            match link.stream.write_vectored(&slices) {
-                Ok(mut n) => {
+            let wrote = match link.out.front_mut() {
+                Some(front) => front.batch.write_to(&mut link.stream),
+                None => return,
+            };
+            match wrote {
+                Ok(()) => {
                     let now = self.clock.now();
-                    while n > 0 {
-                        let Some(front) = link.out.front() else { break };
-                        let remaining = front.buf.len() - link.out_off;
-                        if n >= remaining {
-                            n -= remaining;
-                            let Some(chunk) = link.out.pop_front() else { break };
-                            link.out_bytes -= chunk.buf.len();
-                            let (bytes, msgs) = (chunk.buf.len() as u64, chunk.msgs);
-                            self.tel.record_send_batch(msgs, bytes);
-                            link.meter.lock().record_batch(bytes, msgs, now);
-                            for &(trace_id, span_id) in &chunk.traced {
-                                self.tel.record_hop_span(
-                                    self.local,
-                                    Some(link.peer),
-                                    trace_id,
-                                    span_id,
-                                    SpanStage::Write,
-                                    write_start,
-                                    now,
-                                );
-                            }
-                            link.out_off = 0;
-                        } else {
-                            link.out_off += n;
-                            n = 0;
-                        }
+                    let Some(chunk) = link.out.pop_front() else { return };
+                    link.out_bytes -= chunk.bytes as usize;
+                    self.tel.record_send_batch(chunk.msgs, chunk.bytes);
+                    link.meter.lock().record_batch(chunk.bytes, chunk.msgs, now);
+                    for &(trace_id, span_id) in &chunk.traced {
+                        self.tel.record_hop_span(
+                            self.local,
+                            Some(link.peer),
+                            trace_id,
+                            span_id,
+                            SpanStage::Write,
+                            write_start,
+                            now,
+                        );
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     // The storm case: bytes staged, kernel full. Park
-                    // on write readiness and resume from the offset.
+                    // on write readiness and resume from the cursor.
                     self.tel.record_reactor_partial_write();
                     if !link.want_writable {
                         link.want_writable = true;
@@ -937,7 +944,6 @@ impl Shard {
                     }
                     return;
                 }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(_) => {
                     self.fail_link(token);
                     return;

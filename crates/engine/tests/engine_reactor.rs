@@ -209,6 +209,46 @@ fn reactor_backpressure_with_tiny_buffers() {
     sink.shutdown();
 }
 
+/// The wire image is identical with and without the vectored path: a
+/// non-vectored reactor node, a vectored blocking node, and a vectored
+/// reactor node interoperate in one chain, large payloads included
+/// (large frames take the receiver's direct `readv` path).
+#[test]
+fn vectored_and_copying_wire_paths_interoperate() {
+    let sink_alg = Relay::new();
+    let count = sink_alg.data_count.clone();
+    let bytes = sink_alg.data_bytes.clone();
+    let sink = EngineNode::spawn(reactor_cfg(), Box::new(sink_alg)).unwrap();
+    let relay_alg = Relay::to(sink.id());
+    let relay = EngineNode::spawn(
+        EngineConfig::default().with_wire_vectored(true),
+        Box::new(relay_alg),
+    )
+    .unwrap();
+    const N: u64 = 150;
+    const PAYLOAD: usize = 8 * 1024; // above the direct-read threshold
+    let source = EngineNode::spawn(
+        reactor_cfg().with_wire_vectored(false),
+        Box::new(BurstSource {
+            dest: relay.id(),
+            app: 9,
+            msg_bytes: PAYLOAD,
+            remaining: N,
+            seq: 0,
+        }),
+    )
+    .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(20), || count.load(Ordering::Relaxed) == N),
+        "sink got {} of {N}",
+        count.load(Ordering::Relaxed)
+    );
+    assert_eq!(bytes.load(Ordering::Relaxed), N * PAYLOAD as u64);
+    source.shutdown();
+    relay.shutdown();
+    sink.shutdown();
+}
+
 /// Killing a reactor-backed peer still trips failure detection: the
 /// shard surfaces the dead socket as UpstreamFailed and the domino
 /// (NeighborFailed + BrokenSource) reaches the algorithm.

@@ -1,4 +1,31 @@
-//! Generation-based linear network coding.
+//! Generation-based linear network coding, systematic-first.
+//!
+//! The encoder emits a generation's source packets *uncoded* first
+//! (identity coefficient rows) and only generates random-coefficient
+//! **repair** packets to cover losses. The decoder exploits that split:
+//!
+//! * **Systematic passthrough** — an uncoded source packet is stored
+//!   straight into its output slot ([`Decoder::push_systematic`]); the
+//!   only per-packet work is one payload copy plus rank bookkeeping on
+//!   the (tiny) coefficient matrix. A loss-free generation therefore
+//!   decodes with **zero** elimination work on payload bytes.
+//! * **Deferred tile-blocked elimination** — repair packets are *not*
+//!   eliminated on arrival. Their raw coefficient rows and payload rows
+//!   are appended to contiguous arenas (coefficients kept separate from
+//!   payload tiles), and only a coefficient-sized RREF mirror is updated
+//!   per push to detect innovation. When the generation completes, the
+//!   decoder folds every recovered systematic slot out of all pending
+//!   repair rows in blocked sweeps (one bulk [`mulacc_slice`] per
+//!   row × source pair over the arena), inverts the small `m × m`
+//!   missing-column system with a pooled [`Matrix`] workspace, and
+//!   reconstructs the `m` lost payloads with `m²` further bulk axpys.
+//!   Payload bytes are touched by the wide kernels only — never by
+//!   per-coefficient scalar loops.
+//!
+//! With `s` systematic arrivals and `m = generation - s` losses, the
+//! payload work is `m·s + m²` row axpys instead of the old incremental
+//! RREF's `O(generation²)` axpys *regardless* of loss — and exactly zero
+//! when `m = 0`.
 
 use std::error::Error;
 use std::fmt;
@@ -6,7 +33,7 @@ use std::fmt;
 use rand::Rng;
 
 use crate::kernels::{
-    mul_slice_in_place, mul_slice_in_place_gf, mulacc_slice, mulacc_slice_gf,
+    mul_slice, mul_slice_in_place_gf, mulacc_slice, mulacc_slice_gf,
 };
 use crate::{Gf256, Matrix};
 
@@ -144,9 +171,10 @@ impl CodedPacket {
 
 /// Produces coded packets from the source packets of one generation.
 ///
-/// The encoder sits at (or near) the data source: it holds the original
-/// payloads and emits either systematic packets (the originals) or random
-/// linear combinations.
+/// The encoder sits at (or near) the data source. Systematic operation
+/// emits the originals first ([`Encoder::systematic`] /
+/// [`Encoder::systematic_into`]) and covers losses with random repair
+/// combinations ([`Encoder::random_packet`]).
 ///
 /// # Example
 ///
@@ -157,6 +185,9 @@ impl CodedPacket {
 /// let enc = Encoder::new(gen.clone()).unwrap();
 /// let mut rng = rand::thread_rng();
 /// let mut dec = Decoder::new(3);
+/// // Systematic delivery: index 1 is lost, a repair packet covers it.
+/// dec.push_systematic(0, enc.source_payload(0));
+/// dec.push_systematic(2, enc.source_payload(2));
 /// while !dec.is_complete() {
 ///     dec.push(enc.random_packet(&mut rng));
 /// }
@@ -199,6 +230,16 @@ impl Encoder {
         self.sources.len()
     }
 
+    /// The original payload bytes of source `index` — what a systematic
+    /// wire frame carries (the coefficient row is implied by the index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn source_payload(&self, index: usize) -> &[u8] {
+        &self.sources[index].data
+    }
+
     /// The systematic (uncoded) packet for source `index`.
     ///
     /// # Panics
@@ -206,6 +247,20 @@ impl Encoder {
     /// Panics if `index` is out of range.
     pub fn systematic(&self, index: usize) -> CodedPacket {
         self.sources[index].clone()
+    }
+
+    /// [`Encoder::systematic`] into a caller-owned packet, reusing its
+    /// buffers across emissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn systematic_into(&self, index: usize, out: &mut CodedPacket) {
+        let src = &self.sources[index];
+        out.coeffs.clear();
+        out.coeffs.extend_from_slice(&src.coeffs);
+        out.data.clear();
+        out.data.extend_from_slice(&src.data);
     }
 
     /// Emits a packet with the given coefficient vector.
@@ -249,7 +304,8 @@ impl Encoder {
         Ok(())
     }
 
-    /// Emits a random linear combination (RLNC).
+    /// Emits a random linear combination — a repair packet under
+    /// systematic operation.
     pub fn random_packet<R: Rng + ?Sized>(&self, rng: &mut R) -> CodedPacket {
         let mut out = CodedPacket::default();
         self.random_packet_into(rng, &mut out);
@@ -257,48 +313,94 @@ impl Encoder {
     }
 
     /// [`Encoder::random_packet`] into a caller-owned packet, reusing its
-    /// buffers across emissions.
+    /// buffers across emissions — including the coefficient vector, which
+    /// is drawn directly into `out` (no per-call scratch allocation).
     pub fn random_packet_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut CodedPacket) {
-        let mut coeffs = vec![Gf256::ZERO; self.generation()];
+        let gen = self.generation();
+        out.coeffs.clear();
+        out.coeffs.resize(gen, Gf256::ZERO);
         loop {
-            for c in coeffs.iter_mut() {
+            for c in out.coeffs.iter_mut() {
                 *c = Gf256::new(rng.gen());
             }
-            if coeffs.iter().any(|c| !c.is_zero()) {
-                self.packet_with_into(&coeffs, out)
-                    .expect("coeff length matches generation");
-                return;
+            if out.coeffs.iter().any(|c| !c.is_zero()) {
+                break;
             }
+        }
+        out.data.clear();
+        out.data.resize(self.sources[0].data.len(), 0);
+        for (c, source) in out.coeffs.iter().zip(&self.sources) {
+            mulacc_slice(*c, &source.data, &mut out.data);
         }
     }
 }
 
-/// Progressive Gaussian-elimination decoder for one generation.
-///
-/// Feed packets as they arrive with [`Decoder::push`]; each innovative
-/// (linearly independent) packet raises the rank by one. Once the rank
-/// reaches the generation size, [`Decoder::decoded_payloads`] recovers
-/// the original source payloads.
-#[derive(Debug, Clone)]
-pub struct Decoder {
-    generation: usize,
-    /// Reduced rows, sorted by `lead` ascending. Invariant (RREF): each
-    /// row's leading coefficient is `1`, and every *other* row has `0`
-    /// at that lead column.
-    rows: Vec<DecoderRow>,
-}
-
-/// One reduced row of the decoder's coefficient matrix.
+/// One reduced row of the decoder's coefficient-only RREF mirror.
 ///
 /// The leading (first non-zero) column index is stored instead of
 /// rescanned, so elimination against existing rows is a direct indexed
 /// load per row rather than a `position()` walk over the whole
-/// coefficient vector.
+/// coefficient vector. These rows never carry payload bytes — they exist
+/// purely to answer "is this packet innovative?" in `O(rank·generation)`
+/// field ops.
 #[derive(Debug, Clone)]
-struct DecoderRow {
+struct CoeffRow {
     lead: usize,
     coeffs: Vec<Gf256>,
-    data: Vec<u8>,
+    /// `true` iff the row is a unit vector `e_lead` — the shape every
+    /// systematic arrival reduces to. Eliminating an incoming row
+    /// against a unit row only touches the lead column, so the flag
+    /// turns that row-axpy into a single store. Unit rows are also
+    /// stable: back-substitution never modifies them (a new row's lead
+    /// is a fresh column, and `e_lead` is zero everywhere else).
+    unit: bool,
+}
+
+/// Systematic-aware progressive decoder for one generation.
+///
+/// Feed uncoded source packets with [`Decoder::push_systematic`] and
+/// coded/repair packets with [`Decoder::push`] (which also detects
+/// unit-coefficient packets and routes them to the passthrough path);
+/// each innovative packet raises the rank by one. The moment the rank
+/// reaches the generation size the decoder runs its deferred blocked
+/// solve, after which [`Decoder::decoded_payloads`] (or the zero-copy
+/// [`Decoder::payload`]) returns the original source payloads.
+///
+/// The decoder is a reusable workspace: [`Decoder::reset`] clears it for
+/// the next generation while retaining every internal buffer, so a
+/// long-lived stream decodes generation after generation without
+/// allocating.
+#[derive(Debug, Clone, Default)]
+pub struct Decoder {
+    generation: usize,
+    payload_len: Option<usize>,
+    /// Coefficient-only RREF, sorted by `lead` ascending. Invariant:
+    /// each row's leading coefficient is `1` and every *other* row is
+    /// `0` at that lead column.
+    rref: Vec<CoeffRow>,
+    /// Recycled coefficient-row buffers (filled by [`Decoder::reset`]).
+    row_pool: Vec<Vec<Gf256>>,
+    /// `have[i]` ⇔ output slot `i` holds its recovered payload.
+    have: Vec<bool>,
+    /// Output slots, one per source packet; only `..generation` are live.
+    slots: Vec<Vec<u8>>,
+    systematic_hits: usize,
+    /// Raw repair rows, deferred until the solve: coefficient arena
+    /// (`repair_rows × generation`) kept separate from the payload tile
+    /// arena (`repair_rows × payload_len`).
+    repair_coeffs: Vec<Gf256>,
+    repair_data: Vec<u8>,
+    repair_rows: usize,
+    /// Payload-row axpys executed by the last solve (0 when loss-free).
+    elimination_rows: u64,
+    /// Elimination scratch for the coefficient RREF.
+    scratch: Vec<Gf256>,
+    /// Pooled solve workspace: the `m × m` missing-column system, its
+    /// inverse, and the augmented inversion tableau.
+    solve_a: Option<Matrix>,
+    solve_inv: Option<Matrix>,
+    solve_aug: Option<Matrix>,
+    missing: Vec<usize>,
 }
 
 impl Decoder {
@@ -308,16 +410,50 @@ impl Decoder {
     ///
     /// Panics if `generation` is zero.
     pub fn new(generation: usize) -> Self {
+        let mut d = Self::default();
+        d.reset(generation);
+        d
+    }
+
+    /// Clears the decoder for a new generation, retaining every internal
+    /// buffer (slots, arenas, RREF rows, solve matrices). This is the
+    /// per-stream workspace reuse that keeps a relay or sink from
+    /// allocating per generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `generation` is zero.
+    pub fn reset(&mut self, generation: usize) {
         assert!(generation > 0, "generation size must be non-zero");
-        Self {
-            generation,
-            rows: Vec::with_capacity(generation),
+        self.generation = generation;
+        self.payload_len = None;
+        for row in self.rref.drain(..) {
+            self.row_pool.push(row.coeffs);
         }
+        self.have.clear();
+        self.have.resize(generation, false);
+        if self.slots.len() < generation {
+            self.slots.resize_with(generation, Vec::new);
+        }
+        for slot in &mut self.slots[..generation] {
+            slot.clear();
+        }
+        self.systematic_hits = 0;
+        self.repair_coeffs.clear();
+        self.repair_data.clear();
+        self.repair_rows = 0;
+        self.elimination_rows = 0;
+        self.missing.clear();
+    }
+
+    /// Generation size this decoder was (re)created for.
+    pub fn generation(&self) -> usize {
+        self.generation
     }
 
     /// Current rank (number of innovative packets held).
     pub fn rank(&self) -> usize {
-        self.rows.len()
+        self.rref.len()
     }
 
     /// Whether enough innovative packets have arrived to decode.
@@ -325,65 +461,80 @@ impl Decoder {
         self.rank() == self.generation
     }
 
-    /// Inserts a packet; returns `true` if it was innovative.
+    /// Number of accepted uncoded (identity-row) packets.
+    pub fn systematic_hits(&self) -> usize {
+        self.systematic_hits
+    }
+
+    /// Number of accepted random-coefficient repair packets.
+    pub fn repair_rows(&self) -> usize {
+        self.repair_rows
+    }
+
+    /// Payload-row axpy sweeps the completing solve executed — the
+    /// elimination work this generation actually cost. Zero for a
+    /// loss-free (all-systematic) generation, `m·s + m²` after `m`
+    /// losses with `s` systematic arrivals.
+    pub fn elimination_rows(&self) -> u64 {
+        self.elimination_rows
+    }
+
+    /// Inserts an uncoded source packet; returns `true` if innovative.
     ///
-    /// Non-innovative packets (including shape-mismatched ones) are
-    /// discarded, which models a receiver simply ignoring useless
-    /// arrivals.
-    pub fn push(&mut self, packet: CodedPacket) -> bool {
-        let rank_before = self.rank();
-        if packet.generation() != self.generation || self.is_complete() {
+    /// This is the systematic passthrough: one payload copy into the
+    /// output slot plus a rank update on the coefficient mirror. No
+    /// payload elimination happens now or later for this packet.
+    pub fn push_systematic(&mut self, index: usize, data: &[u8]) -> bool {
+        if index >= self.generation || self.is_complete() || self.have[index] {
             return false;
         }
-        if let Some(expect_len) = self.rows.first().map(|r| r.data.len()) {
-            if packet.data.len() != expect_len {
+        if let Some(len) = self.payload_len {
+            if data.len() != len {
                 return false;
             }
         }
-        let mut coeffs = packet.coeffs;
-        let mut data = packet.data;
-        // Forward elimination against the stored rows. The rows are in
-        // RREF, so each stored row is zero at every *other* stored lead:
-        // eliminating with one row never reintroduces a coefficient at a
-        // lead that was already cleared, and each step is a single
-        // indexed load plus two bulk axpys — no rescans.
-        for row in &self.rows {
-            let factor = coeffs[row.lead];
-            if !factor.is_zero() {
-                mulacc_slice_gf(factor, &row.coeffs, &mut coeffs);
-                mulacc_slice(factor, &row.data, &mut data);
+        self.accept_systematic(index, Gf256::ONE, data)
+    }
+
+    /// Inserts a packet; returns `true` if it was innovative.
+    ///
+    /// Unit-coefficient (and scaled-unit) packets take the systematic
+    /// passthrough; anything else is held as a raw repair row until the
+    /// generation completes. Non-innovative packets (including
+    /// shape-mismatched ones) are discarded, which models a receiver
+    /// simply ignoring useless arrivals.
+    pub fn push(&mut self, packet: CodedPacket) -> bool {
+        self.push_parts(&packet.coeffs, &packet.data)
+    }
+
+    /// [`Decoder::push`] over borrowed coefficient and payload slices —
+    /// lets a wire-facing caller feed the decoder without materializing
+    /// a [`CodedPacket`] per arrival.
+    pub fn push_parts(&mut self, coeffs: &[Gf256], data: &[u8]) -> bool {
+        let rank_before = self.rank();
+        if coeffs.len() != self.generation || self.is_complete() {
+            return false;
+        }
+        if let Some(len) = self.payload_len {
+            if data.len() != len {
+                return false;
             }
         }
-        let Some(lead) = coeffs.iter().position(|c| !c.is_zero()) else {
-            debug_assert_eq!(self.rank(), rank_before, "rejected packet changed rank");
-            return false; // not innovative
+        let accepted = match unit_scale(coeffs) {
+            Some((index, _)) if self.have[index] => false,
+            Some((index, scale)) => self.accept_systematic(index, scale, data),
+            None => self.push_repair(coeffs, data),
         };
-        // Normalize the new row to a unit leading coefficient, in place.
-        let inv = coeffs[lead].inv();
-        mul_slice_in_place_gf(inv, &mut coeffs);
-        mul_slice_in_place(inv, &mut data);
-        // Back-substitute the new row into the existing ones.
-        for row in self.rows.iter_mut() {
-            let factor = row.coeffs[lead];
-            if !factor.is_zero() {
-                mulacc_slice_gf(factor, &coeffs, &mut row.coeffs);
-                mulacc_slice(factor, &data, &mut row.data);
-            }
-        }
-        // Insert sorted by lead; forward elimination zeroed every stored
-        // lead in `coeffs`, so `lead` is distinct from all stored leads.
-        let pos = self.rows.partition_point(|r| r.lead < lead);
-        self.rows.insert(pos, DecoderRow { lead, coeffs, data });
         debug_assert_eq!(
             self.rank(),
-            rank_before + 1,
-            "innovative packet must raise rank by exactly one"
+            rank_before + usize::from(accepted),
+            "rank must rise by exactly one per innovative packet"
         );
         debug_assert!(
-            self.rows.windows(2).all(|w| w[0].lead < w[1].lead),
+            self.rref.windows(2).all(|w| w[0].lead < w[1].lead),
             "stored leads must stay strictly increasing"
         );
-        true
+        accepted
     }
 
     /// Recovers the original payloads, in source order.
@@ -399,14 +550,203 @@ impl Decoder {
                 need: self.generation,
             });
         }
-        // After full rank with reduced rows, the coefficient matrix is a
-        // permutation-free identity (rows sorted by leading position).
-        debug_assert!(Matrix::from_rows(
-            &self.rows.iter().map(|r| r.coeffs.as_slice()).collect::<Vec<_>>()
-        )
-        .is_identity());
-        Ok(self.rows.iter().map(|r| r.data.clone()).collect())
+        debug_assert!(
+            self.have[..self.generation].iter().all(|&h| h),
+            "complete decoder must have every slot solved"
+        );
+        Ok(self.slots[..self.generation].to_vec())
     }
+
+    /// Borrows the recovered payload of source `index`, or `None` if it
+    /// has not been recovered yet. Systematic arrivals are readable here
+    /// immediately — before the generation completes.
+    pub fn payload(&self, index: usize) -> Option<&[u8]> {
+        (index < self.generation && self.have[index]).then(|| self.slots[index].as_slice())
+    }
+
+    /// Stores `scale⁻¹ · data` into slot `index` if the unit row `e_index`
+    /// is innovative. `scale` is the packet's single non-zero coefficient
+    /// (`1` for a true systematic arrival).
+    fn accept_systematic(&mut self, index: usize, scale: Gf256, data: &[u8]) -> bool {
+        // Rank bookkeeping first: e_index can be dependent on previously
+        // held repair rows even when the slot itself is empty.
+        self.scratch.clear();
+        self.scratch.resize(self.generation, Gf256::ZERO);
+        self.scratch[index] = Gf256::ONE;
+        if !self.absorb_scratch() {
+            return false;
+        }
+        self.payload_len = Some(data.len());
+        let slot = &mut self.slots[index];
+        slot.clear();
+        if scale == Gf256::ONE {
+            slot.extend_from_slice(data);
+        } else {
+            slot.resize(data.len(), 0);
+            mul_slice(scale.inv(), data, slot);
+        }
+        self.have[index] = true;
+        self.systematic_hits += 1;
+        if self.is_complete() {
+            self.solve();
+        }
+        true
+    }
+
+    /// Appends an innovative repair row to the raw arenas.
+    fn push_repair(&mut self, coeffs: &[Gf256], data: &[u8]) -> bool {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(coeffs);
+        if !self.absorb_scratch() {
+            return false;
+        }
+        self.payload_len = Some(data.len());
+        self.repair_coeffs.extend_from_slice(coeffs);
+        self.repair_data.extend_from_slice(data);
+        self.repair_rows += 1;
+        if self.is_complete() {
+            self.solve();
+        }
+        true
+    }
+
+    /// Eliminates `self.scratch` against the coefficient RREF; inserts
+    /// the reduced row and returns `true` iff it is innovative.
+    fn absorb_scratch(&mut self) -> bool {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for row in &self.rref {
+            let factor = scratch[row.lead];
+            if factor.is_zero() {
+                continue;
+            }
+            if row.unit {
+                // `e_lead` cancels exactly its own column.
+                scratch[row.lead] = Gf256::ZERO;
+            } else {
+                mulacc_slice_gf(factor, &row.coeffs, &mut scratch);
+            }
+        }
+        let Some(lead) = scratch.iter().position(|c| !c.is_zero()) else {
+            self.scratch = scratch;
+            return false;
+        };
+        let inv = scratch[lead].inv();
+        mul_slice_in_place_gf(inv, &mut scratch);
+        // Back-substitute the new row into the existing ones (coefficient
+        // vectors only — payload rows are untouched until the solve).
+        for row in self.rref.iter_mut() {
+            let factor = row.coeffs[lead];
+            if !factor.is_zero() {
+                mulacc_slice_gf(factor, &scratch, &mut row.coeffs);
+            }
+        }
+        // Entries before `lead` are zero by construction; a unit row is
+        // one with nothing after it either. (Back-substitution can in
+        // principle cancel a stored row down to a unit — the flag stays
+        // conservatively `false` there, which is correct, just unflagged.)
+        let unit = scratch[lead + 1..].iter().all(|c| c.is_zero());
+        let mut coeffs = self.row_pool.pop().unwrap_or_default();
+        coeffs.clear();
+        coeffs.extend_from_slice(&scratch);
+        let pos = self.rref.partition_point(|r| r.lead < lead);
+        self.rref.insert(pos, CoeffRow { lead, coeffs, unit });
+        scratch.clear();
+        self.scratch = scratch;
+        true
+    }
+
+    /// The deferred blocked solve, run once at completion.
+    ///
+    /// With `P` the recovered (systematic) indices and `M` the missing
+    /// ones (`|M| = m`), the accepted repair rows are exactly `m` and
+    /// their restriction `A` to the columns of `M` is invertible (the
+    /// full accepted set is a basis, and Laplace expansion along the
+    /// unit rows reduces its determinant to `det(A)`). The solve is
+    /// three blocked passes over the contiguous arenas:
+    ///
+    /// 1. `Y′ = Y + Σ_{i∈P} c[·][i]·slotᵢ` — fold each recovered source
+    ///    out of all `m` repair payload rows per sweep,
+    /// 2. invert the `m × m` block `A` in the pooled workspace,
+    /// 3. `slot_{M[k]} = Σ_j A⁻¹[k][j]·Y′_j` — `m²` row axpys.
+    fn solve(&mut self) {
+        debug_assert!(self.is_complete());
+        let gen = self.generation;
+        let len = self.payload_len.unwrap_or(0);
+        self.elimination_rows = 0;
+        self.missing.clear();
+        self.missing
+            .extend((0..gen).filter(|&i| !self.have[i]));
+        let m = self.missing.len();
+        if m == 0 {
+            return; // pure systematic: passthrough already solved it
+        }
+        debug_assert_eq!(m, self.repair_rows, "repair rows must cover the losses");
+        // Pass 1: adjusted RHS. Repair row outer, recovered sources
+        // inner: the destination row stays cache-resident across the
+        // whole source sweep while the slots stream through once per
+        // row, each fold a bulk kernel row-axpy.
+        for j in 0..m {
+            let row = &mut self.repair_data[j * len..(j + 1) * len];
+            for i in 0..gen {
+                if !self.have[i] {
+                    continue;
+                }
+                let c = self.repair_coeffs[j * gen + i];
+                if c.is_zero() {
+                    continue;
+                }
+                mulacc_slice(c, &self.slots[i], row);
+                self.elimination_rows += 1;
+            }
+        }
+        // Pass 2: invert the m × m missing-column block in the pooled
+        // workspace (no allocation after the first lossy generation).
+        let a = self.solve_a.get_or_insert_with(|| Matrix::zero(1, 1));
+        a.reshape_zeroed(m, m);
+        for j in 0..m {
+            for (k, &mi) in self.missing.iter().enumerate() {
+                a[(j, k)] = self.repair_coeffs[j * gen + mi];
+            }
+        }
+        let inv = self.solve_inv.get_or_insert_with(|| Matrix::zero(1, 1));
+        let aug = self.solve_aug.get_or_insert_with(|| Matrix::zero(1, 1));
+        let invertible = a.invert_into(inv, aug);
+        debug_assert!(invertible, "full rank implies an invertible missing block");
+        if !invertible {
+            return;
+        }
+        // Pass 3: reconstruct the missing payloads, m row axpys each.
+        for (k, &mi) in self.missing.iter().enumerate() {
+            let slot = &mut self.slots[mi];
+            slot.clear();
+            slot.resize(len, 0);
+            for j in 0..m {
+                let c = inv[(k, j)];
+                if c.is_zero() {
+                    continue;
+                }
+                mulacc_slice(c, &self.repair_data[j * len..(j + 1) * len], slot);
+                self.elimination_rows += 1;
+            }
+            self.have[mi] = true;
+        }
+    }
+}
+
+/// If `coeffs` has exactly one non-zero entry, returns its index and
+/// value — the (possibly scaled) systematic case.
+fn unit_scale(coeffs: &[Gf256]) -> Option<(usize, Gf256)> {
+    let mut found = None;
+    for (i, &c) in coeffs.iter().enumerate() {
+        if c.is_zero() {
+            continue;
+        }
+        if found.is_some() {
+            return None;
+        }
+        found = Some((i, c));
+    }
+    found
 }
 
 #[cfg(test)]
@@ -492,6 +832,105 @@ mod tests {
     }
 
     #[test]
+    fn loss_free_generation_does_zero_elimination_work() {
+        let sources = payloads(16, 128);
+        let enc = Encoder::new(sources.clone()).unwrap();
+        let mut dec = Decoder::new(16);
+        for (i, source) in sources.iter().enumerate() {
+            assert!(dec.push_systematic(i, enc.source_payload(i)));
+            // Systematic arrivals are readable before completion.
+            assert_eq!(dec.payload(i).unwrap(), &source[..]);
+        }
+        assert!(dec.is_complete());
+        assert_eq!(dec.systematic_hits(), 16);
+        assert_eq!(dec.repair_rows(), 0);
+        assert_eq!(dec.elimination_rows(), 0, "passthrough must not eliminate");
+        assert_eq!(dec.decoded_payloads().unwrap(), sources);
+    }
+
+    #[test]
+    fn burst_loss_recovered_by_repair_packets() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let sources = payloads(8, 96);
+        let enc = Encoder::new(sources.clone()).unwrap();
+        let mut dec = Decoder::new(8);
+        // Burst: sources 2..5 lost.
+        for i in (0..8).filter(|i| !(2..5).contains(i)) {
+            assert!(dec.push_systematic(i, enc.source_payload(i)));
+        }
+        while !dec.is_complete() {
+            dec.push(enc.random_packet(&mut rng));
+        }
+        assert_eq!(dec.systematic_hits(), 5);
+        assert_eq!(dec.repair_rows(), 3);
+        // m·s + m² payload axpy upper bound; lower bound m (each lost
+        // slot touched at least once).
+        assert!(dec.elimination_rows() >= 3);
+        assert!(dec.elimination_rows() <= (3 * 5 + 3 * 3) as u64);
+        assert_eq!(dec.decoded_payloads().unwrap(), sources);
+    }
+
+    #[test]
+    fn scaled_unit_packet_takes_the_systematic_path() {
+        let sources = payloads(2, 16);
+        let enc = Encoder::new(sources.clone()).unwrap();
+        let mut coeffs = vec![Gf256::ZERO; 2];
+        coeffs[1] = Gf256::new(0x35);
+        let scaled = enc.packet_with(&coeffs).unwrap();
+        let mut dec = Decoder::new(2);
+        assert!(dec.push(scaled));
+        assert_eq!(dec.systematic_hits(), 1);
+        assert_eq!(dec.payload(1).unwrap(), &sources[1][..]);
+    }
+
+    #[test]
+    fn systematic_dependent_on_repair_rows_is_rejected() {
+        // Two repair rows spanning e_0 for a gen-3 prefix: e_0 is then
+        // dependent even though slot 0 was never filled directly.
+        let sources = payloads(3, 8);
+        let enc = Encoder::new(sources.clone()).unwrap();
+        let mk = |a: u8, b: u8| {
+            enc.packet_with(&[Gf256::new(a), Gf256::new(b), Gf256::ZERO])
+                .unwrap()
+        };
+        let mut dec = Decoder::new(3);
+        assert!(dec.push(mk(1, 1)));
+        assert!(dec.push(mk(1, 2)));
+        assert!(!dec.push_systematic(0, enc.source_payload(0)));
+        assert_eq!(dec.rank(), 2);
+        // The third dimension still completes the generation.
+        assert!(dec.push_systematic(2, enc.source_payload(2)));
+        assert_eq!(dec.decoded_payloads().unwrap(), sources);
+    }
+
+    #[test]
+    fn reset_reuses_the_workspace_across_generations() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut dec = Decoder::new(4);
+        for round in 0..3u8 {
+            let sources: Vec<Vec<u8>> = (0..4)
+                .map(|i| vec![round.wrapping_mul(17) ^ i as u8; 64])
+                .collect();
+            let enc = Encoder::new(sources.clone()).unwrap();
+            dec.push_systematic(0, enc.source_payload(0));
+            dec.push_systematic(3, enc.source_payload(3));
+            while !dec.is_complete() {
+                dec.push(enc.random_packet(&mut rng));
+            }
+            assert_eq!(dec.decoded_payloads().unwrap(), sources);
+            dec.reset(4);
+            assert_eq!(dec.rank(), 0);
+            assert_eq!(dec.systematic_hits(), 0);
+            assert_eq!(dec.elimination_rows(), 0);
+        }
+        // Reset can also change the generation size.
+        dec.reset(2);
+        assert!(dec.push_systematic(0, &[1, 2]));
+        assert!(dec.push_systematic(1, &[3, 4]));
+        assert_eq!(dec.decoded_payloads().unwrap(), vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
     fn combine_shape_mismatch() {
         let a = CodedPacket::source(0, 2, vec![1, 2, 3]);
         let b = CodedPacket::source(1, 3, vec![1, 2, 3]);
@@ -523,5 +962,19 @@ mod tests {
         assert!(dec.push(CodedPacket::source(0, 2, vec![1, 2])));
         // Different payload length is ignored too.
         assert!(!dec.push(CodedPacket::source(1, 2, vec![1])));
+        // Out-of-range systematic index is ignored.
+        assert!(!dec.push_systematic(2, &[1, 2]));
+    }
+
+    #[test]
+    fn systematic_into_and_random_into_reuse_buffers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let enc = Encoder::new(payloads(4, 32)).unwrap();
+        let mut scratch = CodedPacket::default();
+        enc.systematic_into(1, &mut scratch);
+        assert_eq!(scratch, enc.systematic(1));
+        enc.random_packet_into(&mut rng, &mut scratch);
+        assert_eq!(scratch.generation(), 4);
+        assert!(scratch.coeffs().iter().any(|c| !c.is_zero()));
     }
 }

@@ -383,6 +383,17 @@ pub fn mulacc_slice_gf(c: Gf256, src: &[Gf256], dst: &mut [Gf256]) {
         }
         return;
     }
+    // A product-row build costs ~255 log/exp pairs; below that length a
+    // per-element multiply is strictly cheaper. Coefficient vectors are
+    // one element per source packet, so small generations (the common
+    // case) always take the direct path.
+    if dst.len() < 256 {
+        let c = c.value();
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += Gf256::new(gf_mul(c, s.value()));
+        }
+        return;
+    }
     let row = product_row(c.value());
     for (d, s) in dst.iter_mut().zip(src) {
         *d += Gf256::new(row[s.value() as usize]);
@@ -392,6 +403,15 @@ pub fn mulacc_slice_gf(c: Gf256, src: &[Gf256], dst: &mut [Gf256]) {
 /// `data[i] = c * data[i]` over a `Gf256` slice, in place.
 pub fn mul_slice_in_place_gf(c: Gf256, data: &mut [Gf256]) {
     if c == Gf256::ONE {
+        return;
+    }
+    // Same break-even as [`mulacc_slice_gf`]: short coefficient vectors
+    // multiply element-wise instead of amortizing a product-row build.
+    if data.len() < 256 {
+        let c = c.value();
+        for d in data.iter_mut() {
+            *d = Gf256::new(gf_mul(c, d.value()));
+        }
         return;
     }
     let row = product_row(c.value());

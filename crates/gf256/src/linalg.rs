@@ -138,18 +138,39 @@ impl Matrix {
         pivot_row
     }
 
-    /// Computes the inverse of a square matrix, or `None` if singular.
-    pub fn inverse(&self) -> Option<Matrix> {
+    /// Reshapes to `rows × cols` and zero-fills, reusing the existing
+    /// allocation. This is the pooled-workspace primitive behind
+    /// [`Matrix::invert_into`]: the network-coding decoder keeps its
+    /// solve matrices alive across generations and reshapes them here
+    /// instead of allocating per generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, Gf256::ZERO);
+    }
+
+    /// Inverts a square matrix into caller-owned storage: `out` receives
+    /// `self⁻¹` and `aug` is clobbered as the `[self | I]` working
+    /// tableau. Neither allocates beyond first-use growth, so a caller
+    /// that reuses the same `out`/`aug` pair inverts repeatedly with no
+    /// allocation at all.
+    ///
+    /// Returns `false` (leaving `out` and `aug` valid but unspecified)
+    /// if `self` is not square or is singular.
+    pub fn invert_into(&self, out: &mut Matrix, aug: &mut Matrix) -> bool {
         if self.rows != self.cols {
-            return None;
+            return false;
         }
         let n = self.rows;
-        // Form the augmented matrix [self | I] and reduce.
-        let mut aug = Matrix::zero(n, 2 * n);
+        aug.reshape_zeroed(n, 2 * n);
         for r in 0..n {
-            for c in 0..n {
-                aug[(r, c)] = self[(r, c)];
-            }
+            aug.row_mut(r)[..n].copy_from_slice(self.row(r));
             aug[(r, n + r)] = Gf256::ONE;
         }
         // Pivot only on the left (coefficient) block: reducing across all
@@ -157,7 +178,9 @@ impl Matrix {
         // singular matrix look invertible.
         let mut pivot_row = 0;
         for col in 0..n {
-            let src = (pivot_row..n).find(|&r| !aug[(r, col)].is_zero())?;
+            let Some(src) = (pivot_row..n).find(|&r| !aug[(r, col)].is_zero()) else {
+                return false;
+            };
             aug.swap_rows(pivot_row, src);
             let inv = aug[(pivot_row, col)].inv();
             aug.scale_row(pivot_row, inv);
@@ -169,13 +192,21 @@ impl Matrix {
             }
             pivot_row += 1;
         }
-        let mut inv = Matrix::zero(n, n);
+        out.reshape_zeroed(n, n);
         for r in 0..n {
-            for c in 0..n {
-                inv[(r, c)] = aug[(r, n + c)];
-            }
+            out.row_mut(r).copy_from_slice(&aug.row(r)[n..]);
         }
-        Some(inv)
+        true
+    }
+
+    /// Computes the inverse of a square matrix, or `None` if singular.
+    pub fn inverse(&self) -> Option<Matrix> {
+        if self.rows != self.cols {
+            return None;
+        }
+        let mut out = Matrix::zero(self.rows, self.rows);
+        let mut aug = Matrix::zero(1, 1);
+        self.invert_into(&mut out, &mut aug).then_some(out)
     }
 
     /// Solves `self * x = rhs` for a square, full-rank `self`.
@@ -389,6 +420,36 @@ mod tests {
         let a = Matrix::zero(2, 3);
         let b = Matrix::zero(2, 3);
         let _ = &a * &b;
+    }
+
+    #[test]
+    fn invert_into_reuses_workspace_across_shapes() {
+        let mut out = Matrix::zero(1, 1);
+        let mut aug = Matrix::zero(1, 1);
+        let m2 = Matrix::from_rows(&[&[g(2), g(1)], &[g(1), g(0)]]);
+        assert!(m2.invert_into(&mut out, &mut aug));
+        assert!((&m2 * &out).is_identity());
+        // Same workspace, bigger matrix: reshaped, not reallocated anew.
+        let m3 = Matrix::from_rows(&[
+            &[g(2), g(1), g(0)],
+            &[g(1), g(0), g(1)],
+            &[g(0), g(1), g(1)],
+        ]);
+        assert!(m3.invert_into(&mut out, &mut aug));
+        assert!((&m3 * &out).is_identity());
+        // Singular and non-square inputs report failure.
+        let sing = Matrix::from_rows(&[&[g(1), g(1)], &[g(1), g(1)]]);
+        assert!(!sing.invert_into(&mut out, &mut aug));
+        assert!(!Matrix::zero(2, 3).invert_into(&mut out, &mut aug));
+    }
+
+    #[test]
+    fn reshape_zeroed_clears_stale_values() {
+        let mut m = Matrix::identity(3);
+        m.reshape_zeroed(2, 4);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 4);
+        assert!(m.row(0).iter().chain(m.row(1)).all(|c| c.is_zero()));
     }
 
     #[test]

@@ -1,11 +1,33 @@
-//! Stream codec: incremental decoding and blocking I/O helpers.
+//! Stream codec: incremental decoding, vectored I/O, and blocking helpers.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, IoSliceMut, Read, Write};
 
-use bytes::{Buf, BytesMut};
+use bytes::{Buf, Bytes, BytesMut};
 
-use crate::msg::MAX_PAYLOAD;
+use crate::msg::{MAX_PAYLOAD, MAX_PREFIX_LEN};
 use crate::{DecodeError, Header, Msg, HEADER_LEN};
+
+/// Declared payload size at or above which [`Decoder::read_from`] /
+/// [`Decoder::read_available`] switch a frame to the direct path: the
+/// payload gets its own exact-size buffer filled by `readv` alongside
+/// the header buffer, and the finished frame freezes that buffer into
+/// the message — no buffer-to-buffer copy between the socket and the
+/// payload `Bytes`. Below this size frames stay on the shared-chunk
+/// path, where the payload is a zero-copy slice of the read buffer:
+/// entering direct mode there would cost more (per-frame buffer, carry
+/// copy) than it saves, so the threshold sits above typical coded-frame
+/// sizes.
+const DIRECT_MIN: usize = 4096;
+
+/// A large in-flight frame being read directly into its own payload
+/// buffer (header already parsed and consumed from the stream buffer).
+#[derive(Debug)]
+struct DirectPayload {
+    header: Header,
+    /// Exact-size payload-region buffer; `..filled` is valid.
+    buf: BytesMut,
+    filled: usize,
+}
 
 /// Incremental decoder for a byte stream carrying back-to-back messages.
 ///
@@ -35,7 +57,19 @@ use crate::{DecodeError, Header, Msg, HEADER_LEN};
 /// ```
 #[derive(Debug, Default)]
 pub struct Decoder {
-    buf: BytesMut,
+    /// Frozen front of the stream. Complete frames are parsed straight
+    /// out of this buffer: each payload is a reference-counted slice of
+    /// it, so draining a read's worth of messages costs zero payload
+    /// copies — every payload in the chunk shares one allocation.
+    chunk: Bytes,
+    /// Mutable staging tail, strictly after `chunk` in stream order.
+    /// `feed` and `read_from` append here; bytes move into `chunk` via
+    /// [`Decoder::promote`] when parsing needs them.
+    tail: BytesMut,
+    /// Large frame currently reading straight into its payload buffer
+    /// (only entered through the reader helpers). While incomplete, it
+    /// is strictly ahead of `chunk` in stream order.
+    direct: Option<DirectPayload>,
 }
 
 impl Decoder {
@@ -46,12 +80,190 @@ impl Decoder {
 
     /// Appends a chunk of stream bytes to the decode buffer.
     pub fn feed(&mut self, chunk: &[u8]) {
-        self.buf.extend_from_slice(chunk);
+        let mut chunk = chunk;
+        if let Some(d) = &mut self.direct {
+            let need = d.buf.len() - d.filled;
+            if need > 0 {
+                let take = need.min(chunk.len());
+                d.buf[d.filled..d.filled + take].copy_from_slice(&chunk[..take]);
+                d.filled += take;
+                chunk = &chunk[take..];
+            }
+        }
+        self.tail.extend_from_slice(chunk);
     }
 
     /// Number of bytes buffered but not yet consumed by a complete message.
     pub fn pending(&self) -> usize {
-        self.buf.len()
+        self.chunk.len() + self.tail.len() + self.direct.as_ref().map_or(0, |d| d.filled)
+    }
+
+    /// Moves staged `tail` bytes into the parseable `chunk`. When the
+    /// chunk is fully consumed this is a zero-copy freeze; otherwise the
+    /// partial-frame leftover is merged with the tail in one copy.
+    /// Callers only promote once the bytes are actually needed to parse
+    /// a complete header or frame, so a byte is merge-copied O(1) times
+    /// rather than once per `next_msg` poll.
+    fn promote(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        if self.chunk.is_empty() {
+            self.chunk = std::mem::take(&mut self.tail).freeze();
+        } else {
+            let mut merged = Vec::with_capacity(self.chunk.len() + self.tail.len());
+            merged.extend_from_slice(&self.chunk);
+            merged.extend_from_slice(&self.tail);
+            self.tail.clear();
+            self.chunk = Bytes::from(merged);
+        }
+    }
+
+    /// Reads from `r` straight into the decoder, at most `max_chunk`
+    /// bytes into the stream buffer per call. When a buffered header
+    /// declares a large (≥ 512 byte) payload that has not fully
+    /// arrived, the payload gets its own exact-size buffer and the read
+    /// becomes one vectored `readv` over `[payload tail, stream
+    /// buffer]` — the payload lands in the buffer that the decoded
+    /// [`Msg`] will reference, skipping the buffer-to-buffer copy of
+    /// the `feed` path, while trailing bytes of the *next* frames
+    /// gather into the stream buffer in the same syscall.
+    ///
+    /// Returns the total bytes read; `Ok(0)` means end of stream.
+    /// Drain with [`Decoder::next_msg`] exactly as after `feed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors (the decoder's buffers stay consistent,
+    /// so retrying after `WouldBlock`/`Interrupted` is fine) and
+    /// surfaces a malformed buffered header as `InvalidData`.
+    pub fn read_from<R: Read>(&mut self, r: &mut R, max_chunk: usize) -> io::Result<usize> {
+        self.try_enter_direct()?;
+        let tail_start = self.tail.len();
+        self.tail.resize(tail_start + max_chunk.max(1), 0);
+        let read = match &mut self.direct {
+            Some(d) if d.filled < d.buf.len() => {
+                let mut iov = [
+                    IoSliceMut::new(&mut d.buf[d.filled..]),
+                    IoSliceMut::new(&mut self.tail[tail_start..]),
+                ];
+                r.read_vectored(&mut iov)
+            }
+            _ => r.read(&mut self.tail[tail_start..]),
+        };
+        match read {
+            Ok(n) => {
+                let into_direct = match &mut self.direct {
+                    Some(d) if d.filled < d.buf.len() => {
+                        let take = n.min(d.buf.len() - d.filled);
+                        d.filled += take;
+                        take
+                    }
+                    _ => 0,
+                };
+                self.tail.truncate(tail_start + (n - into_direct));
+                Ok(n)
+            }
+            Err(e) => {
+                self.tail.truncate(tail_start);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads every byte `r` has ready, up to `max_chunk` stream-buffer
+    /// bytes, without zero-initializing a receive window first. Where
+    /// [`Decoder::read_from`] memsets `max_chunk` bytes per call before
+    /// the `read` syscall, this gathers the unparsed leftover plus the
+    /// fresh socket bytes into one new chunk via `Read::take(..)
+    /// .read_to_end(..)`, which appends into spare `Vec` capacity
+    /// without zeroing it.
+    ///
+    /// **Requires a non-blocking reader**: the inner `read_to_end`
+    /// loops until the limit, end of stream, or an error — on a
+    /// blocking socket it would stall waiting for `max_chunk` bytes.
+    /// A `WouldBlock` after some bytes arrived is success (`Ok(n)`);
+    /// with nothing read it propagates, leaving the decoder untouched.
+    /// `Ok(0)` means end of stream, as with `read_from`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors and surfaces a malformed buffered
+    /// header as `InvalidData`; the decoder stays consistent either
+    /// way, so retrying after `WouldBlock` is fine.
+    pub fn read_available<R: Read>(&mut self, r: &mut R, max_chunk: usize) -> io::Result<usize> {
+        self.try_enter_direct()?;
+        if let Some(d) = &mut self.direct {
+            if d.filled < d.buf.len() {
+                // The payload buffer already exists at exact size: read
+                // straight into its unfilled region, no staging at all.
+                let n = r.read(&mut d.buf[d.filled..])?;
+                d.filled += n;
+                return Ok(n);
+            }
+        }
+        let carry = self.chunk.len() + self.tail.len();
+        // Spare room past the limit so read_to_end's probe for EOF
+        // never triggers a doubling realloc of the whole window.
+        let mut fresh = Vec::with_capacity(carry + max_chunk.max(1) + 1024);
+        fresh.extend_from_slice(&self.chunk);
+        fresh.extend_from_slice(&self.tail);
+        let result = (&mut *r).take(max_chunk.max(1) as u64).read_to_end(&mut fresh);
+        let n = fresh.len() - carry;
+        match result {
+            // Nothing arrived: drop `fresh`, decoder state untouched.
+            Err(e) if n == 0 => Err(e),
+            Ok(_) if n == 0 => Ok(0),
+            // Bytes before a WouldBlock/other error are still appended
+            // to the buffer (documented `read_to_end` behavior), so any
+            // partial read commits and reports success.
+            _ => {
+                self.tail.clear();
+                self.chunk = Bytes::from(fresh);
+                Ok(n)
+            }
+        }
+    }
+
+    /// If the buffered stream fronts a large frame whose payload region
+    /// has not fully arrived, consume its header and switch that frame
+    /// to the direct path. No-op for small or already-complete frames.
+    fn try_enter_direct(&mut self) -> io::Result<()> {
+        let avail = self.chunk.len() + self.tail.len();
+        if self.direct.is_some() || avail < HEADER_LEN {
+            return Ok(());
+        }
+        if self.chunk.len() < HEADER_LEN {
+            self.promote();
+        }
+        let header = Header::decode(&self.chunk)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let declared = header.payload_len() as usize;
+        if declared > MAX_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                DecodeError::PayloadTooLarge {
+                    declared,
+                    max: MAX_PAYLOAD,
+                },
+            ));
+        }
+        if declared < DIRECT_MIN || avail >= HEADER_LEN + declared {
+            return Ok(());
+        }
+        self.promote();
+        self.chunk.advance(HEADER_LEN);
+        let have = self.chunk.len();
+        let mut payload = BytesMut::with_capacity(declared);
+        payload.resize(declared, 0);
+        payload[..have].copy_from_slice(&self.chunk);
+        self.chunk = Bytes::new();
+        self.direct = Some(DirectPayload {
+            header,
+            buf: payload,
+            filled: have,
+        });
+        Ok(())
     }
 
     /// Attempts to extract the next complete message.
@@ -64,10 +276,23 @@ impl Decoder {
     /// [`DecodeError::PortOutOfRange`] on malformed headers; the stream
     /// should be torn down in that case, since framing is lost.
     pub fn next_msg(&mut self) -> Result<Option<Msg>, DecodeError> {
-        if self.buf.len() < HEADER_LEN {
+        if let Some(d) = &self.direct {
+            if d.filled < d.buf.len() {
+                // The direct frame is ahead of everything in the stream
+                // buffer; yielding buffered frames first would reorder.
+                return Ok(None);
+            }
+            let d = self.direct.take().expect("just observed Some");
+            return Msg::from_wire_parts(d.header, d.buf.freeze()).map(Some);
+        }
+        let avail = self.chunk.len() + self.tail.len();
+        if avail < HEADER_LEN {
             return Ok(None);
         }
-        let header = Header::decode(&self.buf)?;
+        if self.chunk.len() < HEADER_LEN {
+            self.promote();
+        }
+        let header = Header::decode(&self.chunk)?;
         let declared = header.payload_len() as usize;
         if declared > MAX_PAYLOAD {
             return Err(DecodeError::PayloadTooLarge {
@@ -75,11 +300,14 @@ impl Decoder {
                 max: MAX_PAYLOAD,
             });
         }
-        if self.buf.len() < HEADER_LEN + declared {
+        if avail < HEADER_LEN + declared {
             return Ok(None);
         }
-        self.buf.advance(HEADER_LEN);
-        let region = self.buf.split_to(declared).freeze();
+        if self.chunk.len() < HEADER_LEN + declared {
+            self.promote();
+        }
+        self.chunk.advance(HEADER_LEN);
+        let region = self.chunk.split_to(declared);
         Msg::from_wire_parts(header, region).map(Some)
     }
 }
@@ -98,6 +326,183 @@ pub fn write_msg<W: Write>(mut w: W, msg: &Msg) -> io::Result<()> {
     w.write_all(&prefix[..len])?;
     w.write_all(msg.payload())?;
     Ok(())
+}
+
+/// Most gather segments offered to one vectored write.
+const MAX_WRITE_IOSLICES: usize = 64;
+
+/// A reusable staging area that turns a batch of messages into socket
+/// writes without copying payloads.
+///
+/// In vectored mode (the default wire path) each pushed message
+/// contributes two gather segments — its encoded prefix (header plus
+/// optional trace extension) and a cheap clone of its payload
+/// [`Bytes`] — and [`WireBatch::write_to`] hands up to 64 segments at a
+/// time to `writev`. Payload bytes flow from the message's buffer to
+/// the kernel directly; the per-batch encode buffer of the copying path
+/// disappears.
+///
+/// In contiguous mode (`new(false)`, the benchmark baseline) pushes
+/// encode into one reused buffer and `write_to` writes it — the
+/// pre-vectored sender path behind the same interface.
+///
+/// A partial or failed write (e.g. `WouldBlock` on a non-blocking
+/// socket) leaves the internal cursor at the first unwritten byte, so
+/// calling `write_to` again resumes exactly where the kernel stopped.
+#[derive(Debug, Default)]
+pub struct WireBatch {
+    vectored: bool,
+    prefixes: Vec<([u8; MAX_PREFIX_LEN], usize)>,
+    payloads: Vec<Bytes>,
+    contiguous: BytesMut,
+    msgs: usize,
+    total: usize,
+    /// Write cursor: next segment index and offset within it.
+    seg: usize,
+    off: usize,
+}
+
+impl WireBatch {
+    /// Creates an empty batch; `vectored` selects gather-list writes,
+    /// `false` the contiguous-encode baseline.
+    pub fn new(vectored: bool) -> Self {
+        Self {
+            vectored,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this batch stages gather segments rather than one
+    /// contiguous encode buffer.
+    pub fn vectored(&self) -> bool {
+        self.vectored
+    }
+
+    /// Drops all staged messages and resets the write cursor, keeping
+    /// allocations for reuse.
+    pub fn clear(&mut self) {
+        self.prefixes.clear();
+        self.payloads.clear();
+        self.contiguous.clear();
+        self.msgs = 0;
+        self.total = 0;
+        self.seg = 0;
+        self.off = 0;
+    }
+
+    /// Stages one message (payload by reference count, not by copy, in
+    /// vectored mode).
+    pub fn push(&mut self, msg: &Msg) {
+        if self.vectored {
+            self.prefixes.push(msg.encode_prefix());
+            self.payloads.push(msg.payload().clone());
+        } else {
+            msg.encode_into(&mut self.contiguous);
+        }
+        self.msgs += 1;
+        self.total += msg.wire_len();
+    }
+
+    /// Number of staged messages.
+    pub fn msgs(&self) -> usize {
+        self.msgs
+    }
+
+    /// Total wire bytes of the staged messages.
+    pub fn wire_bytes(&self) -> usize {
+        self.total
+    }
+
+    /// `true` when no messages are staged.
+    pub fn is_empty(&self) -> bool {
+        self.msgs == 0
+    }
+
+    fn seg_count(&self) -> usize {
+        if self.vectored {
+            self.prefixes.len() * 2
+        } else {
+            usize::from(!self.contiguous.is_empty())
+        }
+    }
+
+    fn seg_slice(&self, i: usize) -> &[u8] {
+        if self.vectored {
+            let m = i / 2;
+            if i.is_multiple_of(2) {
+                let (buf, len) = &self.prefixes[m];
+                &buf[..*len]
+            } else {
+                &self.payloads[m]
+            }
+        } else {
+            &self.contiguous
+        }
+    }
+
+    /// `true` while staged bytes remain unwritten.
+    pub fn has_remaining(&self) -> bool {
+        (self.seg..self.seg_count()).any(|i| {
+            let len = self.seg_slice(i).len();
+            if i == self.seg {
+                len > self.off
+            } else {
+                len > 0
+            }
+        })
+    }
+
+    fn advance(&mut self, mut n: usize) {
+        while n > 0 {
+            let len = self.seg_slice(self.seg).len() - self.off;
+            if n < len {
+                self.off += n;
+                return;
+            }
+            n -= len;
+            self.seg += 1;
+            self.off = 0;
+        }
+    }
+
+    /// Writes every remaining staged byte, gathering up to 64 segments
+    /// per `write_vectored` call and retrying `Interrupted` internally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's error with the cursor parked at the
+    /// first unwritten byte — `WouldBlock` callers re-invoke when the
+    /// socket reports writable and the write resumes mid-stream.
+    /// `Ok(0)` from the writer surfaces as `WriteZero`.
+    pub fn write_to<W: Write>(&mut self, w: &mut W) -> io::Result<()> {
+        while self.has_remaining() {
+            let mut slices = [IoSlice::new(&[]); MAX_WRITE_IOSLICES];
+            let mut n_slices = 0;
+            let mut seg = self.seg;
+            let mut off = self.off;
+            while seg < self.seg_count() && n_slices < MAX_WRITE_IOSLICES {
+                let s = self.seg_slice(seg);
+                if off < s.len() {
+                    slices[n_slices] = IoSlice::new(&s[off..]);
+                    n_slices += 1;
+                }
+                off = 0;
+                seg += 1;
+            }
+            match w.write_vectored(&slices[..n_slices]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes of a staged batch",
+                    ))
+                }
+                Ok(n) => self.advance(n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Reads one complete message from a blocking reader.
@@ -217,5 +622,226 @@ mod tests {
     fn clean_eof_returns_none() {
         let mut cursor = std::io::Cursor::new(Vec::<u8>::new());
         assert_eq!(read_msg(&mut cursor).unwrap(), None);
+    }
+
+    /// A reader that hands out at most `max` bytes per call (and only
+    /// fills the first buffer of a vectored read), forcing the decoder
+    /// through partial direct-payload fills.
+    struct Dribble<R> {
+        inner: R,
+        max: usize,
+    }
+
+    impl<R: Read> Read for Dribble<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let cap = buf.len().min(self.max);
+            self.inner.read(&mut buf[..cap])
+        }
+    }
+
+    fn drain(dec: &mut Decoder, out: &mut Vec<Msg>) {
+        while let Some(m) = dec.next_msg().unwrap() {
+            out.push(m);
+        }
+    }
+
+    #[test]
+    fn read_from_decodes_a_mixed_stream() {
+        // Small frames ride the buffered path, large ones the direct
+        // path, interleaved so ordering across the mode switch matters.
+        let msgs: Vec<Msg> = vec![
+            sample(0, 16),
+            sample(1, 4 * 1024),
+            sample(2, 0),
+            sample(3, 64 * 1024),
+            sample(4, 700),
+            sample(5, 33),
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&m.encode());
+        }
+        for per_read in [7usize, 512, 4096, 1 << 20] {
+            let mut r = Dribble {
+                inner: std::io::Cursor::new(&wire),
+                max: per_read,
+            };
+            let mut dec = Decoder::new();
+            let mut out = Vec::new();
+            loop {
+                let n = dec.read_from(&mut r, 8 * 1024).unwrap();
+                drain(&mut dec, &mut out);
+                if n == 0 {
+                    break;
+                }
+            }
+            assert_eq!(out, msgs, "per_read={per_read}");
+            assert_eq!(dec.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn read_from_keeps_traced_frames_intact() {
+        let ctx = crate::TraceContext::sampled(0xABCD, 42);
+        let msgs: Vec<Msg> = vec![
+            sample(0, 2048).with_trace(ctx),
+            sample(1, 100),
+            sample(2, 3000).with_trace(ctx),
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&m.encode());
+        }
+        let mut r = std::io::Cursor::new(&wire);
+        let mut dec = Decoder::new();
+        let mut out = Vec::new();
+        loop {
+            let n = dec.read_from(&mut r, 1024).unwrap();
+            drain(&mut dec, &mut out);
+            if n == 0 {
+                break;
+            }
+        }
+        assert_eq!(out, msgs);
+        assert_eq!(out[0].trace(), Some(ctx));
+    }
+
+    #[test]
+    fn feed_completes_a_frame_entered_directly() {
+        // read_from may leave a direct frame mid-fill; feed() must
+        // finish it (mixed call styles stay coherent).
+        let msg = sample(9, 5000);
+        let wire = msg.encode();
+        let mut r = Dribble {
+            inner: std::io::Cursor::new(&wire[..1000]),
+            max: 1000,
+        };
+        let mut dec = Decoder::new();
+        while dec.read_from(&mut r, 256).unwrap() > 0 {}
+        assert!(dec.next_msg().unwrap().is_none(), "frame is incomplete");
+        dec.feed(&wire[1000..]);
+        assert_eq!(dec.next_msg().unwrap(), Some(msg));
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn read_from_rejects_poisoned_length() {
+        let mut wire = sample(0, 4).encode();
+        wire[20..24].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut dec = Decoder::new();
+        let mut r = std::io::Cursor::new(&wire);
+        // First call buffers the header; a following call trips on it.
+        let mut saw_err = false;
+        for _ in 0..4 {
+            match dec.read_from(&mut r, 16) {
+                Ok(_) => {}
+                Err(e) => {
+                    assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+                    saw_err = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_err || dec.next_msg().is_err());
+    }
+
+    #[test]
+    fn wire_batch_vectored_matches_contiguous_encoding() {
+        let ctx = crate::TraceContext::sampled(7, 7);
+        let msgs: Vec<Msg> = vec![
+            sample(0, 100),
+            sample(1, 0),
+            sample(2, 4096).with_trace(ctx),
+            sample(3, 1),
+        ];
+        let mut expect = Vec::new();
+        for m in &msgs {
+            expect.extend_from_slice(&m.encode());
+        }
+        for vectored in [true, false] {
+            let mut batch = WireBatch::new(vectored);
+            for m in &msgs {
+                batch.push(m);
+            }
+            assert_eq!(batch.msgs(), msgs.len());
+            assert_eq!(batch.wire_bytes(), expect.len());
+            let mut out = Vec::new();
+            batch.write_to(&mut out).unwrap();
+            assert_eq!(out, expect, "vectored={vectored}");
+            assert!(!batch.has_remaining());
+            batch.clear();
+            assert!(batch.is_empty());
+            // The cleared batch is reusable.
+            batch.push(&msgs[0]);
+            let mut again = Vec::new();
+            batch.write_to(&mut again).unwrap();
+            assert_eq!(again, msgs[0].encode());
+        }
+    }
+
+    /// A writer that accepts a few bytes per call and fails with
+    /// `WouldBlock` every other call — the non-blocking storm case.
+    struct Choppy {
+        out: Vec<u8>,
+        calls: usize,
+    }
+
+    impl io::Write for Choppy {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            if self.calls.is_multiple_of(2) {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf.len().min(3);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn wire_batch_resumes_after_would_block() {
+        let msgs: Vec<Msg> = (0..3).map(|i| sample(i, 50 + i as usize * 37)).collect();
+        let mut expect = Vec::new();
+        for m in &msgs {
+            expect.extend_from_slice(&m.encode());
+        }
+        for vectored in [true, false] {
+            let mut batch = WireBatch::new(vectored);
+            for m in &msgs {
+                batch.push(m);
+            }
+            let mut w = Choppy {
+                out: Vec::new(),
+                calls: 0,
+            };
+            while batch.has_remaining() {
+                match batch.write_to(&mut w) {
+                    Ok(()) => break,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            assert_eq!(w.out, expect, "vectored={vectored}");
+        }
+    }
+
+    #[test]
+    fn wire_batch_surfaces_write_zero() {
+        struct Dead;
+        impl io::Write for Dead {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut batch = WireBatch::new(true);
+        batch.push(&sample(0, 10));
+        let err = batch.write_to(&mut Dead).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
     }
 }

@@ -49,10 +49,10 @@ mod params;
 mod trace;
 mod types;
 
-pub use codec::{read_msg, write_msg, Decoder};
+pub use codec::{read_msg, write_msg, Decoder, WireBatch};
 pub use error::DecodeError;
 pub use header::{Header, HEADER_LEN};
-pub use msg::Msg;
+pub use msg::{Msg, MAX_PREFIX_LEN};
 pub use node_id::NodeId;
 pub use params::ControlParams;
 pub use trace::{TraceContext, TRACE_EXT_WIRE_LEN};

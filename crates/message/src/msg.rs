@@ -12,6 +12,11 @@ use crate::{DecodeError, Header, MsgType, NodeId, HEADER_LEN};
 /// a corrupted or hostile length field.
 pub(crate) const MAX_PAYLOAD: usize = 16 << 20;
 
+/// Size of the largest pre-payload wire prefix a message can have: the
+/// fixed header plus the optional trace extension region. Vectored
+/// senders stage one prefix buffer of this size per message.
+pub const MAX_PREFIX_LEN: usize = HEADER_LEN + TRACE_EXT_WIRE_LEN;
+
 /// An application-layer message: a 24-byte [`Header`] and a payload.
 ///
 /// Cloning a `Msg` is cheap: the payload lives in a [`Bytes`] buffer whose
@@ -175,7 +180,12 @@ impl Msg {
     /// extension bit set and `payload_len` grown to cover it) when a
     /// trace context is attached. Returns the buffer and the number of
     /// valid bytes in it.
-    pub(crate) fn encode_prefix(&self) -> ([u8; HEADER_LEN + TRACE_EXT_WIRE_LEN], usize) {
+    ///
+    /// Together with [`Msg::payload`] this is the gather list of one
+    /// message: a vectored sender can hand `(prefix, payload)` straight
+    /// to `writev` without copying the payload into a staging buffer
+    /// (see [`crate::WireBatch`]).
+    pub fn encode_prefix(&self) -> ([u8; MAX_PREFIX_LEN], usize) {
         let mut out = [0u8; HEADER_LEN + TRACE_EXT_WIRE_LEN];
         match self.trace {
             None => {

@@ -160,11 +160,19 @@ fn bucket_saturated(recent: &[SeriesWindow]) -> bool {
     })
 }
 
-/// Bytes flow in, messages do not come out — in every window.
+/// Bytes flow in, messages do not come out — in every window — or the
+/// coded plane shows sustained repair pressure: every window pushed
+/// repair packets through elimination while the free systematic
+/// passthrough saw nothing, meaning the systematic prefix is being
+/// lost wholesale and the decoder is living off Gaussian elimination.
 fn decode_stall(recent: &[SeriesWindow]) -> bool {
-    recent
+    let framing = recent
         .iter()
-        .all(|w| w.bytes_received > 0 && w.msgs_received == 0)
+        .all(|w| w.bytes_received > 0 && w.msgs_received == 0);
+    let repair_pressure = recent
+        .iter()
+        .all(|w| w.coding_repair_decodes > 0 && w.coding_systematic_hits == 0);
+    framing || repair_pressure
 }
 
 #[cfg(test)]
@@ -293,6 +301,36 @@ mod tests {
         let (state, codes) = evaluate(&windows, 0, u64::MAX);
         assert_eq!(state, HealthState::Degraded);
         assert_eq!(codes, vec![reasons::DECODE_STALL]);
+    }
+
+    #[test]
+    fn sustained_repair_pressure_is_a_decode_stall() {
+        // Every window decodes repairs with zero systematic hits: the
+        // uncoded prefix is being lost wholesale upstream.
+        let windows: Vec<_> = (0..3)
+            .map(|i| win(i, |w| w.coding_repair_decodes = 8))
+            .collect();
+        let (state, codes) = evaluate(&windows, 0, u64::MAX);
+        assert_eq!(state, HealthState::Degraded);
+        assert_eq!(codes, vec![reasons::DECODE_STALL]);
+    }
+
+    #[test]
+    fn repair_decodes_with_systematic_hits_are_healthy() {
+        // Lossy-but-working coded stream: repairs flow alongside the
+        // systematic passthrough. That is the design working, not a
+        // stall.
+        let windows: Vec<_> = (0..3)
+            .map(|i| {
+                win(i, |w| {
+                    w.coding_repair_decodes = 8;
+                    w.coding_systematic_hits = 120;
+                })
+            })
+            .collect();
+        let (state, codes) = evaluate(&windows, 0, u64::MAX);
+        assert_eq!(state, HealthState::Healthy);
+        assert!(codes.is_empty());
     }
 
     #[test]

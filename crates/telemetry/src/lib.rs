@@ -77,6 +77,8 @@ pub struct NodeTelemetry {
     queue_poison_recoveries: Counter,
     coding_innovative: Counter,
     coding_duplicate: Counter,
+    coding_systematic_hits: Counter,
+    coding_repair_decodes: Counter,
     reactor_wakeups: Counter,
     reactor_partial_writes: Counter,
 
@@ -98,6 +100,7 @@ pub struct NodeTelemetry {
     recv_syscall_bytes: Histogram,
     coding_encode_nanos: Histogram,
     coding_decode_nanos: Histogram,
+    elimination_rows_per_generation: Histogram,
     shard_ingress_occupancy_msgs: Histogram,
 
     events: EventRing,
@@ -136,6 +139,8 @@ impl NodeTelemetry {
             queue_poison_recoveries: Counter::new(),
             coding_innovative: Counter::new(),
             coding_duplicate: Counter::new(),
+            coding_systematic_hits: Counter::new(),
+            coding_repair_decodes: Counter::new(),
             reactor_wakeups: Counter::new(),
             reactor_partial_writes: Counter::new(),
             upstreams: Gauge::new(),
@@ -154,6 +159,7 @@ impl NodeTelemetry {
             recv_syscall_bytes: Histogram::new(SYSCALL_BOUNDS_BYTES),
             coding_encode_nanos: Histogram::new(LATENCY_BOUNDS_NANOS),
             coding_decode_nanos: Histogram::new(LATENCY_BOUNDS_NANOS),
+            elimination_rows_per_generation: Histogram::new(BATCH_BOUNDS_MSGS),
             events: EventRing::new(event_capacity),
             spans: SpanRing::new(DEFAULT_SPAN_CAPACITY),
             span_counter: AtomicU64::new(0),
@@ -493,6 +499,34 @@ impl NodeTelemetry {
         }
     }
 
+    /// A decoding sink accepted `hits` uncoded systematic packets on
+    /// the passthrough path (no elimination work performed).
+    #[inline]
+    pub fn record_coding_systematic_hits(&self, hits: u64) {
+        if self.enabled {
+            self.coding_systematic_hits.add(hits);
+        }
+    }
+
+    /// A decoding sink pushed one random-coefficient repair packet
+    /// through the elimination path (real repair pressure, as opposed
+    /// to the free systematic passthrough).
+    #[inline]
+    pub fn record_coding_repair_decode(&self) {
+        if self.enabled {
+            self.coding_repair_decodes.inc();
+        }
+    }
+
+    /// A generation completed after `rows` payload-row eliminations
+    /// (0 for a loss-free systematic generation).
+    #[inline]
+    pub fn record_coding_generation_solved(&self, rows: u64) {
+        if self.enabled {
+            self.elimination_rows_per_generation.record(rows);
+        }
+    }
+
     /// Updates the link-count gauges.
     #[inline]
     pub fn set_link_gauges(&self, upstreams: u64, downstreams: u64) {
@@ -529,6 +563,8 @@ impl NodeTelemetry {
             bytes_received: self.bytes_received.get(),
             sends_blocked: self.sends_blocked.get(),
             bucket_wait_nanos: self.bucket_wait_nanos.sum(),
+            coding_systematic_hits: self.coding_systematic_hits.get(),
+            coding_repair_decodes: self.coding_repair_decodes.get(),
             partial_writes: self.reactor_partial_writes.get(),
             poison_recoveries: self.queue_poison_recoveries.get(),
             event_drops: self.events.dropped(),
@@ -596,6 +632,8 @@ impl NodeTelemetry {
                 c("queue_poison_recoveries", &self.queue_poison_recoveries),
                 c("coding_innovative", &self.coding_innovative),
                 c("coding_duplicate", &self.coding_duplicate),
+                c("coding_systematic_hits", &self.coding_systematic_hits),
+                c("coding_repair_decodes", &self.coding_repair_decodes),
                 c("reactor_wakeups", &self.reactor_wakeups),
                 c("reactor_partial_writes", &self.reactor_partial_writes),
             ],
@@ -617,6 +655,8 @@ impl NodeTelemetry {
                 self.recv_syscall_bytes.snapshot("recv_syscall_bytes"),
                 self.coding_encode_nanos.snapshot("coding_encode_nanos"),
                 self.coding_decode_nanos.snapshot("coding_decode_nanos"),
+                self.elimination_rows_per_generation
+                    .snapshot("elimination_rows_per_generation"),
                 self.shard_ingress_occupancy_msgs
                     .snapshot("shard_ingress_occupancy_msgs"),
             ],
@@ -669,6 +709,11 @@ mod tests {
         tel.record_coding_encode(2_500);
         tel.record_coding_decode(7_000, true);
         tel.record_coding_decode(1_200, false);
+        tel.record_coding_systematic_hits(14);
+        tel.record_coding_repair_decode();
+        tel.record_coding_repair_decode();
+        tel.record_coding_generation_solved(2);
+        tel.record_coding_generation_solved(0);
         tel.set_link_gauges(1, 2);
         tel.set_queue_gauges(10, 20);
 
@@ -688,6 +733,11 @@ mod tests {
         assert_eq!(snap.gauge("send_queue_msgs"), Some(20));
         assert_eq!(snap.counter("coding_innovative"), Some(1));
         assert_eq!(snap.counter("coding_duplicate"), Some(1));
+        assert_eq!(snap.counter("coding_systematic_hits"), Some(14));
+        assert_eq!(snap.counter("coding_repair_decodes"), Some(2));
+        let elim = snap.histogram("elimination_rows_per_generation").unwrap();
+        assert_eq!(elim.count, 2);
+        assert_eq!(elim.sum, 2);
         assert_eq!(snap.histogram("switch_round_nanos").unwrap().count, 1);
         assert_eq!(snap.histogram("queue_occupancy_msgs").unwrap().sum, 64);
         assert_eq!(snap.histogram("coding_encode_nanos").unwrap().count, 1);

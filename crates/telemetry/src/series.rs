@@ -61,6 +61,12 @@ pub struct SeriesWindow {
     pub send_queue_hwm: u64,
     /// Token-bucket wait imposed during the window, nanoseconds.
     pub bucket_wait_nanos: u64,
+    /// Systematic coded packets accepted on the free passthrough path.
+    pub coding_systematic_hits: u64,
+    /// Repair packets pushed through Gaussian elimination (real repair
+    /// pressure, distinguishing a lossy coded stream from a framing
+    /// stall).
+    pub coding_repair_decodes: u64,
     /// Reactor partial writes (`WOULDBLOCK` with bytes staged).
     pub partial_writes: u64,
     /// Queue poison recoveries observed during the window.
@@ -90,6 +96,10 @@ pub struct SeriesTotals {
     pub sends_blocked: u64,
     /// Total token-bucket wait nanoseconds since start.
     pub bucket_wait_nanos: u64,
+    /// Total systematic passthrough accepts since start.
+    pub coding_systematic_hits: u64,
+    /// Total repair-packet eliminations since start.
+    pub coding_repair_decodes: u64,
     /// Total reactor partial writes since start.
     pub partial_writes: u64,
     /// Total queue poison recoveries since start.
@@ -156,6 +166,12 @@ impl SeriesRing {
             recv_queue_hwm: recv_hwm,
             send_queue_hwm: send_hwm,
             bucket_wait_nanos: totals.bucket_wait_nanos.wrapping_sub(last.bucket_wait_nanos),
+            coding_systematic_hits: totals
+                .coding_systematic_hits
+                .wrapping_sub(last.coding_systematic_hits),
+            coding_repair_decodes: totals
+                .coding_repair_decodes
+                .wrapping_sub(last.coding_repair_decodes),
             partial_writes: totals.partial_writes.wrapping_sub(last.partial_writes),
             poison_recoveries: totals
                 .poison_recoveries
@@ -209,6 +225,8 @@ mod tests {
             bytes_received: 900 * n,
             sends_blocked: n,
             bucket_wait_nanos: 50 * n,
+            coding_systematic_hits: 16 * n,
+            coding_repair_decodes: 3 * n,
             partial_writes: 2 * n,
             poison_recoveries: 0,
             event_drops: n / 2,
@@ -234,6 +252,9 @@ mod tests {
         assert_eq!(windows[1].msgs_switched, 20);
         assert_eq!(windows[1].bytes_sent, 2000);
         assert_eq!(windows[1].send_queue_hwm, 1);
+        assert_eq!(windows[0].coding_systematic_hits, 16);
+        assert_eq!(windows[1].coding_systematic_hits, 32);
+        assert_eq!(windows[1].coding_repair_decodes, 6);
     }
 
     #[test]
